@@ -1,0 +1,145 @@
+//! Basic timestamp ordering.
+//!
+//! Each transaction receives a timestamp at (re)start. A read of `e` aborts
+//! if a younger transaction already wrote `e`; a write aborts if a younger
+//! transaction already read or wrote `e`. No operation ever waits — the
+//! whole burden falls on aborts, which is why the paper rejects the scheme
+//! for long transactions ("alternatives to two-phase locking based on
+//! timestamps lead … to aborts of transactions").
+
+use ks_kernel::EntityId;
+use ks_sim::{ConcurrencyControl, Decision, SimTime, SimTxnId};
+use std::collections::BTreeMap;
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Stamps {
+    read_ts: u64,
+    write_ts: u64,
+}
+
+/// Basic T/O scheduler.
+#[derive(Debug, Default)]
+pub struct TimestampOrdering {
+    next_ts: u64,
+    ts_of: BTreeMap<SimTxnId, u64>,
+    stamps: BTreeMap<EntityId, Stamps>,
+}
+
+impl TimestampOrdering {
+    /// New scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ts(&mut self, txn: SimTxnId) -> u64 {
+        *self.ts_of.get(&txn).expect("on_begin assigns a timestamp")
+    }
+
+    /// Current timestamp of a transaction (for tests).
+    pub fn timestamp_of(&self, txn: SimTxnId) -> Option<u64> {
+        self.ts_of.get(&txn).copied()
+    }
+}
+
+impl ConcurrencyControl for TimestampOrdering {
+    fn on_begin(&mut self, txn: SimTxnId, _now: SimTime) {
+        self.next_ts += 1;
+        self.ts_of.insert(txn, self.next_ts);
+    }
+
+    fn on_read(&mut self, txn: SimTxnId, entity: EntityId, _now: SimTime) -> Decision {
+        let ts = self.ts(txn);
+        let st = self.stamps.entry(entity).or_default();
+        if ts < st.write_ts {
+            return Decision::Abort;
+        }
+        st.read_ts = st.read_ts.max(ts);
+        Decision::Proceed
+    }
+
+    fn on_write(&mut self, txn: SimTxnId, entity: EntityId, _now: SimTime) -> Decision {
+        let ts = self.ts(txn);
+        let st = self.stamps.entry(entity).or_default();
+        if ts < st.read_ts || ts < st.write_ts {
+            return Decision::Abort;
+        }
+        st.write_ts = ts;
+        Decision::Proceed
+    }
+
+    fn on_commit(&mut self, _txn: SimTxnId, _now: SimTime) -> Decision {
+        Decision::Proceed
+    }
+
+    fn on_abort(&mut self, txn: SimTxnId, _now: SimTime) {
+        // The restart will receive a fresh timestamp via on_begin.
+        self.ts_of.remove(&txn);
+    }
+
+    fn name(&self) -> &'static str {
+        "timestamp-ordering"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(i: u32) -> EntityId {
+        EntityId(i)
+    }
+
+    #[test]
+    fn in_order_operations_proceed() {
+        let mut s = TimestampOrdering::new();
+        s.on_begin(SimTxnId(0), 0);
+        s.on_begin(SimTxnId(1), 0);
+        assert_eq!(s.on_read(SimTxnId(0), e(0), 1), Decision::Proceed);
+        assert_eq!(s.on_write(SimTxnId(1), e(0), 2), Decision::Proceed);
+    }
+
+    #[test]
+    fn stale_read_aborts() {
+        let mut s = TimestampOrdering::new();
+        s.on_begin(SimTxnId(0), 0); // ts 1
+        s.on_begin(SimTxnId(1), 0); // ts 2
+        assert_eq!(s.on_write(SimTxnId(1), e(0), 1), Decision::Proceed);
+        // Older transaction reading a younger write: abort.
+        assert_eq!(s.on_read(SimTxnId(0), e(0), 2), Decision::Abort);
+    }
+
+    #[test]
+    fn stale_write_aborts_on_later_read() {
+        let mut s = TimestampOrdering::new();
+        s.on_begin(SimTxnId(0), 0); // ts 1
+        s.on_begin(SimTxnId(1), 0); // ts 2
+        assert_eq!(s.on_read(SimTxnId(1), e(0), 1), Decision::Proceed);
+        assert_eq!(s.on_write(SimTxnId(0), e(0), 2), Decision::Abort);
+    }
+
+    #[test]
+    fn restart_gets_fresh_timestamp() {
+        let mut s = TimestampOrdering::new();
+        s.on_begin(SimTxnId(0), 0);
+        let ts1 = s.timestamp_of(SimTxnId(0)).unwrap();
+        s.on_abort(SimTxnId(0), 1);
+        assert!(s.timestamp_of(SimTxnId(0)).is_none());
+        s.on_begin(SimTxnId(0), 2);
+        let ts2 = s.timestamp_of(SimTxnId(0)).unwrap();
+        assert!(ts2 > ts1);
+    }
+
+    #[test]
+    fn never_blocks() {
+        let mut s = TimestampOrdering::new();
+        for i in 0..10 {
+            s.on_begin(SimTxnId(i), 0);
+        }
+        for i in 0..10 {
+            let d1 = s.on_read(SimTxnId(i), e(0), 1);
+            let d2 = s.on_write(SimTxnId(i), e(1), 1);
+            assert_ne!(d1, Decision::Block);
+            assert_ne!(d2, Decision::Block);
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Strict two-phase locking with waits-for deadlock detection.
+//!
+//! Locks are acquired before each operation and held to commit/abort
+//! (strictness avoids cascading aborts). A read takes a shared lock, a
+//! write an exclusive one, with upgrade when the requester is the only
+//! shared holder. When a request must wait, the requester's waits-for edges
+//! are recorded; if they close a cycle, the *requester* aborts (youngest-
+//! style victim choice keeps the detector simple and deterministic).
+
+use ks_kernel::EntityId;
+use ks_sim::{ConcurrencyControl, Decision, SimTime, SimTxnId};
+use std::collections::{BTreeMap, BTreeSet};
+
+#[derive(Debug, Default, Clone)]
+struct LockState {
+    shared: BTreeSet<SimTxnId>,
+    exclusive: Option<SimTxnId>,
+}
+
+/// Strict 2PL scheduler.
+#[derive(Debug, Default)]
+pub struct TwoPhaseLocking {
+    locks: BTreeMap<EntityId, LockState>,
+    /// txn → entities it holds locks on (for release).
+    held: BTreeMap<SimTxnId, BTreeSet<EntityId>>,
+    /// waits-for edges of currently blocked transactions.
+    waits_for: BTreeMap<SimTxnId, BTreeSet<SimTxnId>>,
+    /// Counters for reporting.
+    deadlocks_detected: u64,
+}
+
+impl TwoPhaseLocking {
+    /// New scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of deadlocks the detector resolved.
+    pub fn deadlocks_detected(&self) -> u64 {
+        self.deadlocks_detected
+    }
+
+    fn release_all(&mut self, txn: SimTxnId) {
+        if let Some(entities) = self.held.remove(&txn) {
+            for e in entities {
+                if let Some(ls) = self.locks.get_mut(&e) {
+                    ls.shared.remove(&txn);
+                    if ls.exclusive == Some(txn) {
+                        ls.exclusive = None;
+                    }
+                }
+            }
+        }
+        self.waits_for.remove(&txn);
+    }
+
+    /// Would granting `txn` a lock on `e` in `write` mode succeed? If not,
+    /// returns the conflicting holders.
+    fn conflicts(&self, txn: SimTxnId, e: EntityId, write: bool) -> Vec<SimTxnId> {
+        let ls = match self.locks.get(&e) {
+            Some(ls) => ls,
+            None => return vec![],
+        };
+        let mut out = Vec::new();
+        if let Some(x) = ls.exclusive {
+            if x != txn {
+                out.push(x);
+            }
+        }
+        if write {
+            out.extend(ls.shared.iter().copied().filter(|&t| t != txn));
+        }
+        out
+    }
+
+    fn grant(&mut self, txn: SimTxnId, e: EntityId, write: bool) {
+        let ls = self.locks.entry(e).or_default();
+        if write {
+            ls.exclusive = Some(txn);
+            ls.shared.remove(&txn); // upgrade consumes the shared lock
+        } else {
+            ls.shared.insert(txn);
+        }
+        self.held.entry(txn).or_default().insert(e);
+        self.waits_for.remove(&txn);
+    }
+
+    /// Does adding `txn → targets` close a cycle in waits-for?
+    fn would_deadlock(&self, txn: SimTxnId, targets: &[SimTxnId]) -> bool {
+        // DFS from each target through existing edges looking for `txn`.
+        let mut stack: Vec<SimTxnId> = targets.to_vec();
+        let mut seen = BTreeSet::new();
+        while let Some(v) = stack.pop() {
+            if v == txn {
+                return true;
+            }
+            if seen.insert(v) {
+                if let Some(next) = self.waits_for.get(&v) {
+                    stack.extend(next.iter().copied());
+                }
+            }
+        }
+        false
+    }
+
+    fn request(&mut self, txn: SimTxnId, e: EntityId, write: bool) -> Decision {
+        let conflicting = self.conflicts(txn, e, write);
+        if conflicting.is_empty() {
+            self.grant(txn, e, write);
+            return Decision::Proceed;
+        }
+        if self.would_deadlock(txn, &conflicting) {
+            self.deadlocks_detected += 1;
+            return Decision::Abort;
+        }
+        self.waits_for
+            .insert(txn, conflicting.into_iter().collect());
+        Decision::Block
+    }
+}
+
+impl ConcurrencyControl for TwoPhaseLocking {
+    fn on_begin(&mut self, _txn: SimTxnId, _now: SimTime) {}
+
+    fn on_read(&mut self, txn: SimTxnId, entity: EntityId, _now: SimTime) -> Decision {
+        self.request(txn, entity, false)
+    }
+
+    fn on_write(&mut self, txn: SimTxnId, entity: EntityId, _now: SimTime) -> Decision {
+        self.request(txn, entity, true)
+    }
+
+    fn on_commit(&mut self, txn: SimTxnId, _now: SimTime) -> Decision {
+        self.release_all(txn);
+        Decision::Proceed
+    }
+
+    fn on_abort(&mut self, txn: SimTxnId, _now: SimTime) {
+        self.release_all(txn);
+    }
+
+    fn name(&self) -> &'static str {
+        "strict-2pl"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ks_sim::{Engine, EngineConfig, TraceKind, Workload, WorkloadSpec};
+
+    fn e(i: u32) -> EntityId {
+        EntityId(i)
+    }
+
+    #[test]
+    fn shared_locks_compatible() {
+        let mut s = TwoPhaseLocking::new();
+        assert_eq!(s.on_read(SimTxnId(0), e(0), 0), Decision::Proceed);
+        assert_eq!(s.on_read(SimTxnId(1), e(0), 0), Decision::Proceed);
+        // writer must wait behind two readers
+        assert_eq!(s.on_write(SimTxnId(2), e(0), 1), Decision::Block);
+    }
+
+    #[test]
+    fn exclusive_blocks_everything() {
+        let mut s = TwoPhaseLocking::new();
+        assert_eq!(s.on_write(SimTxnId(0), e(0), 0), Decision::Proceed);
+        assert_eq!(s.on_read(SimTxnId(1), e(0), 0), Decision::Block);
+        assert_eq!(s.on_write(SimTxnId(1), e(0), 0), Decision::Block);
+        // same transaction re-reads its own exclusive lock fine
+        assert_eq!(s.on_read(SimTxnId(0), e(0), 0), Decision::Proceed);
+    }
+
+    #[test]
+    fn upgrade_when_sole_reader() {
+        let mut s = TwoPhaseLocking::new();
+        assert_eq!(s.on_read(SimTxnId(0), e(0), 0), Decision::Proceed);
+        assert_eq!(s.on_write(SimTxnId(0), e(0), 1), Decision::Proceed);
+        assert_eq!(s.on_read(SimTxnId(1), e(0), 2), Decision::Block);
+    }
+
+    #[test]
+    fn locks_released_on_commit() {
+        let mut s = TwoPhaseLocking::new();
+        assert_eq!(s.on_write(SimTxnId(0), e(0), 0), Decision::Proceed);
+        assert_eq!(s.on_write(SimTxnId(1), e(0), 1), Decision::Block);
+        assert_eq!(s.on_commit(SimTxnId(0), 2), Decision::Proceed);
+        assert_eq!(s.on_write(SimTxnId(1), e(0), 3), Decision::Proceed);
+    }
+
+    #[test]
+    fn deadlock_detected_and_victim_aborted() {
+        let mut s = TwoPhaseLocking::new();
+        assert_eq!(s.on_write(SimTxnId(0), e(0), 0), Decision::Proceed);
+        assert_eq!(s.on_write(SimTxnId(1), e(1), 0), Decision::Proceed);
+        // 0 waits for 1
+        assert_eq!(s.on_write(SimTxnId(0), e(1), 1), Decision::Block);
+        // 1 requesting e0 closes the cycle → abort
+        assert_eq!(s.on_write(SimTxnId(1), e(0), 1), Decision::Abort);
+        assert_eq!(s.deadlocks_detected(), 1);
+        // After the victim releases, 0 can proceed.
+        s.on_abort(SimTxnId(1), 2);
+        assert_eq!(s.on_write(SimTxnId(0), e(1), 3), Decision::Proceed);
+    }
+
+    /// The soundness property: every committed interleaving under strict
+    /// 2PL is conflict serializable.
+    #[test]
+    fn committed_traces_are_conflict_serializable() {
+        for seed in 0..6u64 {
+            let w = Workload::generate(WorkloadSpec {
+                num_txns: 6,
+                ops_per_txn: 5,
+                num_entities: 6,
+                read_pct: 50,
+                think_time: 3,
+                hot_access_pct: 80,
+                seed,
+                ..WorkloadSpec::default()
+            });
+            let (m, trace, _) =
+                Engine::new(&w, TwoPhaseLocking::new(), EngineConfig::default()).run();
+            assert_eq!(m.committed, 6, "seed {seed}");
+            let ops = ks_sim::trace::committed_ops(&trace);
+            let schedule = ks_schedule::Schedule::from_ops(
+                ops.iter()
+                    .map(|ev| match ev.kind {
+                        TraceKind::Read(en) => {
+                            ks_schedule::Op::read(ks_schedule::TxnId(ev.txn.0), en)
+                        }
+                        TraceKind::Write(en) => {
+                            ks_schedule::Op::write(ks_schedule::TxnId(ev.txn.0), en)
+                        }
+                        _ => unreachable!(),
+                    })
+                    .collect(),
+            );
+            assert!(
+                ks_schedule::csr::is_csr(&schedule),
+                "seed {seed}: {schedule}"
+            );
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Criterion: classifier costs on the Figure 2 corpus — the practical face
+//! of "efficient classes vs NP-complete classes".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ks_schedule::corpus::fig2_regions;
+use ks_schedule::{classify, csr, mvsr, pc, vsr};
+use std::hint::black_box;
+
+fn bench_classifiers(c: &mut Criterion) {
+    let regions = fig2_regions();
+    let mut group = c.benchmark_group("classifiers_on_fig2_corpus");
+    group.bench_function("csr_all_regions", |b| {
+        b.iter(|| {
+            for r in &regions {
+                black_box(csr::is_csr(&r.schedule));
+            }
+        })
+    });
+    group.bench_function("mvcsr_all_regions", |b| {
+        b.iter(|| {
+            for r in &regions {
+                black_box(mvsr::is_mvcsr(&r.schedule));
+            }
+        })
+    });
+    group.bench_function("cpc_all_regions", |b| {
+        b.iter(|| {
+            for r in &regions {
+                black_box(pc::is_cpc(&r.schedule, &r.objects));
+            }
+        })
+    });
+    group.bench_function("vsr_all_regions", |b| {
+        b.iter(|| {
+            for r in &regions {
+                black_box(vsr::is_vsr(&r.schedule));
+            }
+        })
+    });
+    group.bench_function("full_classify_all_regions", |b| {
+        b.iter(|| {
+            for r in &regions {
+                black_box(classify(&r.schedule, &r.objects));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_classifiers);
+criterion_main!(benches);

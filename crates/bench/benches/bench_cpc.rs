@@ -1,0 +1,31 @@
+//! Criterion: CPC membership scales polynomially with schedule length
+//! (Section 4.3's tractability claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ks_bench::{random_interleaving, random_programs};
+use ks_kernel::EntityId;
+use ks_predicate::random::SplitMix64;
+use ks_predicate::Object;
+use ks_schedule::pc::is_cpc;
+use std::hint::black_box;
+
+fn bench_cpc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpc_polynomial_scaling");
+    for txns in [8usize, 16, 32, 64] {
+        let mut rng = SplitMix64::new(txns as u64);
+        let programs = random_programs(&mut rng, txns, 16, 16, 60);
+        let s = random_interleaving(&programs, &mut rng);
+        let objects: Vec<Object> = (0..16u32)
+            .map(|i| Object::from_iter([EntityId(i)]))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(txns * 16),
+            &(s, objects),
+            |b, (s, objects)| b.iter(|| black_box(is_cpc(s, objects))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cpc);
+criterion_main!(benches);

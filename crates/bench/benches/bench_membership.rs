@@ -1,0 +1,36 @@
+//! Criterion: polynomial vs exponential recognizers on the same inputs —
+//! the practical argument for CPC over PC (and CSR over VSR).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ks_bench::{random_interleaving, random_programs};
+use ks_predicate::random::SplitMix64;
+use ks_schedule::{csr, mvsr, polygraph, vsr};
+use std::hint::black_box;
+
+fn bench_membership(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recognizers");
+    for txns in [3usize, 5, 7] {
+        let mut rng = SplitMix64::new(txns as u64);
+        let programs = random_programs(&mut rng, txns, 4, 4, 50);
+        let s = random_interleaving(&programs, &mut rng);
+        group.bench_with_input(BenchmarkId::new("csr_poly", txns), &s, |b, s| {
+            b.iter(|| black_box(csr::is_csr(s)))
+        });
+        group.bench_with_input(BenchmarkId::new("mvcsr_poly", txns), &s, |b, s| {
+            b.iter(|| black_box(mvsr::is_mvcsr(s)))
+        });
+        group.bench_with_input(BenchmarkId::new("vsr_exponential", txns), &s, |b, s| {
+            b.iter(|| black_box(vsr::is_vsr(s)))
+        });
+        group.bench_with_input(BenchmarkId::new("vsr_polygraph", txns), &s, |b, s| {
+            b.iter(|| black_box(polygraph::is_vsr_polygraph(s)))
+        });
+        group.bench_with_input(BenchmarkId::new("mvsr_exponential", txns), &s, |b, s| {
+            b.iter(|| black_box(mvsr::is_mvsr(s)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_membership);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion: multi-version store primitives (the substrate cost the
+//! paper argues is already paid by design databases).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ks_kernel::{Domain, EntityId, Schema, UniqueState};
+use ks_mvstore::{AuthorId, MvStore, Snapshot, VersionId};
+use std::hint::black_box;
+
+fn store_with_versions(chain_len: usize) -> MvStore {
+    let schema = Schema::uniform(
+        (0..16).map(|i| format!("d{i}")),
+        Domain::Range {
+            min: 0,
+            max: 1_000_000,
+        },
+    );
+    let initial = UniqueState::constant(16, 0);
+    let store = MvStore::new(schema, &initial);
+    for i in 0..chain_len {
+        for e in 0..16u32 {
+            store
+                .write(EntityId(e), i as i64, AuthorId(1 + (i as u64 % 7)))
+                .unwrap();
+        }
+    }
+    store
+}
+
+fn bench_mvstore(c: &mut Criterion) {
+    let store = store_with_versions(64);
+    let mut group = c.benchmark_group("mvstore");
+    group.bench_function("write_version", |b| {
+        b.iter(|| black_box(store.write(EntityId(0), 42, AuthorId(9)).unwrap()))
+    });
+    group.bench_function("read_specific_version", |b| {
+        b.iter(|| {
+            black_box(
+                store
+                    .read(VersionId {
+                        entity: EntityId(3),
+                        index: 10,
+                    })
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("candidate_values_64_versions", |b| {
+        b.iter(|| black_box(store.candidate_values(EntityId(5)).unwrap()))
+    });
+    group.bench_function("materialize_snapshot", |b| {
+        let mut snap = Snapshot::new();
+        for e in 0..16u32 {
+            snap.select(VersionId {
+                entity: EntityId(e),
+                index: 32,
+            });
+        }
+        b.iter(|| black_box(store.materialize(&snap).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mvstore);
+criterion_main!(benches);

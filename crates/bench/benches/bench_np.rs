@@ -1,0 +1,28 @@
+//! Criterion: the Lemma 1 search — exhaustive vs backtracking version
+//! assignment on SAT-reduced two-version databases (exponential problem).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ks_predicate::random::{random_ksat, SplitMix64};
+use ks_predicate::sat::solve_sat_via_versions;
+use ks_predicate::Strategy;
+use std::hint::black_box;
+
+fn bench_np(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lemma1_sat_reduction");
+    for n in [8usize, 12, 16] {
+        let mut rng = SplitMix64::new(n as u64);
+        let inst = random_ksat(&mut rng, n, (n as f64 * 4.3) as usize, 3);
+        group.bench_with_input(BenchmarkId::new("backtracking", n), &inst, |b, inst| {
+            b.iter(|| black_box(solve_sat_via_versions(inst, Strategy::Backtracking)))
+        });
+        if n <= 12 {
+            group.bench_with_input(BenchmarkId::new("exhaustive", n), &inst, |b, inst| {
+                b.iter(|| black_box(solve_sat_via_versions(inst, Strategy::Exhaustive)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_np);
+criterion_main!(benches);

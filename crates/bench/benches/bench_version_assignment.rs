@@ -1,0 +1,41 @@
+//! Criterion: `ablate-assign` — version-assignment solver strategies as a
+//! function of versions-per-entity (the Section 5.1 heuristics question).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ks_predicate::random::{random_candidates, random_cnf, CnfParams, SplitMix64};
+use ks_predicate::{solve, solve_with_propagation, Strategy};
+use std::hint::black_box;
+
+fn bench_assignment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("version_assignment");
+    for max_versions in [2usize, 4, 8] {
+        let mut rng = SplitMix64::new(7);
+        let params = CnfParams {
+            num_entities: 8,
+            num_clauses: 6,
+            clause_width: 3,
+            max_const: 9,
+            entity_entity_pct: 20,
+        };
+        let cnf = random_cnf(&mut rng, &params);
+        let candidates = random_candidates(&mut rng, 8, max_versions, 9);
+        for strategy in [Strategy::Exhaustive, Strategy::Backtracking, Strategy::GreedyLatest] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{strategy:?}"), max_versions),
+                &(cnf.clone(), candidates.clone()),
+                |b, (cnf, candidates)| b.iter(|| black_box(solve(cnf, candidates, strategy))),
+            );
+        }
+        group.bench_with_input(
+            BenchmarkId::new("Backtracking+propagation", max_versions),
+            &(cnf.clone(), candidates.clone()),
+            |b, (cnf, candidates)| {
+                b.iter(|| black_box(solve_with_propagation(cnf, candidates, Strategy::Backtracking)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_assignment);
+criterion_main!(benches);

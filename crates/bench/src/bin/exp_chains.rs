@@ -1,0 +1,46 @@
+//! `coop-chains`: cooperation chains under the four schedulers.
+//!
+//! Chained transactions model the paper's collaborative design sessions: a
+//! designer's task is picked up by the next in line (a partial-order edge
+//! the KS protocol honors). Classical schedulers cannot express the
+//! ordering — they just see conflicting accesses. Sweep the chain length
+//! and compare: the protocol pays commit-ordering (blocking at commit, not
+//! during work) and occasional re-eval repairs; 2PL pays lock waits during
+//! the whole transaction body; T/O pays aborts.
+
+use ks_bench::run_all_schedulers;
+use ks_protocol::KsProtocolAdapter;
+use ks_sim::{Engine, EngineConfig, Metrics, Workload, WorkloadSpec};
+
+fn main() {
+    println!("coop-chains — cooperation chains, four schedulers\n");
+    for chain in [1usize, 2, 4, 8] {
+        let w = Workload::generate(WorkloadSpec {
+            num_txns: 16,
+            ops_per_txn: 6,
+            num_entities: 24,
+            read_pct: 60,
+            think_time: 15,
+            hot_fraction_pct: 25,
+            hot_access_pct: 75,
+            arrival_spread: 8,
+            chain_length: chain,
+            seed: 21,
+        });
+        println!("— chain length {chain} —");
+        println!("  {}", Metrics::header());
+        for m in run_all_schedulers(&w) {
+            println!("  {}", m.row());
+        }
+        // Protocol-internal counters for the chained run.
+        let adapter = KsProtocolAdapter::for_workload(&w);
+        let (_, _, adapter) = Engine::new(&w, adapter, EngineConfig::default()).run();
+        let s = adapter.protocol_stats();
+        println!(
+            "  ks internals: re_evals={} re_assigns={} reeval_aborts={} cascade_aborts={}\n",
+            s.re_evals, s.re_assigns, s.reeval_aborts, s.cascade_aborts
+        );
+    }
+    println!("expected shape: the protocol's waits stay commit-side and small;");
+    println!("re-assign activity appears only when predecessors write late.");
+}

@@ -1,0 +1,35 @@
+//! `fig2-regions`: regenerate Figure 2 — the nine region schedules and
+//! their membership in every correctness class.
+
+use ks_schedule::classify::{classify, Membership};
+use ks_schedule::corpus::fig2_regions;
+
+fn main() {
+    println!("Figure 2 — correctness-class regions (✓ = member)\n");
+    println!("region  {}   cell", Membership::header());
+    let mut all_ok = true;
+    for region in fig2_regions() {
+        let got = classify(&region.schedule, &region.objects);
+        let ok = got == region.expected;
+        all_ok &= ok;
+        println!(
+            "  {}     {}   {}{}",
+            region.id,
+            got.row(),
+            region.cell,
+            if ok { "" } else { "   ← MISMATCH" }
+        );
+    }
+    println!();
+    for region in fig2_regions() {
+        println!("region {}: {}", region.id, region.schedule);
+        if region.note != "paper" {
+            println!("          note: {}", region.note);
+        }
+    }
+    println!(
+        "\nall regions match their expected membership: {}",
+        if all_ok { "yes" } else { "NO" }
+    );
+    std::process::exit(if all_ok { 0 } else { 1 });
+}

@@ -1,0 +1,20 @@
+//! `fig3-locks`: regenerate Figure 3, the lock compatibility matrix.
+
+use ks_protocol::locks::{compatibility, figure3_table, LockMode, MatrixEntry};
+
+fn main() {
+    println!("Figure 3 — lock compatibility matrix\n");
+    print!("{}", figure3_table());
+    println!();
+    println!("semantics:");
+    println!("  true    — lock granted immediately");
+    println!("  false   — requester blocks (W locks are momentary, so briefly)");
+    println!("  re-eval — write granted; read-side holders re-evaluated (Figure 4)");
+
+    // Verify the prose invariants from Section 5.1.
+    use LockMode::*;
+    assert_eq!(compatibility(Write, Write), MatrixEntry::Grant); // versions
+    assert_eq!(compatibility(Read, Write), MatrixEntry::ReEval);
+    assert_eq!(compatibility(Write, Read), MatrixEntry::Block);
+    println!("\nok");
+}

@@ -1,0 +1,161 @@
+//! `ablate-optimism`: the cost of the protocol's optimistic validation.
+//!
+//! The protocol validates without waiting for potential future writers and
+//! pays for it in `re-eval` work (re-assignments and aborts) when a
+//! predecessor writes later. This ablation sweeps the fraction of sibling
+//! pairs that are ordered (`after` edges): with no ordering, re-eval never
+//! fires (multiversion independence); as ordering density grows, re-eval
+//! activity rises — the price of optimism the paper accepts to avoid
+//! "an extremely long wait".
+
+use ks_core::Specification;
+use ks_kernel::{Domain, EntityId, Schema, UniqueState};
+use ks_predicate::random::SplitMix64;
+use ks_predicate::{Atom, Clause, CmpOp, Cnf, Strategy};
+use ks_protocol::{ProtocolManager, TxnState};
+
+fn main() {
+    println!("ablate-optimism — re-eval activity vs. partial-order density\n");
+    println!("order_pct  validations  writes  re_evals  re_assigns  reeval_aborts  committed");
+    for order_pct in [0u64, 25, 50, 75, 100] {
+        let mut rng = SplitMix64::new(99 + order_pct);
+        let n_entities = 4usize;
+        let schema = Schema::uniform(
+            (0..n_entities).map(|i| format!("d{i}")),
+            Domain::Range { min: 0, max: 99 },
+        );
+        let initial = UniqueState::from_values_unchecked(vec![0; n_entities]);
+        let mut pm = ProtocolManager::new(schema.clone(), &initial, Specification::trivial());
+        let root = pm.root();
+        let tautology = Cnf::new(
+            (0..n_entities as u32)
+                .map(|i| Clause::unit(Atom::cmp_const(EntityId(i), CmpOp::Ge, 0)))
+                .collect(),
+        );
+        let mut handles = Vec::new();
+        for _ in 0..12 {
+            let after: Vec<_> = handles
+                .iter()
+                .copied()
+                .filter(|_| rng.below(100) < order_pct)
+                .collect();
+            let spec = Specification::new(tautology.clone(), Cnf::truth());
+            let h = pm.define(root, spec, &after, &[]).unwrap();
+            pm.validate(h, Strategy::GreedyLatest).unwrap();
+            handles.push(h);
+        }
+        // Interleave reads and writes; predecessors writing after
+        // successors validated is what triggers re-eval.
+        for round in 0..6 {
+            for (i, &h) in handles.iter().enumerate() {
+                if pm.state_of(h).unwrap() != TxnState::Validated {
+                    continue;
+                }
+                let e = EntityId(((i + round) % n_entities) as u32);
+                if (i + round) % 3 == 0 {
+                    let _ = pm.read(h, e);
+                } else {
+                    let _ = pm.write(h, e, (round * 10 + i) as i64);
+                }
+            }
+        }
+        // Commit in definition order (predecessors first).
+        let mut progress = true;
+        while progress {
+            progress = false;
+            for &h in &handles {
+                if pm.state_of(h).unwrap() == TxnState::Validated {
+                    if let Ok(ks_protocol::CommitOutcome::Committed) = pm.commit(h) {
+                        progress = true;
+                    }
+                }
+            }
+        }
+        let committed = handles
+            .iter()
+            .filter(|&&h| pm.state_of(h).unwrap() == TxnState::Committed)
+            .count();
+        let s = pm.stats();
+        println!(
+            "{order_pct:>9}  {:>11}  {:>6}  {:>8}  {:>10}  {:>13}  {committed:>9}",
+            s.validations, s.writes, s.re_evals, s.re_assigns, s.reeval_aborts
+        );
+    }
+    println!("\nexpected shape: re-assigns and re-eval aborts grow with ordering density;");
+    println!("at 0% ordering, multiversion independence makes re-eval a no-op.");
+
+    // ── Part 2: the pessimistic alternative, head to head ───────────────
+    // Same chained session under both validation disciplines: count how
+    // often the pessimistic variant would have waited where the optimistic
+    // one proceeded and later paid (or didn't pay) re-eval costs.
+    println!("\noptimistic vs pessimistic validation (chain of 12, writers everywhere)");
+    println!("discipline    validated_immediately  waits  re_evals  re_assigns");
+    for pessimistic in [false, true] {
+        let mut rng = SplitMix64::new(4242);
+        let n_entities = 4usize;
+        let schema = Schema::uniform(
+            (0..n_entities).map(|i| format!("d{i}")),
+            Domain::Range { min: 0, max: 99 },
+        );
+        let initial = UniqueState::from_values_unchecked(vec![0; n_entities]);
+        let mut pm = ProtocolManager::new(schema.clone(), &initial, Specification::trivial());
+        let root = pm.root();
+        let mut waits = 0u64;
+        let mut immediate = 0u64;
+        let mut handles: Vec<ks_protocol::Txn> = Vec::new();
+        for i in 0..12 {
+            let e = EntityId((i % n_entities) as u32);
+            let input = Cnf::new(
+                (0..n_entities as u32)
+                    .map(|k| Clause::unit(Atom::cmp_const(EntityId(k), CmpOp::Ge, 0)))
+                    .collect(),
+            );
+            // declare an output on one entity so pessimism has teeth
+            let output = Cnf::new(vec![Clause::unit(Atom::cmp_const(e, CmpOp::Ge, 0))]);
+            let after: Vec<_> = handles.last().copied().into_iter().collect();
+            let h = pm
+                .define(root, Specification::new(input, output), &after, &[])
+                .unwrap();
+            // try to validate now
+            let outcome = if pessimistic {
+                pm.validate_pessimistic(h, Strategy::GreedyLatest).unwrap()
+            } else {
+                pm.validate(h, Strategy::GreedyLatest).unwrap()
+            };
+            match outcome {
+                ks_protocol::ValidationOutcome::Validated => immediate += 1,
+                ks_protocol::ValidationOutcome::MustWait(_) => waits += 1,
+                _ => {}
+            }
+            // the previous transaction does its write + commits, releasing
+            // any pessimistic wait
+            if let Some(&prev) = handles.last() {
+                if pm.state_of(prev).unwrap() == TxnState::Validated {
+                    let _ = pm.write(prev, e, rng.below(100) as i64);
+                    let _ = pm.commit(prev);
+                }
+            }
+            // a waiting transaction retries after the predecessor finished
+            if pm.state_of(h).unwrap() == TxnState::Defined {
+                let _ = if pessimistic {
+                    pm.validate_pessimistic(h, Strategy::GreedyLatest).unwrap()
+                } else {
+                    pm.validate(h, Strategy::GreedyLatest).unwrap()
+                };
+            }
+            handles.push(h);
+        }
+        let s = pm.stats();
+        println!(
+            "{:<13} {:>21}  {:>5}  {:>8}  {:>10}",
+            if pessimistic { "pessimistic" } else { "optimistic" },
+            immediate,
+            waits,
+            s.re_evals,
+            s.re_assigns
+        );
+    }
+    println!("\nthe optimistic discipline never waits and repairs with re-assigns;");
+    println!("the pessimistic one avoids repairs by waiting — the paper chooses optimism");
+    println!("because for long transactions the waits dominate.");
+}

@@ -1,0 +1,203 @@
+//! Fluent construction of nested transaction trees.
+//!
+//! Hand-assembling `Transaction::nested(...)` calls gets noisy for deep
+//! trees; [`TreeBuilder`] provides the ergonomic path used by examples and
+//! tests:
+//!
+//! ```
+//! use ks_core::builder::TreeBuilder;
+//! use ks_core::{Expr, Specification};
+//! use ks_kernel::{Domain, EntityId, Schema};
+//! use ks_predicate::parse_cnf;
+//!
+//! let schema = Schema::uniform(["x", "y"], Domain::Range { min: 0, max: 99 });
+//! let spec = |i: &str, o: &str| Specification::new(
+//!     parse_cnf(&schema, i).unwrap(), parse_cnf(&schema, o).unwrap());
+//!
+//! let tree = TreeBuilder::root(Specification::classical(
+//!         &parse_cnf(&schema, "x = y").unwrap()))
+//!     .leaf(spec("x = y", "x > y"), |l| {
+//!         l.write(EntityId(0), Expr::plus_const(EntityId(0), 1))
+//!     })
+//!     .leaf(spec("x > y", "x = y"), |l| {
+//!         l.write(EntityId(1), Expr::plus_const(EntityId(1), 1))
+//!     })
+//!     .order(0, 1)
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(tree.children().len(), 2);
+//! assert_eq!(tree.children()[1].name.to_string(), "t.1");
+//! ```
+
+use crate::{Body, Expr, ModelError, Specification, Step, Transaction, TxnName};
+use ks_kernel::EntityId;
+
+/// Builder for one leaf's step list.
+#[derive(Debug, Default)]
+pub struct LeafBuilder {
+    steps: Vec<Step>,
+}
+
+impl LeafBuilder {
+    /// Append a read step.
+    pub fn read(mut self, e: EntityId) -> Self {
+        self.steps.push(Step::Read(e));
+        self
+    }
+
+    /// Append a write step.
+    pub fn write(mut self, e: EntityId, expr: Expr) -> Self {
+        self.steps.push(Step::Write(e, expr));
+        self
+    }
+}
+
+/// Builder for a nested transaction (the root of a subtree).
+#[derive(Debug)]
+pub struct TreeBuilder {
+    spec: Specification,
+    children: Vec<Transaction>,
+    order: Vec<(usize, usize)>,
+}
+
+impl TreeBuilder {
+    /// Start a tree with the given root specification.
+    pub fn root(spec: Specification) -> TreeBuilder {
+        TreeBuilder {
+            spec,
+            children: Vec::new(),
+            order: Vec::new(),
+        }
+    }
+
+    /// Add a leaf child; `f` assembles its steps.
+    pub fn leaf(mut self, spec: Specification, f: impl FnOnce(LeafBuilder) -> LeafBuilder) -> Self {
+        let steps = f(LeafBuilder::default()).steps;
+        self.children
+            .push(Transaction::leaf(TxnName::root(), spec, steps));
+        self
+    }
+
+    /// Add a nested child built by another [`TreeBuilder`].
+    pub fn nested(mut self, child: TreeBuilder) -> Result<Self, ModelError> {
+        let t = child.build()?;
+        self.children.push(t);
+        Ok(self)
+    }
+
+    /// Order child `before` ahead of child `after` (by insertion index).
+    pub fn order(mut self, before: usize, after: usize) -> Self {
+        self.order.push((before, after));
+        self
+    }
+
+    /// Chain every child after its predecessor (a total order).
+    pub fn chain(mut self) -> Self {
+        for i in 1..self.children.len() {
+            self.order.push((i - 1, i));
+        }
+        self
+    }
+
+    /// Finish: validates indices and acyclicity, names the tree.
+    pub fn build(self) -> Result<Transaction, ModelError> {
+        Transaction::nested(TxnName::root(), self.spec, self.children, self.order)
+    }
+}
+
+/// Convenience: how many leaves a built tree has.
+pub fn leaf_count(t: &Transaction) -> usize {
+    match &t.body {
+        Body::Leaf(_) => 1,
+        Body::Nested(n) => n.children.iter().map(leaf_count).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ks_kernel::{Domain, Schema, UniqueState};
+    use ks_predicate::{parse_cnf, Strategy};
+
+    fn schema() -> Schema {
+        Schema::uniform(["x", "y"], Domain::Range { min: 0, max: 99 })
+    }
+
+    #[test]
+    fn builds_figure1_like_shapes() {
+        let t = TreeBuilder::root(Specification::trivial())
+            .nested(
+                TreeBuilder::root(Specification::trivial())
+                    .leaf(Specification::trivial(), |l| l.read(EntityId(0)))
+                    .leaf(Specification::trivial(), |l| l.read(EntityId(0)))
+                    .chain(),
+            )
+            .unwrap()
+            .leaf(Specification::trivial(), |l| l.read(EntityId(1)))
+            .build()
+            .unwrap();
+        assert_eq!(t.num_nodes(), 5);
+        assert_eq!(leaf_count(&t), 3);
+        assert_eq!(t.children()[0].children()[1].name.to_string(), "t.0.1");
+    }
+
+    #[test]
+    fn chain_creates_total_order() {
+        let t = TreeBuilder::root(Specification::trivial())
+            .leaf(Specification::trivial(), |l| l)
+            .leaf(Specification::trivial(), |l| l)
+            .leaf(Specification::trivial(), |l| l)
+            .chain()
+            .build()
+            .unwrap();
+        let g = t.partial_order_graph().unwrap().transitive_closure();
+        assert!(g.has_edge(0, 2));
+        assert!(!g.has_edge(2, 0));
+    }
+
+    #[test]
+    fn cyclic_order_rejected_at_build() {
+        let err = TreeBuilder::root(Specification::trivial())
+            .leaf(Specification::trivial(), |l| l)
+            .leaf(Specification::trivial(), |l| l)
+            .order(0, 1)
+            .order(1, 0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ModelError::CyclicPartialOrder);
+    }
+
+    #[test]
+    fn built_tree_runs_through_the_search() {
+        let schema = schema();
+        let x = EntityId(0);
+        let y = EntityId(1);
+        let tree = TreeBuilder::root(Specification::classical(
+            &parse_cnf(&schema, "x = y").unwrap(),
+        ))
+        .leaf(
+            Specification::new(
+                parse_cnf(&schema, "x = y").unwrap(),
+                parse_cnf(&schema, "x > y").unwrap(),
+            ),
+            |l| l.write(x, Expr::plus_const(x, 1)),
+        )
+        .leaf(
+            Specification::new(
+                parse_cnf(&schema, "x > y").unwrap(),
+                parse_cnf(&schema, "x = y").unwrap(),
+            ),
+            |l| l.write(y, Expr::plus_const(y, 1)),
+        )
+        .order(0, 1)
+        .build()
+        .unwrap();
+        let parent = ks_kernel::DatabaseState::singleton(
+            UniqueState::new(&schema, vec![3, 3]).unwrap(),
+        );
+        let found =
+            crate::search::find_correct_execution(&schema, &tree, &parent, Strategy::Backtracking)
+                .unwrap();
+        assert!(found.is_some());
+    }
+}

@@ -1,0 +1,284 @@
+//! Section 4.1: the classical flat-schedule model embedded into the
+//! Korth–Speegle model, and the Lemma 2 construction — every view
+//! serializable schedule induces a correct execution.
+//!
+//! The standard model is the root `(T, P, I, O)` with `T` the flat
+//! transactions (plus pseudo-transactions `t_0`, `t_f`), `P` empty, and
+//! both `I` and `O` the database consistency constraint `C`. Each flat
+//! transaction becomes a leaf transaction whose steps are its schedule
+//! steps; write steps need concrete value expressions, supplied by a
+//! [`WriteRules`] table.
+
+use crate::{Execution, Expr, ModelError, Specification, Step, Transaction, TxnName};
+use ks_kernel::{DatabaseState, EntityId, Schema, UniqueState};
+use ks_predicate::Cnf;
+use ks_schedule::{Action, ReadSource, Schedule, TxnId};
+use std::collections::BTreeMap;
+
+/// Value expressions for every write step of a schedule, keyed by
+/// `(transaction, k)` where `k` counts the transaction's writes in program
+/// order. Missing entries default to the identity write (rewrite the
+/// entity's current value).
+#[derive(Debug, Clone, Default)]
+pub struct WriteRules {
+    rules: BTreeMap<(TxnId, usize), Expr>,
+}
+
+impl WriteRules {
+    /// No rules: every write is an identity write.
+    pub fn identity() -> WriteRules {
+        WriteRules::default()
+    }
+
+    /// Set the expression of transaction `txn`'s `k`-th write.
+    pub fn set(&mut self, txn: TxnId, k: usize, expr: Expr) -> &mut Self {
+        self.rules.insert((txn, k), expr);
+        self
+    }
+
+    fn get(&self, txn: TxnId, k: usize, entity: EntityId) -> Expr {
+        self.rules
+            .get(&(txn, k))
+            .cloned()
+            .unwrap_or(Expr::Entity(entity))
+    }
+}
+
+/// Build the standard-model transaction for a schedule: a root with one
+/// leaf child per flat transaction, empty partial order, and `I = O = C`.
+pub fn standard_model(
+    schedule: &Schedule,
+    constraint: &Cnf,
+    rules: &WriteRules,
+) -> Result<Transaction, ModelError> {
+    let mut children = Vec::with_capacity(schedule.num_txns());
+    for t in schedule.txns() {
+        let mut steps = Vec::new();
+        let mut k = 0;
+        for op in schedule.txn_ops(t) {
+            match op.action {
+                Action::Read => steps.push(Step::Read(op.entity)),
+                Action::Write => {
+                    steps.push(Step::Write(op.entity, rules.get(t, k, op.entity)));
+                    k += 1;
+                }
+            }
+        }
+        children.push(Transaction::leaf(
+            TxnName::root(),
+            Specification::classical(constraint),
+            steps,
+        ));
+    }
+    Transaction::nested(
+        TxnName::root(),
+        Specification::classical(constraint),
+        children,
+        vec![],
+    )
+}
+
+/// Operationally run a schedule single-version from `initial`, recording
+/// for each transaction the version state it observed, the txn-level
+/// reads-from relation, and the final database state.
+///
+/// A transaction's observed state assigns each entity the value the
+/// transaction saw at its *first* access of the entity (initial value for
+/// entities it never touches); this makes the leaf's functional semantics
+/// reproduce its operational writes for the read-before-write programs of
+/// the standard model.
+pub fn execution_from_schedule(
+    schema: &Schema,
+    schedule: &Schedule,
+    rules: &WriteRules,
+    initial: &UniqueState,
+) -> Result<Execution, ModelError> {
+    let n = schedule.num_txns();
+    let mut current = initial.clone();
+    let mut observed: Vec<Vec<Option<i64>>> = vec![vec![None; schema.len()]; n];
+    let mut write_counts = vec![0usize; n];
+    let mut reads_from: Vec<(usize, usize)> = Vec::new();
+
+    let rf = schedule.reads_from();
+    for (idx, op) in schedule.ops().iter().enumerate() {
+        let ti = op.txn.index();
+        match op.action {
+            Action::Read => {
+                let v = current.get(op.entity);
+                observed[ti][op.entity.index()].get_or_insert(v);
+                if let Some(ReadSource::FromOp(w)) = rf.get(&idx) {
+                    let source = schedule.ops()[*w].txn.index();
+                    if source != ti && !reads_from.contains(&(source, ti)) {
+                        reads_from.push((source, ti));
+                    }
+                }
+            }
+            Action::Write => {
+                // The write expression is evaluated over the transaction's
+                // observed state updated by its own earlier writes — build
+                // that view on the fly.
+                let mut view_values: Vec<i64> = (0..schema.len())
+                    .map(|i| observed[ti][i].unwrap_or_else(|| initial.get(EntityId(i as u32))))
+                    .collect();
+                // replay own earlier writes over the view
+                let mut kk = 0;
+                for prior in schedule.ops()[..idx].iter() {
+                    if prior.txn == op.txn && prior.action == Action::Write {
+                        let expr = rules.get(op.txn, kk, prior.entity);
+                        view_values[prior.entity.index()] = expr.eval(&view_values);
+                        kk += 1;
+                    }
+                }
+                let expr = rules.get(op.txn, write_counts[ti], op.entity);
+                let value = expr.eval(&view_values);
+                write_counts[ti] += 1;
+                current = current.with_update(schema, op.entity, value)?;
+            }
+        }
+    }
+
+    let inputs = observed
+        .into_iter()
+        .map(|vals| {
+            UniqueState::from_values_unchecked(
+                vals.iter()
+                    .enumerate()
+                    .map(|(i, v)| v.unwrap_or_else(|| initial.get(EntityId(i as u32))))
+                    .collect(),
+            )
+        })
+        .collect();
+
+    Ok(Execution {
+        reads_from,
+        inputs,
+        final_input: current,
+    })
+}
+
+/// The Lemma 2 pipeline: embed a schedule and its operational execution,
+/// then report whether the execution is correct against the constraint.
+pub fn lemma2_execution(
+    schema: &Schema,
+    schedule: &Schedule,
+    constraint: &Cnf,
+    rules: &WriteRules,
+    initial: &UniqueState,
+) -> Result<(Transaction, DatabaseState, Execution), ModelError> {
+    let txn = standard_model(schedule, constraint, rules)?;
+    let exec = execution_from_schedule(schema, schedule, rules, initial)?;
+    let parent = DatabaseState::singleton(initial.clone());
+    Ok((txn, parent, exec))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check;
+    use ks_kernel::Domain;
+    use ks_predicate::parse_cnf;
+    use ks_schedule::vsr::is_vsr;
+
+    /// Constraint x = y; both transactions read both entities and increment
+    /// both — each preserves C.
+    fn setup() -> (Schema, Cnf, WriteRules) {
+        let schema = Schema::uniform(["x", "y"], Domain::Range { min: 0, max: 999 });
+        let c = parse_cnf(&schema, "x = y").unwrap();
+        let mut rules = WriteRules::identity();
+        let x = EntityId(0);
+        let y = EntityId(1);
+        for t in [TxnId(0), TxnId(1)] {
+            rules.set(t, 0, Expr::plus_const(x, 1));
+            rules.set(t, 1, Expr::plus_const(y, 1));
+        }
+        (schema, c, rules)
+    }
+
+    fn consistency_preserving_schedule(text: &str) -> Schedule {
+        Schedule::parse(text).unwrap()
+    }
+
+    #[test]
+    fn serial_schedule_execution_is_correct() {
+        let (schema, c, rules) = setup();
+        // t1 then t2, each R(x) W(x) R(y) W(y) with increments.
+        let s = consistency_preserving_schedule(
+            "R1(x) W1(x) R1(y) W1(y) R2(x) W2(x) R2(y) W2(y)",
+        );
+        assert!(is_vsr(&s));
+        let initial = UniqueState::new(&schema, vec![0, 0]).unwrap();
+        let (txn, parent, exec) = lemma2_execution(&schema, &s, &c, &rules, &initial).unwrap();
+        let report = check::check(&schema, &txn, &parent, &exec);
+        assert!(report.is_correct_parent_based(), "{report:?}");
+        // Final state: both incremented twice.
+        assert_eq!(exec.final_input.get(EntityId(0)), 2);
+        assert_eq!(exec.final_input.get(EntityId(1)), 2);
+    }
+
+    #[test]
+    fn view_serializable_interleaving_is_correct() {
+        let (schema, c, rules) = setup();
+        // Non-serial but view serializable: t2 starts after t1 finished x
+        // AND y — interleave harmlessly on distinct entities.
+        let s = consistency_preserving_schedule(
+            "R1(x) W1(x) R1(y) W1(y) R2(x) R2(y) W2(x) W2(y)",
+        );
+        // t2 writes x then y per its program; rules index writes in program
+        // order: W2(x) is write 0 (x), W2(y) write 1 (y) — same as setup.
+        assert!(is_vsr(&s));
+        let initial = UniqueState::new(&schema, vec![3, 3]).unwrap();
+        let (txn, parent, exec) = lemma2_execution(&schema, &s, &c, &rules, &initial).unwrap();
+        let report = check::check(&schema, &txn, &parent, &exec);
+        assert!(report.is_correct_parent_based(), "{report:?}");
+        assert_eq!(exec.final_input.get(EntityId(0)), 5);
+    }
+
+    #[test]
+    fn non_serializable_schedule_violates_an_input_predicate() {
+        let (schema, c, rules) = setup();
+        // The lost-update interleaving: t2 reads x = 0 and y after t1's
+        // write — t2's observed state mixes inconsistent values.
+        let s = consistency_preserving_schedule(
+            "R1(x) R2(x) W1(x) R1(y) W1(y) R2(y) W2(x) W2(y)",
+        );
+        assert!(!is_vsr(&s));
+        let initial = UniqueState::new(&schema, vec![0, 0]).unwrap();
+        let (txn, parent, exec) = lemma2_execution(&schema, &s, &c, &rules, &initial).unwrap();
+        let report = check::check(&schema, &txn, &parent, &exec);
+        // t2 observed x = 0 (pre-t1) but y = 1 (post-t1): I_{t2} = (x = y)
+        // fails — exactly the anomaly the model makes visible.
+        assert_eq!(report.inputs_ok, vec![true, false]);
+        assert!(!report.is_correct());
+    }
+
+    #[test]
+    fn identity_rules_default() {
+        let schema = Schema::uniform(["x"], Domain::Boolean);
+        let s = Schedule::parse("R1(x) W1(x)").unwrap();
+        let rules = WriteRules::identity();
+        let initial = UniqueState::new(&schema, vec![1]).unwrap();
+        let exec = execution_from_schedule(&schema, &s, &rules, &initial).unwrap();
+        assert_eq!(exec.final_input.get(EntityId(0)), 1); // identity rewrite
+    }
+
+    #[test]
+    fn reads_from_relation_tracks_sources() {
+        let (schema, _, rules) = setup();
+        let s = Schedule::parse("R1(x) W1(x) R1(y) W1(y) R2(x) R2(y) W2(x) W2(y)").unwrap();
+        let initial = UniqueState::new(&schema, vec![0, 0]).unwrap();
+        let exec = execution_from_schedule(&schema, &s, &rules, &initial).unwrap();
+        assert_eq!(exec.reads_from, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn standard_model_shape() {
+        let (schema, c, rules) = setup();
+        let _ = schema;
+        let s = Schedule::parse("R1(x) W1(x) R2(x) W2(x)").unwrap();
+        let txn = standard_model(&s, &c, &rules).unwrap();
+        assert_eq!(txn.children().len(), 2);
+        assert!(txn.children().iter().all(|c| c.is_leaf()));
+        assert_eq!(txn.partial_order_graph().unwrap().num_edges(), 0);
+        assert_eq!(txn.children()[0].name.to_string(), "t.0");
+    }
+}

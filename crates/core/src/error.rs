@@ -1,0 +1,59 @@
+//! Error type for model construction and evaluation.
+
+use ks_kernel::KernelError;
+use std::fmt;
+
+/// Errors raised while building or running model transactions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A kernel-level state error (domain violation, arity mismatch, …).
+    Kernel(KernelError),
+    /// The partial order over subtransactions contains a cycle.
+    CyclicPartialOrder,
+    /// A partial-order pair referenced a child index out of range.
+    OrderIndexOutOfRange(usize),
+    /// An execution's shape does not match the transaction (wrong number of
+    /// child input states, bad relation indices, …).
+    ExecutionShapeMismatch(String),
+    /// "A transaction can contain either database access statements, or it
+    /// can create subtransactions, however, it cannot do both."
+    MixedBody,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Kernel(e) => write!(f, "kernel error: {e}"),
+            ModelError::CyclicPartialOrder => write!(f, "partial order contains a cycle"),
+            ModelError::OrderIndexOutOfRange(i) => {
+                write!(f, "partial-order pair references child {i} out of range")
+            }
+            ModelError::ExecutionShapeMismatch(s) => write!(f, "execution shape mismatch: {s}"),
+            ModelError::MixedBody => write!(
+                f,
+                "a transaction contains either database accesses or subtransactions, not both"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl From<KernelError> for ModelError {
+    fn from(e: KernelError) -> Self {
+        ModelError::Kernel(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_from() {
+        let e: ModelError = KernelError::EmptyDatabaseState.into();
+        assert!(e.to_string().contains("kernel"));
+        assert!(ModelError::CyclicPartialOrder.to_string().contains("cycle"));
+        assert!(ModelError::MixedBody.to_string().contains("not both"));
+    }
+}

@@ -1,0 +1,52 @@
+//! # ks-core
+//!
+//! The Korth–Speegle formal model (Section 3 of the paper): the primary
+//! contribution this workspace reproduces.
+//!
+//! A transaction is a four-tuple `(T, P, I_t, O_t)`:
+//!
+//! * a **specification** `(I_t, O_t)` — CNF pre/postconditions
+//!   ([`Specification`]);
+//! * an **implementation** `(T, P)` — a set of subtransactions with a
+//!   partial order, forming a tree whose leaves are primitive read/write
+//!   steps ([`Transaction`], [`Body`]).
+//!
+//! An **execution** of a transaction is a pair `(R, X)`: a reads-from
+//! relation on the children (consistent with `P`) and an input version
+//! state per child ([`Execution`]). Executions may be **parent-based**
+//! (every input value comes from the parent's input or from an
+//! `R`-predecessor's output — [`check::is_parent_based`]) and **correct**
+//! (every child's input predicate holds and the parent's output predicate
+//! holds on the final state — [`check::is_correct`]).
+//!
+//! Recognition of correct executions is NP-complete (Lemma 1 / Theorem 1);
+//! [`np`] carries the executable reduction from SAT, and [`search`] the
+//! solver-backed search for correct executions that the Section 5 protocol
+//! later performs online. [`embed`] realises Section 4.1: the classical
+//! flat-schedule model is a restriction of this one, and every view
+//! serializable schedule induces a correct execution (Lemma 2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod check;
+pub mod embed;
+pub mod error;
+pub mod execution;
+pub mod expr;
+pub mod multilevel;
+pub mod naming;
+pub mod np;
+pub mod search;
+pub mod spec;
+pub mod tree;
+
+pub use builder::TreeBuilder;
+pub use error::ModelError;
+pub use execution::Execution;
+pub use multilevel::{check_tree, TreeExecution, TreeReport};
+pub use expr::Expr;
+pub use naming::TxnName;
+pub use spec::Specification;
+pub use tree::{Body, Nested, Step, Transaction};

@@ -1,0 +1,108 @@
+//! Theorem 1 executed: the NP-completeness reduction from SAT to the
+//! execution-correctness problem.
+//!
+//! The proof sets `T = {t_1}` with `I_{t_1} = C` and `O_t = true` over the
+//! two-unique-state database of Lemma 1. Deciding whether a correct
+//! `(R, X)` exists then coincides with deciding satisfiability of `C`.
+//! [`theorem1_instance`] builds the transaction-level instance and
+//! [`decide`] runs the search of [`crate::search`] on it — giving an
+//! executable, test-validated form of the reduction, and the workload for
+//! the `exp_np_scaling` experiment.
+
+use crate::{Specification, Transaction, TxnName};
+use ks_kernel::{DatabaseState, Schema};
+use ks_predicate::sat::{reduce_to_version_problem, SatInstance};
+use ks_predicate::{Cnf, Strategy};
+
+/// A Theorem 1 instance: root transaction with a single child `t_1`, the
+/// schema, and the parent database state `S = {all-0, all-1}`.
+#[derive(Debug, Clone)]
+pub struct Theorem1Instance {
+    /// Boolean schema, one entity per propositional variable.
+    pub schema: Schema,
+    /// Root transaction; `children()[0]` is `t_1` with `I_{t_1} = C`.
+    pub root: Transaction,
+    /// The two-state database.
+    pub parent: DatabaseState,
+}
+
+/// Build the Theorem 1 reduction for a SAT instance.
+pub fn theorem1_instance(inst: &SatInstance) -> Theorem1Instance {
+    let vp = reduce_to_version_problem(inst);
+    let t1 = Transaction::leaf(
+        TxnName::root(),
+        Specification::new(vp.input_predicate, Cnf::truth()),
+        vec![], // t_1 performs no writes; only its version assignment matters
+    );
+    let root = Transaction::nested(
+        TxnName::root(),
+        Specification::new(Cnf::truth(), Cnf::truth()),
+        vec![t1],
+        vec![],
+    )
+    .expect("single child, empty order");
+    Theorem1Instance {
+        schema: vp.schema,
+        root,
+        parent: vp.state,
+    }
+}
+
+/// Decide the instance: does a correct execution exist? Returns the
+/// satisfying truth assignment extracted from `X(t_1)` when it does.
+pub fn decide(inst: &Theorem1Instance, strategy: Strategy) -> Option<Vec<bool>> {
+    let found = crate::search::find_correct_execution(&inst.schema, &inst.root, &inst.parent, strategy)
+        .expect("no evaluation errors on boolean schema");
+    found.map(|(exec, _)| {
+        inst.schema
+            .entity_ids()
+            .map(|e| exec.inputs[0].get(e) == 1)
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ks_predicate::random::{random_ksat, SplitMix64};
+
+    #[test]
+    fn satisfiable_formula_yields_correct_execution() {
+        let inst = SatInstance::new(3, vec![vec![1, 2], vec![-1, 3], vec![-2, -3]]);
+        let t1i = theorem1_instance(&inst);
+        let assignment = decide(&t1i, Strategy::Backtracking).expect("satisfiable");
+        assert!(inst.eval(&assignment));
+    }
+
+    #[test]
+    fn unsatisfiable_formula_yields_none() {
+        let inst = SatInstance::new(2, vec![vec![1], vec![-1]]);
+        let t1i = theorem1_instance(&inst);
+        assert!(decide(&t1i, Strategy::Backtracking).is_none());
+        assert!(decide(&t1i, Strategy::Exhaustive).is_none());
+    }
+
+    #[test]
+    fn reduction_agrees_with_truth_tables() {
+        let mut rng = SplitMix64::new(0xDECAF);
+        for _ in 0..25 {
+            let n = 3 + (rng.below(4) as usize);
+            let m = 3 + rng.index(8);
+            let inst = random_ksat(&mut rng, n, m, 3);
+            let brute = inst.brute_force_sat().is_some();
+            let via_model = decide(&theorem1_instance(&inst), Strategy::Backtracking).is_some();
+            assert_eq!(brute, via_model, "{inst:?}");
+        }
+    }
+
+    #[test]
+    fn instance_shape() {
+        let inst = SatInstance::new(4, vec![vec![1, -2, 3]]);
+        let t1i = theorem1_instance(&inst);
+        assert_eq!(t1i.schema.len(), 4);
+        assert_eq!(t1i.parent.len(), 2);
+        assert_eq!(t1i.root.children().len(), 1);
+        assert!(t1i.root.children()[0].is_leaf());
+        assert!(t1i.root.spec.output.is_truth());
+    }
+}

@@ -1,0 +1,405 @@
+//! Searching for a correct execution — the *dynamic* counterpart of the
+//! checkers, and the offline analogue of the protocol's validation phase.
+//!
+//! The full recognition problem is NP-complete (Theorem 1). This search is:
+//!
+//! * **complete over order-based executions**: it tries every linear
+//!   extension of `P` and, for each child in turn, asks the predicate
+//!   solver for a version assignment drawn from the parent's versions plus
+//!   the outputs of already-executed children;
+//! * **sound**: any execution returned passes `check::is_correct` and
+//!   `check::is_parent_based` (asserted in tests).
+//!
+//! Executions whose `R` contains mutual reads between `P`-unordered
+//! children (legal in the model, never produced by an ordered run) are
+//! outside its search space; the protocol never generates those either.
+
+use crate::{Execution, ModelError, Transaction};
+use ks_kernel::{DatabaseState, Schema, UniqueState, Value};
+use ks_predicate::{solve, SolveOutcome, SolveStats, Strategy};
+use ks_schedule::perm::linear_extensions;
+
+/// Statistics from a search.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Child orders (linear extensions of `P`) attempted.
+    pub orders_tried: u64,
+    /// Aggregated solver statistics.
+    pub solver: SolveStats,
+}
+
+/// Find a correct, parent-based execution of `txn` against the parent state
+/// `parent`, or `None`.
+pub fn find_correct_execution(
+    schema: &Schema,
+    txn: &Transaction,
+    parent: &DatabaseState,
+    strategy: Strategy,
+) -> Result<Option<(Execution, SearchStats)>, ModelError> {
+    let children = txn.children();
+    let n = children.len();
+    let order_pairs: Vec<(usize, usize)> = match &txn.body {
+        crate::Body::Nested(nested) => nested.order.clone(),
+        crate::Body::Leaf(_) => Vec::new(),
+    };
+    let mut stats = SearchStats::default();
+
+    // Base candidates per entity from the parent's versions.
+    let base: Vec<Vec<Value>> = schema
+        .entity_ids()
+        .map(|e| parent.values_of(e))
+        .collect();
+
+    for order in linear_extensions(n, &order_pairs) {
+        stats.orders_tried += 1;
+        if let Some(exec) = try_order(schema, txn, &base, &order, strategy, &mut stats)? {
+            return Ok(Some((exec, stats)));
+        }
+    }
+    Ok(None)
+}
+
+/// Count, over all linear extensions of `P`, how many admit a correct
+/// execution under the given strategy — a model-level richness measure
+/// (the schedule-level analogue is `ks_schedule::search::count_schedules`).
+/// Returns `(admitting, total_extensions)`.
+pub fn count_correct_orders(
+    schema: &Schema,
+    txn: &Transaction,
+    parent: &DatabaseState,
+    strategy: Strategy,
+) -> Result<(u64, u64), ModelError> {
+    let n = txn.children().len();
+    let order_pairs: Vec<(usize, usize)> = match &txn.body {
+        crate::Body::Nested(nested) => nested.order.clone(),
+        crate::Body::Leaf(_) => Vec::new(),
+    };
+    let base: Vec<Vec<Value>> = schema.entity_ids().map(|e| parent.values_of(e)).collect();
+    let mut stats = SearchStats::default();
+    let mut admitting = 0;
+    let mut total = 0;
+    for order in linear_extensions(n, &order_pairs) {
+        total += 1;
+        if try_order(schema, txn, &base, &order, strategy, &mut stats)?.is_some() {
+            admitting += 1;
+        }
+    }
+    Ok((admitting, total))
+}
+
+fn try_order(
+    schema: &Schema,
+    txn: &Transaction,
+    base: &[Vec<Value>],
+    order: &[usize],
+    strategy: Strategy,
+    stats: &mut SearchStats,
+) -> Result<Option<Execution>, ModelError> {
+    let children = txn.children();
+    let mut inputs: Vec<Option<UniqueState>> = vec![None; children.len()];
+    let mut outputs: Vec<Option<UniqueState>> = vec![None; children.len()];
+    let mut reads_from: Vec<(usize, usize)> = Vec::new();
+    // executed[i] = children (by index) already run, in execution order.
+    let mut executed: Vec<usize> = Vec::new();
+
+    for &i in order {
+        // Candidate versions per entity: parent versions plus the outputs
+        // of already-executed children (chronological order — GreedyLatest
+        // then prefers the most recent version).
+        let mut candidates: Vec<Vec<Value>> = base.to_vec();
+        for &j in &executed {
+            let out = outputs[j].as_ref().expect("executed");
+            for e in schema.entity_ids() {
+                let v = out.get(e);
+                if !candidates[e.index()].contains(&v) {
+                    candidates[e.index()].push(v);
+                }
+            }
+        }
+        let (outcome, s) = solve(&children[i].spec.input, &candidates, strategy);
+        stats.solver.nodes += s.nodes;
+        stats.solver.clause_checks += s.clause_checks;
+        let values = match outcome {
+            SolveOutcome::Sat(v) => v,
+            SolveOutcome::Unsat => return Ok(None),
+        };
+        let input = UniqueState::from_values_unchecked(values);
+        // Derive R edges: for each entity whose value is not a parent
+        // version, attribute it to the latest prior child producing it.
+        for e in schema.entity_ids() {
+            let v = input.get(e);
+            if base[e.index()].contains(&v) {
+                continue;
+            }
+            if let Some(&j) = executed
+                .iter()
+                .rev()
+                .find(|&&j| outputs[j].as_ref().expect("executed").get(e) == v)
+            {
+                if !reads_from.contains(&(j, i)) {
+                    reads_from.push((j, i));
+                }
+            }
+        }
+        let output = children[i].apply(schema, &input)?;
+        inputs[i] = Some(input);
+        outputs[i] = Some(output);
+        executed.push(i);
+    }
+
+    // Final state: parent versions plus all outputs must satisfy O_t.
+    let mut candidates: Vec<Vec<Value>> = base.to_vec();
+    for &j in &executed {
+        let out = outputs[j].as_ref().expect("executed");
+        for e in schema.entity_ids() {
+            let v = out.get(e);
+            if !candidates[e.index()].contains(&v) {
+                candidates[e.index()].push(v);
+            }
+        }
+    }
+    let (outcome, s) = solve(&txn.spec.output, &candidates, strategy);
+    stats.solver.nodes += s.nodes;
+    stats.solver.clause_checks += s.clause_checks;
+    let final_values = match outcome {
+        SolveOutcome::Sat(v) => v,
+        SolveOutcome::Unsat => return Ok(None),
+    };
+    Ok(Some(Execution {
+        reads_from,
+        inputs: inputs.into_iter().map(|i| i.expect("all executed")).collect(),
+        final_input: UniqueState::from_values_unchecked(final_values),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ks_kernel::EntityId;
+    use crate::check;
+    use crate::{Expr, Specification, Step, TxnName};
+    use ks_kernel::Domain;
+    use ks_predicate::{parse_cnf, Cnf};
+
+    fn schema() -> Schema {
+        Schema::uniform(["x", "y"], Domain::Range { min: 0, max: 99 })
+    }
+
+    fn leaf(spec: Specification, steps: Vec<Step>) -> Transaction {
+        Transaction::leaf(TxnName::root(), spec, steps)
+    }
+
+    #[test]
+    fn finds_cooperation_execution() {
+        // Same scenario as check::tests::cooperation, discovered not given.
+        let schema = schema();
+        let x = EntityId(0);
+        let y = EntityId(1);
+        let c0 = leaf(
+            Specification::new(parse_cnf(&schema, "x = y").unwrap(), parse_cnf(&schema, "x > y").unwrap()),
+            vec![Step::Write(x, Expr::plus_const(x, 1))],
+        );
+        let c1 = leaf(
+            Specification::new(parse_cnf(&schema, "x > y").unwrap(), parse_cnf(&schema, "x = y").unwrap()),
+            vec![Step::Write(y, Expr::plus_const(y, 1))],
+        );
+        let root = Transaction::nested(
+            TxnName::root(),
+            Specification::classical(&parse_cnf(&schema, "x = y").unwrap()),
+            vec![c0, c1],
+            vec![],
+        )
+        .unwrap();
+        let parent = DatabaseState::singleton(UniqueState::new(&schema, vec![5, 5]).unwrap());
+        let (exec, stats) = find_correct_execution(&schema, &root, &parent, Strategy::Backtracking)
+            .unwrap()
+            .expect("correct execution exists");
+        assert!(stats.orders_tried >= 1);
+        let report = check::check(&schema, &root, &parent, &exec);
+        assert!(report.is_correct_parent_based(), "{report:?}");
+        // c1 must have read c0's x.
+        assert!(exec.reads_from.contains(&(0, 1)));
+    }
+
+    #[test]
+    fn returns_none_when_output_unreachable() {
+        let schema = schema();
+        let x = EntityId(0);
+        let c0 = leaf(
+            Specification::new(Cnf::truth(), Cnf::truth()),
+            vec![Step::Write(x, Expr::Const(1))],
+        );
+        let root = Transaction::nested(
+            TxnName::root(),
+            Specification::new(Cnf::truth(), parse_cnf(&schema, "x = 77").unwrap()),
+            vec![c0],
+            vec![],
+        )
+        .unwrap();
+        let parent = DatabaseState::singleton(UniqueState::new(&schema, vec![0, 0]).unwrap());
+        let found = find_correct_execution(&schema, &root, &parent, Strategy::Backtracking).unwrap();
+        assert!(found.is_none());
+    }
+
+    #[test]
+    fn partial_order_restricts_orders_tried() {
+        let schema = schema();
+        let x = EntityId(0);
+        let mk = || {
+            leaf(
+                Specification::trivial(),
+                vec![Step::Write(x, Expr::plus_const(x, 1))],
+            )
+        };
+        let root_free = Transaction::nested(
+            TxnName::root(),
+            Specification::trivial(),
+            vec![mk(), mk(), mk()],
+            vec![],
+        )
+        .unwrap();
+        let root_chain = Transaction::nested(
+            TxnName::root(),
+            Specification::trivial(),
+            vec![mk(), mk(), mk()],
+            vec![(0, 1), (1, 2)],
+        )
+        .unwrap();
+        let parent = DatabaseState::singleton(UniqueState::new(&schema, vec![0, 0]).unwrap());
+        let (_, s_free) = find_correct_execution(&schema, &root_free, &parent, Strategy::Backtracking)
+            .unwrap()
+            .unwrap();
+        let (_, s_chain) =
+            find_correct_execution(&schema, &root_chain, &parent, Strategy::Backtracking)
+                .unwrap()
+                .unwrap();
+        // Both succeed on the first order tried.
+        assert_eq!(s_free.orders_tried, 1);
+        assert_eq!(s_chain.orders_tried, 1);
+    }
+
+    #[test]
+    fn order_matters_search_backtracks_over_orders() {
+        // c_inc requires x = 0 and sets x = 1; c_need1 requires x = 1.
+        // Only the order (c_inc, c_need1) works; put c_need1 first in the
+        // child list so the search must try a second extension.
+        let schema = schema();
+        let x = EntityId(0);
+        let c_need1 = leaf(
+            Specification::new(parse_cnf(&schema, "x = 1").unwrap(), Cnf::truth()),
+            vec![Step::Read(x)],
+        );
+        let c_inc = leaf(
+            Specification::new(parse_cnf(&schema, "x = 0").unwrap(), Cnf::truth()),
+            vec![Step::Write(x, Expr::Const(1))],
+        );
+        let root = Transaction::nested(
+            TxnName::root(),
+            Specification::trivial(),
+            vec![c_need1, c_inc],
+            vec![],
+        )
+        .unwrap();
+        let parent = DatabaseState::singleton(UniqueState::new(&schema, vec![0, 0]).unwrap());
+        let (exec, stats) = find_correct_execution(&schema, &root, &parent, Strategy::Backtracking)
+            .unwrap()
+            .expect("order (c_inc, c_need1) works");
+        assert!(stats.orders_tried >= 2);
+        let report = check::check(&schema, &root, &parent, &exec);
+        assert!(report.is_correct_parent_based());
+        assert!(exec.reads_from.contains(&(1, 0))); // c_need1 reads c_inc's x
+    }
+
+    #[test]
+    fn count_correct_orders_measures_richness() {
+        let schema = schema();
+        let x = EntityId(0);
+        // c_inc requires x = 0 then writes 1; c_need1 requires x = 1:
+        // only one of the two orders admits a correct execution.
+        let c_need1 = leaf(
+            Specification::new(parse_cnf(&schema, "x = 1").unwrap(), Cnf::truth()),
+            vec![Step::Read(x)],
+        );
+        let c_inc = leaf(
+            Specification::new(parse_cnf(&schema, "x = 0").unwrap(), Cnf::truth()),
+            vec![Step::Write(x, Expr::Const(1))],
+        );
+        let root = Transaction::nested(
+            TxnName::root(),
+            Specification::trivial(),
+            vec![c_need1, c_inc],
+            vec![],
+        )
+        .unwrap();
+        let parent = DatabaseState::singleton(UniqueState::new(&schema, vec![0, 0]).unwrap());
+        let (ok, total) =
+            count_correct_orders(&schema, &root, &parent, Strategy::Backtracking).unwrap();
+        assert_eq!((ok, total), (1, 2));
+        // With trivial specs every order works.
+        let free = Transaction::nested(
+            TxnName::root(),
+            Specification::trivial(),
+            vec![
+                leaf(Specification::trivial(), vec![]),
+                leaf(Specification::trivial(), vec![]),
+                leaf(Specification::trivial(), vec![]),
+            ],
+            vec![],
+        )
+        .unwrap();
+        let (ok, total) =
+            count_correct_orders(&schema, &free, &parent, Strategy::Backtracking).unwrap();
+        assert_eq!((ok, total), (6, 6));
+    }
+
+    #[test]
+    fn multi_version_parent_enables_satisfaction() {
+        // Lemma 1 flavour: I requires x = 1 ∧ y = 0; parent has (0,0) and
+        // (1,1) — only a mixed version state satisfies it.
+        let schema = Schema::uniform(["x", "y"], Domain::Boolean);
+        let c = leaf(
+            Specification::new(parse_cnf(&schema, "x = 1 & y = 0").unwrap(), Cnf::truth()),
+            vec![],
+        );
+        let root =
+            Transaction::nested(TxnName::root(), Specification::trivial(), vec![c], vec![])
+                .unwrap();
+        let parent = DatabaseState::from_states(vec![
+            UniqueState::new(&schema, vec![0, 0]).unwrap(),
+            UniqueState::new(&schema, vec![1, 1]).unwrap(),
+        ])
+        .unwrap();
+        let (exec, _) = find_correct_execution(&schema, &root, &parent, Strategy::Backtracking)
+            .unwrap()
+            .expect("mixed version state exists");
+        assert_eq!(exec.inputs[0].get(EntityId(0)), 1);
+        assert_eq!(exec.inputs[0].get(EntityId(1)), 0);
+        let report = check::check(&schema, &root, &parent, &exec);
+        assert!(report.is_correct_parent_based());
+    }
+
+    #[test]
+    fn greedy_latest_prefers_fresh_versions() {
+        let schema = schema();
+        let x = EntityId(0);
+        let writer = leaf(
+            Specification::trivial(),
+            vec![Step::Write(x, Expr::Const(9))],
+        );
+        let reader = leaf(Specification::trivial(), vec![Step::Read(x)]);
+        let root = Transaction::nested(
+            TxnName::root(),
+            Specification::trivial(),
+            vec![writer, reader],
+            vec![(0, 1)],
+        )
+        .unwrap();
+        let parent = DatabaseState::singleton(UniqueState::new(&schema, vec![0, 0]).unwrap());
+        let (exec, _) = find_correct_execution(&schema, &root, &parent, Strategy::GreedyLatest)
+            .unwrap()
+            .unwrap();
+        // Under GreedyLatest the reader picks the writer's version 9.
+        assert_eq!(exec.inputs[1].get(x), 9);
+        assert!(exec.reads_from.contains(&(0, 1)));
+    }
+}

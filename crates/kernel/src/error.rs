@@ -1,0 +1,76 @@
+//! Error type shared by the kernel state types.
+
+use crate::{EntityId, Value};
+use std::fmt;
+
+/// Errors raised while constructing or manipulating schemas and states.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// A name was used for two different entities in one schema.
+    DuplicateEntity(String),
+    /// An entity name was not found in the schema.
+    UnknownEntity(String),
+    /// An entity id does not belong to the schema in use.
+    EntityOutOfRange(EntityId),
+    /// A value was assigned outside the entity's domain.
+    ValueOutOfDomain {
+        /// The entity whose domain was violated.
+        entity: EntityId,
+        /// The offending value.
+        value: Value,
+    },
+    /// A state with the wrong arity was supplied for a schema.
+    ArityMismatch {
+        /// Arity the schema requires.
+        expected: usize,
+        /// Arity actually supplied.
+        actual: usize,
+    },
+    /// A database state must contain at least one unique state.
+    EmptyDatabaseState,
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::DuplicateEntity(n) => write!(f, "duplicate entity name: {n}"),
+            KernelError::UnknownEntity(n) => write!(f, "unknown entity name: {n}"),
+            KernelError::EntityOutOfRange(e) => write!(f, "entity {e} out of schema range"),
+            KernelError::ValueOutOfDomain { entity, value } => {
+                write!(f, "value {value} outside the domain of entity {entity}")
+            }
+            KernelError::ArityMismatch { expected, actual } => {
+                write!(f, "state arity mismatch: expected {expected}, got {actual}")
+            }
+            KernelError::EmptyDatabaseState => {
+                write!(f, "a database state must contain at least one unique state")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(KernelError::DuplicateEntity("x".into())
+            .to_string()
+            .contains("duplicate"));
+        assert!(KernelError::ValueOutOfDomain {
+            entity: EntityId(1),
+            value: 9
+        }
+        .to_string()
+        .contains("domain"));
+        assert!(KernelError::ArityMismatch {
+            expected: 2,
+            actual: 3
+        }
+        .to_string()
+        .contains("arity"));
+    }
+}

@@ -1,0 +1,46 @@
+//! # ks-kernel
+//!
+//! Foundation types for the Korth–Speegle transaction model
+//! (*Formal Model of Correctness Without Serializability*, SIGMOD 1988).
+//!
+//! The paper's Section 3.1 defines the database in terms of four layers, all of
+//! which live here:
+//!
+//! * an **entity** set `E`, each entity `e` with a finite domain `dom(e)`
+//!   ([`Schema`], [`EntityId`], [`Domain`]);
+//! * a **unique state** `S^U`: a total assignment of one domain value per entity
+//!   ([`UniqueState`]);
+//! * a **database state** `S`: a *set* of unique states — this is how multiple
+//!   versions enter the model ([`DatabaseState`]);
+//! * a **version state** `v ∈ V_S`: a per-entity mixture of values, each drawn
+//!   from *some* unique state in `S` ([`VersionState`], [`VersionSpace`]).
+//!
+//! Everything above (predicates, schedules, executions, the protocol) is built
+//! on these types in the sibling crates.
+//!
+//! ## Design notes
+//!
+//! Domains are finite and integer-valued (`i64`). The paper's proofs only ever
+//! need comparisons between entities and constants, and the NP-completeness
+//! reduction uses the two-value domain `{0, 1}`; finite integer domains capture
+//! the whole formal development while keeping version spaces enumerable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod entity;
+pub mod error;
+pub mod state;
+pub mod version;
+
+pub use entity::{Domain, EntityDef, EntityId, Schema, SchemaBuilder};
+pub use error::KernelError;
+pub use state::{DatabaseState, UniqueState};
+pub use version::{VersionSpace, VersionState};
+
+/// The value type of every entity domain.
+///
+/// The paper leaves `dom(e)` abstract; all of its constructions (comparison
+/// atoms, the SAT reduction's `{0,1}` domains, design counters) are captured by
+/// finite sets of 64-bit integers.
+pub type Value = i64;

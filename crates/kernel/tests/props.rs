@@ -1,0 +1,109 @@
+//! Property tests for the kernel state types.
+
+use ks_kernel::{DatabaseState, Domain, EntityId, Schema, UniqueState, VersionSpace, VersionState};
+use proptest::prelude::*;
+
+/// Strategy: a database state over `arity` entities with values in 0..10.
+fn db_states(arity: usize, max_states: usize) -> impl Strategy<Value = DatabaseState> {
+    prop::collection::vec(
+        prop::collection::vec(0i64..10, arity..=arity),
+        1..=max_states,
+    )
+    .prop_map(|rows| {
+        DatabaseState::from_states(
+            rows.into_iter()
+                .map(UniqueState::from_values_unchecked)
+                .collect(),
+        )
+        .expect("non-empty")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// |V_S| equals the product of per-entity distinct counts, and
+    /// enumeration produces exactly that many distinct states.
+    #[test]
+    fn version_space_size_matches_enumeration(db in db_states(3, 4)) {
+        let size = VersionSpace::new(&db).size();
+        let all: Vec<VersionState> = VersionSpace::new(&db).collect();
+        prop_assert_eq!(size, all.len() as u128);
+        let mut uniq: Vec<&VersionState> = all.iter().collect();
+        uniq.sort_by_key(|v| v.as_unique().values().to_vec());
+        uniq.dedup_by_key(|v| v.as_unique().values().to_vec());
+        prop_assert_eq!(uniq.len() as u128, size);
+    }
+
+    /// Every enumerated version state is a member of V_S, and every member
+    /// state in S itself is in V_S.
+    #[test]
+    fn version_space_membership(db in db_states(3, 4)) {
+        for v in VersionSpace::new(&db) {
+            prop_assert!(v.is_member_of(&db));
+        }
+        for s in db.states() {
+            let v = VersionState::try_from_state(&db, s.values().to_vec());
+            prop_assert!(v.is_some());
+        }
+    }
+
+    /// Inserting an existing state never grows the set; inserting the
+    /// result of a transaction grows it by at most one.
+    #[test]
+    fn database_state_set_semantics(db in db_states(3, 4), row in prop::collection::vec(0i64..10, 3)) {
+        let mut db2 = db.clone();
+        for s in db.states().to_vec() {
+            prop_assert!(!db2.insert(s));
+        }
+        prop_assert_eq!(db2.len(), db.len());
+        let novel = UniqueState::from_values_unchecked(row);
+        let grew = db2.insert(novel.clone());
+        prop_assert_eq!(grew, !db.contains(&novel));
+        prop_assert!(db2.contains(&novel));
+    }
+
+    /// with_update changes exactly one coordinate.
+    #[test]
+    fn with_update_is_pointwise(
+        row in prop::collection::vec(0i64..10, 4),
+        idx in 0usize..4,
+        val in 0i64..10,
+    ) {
+        let schema = Schema::uniform(
+            (0..4).map(|i| format!("e{i}")),
+            Domain::Range { min: 0, max: 9 },
+        );
+        let u = UniqueState::from_values_unchecked(row.clone());
+        let e = EntityId(idx as u32);
+        let u2 = u.with_update(&schema, e, val).unwrap();
+        for k in schema.entity_ids() {
+            if k == e {
+                prop_assert_eq!(u2.get(k), val);
+            } else {
+                prop_assert_eq!(u2.get(k), u.get(k));
+            }
+        }
+    }
+
+    /// values_of lists exactly the distinct values per entity.
+    #[test]
+    fn values_of_distinct_and_sorted(db in db_states(2, 5)) {
+        for e in [EntityId(0), EntityId(1)] {
+            let vs = db.values_of(e);
+            prop_assert!(vs.windows(2).all(|w| w[0] < w[1]));
+            for s in db.states() {
+                prop_assert!(vs.contains(&s.get(e)));
+            }
+        }
+    }
+
+    /// Domain membership agrees with iteration.
+    #[test]
+    fn domain_iter_matches_contains(min in -5i64..5, len in 0i64..8, probe in -10i64..15) {
+        let d = Domain::Range { min, max: min + len };
+        let listed: Vec<i64> = d.iter().collect();
+        prop_assert_eq!(listed.contains(&probe), d.contains(probe));
+        prop_assert_eq!(listed.len() as u64, d.cardinality());
+    }
+}

@@ -1,0 +1,87 @@
+//! The [`Valuation`] abstraction: anything that assigns a value to every
+//! entity can be tested against a predicate — unique states, version states,
+//! raw slices, and the solver's partial assignments (via an adapter).
+
+use ks_kernel::{EntityId, UniqueState, Value, VersionState};
+use std::collections::BTreeMap;
+
+/// A total assignment of values to entities.
+pub trait Valuation {
+    /// Value of entity `e`. May panic if `e` is outside the valuation's
+    /// arity; all call sites in this workspace evaluate predicates against
+    /// states of the same schema.
+    fn value_of(&self, e: EntityId) -> Value;
+}
+
+impl Valuation for UniqueState {
+    #[inline]
+    fn value_of(&self, e: EntityId) -> Value {
+        self.get(e)
+    }
+}
+
+impl Valuation for VersionState {
+    #[inline]
+    fn value_of(&self, e: EntityId) -> Value {
+        self.get(e)
+    }
+}
+
+impl Valuation for [Value] {
+    #[inline]
+    fn value_of(&self, e: EntityId) -> Value {
+        self[e.index()]
+    }
+}
+
+impl Valuation for Vec<Value> {
+    #[inline]
+    fn value_of(&self, e: EntityId) -> Value {
+        self[e.index()]
+    }
+}
+
+impl Valuation for BTreeMap<EntityId, Value> {
+    #[inline]
+    fn value_of(&self, e: EntityId) -> Value {
+        self[&e]
+    }
+}
+
+impl<V: Valuation + ?Sized> Valuation for &V {
+    #[inline]
+    fn value_of(&self, e: EntityId) -> Value {
+        (**self).value_of(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ks_kernel::{Domain, Schema};
+
+    #[test]
+    fn valuation_over_states_and_slices_agree() {
+        let schema = Schema::uniform(["x", "y"], Domain::Range { min: 0, max: 9 });
+        let u = UniqueState::new(&schema, vec![4, 7]).unwrap();
+        let slice: &[Value] = &[4, 7];
+        for e in schema.entity_ids() {
+            assert_eq!(u.value_of(e), slice.value_of(e));
+        }
+    }
+
+    #[test]
+    fn map_valuation() {
+        let mut m = BTreeMap::new();
+        m.insert(EntityId(0), 9);
+        m.insert(EntityId(3), -1);
+        assert_eq!(m.value_of(EntityId(3)), -1);
+    }
+
+    #[test]
+    fn reference_forwarding() {
+        let v = vec![1, 2, 3];
+        let r: &Vec<Value> = &v;
+        assert_eq!(Valuation::value_of(&r, EntityId(2)), 3);
+    }
+}

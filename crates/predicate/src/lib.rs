@@ -1,0 +1,48 @@
+//! # ks-predicate
+//!
+//! Consistency predicates for the Korth–Speegle model.
+//!
+//! The paper assumes every predicate is in **conjunctive normal form**: a
+//! conjunction of *disjunctive clauses*, each clause a disjunction of *atoms*
+//! `x θ y` where `θ ∈ {=, ≠, <, ≤, >, ≥}` and `x`, `y` are entities or
+//! constants (Section 3.1). The set of entities mentioned in one clause is an
+//! **object**; the objects of the database consistency constraint drive the
+//! predicate-wise classes (`PWSR`, `PWCSR`, `PC`, `CPC`) and the protocol's
+//! conflict reasoning.
+//!
+//! This crate provides:
+//!
+//! * the predicate AST ([`Atom`], [`Clause`], [`Cnf`]) with evaluation over
+//!   any [`Valuation`] (unique states, version states, raw slices);
+//! * [`Object`] extraction (`P̃` in the paper's notation);
+//! * a small text [`parser`] (`"(x = 1 | y > 2) & z != x"`);
+//! * the **version-assignment solver** ([`solver`]): given per-entity
+//!   candidate version values, find an assignment satisfying a CNF — the
+//!   NP-complete "one transaction version correctness" problem of Lemma 1 —
+//!   with exhaustive, backtracking and heuristic strategies;
+//! * the **SAT reduction** of Lemma 1 ([`sat`]), mapping any propositional
+//!   CNF instance onto a two-version database state.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod atom;
+pub mod clause;
+pub mod cnf;
+pub mod eval;
+pub mod object;
+pub mod parser;
+pub mod propagate;
+pub mod random;
+pub mod sat;
+pub mod solver;
+
+pub use atom::{Atom, CmpOp, Operand};
+pub use clause::Clause;
+pub use cnf::Cnf;
+pub use eval::Valuation;
+pub use object::{objects_of, Object};
+pub use parser::{parse_cnf, ParseError};
+pub use propagate::{propagate, solve_with_propagation, Propagation};
+pub use sat::SatInstance;
+pub use solver::{solve, solve_over_state, solve_pinned, SolveOutcome, SolveStats, Strategy};

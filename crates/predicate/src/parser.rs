@@ -1,0 +1,349 @@
+//! A small text syntax for CNF predicates.
+//!
+//! Grammar (CNF only — mirrors the paper's normal-form assumption):
+//!
+//! ```text
+//! cnf     := "true" | clause ( "&" clause )*
+//! clause  := "(" disj ")" | atom
+//! disj    := atom ( "|" atom )*
+//! atom    := operand op operand
+//! op      := "=" | "!=" | "<" | "<=" | ">" | ">="
+//! operand := identifier | integer
+//! ```
+//!
+//! Identifiers are resolved against a [`Schema`]. Example:
+//! `"(x = 1 | y > 2) & z != x"`.
+
+use crate::{Atom, Clause, CmpOp, Cnf, Operand};
+use ks_kernel::{Schema, Value};
+use std::fmt;
+
+/// Errors from [`parse_cnf`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Unexpected character at byte offset.
+    UnexpectedChar(usize, char),
+    /// Input ended mid-expression.
+    UnexpectedEnd,
+    /// A token appeared where another was expected.
+    Expected {
+        /// What the parser wanted.
+        wanted: &'static str,
+        /// What it found.
+        found: String,
+    },
+    /// An identifier not present in the schema.
+    UnknownEntity(String),
+    /// Integer literal out of `i64` range.
+    BadInteger(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::UnexpectedChar(pos, c) => {
+                write!(f, "unexpected character {c:?} at byte {pos}")
+            }
+            ParseError::UnexpectedEnd => write!(f, "unexpected end of input"),
+            ParseError::Expected { wanted, found } => {
+                write!(f, "expected {wanted}, found {found:?}")
+            }
+            ParseError::UnknownEntity(n) => write!(f, "unknown entity {n:?}"),
+            ParseError::BadInteger(s) => write!(f, "bad integer literal {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Int(Value),
+    Op(CmpOp),
+    And,
+    Or,
+    LParen,
+    RParen,
+    True,
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '&' => {
+                out.push(Token::And);
+                i += 1;
+            }
+            '|' => {
+                out.push(Token::Or);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Op(CmpOp::Eq));
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Op(CmpOp::Ne));
+                    i += 2;
+                } else {
+                    return Err(ParseError::UnexpectedChar(i, '!'));
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Op(CmpOp::Le));
+                    i += 2;
+                } else {
+                    out.push(Token::Op(CmpOp::Lt));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Op(CmpOp::Ge));
+                    i += 2;
+                } else {
+                    out.push(Token::Op(CmpOp::Gt));
+                    i += 1;
+                }
+            }
+            '-' | '0'..='9' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let s = &input[start..i];
+                let v: Value = s.parse().map_err(|_| ParseError::BadInteger(s.into()))?;
+                out.push(Token::Int(v));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                if word == "true" {
+                    out.push(Token::True);
+                } else {
+                    out.push(Token::Ident(word.to_string()));
+                }
+            }
+            other => return Err(ParseError::UnexpectedChar(i, other)),
+        }
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    tokens: Vec<Token>,
+    pos: usize,
+    schema: &'a Schema,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Token, ParseError> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or(ParseError::UnexpectedEnd)?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn operand(&mut self) -> Result<Operand, ParseError> {
+        match self.next()? {
+            Token::Ident(name) => {
+                let e = self
+                    .schema
+                    .lookup(&name)
+                    .ok_or(ParseError::UnknownEntity(name))?;
+                Ok(Operand::Entity(e))
+            }
+            Token::Int(v) => Ok(Operand::Const(v)),
+            other => Err(ParseError::Expected {
+                wanted: "entity or constant",
+                found: format!("{other:?}"),
+            }),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Atom, ParseError> {
+        let lhs = self.operand()?;
+        let op = match self.next()? {
+            Token::Op(op) => op,
+            other => {
+                return Err(ParseError::Expected {
+                    wanted: "comparison operator",
+                    found: format!("{other:?}"),
+                })
+            }
+        };
+        let rhs = self.operand()?;
+        Ok(Atom { lhs, op, rhs })
+    }
+
+    fn clause(&mut self) -> Result<Clause, ParseError> {
+        if self.peek() == Some(&Token::LParen) {
+            self.pos += 1;
+            let mut atoms = vec![self.atom()?];
+            while self.peek() == Some(&Token::Or) {
+                self.pos += 1;
+                atoms.push(self.atom()?);
+            }
+            match self.next()? {
+                Token::RParen => Ok(Clause::new(atoms)),
+                other => Err(ParseError::Expected {
+                    wanted: "')'",
+                    found: format!("{other:?}"),
+                }),
+            }
+        } else {
+            Ok(Clause::unit(self.atom()?))
+        }
+    }
+
+    fn cnf(&mut self) -> Result<Cnf, ParseError> {
+        if self.peek() == Some(&Token::True) {
+            self.pos += 1;
+            if let Some(t) = self.peek() {
+                return Err(ParseError::Expected {
+                    wanted: "end of input",
+                    found: format!("{t:?}"),
+                });
+            }
+            return Ok(Cnf::truth());
+        }
+        let mut clauses = vec![self.clause()?];
+        while self.peek() == Some(&Token::And) {
+            self.pos += 1;
+            clauses.push(self.clause()?);
+        }
+        if let Some(t) = self.peek() {
+            return Err(ParseError::Expected {
+                wanted: "'&' or end of input",
+                found: format!("{t:?}"),
+            });
+        }
+        Ok(Cnf::new(clauses))
+    }
+}
+
+/// Parse a CNF predicate, resolving entity names against `schema`.
+pub fn parse_cnf(schema: &Schema, input: &str) -> Result<Cnf, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        schema,
+    };
+    p.cnf()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ks_kernel::{Domain, EntityId, Value};
+
+    fn schema() -> Schema {
+        Schema::uniform(["x", "y", "z"], Domain::Range { min: -10, max: 10 })
+    }
+
+    #[test]
+    fn parse_single_atom() {
+        let p = parse_cnf(&schema(), "x = 1").unwrap();
+        assert_eq!(p.len(), 1);
+        assert!(p.eval(&[1, 0, 0][..]));
+        assert!(!p.eval(&[0, 0, 0][..]));
+    }
+
+    #[test]
+    fn parse_full_cnf() {
+        let p = parse_cnf(&schema(), "(x = 1 | y > 2) & z != x").unwrap();
+        assert_eq!(p.len(), 2);
+        assert!(p.eval(&[1, 0, 0][..]));
+        assert!(p.eval(&[0, 3, 5][..]));
+        assert!(!p.eval(&[0, 0, 5][..])); // first clause fails
+        assert!(!p.eval(&[1, 9, 1][..])); // second clause fails
+    }
+
+    #[test]
+    fn parse_all_operators() {
+        let vals: &[Value] = &[2, 3, 4];
+        for (src, expect) in [
+            ("x = 2", true),
+            ("x != 2", false),
+            ("x < 3", true),
+            ("x <= 2", true),
+            ("y > 3", false),
+            ("z >= 4", true),
+        ] {
+            let p = parse_cnf(&schema(), src).unwrap();
+            assert_eq!(p.eval(&vals), expect, "{src}");
+        }
+    }
+
+    #[test]
+    fn parse_entity_to_entity_and_negatives() {
+        let p = parse_cnf(&schema(), "x < y & z = -3").unwrap();
+        assert!(p.eval(&[1, 2, -3][..]));
+        assert!(!p.eval(&[2, 2, -3][..]));
+    }
+
+    #[test]
+    fn parse_true() {
+        let p = parse_cnf(&schema(), "true").unwrap();
+        assert!(p.is_truth());
+    }
+
+    #[test]
+    fn errors() {
+        let s = schema();
+        assert!(matches!(
+            parse_cnf(&s, "w = 1"),
+            Err(ParseError::UnknownEntity(_))
+        ));
+        assert!(matches!(
+            parse_cnf(&s, "x = "),
+            Err(ParseError::UnexpectedEnd)
+        ));
+        assert!(matches!(
+            parse_cnf(&s, "x ? 1"),
+            Err(ParseError::UnexpectedChar(_, '?'))
+        ));
+        assert!(parse_cnf(&s, "x = 1 y = 2").is_err()); // missing '&'
+        assert!(parse_cnf(&s, "(x = 1 | y = 2").is_err()); // missing ')'
+        assert!(parse_cnf(&s, "true & x = 1").is_err());
+    }
+
+    #[test]
+    fn objects_from_parsed_predicate() {
+        let p = parse_cnf(&schema(), "(x = 1 | y = 1) & (z = 0)").unwrap();
+        let objs = p.objects();
+        assert_eq!(objs.len(), 2);
+        assert!(objs[0].contains(EntityId(0)) && objs[0].contains(EntityId(1)));
+        assert!(objs[1].contains(EntityId(2)));
+    }
+}

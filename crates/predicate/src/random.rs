@@ -1,0 +1,211 @@
+//! Deterministic random generation of predicates and SAT instances.
+//!
+//! Benchmarks and property tests need streams of random CNF predicates and
+//! 3-SAT instances. To keep runs reproducible (and to keep this crate's
+//! dependency set minimal), generation uses a small SplitMix64 PRNG seeded
+//! explicitly rather than a global entropy source.
+
+use crate::{Atom, Clause, CmpOp, Cnf, SatInstance};
+use ks_kernel::{EntityId, Value};
+
+/// SplitMix64: tiny, fast, high-quality for non-cryptographic use.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeded constructor.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be positive.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// Uniform `usize` in `[0, bound)`.
+    pub fn index(&mut self, bound: usize) -> usize {
+        self.below(bound as u64) as usize
+    }
+
+    /// Fair coin.
+    pub fn coin(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// Generate a random k-SAT instance with `num_vars` variables and
+/// `num_clauses` clauses of width `k`.
+pub fn random_ksat(rng: &mut SplitMix64, num_vars: usize, num_clauses: usize, k: usize) -> SatInstance {
+    assert!(num_vars >= 1 && k >= 1);
+    let clauses = (0..num_clauses)
+        .map(|_| {
+            (0..k)
+                .map(|_| {
+                    let v = rng.index(num_vars) as i32 + 1;
+                    if rng.coin() {
+                        v
+                    } else {
+                        -v
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    SatInstance::new(num_vars, clauses)
+}
+
+/// Parameters for random CNF generation over integer domains.
+#[derive(Debug, Clone, Copy)]
+pub struct CnfParams {
+    /// Number of entities atoms may mention (`E = {e0..}`)
+    pub num_entities: usize,
+    /// Number of conjuncts.
+    pub num_clauses: usize,
+    /// Atoms per clause.
+    pub clause_width: usize,
+    /// Constants are drawn from `[0, max_const]`.
+    pub max_const: Value,
+    /// Probability (percent) that an atom compares two entities rather than
+    /// an entity with a constant.
+    pub entity_entity_pct: u8,
+}
+
+impl Default for CnfParams {
+    fn default() -> Self {
+        CnfParams {
+            num_entities: 6,
+            num_clauses: 4,
+            clause_width: 3,
+            max_const: 9,
+            entity_entity_pct: 25,
+        }
+    }
+}
+
+const OPS: [CmpOp; 6] = [
+    CmpOp::Eq,
+    CmpOp::Ne,
+    CmpOp::Lt,
+    CmpOp::Le,
+    CmpOp::Gt,
+    CmpOp::Ge,
+];
+
+/// Generate a random CNF predicate.
+pub fn random_cnf(rng: &mut SplitMix64, params: &CnfParams) -> Cnf {
+    let clauses = (0..params.num_clauses)
+        .map(|_| {
+            Clause::new(
+                (0..params.clause_width)
+                    .map(|_| {
+                        let lhs = EntityId(rng.index(params.num_entities) as u32);
+                        let op = OPS[rng.index(OPS.len())];
+                        if rng.below(100) < params.entity_entity_pct as u64 {
+                            let rhs = EntityId(rng.index(params.num_entities) as u32);
+                            Atom::cmp_entities(lhs, op, rhs)
+                        } else {
+                            let c = rng.below(params.max_const as u64 + 1) as Value;
+                            Atom::cmp_const(lhs, op, c)
+                        }
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    Cnf::new(clauses)
+}
+
+/// Generate random per-entity candidate lists (each non-empty, ascending).
+pub fn random_candidates(
+    rng: &mut SplitMix64,
+    num_entities: usize,
+    max_versions: usize,
+    max_const: Value,
+) -> Vec<Vec<Value>> {
+    assert!(max_versions >= 1);
+    (0..num_entities)
+        .map(|_| {
+            let n = 1 + rng.index(max_versions);
+            let mut vs: Vec<Value> = (0..n)
+                .map(|_| rng.below(max_const as u64 + 1) as Value)
+                .collect();
+            vs.sort_unstable();
+            vs.dedup();
+            vs
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{solve, Strategy};
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(43);
+        assert_ne!(SplitMix64::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..1000 {
+            assert!(rng.below(13) < 13);
+        }
+    }
+
+    #[test]
+    fn random_ksat_shape() {
+        let mut rng = SplitMix64::new(1);
+        let inst = random_ksat(&mut rng, 5, 8, 3);
+        assert_eq!(inst.num_vars, 5);
+        assert_eq!(inst.clauses.len(), 8);
+        assert!(inst.clauses.iter().all(|c| c.len() == 3));
+    }
+
+    #[test]
+    fn random_cnf_shape_and_solvability_consistency() {
+        let mut rng = SplitMix64::new(99);
+        let params = CnfParams::default();
+        for _ in 0..20 {
+            let cnf = random_cnf(&mut rng, &params);
+            assert_eq!(cnf.len(), params.num_clauses);
+            let cands = random_candidates(&mut rng, params.num_entities, 3, params.max_const);
+            let (o1, _) = solve(&cnf, &cands, Strategy::Exhaustive);
+            let (o2, _) = solve(&cnf, &cands, Strategy::Backtracking);
+            let (o3, _) = solve(&cnf, &cands, Strategy::GreedyLatest);
+            assert_eq!(o1.is_sat(), o2.is_sat());
+            assert_eq!(o2.is_sat(), o3.is_sat());
+        }
+    }
+
+    #[test]
+    fn candidates_nonempty_sorted() {
+        let mut rng = SplitMix64::new(3);
+        let cands = random_candidates(&mut rng, 10, 5, 20);
+        assert_eq!(cands.len(), 10);
+        for c in cands {
+            assert!(!c.is_empty());
+            assert!(c.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests for predicates and the version-assignment solver.
+
+use ks_kernel::{Domain, Schema, Value};
+use ks_predicate::random::{random_candidates, random_cnf, random_ksat, CnfParams, SplitMix64};
+use ks_predicate::sat::solve_sat_via_versions;
+use ks_predicate::{parse_cnf, solve, solve_with_propagation, Cnf, Strategy};
+use proptest::prelude::*;
+
+fn schema(n: usize) -> Schema {
+    Schema::uniform((0..n).map(|i| format!("v{i}")), Domain::Range { min: 0, max: 9 })
+}
+
+/// Generate a random CNF via the deterministic generator, seeded by
+/// proptest (bridges the two random worlds).
+fn cnf_and_candidates(seed: u64) -> (Cnf, Vec<Vec<Value>>) {
+    let mut rng = SplitMix64::new(seed);
+    let params = CnfParams {
+        num_entities: 5,
+        num_clauses: 4,
+        clause_width: 2,
+        max_const: 6,
+        entity_entity_pct: 30,
+    };
+    let cnf = random_cnf(&mut rng, &params);
+    let cands = random_candidates(&mut rng, 5, 4, 6);
+    (cnf, cands)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    /// All three strategies agree on satisfiability, and any returned
+    /// assignment actually satisfies the predicate and respects the
+    /// candidate lists.
+    #[test]
+    fn strategies_agree_and_witnesses_valid(seed in any::<u64>()) {
+        let (cnf, cands) = cnf_and_candidates(seed);
+        let mut outcomes = Vec::new();
+        for strat in [Strategy::Exhaustive, Strategy::Backtracking, Strategy::GreedyLatest] {
+            let (out, _) = solve(&cnf, &cands, strat);
+            if let Some(a) = out.assignment() {
+                prop_assert!(cnf.eval(&a.to_vec()), "{cnf} {a:?}");
+                for (i, &v) in a.iter().enumerate() {
+                    prop_assert!(cands[i].contains(&v));
+                }
+            }
+            outcomes.push(out.is_sat());
+        }
+        prop_assert!(outcomes.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    /// Propagation preserves satisfiability.
+    #[test]
+    fn propagation_sound(seed in any::<u64>()) {
+        let (cnf, cands) = cnf_and_candidates(seed);
+        let (plain, _) = solve(&cnf, &cands, Strategy::Backtracking);
+        let (pruned, _, _) = solve_with_propagation(&cnf, &cands, Strategy::Backtracking);
+        prop_assert_eq!(plain.is_sat(), pruned.is_sat());
+    }
+
+    /// Parser round-trip: display a parsed predicate with entity names and
+    /// re-parse; both must evaluate identically everywhere (sampled).
+    #[test]
+    fn parser_display_round_trip(seed in any::<u64>(), vals in prop::collection::vec(0i64..10, 5)) {
+        let mut rng = SplitMix64::new(seed);
+        let params = CnfParams {
+            num_entities: 5,
+            num_clauses: 3,
+            clause_width: 2,
+            max_const: 9,
+            entity_entity_pct: 30,
+        };
+        let cnf = random_cnf(&mut rng, &params);
+        let schema = schema(5);
+        let text = cnf.display_with(&schema);
+        let reparsed = parse_cnf(&schema, &text).unwrap();
+        prop_assert_eq!(cnf.eval(&vals), reparsed.eval(&vals), "{}", text);
+    }
+
+    /// Lemma 1 reduction agrees with truth tables on random 3-SAT.
+    #[test]
+    fn sat_reduction_sound(seed in any::<u64>()) {
+        let mut rng = SplitMix64::new(seed);
+        let n = 3 + rng.index(4);
+        let m = 2 + rng.index(10);
+        let inst = random_ksat(&mut rng, n, m, 3);
+        let brute = inst.brute_force_sat().is_some();
+        let (via, _) = solve_sat_via_versions(&inst, Strategy::Backtracking);
+        prop_assert_eq!(brute, via.is_some());
+        if let Some(a) = via {
+            prop_assert!(inst.eval(&a));
+        }
+    }
+
+    /// `simplified()` is semantically equivalent everywhere sampled.
+    #[test]
+    fn simplification_preserves_semantics(seed in any::<u64>(), vals in prop::collection::vec(0i64..10, 5)) {
+        let (cnf, _) = cnf_and_candidates(seed);
+        let s = cnf.simplified();
+        prop_assert_eq!(cnf.eval(&vals), s.eval(&vals));
+        prop_assert!(s.len() <= cnf.len());
+    }
+
+    /// An atom and its negation partition every valuation.
+    #[test]
+    fn negation_partitions(l in -5i64..5, r in -5i64..5, op_idx in 0usize..6) {
+        use ks_predicate::{Atom, CmpOp, Operand};
+        let ops = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+        let atom = Atom {
+            lhs: Operand::Const(l),
+            op: ops[op_idx],
+            rhs: Operand::Const(r),
+        };
+        let vals: &[Value] = &[];
+        prop_assert_ne!(atom.eval(&vals), atom.negated().eval(&vals));
+    }
+}

@@ -1,0 +1,81 @@
+//! Protocol error type.
+
+use ks_kernel::EntityId;
+use ks_mvstore::StoreError;
+use std::fmt;
+
+/// Errors from protocol operations. These are *usage* errors (wrong phase,
+/// missing lock) or substrate failures; scheduler outcomes like blocking
+/// and aborts are ordinary return values, not errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// Unknown transaction handle.
+    UnknownTxn,
+    /// Operation not legal in the transaction's current phase.
+    WrongPhase {
+        /// What was attempted.
+        attempted: &'static str,
+        /// The transaction's actual state.
+        state: &'static str,
+    },
+    /// "If the transaction does not have a `R_v`-lock on the data item,
+    /// then the read is rejected."
+    ReadWithoutValidationLock(EntityId),
+    /// Defining the transaction would place it in the partial order before
+    /// a committed sibling whose input it may rewrite (the prohibition
+    /// option of Section 5.1).
+    PrecedesCommittedReader,
+    /// The declared ordering contains a cycle.
+    CyclicPartialOrder,
+    /// `after` referenced a transaction that is not a sibling.
+    NotASibling,
+    /// The root cannot be aborted or re-defined.
+    RootImmutable,
+    /// Underlying version store failure.
+    Store(StoreError),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::UnknownTxn => write!(f, "unknown transaction handle"),
+            ProtocolError::WrongPhase { attempted, state } => {
+                write!(f, "cannot {attempted} while {state}")
+            }
+            ProtocolError::ReadWithoutValidationLock(e) => {
+                write!(f, "read of {e} rejected: no R_v lock (entity not in I_t)")
+            }
+            ProtocolError::PrecedesCommittedReader => write!(
+                f,
+                "definition rejected: would precede a committed sibling that read its updates"
+            ),
+            ProtocolError::CyclicPartialOrder => write!(f, "partial order would become cyclic"),
+            ProtocolError::NotASibling => write!(f, "ordering constraint references a non-sibling"),
+            ProtocolError::RootImmutable => write!(f, "the root transaction cannot be aborted"),
+            ProtocolError::Store(e) => write!(f, "store error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<StoreError> for ProtocolError {
+    fn from(e: StoreError) -> Self {
+        ProtocolError::Store(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(ProtocolError::UnknownTxn.to_string().contains("unknown"));
+        assert!(ProtocolError::ReadWithoutValidationLock(EntityId(1))
+            .to_string()
+            .contains("R_v"));
+        let e: ProtocolError = StoreError::UnknownEntity(EntityId(0)).into();
+        assert!(e.to_string().contains("store"));
+    }
+}

@@ -1,0 +1,1055 @@
+//! The phased transaction manager — the protocol of Section 5.1.
+
+use crate::candidates::{allowed_versions, SiblingInfo};
+use crate::ProtocolError;
+use ks_core::{Specification, TxnName};
+use ks_kernel::{EntityId, Schema, UniqueState, Value};
+use ks_mvstore::{AuthorId, MvStore, Snapshot, VersionId};
+use ks_predicate::{solve_pinned, SolveOutcome, Strategy};
+use ks_schedule::DiGraph;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Handle to a transaction managed by [`ProtocolManager`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Txn(pub usize);
+
+/// Lifecycle state (the four phases; "execution" spans `Validated`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TxnState {
+    /// Defined, awaiting validation.
+    Defined,
+    /// Validated: versions assigned, may read/write/define children.
+    Validated,
+    /// Terminated successfully.
+    Committed,
+    /// Terminated by abort.
+    Aborted,
+}
+
+impl TxnState {
+    fn label(self) -> &'static str {
+        match self {
+            TxnState::Defined => "defined",
+            TxnState::Validated => "validated",
+            TxnState::Committed => "committed",
+            TxnState::Aborted => "aborted",
+        }
+    }
+}
+
+/// Outcome of validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationOutcome {
+    /// Versions assigned; the transaction may execute.
+    Validated,
+    /// A momentary `W` lock on this entity blocks validation ("false" in
+    /// Figure 3); retry shortly.
+    Blocked(EntityId),
+    /// No allowed version assignment satisfies `I_t` right now. The caller
+    /// may retry later (new versions may appear) or abort.
+    CannotSatisfy,
+    /// (Pessimistic variant only.) A sibling predecessor that may still
+    /// write this transaction's inputs has not terminated; wait for it.
+    MustWait(Txn),
+}
+
+/// Outcome of a read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// The value of the assigned version.
+    Value(Value),
+    /// Blocked on a momentary `W` lock.
+    Blocked(EntityId),
+}
+
+/// What `re-eval` did to one affected sibling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReEvalAction {
+    /// The sibling held only `R_v`; its versions were re-assigned.
+    Reassigned(Txn),
+    /// The sibling had already read the entity — aborted (Figure 4).
+    Aborted(Txn),
+    /// Re-assignment failed; the sibling was aborted.
+    ReassignFailedAborted(Txn),
+}
+
+/// Result of a successful write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteReport {
+    /// The created version.
+    pub version: VersionId,
+    /// What `re-eval` did to sibling readers.
+    pub reeval: Vec<ReEvalAction>,
+}
+
+/// Outcome of a commit attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommitOutcome {
+    /// Committed.
+    Committed,
+    /// A sibling predecessor has not committed yet; retry later.
+    PredecessorsPending(Txn),
+    /// A child has not terminated yet; retry later.
+    ChildrenPending(Txn),
+    /// `O_t` does not hold on the transaction's final state. No state
+    /// change — the caller decides (usually: more work, or abort).
+    OutputViolated,
+}
+
+/// Counters for the experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProtocolStats {
+    /// Successful validations.
+    pub validations: u64,
+    /// Validation attempts that found no satisfying assignment.
+    pub validation_failures: u64,
+    /// Reads served.
+    pub reads: u64,
+    /// Versions written.
+    pub writes: u64,
+    /// `re-eval` invocations (one per write).
+    pub re_evals: u64,
+    /// Successful re-assignments of `R_v` holders.
+    pub re_assigns: u64,
+    /// Aborts caused by `re-eval` (read holders + failed re-assigns).
+    pub reeval_aborts: u64,
+    /// Aborts cascaded from explicit aborts.
+    pub cascade_aborts: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    name: TxnName,
+    parent: Option<usize>,
+    children: Vec<usize>,
+    /// Partial order over child *slots* of this node.
+    order: Vec<(usize, usize)>,
+    spec: Specification,
+    state: TxnState,
+    /// Slot within the parent's child list.
+    slot: usize,
+    /// Version assignment (valid once `Validated`). Entities outside the
+    /// input set default to the parent's version at materialization.
+    snapshot: Snapshot,
+    /// Entities actually read, with the value consumed (`R` locks; also
+    /// the pins for `re-assign`).
+    reads_done: BTreeMap<EntityId, Value>,
+    /// Versions written by this node itself.
+    writes: Vec<VersionId>,
+}
+
+/// The protocol manager: a nested-transaction scheduler over a
+/// multi-version store that admits only correct executions (Theorem 2).
+///
+/// A minimal four-phase session:
+///
+/// ```
+/// use ks_core::Specification;
+/// use ks_kernel::{Domain, EntityId, Schema, UniqueState};
+/// use ks_predicate::{parse_cnf, Strategy};
+/// use ks_protocol::{CommitOutcome, ProtocolManager, ReadOutcome, ValidationOutcome};
+///
+/// let schema = Schema::uniform(["x"], Domain::Range { min: 0, max: 99 });
+/// let initial = UniqueState::new(&schema, vec![5]).unwrap();
+/// let mut pm = ProtocolManager::new(schema.clone(), &initial, Specification::trivial());
+///
+/// // 1. definition
+/// let spec = Specification::new(parse_cnf(&schema, "x >= 0").unwrap(),
+///                               parse_cnf(&schema, "x = 6").unwrap());
+/// let t = pm.define(pm.root(), spec, &[], &[]).unwrap();
+/// // 2. validation (R_v locks + version assignment)
+/// assert_eq!(pm.validate(t, Strategy::Backtracking).unwrap(),
+///            ValidationOutcome::Validated);
+/// // 3. execution
+/// assert_eq!(pm.read(t, EntityId(0)).unwrap(), ReadOutcome::Value(5));
+/// pm.write(t, EntityId(0), 6).unwrap();
+/// // 4. termination (output condition checked)
+/// assert_eq!(pm.commit(t).unwrap(), CommitOutcome::Committed);
+/// ```
+pub struct ProtocolManager {
+    schema: Schema,
+    store: MvStore,
+    nodes: Vec<Node>,
+    /// Momentary `W` locks (entity → holder), exposed so tests and the
+    /// concurrent adapter can exercise the "false" matrix entries.
+    write_locks: BTreeMap<EntityId, usize>,
+    /// Provenance of each written version: the node indices whose data
+    /// (transitively) flowed into it. The paper's candidate rules filter
+    /// *direct* authorship only; without transitive filtering a successor's
+    /// data can be smuggled into a predecessor through an unordered
+    /// middleman, violating the execution definition `(i,j) ∈ P⁺ ⇒
+    /// (j,i) ∉ R⁺`. Tracking provenance closes that leak (see DESIGN.md).
+    provenance: BTreeMap<VersionId, BTreeSet<usize>>,
+    stats: ProtocolStats,
+}
+
+impl ProtocolManager {
+    /// Create a manager over a fresh store. The root transaction carries
+    /// `root_spec` (typically `Specification::classical(C)`); it is born
+    /// validated, with the initial versions as its assignment.
+    pub fn new(schema: Schema, initial: &UniqueState, root_spec: Specification) -> Self {
+        let store = MvStore::new(schema.clone(), initial);
+        let root = Node {
+            name: TxnName::root(),
+            parent: None,
+            children: Vec::new(),
+            order: Vec::new(),
+            spec: root_spec,
+            state: TxnState::Validated,
+            slot: 0,
+            snapshot: Snapshot::new(),
+            reads_done: BTreeMap::new(),
+            writes: Vec::new(),
+        };
+        ProtocolManager {
+            schema,
+            store,
+            nodes: vec![root],
+            write_locks: BTreeMap::new(),
+            provenance: BTreeMap::new(),
+            stats: ProtocolStats::default(),
+        }
+    }
+
+    /// The root transaction.
+    pub fn root(&self) -> Txn {
+        Txn(0)
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The underlying store (read-only access).
+    pub fn store(&self) -> &MvStore {
+        &self.store
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> ProtocolStats {
+        self.stats
+    }
+
+    fn node(&self, t: Txn) -> Result<&Node, ProtocolError> {
+        self.nodes.get(t.0).ok_or(ProtocolError::UnknownTxn)
+    }
+
+    /// Current state of a transaction.
+    pub fn state_of(&self, t: Txn) -> Result<TxnState, ProtocolError> {
+        Ok(self.node(t)?.state)
+    }
+
+    /// Hierarchical name of a transaction.
+    pub fn name_of(&self, t: Txn) -> Result<TxnName, ProtocolError> {
+        Ok(self.node(t)?.name.clone())
+    }
+
+    /// The assigned snapshot (after validation).
+    pub fn snapshot_of(&self, t: Txn) -> Result<&Snapshot, ProtocolError> {
+        Ok(&self.node(t)?.snapshot)
+    }
+
+    /// Children handles of a transaction, in slot order.
+    pub fn children_of(&self, t: Txn) -> Result<Vec<Txn>, ProtocolError> {
+        Ok(self.node(t)?.children.iter().map(|&i| Txn(i)).collect())
+    }
+
+    /// Versions written directly by a transaction.
+    pub fn writes_of(&self, t: Txn) -> Result<&[VersionId], ProtocolError> {
+        Ok(&self.node(t)?.writes)
+    }
+
+    /// Entities read so far (the `R` locks).
+    pub fn reads_of(&self, t: Txn) -> Result<Vec<EntityId>, ProtocolError> {
+        Ok(self.node(t)?.reads_done.keys().copied().collect())
+    }
+
+    /// The partial order among `parent`'s children, as slot pairs.
+    pub fn order_of(&self, parent: Txn) -> Result<&[(usize, usize)], ProtocolError> {
+        Ok(&self.node(parent)?.order)
+    }
+
+    /// The transaction's specification.
+    pub fn spec_of(&self, t: Txn) -> Result<Specification, ProtocolError> {
+        Ok(self.node(t)?.spec.clone())
+    }
+
+    /// The slot of a transaction within its parent's child list.
+    pub fn slot_of(&self, t: Txn) -> Result<usize, ProtocolError> {
+        Ok(self.node(t)?.slot)
+    }
+
+    /// The slot (under `parent`) of the child whose subtree contains
+    /// `node`, or `None` if `node` is outside `parent`'s subtree.
+    pub fn child_slot_containing(&self, parent: Txn, node: Txn) -> Option<usize> {
+        let mut cur = node.0;
+        loop {
+            let n = self.nodes.get(cur)?;
+            match n.parent {
+                Some(p) if p == parent.0 => return Some(n.slot),
+                Some(p) => cur = p,
+                None => return None,
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 1: transaction definition
+    // ------------------------------------------------------------------
+
+    /// Define a subtransaction of `parent` with specification `spec`,
+    /// ordered after the siblings in `after` and before those in `before`.
+    pub fn define(
+        &mut self,
+        parent: Txn,
+        spec: Specification,
+        after: &[Txn],
+        before: &[Txn],
+    ) -> Result<Txn, ProtocolError> {
+        let pstate = self.node(parent)?.state;
+        if pstate != TxnState::Validated {
+            return Err(ProtocolError::WrongPhase {
+                attempted: "define a subtransaction",
+                state: pstate.label(),
+            });
+        }
+        // Resolve siblings to slots.
+        let mut after_slots = Vec::new();
+        for &a in after {
+            let n = self.node(a)?;
+            if n.parent != Some(parent.0) {
+                return Err(ProtocolError::NotASibling);
+            }
+            after_slots.push(n.slot);
+        }
+        let mut before_slots = Vec::new();
+        for &b in before {
+            let n = self.node(b)?;
+            if n.parent != Some(parent.0) {
+                return Err(ProtocolError::NotASibling);
+            }
+            // The prohibition option: refuse to precede a committed
+            // sibling whose input set overlaps our output objects.
+            if n.state == TxnState::Committed {
+                let my_outputs = spec.output.entities();
+                let their_inputs = n.spec.input_set();
+                if my_outputs.intersection(&their_inputs).next().is_some() {
+                    return Err(ProtocolError::PrecedesCommittedReader);
+                }
+            }
+            before_slots.push(n.slot);
+        }
+        let slot = self.node(parent)?.children.len();
+        // Cycle check on the extended order.
+        {
+            let pnode = self.node(parent)?;
+            let mut g = DiGraph::new(slot + 1);
+            for &(a, b) in &pnode.order {
+                g.add_edge(a, b);
+            }
+            for &a in &after_slots {
+                g.add_edge(a, slot);
+            }
+            for &b in &before_slots {
+                g.add_edge(slot, b);
+            }
+            if g.has_cycle() {
+                return Err(ProtocolError::CyclicPartialOrder);
+            }
+        }
+        let name = {
+            let pnode = self.node(parent)?;
+            pnode.name.child(slot as u32)
+        };
+        let idx = self.nodes.len();
+        self.nodes.push(Node {
+            name,
+            parent: Some(parent.0),
+            children: Vec::new(),
+            order: Vec::new(),
+            spec,
+            state: TxnState::Defined,
+            slot,
+            snapshot: Snapshot::new(),
+            reads_done: BTreeMap::new(),
+            writes: Vec::new(),
+        });
+        let pnode = &mut self.nodes[parent.0];
+        pnode.children.push(idx);
+        for a in after_slots {
+            pnode.order.push((a, slot));
+        }
+        for b in before_slots {
+            pnode.order.push((slot, b));
+        }
+        Ok(Txn(idx))
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 2: validation
+    // ------------------------------------------------------------------
+
+    /// Transitive closure of the partial order over `parent`'s child slots.
+    fn paths_of(&self, parent_idx: usize) -> DiGraph {
+        let pnode = &self.nodes[parent_idx];
+        let mut g = DiGraph::new(pnode.children.len().max(1));
+        for &(a, b) in &pnode.order {
+            g.add_edge(a, b);
+        }
+        g.transitive_closure()
+    }
+
+    /// The parent's assigned version of an entity (initial version for the
+    /// root's empty snapshot).
+    fn parent_version(&self, parent_idx: usize, e: EntityId) -> VersionId {
+        self.nodes[parent_idx]
+            .snapshot
+            .version_of(e)
+            .unwrap_or(VersionId { entity: e, index: 0 })
+    }
+
+    /// Last version of `e` written by the subtree of node `idx`
+    /// (non-aborted nodes only).
+    fn subtree_last_version(&self, idx: usize, e: EntityId) -> Option<VersionId> {
+        let node = &self.nodes[idx];
+        if node.state == TxnState::Aborted {
+            return None;
+        }
+        let mut best: Option<(u64, VersionId)> = None;
+        let mut consider = |v: VersionId, store: &MvStore| {
+            if v.entity == e {
+                let stamp = store.meta(v).expect("written version").stamp;
+                if best.is_none_or(|(s, _)| stamp > s) {
+                    best = Some((stamp, v));
+                }
+            }
+        };
+        for &v in &node.writes {
+            consider(v, &self.store);
+        }
+        for &c in &node.children {
+            if let Some(v) = self.subtree_last_version(c, e) {
+                consider(v, &self.store);
+            }
+        }
+        best.map(|(_, v)| v)
+    }
+
+    /// Candidate versions for `e` when validating node `idx` (rules 1–3 +
+    /// predecessor filter of Section 5.1).
+    fn candidates_for(&self, idx: usize, e: EntityId) -> Vec<VersionId> {
+        let node = &self.nodes[idx];
+        let parent_idx = node.parent.expect("root never validates");
+        let paths = self.paths_of(parent_idx);
+        let siblings: Vec<SiblingInfo> = self.nodes[parent_idx]
+            .children
+            .iter()
+            .filter(|&&c| c != idx && self.nodes[c].state != TxnState::Aborted)
+            .map(|&c| SiblingInfo {
+                slot: self.nodes[c].slot,
+                last_version: self.subtree_last_version(c, e),
+            })
+            .collect();
+        let allowed = allowed_versions(
+            node.slot,
+            &siblings,
+            &paths,
+            self.parent_version(parent_idx, e),
+        );
+        // Transitive rule 1: drop versions whose provenance contains data
+        // from a successor of the target (the paper filters only direct
+        // authorship; see the `provenance` field).
+        let target_slot = node.slot;
+        allowed
+            .into_iter()
+            .filter(|v| {
+                self.provenance.get(v).is_none_or(|prov| {
+                    !prov.iter().any(|&src| {
+                        self.slot_of_author(parent_idx, src)
+                            .is_some_and(|s| s != target_slot && paths.has_edge(target_slot, s))
+                    })
+                })
+            })
+            .collect()
+    }
+
+    /// Solve the input predicate of node `idx` over its candidate version
+    /// sets, honouring `pins` (entities whose value is already fixed by
+    /// performed reads). Returns the chosen snapshot.
+    fn assign_versions(
+        &mut self,
+        idx: usize,
+        pins: &[(EntityId, Value)],
+        strategy: Strategy,
+    ) -> Option<Snapshot> {
+        let input_set = self.nodes[idx].spec.input_set();
+        // Per-entity candidates: values (for the solver) plus value→version
+        // maps (latest-stamp version wins for equal values).
+        let mut per_entity_versions: Vec<Vec<VersionId>> = Vec::with_capacity(self.schema.len());
+        let mut candidates: Vec<Vec<Value>> = Vec::with_capacity(self.schema.len());
+        let parent_idx = self.nodes[idx].parent.expect("root never validates");
+        for e in self.schema.entity_ids() {
+            let versions = if input_set.contains(&e) {
+                self.candidates_for(idx, e)
+            } else {
+                vec![self.parent_version(parent_idx, e)]
+            };
+            // Order versions by stamp ascending so GreedyLatest prefers the
+            // newest, and dedup values keeping the newest version per value.
+            let mut stamped: Vec<(u64, VersionId, Value)> = versions
+                .iter()
+                .map(|&v| {
+                    let m = self.store.meta(v).expect("candidate exists");
+                    (m.stamp, v, m.value)
+                })
+                .collect();
+            stamped.sort_by_key(|&(s, _, _)| s);
+            let mut values: Vec<Value> = Vec::new();
+            for &(_, _, val) in &stamped {
+                if !values.contains(&val) {
+                    values.push(val);
+                }
+            }
+            per_entity_versions.push(stamped.iter().map(|&(_, v, _)| v).collect());
+            candidates.push(values);
+        }
+        let input = self.nodes[idx].spec.input.clone();
+        let (outcome, _) = solve_pinned(&input, &candidates, pins, strategy);
+        let values = match outcome {
+            SolveOutcome::Sat(v) => v,
+            SolveOutcome::Unsat => return None,
+        };
+        // Map chosen values back to versions (newest version per value).
+        let mut snapshot = Snapshot::new();
+        for e in self.schema.entity_ids() {
+            let want = values[e.index()];
+            let chosen = per_entity_versions[e.index()]
+                .iter()
+                .rev() // newest first
+                .find(|&&v| self.store.meta(v).expect("candidate").value == want);
+            match chosen {
+                Some(&v) => {
+                    snapshot.select(v);
+                }
+                None => {
+                    // A pinned value from an already-read version that has
+                    // since left the candidate set: keep the read version.
+                    if let Some(v) = self.nodes[idx].snapshot.version_of(e) {
+                        snapshot.select(v);
+                    } else {
+                        return None;
+                    }
+                }
+            }
+        }
+        Some(snapshot)
+    }
+
+    /// Validate a defined transaction: acquire `R_v` locks on its input
+    /// set and search for a satisfying version assignment.
+    pub fn validate(&mut self, t: Txn, strategy: Strategy) -> Result<ValidationOutcome, ProtocolError> {
+        let state = self.node(t)?.state;
+        if state != TxnState::Defined {
+            return Err(ProtocolError::WrongPhase {
+                attempted: "validate",
+                state: state.label(),
+            });
+        }
+        // R_v vs a momentarily held W: "false" → block.
+        for e in self.node(t)?.spec.input_set() {
+            if let Some(&holder) = self.write_locks.get(&e) {
+                if holder != t.0 {
+                    return Ok(ValidationOutcome::Blocked(e));
+                }
+            }
+        }
+        match self.assign_versions(t.0, &[], strategy) {
+            Some(snapshot) => {
+                self.nodes[t.0].snapshot = snapshot;
+                self.nodes[t.0].state = TxnState::Validated;
+                self.stats.validations += 1;
+                Ok(ValidationOutcome::Validated)
+            }
+            None => {
+                self.stats.validation_failures += 1;
+                Ok(ValidationOutcome::CannotSatisfy)
+            }
+        }
+    }
+
+    /// The **pessimistic** validation variant — the alternative Section 5.1
+    /// rejects ("a pessimistic protocol could require the transaction block
+    /// at this point until all predecessors have either committed or
+    /// written every data item in the transaction's input set, but this
+    /// could require an extremely long wait"). Blocks (returns
+    /// [`ValidationOutcome::MustWait`]) while any sibling predecessor whose
+    /// declared outputs overlap this transaction's input set is still live.
+    /// Used by the `ablate-optimism` experiment; the protocol proper uses
+    /// [`ProtocolManager::validate`].
+    pub fn validate_pessimistic(
+        &mut self,
+        t: Txn,
+        strategy: Strategy,
+    ) -> Result<ValidationOutcome, ProtocolError> {
+        let state = self.node(t)?.state;
+        if state != TxnState::Defined {
+            return Err(ProtocolError::WrongPhase {
+                attempted: "validate",
+                state: state.label(),
+            });
+        }
+        let parent_idx = self.node(t)?.parent.ok_or(ProtocolError::RootImmutable)?;
+        let paths = self.paths_of(parent_idx);
+        let my_slot = self.node(t)?.slot;
+        let my_inputs = self.node(t)?.spec.input_set();
+        for &s in &self.nodes[parent_idx].children {
+            let sn = &self.nodes[s];
+            if s == t.0 || !paths.has_edge(sn.slot, my_slot) {
+                continue;
+            }
+            let live = matches!(sn.state, TxnState::Defined | TxnState::Validated);
+            if live
+                && sn
+                    .spec
+                    .output
+                    .entities()
+                    .intersection(&my_inputs)
+                    .next()
+                    .is_some()
+            {
+                return Ok(ValidationOutcome::MustWait(Txn(s)));
+            }
+        }
+        self.validate(t, strategy)
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 3: execution
+    // ------------------------------------------------------------------
+
+    /// Read an entity: upgrade `R_v` → `R` and return the assigned
+    /// version's value.
+    pub fn read(&mut self, t: Txn, e: EntityId) -> Result<ReadOutcome, ProtocolError> {
+        let state = self.node(t)?.state;
+        if state != TxnState::Validated {
+            return Err(ProtocolError::WrongPhase {
+                attempted: "read",
+                state: state.label(),
+            });
+        }
+        if !self.node(t)?.spec.input_set().contains(&e) {
+            return Err(ProtocolError::ReadWithoutValidationLock(e));
+        }
+        if let Some(&holder) = self.write_locks.get(&e) {
+            if holder != t.0 {
+                return Ok(ReadOutcome::Blocked(e));
+            }
+        }
+        let version = self.nodes[t.0]
+            .snapshot
+            .version_of(e)
+            .unwrap_or(VersionId { entity: e, index: 0 });
+        let value = self.store.read(version)?;
+        self.nodes[t.0].reads_done.insert(e, value);
+        self.stats.reads += 1;
+        Ok(ReadOutcome::Value(value))
+    }
+
+    /// Take a `W` lock explicitly without completing the write — models a
+    /// slow in-flight write so the Figure 3 "false" entries (readers and
+    /// validators blocking on a held `W`) are observable. Call
+    /// [`ProtocolManager::finish_write`] to create the version and run
+    /// `re-eval`. The ordinary [`ProtocolManager::write`] performs both
+    /// steps atomically.
+    pub fn begin_write(&mut self, t: Txn, e: EntityId) -> Result<(), ProtocolError> {
+        let state = self.node(t)?.state;
+        if state != TxnState::Validated {
+            return Err(ProtocolError::WrongPhase {
+                attempted: "write",
+                state: state.label(),
+            });
+        }
+        self.write_locks.insert(e, t.0);
+        Ok(())
+    }
+
+    /// Complete a write started with [`ProtocolManager::begin_write`].
+    pub fn finish_write(
+        &mut self,
+        t: Txn,
+        e: EntityId,
+        value: Value,
+    ) -> Result<WriteReport, ProtocolError> {
+        debug_assert_eq!(self.write_locks.get(&e), Some(&t.0), "begin_write first");
+        let version = self.store.write(e, value, AuthorId(t.0 as u64))?;
+        self.nodes[t.0].writes.push(version);
+        self.stats.writes += 1;
+        self.record_provenance(t, version);
+        let reeval = self.re_eval(t.0, e, version);
+        self.write_locks.remove(&e);
+        Ok(WriteReport { version, reeval })
+    }
+
+    fn record_provenance(&mut self, t: Txn, version: VersionId) {
+        let mut prov: BTreeSet<usize> = BTreeSet::new();
+        prov.insert(t.0);
+        let consumed: Vec<VersionId> = self.nodes[t.0]
+            .spec
+            .input_set()
+            .into_iter()
+            .map(|ie| {
+                self.nodes[t.0]
+                    .snapshot
+                    .version_of(ie)
+                    .unwrap_or(VersionId { entity: ie, index: 0 })
+            })
+            .collect();
+        for cv in consumed {
+            if let Some(p) = self.provenance.get(&cv) {
+                prov.extend(p.iter().copied());
+            }
+        }
+        self.provenance.insert(version, prov);
+    }
+
+    /// Write an entity: create a new version (immediately visible to
+    /// siblings) and run the Figure 4 `re-eval` procedure.
+    pub fn write(&mut self, t: Txn, e: EntityId, value: Value) -> Result<WriteReport, ProtocolError> {
+        let state = self.node(t)?.state;
+        if state != TxnState::Validated {
+            return Err(ProtocolError::WrongPhase {
+                attempted: "write",
+                state: state.label(),
+            });
+        }
+        // Momentary W lock (writes never wait for other writes).
+        self.write_locks.insert(e, t.0);
+        let version = self.store.write(e, value, AuthorId(t.0 as u64))?;
+        self.nodes[t.0].writes.push(version);
+        self.stats.writes += 1;
+        // Provenance: the writer itself plus everything that flowed into
+        // its assigned version state. Assignments count, not just performed
+        // reads: the model's R relation justifies the whole version state
+        // X(t_i), so taint must follow it.
+        self.record_provenance(t, version);
+        let reeval = self.re_eval(t.0, e, version);
+        self.write_locks.remove(&e);
+        Ok(WriteReport { version, reeval })
+    }
+
+    /// Figure 4: after node `writer` wrote `version` of `e`, interrupt
+    /// sibling read-side holders that should have read it.
+    fn re_eval(&mut self, writer: usize, e: EntityId, _version: VersionId) -> Vec<ReEvalAction> {
+        self.stats.re_evals += 1;
+        let mut actions = Vec::new();
+        let parent_idx = match self.nodes[writer].parent {
+            Some(p) => p,
+            None => return actions, // the root has no siblings
+        };
+        let paths = self.paths_of(parent_idx);
+        let writer_slot = self.nodes[writer].slot;
+        let holders: Vec<usize> = self.nodes[parent_idx]
+            .children
+            .iter()
+            .copied()
+            .filter(|&h| h != writer)
+            // R or R_v "lock" on e: validated, e in input set, not finished
+            .filter(|&h| {
+                self.nodes[h].state == TxnState::Validated
+                    && self.nodes[h].spec.input_set().contains(&e)
+            })
+            .collect();
+        for h in holders {
+            let h_slot = self.nodes[h].slot;
+            // V = author of the version the holder was assigned for e.
+            let assigned = self.nodes[h]
+                .snapshot
+                .version_of(e)
+                .unwrap_or(VersionId { entity: e, index: 0 });
+            let author = self.store.meta(assigned).expect("assigned version").author;
+            // Supersede rule (model fidelity; see DESIGN.md): the new write
+            // supersedes the writer's own earlier version of `e`. A sibling
+            // assigned that stale version no longer reads "t_j(X(t_j))(e)"
+            // — re-assign it (or abort it if the read already happened).
+            if author.0 as usize == writer {
+                self.repair_holder(h, e, &mut actions);
+                continue;
+            }
+            // `path(parent(W).P, W.name, R[i].name)`: writer precedes holder?
+            if !paths.has_edge(writer_slot, h_slot) {
+                continue;
+            }
+            // `path(parent(W).P, V.name, W.name)`: is V a predecessor of W?
+            // The initial author / parent counts as preceding everything.
+            let v_precedes_w = if author == ks_mvstore::INITIAL_AUTHOR
+                || Some(author.0 as usize) == self.nodes[writer].parent
+            {
+                true
+            } else {
+                // author is (a descendant of) some sibling: find its slot.
+                let author_slot = self.slot_of_author(parent_idx, author.0 as usize);
+                match author_slot {
+                    Some(s) => paths.has_edge(s, writer_slot),
+                    None => true, // from an outer scope: treat as older
+                }
+            };
+            if !v_precedes_w {
+                continue;
+            }
+            self.repair_holder(h, e, &mut actions);
+        }
+        actions
+    }
+
+    /// Figure 4's two repair outcomes for a holder whose assigned version
+    /// of `e` became stale: abort if `e` was already read (`R` lock),
+    /// otherwise re-assign with the performed reads pinned.
+    fn repair_holder(&mut self, h: usize, e: EntityId, actions: &mut Vec<ReEvalAction>) {
+        let parent_idx = self.nodes[h].parent.expect("holders are non-root");
+        if self.nodes[h].reads_done.contains_key(&e) {
+            // R lock: the stale version was already consumed — abort, and
+            // cascade to siblings that consumed the holder's versions.
+            let doomed = self.abort_subtree(h);
+            self.stats.reeval_aborts += 1;
+            actions.push(ReEvalAction::Aborted(Txn(h)));
+            for c in self.cascade_from(parent_idx, doomed) {
+                actions.push(ReEvalAction::Aborted(c));
+            }
+        } else {
+            // R_v only: salvage by re-assignment with pins.
+            let pins: Vec<(EntityId, Value)> = self.nodes[h]
+                .reads_done
+                .iter()
+                .map(|(&k, &v)| (k, v))
+                .collect();
+            match self.assign_versions(h, &pins, Strategy::GreedyLatest) {
+                Some(snapshot) => {
+                    self.nodes[h].snapshot = snapshot;
+                    self.stats.re_assigns += 1;
+                    actions.push(ReEvalAction::Reassigned(Txn(h)));
+                }
+                None => {
+                    let doomed = self.abort_subtree(h);
+                    self.stats.reeval_aborts += 1;
+                    actions.push(ReEvalAction::ReassignFailedAborted(Txn(h)));
+                    for c in self.cascade_from(parent_idx, doomed) {
+                        actions.push(ReEvalAction::Aborted(c));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The slot (under `parent_idx`) of the child whose subtree contains
+    /// node `author_idx`.
+    fn slot_of_author(&self, parent_idx: usize, author_idx: usize) -> Option<usize> {
+        let mut cur = author_idx;
+        loop {
+            let node = &self.nodes[cur];
+            match node.parent {
+                Some(p) if p == parent_idx => return Some(node.slot),
+                Some(p) => cur = p,
+                None => return None,
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 4: termination
+    // ------------------------------------------------------------------
+
+    /// The transaction's final view: its assigned snapshot overlaid with
+    /// its own and its committed descendants' writes, in stamp order.
+    /// For the root this is `X(t_f)` of the whole execution.
+    pub fn result_view(&self, t: Txn) -> Result<UniqueState, ProtocolError> {
+        let node = self.node(t)?;
+        let mut state = self.store.materialize(&node.snapshot)?;
+        let mut writes: Vec<(u64, VersionId)> = Vec::new();
+        self.collect_committed_writes(t.0, true, &mut writes);
+        writes.sort_by_key(|&(s, _)| s);
+        for (_, v) in writes {
+            let meta = self.store.meta(v)?;
+            state = UniqueState::from_values_unchecked({
+                let mut vals = state.values().to_vec();
+                vals[v.entity.index()] = meta.value;
+                vals
+            });
+        }
+        Ok(state)
+    }
+
+    fn collect_committed_writes(&self, idx: usize, is_self: bool, out: &mut Vec<(u64, VersionId)>) {
+        let node = &self.nodes[idx];
+        if !is_self && node.state == TxnState::Aborted {
+            return;
+        }
+        for &v in &node.writes {
+            let stamp = self.store.meta(v).expect("written").stamp;
+            out.push((stamp, v));
+        }
+        for &c in &node.children {
+            // include children that committed, or (for the in-progress
+            // self) all non-aborted descendants
+            let cs = self.nodes[c].state;
+            if cs == TxnState::Committed || (is_self && cs == TxnState::Validated) {
+                self.collect_committed_writes(c, false, out);
+            }
+        }
+    }
+
+    /// Attempt to commit: all sibling predecessors committed, all children
+    /// terminated, output condition satisfied.
+    pub fn commit(&mut self, t: Txn) -> Result<CommitOutcome, ProtocolError> {
+        let state = self.node(t)?.state;
+        if state != TxnState::Validated {
+            return Err(ProtocolError::WrongPhase {
+                attempted: "commit",
+                state: state.label(),
+            });
+        }
+        // Sibling predecessors must have committed.
+        if let Some(parent_idx) = self.node(t)?.parent {
+            let paths = self.paths_of(parent_idx);
+            let my_slot = self.node(t)?.slot;
+            for &c in &self.nodes[parent_idx].children {
+                let cn = &self.nodes[c];
+                if paths.has_edge(cn.slot, my_slot) && cn.state != TxnState::Committed
+                    && cn.state != TxnState::Aborted
+                {
+                    return Ok(CommitOutcome::PredecessorsPending(Txn(c)));
+                }
+            }
+        }
+        // Children must have terminated.
+        for &c in &self.node(t)?.children.clone() {
+            let cs = self.nodes[c].state;
+            if cs == TxnState::Defined || cs == TxnState::Validated {
+                return Ok(CommitOutcome::ChildrenPending(Txn(c)));
+            }
+        }
+        // Output condition on the final view.
+        let view = self.result_view(t)?;
+        if !self.node(t)?.spec.output_holds(&view) {
+            return Ok(CommitOutcome::OutputViolated);
+        }
+        self.nodes[t.0].state = TxnState::Committed;
+        Ok(CommitOutcome::Committed)
+    }
+
+    /// Abort a transaction and its live descendants. Siblings that were
+    /// assigned (or read) one of the aborted subtree's versions are
+    /// re-assigned or cascade-aborted. Returns the cascaded aborts.
+    pub fn abort(&mut self, t: Txn) -> Result<Vec<Txn>, ProtocolError> {
+        if t.0 == 0 {
+            return Err(ProtocolError::RootImmutable);
+        }
+        let state = self.node(t)?.state;
+        if state == TxnState::Committed || state == TxnState::Aborted {
+            return Err(ProtocolError::WrongPhase {
+                attempted: "abort",
+                state: state.label(),
+            });
+        }
+        let parent_idx = self.nodes[t.0].parent.expect("non-root");
+        let doomed = self.abort_subtree(t.0);
+        Ok(self.cascade_from(parent_idx, doomed))
+    }
+
+    /// Worklist repair after versions become doomed: siblings (under
+    /// `parent_idx`) whose assignment depends on doomed versions are
+    /// salvaged (re-assign) or aborted — including COMMITTED siblings,
+    /// whose commit "is only relative to the parent" and is undone (the
+    /// paper's first option). Each new abort may doom further versions,
+    /// hence the fixpoint loop. Returns the cascaded aborts.
+    fn cascade_from(&mut self, parent_idx: usize, mut doomed_authors: BTreeSet<usize>) -> Vec<Txn> {
+        let mut cascaded = Vec::new();
+        loop {
+            let mut changed = false;
+            let siblings: Vec<usize> = self.nodes[parent_idx]
+                .children
+                .iter()
+                .copied()
+                .filter(|&s| {
+                    !doomed_authors.contains(&s)
+                        && matches!(
+                            self.nodes[s].state,
+                            TxnState::Validated | TxnState::Committed
+                        )
+                })
+                .collect();
+            for s in siblings {
+                let input_set = self.nodes[s].spec.input_set();
+                let depends: Vec<EntityId> = input_set
+                    .iter()
+                    .copied()
+                    .filter(|&e| {
+                        self.nodes[s].snapshot.version_of(e).is_some_and(|v| {
+                            doomed_authors
+                                .contains(&(self.store.meta(v).expect("version").author.0 as usize))
+                        })
+                    })
+                    .collect();
+                if depends.is_empty() {
+                    continue;
+                }
+                let committed = self.nodes[s].state == TxnState::Committed;
+                let read_one = depends
+                    .iter()
+                    .any(|e| self.nodes[s].reads_done.contains_key(e));
+                if committed || read_one {
+                    doomed_authors.extend(self.abort_subtree(s));
+                    self.stats.cascade_aborts += 1;
+                    cascaded.push(Txn(s));
+                    changed = true;
+                } else {
+                    let pins: Vec<(EntityId, Value)> = self.nodes[s]
+                        .reads_done
+                        .iter()
+                        .map(|(&k, &v)| (k, v))
+                        .collect();
+                    match self.assign_versions(s, &pins, Strategy::GreedyLatest) {
+                        Some(snapshot) => {
+                            self.nodes[s].snapshot = snapshot;
+                            self.stats.re_assigns += 1;
+                        }
+                        None => {
+                            doomed_authors.extend(self.abort_subtree(s));
+                            self.stats.cascade_aborts += 1;
+                            cascaded.push(Txn(s));
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Defense in depth: dead versions leave the candidate space at the
+        // store level too (VersionIds stay readable for introspection).
+        let authors: BTreeSet<AuthorId> = doomed_authors
+            .iter()
+            .map(|&i| AuthorId(i as u64))
+            .collect();
+        self.store.prune_authors(&authors);
+        cascaded
+    }
+
+    /// Mark a subtree aborted; returns the node indices (authors whose
+    /// versions are now dead).
+    fn abort_subtree(&mut self, idx: usize) -> BTreeSet<usize> {
+        let mut out = BTreeSet::new();
+        let mut stack = vec![idx];
+        while let Some(i) = stack.pop() {
+            // A commit "is only relative to the parent": aborting the
+            // subtree undoes committed descendants as well.
+            let node = &mut self.nodes[i];
+            node.state = TxnState::Aborted;
+            out.insert(i);
+            stack.extend(node.children.iter().copied());
+        }
+        out
+    }
+}

@@ -1,0 +1,326 @@
+//! Session logs: a serializable record of every manager call, with replay.
+//!
+//! Production transaction managers need observability and reproducibility;
+//! a [`SessionLog`] captures the API-level history of a protocol session so
+//! it can be persisted (serde), inspected, and **replayed** against a fresh
+//! manager — the repro harness for any protocol bug, and the mechanism the
+//! randomized experiments use to shrink failures.
+
+use crate::manager::{
+    CommitOutcome, ProtocolManager, ReadOutcome, Txn, ValidationOutcome, WriteReport,
+};
+use crate::ProtocolError;
+use ks_core::Specification;
+use ks_kernel::{EntityId, Schema, UniqueState, Value};
+use ks_predicate::Strategy;
+use serde::{Deserialize, Serialize};
+
+/// One logged manager call. Handles are recorded as raw indices — define
+/// order is deterministic, so replay reproduces the same handles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SessionEvent {
+    /// `define(parent, spec, after, before)`.
+    Define {
+        /// Parent handle index.
+        parent: usize,
+        /// The specification.
+        spec: Specification,
+        /// `after` sibling handles.
+        after: Vec<usize>,
+        /// `before` sibling handles.
+        before: Vec<usize>,
+    },
+    /// `validate(txn, strategy)`.
+    Validate {
+        /// Handle index.
+        txn: usize,
+        /// Solver strategy.
+        strategy: Strategy,
+    },
+    /// `read(txn, entity)`.
+    Read {
+        /// Handle index.
+        txn: usize,
+        /// Entity read.
+        entity: EntityId,
+    },
+    /// `write(txn, entity, value)`.
+    Write {
+        /// Handle index.
+        txn: usize,
+        /// Entity written.
+        entity: EntityId,
+        /// Value written.
+        value: Value,
+    },
+    /// `commit(txn)`.
+    Commit {
+        /// Handle index.
+        txn: usize,
+    },
+    /// `abort(txn)`.
+    Abort {
+        /// Handle index.
+        txn: usize,
+    },
+}
+
+/// A recorded session: the initial conditions plus the call history.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionLog {
+    /// The schema the session ran over.
+    pub schema: Schema,
+    /// The initial database state.
+    pub initial: UniqueState,
+    /// The root specification.
+    pub root_spec: Specification,
+    /// The calls, in order.
+    pub events: Vec<SessionEvent>,
+}
+
+/// A manager wrapper that records every call into a [`SessionLog`].
+pub struct RecordingManager {
+    inner: ProtocolManager,
+    log: SessionLog,
+}
+
+impl RecordingManager {
+    /// Start a recording session.
+    pub fn new(schema: Schema, initial: &UniqueState, root_spec: Specification) -> Self {
+        let log = SessionLog {
+            schema: schema.clone(),
+            initial: initial.clone(),
+            root_spec: root_spec.clone(),
+            events: Vec::new(),
+        };
+        RecordingManager {
+            inner: ProtocolManager::new(schema, initial, root_spec),
+            log,
+        }
+    }
+
+    /// The wrapped manager (read-only introspection).
+    pub fn manager(&self) -> &ProtocolManager {
+        &self.inner
+    }
+
+    /// The log so far.
+    pub fn log(&self) -> &SessionLog {
+        &self.log
+    }
+
+    /// Finish and take the log.
+    pub fn into_log(self) -> SessionLog {
+        self.log
+    }
+
+    /// See [`ProtocolManager::root`].
+    pub fn root(&self) -> Txn {
+        self.inner.root()
+    }
+
+    /// See [`ProtocolManager::define`]; recorded.
+    pub fn define(
+        &mut self,
+        parent: Txn,
+        spec: Specification,
+        after: &[Txn],
+        before: &[Txn],
+    ) -> Result<Txn, ProtocolError> {
+        let result = self.inner.define(parent, spec.clone(), after, before);
+        if result.is_ok() {
+            self.log.events.push(SessionEvent::Define {
+                parent: parent.0,
+                spec,
+                after: after.iter().map(|t| t.0).collect(),
+                before: before.iter().map(|t| t.0).collect(),
+            });
+        }
+        result
+    }
+
+    /// See [`ProtocolManager::validate`]; recorded.
+    pub fn validate(
+        &mut self,
+        txn: Txn,
+        strategy: Strategy,
+    ) -> Result<ValidationOutcome, ProtocolError> {
+        let result = self.inner.validate(txn, strategy);
+        if result.is_ok() {
+            self.log.events.push(SessionEvent::Validate {
+                txn: txn.0,
+                strategy,
+            });
+        }
+        result
+    }
+
+    /// See [`ProtocolManager::read`]; recorded.
+    pub fn read(&mut self, txn: Txn, entity: EntityId) -> Result<ReadOutcome, ProtocolError> {
+        let result = self.inner.read(txn, entity);
+        if result.is_ok() {
+            self.log.events.push(SessionEvent::Read { txn: txn.0, entity });
+        }
+        result
+    }
+
+    /// See [`ProtocolManager::write`]; recorded.
+    pub fn write(
+        &mut self,
+        txn: Txn,
+        entity: EntityId,
+        value: Value,
+    ) -> Result<WriteReport, ProtocolError> {
+        let result = self.inner.write(txn, entity, value);
+        if result.is_ok() {
+            self.log.events.push(SessionEvent::Write {
+                txn: txn.0,
+                entity,
+                value,
+            });
+        }
+        result
+    }
+
+    /// See [`ProtocolManager::commit`]; recorded.
+    pub fn commit(&mut self, txn: Txn) -> Result<CommitOutcome, ProtocolError> {
+        let result = self.inner.commit(txn);
+        if result.is_ok() {
+            self.log.events.push(SessionEvent::Commit { txn: txn.0 });
+        }
+        result
+    }
+
+    /// See [`ProtocolManager::abort`]; recorded.
+    pub fn abort(&mut self, txn: Txn) -> Result<Vec<Txn>, ProtocolError> {
+        let result = self.inner.abort(txn);
+        if result.is_ok() {
+            self.log.events.push(SessionEvent::Abort { txn: txn.0 });
+        }
+        result
+    }
+}
+
+/// Replay a log against a fresh manager. Returns the manager in its final
+/// state. Replay is deterministic: handle indices repeat exactly because
+/// `define` order repeats exactly.
+pub fn replay(log: &SessionLog) -> Result<ProtocolManager, ProtocolError> {
+    let mut pm = ProtocolManager::new(log.schema.clone(), &log.initial, log.root_spec.clone());
+    for event in &log.events {
+        match event {
+            SessionEvent::Define {
+                parent,
+                spec,
+                after,
+                before,
+            } => {
+                let after: Vec<Txn> = after.iter().map(|&i| Txn(i)).collect();
+                let before: Vec<Txn> = before.iter().map(|&i| Txn(i)).collect();
+                pm.define(Txn(*parent), spec.clone(), &after, &before)?;
+            }
+            SessionEvent::Validate { txn, strategy } => {
+                pm.validate(Txn(*txn), *strategy)?;
+            }
+            SessionEvent::Read { txn, entity } => {
+                pm.read(Txn(*txn), *entity)?;
+            }
+            SessionEvent::Write { txn, entity, value } => {
+                pm.write(Txn(*txn), *entity, *value)?;
+            }
+            SessionEvent::Commit { txn } => {
+                pm.commit(Txn(*txn))?;
+            }
+            SessionEvent::Abort { txn } => {
+                pm.abort(Txn(*txn))?;
+            }
+        }
+    }
+    Ok(pm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::TxnState;
+    use ks_kernel::Domain;
+    use ks_predicate::parse_cnf;
+
+    fn setup() -> (Schema, UniqueState) {
+        let schema = Schema::uniform(["x", "y"], Domain::Range { min: 0, max: 99 });
+        let initial = UniqueState::new(&schema, vec![5, 5]).unwrap();
+        (schema, initial)
+    }
+
+    fn record_cooperation() -> (SessionLog, UniqueState) {
+        let (schema, initial) = setup();
+        let c = parse_cnf(&schema, "x = y").unwrap();
+        let mut rm = RecordingManager::new(schema.clone(), &initial, Specification::classical(&c));
+        let root = rm.root();
+        let c0 = rm
+            .define(
+                root,
+                Specification::new(
+                    parse_cnf(&schema, "x = 5 & y = 5").unwrap(),
+                    parse_cnf(&schema, "x > y").unwrap(),
+                ),
+                &[],
+                &[],
+            )
+            .unwrap();
+        let c1 = rm
+            .define(
+                root,
+                Specification::new(
+                    parse_cnf(&schema, "x = 6 & y = 5").unwrap(),
+                    parse_cnf(&schema, "x = y").unwrap(),
+                ),
+                &[c0],
+                &[],
+            )
+            .unwrap();
+        rm.validate(c0, Strategy::Backtracking).unwrap();
+        rm.read(c0, EntityId(0)).unwrap();
+        rm.write(c0, EntityId(0), 6).unwrap();
+        rm.validate(c1, Strategy::Backtracking).unwrap();
+        rm.read(c1, EntityId(0)).unwrap();
+        rm.write(c1, EntityId(1), 6).unwrap();
+        rm.commit(c0).unwrap();
+        rm.commit(c1).unwrap();
+        let final_state = rm.manager().result_view(root).unwrap();
+        (rm.into_log(), final_state)
+    }
+
+    #[test]
+    fn replay_reproduces_the_session() {
+        let (log, final_state) = record_cooperation();
+        assert_eq!(log.events.len(), 10);
+        let pm = replay(&log).unwrap();
+        assert_eq!(pm.result_view(pm.root()).unwrap(), final_state);
+        assert_eq!(pm.state_of(Txn(1)).unwrap(), TxnState::Committed);
+        assert_eq!(pm.state_of(Txn(2)).unwrap(), TxnState::Committed);
+    }
+
+    #[test]
+    fn log_serializes_round_trip() {
+        let (log, _) = record_cooperation();
+        let json = serde_json::to_string(&log).unwrap();
+        let back: SessionLog = serde_json::from_str(&json).unwrap();
+        assert_eq!(log, back);
+        // replay the deserialized log too
+        let pm = replay(&back).unwrap();
+        assert_eq!(pm.state_of(Txn(2)).unwrap(), TxnState::Committed);
+    }
+
+    #[test]
+    fn failed_calls_are_not_recorded() {
+        let (schema, initial) = setup();
+        let mut rm = RecordingManager::new(schema, &initial, Specification::trivial());
+        let root = rm.root();
+        // read before define/validate: error — not logged.
+        assert!(rm.read(Txn(99), EntityId(0)).is_err());
+        let t = rm.define(root, Specification::trivial(), &[], &[]).unwrap();
+        // commit before validate: error — not logged.
+        assert!(rm.commit(t).is_err());
+        assert_eq!(rm.log().events.len(), 1); // just the define
+    }
+}

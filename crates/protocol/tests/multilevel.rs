@@ -1,0 +1,148 @@
+//! Multi-level protocol sessions verified at EVERY level with
+//! `ks_core::check_tree` — the paper's multi-level correctness criterion
+//! applied to real protocol output.
+
+use ks_core::{check_tree, Specification};
+use ks_kernel::{Domain, EntityId, Schema, UniqueState};
+use ks_predicate::{parse_cnf, Strategy};
+use ks_protocol::extract::model_execution_tree;
+use ks_protocol::{CommitOutcome, ProtocolManager, ReadOutcome, Txn};
+
+fn schema() -> Schema {
+    Schema::uniform(["x", "y", "z"], Domain::Range { min: 0, max: 999 })
+}
+
+fn spec(s: &Schema, i: &str, o: &str) -> Specification {
+    Specification::new(parse_cnf(s, i).unwrap(), parse_cnf(s, o).unwrap())
+}
+
+/// Figure 1's shape, driven live: the root designer splits work into two
+/// sub-designers, each of which splits again.
+#[test]
+fn three_level_design_session_checks_at_every_level() {
+    let schema = schema();
+    let x = EntityId(0);
+    let y = EntityId(1);
+    let z = EntityId(2);
+    let initial = UniqueState::new(&schema, vec![1, 1, 1]).unwrap();
+    let constraint = parse_cnf(&schema, "x = y").unwrap();
+    let mut pm = ProtocolManager::new(schema.clone(), &initial, Specification::classical(&constraint));
+    let root = pm.root();
+
+    // Level 1: the design task (must preserve x = y overall).
+    let design = pm
+        .define(root, spec(&schema, "x = 1 & y = 1", "x = y"), &[], &[])
+        .unwrap();
+    pm.validate(design, Strategy::Backtracking).unwrap();
+
+    // Level 2 under `design`: phase_a (bumps x), phase_b (bumps y), ordered.
+    let phase_a = pm
+        .define(design, spec(&schema, "x = 1", "x = 2"), &[], &[])
+        .unwrap();
+    let phase_b = pm
+        .define(design, spec(&schema, "x = 2 & y = 1", "x = y"), &[phase_a], &[])
+        .unwrap();
+
+    // Level 3 under phase_a: two steps — read x, then write x.
+    pm.validate(phase_a, Strategy::Backtracking).unwrap();
+    let step_read = pm
+        .define(phase_a, spec(&schema, "x = 1", "true"), &[], &[])
+        .unwrap();
+    let step_write = pm
+        .define(phase_a, spec(&schema, "x = 1", "x = 2"), &[step_read], &[])
+        .unwrap();
+    pm.validate(step_read, Strategy::Backtracking).unwrap();
+    assert_eq!(pm.read(step_read, x).unwrap(), ReadOutcome::Value(1));
+    pm.validate(step_write, Strategy::Backtracking).unwrap();
+    pm.write(step_write, x, 2).unwrap();
+    assert_eq!(pm.commit(step_read).unwrap(), CommitOutcome::Committed);
+    assert_eq!(pm.commit(step_write).unwrap(), CommitOutcome::Committed);
+    assert_eq!(pm.commit(phase_a).unwrap(), CommitOutcome::Committed);
+
+    // phase_b at level 2: picks up phase_a's x, repairs y; also touches z.
+    pm.validate(phase_b, Strategy::Backtracking).unwrap();
+    assert_eq!(pm.read(phase_b, x).unwrap(), ReadOutcome::Value(2));
+    pm.write(phase_b, y, 2).unwrap();
+    assert_eq!(pm.commit(phase_b).unwrap(), CommitOutcome::Committed);
+    assert_eq!(pm.commit(design).unwrap(), CommitOutcome::Committed);
+    let _ = z;
+
+    // Verify EVERY level of the committed tree.
+    let (txn, parent, tree) = model_execution_tree(&pm, root).unwrap();
+    let report = check_tree(&schema, &txn, &parent, &tree);
+    // Levels: root, design, phase_a (phase_b is a leaf).
+    assert_eq!(report.levels.len(), 3, "{report:?}");
+    assert!(report.all_correct(), "{report:?}");
+    assert!(report.all_correct_parent_based(), "{report:?}");
+
+    // The final state propagated to the top.
+    assert_eq!(tree.exec.final_input.get(x), 2);
+    assert_eq!(tree.exec.final_input.get(y), 2);
+}
+
+/// An aborted branch disappears from the committed tree; the remaining
+/// levels still verify.
+#[test]
+fn aborted_branch_excluded_from_tree() {
+    let schema = schema();
+    let x = EntityId(0);
+    let initial = UniqueState::new(&schema, vec![1, 1, 1]).unwrap();
+    let mut pm = ProtocolManager::new(schema.clone(), &initial, Specification::trivial());
+    let root = pm.root();
+
+    let keeper = pm
+        .define(root, spec(&schema, "x >= 0", "true"), &[], &[])
+        .unwrap();
+    let loser = pm
+        .define(root, spec(&schema, "x >= 0", "true"), &[], &[])
+        .unwrap();
+    pm.validate(keeper, Strategy::Backtracking).unwrap();
+    pm.validate(loser, Strategy::Backtracking).unwrap();
+    pm.write(keeper, x, 7).unwrap();
+    pm.write(loser, x, 9).unwrap();
+    pm.abort(loser).unwrap();
+    assert_eq!(pm.commit(keeper).unwrap(), CommitOutcome::Committed);
+
+    let (txn, parent, tree) = model_execution_tree(&pm, root).unwrap();
+    assert_eq!(txn.children().len(), 1); // only the keeper
+    let report = check_tree(&schema, &txn, &parent, &tree);
+    assert!(report.all_correct_parent_based(), "{report:?}");
+    // The loser's version is not the final state.
+    assert_eq!(tree.exec.final_input.get(x), 7);
+}
+
+/// Nested commit discipline: a parent cannot commit before its children,
+/// and the tree extraction reflects the committed shape only.
+#[test]
+fn parent_commit_gated_by_children_at_depth() {
+    let schema = schema();
+    let initial = UniqueState::new(&schema, vec![1, 1, 1]).unwrap();
+    let mut pm = ProtocolManager::new(schema.clone(), &initial, Specification::trivial());
+    let root = pm.root();
+    let a = pm.define(root, Specification::trivial(), &[], &[]).unwrap();
+    pm.validate(a, Strategy::Backtracking).unwrap();
+    let b = pm.define(a, Specification::trivial(), &[], &[]).unwrap();
+    pm.validate(b, Strategy::Backtracking).unwrap();
+    let c = pm.define(b, Specification::trivial(), &[], &[]).unwrap();
+    assert_eq!(pm.commit(a).unwrap(), CommitOutcome::ChildrenPending(b));
+    assert_eq!(pm.commit(b).unwrap(), CommitOutcome::ChildrenPending(c));
+    pm.validate(c, Strategy::Backtracking).unwrap();
+    assert_eq!(pm.commit(c).unwrap(), CommitOutcome::Committed);
+    assert_eq!(pm.commit(b).unwrap(), CommitOutcome::Committed);
+    assert_eq!(pm.commit(a).unwrap(), CommitOutcome::Committed);
+    // Names go three deep, Figure 1 style.
+    assert_eq!(pm.name_of(c).unwrap().to_string(), "t.0.0.0");
+    let (_, _, tree) = model_execution_tree(&pm, root).unwrap();
+    // root level → a level → b level (c is a leaf)
+    let mut depth = 0;
+    let mut cur: &ks_core::TreeExecution = &tree;
+    loop {
+        depth += 1;
+        match cur.children.first().and_then(|c| c.as_ref()) {
+            Some(next) => cur = next,
+            None => break,
+        }
+    }
+    assert_eq!(depth, 3);
+    let _ = Txn(0);
+}

@@ -1,0 +1,88 @@
+//! Scale smoke tests: the protocol stays well-behaved on sessions far
+//! larger than the paper-sized scenarios.
+
+use ks_core::{check, Specification};
+use ks_kernel::{Domain, EntityId, Schema, UniqueState};
+use ks_predicate::random::SplitMix64;
+use ks_predicate::{Atom, Clause, CmpOp, Cnf, Strategy};
+use ks_protocol::extract::model_execution;
+use ks_protocol::{CommitOutcome, ProtocolManager, TxnState, ValidationOutcome};
+
+/// 120 transactions over 40 entities, randomly ordered in chains of 4,
+/// thousands of operations — completes quickly and verifies.
+#[test]
+fn large_session_commits_and_verifies() {
+    let n_entities = 40usize;
+    let schema = Schema::uniform(
+        (0..n_entities).map(|i| format!("d{i}")),
+        Domain::Range { min: 0, max: 1_000 },
+    );
+    let initial = UniqueState::from_values_unchecked(vec![0; n_entities]);
+    let mut pm = ProtocolManager::new(schema.clone(), &initial, Specification::trivial());
+    let root = pm.root();
+    let mut rng = SplitMix64::new(0x57AB1E);
+
+    let tautology = |entities: &[EntityId]| {
+        Cnf::new(
+            entities
+                .iter()
+                .map(|&e| Clause::unit(Atom::cmp_const(e, CmpOp::Ge, 0)))
+                .collect(),
+        )
+    };
+
+    let mut handles = Vec::new();
+    for i in 0..120usize {
+        // Each transaction touches 4 entities.
+        let entities: Vec<EntityId> = (0..4)
+            .map(|_| EntityId(rng.index(n_entities) as u32))
+            .collect();
+        let spec = Specification::new(tautology(&entities), Cnf::truth());
+        let after: Vec<_> = if i % 4 != 0 {
+            handles.last().copied().into_iter().collect()
+        } else {
+            vec![]
+        };
+        let h = pm.define(root, spec, &after, &[]).unwrap();
+        assert_eq!(
+            pm.validate(h, Strategy::GreedyLatest).unwrap(),
+            ValidationOutcome::Validated
+        );
+        // do some work
+        for &e in &entities {
+            if rng.coin() {
+                let _ = pm.read(h, e);
+            } else {
+                let _ = pm.write(h, e, rng.below(1000) as i64);
+            }
+        }
+        handles.push(h);
+    }
+
+    // Commit in definition order (chains resolve forward).
+    let mut committed = 0;
+    for &h in &handles {
+        if pm.state_of(h).unwrap() != TxnState::Validated {
+            continue; // repaired away by re-eval
+        }
+        match pm.commit(h).unwrap() {
+            CommitOutcome::Committed => committed += 1,
+            CommitOutcome::OutputViolated => {
+                pm.abort(h).unwrap();
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    assert!(committed > 80, "most of the session should commit: {committed}");
+
+    // The full session still verifies against the model.
+    let (txn, parent, exec) = model_execution(&pm, root).unwrap();
+    let report = check::check(&schema, &txn, &parent, &exec);
+    assert!(report.is_correct(), "{committed} committed");
+    assert!(report.parent_based);
+
+    // Version chains grew but stayed consistent.
+    let stats = pm.stats();
+    assert!(stats.writes > 100);
+    assert_eq!(stats.validations as usize, 120);
+}

@@ -1,0 +1,163 @@
+//! Conflict serializability (`CSR`): the efficient classical class.
+//!
+//! Two steps conflict if they touch the same entity, belong to different
+//! transactions, and at least one is a write. A schedule is conflict
+//! serializable iff its conflict graph is acyclic; any topological order is
+//! an equivalent serial order.
+
+use crate::{DiGraph, Schedule, TxnId};
+
+/// The conflict graph: node per transaction, edge `t_i → t_j` whenever some
+/// step of `t_i` precedes and conflicts with a step of `t_j`.
+pub fn conflict_graph(s: &Schedule) -> DiGraph {
+    let mut g = DiGraph::new(s.num_txns());
+    let ops = s.ops();
+    for i in 0..ops.len() {
+        for j in i + 1..ops.len() {
+            if ops[i].conflicts_with(&ops[j]) {
+                g.add_edge(ops[i].txn.index(), ops[j].txn.index());
+            }
+        }
+    }
+    g
+}
+
+/// Is the schedule conflict serializable?
+pub fn is_csr(s: &Schedule) -> bool {
+    !conflict_graph(s).has_cycle()
+}
+
+/// An equivalent serial order, if the schedule is conflict serializable.
+pub fn csr_witness(s: &Schedule) -> Option<Vec<TxnId>> {
+    conflict_graph(s)
+        .topological_order()
+        .map(|o| o.into_iter().map(|i| TxnId(i as u32)).collect())
+}
+
+/// Are two schedules over the same transactions conflict equivalent?
+/// (Same steps, conflicting pairs in the same relative order.)
+pub fn conflict_equivalent(a: &Schedule, b: &Schedule) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    // Match steps by (txn, action, entity, occurrence).
+    let key = |s: &Schedule, idx: usize| {
+        let op = s.ops()[idx];
+        let occ = s.ops()[..idx]
+            .iter()
+            .filter(|o| **o == op)
+            .count();
+        (op, occ)
+    };
+    let mut b_pos = std::collections::HashMap::new();
+    for i in 0..b.len() {
+        if b_pos.insert(key(b, i), i).is_some() {
+            unreachable!("occurrence keys are unique");
+        }
+    }
+    // Same multiset of steps?
+    for i in 0..a.len() {
+        if !b_pos.contains_key(&key(a, i)) {
+            return false;
+        }
+    }
+    // Conflicting pairs in the same order.
+    for i in 0..a.len() {
+        for j in i + 1..a.len() {
+            if a.ops()[i].conflicts_with(&a.ops()[j]) {
+                let bi = b_pos[&key(a, i)];
+                let bj = b_pos[&key(a, j)];
+                if bi > bj {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ScheduleBuilder;
+
+    #[test]
+    fn serial_schedule_is_csr() {
+        let s = Schedule::parse("R1(x) W1(x) R2(x) W2(x)").unwrap();
+        assert!(s.is_serial());
+        assert!(is_csr(&s));
+        assert_eq!(csr_witness(&s).unwrap(), vec![TxnId(0), TxnId(1)]);
+    }
+
+    #[test]
+    fn classic_lost_update_not_csr() {
+        // R1(x) R2(x) W2(x) W1(x): t1→t2 (R1<W2), t2→t1 (R2<W1) — cycle.
+        let s = Schedule::parse("R1(x) R2(x) W2(x) W1(x)").unwrap();
+        assert!(!is_csr(&s));
+        assert!(csr_witness(&s).is_none());
+    }
+
+    #[test]
+    fn paper_region9_schedule_is_csr() {
+        // Figure 2 region 9: all conflicts resolved in the same order.
+        let s = Schedule::parse("R1(x) W1(x) R2(x) R1(y) W1(y) R2(y) W2(y)").unwrap();
+        assert!(is_csr(&s));
+        assert_eq!(csr_witness(&s).unwrap(), vec![TxnId(0), TxnId(1)]);
+    }
+
+    #[test]
+    fn paper_example1_not_csr() {
+        let s = Schedule::parse("R1(x) W1(x) R2(x) R2(y) W2(y) R1(y) W1(y)").unwrap();
+        assert!(!is_csr(&s));
+    }
+
+    #[test]
+    fn conflict_graph_edges() {
+        let s = Schedule::parse("R1(x) W2(x) W1(x)").unwrap();
+        let g = conflict_graph(&s);
+        assert!(g.has_edge(0, 1)); // R1(x) < W2(x)
+        assert!(g.has_edge(1, 0)); // W2(x) < W1(x)
+        assert!(g.has_cycle());
+    }
+
+    #[test]
+    fn conflict_equivalence_to_serialized() {
+        let s = Schedule::parse("R1(x) R2(y) W1(x) W2(y)").unwrap();
+        let serial = s.serialized(&[TxnId(0), TxnId(1)]);
+        assert!(conflict_equivalent(&s, &serial));
+        let serial_rev = s.serialized(&[TxnId(1), TxnId(0)]);
+        // No cross-transaction conflicts at all, so still equivalent.
+        assert!(conflict_equivalent(&s, &serial_rev));
+    }
+
+    #[test]
+    fn conflict_equivalence_detects_reordered_conflict() {
+        let a = Schedule::parse("W1(x) W2(x)").unwrap();
+        let b = Schedule::parse("W2(x) W1(x)").unwrap();
+        assert!(!conflict_equivalent(&a, &b));
+        assert!(conflict_equivalent(&a, &a));
+    }
+
+    #[test]
+    fn conflict_equivalence_requires_same_steps() {
+        // Parse within one entity namespace so x and y differ.
+        let both = Schedule::parse("W1(x) W1(y)").unwrap();
+        let a = Schedule::from_ops(vec![both.ops()[0]]);
+        let b = Schedule::from_ops(vec![both.ops()[1]]);
+        assert!(!conflict_equivalent(&a, &b));
+        let c = Schedule::parse("W1(x) W1(x)").unwrap();
+        assert!(!conflict_equivalent(&a, &c));
+    }
+
+    #[test]
+    fn csr_equivalent_serial_is_conflict_equivalent() {
+        let s = ScheduleBuilder::new()
+            .r(1, "x")
+            .w(1, "x")
+            .r(2, "x")
+            .w(2, "y")
+            .build();
+        let order = csr_witness(&s).unwrap();
+        assert!(conflict_equivalent(&s, &s.serialized(&order)));
+    }
+}

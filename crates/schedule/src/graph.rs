@@ -1,0 +1,250 @@
+//! A small directed-graph utility: cycle detection and topological order.
+//!
+//! Used for conflict graphs (`CSR`), reads-before-writes graphs (`MVCSR`,
+//! `CPC`), the protocol's partial-order validation, and the waits-for graphs
+//! of the 2PL baseline.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A directed graph over dense node ids `0..n`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiGraph {
+    n: usize,
+    edges: BTreeSet<(usize, usize)>,
+}
+
+impl DiGraph {
+    /// An edgeless graph with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        DiGraph {
+            n,
+            edges: BTreeSet::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of distinct edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Add edge `from → to` (idempotent). Self-loops are allowed and make
+    /// the graph cyclic. Panics if a node is out of range.
+    pub fn add_edge(&mut self, from: usize, to: usize) {
+        assert!(from < self.n && to < self.n, "node out of range");
+        self.edges.insert((from, to));
+    }
+
+    /// Is `from → to` present?
+    pub fn has_edge(&self, from: usize, to: usize) -> bool {
+        self.edges.contains(&(from, to))
+    }
+
+    /// The edges, sorted.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Successors of a node.
+    pub fn successors(&self, node: usize) -> impl Iterator<Item = usize> + '_ {
+        self.edges
+            .range((node, 0)..(node, usize::MAX))
+            .map(|&(_, to)| to)
+    }
+
+    /// Kahn's algorithm: a topological order if the graph is acyclic,
+    /// `None` otherwise.
+    pub fn topological_order(&self) -> Option<Vec<usize>> {
+        let mut indegree = vec![0usize; self.n];
+        for &(_, to) in &self.edges {
+            indegree[to] += 1;
+        }
+        let mut queue: Vec<usize> = (0..self.n).filter(|&v| indegree[v] == 0).collect();
+        // Keep deterministic ascending order.
+        queue.sort_unstable();
+        let mut order = Vec::with_capacity(self.n);
+        let mut head = 0;
+        while head < queue.len() {
+            // pop the smallest available node for determinism
+            let rest = &mut queue[head..];
+            let (min_i, _) = rest
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, v)| *v)
+                .expect("non-empty");
+            rest.swap(0, min_i);
+            let v = queue[head];
+            head += 1;
+            order.push(v);
+            for u in self.successors(v).collect::<Vec<_>>() {
+                indegree[u] -= 1;
+                if indegree[u] == 0 {
+                    queue.push(u);
+                }
+            }
+        }
+        (order.len() == self.n).then_some(order)
+    }
+
+    /// Does the graph contain a directed cycle?
+    pub fn has_cycle(&self) -> bool {
+        self.topological_order().is_none()
+    }
+
+    /// Transitive closure as an edge set (Floyd–Warshall style reachability;
+    /// the paper's `P⁺` and `R⁺`).
+    pub fn transitive_closure(&self) -> DiGraph {
+        let mut reach = vec![vec![false; self.n]; self.n];
+        for &(a, b) in &self.edges {
+            reach[a][b] = true;
+        }
+        for k in 0..self.n {
+            for i in 0..self.n {
+                if reach[i][k] {
+                    let row_k = reach[k].clone();
+                    for (j, &r) in row_k.iter().enumerate() {
+                        if r {
+                            reach[i][j] = true;
+                        }
+                    }
+                }
+            }
+        }
+        let mut g = DiGraph::new(self.n);
+        for (i, row) in reach.iter().enumerate() {
+            for (j, &r) in row.iter().enumerate() {
+                if r {
+                    g.edges.insert((i, j));
+                }
+            }
+        }
+        g
+    }
+
+    /// Render as Graphviz DOT, with optional node labels (falls back to
+    /// `n{i}`). Handy for visualising conflict and reads-before-writes
+    /// graphs when debugging classifier verdicts.
+    pub fn to_dot(&self, name: &str, labels: &[String]) -> String {
+        let mut out = format!("digraph {name} {{\n");
+        for i in 0..self.n {
+            let label = labels.get(i).cloned().unwrap_or_else(|| format!("n{i}"));
+            out.push_str(&format!("  n{i} [label=\"{label}\"];\n"));
+        }
+        for &(a, b) in &self.edges {
+            out.push_str(&format!("  n{a} -> n{b};\n"));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Is there a directed path `from ⇝ to` (length ≥ 1)?
+    pub fn has_path(&self, from: usize, to: usize) -> bool {
+        let mut seen = vec![false; self.n];
+        let mut stack: Vec<usize> = self.successors(from).collect();
+        while let Some(v) = stack.pop() {
+            if v == to {
+                return true;
+            }
+            if !seen[v] {
+                seen[v] = true;
+                stack.extend(self.successors(v));
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acyclic_graph_topo_sorts() {
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 3);
+        let order = g.topological_order().unwrap();
+        let pos = |v: usize| order.iter().position(|&x| x == v).unwrap();
+        assert!(pos(0) < pos(1) && pos(1) < pos(2) && pos(0) < pos(3));
+        assert!(!g.has_cycle());
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        assert!(g.has_cycle());
+        assert!(g.topological_order().is_none());
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let mut g = DiGraph::new(1);
+        g.add_edge(0, 0);
+        assert!(g.has_cycle());
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        assert!(!DiGraph::new(0).has_cycle());
+        let g = DiGraph::new(5);
+        assert_eq!(g.topological_order().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn idempotent_edges() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn closure_and_paths() {
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        let c = g.transitive_closure();
+        assert!(c.has_edge(0, 2));
+        assert!(!c.has_edge(2, 0));
+        assert!(g.has_path(0, 2));
+        assert!(!g.has_path(2, 0));
+        assert!(!g.has_path(0, 3));
+        assert!(!g.has_path(0, 0)); // no cycle through 0
+    }
+
+    #[test]
+    fn deterministic_topo_order() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(2, 0);
+        // 1 and 2 both sources; smallest first.
+        assert_eq!(g.topological_order().unwrap(), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn dot_rendering() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(0, 1);
+        let dot = g.to_dot("conflicts", &["t1".into(), "t2".into()]);
+        assert!(dot.contains("digraph conflicts"));
+        assert!(dot.contains("n0 [label=\"t1\"]"));
+        assert!(dot.contains("n0 -> n1;"));
+        // missing labels fall back
+        let dot2 = g.to_dot("g", &[]);
+        assert!(dot2.contains("n1 [label=\"n1\"]"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        DiGraph::new(1).add_edge(0, 1);
+    }
+}

@@ -1,0 +1,222 @@
+//! Multiversion serializability (`MVSR`) and multiversion conflict
+//! serializability (`MVCSR`).
+//!
+//! With versions retained, a write never destroys the value a concurrent
+//! reader needs: the version function may hand any *already-written* version
+//! to a read. Following the paper's Section 4.2, a schedule is `MVSR` iff
+//! there is a serial order `π` such that assigning each read the version it
+//! would see under `π` (own prior write, else the last `π`-predecessor's
+//! write, else the initial version) is *temporally feasible* — the chosen
+//! version must exist by the time the read executes. No final-state
+//! condition arises: all versions persist, and "the final read" follows `π`
+//! (the paper's Figure 2 region 7 commentary makes this explicit).
+//!
+//! `MVCSR` is the efficient subclass (Section 4.3): "the only conflicts
+//! which exist … are reads before writes on the same data item". The test
+//! draws an arc `A → B` whenever a read of `A` precedes a write of `B` on
+//! the same entity, and checks acyclicity.
+
+use crate::perm::Permutations;
+use crate::{Action, DiGraph, Schedule, TxnId};
+use std::collections::BTreeMap;
+
+/// The reads-before-writes graph: arc `t_i → t_j` whenever `t_i` reads an
+/// entity before `t_j` writes it (`i ≠ j`).
+pub fn reads_before_writes_graph(s: &Schedule) -> DiGraph {
+    let mut g = DiGraph::new(s.num_txns());
+    let ops = s.ops();
+    for i in 0..ops.len() {
+        if ops[i].action != Action::Read {
+            continue;
+        }
+        for j in i + 1..ops.len() {
+            if ops[j].action == Action::Write
+                && ops[j].entity == ops[i].entity
+                && ops[j].txn != ops[i].txn
+            {
+                g.add_edge(ops[i].txn.index(), ops[j].txn.index());
+            }
+        }
+    }
+    g
+}
+
+/// Is the schedule multiversion *conflict* serializable? Polynomial.
+pub fn is_mvcsr(s: &Schedule) -> bool {
+    !reads_before_writes_graph(s).has_cycle()
+}
+
+/// A serial order witnessing MVCSR membership.
+pub fn mvcsr_witness(s: &Schedule) -> Option<Vec<TxnId>> {
+    reads_before_writes_graph(s)
+        .topological_order()
+        .map(|o| o.into_iter().map(|i| TxnId(i as u32)).collect())
+}
+
+/// Check whether serial order `order` is a multiversion serialization of
+/// `s`: every read can be given the version it would see under `order`
+/// using only versions written before the read executes.
+pub fn mv_feasible(s: &Schedule, order: &[TxnId]) -> bool {
+    let pos_in_order: BTreeMap<TxnId, usize> =
+        order.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+    let ops = s.ops();
+    for (ridx, rop) in ops.iter().enumerate() {
+        if rop.action != Action::Read {
+            continue;
+        }
+        // Does the reader write this entity before the read, in its own
+        // program order? Then it reads its own version — always feasible.
+        let own_prior_write = ops[..ridx]
+            .iter()
+            .any(|o| o.txn == rop.txn && o.entity == rop.entity && o.action == Action::Write);
+        if own_prior_write {
+            continue;
+        }
+        // Otherwise the read must see the last writer of the entity among
+        // the reader's π-predecessors (or the initial version if none).
+        let my_pos = pos_in_order[&rop.txn];
+        let source_txn = order[..my_pos]
+            .iter()
+            .rev()
+            .find(|&&t| {
+                ops.iter()
+                    .any(|o| o.txn == t && o.entity == rop.entity && o.action == Action::Write)
+            })
+            .copied();
+        match source_txn {
+            None => {} // initial version: always available
+            Some(t) => {
+                // The source version is t's LAST write of the entity; it
+                // must exist by the time the read runs.
+                let last_write_pos = ops
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, o)| {
+                        o.txn == t && o.entity == rop.entity && o.action == Action::Write
+                    })
+                    .map(|(i, _)| i)
+                    .next_back()
+                    .expect("source txn writes the entity");
+                if last_write_pos > ridx {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Is the schedule multiversion serializable? Exact brute force over serial
+/// orders (the recognition problem is NP-complete in general).
+pub fn is_mvsr(s: &Schedule) -> bool {
+    mvsr_witness(s).is_some()
+}
+
+/// A serial order witnessing multiversion serializability.
+pub fn mvsr_witness(s: &Schedule) -> Option<Vec<TxnId>> {
+    for perm in Permutations::new(s.num_txns()) {
+        let order: Vec<TxnId> = perm.into_iter().map(|i| TxnId(i as u32)).collect();
+        if mv_feasible(s, &order) {
+            return Some(order);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vsr::is_vsr;
+
+    #[test]
+    fn paper_example1_is_mvsr_not_vsr() {
+        // Section 4.2: the version function maps t0(S) to t2 and t2's
+        // result to t1 — serial order (t2, t1).
+        let s = Schedule::parse("R1(x) W1(x) R2(x) R2(y) W2(y) R1(y) W1(y)").unwrap();
+        assert!(!is_vsr(&s));
+        let w = mvsr_witness(&s).unwrap();
+        assert_eq!(w, vec![TxnId(1), TxnId(0)]);
+    }
+
+    #[test]
+    fn paper_region1_not_mvsr() {
+        // Figure 2 region 1 (non-CPC): "either t1 should read from t2 or t2
+        // should read from t1 in a serial schedule, and this does not
+        // happen here."
+        let s = Schedule::parse("R1(x) R2(x) W2(x) W1(x)").unwrap();
+        assert!(!is_mvsr(&s));
+        assert!(!is_mvcsr(&s));
+    }
+
+    #[test]
+    fn paper_region7_mvcsr_via_final_version_choice() {
+        // Figure 2 region 7: R1(x) W2(x) W1(x). Serial (t1, t2) with the
+        // final read taking t2's version.
+        let s = Schedule::parse("R1(x) W2(x) W1(x)").unwrap();
+        assert!(is_mvcsr(&s));
+        assert!(mv_feasible(&s, &[TxnId(0), TxnId(1)]));
+        assert!(is_mvsr(&s));
+        assert!(!is_vsr(&s)); // single-version final state pins t1's write
+    }
+
+    #[test]
+    fn rbw_graph_shape() {
+        let s = Schedule::parse("R1(x) R2(x) W2(x) W1(x)").unwrap();
+        let g = reads_before_writes_graph(&s);
+        assert!(g.has_edge(0, 1)); // R1(x) < W2(x)
+        assert!(g.has_edge(1, 0)); // R2(x) < W1(x)
+        assert!(g.has_cycle());
+    }
+
+    #[test]
+    fn own_reads_do_not_create_arcs() {
+        let s = Schedule::parse("R1(x) W1(x)").unwrap();
+        let g = reads_before_writes_graph(&s);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn mvcsr_witness_is_mv_feasible() {
+        for text in [
+            "R1(x) W1(x) R2(x) R2(y) W2(y) R1(y) W1(y)",
+            "R1(x) W2(x) W1(x)",
+            "R1(x) W1(x) R2(x) W2(x)",
+            "W1(x) W2(x) R3(x)",
+        ] {
+            let s = Schedule::parse(text).unwrap();
+            if let Some(order) = mvcsr_witness(&s) {
+                assert!(mv_feasible(&s, &order), "{text}: MVCSR ⊆ MVSR violated");
+            }
+        }
+    }
+
+    #[test]
+    fn vsr_subset_of_mvsr_on_samples() {
+        for text in [
+            "R1(x) W1(x) R2(x) W2(x)",
+            "R1(x) W2(x) W1(x) W3(x)",
+            "R2(x) W1(x)",
+            "R1(x) R2(x) W2(x) W1(x)",
+        ] {
+            let s = Schedule::parse(text).unwrap();
+            if is_vsr(&s) {
+                assert!(is_mvsr(&s), "{text}");
+            }
+        }
+    }
+
+    #[test]
+    fn own_write_then_read_feasible_in_any_order() {
+        let s = Schedule::parse("W1(x) R1(x) W2(x) R2(x)").unwrap();
+        assert!(mv_feasible(&s, &[TxnId(0), TxnId(1)]));
+        assert!(mv_feasible(&s, &[TxnId(1), TxnId(0)]));
+    }
+
+    #[test]
+    fn read_requires_version_to_exist() {
+        // Serial (t2, t1) needs R1(x) to see W2(x), which happens later.
+        let s = Schedule::parse("R1(x) W2(x) W1(y)").unwrap();
+        assert!(!mv_feasible(&s, &[TxnId(1), TxnId(0)]));
+        assert!(mv_feasible(&s, &[TxnId(0), TxnId(1)]));
+    }
+}

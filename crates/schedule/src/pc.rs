@@ -1,0 +1,158 @@
+//! Predicate correct (`PC`) and conflict predicate correct (`CPC`) — the
+//! paper's broadest tractable classes, combining every extension.
+//!
+//! `PC` allows multiple versions, partial orders, and predicate-wise
+//! decomposition simultaneously: for each object of the database constraint
+//! the restriction of the schedule must be multiversion serializable.
+//!
+//! `CPC` is the efficient variant (Section 4.3): "each graph corresponds to
+//! a single conjunct, and the arc is drawn only if the data item accessed by
+//! A and B is in the conjunct. A schedule is MVCSR iff the graph is acyclic,
+//! and consequently, a schedule is CPC iff all of the graphs are acyclic."
+//! One reads-before-writes graph per object — testing is `O(objects · n²)`.
+
+use crate::mvsr::{is_mvsr, reads_before_writes_graph};
+use crate::{DiGraph, Schedule, TxnId};
+use ks_predicate::Object;
+
+/// The per-object reads-before-writes graphs of the CPC test.
+pub fn cpc_graphs<'a>(s: &Schedule, objects: &'a [Object]) -> Vec<(&'a Object, DiGraph)> {
+    objects
+        .iter()
+        .map(|obj| {
+            let proj = s.project_entities(obj.entities());
+            (obj, reads_before_writes_graph(&proj))
+        })
+        .collect()
+}
+
+/// Is the schedule conflict predicate correct? Polynomial.
+pub fn is_cpc(s: &Schedule, objects: &[Object]) -> bool {
+    assert!(
+        !objects.is_empty(),
+        "the paper assumes a non-empty consistency constraint"
+    );
+    cpc_graphs(s, objects).iter().all(|(_, g)| !g.has_cycle())
+}
+
+/// Per-object serialization orders witnessing CPC membership (they may
+/// disagree across objects).
+pub fn cpc_witnesses(s: &Schedule, objects: &[Object]) -> Option<Vec<(Object, Vec<TxnId>)>> {
+    let mut out = Vec::new();
+    for (obj, g) in cpc_graphs(s, objects) {
+        let order = g.topological_order()?;
+        out.push((
+            obj.clone(),
+            order.into_iter().map(|i| TxnId(i as u32)).collect(),
+        ));
+    }
+    Some(out)
+}
+
+/// Is the schedule predicate correct? For each object, the restriction of
+/// the schedule must be multiversion serializable. Exponential (per-object
+/// brute force over serial orders), exact on paper-scale inputs.
+pub fn is_pc(s: &Schedule, objects: &[Object]) -> bool {
+    assert!(
+        !objects.is_empty(),
+        "the paper assumes a non-empty consistency constraint"
+    );
+    objects
+        .iter()
+        .all(|obj| is_mvsr(&s.project_entities(obj.entities())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ks_kernel::EntityId;
+
+    fn xy_objects() -> Vec<Object> {
+        vec![
+            Object::from_iter([EntityId(0)]),
+            Object::from_iter([EntityId(1)]),
+        ]
+    }
+
+    fn x_object() -> Vec<Object> {
+        vec![Object::from_iter([EntityId(0)])]
+    }
+
+    #[test]
+    fn region1_not_cpc() {
+        // Figure 2 region 1: no decomposition serializes under any version
+        // function.
+        let s = Schedule::parse("R1(x) R2(x) W2(x) W1(x)").unwrap();
+        assert!(!is_cpc(&s, &x_object()));
+        assert!(!is_pc(&s, &x_object()));
+    }
+
+    #[test]
+    fn region2_cpc_but_outside_everything_else() {
+        // Figure 2 region 2: x and y in different conjuncts rescue it.
+        let s = Schedule::parse("R1(y) R2(x) W1(x) W1(y) W2(x) W2(y)").unwrap();
+        assert!(is_cpc(&s, &xy_objects()));
+        assert!(is_pc(&s, &xy_objects()));
+        assert!(!crate::mvsr::is_mvcsr(&s));
+        assert!(!crate::pwsr::is_pwcsr(&s, &xy_objects()));
+        assert!(!crate::vsr::is_vsr(&s));
+    }
+
+    #[test]
+    fn cpc_witness_orders_may_disagree() {
+        let s = Schedule::parse("R1(y) R2(x) W1(x) W1(y) W2(x) W2(y)").unwrap();
+        let ws = cpc_witnesses(&s, &xy_objects()).unwrap();
+        // Entity interning order: y = e0, x = e1 in this text.
+        // y-object graph: t1 → t2 (R1(y) before W2(y)); x: t2 → t1.
+        assert_eq!(ws[0].1, vec![TxnId(0), TxnId(1)]);
+        assert_eq!(ws[1].1, vec![TxnId(1), TxnId(0)]);
+    }
+
+    #[test]
+    fn mvcsr_subset_of_cpc() {
+        for text in [
+            "R1(x) W2(x) W1(x)",
+            "R1(x) W1(x) R2(x) R2(y) W2(y) R1(y) W1(y)",
+            "R1(x) W1(x) R2(x) W2(x)",
+        ] {
+            let s = Schedule::parse(text).unwrap();
+            if crate::mvsr::is_mvcsr(&s) {
+                assert!(is_cpc(&s, &xy_objects().into_iter().take(s.num_entities().max(1)).collect::<Vec<_>>()), "{text}");
+            }
+        }
+    }
+
+    #[test]
+    fn cpc_subset_of_pc_on_samples() {
+        for text in [
+            "R1(y) R2(x) W1(x) W1(y) W2(x) W2(y)",
+            "R1(x) W2(x) W1(x)",
+            "W1(x) W2(x) W2(y) W1(y) W3(x) W4(y)",
+        ] {
+            let s = Schedule::parse(text).unwrap();
+            let objs: Vec<Object> = (0..s.num_entities() as u32)
+                .map(|i| Object::from_iter([EntityId(i)]))
+                .collect();
+            if is_cpc(&s, &objs) {
+                assert!(is_pc(&s, &objs), "{text}");
+            }
+        }
+    }
+
+    #[test]
+    fn graphs_exposed_for_inspection() {
+        let s = Schedule::parse("R1(x) R2(x) W2(x) W1(x)").unwrap();
+        let objects = x_object();
+        let gs = cpc_graphs(&s, &objects);
+        assert_eq!(gs.len(), 1);
+        assert!(gs[0].1.has_cycle());
+        assert!(cpc_witnesses(&s, &x_object()).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty consistency constraint")]
+    fn empty_objects_rejected() {
+        let s = Schedule::parse("R1(x)").unwrap();
+        let _ = is_cpc(&s, &[]);
+    }
+}

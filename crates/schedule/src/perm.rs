@@ -1,0 +1,161 @@
+//! Permutation enumeration (Heap's algorithm) for the exponential class
+//! tests. Serializability testing is NP-complete in general (Papadimitriou
+//! 1979); on the paper-sized schedules used throughout (2–6 transactions)
+//! brute force over serial orders is exact and fast.
+
+/// Iterator over all permutations of `0..n` (Heap's algorithm, iterative).
+pub struct Permutations {
+    items: Vec<usize>,
+    c: Vec<usize>,
+    i: usize,
+    first: bool,
+    done: bool,
+}
+
+impl Permutations {
+    /// All permutations of `0..n`. `n = 0` yields a single empty permutation.
+    pub fn new(n: usize) -> Self {
+        Permutations {
+            items: (0..n).collect(),
+            c: vec![0; n],
+            i: 0,
+            first: true,
+            done: false,
+        }
+    }
+}
+
+impl Iterator for Permutations {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.done {
+            return None;
+        }
+        if self.first {
+            self.first = false;
+            if self.items.is_empty() {
+                self.done = true;
+                return Some(vec![]);
+            }
+            return Some(self.items.clone());
+        }
+        let n = self.items.len();
+        while self.i < n {
+            if self.c[self.i] < self.i {
+                if self.i.is_multiple_of(2) {
+                    self.items.swap(0, self.i);
+                } else {
+                    self.items.swap(self.c[self.i], self.i);
+                }
+                self.c[self.i] += 1;
+                self.i = 0;
+                return Some(self.items.clone());
+            } else {
+                self.c[self.i] = 0;
+                self.i += 1;
+            }
+        }
+        self.done = true;
+        None
+    }
+}
+
+/// All linear extensions of a partial order over `0..n`, given as a list of
+/// `(before, after)` pairs. Used by the partial-order classes to enumerate
+/// admissible per-transaction linearizations.
+pub fn linear_extensions(n: usize, order: &[(usize, usize)]) -> Vec<Vec<usize>> {
+    let mut succ = vec![Vec::new(); n];
+    let mut indeg = vec![0usize; n];
+    for &(a, b) in order {
+        assert!(a < n && b < n, "pair out of range");
+        succ[a].push(b);
+        indeg[b] += 1;
+    }
+    let mut out = Vec::new();
+    let mut prefix = Vec::with_capacity(n);
+    fn go(
+        n: usize,
+        succ: &[Vec<usize>],
+        indeg: &mut [usize],
+        used: &mut Vec<bool>,
+        prefix: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
+        if prefix.len() == n {
+            out.push(prefix.clone());
+            return;
+        }
+        for v in 0..n {
+            if !used[v] && indeg[v] == 0 {
+                used[v] = true;
+                prefix.push(v);
+                for &s in &succ[v] {
+                    indeg[s] -= 1;
+                }
+                go(n, succ, indeg, used, prefix, out);
+                for &s in &succ[v] {
+                    indeg[s] += 1;
+                }
+                prefix.pop();
+                used[v] = false;
+            }
+        }
+    }
+    let mut used = vec![false; n];
+    go(n, &succ, &mut indeg, &mut used, &mut prefix, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn counts_are_factorial() {
+        assert_eq!(Permutations::new(0).count(), 1);
+        assert_eq!(Permutations::new(1).count(), 1);
+        assert_eq!(Permutations::new(3).count(), 6);
+        assert_eq!(Permutations::new(5).count(), 120);
+    }
+
+    #[test]
+    fn all_distinct_and_valid() {
+        let perms: BTreeSet<Vec<usize>> = Permutations::new(4).collect();
+        assert_eq!(perms.len(), 24);
+        for p in &perms {
+            let mut q = p.clone();
+            q.sort_unstable();
+            assert_eq!(q, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn linear_extensions_of_empty_order() {
+        let exts = linear_extensions(3, &[]);
+        assert_eq!(exts.len(), 6);
+    }
+
+    #[test]
+    fn linear_extensions_respect_order() {
+        // 0 < 1, 0 < 2: extensions are 012, 021
+        let exts = linear_extensions(3, &[(0, 1), (0, 2)]);
+        assert_eq!(exts.len(), 2);
+        for e in &exts {
+            assert_eq!(e[0], 0);
+        }
+    }
+
+    #[test]
+    fn total_order_has_one_extension() {
+        let exts = linear_extensions(3, &[(0, 1), (1, 2)]);
+        assert_eq!(exts, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn cyclic_order_has_no_extension() {
+        let exts = linear_extensions(2, &[(0, 1), (1, 0)]);
+        assert!(exts.is_empty());
+    }
+}

@@ -1,0 +1,270 @@
+//! Recoverability classes: `RC`, `ACA`, `ST`.
+//!
+//! The paper's introduction lists, among the reasons the serializable class
+//! is "too rich", that it includes "schedules that present several obstacles
+//! to crash recovery (allowance of cascading rollbacks and non-recoverable
+//! schedules)". These are the classical subclasses that rule those out
+//! (Bernstein et al. 1987):
+//!
+//! * **RC** (recoverable): a transaction commits only after every
+//!   transaction it read from has committed;
+//! * **ACA** (avoids cascading aborts): transactions read only from
+//!   committed transactions;
+//! * **ST** (strict): additionally, no entity is read or overwritten while
+//!   an uncommitted write on it is outstanding.
+//!
+//! `ST ⊆ ACA ⊆ RC`, and all three are orthogonal to serializability.
+//! A [`CommittedSchedule`] augments a [`Schedule`] with commit points.
+
+use crate::{Action, ReadSource, Schedule, TxnId};
+use std::collections::BTreeMap;
+
+/// A schedule plus commit points: transaction `t` commits immediately after
+/// the op at index `commit_after[t]` (its last op by default).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommittedSchedule {
+    schedule: Schedule,
+    /// For each transaction, the op index after which it commits.
+    commit_after: BTreeMap<TxnId, usize>,
+}
+
+impl CommittedSchedule {
+    /// Commit every transaction right after its last operation.
+    pub fn commit_immediately(schedule: Schedule) -> CommittedSchedule {
+        let commit_after = schedule
+            .txns()
+            .filter_map(|t| {
+                schedule
+                    .txn_op_indices(t)
+                    .last()
+                    .copied()
+                    .map(|idx| (t, idx))
+            })
+            .collect();
+        CommittedSchedule {
+            schedule,
+            commit_after,
+        }
+    }
+
+    /// Commit every transaction at the very end, in the given order (ties
+    /// broken by order position). `order` must cover all transactions.
+    pub fn commit_at_end(schedule: Schedule, order: &[TxnId]) -> CommittedSchedule {
+        let n = schedule.len();
+        let commit_after = order
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, n + i))
+            .collect();
+        CommittedSchedule {
+            schedule,
+            commit_after,
+        }
+    }
+
+    /// Explicit commit points.
+    pub fn with_commits(schedule: Schedule, commit_after: BTreeMap<TxnId, usize>) -> Self {
+        CommittedSchedule {
+            schedule,
+            commit_after,
+        }
+    }
+
+    /// The underlying schedule.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// Commit "time" of a transaction on the op-index axis (ops occupy
+    /// their index; a commit after index `i` happens at `i + ε`, modelled
+    /// as `2i + 1` on a doubled axis, with ops at `2i`).
+    fn commit_time(&self, t: TxnId) -> Option<u64> {
+        self.commit_after.get(&t).map(|&i| 2 * i as u64 + 1)
+    }
+
+    fn op_time(idx: usize) -> u64 {
+        2 * idx as u64
+    }
+
+    /// Is the schedule recoverable? For every read of `t_i` from `t_j`
+    /// (`j ≠ i`), `t_j` commits before `t_i` commits.
+    pub fn is_recoverable(&self) -> bool {
+        let rf = self.schedule.reads_from();
+        for (ridx, src) in rf {
+            let reader = self.schedule.ops()[ridx].txn;
+            if let ReadSource::FromOp(w) = src {
+                let writer = self.schedule.ops()[w].txn;
+                if writer == reader {
+                    continue;
+                }
+                match (self.commit_time(writer), self.commit_time(reader)) {
+                    (Some(cw), Some(cr)) if cw < cr => {}
+                    (Some(_), None) => {} // reader never commits: vacuous
+                    (None, Some(_)) => return false, // reader commits, source doesn't
+                    (None, None) => {}
+                    _ => return false,
+                }
+            }
+        }
+        true
+    }
+
+    /// Does the schedule avoid cascading aborts? Every read (from another
+    /// transaction) reads a value whose writer had already committed at the
+    /// time of the read.
+    pub fn avoids_cascading_aborts(&self) -> bool {
+        let rf = self.schedule.reads_from();
+        for (ridx, src) in rf {
+            let reader = self.schedule.ops()[ridx].txn;
+            if let ReadSource::FromOp(w) = src {
+                let writer = self.schedule.ops()[w].txn;
+                if writer == reader {
+                    continue;
+                }
+                match self.commit_time(writer) {
+                    Some(cw) if cw < Self::op_time(ridx) => {}
+                    _ => return false,
+                }
+            }
+        }
+        true
+    }
+
+    /// Is the schedule strict? No entity is read or overwritten while an
+    /// uncommitted write on it by another transaction is outstanding.
+    pub fn is_strict(&self) -> bool {
+        let ops = self.schedule.ops();
+        for (idx, op) in ops.iter().enumerate() {
+            // find the last write on this entity before idx (by anyone else)
+            let prior_write = ops[..idx]
+                .iter()
+                .enumerate()
+                .rev()
+                .find(|(_, o)| o.entity == op.entity && o.action == Action::Write);
+            if let Some((w, wop)) = prior_write {
+                if wop.txn == op.txn {
+                    continue;
+                }
+                let committed_before = self
+                    .commit_time(wop.txn)
+                    .is_some_and(|cw| cw < Self::op_time(idx));
+                let relevant = op.action == Action::Read || op.action == Action::Write;
+                let _ = w;
+                if relevant && !committed_before {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// W1(x) R2(x) with t2 committing before t1: not recoverable.
+    #[test]
+    fn dirty_read_commit_order_violation() {
+        let s = Schedule::parse("W1(x) R2(x) W2(y)").unwrap();
+        // t2 commits after its last op (idx 2), t1 commits at the very end.
+        let mut commits = BTreeMap::new();
+        commits.insert(TxnId(0), 10); // t1 commits late
+        commits.insert(TxnId(1), 2); // t2 commits right away
+        let cs = CommittedSchedule::with_commits(s, commits);
+        assert!(!cs.is_recoverable());
+        assert!(!cs.avoids_cascading_aborts());
+        assert!(!cs.is_strict());
+    }
+
+    /// Same ops, but t1 commits before t2 reads: everything holds.
+    #[test]
+    fn committed_read_is_strict() {
+        let s = Schedule::parse("W1(x) R2(x) W2(y)").unwrap();
+        let mut commits = BTreeMap::new();
+        commits.insert(TxnId(0), 0); // t1 commits right after its write
+        commits.insert(TxnId(1), 2);
+        let cs = CommittedSchedule::with_commits(s, commits);
+        assert!(cs.is_recoverable());
+        assert!(cs.avoids_cascading_aborts());
+        assert!(cs.is_strict());
+    }
+
+    /// Dirty read with the RIGHT commit order: recoverable, but cascading.
+    #[test]
+    fn recoverable_but_cascading() {
+        let s = Schedule::parse("W1(x) R2(x)").unwrap();
+        let mut commits = BTreeMap::new();
+        commits.insert(TxnId(0), 1); // t1 commits after t2's read…
+        commits.insert(TxnId(1), 1); // …but before t2's commit? Same idx:
+                                     // commit_after t1=1 → time 3; t2=1 → 3.
+        let cs = CommittedSchedule::with_commits(s.clone(), commits);
+        // equal commit "times" → not strictly before: not recoverable.
+        assert!(!cs.is_recoverable());
+        let mut commits = BTreeMap::new();
+        commits.insert(TxnId(0), 1);
+        commits.insert(TxnId(1), 2);
+        let cs = CommittedSchedule::with_commits(s, commits);
+        assert!(cs.is_recoverable());
+        assert!(!cs.avoids_cascading_aborts()); // read happened pre-commit
+    }
+
+    /// Overwriting an uncommitted write breaks strictness but not ACA.
+    #[test]
+    fn uncommitted_overwrite_not_strict() {
+        let s = Schedule::parse("W1(x) W2(x)").unwrap();
+        let mut commits = BTreeMap::new();
+        commits.insert(TxnId(0), 5); // t1 commits late
+        commits.insert(TxnId(1), 1);
+        let cs = CommittedSchedule::with_commits(s, commits);
+        assert!(cs.is_recoverable()); // no reads at all
+        assert!(cs.avoids_cascading_aborts());
+        assert!(!cs.is_strict());
+    }
+
+    /// `commit_immediately` on a serial schedule is strict.
+    #[test]
+    fn serial_commit_immediately_strict() {
+        let s = Schedule::parse("R1(x) W1(x) R2(x) W2(x)").unwrap();
+        let cs = CommittedSchedule::commit_immediately(s);
+        assert!(cs.is_strict());
+        assert!(cs.avoids_cascading_aborts());
+        assert!(cs.is_recoverable());
+    }
+
+    /// `commit_at_end` makes interleavings recoverable iff the commit
+    /// order respects reads-from.
+    #[test]
+    fn commit_at_end_order_matters() {
+        let s = Schedule::parse("W1(x) R2(x)").unwrap();
+        let good = CommittedSchedule::commit_at_end(s.clone(), &[TxnId(0), TxnId(1)]);
+        assert!(good.is_recoverable());
+        let bad = CommittedSchedule::commit_at_end(s, &[TxnId(1), TxnId(0)]);
+        assert!(!bad.is_recoverable());
+    }
+
+    /// The containment chain ST ⊆ ACA ⊆ RC on a batch of samples.
+    #[test]
+    fn containment_chain() {
+        for text in [
+            "W1(x) R2(x) W2(y)",
+            "R1(x) W1(x) R2(x) W2(x)",
+            "W1(x) W2(x)",
+            "R1(x) W2(x) W1(x) W3(x)",
+            "R1(x) W1(x) R2(x) R2(y) W2(y) R1(y) W1(y)",
+        ] {
+            let s = Schedule::parse(text).unwrap();
+            for commits in [
+                CommittedSchedule::commit_immediately(s.clone()),
+                CommittedSchedule::commit_at_end(s.clone(), &s.txns().collect::<Vec<_>>()),
+            ] {
+                if commits.is_strict() {
+                    assert!(commits.avoids_cascading_aborts(), "{text}");
+                }
+                if commits.avoids_cascading_aborts() {
+                    assert!(commits.is_recoverable(), "{text}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Exhaustive search over interleavings of fixed transaction programs.
+//!
+//! Used to (a) verify that the paper's Figure 2 region examples really sit
+//! in their claimed regions, (b) reconstruct the two regions whose printed
+//! schedules are ambiguous, and (c) measure class *richness* — the fraction
+//! of interleavings of a workload admitted by each class (the quantitative
+//! face of the paper's Section 4 claims).
+
+use crate::{Op, Schedule};
+
+/// A transaction program: its ops in program order. `programs[i]` must use
+/// `TxnId(i)`.
+pub type Programs = Vec<Vec<Op>>;
+
+/// Parse programs from per-transaction step lists, e.g.
+/// `programs_from(&["R1(x) W1(x)", "W2(x)"])`. Entity names are shared
+/// across transactions.
+pub fn programs_from(texts: &[&str]) -> Result<Programs, String> {
+    // Parse all lines as one schedule to share the entity interner, then
+    // split by transaction.
+    let joined = texts.join(" ");
+    let s = Schedule::parse(&joined)?;
+    let mut programs: Programs = vec![Vec::new(); s.num_txns()];
+    for &op in s.ops() {
+        programs[op.txn.index()].push(op);
+    }
+    for (i, text) in texts.iter().enumerate() {
+        let expect = Schedule::parse(text)?;
+        if expect.ops().len() != programs.get(i).map_or(0, |p| p.len()) {
+            return Err(format!(
+                "program {} ({text:?}) must use transaction number {}",
+                i,
+                i + 1
+            ));
+        }
+    }
+    Ok(programs)
+}
+
+/// Iterator over every interleaving of the programs (each transaction's
+/// program order preserved). The number of interleavings is the multinomial
+/// coefficient of the program lengths.
+pub struct Interleavings {
+    programs: Programs,
+    /// Stack of (per-program cursor positions, next program index to try).
+    stack: Vec<(Vec<usize>, usize)>,
+    prefix: Vec<Op>,
+    total_len: usize,
+}
+
+impl Interleavings {
+    /// All interleavings of `programs`.
+    pub fn new(programs: Programs) -> Self {
+        let total_len = programs.iter().map(|p| p.len()).sum();
+        let cursors = vec![0usize; programs.len()];
+        Interleavings {
+            programs,
+            stack: vec![(cursors, 0)],
+            prefix: Vec::with_capacity(total_len),
+            total_len,
+        }
+    }
+
+    /// Number of interleavings (multinomial; saturating).
+    pub fn count_total(programs: &Programs) -> u128 {
+        let mut total: u128 = 1;
+        let mut placed: u128 = 0;
+        for p in programs {
+            for k in 1..=p.len() as u128 {
+                placed += 1;
+                total = total.saturating_mul(placed) / k;
+            }
+        }
+        total
+    }
+}
+
+impl Iterator for Interleavings {
+    type Item = Schedule;
+
+    fn next(&mut self) -> Option<Schedule> {
+        loop {
+            let (cursors, next_prog) = self.stack.last_mut()?;
+            if self.prefix.len() == self.total_len {
+                let s = Schedule::from_ops(self.prefix.clone());
+                // backtrack one level
+                self.stack.pop();
+                self.prefix.pop();
+                return Some(s);
+            }
+            // find the next program with remaining ops, starting at next_prog
+            let mut advanced = false;
+            for p in *next_prog..self.programs.len() {
+                if cursors[p] < self.programs[p].len() {
+                    // take op from program p
+                    let mut new_cursors = cursors.clone();
+                    let op = self.programs[p][new_cursors[p]];
+                    new_cursors[p] += 1;
+                    *next_prog = p + 1; // on backtrack, try the next program
+                    self.prefix.push(op);
+                    self.stack.push((new_cursors, 0));
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                self.stack.pop();
+                if self.prefix.pop().is_none() && self.stack.is_empty() {
+                    return None;
+                }
+            }
+        }
+    }
+}
+
+/// Find the first interleaving satisfying `pred` (deterministic order).
+pub fn find_schedule(programs: Programs, mut pred: impl FnMut(&Schedule) -> bool) -> Option<Schedule> {
+    Interleavings::new(programs).find(|s| pred(s))
+}
+
+/// Count, over all interleavings, how many satisfy `pred`. Returns
+/// `(matching, total)`.
+pub fn count_schedules(
+    programs: Programs,
+    mut pred: impl FnMut(&Schedule) -> bool,
+) -> (u64, u64) {
+    let mut matching = 0;
+    let mut total = 0;
+    for s in Interleavings::new(programs) {
+        total += 1;
+        if pred(&s) {
+            matching += 1;
+        }
+    }
+    (matching, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::is_csr;
+
+    fn two_programs() -> Programs {
+        programs_from(&["R1(x) W1(x)", "R2(x) W2(x)"]).unwrap()
+    }
+
+    #[test]
+    fn interleaving_count_is_multinomial() {
+        let progs = two_programs();
+        assert_eq!(Interleavings::count_total(&progs), 6); // C(4,2)
+        assert_eq!(Interleavings::new(progs).count(), 6);
+    }
+
+    #[test]
+    fn three_programs_count() {
+        let progs = programs_from(&["R1(x) W1(x) W1(y)", "R2(x) W2(y)", "W3(x)"]).unwrap();
+        // 6!/(3!2!1!) = 60
+        assert_eq!(Interleavings::count_total(&progs), 60);
+        assert_eq!(Interleavings::new(progs).count(), 60);
+    }
+
+    #[test]
+    fn interleavings_preserve_program_order_and_are_distinct() {
+        let progs = two_programs();
+        let all: Vec<Schedule> = Interleavings::new(progs).collect();
+        let mut texts: Vec<String> = all.iter().map(|s| s.to_string()).collect();
+        texts.sort();
+        texts.dedup();
+        assert_eq!(texts.len(), 6);
+        for s in &all {
+            // each txn's ops in program order: R before W
+            for t in s.txns() {
+                let ops = s.txn_ops(t);
+                assert_eq!(ops[0].action, crate::Action::Read);
+                assert_eq!(ops[1].action, crate::Action::Write);
+            }
+        }
+    }
+
+    #[test]
+    fn find_serial_and_nonserializable() {
+        let serial = find_schedule(two_programs(), |s| s.is_serial());
+        assert!(serial.is_some());
+        let non_csr = find_schedule(two_programs(), |s| !is_csr(s)).unwrap();
+        assert!(!is_csr(&non_csr));
+    }
+
+    #[test]
+    fn count_csr_fraction() {
+        // Of the 6 interleavings of R1(x)W1(x) and R2(x)W2(x), only the two
+        // serial ones are CSR.
+        let (m, t) = count_schedules(two_programs(), is_csr);
+        assert_eq!((m, t), (2, 6));
+    }
+
+    #[test]
+    fn programs_from_validates_numbering() {
+        assert!(programs_from(&["R2(x)"]).is_err()); // txn 1 missing
+        assert!(programs_from(&["R1(x)", "R1(y)"]).is_err()); // second must be t2
+    }
+
+    #[test]
+    fn empty_program_ok() {
+        let progs = programs_from(&["R1(x)"]).unwrap();
+        assert_eq!(Interleavings::new(progs).count(), 1);
+    }
+}

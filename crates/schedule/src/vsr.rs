@@ -1,0 +1,301 @@
+//! View serializability (`VSR`, the paper's `SR`) and final-state
+//! serializability (`FSR`).
+//!
+//! Two schedules are *view equivalent* iff they contain the same
+//! transactions, every read obtains its value from the same write (or the
+//! initial database) in both, and the final writer of each entity agrees —
+//! exactly the three subparts of the paper's Lemma 3 proof. A schedule is
+//! view serializable iff it is view equivalent to some serial order. The
+//! test is NP-complete in general; here it brute-forces the (small) space of
+//! serial orders, which is exact.
+//!
+//! `FSR` relaxes view equivalence to *final-state* equivalence: only reads
+//! that (transitively) influence the final database state must agree.
+
+use crate::perm::Permutations;
+use crate::{Action, ReadSource, Schedule, TxnId};
+use ks_kernel::EntityId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Stable identity of a write across interleavings: `(txn, entity, k)`.
+pub type WriteKey = (TxnId, EntityId, usize);
+/// Stable identity of a read across interleavings: `(txn, entity, k)`.
+pub type ReadKey = (TxnId, EntityId, usize);
+
+/// The source of a read, named stably.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SourceKey {
+    /// Initial pseudo-transaction `t_0`.
+    Initial,
+    /// A specific write.
+    Write(WriteKey),
+}
+
+/// The *view* of a schedule: reads-from plus final writers, in
+/// interleaving-independent coordinates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct View {
+    /// Source of each read.
+    pub reads: BTreeMap<ReadKey, SourceKey>,
+    /// Final writer of each written entity.
+    pub finals: BTreeMap<EntityId, WriteKey>,
+}
+
+impl View {
+    /// Compute the view of a schedule under single-version semantics.
+    pub fn of(s: &Schedule) -> View {
+        let rf = s.reads_from();
+        let mut reads = BTreeMap::new();
+        for (idx, src) in rf {
+            let key = s.read_key(idx);
+            let source = match src {
+                ReadSource::Initial => SourceKey::Initial,
+                ReadSource::FromOp(w) => SourceKey::Write(s.write_key(w)),
+            };
+            reads.insert(key, source);
+        }
+        let mut finals = BTreeMap::new();
+        let mut last_write: BTreeMap<EntityId, usize> = BTreeMap::new();
+        for (i, op) in s.ops().iter().enumerate() {
+            if op.action == Action::Write {
+                last_write.insert(op.entity, i);
+            }
+        }
+        for (e, idx) in last_write {
+            finals.insert(e, s.write_key(idx));
+        }
+        View { reads, finals }
+    }
+}
+
+/// Are two schedules over the same transactions view equivalent?
+pub fn view_equivalent(a: &Schedule, b: &Schedule) -> bool {
+    View::of(a) == View::of(b)
+}
+
+/// Is the schedule view serializable? Exact brute force over serial orders.
+pub fn is_vsr(s: &Schedule) -> bool {
+    vsr_witness(s).is_some()
+}
+
+/// A serial order witnessing view serializability, if one exists.
+pub fn vsr_witness(s: &Schedule) -> Option<Vec<TxnId>> {
+    let target = View::of(s);
+    for perm in Permutations::new(s.num_txns()) {
+        let order: Vec<TxnId> = perm.into_iter().map(|i| TxnId(i as u32)).collect();
+        let serial = s.serialized(&order);
+        if View::of(&serial) == target {
+            return Some(order);
+        }
+    }
+    None
+}
+
+/// The set of *live* reads of a schedule: reads whose value can influence
+/// the final database state. A read is live if its transaction later writes
+/// anything live; a write is live if it is a final write or is read by a
+/// live read. Computed as a fixpoint over the schedule's own reads-from.
+pub fn live_reads(s: &Schedule) -> BTreeSet<ReadKey> {
+    let view = View::of(s);
+    // Writes by key → live flag. Seed with final writes.
+    let mut live_writes: BTreeSet<WriteKey> = view.finals.values().copied().collect();
+    let mut live_reads: BTreeSet<ReadKey> = BTreeSet::new();
+    // For each transaction, order of its reads and writes (program order) by
+    // local position, so "read precedes a write of its txn" is checkable.
+    loop {
+        let mut changed = false;
+        // A read (t, e, k) is live if txn t has a live write that occurs
+        // after the read in program order.
+        for &rk in view.reads.keys() {
+            if live_reads.contains(&rk) {
+                continue;
+            }
+            let (t, e, k) = rk;
+            // position of this read in t's program order
+            let rpos = position_of(s, t, e, k, Action::Read);
+            let has_later_live_write = live_writes.iter().any(|&(wt, we, wk)| {
+                wt == t && position_of(s, wt, we, wk, Action::Write) > rpos
+            });
+            if has_later_live_write {
+                live_reads.insert(rk);
+                changed = true;
+            }
+        }
+        // The source write of a live read is live.
+        for (&rk, &src) in &view.reads {
+            if live_reads.contains(&rk) {
+                if let SourceKey::Write(wk) = src {
+                    if live_writes.insert(wk) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            return live_reads;
+        }
+    }
+}
+
+/// Program-order position of the `k`-th `action` on `e` by `t`.
+fn position_of(s: &Schedule, t: TxnId, e: EntityId, k: usize, action: Action) -> usize {
+    let mut seen = 0;
+    for (local, op) in s.txn_ops(t).iter().enumerate() {
+        if op.entity == e && op.action == action {
+            if seen == k {
+                return local;
+            }
+            seen += 1;
+        }
+    }
+    panic!("op ({t}, {e}, {k}, {action:?}) not found");
+}
+
+/// Final-state equivalence: same final writers, and live reads (of either
+/// schedule) read from the same sources.
+pub fn final_state_equivalent(a: &Schedule, b: &Schedule) -> bool {
+    let va = View::of(a);
+    let vb = View::of(b);
+    if va.finals != vb.finals {
+        return false;
+    }
+    let la = live_reads(a);
+    let lb = live_reads(b);
+    if la != lb {
+        return false;
+    }
+    la.iter().all(|rk| va.reads.get(rk) == vb.reads.get(rk))
+}
+
+/// Is the schedule final-state serializable?
+pub fn is_fsr(s: &Schedule) -> bool {
+    fsr_witness(s).is_some()
+}
+
+/// A serial order witnessing final-state serializability.
+pub fn fsr_witness(s: &Schedule) -> Option<Vec<TxnId>> {
+    for perm in Permutations::new(s.num_txns()) {
+        let order: Vec<TxnId> = perm.into_iter().map(|i| TxnId(i as u32)).collect();
+        if final_state_equivalent(s, &s.serialized(&order)) {
+            return Some(order);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::is_csr;
+
+    #[test]
+    fn serial_schedules_are_vsr() {
+        let s = Schedule::parse("R1(x) W1(x) R2(x) W2(x)").unwrap();
+        assert!(is_vsr(&s));
+        assert_eq!(vsr_witness(&s).unwrap(), vec![TxnId(0), TxnId(1)]);
+    }
+
+    #[test]
+    fn paper_example1_not_vsr() {
+        // "Intuitively, this schedule is not equivalent to t1,t2 since t1
+        // reads y from t2 and it is not equivalent to t2,t1 since t2 reads
+        // x from t1."
+        let s = Schedule::parse("R1(x) W1(x) R2(x) R2(y) W2(y) R1(y) W1(y)").unwrap();
+        assert!(!is_vsr(&s));
+    }
+
+    #[test]
+    fn blind_write_schedule_vsr_but_not_csr() {
+        // Figure 2 region 5: view equivalent to t1,t2,t3 but not CSR.
+        let s = Schedule::parse("R1(x) W2(x) W1(x) W3(x)").unwrap();
+        assert!(!is_csr(&s));
+        assert_eq!(vsr_witness(&s).unwrap(), vec![TxnId(0), TxnId(1), TxnId(2)]);
+    }
+
+    #[test]
+    fn csr_implies_vsr_on_samples() {
+        for text in [
+            "R1(x) W1(x) R2(x) R1(y) W1(y) R2(y) W2(y)",
+            "R1(x) R2(y) W1(x) W2(y)",
+            "W1(x) R2(x) W2(y)",
+        ] {
+            let s = Schedule::parse(text).unwrap();
+            assert!(is_csr(&s), "{text}");
+            assert!(is_vsr(&s), "{text}");
+        }
+    }
+
+    #[test]
+    fn view_of_tracks_initial_reads_and_finals() {
+        let s = Schedule::parse("R1(x) W1(x) R2(x)").unwrap();
+        let v = View::of(&s);
+        assert_eq!(
+            v.reads[&(TxnId(0), EntityId(0), 0)],
+            SourceKey::Initial
+        );
+        assert_eq!(
+            v.reads[&(TxnId(1), EntityId(0), 0)],
+            SourceKey::Write((TxnId(0), EntityId(0), 0))
+        );
+        assert_eq!(v.finals[&EntityId(0)], (TxnId(0), EntityId(0), 0));
+    }
+
+    #[test]
+    fn view_equivalence_is_reflexive_and_detects_difference() {
+        let a = Schedule::parse("R1(x) W2(x)").unwrap();
+        let b = Schedule::parse("W2(x) R1(x)").unwrap();
+        assert!(view_equivalent(&a, &a));
+        assert!(!view_equivalent(&a, &b)); // read source differs
+    }
+
+    #[test]
+    fn dead_read_ignored_by_fsr() {
+        // t2's read of x is dead (t2 writes nothing after it). The schedule
+        // R1(x) R2(x) W2(y)?? — construct: t1 writes x after t2 read it, t2
+        // never uses the read. FSR should accept orders VSR rejects.
+        // s: R2(x) W1(x) — t2 reads initial x, t1 then writes x.
+        // Serial t1,t2 would have t2 read from t1: differs in a dead read.
+        let s = Schedule::parse("R2(x) W1(x)").unwrap();
+        assert!(is_fsr(&s));
+        // VSR also holds here via order (t2, t1); make the dead-read case
+        // where *no* order matches views but FSR passes:
+        // t1: R(x) W(y); t2: W(x) W(y). Schedule: R1(x) W2(x) W2(y) W1(y).
+        // Views: R1(x)←initial, finals x←t2, y←t1.
+        // Serial t1,t2: finals y←t2 ✗. Serial t2,t1: R1(x)←t2 ✗. Not VSR.
+        // But R1(x) is LIVE here (t1 writes y later) so FSR must also fail.
+        let s2 = Schedule::parse("R1(x) W2(x) W2(y) W1(y)").unwrap();
+        assert!(!is_vsr(&s2));
+        assert!(!is_fsr(&s2));
+        // Now make t1's read dead: t1: R(x) only (writes nothing).
+        // t2: W(x) W(y). Schedule: R1(x) W2(x) W2(y).
+        // Serial t2,t1: R1(x)←t2 ✗ for VSR. Read is dead → FSR accepts.
+        let s3 = Schedule::parse("R1(x) W2(x) W2(y)").unwrap();
+        assert!(is_fsr(&s3));
+    }
+
+    #[test]
+    fn live_read_fixpoint_traverses_chains() {
+        // t1 reads x then writes y; t2 reads y then writes z; final z makes
+        // t2's read live, which makes t1's write live, which makes t1's
+        // read live.
+        let s = Schedule::parse("R1(x) W1(y) R2(y) W2(z)").unwrap();
+        let live = live_reads(&s);
+        assert!(live.contains(&(TxnId(0), EntityId(0), 0)));
+        assert!(live.contains(&(TxnId(1), EntityId(1), 0)));
+    }
+
+    #[test]
+    fn vsr_subset_of_fsr_on_samples() {
+        for text in [
+            "R1(x) W1(x) R2(x) W2(x)",
+            "R1(x) W2(x) W1(x) W3(x)",
+            "R2(x) W1(x)",
+            "R1(x) W1(x) R2(x) R2(y) W2(y) R1(y) W1(y)",
+        ] {
+            let s = Schedule::parse(text).unwrap();
+            if is_vsr(&s) {
+                assert!(is_fsr(&s), "{text}");
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! The scheduler interface.
+
+use crate::SimTime;
+use ks_kernel::EntityId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a simulated transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SimTxnId(pub u32);
+
+impl SimTxnId {
+    /// 0-based index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SimTxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// A scheduler's answer to an operation request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Decision {
+    /// The operation executes now.
+    Proceed,
+    /// The transaction must wait; the engine will retry after the next
+    /// state change.
+    Block,
+    /// The transaction must abort (the engine restarts it after backoff).
+    Abort,
+}
+
+/// What every concurrency-control engine implements to run under the
+/// simulator. Calls arrive in simulated-time order; a blocked operation is
+/// retried (same arguments) until it proceeds or aborts.
+pub trait ConcurrencyControl {
+    /// A transaction (re)starts. Called again after each restart.
+    fn on_begin(&mut self, txn: SimTxnId, now: SimTime);
+
+    /// The transaction asks to read an entity.
+    fn on_read(&mut self, txn: SimTxnId, entity: EntityId, now: SimTime) -> Decision;
+
+    /// The transaction asks to write an entity.
+    fn on_write(&mut self, txn: SimTxnId, entity: EntityId, now: SimTime) -> Decision;
+
+    /// The transaction asks to commit.
+    fn on_commit(&mut self, txn: SimTxnId, now: SimTime) -> Decision;
+
+    /// The engine informs the scheduler that the transaction aborted
+    /// (either by the scheduler's own `Abort` decision or a deadlock
+    /// resolution) and will restart. All its effects must be discarded.
+    fn on_abort(&mut self, txn: SimTxnId, now: SimTime);
+
+    /// Name for reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTxnId(3).to_string(), "T3");
+        assert_eq!(SimTxnId(3).index(), 3);
+    }
+}

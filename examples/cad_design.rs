@@ -1,0 +1,122 @@
+//! The motivating scenario: cooperating designers on a shared CAD model,
+//! run through the Section 5 protocol end to end.
+//!
+//! A bridge design has two parameters that must stay consistent:
+//! `load` (what the deck must carry) and `capacity` (what the cables
+//! provide); the invariant is `capacity >= load`. A third entity `rev`
+//! counts design revisions.
+//!
+//! Designer A raises the load rating (breaking the invariant), designer B
+//! reinforces the cables (restoring it), and an inspector reads a
+//! consistent snapshot mid-flight thanks to versions. Under 2PL the
+//! inspector would wait for hours; under timestamping somebody's afternoon
+//! of work would be thrown away. Here nobody waits and nobody aborts.
+//!
+//! ```sh
+//! cargo run --example cad_design
+//! ```
+
+use korth_speegle::kernel::{Domain, EntityId, Schema, UniqueState};
+use korth_speegle::model::Specification;
+use korth_speegle::predicate::{parse_cnf, Strategy};
+use korth_speegle::protocol::extract::model_execution;
+use korth_speegle::protocol::{CommitOutcome, ProtocolManager, ReadOutcome};
+use korth_speegle::model::check;
+
+fn main() {
+    let schema = Schema::uniform(["load", "capacity", "rev"], Domain::Range { min: 0, max: 10_000 });
+    let load = EntityId(0);
+    let capacity = EntityId(1);
+    let rev = EntityId(2);
+    let invariant = parse_cnf(&schema, "capacity >= load").unwrap();
+
+    // Initial design: load 100, capacity 120, revision 1.
+    let initial = UniqueState::new(&schema, vec![100, 120, 1]).unwrap();
+    let mut pm = ProtocolManager::new(schema.clone(), &initial, Specification::classical(&invariant));
+    let root = pm.root();
+
+    // ── Phase 1: definition ─────────────────────────────────────────────
+    // Designer A: upgrade the load rating to 200. Afterwards the invariant
+    // is knowingly broken — the postcondition says only what A guarantees.
+    let designer_a = pm
+        .define(
+            root,
+            Specification::new(
+                parse_cnf(&schema, "capacity >= load & load = 100").unwrap(),
+                parse_cnf(&schema, "load = 200").unwrap(),
+            ),
+            &[],
+            &[],
+        )
+        .unwrap();
+    // Designer B: reinforce cables AFTER A's change lands; restores the
+    // invariant. B's precondition describes the broken intermediate state.
+    let designer_b = pm
+        .define(
+            root,
+            Specification::new(
+                parse_cnf(&schema, "load = 200 & capacity = 120").unwrap(),
+                parse_cnf(&schema, "capacity >= load").unwrap(),
+            ),
+            &[designer_a],
+            &[],
+        )
+        .unwrap();
+    // The inspector is UNORDERED: they want any consistent design.
+    let inspector = pm
+        .define(
+            root,
+            Specification::new(
+                parse_cnf(&schema, "capacity >= load & rev >= 1").unwrap(),
+                parse_cnf(&schema, "true").unwrap(),
+            ),
+            &[],
+            &[],
+        )
+        .unwrap();
+
+    println!("defined {} (designer A), {} (designer B), {} (inspector)",
+        pm.name_of(designer_a).unwrap(),
+        pm.name_of(designer_b).unwrap(),
+        pm.name_of(inspector).unwrap());
+
+    // ── Phase 2+3: validation and execution, interleaved ───────────────
+    pm.validate(designer_a, Strategy::Backtracking).unwrap();
+    let ReadOutcome::Value(l) = pm.read(designer_a, load).unwrap() else { panic!() };
+    println!("\ndesigner A reads load = {l}, raises it to 200");
+    pm.write(designer_a, load, 200).unwrap();
+
+    // The design is now INCONSISTENT (load 200 > capacity 120). The
+    // inspector still validates: versions give them the old consistent
+    // snapshot — no waiting.
+    pm.validate(inspector, Strategy::Backtracking).unwrap();
+    let ReadOutcome::Value(il) = pm.read(inspector, load).unwrap() else { panic!() };
+    let ReadOutcome::Value(ic) = pm.read(inspector, capacity).unwrap() else { panic!() };
+    println!("inspector reads a CONSISTENT snapshot mid-flight: load={il}, capacity={ic}");
+    assert!(ic >= il);
+
+    // Designer B picks up A's dirty (uncommitted!) change — cooperation.
+    pm.validate(designer_b, Strategy::Backtracking).unwrap();
+    let ReadOutcome::Value(bl) = pm.read(designer_b, load).unwrap() else { panic!() };
+    println!("designer B sees A's in-flight load = {bl}, reinforces cables to 250");
+    assert_eq!(bl, 200);
+    pm.write(designer_b, capacity, 250).unwrap();
+    pm.write(designer_b, rev, 2).unwrap();
+
+    // ── Phase 4: termination ────────────────────────────────────────────
+    assert_eq!(pm.commit(inspector).unwrap(), CommitOutcome::Committed);
+    assert_eq!(pm.commit(designer_a).unwrap(), CommitOutcome::Committed);
+    assert_eq!(pm.commit(designer_b).unwrap(), CommitOutcome::Committed);
+    let view = pm.result_view(root).unwrap();
+    println!("\nfinal design: load={}, capacity={}, rev={}", view.get(load), view.get(capacity), view.get(rev));
+    assert_eq!(pm.commit(root).unwrap(), CommitOutcome::Committed);
+
+    // Verify against the formal model: correct and parent-based.
+    let (txn, parent, exec) = model_execution(&pm, root).unwrap();
+    let report = check::check(&schema, &txn, &parent, &exec);
+    assert!(report.is_correct_parent_based(), "{report:?}");
+    println!("\nmodel check: correct ✓  parent-based ✓");
+    println!("stats: {:?}", pm.stats());
+    println!("\nNo designer waited; no work was thrown away; the invariant held");
+    println!("at every commit point — without serializability.");
+}

@@ -1,0 +1,84 @@
+//! Record a protocol session, serialize it to JSON, replay it on a fresh
+//! manager, and verify the replayed session against the formal model —
+//! the observability/reproducibility workflow a production deployment
+//! would use for bug reports.
+//!
+//! ```sh
+//! cargo run --example session_replay
+//! ```
+
+use korth_speegle::model::{check, Specification};
+use korth_speegle::kernel::{Domain, EntityId, Schema, UniqueState};
+use korth_speegle::predicate::{parse_cnf, Strategy};
+use korth_speegle::protocol::extract::model_execution;
+use korth_speegle::protocol::session::replay;
+use korth_speegle::protocol::RecordingManager;
+
+fn main() {
+    let schema = Schema::uniform(["x", "y"], Domain::Range { min: 0, max: 999 });
+    let constraint = parse_cnf(&schema, "x = y").unwrap();
+    let initial = UniqueState::new(&schema, vec![5, 5]).unwrap();
+    let x = EntityId(0);
+    let y = EntityId(1);
+
+    // ── Record ───────────────────────────────────────────────────────────
+    let mut rm = RecordingManager::new(
+        schema.clone(),
+        &initial,
+        Specification::classical(&constraint),
+    );
+    let root = rm.root();
+    let breaker = rm
+        .define(
+            root,
+            Specification::new(
+                parse_cnf(&schema, "x = 5 & y = 5").unwrap(),
+                parse_cnf(&schema, "x > y").unwrap(),
+            ),
+            &[],
+            &[],
+        )
+        .unwrap();
+    let fixer = rm
+        .define(
+            root,
+            Specification::new(
+                parse_cnf(&schema, "x = 6 & y = 5").unwrap(),
+                parse_cnf(&schema, "x = y").unwrap(),
+            ),
+            &[breaker],
+            &[],
+        )
+        .unwrap();
+    rm.validate(breaker, Strategy::Backtracking).unwrap();
+    rm.read(breaker, x).unwrap();
+    rm.write(breaker, x, 6).unwrap();
+    rm.validate(fixer, Strategy::Backtracking).unwrap();
+    rm.read(fixer, x).unwrap();
+    rm.write(fixer, y, 6).unwrap();
+    rm.commit(breaker).unwrap();
+    rm.commit(fixer).unwrap();
+    let live_final = rm.manager().result_view(root).unwrap();
+    let log = rm.into_log();
+    println!("recorded {} events", log.events.len());
+
+    // ── Serialize / deserialize ──────────────────────────────────────────
+    let json = serde_json::to_string_pretty(&log).unwrap();
+    println!("log is {} bytes of JSON; first lines:", json.len());
+    for line in json.lines().take(6) {
+        println!("  {line}");
+    }
+    let restored: korth_speegle::protocol::SessionLog = serde_json::from_str(&json).unwrap();
+
+    // ── Replay ───────────────────────────────────────────────────────────
+    let pm = replay(&restored).unwrap();
+    let replayed_final = pm.result_view(pm.root()).unwrap();
+    assert_eq!(live_final, replayed_final);
+    println!("\nreplayed final state matches the live session: {replayed_final}");
+
+    // ── Verify the replayed session against the model ───────────────────
+    let (txn, parent, exec) = model_execution(&pm, pm.root()).unwrap();
+    let report = check::check(&schema, &txn, &parent, &exec);
+    assert!(report.is_correct_parent_based());
+    println!("model check on the replayed session: correct ✓ parent-based ✓");
+}

@@ -1,0 +1,259 @@
+#!/usr/bin/env python3
+"""Regenerate EXPERIMENTS.md from fresh release-mode experiment runs.
+
+Usage:  python3 scripts/gen_experiments.py
+Builds the ks-bench binaries, runs every exp_* experiment, and rewrites
+EXPERIMENTS.md with the captured outputs. Everything is deterministic, so
+the document only changes when the code does.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+BINARIES = [
+    "exp_fig1",
+    "exp_fig2",
+    "exp_fig3",
+    "exp_fig4",
+    "exp_examples",
+    "exp_np_scaling",
+    "exp_containment",
+    "exp_long_txn",
+    "exp_chains",
+    "exp_optimism",
+    "exp_recovery",
+    "exp_protocol_correct",
+]
+
+
+def run(binary: str) -> str:
+    out = subprocess.run(
+        ["cargo", "run", "--release", "-q", "-p", "ks-bench", "--bin", binary],
+        cwd=ROOT,
+        capture_output=True,
+        text=True,
+        timeout=900,
+    )
+    if out.returncode != 0:
+        sys.exit(f"{binary} failed:\n{out.stdout}\n{out.stderr}")
+    return out.stdout.strip()
+
+
+def main() -> None:
+    subprocess.run(
+        ["cargo", "build", "--release", "-q", "-p", "ks-bench", "--bins"],
+        cwd=ROOT,
+        check=True,
+    )
+    outputs = {b: run(b) for b in BINARIES}
+
+    doc = TEMPLATE.format(**outputs)
+    (ROOT / "EXPERIMENTS.md").write_text(doc)
+    print(f"EXPERIMENTS.md regenerated ({len(doc)} bytes)")
+
+
+TEMPLATE = """# EXPERIMENTS — paper vs. measured
+
+Every artifact of Korth & Speegle (SIGMOD 1988) — figures, examples,
+lemmas, theorems, and the qualitative claims of Section 2.4 — regenerated
+by this repository. All numbers below are actual captured output of the
+release-built `exp_*` binaries (deterministic; regenerate this document
+with `python3 scripts/gen_experiments.py`). Criterion micro-benchmarks
+live in `crates/bench/benches/` (`cargo bench --workspace`); see
+`bench_output.txt` for a captured run.
+
+The paper is a theory paper: it reports no absolute performance numbers, so
+"paper vs. measured" means (a) formal artifacts must match **exactly**
+(class memberships, witnesses, reductions), and (b) the Section 2.4
+qualitative claims must match in **shape** (who wins, how costs scale with
+transaction duration).
+
+---
+
+## fig1-tree — Figure 1, the nested transaction
+
+*Paper:* a three-level nested transaction `t` with subtransactions
+`t.0` (3 leaves), `t.1` (two children of 2 and 3 leaves), `t.2` (1 leaf),
+and the interleaving narrative of Section 2.2.
+*Measured:* the tree builds with exactly that shape (15 nodes, depth 4)
+and the Figure 1 naming scheme.
+
+```
+{exp_fig1}
+```
+
+## fig2-regions — Figure 2, the correctness-class map
+
+*Paper:* nine example schedules, one per region of the class diagram.
+*Measured:* all nine classified into **exactly their claimed cells** by the
+full classifier battery (11 classes). Two regions are reconstructed — the
+printed schedules are corrupted in the available text — with the
+reconstruction justified mechanically (for region 8, exhaustive search over
+all 60 interleavings of the printed transactions proves the printed
+programs cannot realize the cell; see `corpus.rs`).
+
+```
+{exp_fig2}
+```
+
+## ex1-mvsr / ex2-pwsr — Examples 1–3 of Section 4.2
+
+*Paper:* Example 1 is in `MVSR` via the version function that hands `t2`
+the initial versions and `t1` the result of `t2` (serial order `t2, t1`);
+Example 2 (same schedule, `x`/`y` in different conjuncts) is `PWSR` with
+*disagreeing* per-object orders; Examples 3.a/3.b are its serial
+decompositions.
+*Measured:* identical, including the witness orders.
+
+```
+{exp_examples}
+```
+
+## fig3-locks — Figure 3, the lock compatibility matrix
+
+*Paper:* grants everywhere "except when a read operation conflicts with a
+write"; writes never fail; `re-eval` on the read side. (The matrix as
+printed in the available text is garbled/transposed; the implementation
+follows the prose, which is unambiguous.)
+*Measured:*
+
+```
+{exp_fig3}
+```
+
+## fig4-reeval — Figure 4, the re-eval procedure
+
+*Paper:* a write by a predecessor interrupts sibling read-side holders:
+`R` holders abort, `R_v` holders are re-assigned; unordered writers disturb
+nobody (multiversion independence).
+*Measured:* all four branches behave as specified:
+
+```
+{exp_fig4}
+```
+
+## lemma1-np / cpc-poly — the complexity results
+
+*Paper:* recognizing correct executions is NP-complete (reduction from
+SAT, Lemma 1 / Theorem 1); CPC membership is polynomial (Section 4.3).
+*Measured:* random 3-CNF instances near the phase transition are decided
+through the paper's reduction (cross-checked against truth tables inside
+the binary); exhaustive search nodes blow up with the variable count while
+backtracking tracks instance difficulty. CPC testing time grows
+polynomially in schedule length.
+
+```
+{exp_np_scaling}
+```
+
+## class-richness / lemma2-vsr — Section 4's "richer classes", quantified
+
+*Paper:* each model feature admits strictly more schedules; every view
+serializable schedule is a correct execution (Lemma 2).
+*Measured:* over every interleaving of two workloads (the symmetric
+template pair and Example 1's own programs), the predicate-wise and
+multiversion classes admit strictly more interleavings than `SR`
+(42.9% vs 34.3% on Example 1's programs), and Lemma 2 holds with zero
+violations:
+
+```
+{exp_containment}
+```
+
+## thm2-protocol — Lemma 4 and Theorem 2, machine-checked
+
+*Paper:* every execution legal under the protocol is parent-based and
+correct.
+*Measured:* 200 randomized cooperative sessions (random predicates,
+orders, reads, writes, aborts), each extracted into the formal model and
+verified by the `ks-core` checkers — zero violations. (Reaching zero
+required three strengthenings of the literal protocol; see DESIGN.md
+"Protocol strengthenings".) The proptest harness
+(`tests/protocol_model_props.rs`) re-verifies this on every test run;
+`crates/protocol/tests/multilevel.rs` extends the check to every level of
+three-level sessions (the paper's multi-level criterion); and
+`tests/scheduler_guarantees.rs` repeats it for sessions driven by the
+discrete-event simulator.
+
+```
+{exp_protocol_correct}
+```
+
+## sec24-waits / sec24-aborts — the long-transaction claims, measured
+
+*Paper (qualitative):* under 2PL, "locks must be held … for a substantial
+fraction of the duration of a transaction", so long transactions impose
+long waits; timestamp alternatives abort long transactions, losing "large
+amounts of work done by users"; the proposed protocol avoids both.
+*Measured shape:* as think time (transaction duration) grows 1 → 200
+ticks, strict 2PL's total wait time grows by ~3 orders of magnitude and its
+max single wait tracks transaction length; basic T/O collapses (starves to
+0 commits at high durations, wasting millions of ticks of work); MVTO
+survives but still aborts long writers; the KS protocol commits everything
+with **zero waits and zero aborts** at every duration.
+
+```
+{exp_long_txn}
+```
+
+## coop-chains — cooperation chains under the four schedulers
+
+*Paper:* cooperating transactions (a designer picking up a colleague's
+in-flight work) are the motivating workload; the protocol expresses the
+cooperation as partial-order edges and repairs optimism with `re-eval`.
+*Measured:* with chains the protocol's internal repair machinery becomes
+visible (re-assigns, a few re-eval aborts) while remaining far cheaper than
+2PL's waits; classical schedulers cannot express the ordering at all.
+
+```
+{exp_chains}
+```
+
+## ablate-optimism — optimistic vs pessimistic validation
+
+*Paper (Section 5.1):* the protocol is optimistic; the pessimistic
+alternative "could require an extremely long wait".
+*Measured:* on a fully-ordered chain of 12 writers, the optimistic
+discipline validates all 12 immediately and pays 11 re-assignments; the
+pessimistic variant waits 11 times and pays none. The re-eval activity
+also scales with ordering density (top table):
+
+```
+{exp_optimism}
+```
+
+## recovery-classes — RC / ACA / ST of committed traces
+
+*Paper (Section 1):* the serializable class is also faulted for admitting
+non-recoverable and cascading schedules.
+*Measured:* strict 2PL's committed traces are always `ST`; the
+multiversion schedulers' flat traces are conservative lower bounds (a flat
+trace cannot express which *version* a read consumed), and the KS protocol
+deliberately forgoes `ACA`: reading in-flight versions is the cooperation
+feature, repaired by cascading undo.
+
+```
+{exp_recovery}
+```
+
+---
+
+## Criterion benchmarks
+
+`cargo bench --workspace` (see `bench_output.txt`):
+
+| bench | question |
+|---|---|
+| `bench_classifiers` | polynomial classes (CSR/MVCSR/CPC) vs exponential (VSR) on the Figure 2 corpus |
+| `bench_np` | Lemma 1 search: exhaustive vs backtracking on SAT-reduced states |
+| `bench_cpc` | CPC scales polynomially to 1024-op schedules |
+| `bench_version_assignment` | solver strategies × versions-per-entity, with and without constraint propagation (`ablate-assign`) |
+| `bench_membership` | recognizer costs vs transaction count, including the polygraph VSR decider |
+| `bench_protocols` | end-to-end scheduler overhead at two think times |
+| `bench_mvstore` | version-store primitive costs |
+"""
+
+if __name__ == "__main__":
+    main()

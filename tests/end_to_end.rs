@@ -1,0 +1,190 @@
+//! Deterministic end-to-end pipelines across all crates.
+
+use ks_core::embed::{lemma2_execution, WriteRules};
+use ks_core::np::{decide, theorem1_instance};
+use ks_core::{check, search, Expr, Specification, Step, Transaction, TxnName};
+use ks_kernel::{DatabaseState, Domain, EntityId, Schema, UniqueState};
+use ks_predicate::sat::SatInstance;
+use ks_predicate::{parse_cnf, solve_over_state, Strategy};
+use ks_protocol::extract::model_execution;
+use ks_protocol::{CommitOutcome, ProtocolManager, ReadOutcome};
+use ks_schedule::corpus::{example1, fig2_regions, xy_objects};
+use ks_schedule::{classify, Schedule, TxnId};
+
+/// Paper pipeline 1: a schedule → classification → embedding → model check.
+#[test]
+fn schedule_to_model_pipeline() {
+    let schema = Schema::uniform(["x", "y"], Domain::Range { min: 0, max: 999 });
+    let constraint = parse_cnf(&schema, "x = y").unwrap();
+    let s = Schedule::parse("R1(x) W1(x) R1(y) W1(y) R2(x) W2(x) R2(y) W2(y)").unwrap();
+    let m = classify(&s, &xy_objects());
+    assert!(m.csr && m.vsr);
+
+    let mut rules = WriteRules::identity();
+    for t in [TxnId(0), TxnId(1)] {
+        rules.set(t, 0, Expr::plus_const(EntityId(0), 2));
+        rules.set(t, 1, Expr::plus_const(EntityId(1), 2));
+    }
+    let initial = UniqueState::new(&schema, vec![4, 4]).unwrap();
+    let (txn, parent, exec) = lemma2_execution(&schema, &s, &constraint, &rules, &initial).unwrap();
+    let report = check::check(&schema, &txn, &parent, &exec);
+    assert!(report.is_correct_parent_based());
+    assert_eq!(exec.final_input.get(EntityId(0)), 8);
+}
+
+/// Paper pipeline 2: SAT → Lemma 1 reduction → predicate solver → Theorem 1
+/// transaction-level decision, all consistent.
+#[test]
+fn sat_to_execution_pipeline() {
+    let inst = SatInstance::new(4, vec![vec![1, -2], vec![2, 3, -4], vec![-1, 4]]);
+    let brute = inst.brute_force_sat();
+    let vp = ks_predicate::sat::reduce_to_version_problem(&inst);
+    let (solver_out, _) = solve_over_state(&vp.input_predicate, &vp.state, Strategy::Backtracking);
+    let model_out = decide(&theorem1_instance(&inst), Strategy::Backtracking);
+    assert_eq!(brute.is_some(), solver_out.is_sat());
+    assert_eq!(brute.is_some(), model_out.is_some());
+}
+
+/// Paper pipeline 3: the protocol drives a multi-level design session; the
+/// extraction verifies at the root level and the store agrees.
+#[test]
+fn protocol_to_model_pipeline() {
+    let schema = Schema::uniform(["a", "b"], Domain::Range { min: 0, max: 100 });
+    let constraint = parse_cnf(&schema, "a <= b").unwrap();
+    let initial = UniqueState::new(&schema, vec![10, 20]).unwrap();
+    let mut pm = ProtocolManager::new(schema.clone(), &initial, Specification::classical(&constraint));
+    let root = pm.root();
+    let a = EntityId(0);
+    let b = EntityId(1);
+
+    let grow_b = pm
+        .define(
+            root,
+            Specification::new(parse_cnf(&schema, "b = 20").unwrap(), parse_cnf(&schema, "b = 40").unwrap()),
+            &[],
+            &[],
+        )
+        .unwrap();
+    let grow_a = pm
+        .define(
+            root,
+            Specification::new(parse_cnf(&schema, "b = 40 & a = 10").unwrap(), parse_cnf(&schema, "a <= b").unwrap()),
+            &[grow_b],
+            &[],
+        )
+        .unwrap();
+    pm.validate(grow_b, Strategy::Backtracking).unwrap();
+    assert_eq!(pm.read(grow_b, b).unwrap(), ReadOutcome::Value(20));
+    pm.write(grow_b, b, 40).unwrap();
+    pm.validate(grow_a, Strategy::Backtracking).unwrap();
+    assert_eq!(pm.read(grow_a, b).unwrap(), ReadOutcome::Value(40));
+    pm.write(grow_a, a, 35).unwrap();
+    assert_eq!(pm.commit(grow_b).unwrap(), CommitOutcome::Committed);
+    assert_eq!(pm.commit(grow_a).unwrap(), CommitOutcome::Committed);
+    assert_eq!(pm.commit(root).unwrap(), CommitOutcome::Committed);
+
+    let (txn, parent, exec) = model_execution(&pm, root).unwrap();
+    let report = check::check(&schema, &txn, &parent, &exec);
+    assert!(report.is_correct_parent_based(), "{report:?}");
+    // The store's latest state equals the execution's final state.
+    assert_eq!(pm.store().latest_state(), exec.final_input);
+    // The store's replay as a model database state contains the initial
+    // and final unique states.
+    let db: DatabaseState = pm.store().as_database_state();
+    assert!(db.contains(&initial));
+    assert!(db.contains(&exec.final_input));
+}
+
+/// The corpus, the classifiers and the search all agree: each region's
+/// schedule is reachable by interleaving its own transaction programs.
+#[test]
+fn corpus_schedules_are_reachable_interleavings() {
+    for region in fig2_regions() {
+        let s = &region.schedule;
+        let programs: Vec<Vec<ks_schedule::Op>> = s
+            .txns()
+            .map(|t| s.txn_ops(t))
+            .collect();
+        let found = ks_schedule::search::find_schedule(programs, |candidate| {
+            candidate.ops() == s.ops()
+        });
+        assert!(found.is_some(), "region {}", region.id);
+    }
+}
+
+/// A correct execution found by the model search can be replayed through
+/// the protocol (the search is the offline twin of validation).
+#[test]
+fn model_search_and_protocol_agree_on_cooperation() {
+    let schema = Schema::uniform(["x", "y"], Domain::Range { min: 0, max: 999 });
+    let x = EntityId(0);
+    let y = EntityId(1);
+    let spec_c0 = Specification::new(
+        parse_cnf(&schema, "x = 5 & y = 5").unwrap(),
+        parse_cnf(&schema, "x > y").unwrap(),
+    );
+    let spec_c1 = Specification::new(
+        parse_cnf(&schema, "x = 6 & y = 5").unwrap(),
+        parse_cnf(&schema, "x = y").unwrap(),
+    );
+    // Offline: model search.
+    let c0 = Transaction::leaf(TxnName::root(), spec_c0.clone(), vec![Step::Write(x, Expr::plus_const(x, 1))]);
+    let c1 = Transaction::leaf(TxnName::root(), spec_c1.clone(), vec![Step::Write(y, Expr::plus_const(y, 1))]);
+    let root_model = Transaction::nested(
+        TxnName::root(),
+        Specification::classical(&parse_cnf(&schema, "x = y").unwrap()),
+        vec![c0, c1],
+        vec![(0, 1)],
+    )
+    .unwrap();
+    let initial = UniqueState::new(&schema, vec![5, 5]).unwrap();
+    let parent = DatabaseState::singleton(initial.clone());
+    // GreedyLatest prefers the freshest versions, matching the protocol's
+    // operational final state. (Backtracking would pick X(t_f) = (5,5) —
+    // also correct under the model, since O only requires satisfaction.)
+    let offline = search::find_correct_execution(&schema, &root_model, &parent, Strategy::GreedyLatest)
+        .unwrap()
+        .expect("offline execution");
+
+    // Online: protocol session.
+    let mut pm = ProtocolManager::new(
+        schema.clone(),
+        &initial,
+        Specification::classical(&parse_cnf(&schema, "x = y").unwrap()),
+    );
+    let root = pm.root();
+    let p0 = pm.define(root, spec_c0, &[], &[]).unwrap();
+    let p1 = pm.define(root, spec_c1, &[p0], &[]).unwrap();
+    pm.validate(p0, Strategy::Backtracking).unwrap();
+    pm.read(p0, x).unwrap();
+    pm.write(p0, x, 6).unwrap();
+    pm.validate(p1, Strategy::Backtracking).unwrap();
+    pm.read(p1, x).unwrap();
+    pm.read(p1, y).unwrap();
+    pm.write(p1, y, 6).unwrap();
+    pm.commit(p0).unwrap();
+    pm.commit(p1).unwrap();
+    let (_, _, online) = model_execution(&pm, root).unwrap();
+
+    // Same final state, same reads-from shape.
+    assert_eq!(offline.0.final_input, online.final_input);
+    assert_eq!(offline.0.reads_from, online.reads_from);
+}
+
+/// Example 1 in one line of each crate: classified, embedded, searched.
+#[test]
+fn example1_three_ways() {
+    let s = example1();
+    // 1. classifier: MVSR but not VSR.
+    let m = classify(&s, &xy_objects());
+    assert!(m.mvsr && !m.vsr);
+    // 2. witness: serial order (t2, t1), as the paper says.
+    assert_eq!(
+        ks_schedule::mvsr::mvsr_witness(&s).unwrap(),
+        vec![TxnId(1), TxnId(0)]
+    );
+    // 3. per-object decompositions are Examples 3.a/3.b.
+    let objects = xy_objects();
+    let projs = ks_schedule::pwsr::per_object_projections(&s, &objects);
+    assert!(projs.iter().all(|(_, p)| p.is_serial()));
+}

@@ -1,0 +1,146 @@
+//! Property test for Lemma 4 + Theorem 2: randomized protocol sessions,
+//! extracted and verified against the formal model. This is the proptest
+//! companion of the `exp_protocol_correct` experiment.
+
+use ks_core::{check, Specification};
+use ks_kernel::{Domain, EntityId, Schema, UniqueState};
+use ks_predicate::{Atom, Clause, CmpOp, Cnf, Strategy as SolveStrategy};
+use ks_protocol::extract::model_execution;
+use ks_protocol::{CommitOutcome, ProtocolManager, TxnState, ValidationOutcome};
+use proptest::prelude::*;
+
+/// One scripted action against the manager.
+#[derive(Debug, Clone)]
+enum Act {
+    Validate(usize),
+    Read(usize, u32),
+    Write(usize, u32, i64),
+    Commit(usize),
+    Abort(usize),
+}
+
+fn acts(num_txns: usize, num_entities: u32) -> impl Strategy<Value = Vec<Act>> {
+    let act = (0..5u8, 0..num_txns, 0..num_entities, 0..10i64).prop_map(
+        |(kind, t, e, v)| match kind {
+            0 => Act::Validate(t),
+            1 => Act::Read(t, e),
+            2 => Act::Write(t, e, v),
+            3 => Act::Commit(t),
+            _ => Act::Abort(t),
+        },
+    );
+    prop::collection::vec(act, 0..30)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// However the session is driven, the committed children always form a
+    /// correct, parent-based execution.
+    #[test]
+    fn protocol_always_yields_correct_executions(
+        script in acts(4, 3),
+        ordered_mask in prop::collection::vec(prop::bool::ANY, 4),
+    ) {
+        let n_entities = 3usize;
+        let schema = Schema::uniform(
+            (0..n_entities).map(|i| format!("d{i}")),
+            Domain::Range { min: 0, max: 9 },
+        );
+        let initial = UniqueState::from_values_unchecked(vec![0; n_entities]);
+        let mut pm = ProtocolManager::new(schema.clone(), &initial, Specification::trivial());
+        let root = pm.root();
+        // Four transactions; some ordered after their predecessor.
+        let tautology = Cnf::new(
+            (0..n_entities as u32)
+                .map(|i| Clause::unit(Atom::cmp_const(EntityId(i), CmpOp::Ge, 0)))
+                .collect(),
+        );
+        let mut handles = Vec::new();
+        for ordered in ordered_mask.iter().take(4) {
+            let after: Vec<_> = if *ordered {
+                handles.last().copied().into_iter().collect()
+            } else {
+                vec![]
+            };
+            let h = pm
+                .define(root, Specification::new(tautology.clone(), Cnf::truth()), &after, &[])
+                .unwrap();
+            handles.push(h);
+        }
+        // Drive the script; every call must be handled gracefully.
+        for act in script {
+            let h = |i: usize| handles[i % handles.len()];
+            match act {
+                Act::Validate(t) => {
+                    let handle = h(t);
+                    if pm.state_of(handle).unwrap() == TxnState::Defined {
+                        let out = pm.validate(handle, SolveStrategy::GreedyLatest).unwrap();
+                        prop_assert!(!matches!(out, ValidationOutcome::Blocked(_)));
+                    }
+                }
+                Act::Read(t, e) => {
+                    let handle = h(t);
+                    if pm.state_of(handle).unwrap() == TxnState::Validated {
+                        let _ = pm.read(handle, EntityId(e));
+                    }
+                }
+                Act::Write(t, e, v) => {
+                    let handle = h(t);
+                    if pm.state_of(handle).unwrap() == TxnState::Validated {
+                        let _ = pm.write(handle, EntityId(e), v);
+                    }
+                }
+                Act::Commit(t) => {
+                    let handle = h(t);
+                    if pm.state_of(handle).unwrap() == TxnState::Validated {
+                        let _ = pm.commit(handle).unwrap();
+                    }
+                }
+                Act::Abort(t) => {
+                    let handle = h(t);
+                    let st = pm.state_of(handle).unwrap();
+                    if st == TxnState::Defined || st == TxnState::Validated {
+                        let _ = pm.abort(handle);
+                    }
+                }
+            }
+        }
+        // Terminate everything still live, committing where the protocol
+        // allows it.
+        let mut progress = true;
+        while progress {
+            progress = false;
+            for &handle in &handles {
+                if pm.state_of(handle).unwrap() == TxnState::Defined {
+                    if let Ok(ValidationOutcome::Validated) =
+                        pm.validate(handle, SolveStrategy::GreedyLatest)
+                    {
+                        progress = true;
+                    }
+                }
+                if pm.state_of(handle).unwrap() == TxnState::Validated {
+                    match pm.commit(handle).unwrap() {
+                        CommitOutcome::Committed => progress = true,
+                        CommitOutcome::OutputViolated => {
+                            pm.abort(handle).unwrap();
+                            progress = true;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        for &handle in &handles {
+            let st = pm.state_of(handle).unwrap();
+            if st == TxnState::Defined || st == TxnState::Validated {
+                let _ = pm.abort(handle);
+            }
+        }
+        // The moment of truth.
+        let (txn, parent, exec) = model_execution(&pm, root).unwrap();
+        let report = check::check(&schema, &txn, &parent, &exec);
+        prop_assert!(report.is_correct(), "{report:?}");
+        prop_assert!(report.parent_based, "{report:?}");
+    }
+}
