@@ -205,7 +205,7 @@ mod tests {
         let mut s = MultiversionTimestampOrdering::new();
         s.on_begin(SimTxnId(0), 0); // ts 1 (the long writer)
         s.on_begin(SimTxnId(1), 0); // ts 2
-        // The younger transaction reads the initial version.
+                                    // The younger transaction reads the initial version.
         assert_eq!(s.on_read(SimTxnId(1), e(0), 1), Decision::Proceed);
         // The older one now tries to write "into the past": abort.
         assert_eq!(s.on_write(SimTxnId(0), e(0), 2), Decision::Abort);

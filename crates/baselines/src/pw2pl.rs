@@ -159,7 +159,8 @@ impl PredicatewiseTwoPhaseLocking {
                 self.deadlocks_detected += 1;
                 return Decision::Abort;
             }
-            self.waits_for.insert(txn, conflicting.into_iter().collect());
+            self.waits_for
+                .insert(txn, conflicting.into_iter().collect());
             return Decision::Block;
         }
         // Grant.

@@ -19,7 +19,11 @@ fn bench_assignment(c: &mut Criterion) {
         };
         let cnf = random_cnf(&mut rng, &params);
         let candidates = random_candidates(&mut rng, 8, max_versions, 9);
-        for strategy in [Strategy::Exhaustive, Strategy::Backtracking, Strategy::GreedyLatest] {
+        for strategy in [
+            Strategy::Exhaustive,
+            Strategy::Backtracking,
+            Strategy::GreedyLatest,
+        ] {
             group.bench_with_input(
                 BenchmarkId::new(format!("{strategy:?}"), max_versions),
                 &(cnf.clone(), candidates.clone()),
@@ -30,7 +34,13 @@ fn bench_assignment(c: &mut Criterion) {
             BenchmarkId::new("Backtracking+propagation", max_versions),
             &(cnf.clone(), candidates.clone()),
             |b, (cnf, candidates)| {
-                b.iter(|| black_box(solve_with_propagation(cnf, candidates, Strategy::Backtracking)))
+                b.iter(|| {
+                    black_box(solve_with_propagation(
+                        cnf,
+                        candidates,
+                        Strategy::Backtracking,
+                    ))
+                })
             },
         );
     }

@@ -9,8 +9,7 @@
 //! the whole transaction body; T/O pays aborts.
 
 use ks_bench::run_all_schedulers;
-use ks_protocol::KsProtocolAdapter;
-use ks_sim::{Engine, EngineConfig, Metrics, Workload, WorkloadSpec};
+use ks_sim::{Metrics, Workload, WorkloadSpec};
 
 fn main() {
     println!("coop-chains — cooperation chains, four schedulers\n");
@@ -32,14 +31,7 @@ fn main() {
         for m in run_all_schedulers(&w) {
             println!("  {}", m.row());
         }
-        // Protocol-internal counters for the chained run.
-        let adapter = KsProtocolAdapter::for_workload(&w);
-        let (_, _, adapter) = Engine::new(&w, adapter, EngineConfig::default()).run();
-        let s = adapter.protocol_stats();
-        println!(
-            "  ks internals: re_evals={} re_assigns={} reeval_aborts={} cascade_aborts={}\n",
-            s.re_evals, s.re_assigns, s.reeval_aborts, s.cascade_aborts
-        );
+        println!();
     }
     println!("expected shape: the protocol's waits stay commit-side and small;");
     println!("re-assign activity appears only when predecessors write late.");

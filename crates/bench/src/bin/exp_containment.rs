@@ -43,7 +43,10 @@ fn richness(label: &str, program_texts: &[&str]) {
     println!("  (x, y in separate conjuncts)\n");
     println!("class   admitted   fraction");
     for (name, &c) in names.iter().zip(&counts) {
-        println!("{name:<7} {c:>8}   {:>6.1}%", 100.0 * c as f64 / total as f64);
+        println!(
+            "{name:<7} {c:>8}   {:>6.1}%",
+            100.0 * c as f64 / total as f64
+        );
     }
     println!();
 }

@@ -17,7 +17,10 @@ fn main() {
     let w = mvsr_witness(&s).expect("Example 1 is MVSR");
     println!(
         "  MVSR witness (the paper's version function): serial order {}",
-        w.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(", ")
+        w.iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     println!("  — t2 reads the initial versions (t0(S)); t1 reads t2's y.\n");
 
@@ -26,7 +29,11 @@ fn main() {
     for (obj, order) in &ws {
         println!(
             "  object {obj}: serializes as {}",
-            order.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(", ")
+            order
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
         );
     }
     println!();

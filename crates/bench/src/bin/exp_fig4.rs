@@ -4,7 +4,7 @@
 use ks_core::Specification;
 use ks_kernel::{Domain, EntityId, Schema, UniqueState};
 use ks_predicate::{parse_cnf, Strategy};
-use ks_protocol::{ProtocolManager, ReadOutcome, ReEvalAction, TxnState};
+use ks_protocol::{ProtocolManager, ReEvalAction, ReadOutcome, TxnState};
 
 fn pm() -> (Schema, ProtocolManager) {
     let schema = Schema::uniform(["x"], Domain::Range { min: 0, max: 999 });
@@ -14,7 +14,10 @@ fn pm() -> (Schema, ProtocolManager) {
 }
 
 fn spec(schema: &Schema, input: &str) -> Specification {
-    Specification::new(parse_cnf(schema, input).unwrap(), ks_predicate::Cnf::truth())
+    Specification::new(
+        parse_cnf(schema, input).unwrap(),
+        ks_predicate::Cnf::truth(),
+    )
 }
 
 fn main() {
@@ -26,7 +29,9 @@ fn main() {
     let (schema, mut m) = pm();
     let root = m.root();
     let writer = m.define(root, spec(&schema, "x >= 0"), &[], &[]).unwrap();
-    let reader = m.define(root, spec(&schema, "x >= 0"), &[writer], &[]).unwrap();
+    let reader = m
+        .define(root, spec(&schema, "x >= 0"), &[writer], &[])
+        .unwrap();
     m.validate(writer, Strategy::Backtracking).unwrap();
     m.validate(reader, Strategy::Backtracking).unwrap();
     let v = m.read(reader, x).unwrap();
@@ -41,7 +46,9 @@ fn main() {
     let (schema, mut m) = pm();
     let root = m.root();
     let writer = m.define(root, spec(&schema, "x >= 0"), &[], &[]).unwrap();
-    let holder = m.define(root, spec(&schema, "x >= 0"), &[writer], &[]).unwrap();
+    let holder = m
+        .define(root, spec(&schema, "x >= 0"), &[writer], &[])
+        .unwrap();
     m.validate(writer, Strategy::Backtracking).unwrap();
     m.validate(holder, Strategy::Backtracking).unwrap();
     let report = m.write(writer, x, 7).unwrap();
@@ -56,13 +63,18 @@ fn main() {
     let (schema, mut m) = pm();
     let root = m.root();
     let writer = m.define(root, spec(&schema, "x >= 0"), &[], &[]).unwrap();
-    let strict = m.define(root, spec(&schema, "x = 5"), &[writer], &[]).unwrap();
+    let strict = m
+        .define(root, spec(&schema, "x = 5"), &[writer], &[])
+        .unwrap();
     m.validate(writer, Strategy::Backtracking).unwrap();
     m.validate(strict, Strategy::Backtracking).unwrap();
     let report = m.write(writer, x, 7).unwrap();
     println!("\ncase 3 — successor's I_t incompatible with the new version:");
     println!("  re-eval: {:?}", report.reeval);
-    assert_eq!(report.reeval, vec![ReEvalAction::ReassignFailedAborted(strict)]);
+    assert_eq!(
+        report.reeval,
+        vec![ReEvalAction::ReassignFailedAborted(strict)]
+    );
 
     // Case 4: unordered writer — nobody disturbed.
     let (schema, mut m) = pm();

@@ -20,7 +20,10 @@ fn main() {
     println!("(16 txns × 8 ops, 32 entities, 25% hot entities with 75% of accesses)\n");
     for (think, spec) in duration_sweep() {
         let w = Workload::generate(spec);
-        println!("— think time {think} ticks (intrinsic txn duration ≈ {} ticks)", 8 * (think + 1));
+        println!(
+            "— think time {think} ticks (intrinsic txn duration ≈ {} ticks)",
+            8 * (think + 1)
+        );
         println!("  {}  p95_lat", Metrics::header());
         for m in run_all_schedulers(&w) {
             println!("  {}  {:>7}", m.row(), m.latency_percentile(95));

@@ -148,7 +148,11 @@ fn main() {
         let s = pm.stats();
         println!(
             "{:<13} {:>21}  {:>5}  {:>8}  {:>10}",
-            if pessimistic { "pessimistic" } else { "optimistic" },
+            if pessimistic {
+                "pessimistic"
+            } else {
+                "optimistic"
+            },
             immediate,
             waits,
             s.re_evals,

@@ -26,7 +26,9 @@ fn main() {
     let mut checked = 0u64;
 
     for trial in 0..trials {
-        if verbose { eprintln!("trial {trial}"); }
+        if verbose {
+            eprintln!("trial {trial}");
+        }
         let n_entities = 2 + rng.index(3);
         let schema = Schema::uniform(
             (0..n_entities).map(|i| format!("d{i}")),
@@ -83,29 +85,39 @@ fn main() {
                 _ => {}
             }
         }
-        if verbose { eprintln!("  activity done"); }
+        if verbose {
+            eprintln!("  activity done");
+        }
         // Drive everything to termination (commit where possible).
         let mut progress = true;
         let mut passes = 0u32;
         while progress {
             passes += 1;
-            if verbose && passes.is_multiple_of(100) { eprintln!("  drive pass {passes}"); }
+            if verbose && passes.is_multiple_of(100) {
+                eprintln!("  drive pass {passes}");
+            }
             progress = false;
             for &h in &handles {
                 if pm.state_of(h).unwrap() == TxnState::Defined {
                     let out = pm.validate(h, Strategy::GreedyLatest);
-                    if verbose { eprintln!("  validate {h:?} -> {out:?}"); }
+                    if verbose {
+                        eprintln!("  validate {h:?} -> {out:?}");
+                    }
                     if let Ok(ValidationOutcome::Validated) = out {
                         progress = true;
                     }
                 }
                 if pm.state_of(h).unwrap() == TxnState::Validated {
                     let cout = pm.commit(h).unwrap();
-                    if verbose { eprintln!("  commit {h:?} -> {cout:?}"); }
+                    if verbose {
+                        eprintln!("  commit {h:?} -> {cout:?}");
+                    }
                     match cout {
                         CommitOutcome::Committed => progress = true,
                         CommitOutcome::OutputViolated => {
-                            if verbose { eprintln!("  abort {h:?}"); }
+                            if verbose {
+                                eprintln!("  abort {h:?}");
+                            }
                             pm.abort(h).unwrap();
                             progress = true;
                         }
@@ -118,9 +130,13 @@ fn main() {
         for &h in &handles {
             let st = pm.state_of(h).unwrap();
             if st == TxnState::Defined || st == TxnState::Validated {
-                if verbose { eprintln!("  leftover abort {h:?}"); }
+                if verbose {
+                    eprintln!("  leftover abort {h:?}");
+                }
                 let _ = pm.abort(h);
-                if verbose { eprintln!("  leftover abort {h:?} done"); }
+                if verbose {
+                    eprintln!("  leftover abort {h:?} done");
+                }
             }
         }
         for &h in &handles {
@@ -130,7 +146,9 @@ fn main() {
                 _ => {}
             }
         }
-        if verbose { eprintln!("  extracting"); }
+        if verbose {
+            eprintln!("  extracting");
+        }
         // Verify the committed execution.
         let (txn, parent_state, exec) = model_execution(&pm, root).unwrap();
         let report = check::check(&schema, &txn, &parent_state, &exec);

@@ -16,7 +16,9 @@ use ks_protocol::KsProtocolAdapter;
 use ks_schedule::recovery::CommittedSchedule;
 use ks_schedule::{Op, Schedule, TxnId};
 use ks_sim::trace::committed_ops;
-use ks_sim::{ConcurrencyControl, Engine, EngineConfig, TraceEvent, TraceKind, Workload, WorkloadSpec};
+use ks_sim::{
+    ConcurrencyControl, Engine, EngineConfig, TraceEvent, TraceKind, Workload, WorkloadSpec,
+};
 use std::collections::BTreeMap;
 
 fn committed_schedule(trace: &[TraceEvent]) -> CommittedSchedule {

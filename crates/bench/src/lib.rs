@@ -8,8 +8,7 @@
 #![warn(missing_docs)]
 
 use ks_baselines::{
-    MultiversionTimestampOrdering, PredicatewiseTwoPhaseLocking, TimestampOrdering,
-    TwoPhaseLocking,
+    MultiversionTimestampOrdering, PredicatewiseTwoPhaseLocking, TimestampOrdering, TwoPhaseLocking,
 };
 use ks_predicate::random::SplitMix64;
 use ks_protocol::KsProtocolAdapter;
@@ -65,7 +64,9 @@ pub fn random_programs(
 pub fn run_all_schedulers(workload: &Workload) -> Vec<Metrics> {
     let config = EngineConfig::default();
     vec![
-        Engine::new(workload, TwoPhaseLocking::new(), config).run().0,
+        Engine::new(workload, TwoPhaseLocking::new(), config)
+            .run()
+            .0,
         Engine::new(
             workload,
             PredicatewiseTwoPhaseLocking::for_workload(workload),
@@ -73,7 +74,9 @@ pub fn run_all_schedulers(workload: &Workload) -> Vec<Metrics> {
         )
         .run()
         .0,
-        Engine::new(workload, TimestampOrdering::new(), config).run().0,
+        Engine::new(workload, TimestampOrdering::new(), config)
+            .run()
+            .0,
         Engine::new(workload, MultiversionTimestampOrdering::new(), config)
             .run()
             .0,

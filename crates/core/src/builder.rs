@@ -192,9 +192,8 @@ mod tests {
         .order(0, 1)
         .build()
         .unwrap();
-        let parent = ks_kernel::DatabaseState::singleton(
-            UniqueState::new(&schema, vec![3, 3]).unwrap(),
-        );
+        let parent =
+            ks_kernel::DatabaseState::singleton(UniqueState::new(&schema, vec![3, 3]).unwrap());
         let found =
             crate::search::find_correct_execution(&schema, &tree, &parent, Strategy::Backtracking)
                 .unwrap();

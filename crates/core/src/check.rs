@@ -33,7 +33,10 @@ impl CheckReport {
     /// Is the execution correct in the paper's sense (input predicates and
     /// output predicate all hold, and `(R, X)` is a well-formed execution)?
     pub fn is_correct(&self) -> bool {
-        self.shape_ok && self.partial_order_ok && self.inputs_ok.iter().all(|&b| b) && self.output_ok
+        self.shape_ok
+            && self.partial_order_ok
+            && self.inputs_ok.iter().all(|&b| b)
+            && self.output_ok
     }
 
     /// Correct *and* parent-based — what the Section 5 protocol guarantees
@@ -187,12 +190,18 @@ mod tests {
         );
         let c1 = Transaction::leaf(
             TxnName::root(),
-            Specification::new(parse_cnf(&schema, "x > y").unwrap(), parse_cnf(&schema, "x = y").unwrap()),
+            Specification::new(
+                parse_cnf(&schema, "x > y").unwrap(),
+                parse_cnf(&schema, "x = y").unwrap(),
+            ),
             vec![Step::Write(y, Expr::plus_const(y, 1))],
         );
         let root = Transaction::nested(
             TxnName::root(),
-            Specification::new(parse_cnf(&schema, "x = y").unwrap(), parse_cnf(&schema, "x = y").unwrap()),
+            Specification::new(
+                parse_cnf(&schema, "x = y").unwrap(),
+                parse_cnf(&schema, "x = y").unwrap(),
+            ),
             vec![c0, c1],
             vec![(0, 1)],
         )
@@ -202,10 +211,7 @@ mod tests {
         // X(c0) = (5,5); c0 outputs (6,5). X(c1) = (6,5); outputs (6,6).
         let exec = Execution {
             reads_from: vec![(0, 1)],
-            inputs: vec![
-                initial,
-                UniqueState::new(&schema, vec![6, 5]).unwrap(),
-            ],
+            inputs: vec![initial, UniqueState::new(&schema, vec![6, 5]).unwrap()],
             final_input: UniqueState::new(&schema, vec![6, 6]).unwrap(),
         };
         (schema, root, parent, exec)

@@ -202,9 +202,7 @@ mod tests {
     fn serial_schedule_execution_is_correct() {
         let (schema, c, rules) = setup();
         // t1 then t2, each R(x) W(x) R(y) W(y) with increments.
-        let s = consistency_preserving_schedule(
-            "R1(x) W1(x) R1(y) W1(y) R2(x) W2(x) R2(y) W2(y)",
-        );
+        let s = consistency_preserving_schedule("R1(x) W1(x) R1(y) W1(y) R2(x) W2(x) R2(y) W2(y)");
         assert!(is_vsr(&s));
         let initial = UniqueState::new(&schema, vec![0, 0]).unwrap();
         let (txn, parent, exec) = lemma2_execution(&schema, &s, &c, &rules, &initial).unwrap();
@@ -220,9 +218,7 @@ mod tests {
         let (schema, c, rules) = setup();
         // Non-serial but view serializable: t2 starts after t1 finished x
         // AND y — interleave harmlessly on distinct entities.
-        let s = consistency_preserving_schedule(
-            "R1(x) W1(x) R1(y) W1(y) R2(x) R2(y) W2(x) W2(y)",
-        );
+        let s = consistency_preserving_schedule("R1(x) W1(x) R1(y) W1(y) R2(x) R2(y) W2(x) W2(y)");
         // t2 writes x then y per its program; rules index writes in program
         // order: W2(x) is write 0 (x), W2(y) write 1 (y) — same as setup.
         assert!(is_vsr(&s));
@@ -238,9 +234,7 @@ mod tests {
         let (schema, c, rules) = setup();
         // The lost-update interleaving: t2 reads x = 0 and y after t1's
         // write — t2's observed state mixes inconsistent values.
-        let s = consistency_preserving_schedule(
-            "R1(x) R2(x) W1(x) R1(y) W1(y) R2(y) W2(x) W2(y)",
-        );
+        let s = consistency_preserving_schedule("R1(x) R2(x) W1(x) R1(y) W1(y) R2(y) W2(x) W2(y)");
         assert!(!is_vsr(&s));
         let initial = UniqueState::new(&schema, vec![0, 0]).unwrap();
         let (txn, parent, exec) = lemma2_execution(&schema, &s, &c, &rules, &initial).unwrap();

@@ -8,8 +8,8 @@
 //! discussion (design counters, budget splits, invariant repair) while
 //! keeping transactions serializable values (no closures).
 
-use ks_predicate::Valuation;
 use ks_kernel::{EntityId, Value};
+use ks_predicate::Valuation;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 

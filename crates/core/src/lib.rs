@@ -45,8 +45,8 @@ pub mod tree;
 pub use builder::TreeBuilder;
 pub use error::ModelError;
 pub use execution::Execution;
-pub use multilevel::{check_tree, TreeExecution, TreeReport};
 pub use expr::Expr;
+pub use multilevel::{check_tree, TreeExecution, TreeReport};
 pub use naming::TxnName;
 pub use spec::Specification;
 pub use tree::{Body, Nested, Step, Transaction};

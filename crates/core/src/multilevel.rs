@@ -46,7 +46,9 @@ impl TreeReport {
 
     /// First failing level, if any.
     pub fn first_failure(&self) -> Option<&(String, CheckReport)> {
-        self.levels.iter().find(|(_, r)| !r.is_correct_parent_based())
+        self.levels
+            .iter()
+            .find(|(_, r)| !r.is_correct_parent_based())
     }
 }
 

@@ -128,10 +128,12 @@ mod tests {
 
     #[test]
     fn ordering_is_hierarchical() {
-        let mut names = [TxnName::parse("t.1").unwrap(),
+        let mut names = [
+            TxnName::parse("t.1").unwrap(),
             TxnName::parse("t.0.1").unwrap(),
             TxnName::parse("t").unwrap(),
-            TxnName::parse("t.0").unwrap()];
+            TxnName::parse("t.0").unwrap(),
+        ];
         names.sort();
         let texts: Vec<String> = names.iter().map(|n| n.to_string()).collect();
         assert_eq!(texts, vec!["t", "t.0", "t.0.1", "t.1"]);

@@ -51,8 +51,9 @@ pub fn theorem1_instance(inst: &SatInstance) -> Theorem1Instance {
 /// Decide the instance: does a correct execution exist? Returns the
 /// satisfying truth assignment extracted from `X(t_1)` when it does.
 pub fn decide(inst: &Theorem1Instance, strategy: Strategy) -> Option<Vec<bool>> {
-    let found = crate::search::find_correct_execution(&inst.schema, &inst.root, &inst.parent, strategy)
-        .expect("no evaluation errors on boolean schema");
+    let found =
+        crate::search::find_correct_execution(&inst.schema, &inst.root, &inst.parent, strategy)
+            .expect("no evaluation errors on boolean schema");
     found.map(|(exec, _)| {
         inst.schema
             .entity_ids()

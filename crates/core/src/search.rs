@@ -45,10 +45,7 @@ pub fn find_correct_execution(
     let mut stats = SearchStats::default();
 
     // Base candidates per entity from the parent's versions.
-    let base: Vec<Vec<Value>> = schema
-        .entity_ids()
-        .map(|e| parent.values_of(e))
-        .collect();
+    let base: Vec<Vec<Value>> = schema.entity_ids().map(|e| parent.values_of(e)).collect();
 
     for order in linear_extensions(n, &order_pairs) {
         stats.orders_tried += 1;
@@ -167,7 +164,10 @@ fn try_order(
     };
     Ok(Some(Execution {
         reads_from,
-        inputs: inputs.into_iter().map(|i| i.expect("all executed")).collect(),
+        inputs: inputs
+            .into_iter()
+            .map(|i| i.expect("all executed"))
+            .collect(),
         final_input: UniqueState::from_values_unchecked(final_values),
     }))
 }
@@ -175,10 +175,10 @@ fn try_order(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ks_kernel::EntityId;
     use crate::check;
     use crate::{Expr, Specification, Step, TxnName};
     use ks_kernel::Domain;
+    use ks_kernel::EntityId;
     use ks_predicate::{parse_cnf, Cnf};
 
     fn schema() -> Schema {
@@ -196,11 +196,17 @@ mod tests {
         let x = EntityId(0);
         let y = EntityId(1);
         let c0 = leaf(
-            Specification::new(parse_cnf(&schema, "x = y").unwrap(), parse_cnf(&schema, "x > y").unwrap()),
+            Specification::new(
+                parse_cnf(&schema, "x = y").unwrap(),
+                parse_cnf(&schema, "x > y").unwrap(),
+            ),
             vec![Step::Write(x, Expr::plus_const(x, 1))],
         );
         let c1 = leaf(
-            Specification::new(parse_cnf(&schema, "x > y").unwrap(), parse_cnf(&schema, "x = y").unwrap()),
+            Specification::new(
+                parse_cnf(&schema, "x > y").unwrap(),
+                parse_cnf(&schema, "x = y").unwrap(),
+            ),
             vec![Step::Write(y, Expr::plus_const(y, 1))],
         );
         let root = Transaction::nested(
@@ -237,7 +243,8 @@ mod tests {
         )
         .unwrap();
         let parent = DatabaseState::singleton(UniqueState::new(&schema, vec![0, 0]).unwrap());
-        let found = find_correct_execution(&schema, &root, &parent, Strategy::Backtracking).unwrap();
+        let found =
+            find_correct_execution(&schema, &root, &parent, Strategy::Backtracking).unwrap();
         assert!(found.is_none());
     }
 
@@ -266,9 +273,10 @@ mod tests {
         )
         .unwrap();
         let parent = DatabaseState::singleton(UniqueState::new(&schema, vec![0, 0]).unwrap());
-        let (_, s_free) = find_correct_execution(&schema, &root_free, &parent, Strategy::Backtracking)
-            .unwrap()
-            .unwrap();
+        let (_, s_free) =
+            find_correct_execution(&schema, &root_free, &parent, Strategy::Backtracking)
+                .unwrap()
+                .unwrap();
         let (_, s_chain) =
             find_correct_execution(&schema, &root_chain, &parent, Strategy::Backtracking)
                 .unwrap()
@@ -361,9 +369,8 @@ mod tests {
             Specification::new(parse_cnf(&schema, "x = 1 & y = 0").unwrap(), Cnf::truth()),
             vec![],
         );
-        let root =
-            Transaction::nested(TxnName::root(), Specification::trivial(), vec![c], vec![])
-                .unwrap();
+        let root = Transaction::nested(TxnName::root(), Specification::trivial(), vec![c], vec![])
+            .unwrap();
         let parent = DatabaseState::from_states(vec![
             UniqueState::new(&schema, vec![0, 0]).unwrap(),
             UniqueState::new(&schema, vec![1, 1]).unwrap(),

@@ -85,7 +85,10 @@ impl Transaction {
             spec,
             body: Body::Nested(Nested { children, order }),
         };
-        if t.partial_order_graph().map(|g| g.has_cycle()).unwrap_or(false) {
+        if t.partial_order_graph()
+            .map(|g| g.has_cycle())
+            .unwrap_or(false)
+        {
             return Err(ModelError::CyclicPartialOrder);
         }
         Ok(t)
@@ -183,7 +186,10 @@ impl Transaction {
     /// The fixed-point set `F_t = E − U_t` for a schema.
     pub fn fixed_point_set(&self, schema: &Schema) -> BTreeSet<EntityId> {
         let updates = self.update_set();
-        schema.entity_ids().filter(|e| !updates.contains(e)).collect()
+        schema
+            .entity_ids()
+            .filter(|e| !updates.contains(e))
+            .collect()
     }
 
     /// The object set `t̃`: the union of the subtransactions' output-predicate
@@ -208,12 +214,7 @@ impl Transaction {
 
     /// Depth of the subtree (leaf = 1).
     pub fn depth(&self) -> usize {
-        1 + self
-            .children()
-            .iter()
-            .map(|c| c.depth())
-            .max()
-            .unwrap_or(0)
+        1 + self.children().iter().map(|c| c.depth()).max().unwrap_or(0)
     }
 
     /// All descendant names in preorder.
@@ -247,7 +248,9 @@ impl Transaction {
             }
             Body::Nested(n) => {
                 let g = self.partial_order_graph().expect("nested");
-                let order = g.topological_order().ok_or(ModelError::CyclicPartialOrder)?;
+                let order = g
+                    .topological_order()
+                    .ok_or(ModelError::CyclicPartialOrder)?;
                 let mut state = input.clone();
                 for i in order {
                     state = n.children[i].apply(schema, &state)?;
@@ -375,12 +378,15 @@ mod tests {
     #[test]
     fn fig1_shape_and_names() {
         let t = fig1_tree();
-        assert_eq!(t.num_nodes(), 1 + (1 + 3) + (1 + (1 + 2) + (1 + 3)) + (1 + 1));
+        assert_eq!(
+            t.num_nodes(),
+            1 + (1 + 3) + (1 + (1 + 2) + (1 + 3)) + (1 + 1)
+        );
         assert_eq!(t.depth(), 4); // t → t.1 → t.1.0 → leaf
         let names: Vec<String> = t.names().iter().map(|n| n.to_string()).collect();
         for expected in [
-            "t", "t.0", "t.0.0", "t.0.1", "t.0.2", "t.1", "t.1.0", "t.1.0.0", "t.1.0.1",
-            "t.1.1", "t.1.1.0", "t.1.1.1", "t.1.1.2", "t.2", "t.2.0",
+            "t", "t.0", "t.0.0", "t.0.1", "t.0.2", "t.1", "t.1.0", "t.1.0.0", "t.1.0.1", "t.1.1",
+            "t.1.1.0", "t.1.1.1", "t.1.1.2", "t.2", "t.2.0",
         ] {
             assert!(names.contains(&expected.to_string()), "{expected} missing");
         }
@@ -393,11 +399,15 @@ mod tests {
             Specification::trivial(),
             vec![],
         );
-        let mid = Transaction::nested(TxnName::root(), Specification::trivial(), vec![inner], vec![])
+        let mid = Transaction::nested(
+            TxnName::root(),
+            Specification::trivial(),
+            vec![inner],
+            vec![],
+        )
+        .unwrap();
+        let top = Transaction::nested(TxnName::root(), Specification::trivial(), vec![mid], vec![])
             .unwrap();
-        let top =
-            Transaction::nested(TxnName::root(), Specification::trivial(), vec![mid], vec![])
-                .unwrap();
         assert_eq!(top.children()[0].name.to_string(), "t.0");
         assert_eq!(top.children()[0].children()[0].name.to_string(), "t.0.0");
     }
@@ -425,9 +435,13 @@ mod tests {
             Specification::trivial(),
             vec![],
         )];
-        let err =
-            Transaction::nested(TxnName::root(), Specification::trivial(), kids, vec![(0, 5)])
-                .unwrap_err();
+        let err = Transaction::nested(
+            TxnName::root(),
+            Specification::trivial(),
+            kids,
+            vec![(0, 5)],
+        )
+        .unwrap_err();
         assert_eq!(err, ModelError::OrderIndexOutOfRange(5));
     }
 

@@ -32,7 +32,10 @@ impl UniqueState {
         for (i, &v) in values.iter().enumerate() {
             let e = EntityId(i as u32);
             if !schema.domain(e).contains(v) {
-                return Err(KernelError::ValueOutOfDomain { entity: e, value: v });
+                return Err(KernelError::ValueOutOfDomain {
+                    entity: e,
+                    value: v,
+                });
             }
         }
         Ok(UniqueState {

@@ -64,8 +64,14 @@ mod tests {
         let mut s = Snapshot::new();
         assert!(s.is_empty());
         let e = EntityId(0);
-        s.select(VersionId { entity: e, index: 1 });
-        s.select(VersionId { entity: e, index: 2 });
+        s.select(VersionId {
+            entity: e,
+            index: 1,
+        });
+        s.select(VersionId {
+            entity: e,
+            index: 2,
+        });
         assert_eq!(s.len(), 1);
         assert_eq!(s.version_of(e).unwrap().index, 2);
         assert_eq!(s.version_of(EntityId(1)), None);
@@ -75,7 +81,10 @@ mod tests {
     fn clear_reverts_to_default() {
         let mut s = Snapshot::new();
         let e = EntityId(3);
-        s.select(VersionId { entity: e, index: 5 });
+        s.select(VersionId {
+            entity: e,
+            index: 5,
+        });
         let removed = s.clear_entity(e).unwrap();
         assert_eq!(removed.index, 5);
         assert!(s.version_of(e).is_none());
@@ -84,8 +93,14 @@ mod tests {
     #[test]
     fn entities_iteration_sorted() {
         let mut s = Snapshot::new();
-        s.select(VersionId { entity: EntityId(2), index: 0 });
-        s.select(VersionId { entity: EntityId(0), index: 0 });
+        s.select(VersionId {
+            entity: EntityId(2),
+            index: 0,
+        });
+        s.select(VersionId {
+            entity: EntityId(0),
+            index: 0,
+        });
         let es: Vec<EntityId> = s.entities().collect();
         assert_eq!(es, vec![EntityId(0), EntityId(2)]);
     }

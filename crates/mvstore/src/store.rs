@@ -58,7 +58,10 @@ impl MvStore {
             .entity_ids()
             .map(|e| {
                 RwLock::new(vec![VersionMeta {
-                    id: VersionId { entity: e, index: 0 },
+                    id: VersionId {
+                        entity: e,
+                        index: 0,
+                    },
                     value: initial.get(e),
                     author: INITIAL_AUTHOR,
                     stamp: 0,
@@ -176,7 +179,10 @@ impl MvStore {
     pub fn materialize(&self, snapshot: &Snapshot) -> Result<UniqueState, StoreError> {
         let mut values = Vec::with_capacity(self.schema.len());
         for e in self.schema.entity_ids() {
-            let id = snapshot.version_of(e).unwrap_or(VersionId { entity: e, index: 0 });
+            let id = snapshot.version_of(e).unwrap_or(VersionId {
+                entity: e,
+                index: 0,
+            });
             values.push(self.read(id)?);
         }
         Ok(UniqueState::from_values_unchecked(values))
@@ -276,7 +282,14 @@ mod tests {
         assert_eq!(v1.index, 1);
         assert_eq!(v2.index, 2);
         // old versions intact
-        assert_eq!(s.read(VersionId { entity: x, index: 0 }).unwrap(), 1);
+        assert_eq!(
+            s.read(VersionId {
+                entity: x,
+                index: 0
+            })
+            .unwrap(),
+            1
+        );
         assert_eq!(s.read(v1).unwrap(), 10);
         assert_eq!(s.read(v2).unwrap(), 20);
         assert_eq!(s.candidate_values(x).unwrap(), vec![1, 10, 20]);
@@ -305,7 +318,10 @@ mod tests {
             Err(StoreError::UnknownEntity(_))
         ));
         assert!(matches!(
-            s.read(VersionId { entity: x, index: 7 }),
+            s.read(VersionId {
+                entity: x,
+                index: 7
+            }),
             Err(StoreError::UnknownVersion(_))
         ));
     }
@@ -318,8 +334,14 @@ mod tests {
         s.write(x, 10, AuthorId(1)).unwrap();
         s.write(y, 20, AuthorId(2)).unwrap();
         let mut snap = Snapshot::new();
-        snap.select(VersionId { entity: x, index: 1 });
-        snap.select(VersionId { entity: y, index: 0 });
+        snap.select(VersionId {
+            entity: x,
+            index: 1,
+        });
+        snap.select(VersionId {
+            entity: y,
+            index: 0,
+        });
         let state = s.materialize(&snap).unwrap();
         assert_eq!(state.get(x), 10);
         assert_eq!(state.get(y), 2);

@@ -145,8 +145,7 @@ impl Atom {
     /// Evaluate under a valuation.
     #[inline]
     pub fn eval<V: Valuation + ?Sized>(&self, val: &V) -> bool {
-        self.op
-            .apply(self.lhs.resolve(val), self.rhs.resolve(val))
+        self.op.apply(self.lhs.resolve(val), self.rhs.resolve(val))
     }
 
     /// The negated atom (same entities, negated operator).
@@ -245,7 +244,10 @@ mod tests {
     #[test]
     fn atom_entities_listed() {
         let a = Atom::cmp_entities(EntityId(0), CmpOp::Lt, EntityId(2));
-        assert_eq!(a.entities().collect::<Vec<_>>(), vec![EntityId(0), EntityId(2)]);
+        assert_eq!(
+            a.entities().collect::<Vec<_>>(),
+            vec![EntityId(0), EntityId(2)]
+        );
         let b = Atom::cmp_const(EntityId(1), CmpOp::Eq, 0);
         assert_eq!(b.entities().collect::<Vec<_>>(), vec![EntityId(1)]);
     }

@@ -118,8 +118,11 @@ mod tests {
 
     #[test]
     fn display() {
-        let c = Clause::unit(Atom::cmp_const(EntityId(0), CmpOp::Eq, 1))
-            .or(Atom::cmp_const(EntityId(1), CmpOp::Lt, 2));
+        let c = Clause::unit(Atom::cmp_const(EntityId(0), CmpOp::Eq, 1)).or(Atom::cmp_const(
+            EntityId(1),
+            CmpOp::Lt,
+            2,
+        ));
         assert_eq!(c.to_string(), "(e0 = 1 | e1 < 2)");
         assert_eq!(Clause::new(vec![]).to_string(), "⊥");
     }

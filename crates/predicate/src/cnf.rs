@@ -226,13 +226,21 @@ mod tests {
     #[test]
     fn simplification_drops_trivia_and_duplicates() {
         use crate::Operand;
-        let truthy = Atom { lhs: Operand::Const(1), op: CmpOp::Eq, rhs: Operand::Const(1) };
-        let falsy = Atom { lhs: Operand::Const(1), op: CmpOp::Eq, rhs: Operand::Const(2) };
+        let truthy = Atom {
+            lhs: Operand::Const(1),
+            op: CmpOp::Eq,
+            rhs: Operand::Const(1),
+        };
+        let falsy = Atom {
+            lhs: Operand::Const(1),
+            op: CmpOp::Eq,
+            rhs: Operand::Const(2),
+        };
         let real = atom(0, CmpOp::Eq, 3);
         let p = Cnf::new(vec![
-            Clause::new(vec![truthy, real]),          // trivially true clause
-            Clause::new(vec![falsy, real, real]),     // falsy + duplicate
-            Clause::new(vec![real]),                  // duplicate of the above
+            Clause::new(vec![truthy, real]),      // trivially true clause
+            Clause::new(vec![falsy, real, real]), // falsy + duplicate
+            Clause::new(vec![real]),              // duplicate of the above
         ]);
         let s = p.simplified();
         assert_eq!(s.len(), 1);

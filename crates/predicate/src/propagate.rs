@@ -163,8 +163,11 @@ mod tests {
             propagate(&cnf, &mut cands),
             Propagation::Unsatisfiable(ks_kernel::EntityId(0))
         );
-        let (out, stats, _) =
-            solve_with_propagation(&cnf, &[vec![1, 2, 3], vec![0], vec![0]], Strategy::Backtracking);
+        let (out, stats, _) = solve_with_propagation(
+            &cnf,
+            &[vec![1, 2, 3], vec![0], vec![0]],
+            Strategy::Backtracking,
+        );
         assert_eq!(out, SolveOutcome::Unsat);
         assert_eq!(stats.nodes, 0); // no search at all
     }

@@ -48,7 +48,12 @@ impl SplitMix64 {
 
 /// Generate a random k-SAT instance with `num_vars` variables and
 /// `num_clauses` clauses of width `k`.
-pub fn random_ksat(rng: &mut SplitMix64, num_vars: usize, num_clauses: usize, k: usize) -> SatInstance {
+pub fn random_ksat(
+    rng: &mut SplitMix64,
+    num_vars: usize,
+    num_clauses: usize,
+    k: usize,
+) -> SatInstance {
     assert!(num_vars >= 1 && k >= 1);
     let clauses = (0..num_clauses)
         .map(|_| {

@@ -157,7 +157,11 @@ mod tests {
     fn satisfiable_instance_found_via_versions() {
         // (x1 ∨ x2) ∧ (¬x1 ∨ x3) ∧ (¬x2 ∨ ¬x3)
         let inst = SatInstance::new(3, vec![vec![1, 2], vec![-1, 3], vec![-2, -3]]);
-        for strat in [Strategy::Exhaustive, Strategy::Backtracking, Strategy::GreedyLatest] {
+        for strat in [
+            Strategy::Exhaustive,
+            Strategy::Backtracking,
+            Strategy::GreedyLatest,
+        ] {
             let (a, _) = solve_sat_via_versions(&inst, strat);
             let a = a.expect("satisfiable");
             assert!(inst.eval(&a), "{strat:?}");

@@ -96,7 +96,11 @@ impl Valuation for Partial<'_> {
 /// let (outcome, _) = solve(&cnf, &candidates, Strategy::Backtracking);
 /// assert_eq!(outcome.assignment().unwrap(), &[2, 2]);
 /// ```
-pub fn solve(cnf: &Cnf, candidates: &[Vec<Value>], strategy: Strategy) -> (SolveOutcome, SolveStats) {
+pub fn solve(
+    cnf: &Cnf,
+    candidates: &[Vec<Value>],
+    strategy: Strategy,
+) -> (SolveOutcome, SolveStats) {
     assert!(
         candidates.iter().all(|c| !c.is_empty()),
         "every entity needs at least one candidate value"
@@ -170,7 +174,11 @@ fn exhaustive(cnf: &Cnf, candidates: &[Vec<Value>]) -> (SolveOutcome, SolveStats
     }
 }
 
-fn backtrack(cnf: &Cnf, candidates: &[Vec<Value>], latest_first: bool) -> (SolveOutcome, SolveStats) {
+fn backtrack(
+    cnf: &Cnf,
+    candidates: &[Vec<Value>],
+    latest_first: bool,
+) -> (SolveOutcome, SolveStats) {
     let n = candidates.len();
     let mut stats = SolveStats::default();
 
@@ -187,7 +195,11 @@ fn backtrack(cnf: &Cnf, candidates: &[Vec<Value>], latest_first: bool) -> (Solve
     let mut values: Vec<Value> = candidates.iter().map(default_of).collect();
 
     // Static fewest-candidates-first order over mentioned entities.
-    let mut order: Vec<EntityId> = mentioned.iter().copied().filter(|e| e.index() < n).collect();
+    let mut order: Vec<EntityId> = mentioned
+        .iter()
+        .copied()
+        .filter(|e| e.index() < n)
+        .collect();
     order.sort_by_key(|e| candidates[e.index()].len());
 
     // If the predicate mentions entities beyond the candidate arity, treat
@@ -304,7 +316,11 @@ mod tests {
 
     #[test]
     fn greedy_latest_picks_last_candidates_for_truth() {
-        let (out, _) = solve(&Cnf::truth(), &[vec![1, 5], vec![2, 6]], Strategy::GreedyLatest);
+        let (out, _) = solve(
+            &Cnf::truth(),
+            &[vec![1, 5], vec![2, 6]],
+            Strategy::GreedyLatest,
+        );
         assert_eq!(out.assignment().unwrap(), &[5, 6]);
     }
 

@@ -7,7 +7,10 @@ use ks_predicate::{parse_cnf, solve, solve_with_propagation, Cnf, Strategy};
 use proptest::prelude::*;
 
 fn schema(n: usize) -> Schema {
-    Schema::uniform((0..n).map(|i| format!("v{i}")), Domain::Range { min: 0, max: 9 })
+    Schema::uniform(
+        (0..n).map(|i| format!("v{i}")),
+        Domain::Range { min: 0, max: 9 },
+    )
 }
 
 /// Generate a random CNF via the deterministic generator, seeded by

@@ -211,6 +211,16 @@ impl ConcurrencyControl for KsProtocolAdapter {
     fn name(&self) -> &'static str {
         "ks-protocol"
     }
+
+    fn counters(&self) -> ks_sim::CcCounters {
+        let s = self.manager.stats();
+        ks_sim::CcCounters {
+            re_evals: s.re_evals,
+            re_assigns: s.re_assigns,
+            reeval_aborts: s.reeval_aborts,
+            cascade_aborts: s.cascade_aborts,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -24,11 +24,7 @@ pub fn model_transaction(pm: &ProtocolManager, t: Txn) -> Result<Transaction, Pr
         output: pm_spec(pm, t)?.output,
     };
     if children.is_empty() {
-        let mut steps: Vec<Step> = pm
-            .reads_of(t)?
-            .into_iter()
-            .map(Step::Read)
-            .collect();
+        let mut steps: Vec<Step> = pm.reads_of(t)?.into_iter().map(Step::Read).collect();
         for &v in pm.writes_of(t)? {
             let value = pm.store().read(v)?;
             steps.push(Step::Write(v.entity, Expr::Const(value)));
@@ -111,9 +107,10 @@ pub fn model_execution(
         let snap = pm.snapshot_of(c)?;
         inputs.push(pm.store().materialize(snap)?);
         for e in pm.schema().entity_ids() {
-            let v = snap
-                .version_of(e)
-                .unwrap_or(VersionId { entity: e, index: 0 });
+            let v = snap.version_of(e).unwrap_or(VersionId {
+                entity: e,
+                index: 0,
+            });
             let author = pm.store().meta(v)?.author;
             if author == INITIAL_AUTHOR {
                 continue;
@@ -149,7 +146,6 @@ fn slot_of(pm: &ProtocolManager, t: Txn) -> usize {
 fn author_slot_under(pm: &ProtocolManager, parent: Txn, author_idx: usize) -> Option<usize> {
     pm.child_slot_containing(parent, Txn(author_idx))
 }
-
 
 /// Build the full [`TreeExecution`] of `parent`'s committed subtree: the
 /// execution at this level plus, recursively, at every committed internal

@@ -42,12 +42,24 @@ pub mod extract;
 pub mod locks;
 pub mod manager;
 pub mod session;
+pub mod wire;
 
 pub use adapter::KsProtocolAdapter;
 pub use error::ProtocolError;
 pub use locks::{compatibility, LockMode, MatrixEntry};
-pub use session::{replay, RecordingManager, SessionEvent, SessionLog};
 pub use manager::{
-    CommitOutcome, ProtocolManager, ReadOutcome, ReEvalAction, Txn, TxnState, ValidationOutcome,
+    CommitOutcome, ProtocolManager, ReEvalAction, ReadOutcome, Txn, TxnState, ValidationOutcome,
     WriteReport,
+};
+pub use session::{replay, RecordingManager, SessionEvent, SessionLog};
+pub use wire::{from_wire, to_wire, WireError};
+
+// The serving layer (`ks-server`) moves managers into worker threads and
+// back out through join handles; compile-time-assert they stay `Send` so
+// an accidental `Rc`/raw-pointer field can't silently break the server.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<ProtocolManager>();
+    assert_send::<RecordingManager>();
+    assert_send::<SessionLog>();
 };

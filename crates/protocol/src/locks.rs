@@ -95,7 +95,10 @@ pub fn figure3_table() -> String {
     for held in modes {
         out.push_str(&format!("{:<17}", format!("{held}")));
         for requested in modes {
-            out.push_str(&format!("| {:<8}", compatibility(held, requested).to_string()));
+            out.push_str(&format!(
+                "| {:<8}",
+                compatibility(held, requested).to_string()
+            ));
         }
         out.push('\n');
     }

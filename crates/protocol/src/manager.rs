@@ -407,7 +407,10 @@ impl ProtocolManager {
         self.nodes[parent_idx]
             .snapshot
             .version_of(e)
-            .unwrap_or(VersionId { entity: e, index: 0 })
+            .unwrap_or(VersionId {
+                entity: e,
+                index: 0,
+            })
     }
 
     /// Last version of `e` written by the subtree of node `idx`
@@ -549,7 +552,11 @@ impl ProtocolManager {
 
     /// Validate a defined transaction: acquire `R_v` locks on its input
     /// set and search for a satisfying version assignment.
-    pub fn validate(&mut self, t: Txn, strategy: Strategy) -> Result<ValidationOutcome, ProtocolError> {
+    pub fn validate(
+        &mut self,
+        t: Txn,
+        strategy: Strategy,
+    ) -> Result<ValidationOutcome, ProtocolError> {
         let state = self.node(t)?.state;
         if state != TxnState::Defined {
             return Err(ProtocolError::WrongPhase {
@@ -647,10 +654,10 @@ impl ProtocolManager {
                 return Ok(ReadOutcome::Blocked(e));
             }
         }
-        let version = self.nodes[t.0]
-            .snapshot
-            .version_of(e)
-            .unwrap_or(VersionId { entity: e, index: 0 });
+        let version = self.nodes[t.0].snapshot.version_of(e).unwrap_or(VersionId {
+            entity: e,
+            index: 0,
+        });
         let value = self.store.read(version)?;
         self.nodes[t.0].reads_done.insert(e, value);
         self.stats.reads += 1;
@@ -703,7 +710,10 @@ impl ProtocolManager {
                 self.nodes[t.0]
                     .snapshot
                     .version_of(ie)
-                    .unwrap_or(VersionId { entity: ie, index: 0 })
+                    .unwrap_or(VersionId {
+                        entity: ie,
+                        index: 0,
+                    })
             })
             .collect();
         for cv in consumed {
@@ -716,7 +726,12 @@ impl ProtocolManager {
 
     /// Write an entity: create a new version (immediately visible to
     /// siblings) and run the Figure 4 `re-eval` procedure.
-    pub fn write(&mut self, t: Txn, e: EntityId, value: Value) -> Result<WriteReport, ProtocolError> {
+    pub fn write(
+        &mut self,
+        t: Txn,
+        e: EntityId,
+        value: Value,
+    ) -> Result<WriteReport, ProtocolError> {
         let state = self.node(t)?.state;
         if state != TxnState::Validated {
             return Err(ProtocolError::WrongPhase {
@@ -764,10 +779,10 @@ impl ProtocolManager {
         for h in holders {
             let h_slot = self.nodes[h].slot;
             // V = author of the version the holder was assigned for e.
-            let assigned = self.nodes[h]
-                .snapshot
-                .version_of(e)
-                .unwrap_or(VersionId { entity: e, index: 0 });
+            let assigned = self.nodes[h].snapshot.version_of(e).unwrap_or(VersionId {
+                entity: e,
+                index: 0,
+            });
             let author = self.store.meta(assigned).expect("assigned version").author;
             // Supersede rule (model fidelity; see DESIGN.md): the new write
             // supersedes the writer's own earlier version of `e`. A sibling
@@ -915,7 +930,8 @@ impl ProtocolManager {
             let my_slot = self.node(t)?.slot;
             for &c in &self.nodes[parent_idx].children {
                 let cn = &self.nodes[c];
-                if paths.has_edge(cn.slot, my_slot) && cn.state != TxnState::Committed
+                if paths.has_edge(cn.slot, my_slot)
+                    && cn.state != TxnState::Committed
                     && cn.state != TxnState::Aborted
                 {
                     return Ok(CommitOutcome::PredecessorsPending(Txn(c)));
@@ -1029,10 +1045,8 @@ impl ProtocolManager {
         }
         // Defense in depth: dead versions leave the candidate space at the
         // store level too (VersionIds stay readable for introspection).
-        let authors: BTreeSet<AuthorId> = doomed_authors
-            .iter()
-            .map(|&i| AuthorId(i as u64))
-            .collect();
+        let authors: BTreeSet<AuthorId> =
+            doomed_authors.iter().map(|&i| AuthorId(i as u64)).collect();
         self.store.prune_authors(&authors);
         cascaded
     }

@@ -159,7 +159,9 @@ impl RecordingManager {
     pub fn read(&mut self, txn: Txn, entity: EntityId) -> Result<ReadOutcome, ProtocolError> {
         let result = self.inner.read(txn, entity);
         if result.is_ok() {
-            self.log.events.push(SessionEvent::Read { txn: txn.0, entity });
+            self.log
+                .events
+                .push(SessionEvent::Read { txn: txn.0, entity });
         }
         result
     }
@@ -303,8 +305,8 @@ mod tests {
     #[test]
     fn log_serializes_round_trip() {
         let (log, _) = record_cooperation();
-        let json = serde_json::to_string(&log).unwrap();
-        let back: SessionLog = serde_json::from_str(&json).unwrap();
+        let text = crate::wire::to_wire(&log);
+        let back: SessionLog = crate::wire::from_wire(&text).unwrap();
         assert_eq!(log, back);
         // replay the deserialized log too
         let pm = replay(&back).unwrap();

@@ -1,0 +1,407 @@
+//! A plain-text wire format for [`SessionLog`]s.
+//!
+//! Session logs are the repro artifact for protocol bugs, so they need a
+//! stable, dependency-free, human-inspectable encoding. The format is
+//! line-oriented with tab-separated fields; predicates are serialized via
+//! [`Cnf::display_with`](ks_predicate::Cnf::display_with) (entity names,
+//! parenthesized clauses) and parsed back with [`parse_cnf`], which
+//! round-trips exactly. Entity names therefore follow the predicate-parser
+//! identifier rules (no whitespace).
+//!
+//! ```text
+//! ks-session v1
+//! schema  <n>
+//! entity  <name>  range <min> <max> | enum <v,..> | bool
+//! initial <v0,v1,...>
+//! root    <input cnf>     <output cnf>
+//! events  <k>
+//! define  <parent> <after csv> <before csv> <input cnf> <output cnf>
+//! validate <txn> <strategy>
+//! read    <txn> <entity>
+//! write   <txn> <entity> <value>
+//! commit  <txn>
+//! abort   <txn>
+//! ```
+
+use crate::session::{SessionEvent, SessionLog};
+use ks_core::Specification;
+use ks_kernel::{Domain, EntityId, Schema, SchemaBuilder, UniqueState, Value};
+use ks_predicate::{parse_cnf, Strategy};
+use std::fmt;
+
+/// Magic first line; bump the version on format changes.
+const HEADER: &str = "ks-session v1";
+
+/// A malformed wire document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// 1-based line number the error was detected at.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "wire format error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn strategy_name(s: Strategy) -> &'static str {
+    match s {
+        Strategy::Exhaustive => "exhaustive",
+        Strategy::Backtracking => "backtracking",
+        Strategy::GreedyLatest => "greedy-latest",
+    }
+}
+
+fn csv(values: impl IntoIterator<Item = impl ToString>) -> String {
+    let joined = values
+        .into_iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    if joined.is_empty() {
+        "-".to_string()
+    } else {
+        joined
+    }
+}
+
+/// Encode a log as wire text.
+pub fn to_wire(log: &SessionLog) -> String {
+    let mut out = String::new();
+    out.push_str(HEADER);
+    out.push('\n');
+    out.push_str(&format!("schema\t{}\n", log.schema.len()));
+    for e in log.schema.entity_ids() {
+        let name = log.schema.name(e);
+        match log.schema.domain(e) {
+            Domain::Range { min, max } => {
+                out.push_str(&format!("entity\t{name}\trange\t{min}\t{max}\n"));
+            }
+            Domain::Enumerated(vs) => {
+                out.push_str(&format!("entity\t{name}\tenum\t{}\n", csv(vs.iter())));
+            }
+            Domain::Boolean => out.push_str(&format!("entity\t{name}\tbool\n")),
+        }
+    }
+    out.push_str(&format!("initial\t{}\n", csv(log.initial.values().iter())));
+    out.push_str(&format!(
+        "root\t{}\t{}\n",
+        log.root_spec.input.display_with(&log.schema),
+        log.root_spec.output.display_with(&log.schema)
+    ));
+    out.push_str(&format!("events\t{}\n", log.events.len()));
+    for event in &log.events {
+        match event {
+            SessionEvent::Define {
+                parent,
+                spec,
+                after,
+                before,
+            } => out.push_str(&format!(
+                "define\t{parent}\t{}\t{}\t{}\t{}\n",
+                csv(after.iter()),
+                csv(before.iter()),
+                spec.input.display_with(&log.schema),
+                spec.output.display_with(&log.schema)
+            )),
+            SessionEvent::Validate { txn, strategy } => {
+                out.push_str(&format!("validate\t{txn}\t{}\n", strategy_name(*strategy)));
+            }
+            SessionEvent::Read { txn, entity } => {
+                out.push_str(&format!("read\t{txn}\t{}\n", entity.0));
+            }
+            SessionEvent::Write { txn, entity, value } => {
+                out.push_str(&format!("write\t{txn}\t{}\t{value}\n", entity.0));
+            }
+            SessionEvent::Commit { txn } => out.push_str(&format!("commit\t{txn}\n")),
+            SessionEvent::Abort { txn } => out.push_str(&format!("abort\t{txn}\n")),
+        }
+    }
+    out
+}
+
+/// One parse cursor over the document, tracking line numbers for errors.
+struct Lines<'a> {
+    iter: std::iter::Enumerate<std::str::Lines<'a>>,
+}
+
+impl<'a> Lines<'a> {
+    fn next(&mut self) -> Result<(usize, Vec<&'a str>), WireError> {
+        match self.iter.next() {
+            Some((i, line)) => Ok((i + 1, line.split('\t').collect())),
+            None => Err(WireError {
+                line: 0,
+                message: "unexpected end of document".to_string(),
+            }),
+        }
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> WireError {
+    WireError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_int<T: std::str::FromStr>(line: usize, field: &str) -> Result<T, WireError> {
+    field
+        .parse()
+        .map_err(|_| err(line, format!("expected integer, got {field:?}")))
+}
+
+fn parse_csv<T: std::str::FromStr>(line: usize, field: &str) -> Result<Vec<T>, WireError> {
+    if field == "-" {
+        return Ok(Vec::new());
+    }
+    field.split(',').map(|f| parse_int(line, f)).collect()
+}
+
+fn parse_pred(line: usize, schema: &Schema, text: &str) -> Result<ks_predicate::Cnf, WireError> {
+    parse_cnf(schema, text).map_err(|e| err(line, format!("bad predicate {text:?}: {e}")))
+}
+
+fn expect_fields(line: usize, fields: &[&str], n: usize) -> Result<(), WireError> {
+    if fields.len() == n {
+        Ok(())
+    } else {
+        err_fields(line, fields, n)
+    }
+}
+
+fn err_fields(line: usize, fields: &[&str], n: usize) -> Result<(), WireError> {
+    Err(err(
+        line,
+        format!("expected {n} fields, got {}: {fields:?}", fields.len()),
+    ))
+}
+
+/// Decode wire text back into a [`SessionLog`].
+pub fn from_wire(text: &str) -> Result<SessionLog, WireError> {
+    let mut lines = Lines {
+        iter: text.lines().enumerate(),
+    };
+
+    let (ln, fields) = lines.next()?;
+    if fields != [HEADER] {
+        return Err(err(ln, format!("expected header {HEADER:?}")));
+    }
+
+    let (ln, fields) = lines.next()?;
+    expect_fields(ln, &fields, 2)?;
+    if fields[0] != "schema" {
+        return Err(err(ln, "expected `schema`"));
+    }
+    let n: usize = parse_int(ln, fields[1])?;
+
+    let mut builder = SchemaBuilder::new();
+    for _ in 0..n {
+        let (ln, fields) = lines.next()?;
+        if fields.first() != Some(&"entity") || fields.len() < 3 {
+            return Err(err(ln, "expected `entity <name> <domain>...`"));
+        }
+        let name = fields[1];
+        let domain = match fields[2] {
+            "range" => {
+                expect_fields(ln, &fields, 5)?;
+                Domain::Range {
+                    min: parse_int(ln, fields[3])?,
+                    max: parse_int(ln, fields[4])?,
+                }
+            }
+            "enum" => {
+                expect_fields(ln, &fields, 4)?;
+                Domain::Enumerated(parse_csv(ln, fields[3])?)
+            }
+            "bool" => {
+                expect_fields(ln, &fields, 3)?;
+                Domain::Boolean
+            }
+            other => return Err(err(ln, format!("unknown domain kind {other:?}"))),
+        };
+        builder.entity(name, domain);
+    }
+    let schema = builder
+        .build()
+        .map_err(|e| err(0, format!("bad schema: {e}")))?;
+
+    let (ln, fields) = lines.next()?;
+    expect_fields(ln, &fields, 2)?;
+    if fields[0] != "initial" {
+        return Err(err(ln, "expected `initial`"));
+    }
+    let values: Vec<Value> = parse_csv(ln, fields[1])?;
+    let initial = UniqueState::new(&schema, values)
+        .map_err(|e| err(ln, format!("bad initial state: {e}")))?;
+
+    let (ln, fields) = lines.next()?;
+    expect_fields(ln, &fields, 3)?;
+    if fields[0] != "root" {
+        return Err(err(ln, "expected `root`"));
+    }
+    let root_spec = Specification::new(
+        parse_pred(ln, &schema, fields[1])?,
+        parse_pred(ln, &schema, fields[2])?,
+    );
+
+    let (ln, fields) = lines.next()?;
+    expect_fields(ln, &fields, 2)?;
+    if fields[0] != "events" {
+        return Err(err(ln, "expected `events`"));
+    }
+    let k: usize = parse_int(ln, fields[1])?;
+
+    let mut events = Vec::with_capacity(k);
+    for _ in 0..k {
+        let (ln, fields) = lines.next()?;
+        let event = match fields[0] {
+            "define" => {
+                expect_fields(ln, &fields, 6)?;
+                SessionEvent::Define {
+                    parent: parse_int(ln, fields[1])?,
+                    after: parse_csv(ln, fields[2])?,
+                    before: parse_csv(ln, fields[3])?,
+                    spec: Specification::new(
+                        parse_pred(ln, &schema, fields[4])?,
+                        parse_pred(ln, &schema, fields[5])?,
+                    ),
+                }
+            }
+            "validate" => {
+                expect_fields(ln, &fields, 3)?;
+                let strategy = match fields[2] {
+                    "exhaustive" => Strategy::Exhaustive,
+                    "backtracking" => Strategy::Backtracking,
+                    "greedy-latest" => Strategy::GreedyLatest,
+                    other => return Err(err(ln, format!("unknown strategy {other:?}"))),
+                };
+                SessionEvent::Validate {
+                    txn: parse_int(ln, fields[1])?,
+                    strategy,
+                }
+            }
+            "read" => {
+                expect_fields(ln, &fields, 3)?;
+                SessionEvent::Read {
+                    txn: parse_int(ln, fields[1])?,
+                    entity: EntityId(parse_int(ln, fields[2])?),
+                }
+            }
+            "write" => {
+                expect_fields(ln, &fields, 4)?;
+                SessionEvent::Write {
+                    txn: parse_int(ln, fields[1])?,
+                    entity: EntityId(parse_int(ln, fields[2])?),
+                    value: parse_int(ln, fields[3])?,
+                }
+            }
+            "commit" => {
+                expect_fields(ln, &fields, 2)?;
+                SessionEvent::Commit {
+                    txn: parse_int(ln, fields[1])?,
+                }
+            }
+            "abort" => {
+                expect_fields(ln, &fields, 2)?;
+                SessionEvent::Abort {
+                    txn: parse_int(ln, fields[1])?,
+                }
+            }
+            other => return Err(err(ln, format!("unknown event {other:?}"))),
+        };
+        events.push(event);
+    }
+
+    Ok(SessionLog {
+        schema,
+        initial,
+        root_spec,
+        events,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_log() -> SessionLog {
+        let schema = Schema::uniform(["x", "y"], Domain::Range { min: 0, max: 99 });
+        let initial = UniqueState::new(&schema, vec![5, 5]).unwrap();
+        let spec = Specification::new(
+            parse_cnf(&schema, "x = 5 & y = 5").unwrap(),
+            parse_cnf(&schema, "(x > y | x = y)").unwrap(),
+        );
+        SessionLog {
+            root_spec: Specification::classical(&parse_cnf(&schema, "x = y").unwrap()),
+            initial,
+            events: vec![
+                SessionEvent::Define {
+                    parent: 0,
+                    spec,
+                    after: vec![],
+                    before: vec![2, 3],
+                },
+                SessionEvent::Validate {
+                    txn: 1,
+                    strategy: Strategy::GreedyLatest,
+                },
+                SessionEvent::Read {
+                    txn: 1,
+                    entity: EntityId(0),
+                },
+                SessionEvent::Write {
+                    txn: 1,
+                    entity: EntityId(0),
+                    value: -7,
+                },
+                SessionEvent::Commit { txn: 1 },
+                SessionEvent::Abort { txn: 2 },
+            ],
+            schema,
+        }
+    }
+
+    #[test]
+    fn round_trip_all_event_kinds() {
+        let log = sample_log();
+        let text = to_wire(&log);
+        let back = from_wire(&text).unwrap();
+        assert_eq!(log, back);
+    }
+
+    #[test]
+    fn round_trip_all_domain_kinds() {
+        let mut b = SchemaBuilder::new();
+        b.entity("a", Domain::Range { min: -5, max: 5 });
+        b.entity("b", Domain::Enumerated(vec![1, 3, 9]));
+        b.entity("c", Domain::Boolean);
+        let schema = b.build().unwrap();
+        let log = SessionLog {
+            initial: UniqueState::new(&schema, vec![0, 3, 1]).unwrap(),
+            root_spec: Specification::trivial(),
+            events: vec![],
+            schema,
+        };
+        let back = from_wire(&to_wire(&log)).unwrap();
+        assert_eq!(log, back);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_wire("").is_err());
+        assert!(from_wire("not-a-session\n").is_err());
+        let mut text = to_wire(&sample_log());
+        text = text.replace("validate\t1\tgreedy-latest", "validate\t1\tquantum");
+        let e = from_wire(&text).unwrap_err();
+        assert!(e.message.contains("unknown strategy"), "{e}");
+    }
+}

@@ -26,7 +26,11 @@ fn three_level_design_session_checks_at_every_level() {
     let z = EntityId(2);
     let initial = UniqueState::new(&schema, vec![1, 1, 1]).unwrap();
     let constraint = parse_cnf(&schema, "x = y").unwrap();
-    let mut pm = ProtocolManager::new(schema.clone(), &initial, Specification::classical(&constraint));
+    let mut pm = ProtocolManager::new(
+        schema.clone(),
+        &initial,
+        Specification::classical(&constraint),
+    );
     let root = pm.root();
 
     // Level 1: the design task (must preserve x = y overall).
@@ -40,7 +44,12 @@ fn three_level_design_session_checks_at_every_level() {
         .define(design, spec(&schema, "x = 1", "x = 2"), &[], &[])
         .unwrap();
     let phase_b = pm
-        .define(design, spec(&schema, "x = 2 & y = 1", "x = y"), &[phase_a], &[])
+        .define(
+            design,
+            spec(&schema, "x = 2 & y = 1", "x = y"),
+            &[phase_a],
+            &[],
+        )
         .unwrap();
 
     // Level 3 under phase_a: two steps — read x, then write x.

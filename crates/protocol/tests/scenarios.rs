@@ -7,7 +7,7 @@ use ks_kernel::{Domain, EntityId, Schema, UniqueState};
 use ks_predicate::{parse_cnf, Strategy};
 use ks_protocol::extract::model_execution;
 use ks_protocol::{
-    CommitOutcome, ProtocolManager, ReadOutcome, ReEvalAction, TxnState, ValidationOutcome,
+    CommitOutcome, ProtocolManager, ReEvalAction, ReadOutcome, TxnState, ValidationOutcome,
 };
 
 fn schema_xy() -> Schema {
@@ -200,7 +200,10 @@ fn reassign_failure_aborts_holder() {
     pm.validate(writer, Strategy::Backtracking).unwrap();
     pm.validate(holder, Strategy::Backtracking).unwrap();
     let report = pm.write(writer, x(), 7).unwrap();
-    assert_eq!(report.reeval, vec![ReEvalAction::ReassignFailedAborted(holder)]);
+    assert_eq!(
+        report.reeval,
+        vec![ReEvalAction::ReassignFailedAborted(holder)]
+    );
     assert_eq!(pm.state_of(holder).unwrap(), TxnState::Aborted);
 }
 
@@ -324,7 +327,10 @@ fn commit_waits_for_children() {
     let child = pm
         .define(parent, spec(&schema, "x >= 0", "true"), &[], &[])
         .unwrap();
-    assert_eq!(pm.commit(parent).unwrap(), CommitOutcome::ChildrenPending(child));
+    assert_eq!(
+        pm.commit(parent).unwrap(),
+        CommitOutcome::ChildrenPending(child)
+    );
     pm.validate(child, Strategy::Backtracking).unwrap();
     pm.commit(child).unwrap();
     assert_eq!(pm.commit(parent).unwrap(), CommitOutcome::Committed);
@@ -380,14 +386,16 @@ fn pessimistic_validation_waits_optimistic_does_not() {
     pm.validate(writer, Strategy::Backtracking).unwrap();
     // Pessimistic: the live predecessor may still write x → wait.
     assert_eq!(
-        pm.validate_pessimistic(reader, Strategy::Backtracking).unwrap(),
+        pm.validate_pessimistic(reader, Strategy::Backtracking)
+            .unwrap(),
         ValidationOutcome::MustWait(writer)
     );
     // Resolve the wait: the writer writes and commits; now it validates.
     pm.write(writer, x(), 7).unwrap();
     pm.commit(writer).unwrap();
     assert_eq!(
-        pm.validate_pessimistic(reader, Strategy::Backtracking).unwrap(),
+        pm.validate_pessimistic(reader, Strategy::Backtracking)
+            .unwrap(),
         ValidationOutcome::Validated
     );
     assert_eq!(pm.read(reader, x()).unwrap(), ReadOutcome::Value(7));

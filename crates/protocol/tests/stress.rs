@@ -73,7 +73,10 @@ fn large_session_commits_and_verifies() {
             other => panic!("unexpected {other:?}"),
         }
     }
-    assert!(committed > 80, "most of the session should commit: {committed}");
+    assert!(
+        committed > 80,
+        "most of the session should commit: {committed}"
+    );
 
     // The full session still verifies against the model.
     let (txn, parent, exec) = model_execution(&pm, root).unwrap();

@@ -146,8 +146,17 @@ mod tests {
         let s = Schedule::parse("R1(x) W1(x) R2(x) W2(x)").unwrap();
         let m = classify(&s, &per_entity_objects(&s));
         assert!(
-            m.csr && m.vsr && m.fsr && m.mvcsr && m.mvsr && m.pwcsr && m.pwsr && m.pocsr
-                && m.posr && m.cpc && m.pc
+            m.csr
+                && m.vsr
+                && m.fsr
+                && m.mvcsr
+                && m.mvsr
+                && m.pwcsr
+                && m.pwsr
+                && m.pocsr
+                && m.posr
+                && m.cpc
+                && m.pc
         );
         assert_eq!(m.lattice_violation(), None);
     }

@@ -97,7 +97,9 @@ pub fn fig2_regions() -> Vec<RegionSpec> {
             schedule: Schedule::parse("R1(x) R2(x) W2(x) W1(x)").expect("valid"),
             objects: vec![obj(&[0])],
             //           csr    vsr    fsr    mvcsr  mvsr   pwcsr  pwsr   <csr   <sr    cpc    pc
-            expected: m([false, false, false, false, false, false, false, false, false, false, false]),
+            expected: m([
+                false, false, false, false, false, false, false, false, false, false, false,
+            ]),
             note: "paper",
         },
         RegionSpec {
@@ -105,7 +107,9 @@ pub fn fig2_regions() -> Vec<RegionSpec> {
             cell: "CPC − (PWCSR ∪ MVCSR ∪ <CSR ∪ SR)",
             schedule: Schedule::parse("R1(y) R2(x) W1(x) W1(y) W2(x) W2(y)").expect("valid"),
             objects: xy_objects(),
-            expected: m([false, false, false, false, false, false, false, false, false, true, true]),
+            expected: m([
+                false, false, false, false, false, false, false, false, false, true, true,
+            ]),
             note: "paper (interleaving disambiguated: the reads must precede \
                    the rival writes on both entities)",
         },
@@ -115,7 +119,9 @@ pub fn fig2_regions() -> Vec<RegionSpec> {
             schedule: Schedule::parse("R1(x) W1(x) R2(x) W2(x) R2(y) W2(y) R1(y) W1(y)")
                 .expect("valid"),
             objects: xy_objects(),
-            expected: m([false, false, false, false, false, true, true, false, false, true, true]),
+            expected: m([
+                false, false, false, false, false, true, true, false, false, true, true,
+            ]),
             note: "paper",
         },
         RegionSpec {
@@ -123,7 +129,9 @@ pub fn fig2_regions() -> Vec<RegionSpec> {
             cell: "(PWCSR ∩ MVCSR) − SR",
             schedule: example1(),
             objects: xy_objects(),
-            expected: m([false, false, false, true, true, true, true, false, false, true, true]),
+            expected: m([
+                false, false, false, true, true, true, true, false, false, true, true,
+            ]),
             note: "paper (Example 1 / Example 2 schedule)",
         },
         RegionSpec {
@@ -131,18 +139,20 @@ pub fn fig2_regions() -> Vec<RegionSpec> {
             cell: "SR − PWCSR",
             schedule: Schedule::parse("R1(x) W2(x) W1(x) W3(x)").expect("valid"),
             objects: vec![obj(&[0])],
-            expected: m([false, true, true, true, true, false, true, false, true, true, true]),
+            expected: m([
+                false, true, true, true, true, false, true, false, true, true, true,
+            ]),
             note: "paper (the classic blind-write VSR schedule)",
         },
         RegionSpec {
             id: 6,
             cell: "SR − MVCSR",
-            schedule: Schedule::parse(
-                "R1(a) W1(b) R2(b) W2(c) R3(c) W2(a) W3(b) W1(c) W4(c)",
-            )
-            .expect("valid"),
+            schedule: Schedule::parse("R1(a) W1(b) R2(b) W2(c) R3(c) W2(a) W3(b) W1(c) W4(c)")
+                .expect("valid"),
             objects: vec![obj(&[0]), obj(&[1]), obj(&[2])],
-            expected: m([false, true, true, false, true, true, true, false, true, true, true]),
+            expected: m([
+                false, true, true, false, true, true, true, false, true, true, true,
+            ]),
             note: "reconstructed: the printed schedule is corrupted. A 3-cycle \
                    in reads-before-writes (t1→t2→t3→t1 via a, b, c) with a \
                    fourth transaction writing c last keeps the schedule view \
@@ -153,7 +163,9 @@ pub fn fig2_regions() -> Vec<RegionSpec> {
             cell: "MVCSR − (PWCSR ∪ SR)",
             schedule: Schedule::parse("R1(x) W2(x) W1(x)").expect("valid"),
             objects: vec![obj(&[0])],
-            expected: m([false, false, false, true, true, false, false, false, false, true, true]),
+            expected: m([
+                false, false, false, true, true, false, false, false, false, true, true,
+            ]),
             note: "paper",
         },
         RegionSpec {
@@ -161,7 +173,9 @@ pub fn fig2_regions() -> Vec<RegionSpec> {
             cell: "(SR ∩ MVCSR ∩ PWCSR) − CSR",
             schedule: Schedule::parse("W1(x) W2(x) W2(y) W1(y) W3(x) W4(y)").expect("valid"),
             objects: xy_objects(),
-            expected: m([false, true, true, true, true, true, true, false, true, true, true]),
+            expected: m([
+                false, true, true, true, true, true, true, false, true, true, true,
+            ]),
             note: "reconstructed: the printed schedule is corrupted, and its \
                    printed transactions (t1: R(x) W(x) W(y); t2: R(x) W(y); \
                    t3: W(x)) admit no interleaving in this cell (verified \
@@ -247,8 +261,7 @@ mod tests {
     /// reconstruction (see `RegionSpec::note`).
     #[test]
     fn printed_region8_programs_cannot_realize_the_cell() {
-        let programs =
-            programs_from(&["R1(x) W1(x) W1(y)", "R2(x) W2(y)", "W3(x)"]).unwrap();
+        let programs = programs_from(&["R1(x) W1(x) W1(y)", "R2(x) W2(y)", "W3(x)"]).unwrap();
         let objects = xy_objects();
         let (matching, total) = count_schedules(programs, |s| {
             let m = classify(s, &objects);

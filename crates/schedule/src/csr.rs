@@ -43,10 +43,7 @@ pub fn conflict_equivalent(a: &Schedule, b: &Schedule) -> bool {
     // Match steps by (txn, action, entity, occurrence).
     let key = |s: &Schedule, idx: usize| {
         let op = s.ops()[idx];
-        let occ = s.ops()[..idx]
-            .iter()
-            .filter(|o| **o == op)
-            .count();
+        let occ = s.ops()[..idx].iter().filter(|o| **o == op).count();
         (op, occ)
     };
     let mut b_pos = std::collections::HashMap::new();

@@ -39,10 +39,7 @@ impl Action {
     /// (At least one must be a write.)
     #[inline]
     pub fn conflicts_with(self, other: Action) -> bool {
-        matches!(
-            (self, other),
-            (Action::Write, _) | (_, Action::Write)
-        )
+        matches!((self, other), (Action::Write, _) | (_, Action::Write))
     }
 }
 

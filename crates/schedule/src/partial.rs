@@ -91,7 +91,11 @@ impl IdSeq {
 
     /// Serial execution: transactions in `order`, each running its ops in
     /// the given linear extension of its program list.
-    fn serial(s: &Schedule, order: &[TxnId], linearizations: &BTreeMap<TxnId, Vec<usize>>) -> IdSeq {
+    fn serial(
+        s: &Schedule,
+        order: &[TxnId],
+        linearizations: &BTreeMap<TxnId, Vec<usize>>,
+    ) -> IdSeq {
         let mut ops = Vec::new();
         for &t in order {
             let program = s.txn_ops(t);
@@ -329,7 +333,10 @@ mod tests {
     #[test]
     fn serial_schedules_always_admitted() {
         let s = Schedule::parse("R1(x) W1(x) R2(x) W2(x)").unwrap();
-        for po in [PartialOrders::program_order(&s), PartialOrders::unordered(&s)] {
+        for po in [
+            PartialOrders::program_order(&s),
+            PartialOrders::unordered(&s),
+        ] {
             assert!(is_posr(&s, &po));
             assert!(is_pocsr(&s, &po));
         }

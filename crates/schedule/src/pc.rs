@@ -117,7 +117,16 @@ mod tests {
         ] {
             let s = Schedule::parse(text).unwrap();
             if crate::mvsr::is_mvcsr(&s) {
-                assert!(is_cpc(&s, &xy_objects().into_iter().take(s.num_entities().max(1)).collect::<Vec<_>>()), "{text}");
+                assert!(
+                    is_cpc(
+                        &s,
+                        &xy_objects()
+                            .into_iter()
+                            .take(s.num_entities().max(1))
+                            .collect::<Vec<_>>()
+                    ),
+                    "{text}"
+                );
             }
         }
     }

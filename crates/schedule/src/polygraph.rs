@@ -14,7 +14,7 @@
 //! `t_f` can't precede anyone), and orientation conflicts cut early. The
 //! equivalence with the brute-force decider is property-tested.
 
-use crate::vsr::{View, SourceKey};
+use crate::vsr::{SourceKey, View};
 use crate::{Action, DiGraph, Schedule, TxnId};
 use std::collections::BTreeSet;
 
@@ -76,8 +76,8 @@ pub fn polygraph(s: &Schedule) -> Polygraph {
     // and t_f reading the final writes.
     // reads: (reader txn, entity, occurrence) → source
     let mut triples: Vec<(usize, usize, ks_kernel::EntityId)> = Vec::new(); // (writer, reader, e)
-    // Does the k-th read of `e` by `t` come after an own write of `e` in
-    // program order? Serial execution would then serve the own version.
+                                                                            // Does the k-th read of `e` by `t` come after an own write of `e` in
+                                                                            // program order? Serial execution would then serve the own version.
     let own_write_shadows = |t: TxnId, e: ks_kernel::EntityId, k: usize| -> bool {
         let mut reads_seen = 0;
         for op in s.txn_ops(t) {
@@ -215,10 +215,7 @@ fn orient(g: &mut DiGraph, choices: &[PgChoice], idx: usize) -> bool {
         }
         if fresh {
             // remove the edge we added (DiGraph has no remove: rebuild)
-            let kept: Vec<(usize, usize)> = g
-                .edges()
-                .filter(|&e| e != edge)
-                .collect();
+            let kept: Vec<(usize, usize)> = g.edges().filter(|&e| e != edge).collect();
             let mut ng = DiGraph::new(g.num_nodes());
             for (x, y) in kept {
                 ng.add_edge(x, y);
@@ -293,11 +290,7 @@ mod tests {
                 })
                 .collect();
             let s = Schedule::from_ops(ops);
-            assert_eq!(
-                is_vsr_polygraph(&s),
-                is_vsr(&s),
-                "trial {trial}: {s}"
-            );
+            assert_eq!(is_vsr_polygraph(&s), is_vsr(&s), "trial {trial}: {s}");
         }
     }
 

@@ -152,8 +152,7 @@ mod tests {
     #[test]
     fn region3_pwcsr_but_not_mvcsr() {
         // Figure 2 region 3: per-object orders disagree, full conflicts cycle.
-        let s =
-            Schedule::parse("R1(x) W1(x) R2(x) W2(x) R2(y) W2(y) R1(y) W1(y)").unwrap();
+        let s = Schedule::parse("R1(x) W1(x) R2(x) W2(x) R2(y) W2(y) R1(y) W1(y)").unwrap();
         assert!(is_pwcsr(&s, &xy_objects()));
         assert!(!crate::mvsr::is_mvcsr(&s));
         assert!(!is_vsr(&s));

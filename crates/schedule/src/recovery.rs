@@ -51,11 +51,7 @@ impl CommittedSchedule {
     /// broken by order position). `order` must cover all transactions.
     pub fn commit_at_end(schedule: Schedule, order: &[TxnId]) -> CommittedSchedule {
         let n = schedule.len();
-        let commit_after = order
-            .iter()
-            .enumerate()
-            .map(|(i, &t)| (t, n + i))
-            .collect();
+        let commit_after = order.iter().enumerate().map(|(i, &t)| (t, n + i)).collect();
         CommittedSchedule {
             schedule,
             commit_after,

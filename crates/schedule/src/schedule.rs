@@ -34,11 +34,7 @@ impl Schedule {
     /// Build from raw ops. Transaction and entity counts are inferred.
     pub fn from_ops(ops: Vec<Op>) -> Self {
         let num_txns = ops.iter().map(|o| o.txn.index() + 1).max().unwrap_or(0);
-        let num_entities = ops
-            .iter()
-            .map(|o| o.entity.index() + 1)
-            .max()
-            .unwrap_or(0);
+        let num_entities = ops.iter().map(|o| o.entity.index() + 1).max().unwrap_or(0);
         Schedule {
             ops,
             num_txns,

@@ -114,16 +114,16 @@ impl Iterator for Interleavings {
 }
 
 /// Find the first interleaving satisfying `pred` (deterministic order).
-pub fn find_schedule(programs: Programs, mut pred: impl FnMut(&Schedule) -> bool) -> Option<Schedule> {
+pub fn find_schedule(
+    programs: Programs,
+    mut pred: impl FnMut(&Schedule) -> bool,
+) -> Option<Schedule> {
     Interleavings::new(programs).find(|s| pred(s))
 }
 
 /// Count, over all interleavings, how many satisfy `pred`. Returns
 /// `(matching, total)`.
-pub fn count_schedules(
-    programs: Programs,
-    mut pred: impl FnMut(&Schedule) -> bool,
-) -> (u64, u64) {
+pub fn count_schedules(programs: Programs, mut pred: impl FnMut(&Schedule) -> bool) -> (u64, u64) {
     let mut matching = 0;
     let mut total = 0;
     for s in Interleavings::new(programs) {

@@ -113,9 +113,9 @@ pub fn live_reads(s: &Schedule) -> BTreeSet<ReadKey> {
             let (t, e, k) = rk;
             // position of this read in t's program order
             let rpos = position_of(s, t, e, k, Action::Read);
-            let has_later_live_write = live_writes.iter().any(|&(wt, we, wk)| {
-                wt == t && position_of(s, wt, we, wk, Action::Write) > rpos
-            });
+            let has_later_live_write = live_writes
+                .iter()
+                .any(|&(wt, we, wk)| wt == t && position_of(s, wt, we, wk, Action::Write) > rpos);
             if has_later_live_write {
                 live_reads.insert(rk);
                 changed = true;
@@ -229,10 +229,7 @@ mod tests {
     fn view_of_tracks_initial_reads_and_finals() {
         let s = Schedule::parse("R1(x) W1(x) R2(x)").unwrap();
         let v = View::of(&s);
-        assert_eq!(
-            v.reads[&(TxnId(0), EntityId(0), 0)],
-            SourceKey::Initial
-        );
+        assert_eq!(v.reads[&(TxnId(0), EntityId(0), 0)], SourceKey::Initial);
         assert_eq!(
             v.reads[&(TxnId(1), EntityId(0), 0)],
             SourceKey::Write((TxnId(0), EntityId(0), 0))

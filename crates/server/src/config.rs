@@ -1,0 +1,34 @@
+//! Service tuning knobs.
+
+use ks_predicate::Strategy;
+use std::time::Duration;
+
+/// Configuration for a [`TxnService`](crate::TxnService).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Number of entity shards, each served by one worker thread owning
+    /// its own protocol manager. Clamped to `[1, |E|]` at startup.
+    pub shards: usize,
+    /// Bounded depth of each shard's request queue; a full queue sheds
+    /// requests with [`ServerError::Backpressure`](crate::ServerError).
+    pub queue_depth: usize,
+    /// Maximum concurrently open sessions; further `session()` calls are
+    /// shed with `Backpressure`.
+    pub max_sessions: usize,
+    /// How long a session waits for a reply before reporting `Timeout`.
+    pub request_timeout: Duration,
+    /// Version-assignment solver strategy used at validation.
+    pub strategy: Strategy,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            shards: 4,
+            queue_depth: 128,
+            max_sessions: 64,
+            request_timeout: Duration::from_secs(10),
+            strategy: Strategy::Backtracking,
+        }
+    }
+}

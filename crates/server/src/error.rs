@@ -1,0 +1,45 @@
+//! Typed errors surfaced to [`Session`](crate::Session) callers.
+
+use std::fmt;
+
+/// Why a service call failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerError {
+    /// The protocol manager refused the call (bad handle, wrong phase,
+    /// unsatisfiable input, violated output condition, domain violation…).
+    /// The transaction, if any, is no longer usable.
+    Rejected(String),
+    /// The transaction was aborted underneath the session by the re-eval
+    /// procedure (a sibling's write superseded a version this transaction
+    /// had read) or by an abort cascade.
+    ReEvalAborted,
+    /// The service shed the request: the admission limit was reached or
+    /// the target shard's queue was full. Safe to retry after backoff.
+    Backpressure,
+    /// The resource is momentarily held (validation must wait for a
+    /// sibling, or a read hit an uncommitted version). Safe to retry.
+    Busy,
+    /// The specification references entities owned by more than one shard;
+    /// a transaction must live inside a single shard.
+    CrossShard,
+    /// No reply within the configured request timeout.
+    Timeout,
+    /// The service has shut down.
+    Shutdown,
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Rejected(why) => write!(f, "rejected: {why}"),
+            ServerError::ReEvalAborted => f.write_str("aborted by re-eval"),
+            ServerError::Backpressure => f.write_str("shed: backpressure"),
+            ServerError::Busy => f.write_str("busy: retry"),
+            ServerError::CrossShard => f.write_str("specification spans shards"),
+            ServerError::Timeout => f.write_str("request timed out"),
+            ServerError::Shutdown => f.write_str("service is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}

@@ -1,0 +1,193 @@
+//! Live service counters and latency distribution.
+//!
+//! All counters are lock-free atomics updated on the request path; the
+//! latency distribution is a fixed power-of-two-bucket histogram (64
+//! buckets, bucket `i` covering `[2^i, 2^(i+1))` ns) so p50/p99 come from
+//! a single pass with no allocation and bounded (≤ 2×) relative error.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+const BUCKETS: usize = 64;
+
+/// Lock-free histogram of request latencies.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Record one latency observation.
+    pub fn record(&self, latency: Duration) {
+        let ns = latency.as_nanos().max(1) as u64;
+        let bucket = (63 - ns.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot the bucket counts.
+    pub fn counts(&self) -> [u64; BUCKETS] {
+        let mut out = [0u64; BUCKETS];
+        for (o, b) in out.iter_mut().zip(&self.buckets) {
+            *o = b.load(Ordering::Relaxed);
+        }
+        out
+    }
+}
+
+/// Quantile `q ∈ [0, 1]` of a bucket snapshot, as the upper edge of the
+/// bucket holding the q-th observation. `None` when empty.
+pub fn quantile(counts: &[u64; BUCKETS], q: f64) -> Option<Duration> {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            let upper_ns = if i + 1 >= 63 {
+                u64::MAX
+            } else {
+                1u64 << (i + 1)
+            };
+            return Some(Duration::from_nanos(upper_ns));
+        }
+    }
+    None
+}
+
+/// Shared mutable counters; one instance per service, updated by sessions
+/// and workers.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Currently open sessions.
+    pub sessions_in_flight: AtomicUsize,
+    /// Sessions ever admitted.
+    pub sessions_admitted: AtomicU64,
+    /// `session()` calls shed by admission control.
+    pub sessions_shed: AtomicU64,
+    /// Requests that received a reply (any outcome).
+    pub requests: AtomicU64,
+    /// Requests shed because a shard queue was full.
+    pub backpressure: AtomicU64,
+    /// Requests that timed out waiting for a reply.
+    pub timeouts: AtomicU64,
+    /// Transactions committed through the service.
+    pub committed: AtomicU64,
+    /// Calls rejected by the protocol manager.
+    pub rejected: AtomicU64,
+    /// Versions re-assigned by the Figure 4 re-eval procedure.
+    pub re_assigns: AtomicU64,
+    /// Transactions aborted by re-eval.
+    pub reeval_aborts: AtomicU64,
+    /// Request round-trip latencies (measured at the session).
+    pub latency: LatencyHistogram,
+}
+
+impl ServerMetrics {
+    #[inline]
+    pub(crate) fn add(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Materialize a consistent-enough view for reporting.
+    pub fn snapshot(&self, queue_depths: Vec<usize>) -> MetricsSnapshot {
+        let counts = self.latency.counts();
+        MetricsSnapshot {
+            sessions_in_flight: self.sessions_in_flight.load(Ordering::Relaxed),
+            sessions_admitted: self.sessions_admitted.load(Ordering::Relaxed),
+            sessions_shed: self.sessions_shed.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            backpressure: self.backpressure.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            committed: self.committed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            re_assigns: self.re_assigns.load(Ordering::Relaxed),
+            reeval_aborts: self.reeval_aborts.load(Ordering::Relaxed),
+            p50: quantile(&counts, 0.50),
+            p99: quantile(&counts, 0.99),
+            queue_depths,
+        }
+    }
+}
+
+/// A point-in-time copy of [`ServerMetrics`] plus derived quantiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Currently open sessions.
+    pub sessions_in_flight: usize,
+    /// Sessions ever admitted.
+    pub sessions_admitted: u64,
+    /// `session()` calls shed by admission control.
+    pub sessions_shed: u64,
+    /// Requests that received a reply.
+    pub requests: u64,
+    /// Requests shed on full queues.
+    pub backpressure: u64,
+    /// Reply timeouts.
+    pub timeouts: u64,
+    /// Commits.
+    pub committed: u64,
+    /// Protocol rejections.
+    pub rejected: u64,
+    /// Re-eval re-assignments.
+    pub re_assigns: u64,
+    /// Re-eval aborts.
+    pub reeval_aborts: u64,
+    /// Median request latency, if any requests completed.
+    pub p50: Option<Duration>,
+    /// 99th-percentile request latency.
+    pub p99: Option<Duration>,
+    /// Per-shard request-queue depths at snapshot time.
+    pub queue_depths: Vec<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = LatencyHistogram::default();
+        for _ in 0..99 {
+            h.record(Duration::from_nanos(100)); // bucket 6: [64, 128)
+        }
+        h.record(Duration::from_micros(100)); // ~bucket 16
+        let counts = h.counts();
+        assert_eq!(counts[6], 99);
+        let p50 = quantile(&counts, 0.50).unwrap();
+        assert_eq!(p50, Duration::from_nanos(128));
+        let p99 = quantile(&counts, 0.99).unwrap();
+        assert_eq!(p99, Duration::from_nanos(128));
+        let p999 = quantile(&counts, 0.999).unwrap();
+        assert!(p999 > Duration::from_micros(64));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = LatencyHistogram::default();
+        assert_eq!(quantile(&h.counts(), 0.5), None);
+    }
+
+    #[test]
+    fn snapshot_copies_counters() {
+        let m = ServerMetrics::default();
+        ServerMetrics::add(&m.requests);
+        ServerMetrics::add(&m.committed);
+        m.latency.record(Duration::from_micros(3));
+        let snap = m.snapshot(vec![1, 2]);
+        assert_eq!(snap.requests, 1);
+        assert_eq!(snap.committed, 1);
+        assert_eq!(snap.queue_depths, vec![1, 2]);
+        assert!(snap.p50.is_some());
+    }
+}

@@ -1,0 +1,127 @@
+//! The front end: shard workers, admission control, lifecycle.
+
+use crate::config::ServerConfig;
+use crate::metrics::{MetricsSnapshot, ServerMetrics};
+use crate::routing::ShardMap;
+use crate::session::Session;
+use crate::worker::{self, Request};
+use crate::ServerError;
+use crossbeam::channel::{bounded, Sender};
+use ks_core::Specification;
+use ks_kernel::{Schema, UniqueState};
+use ks_protocol::manager::ProtocolStats;
+use ks_protocol::ProtocolManager;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// State shared between the service front end and every session.
+pub(crate) struct Shared {
+    pub(crate) map: ShardMap,
+    pub(crate) senders: Vec<Sender<Request>>,
+    pub(crate) metrics: Arc<ServerMetrics>,
+    pub(crate) config: ServerConfig,
+}
+
+/// A concurrent multi-session transaction service over the KS protocol.
+///
+/// Entities are partitioned across shard worker threads (see
+/// [`ShardMap`]); each worker owns a [`ProtocolManager`] over its
+/// sub-schema, so every protocol decision is made single-threaded while
+/// independent shards proceed in parallel. Sessions obtained from
+/// [`TxnService::session`] are the only client surface.
+pub struct TxnService {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<ProtocolManager>>,
+}
+
+impl TxnService {
+    /// Start the service: build the shard partition and spawn one worker
+    /// per shard, each with a protocol manager rooted at a trivial
+    /// specification over the shard's slice of `initial`.
+    pub fn new(schema: Schema, initial: &UniqueState, config: ServerConfig) -> Self {
+        let map = ShardMap::new(&schema, config.shards);
+        let metrics = Arc::new(ServerMetrics::default());
+        let mut senders = Vec::with_capacity(map.shards());
+        let mut workers = Vec::with_capacity(map.shards());
+        for shard in 0..map.shards() {
+            let (tx, rx) = bounded(config.queue_depth.max(1));
+            let pm = ProtocolManager::new(
+                map.sub_schema(shard).clone(),
+                &map.sub_initial(shard, initial),
+                Specification::trivial(),
+            );
+            let metrics = Arc::clone(&metrics);
+            workers.push(std::thread::spawn(move || worker::run(pm, rx, metrics)));
+            senders.push(tx);
+        }
+        TxnService {
+            shared: Arc::new(Shared {
+                map,
+                senders,
+                metrics,
+                config,
+            }),
+            workers,
+        }
+    }
+
+    /// Open a session, or shed it with [`ServerError::Backpressure`] when
+    /// `max_sessions` are already open.
+    pub fn session(&self) -> Result<Session, ServerError> {
+        let metrics = &self.shared.metrics;
+        let prior = metrics.sessions_in_flight.fetch_add(1, Ordering::Relaxed);
+        if prior >= self.shared.config.max_sessions {
+            metrics.sessions_in_flight.fetch_sub(1, Ordering::Relaxed);
+            ServerMetrics::add(&metrics.sessions_shed);
+            return Err(ServerError::Backpressure);
+        }
+        ServerMetrics::add(&metrics.sessions_admitted);
+        Ok(Session::new(Arc::clone(&self.shared)))
+    }
+
+    /// The entity partition this service runs.
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.shared.map
+    }
+
+    /// Point-in-time counters, queue depths, and latency quantiles.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let depths = self.shared.senders.iter().map(|s| s.len()).collect();
+        self.shared.metrics.snapshot(depths)
+    }
+
+    /// Per-shard protocol statistics (re-evals, re-assigns, aborts…),
+    /// gathered by round-tripping each worker.
+    pub fn protocol_stats(&self) -> Result<Vec<ProtocolStats>, ServerError> {
+        let mut receivers = Vec::with_capacity(self.shared.senders.len());
+        for sender in &self.shared.senders {
+            let (tx, rx) = bounded(1);
+            sender
+                .send(Request::Stats { reply: tx })
+                .map_err(|_| ServerError::Shutdown)?;
+            receivers.push(rx);
+        }
+        receivers
+            .into_iter()
+            .map(|rx| {
+                rx.recv_timeout(self.shared.config.request_timeout)
+                    .map_err(|_| ServerError::Timeout)
+            })
+            .collect()
+    }
+
+    /// Stop accepting work, join every worker, and hand back the shard
+    /// managers so callers can extract model executions and verify them
+    /// (see [`crate::verify`]). Requests still queued behind the shutdown
+    /// marker are dropped; their sessions observe `Shutdown`.
+    pub fn shutdown(self) -> Vec<ProtocolManager> {
+        for sender in &self.shared.senders {
+            let _ = sender.send(Request::Shutdown);
+        }
+        self.workers
+            .into_iter()
+            .map(|w| w.join().expect("shard worker panicked"))
+            .collect()
+    }
+}

@@ -1,0 +1,185 @@
+//! Blocking client handles: request/reply rendezvous with the shard
+//! workers.
+//!
+//! A [`Session`] is cheap, `Send`, and owned by one client thread. Every
+//! call routes to the owning shard's queue (`try_send`, shedding with
+//! [`ServerError::Backpressure`] when full), then blocks on a one-shot
+//! reply channel up to the configured timeout. Sessions speak **global**
+//! entity ids; translation to shard-local ids happens here, at the
+//! boundary.
+
+use crate::service::Shared;
+use crate::worker::Request;
+use crate::ServerError;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use ks_core::Specification;
+use ks_kernel::{EntityId, Value};
+use ks_protocol::Txn;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A transaction opened through a [`Session`]: the owning shard plus the
+/// shard-local protocol handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxnHandle {
+    pub(crate) shard: usize,
+    pub(crate) txn: Txn,
+}
+
+impl TxnHandle {
+    /// The shard serving this transaction.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+}
+
+/// One client's blocking handle onto the service.
+pub struct Session {
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("shards", &self.shared.map.shards())
+            .finish()
+    }
+}
+
+impl Session {
+    pub(crate) fn new(shared: Arc<Shared>) -> Self {
+        Session { shared }
+    }
+
+    /// Define a transaction from its `(I_t, O_t)` specification. The spec
+    /// (global ids) picks the home shard; specs spanning shards are
+    /// rejected with [`ServerError::CrossShard`].
+    pub fn define(&self, spec: &Specification) -> Result<TxnHandle, ServerError> {
+        self.define_ordered(spec, &[])
+    }
+
+    /// Like [`Session::define`], but ordered **after** the given sibling
+    /// transactions in the root's partial order (the paper's cooperation
+    /// chains). Predecessors must live on the spec's home shard; commit
+    /// replies [`ServerError::Busy`] until they have committed.
+    pub fn define_ordered(
+        &self,
+        spec: &Specification,
+        after: &[TxnHandle],
+    ) -> Result<TxnHandle, ServerError> {
+        let shard = self.shared.map.home_shard(spec)?;
+        if after.iter().any(|h| h.shard != shard) {
+            return Err(ServerError::CrossShard);
+        }
+        let local = self.shared.map.localize_spec(shard, spec);
+        let after: Vec<Txn> = after.iter().map(|h| h.txn).collect();
+        let txn = self.call(shard, |reply| Request::Define {
+            spec: local,
+            after,
+            reply,
+        })?;
+        Ok(TxnHandle { shard, txn })
+    }
+
+    /// Validate: `R_v` locks plus a version assignment for the input
+    /// predicate. [`ServerError::Busy`] means a sibling must finish
+    /// first — retry.
+    pub fn validate(&self, handle: TxnHandle) -> Result<(), ServerError> {
+        let strategy = self.shared.config.strategy;
+        self.call(handle.shard, |reply| Request::Validate {
+            txn: handle.txn,
+            strategy,
+            reply,
+        })
+    }
+
+    /// Read entity `entity` (global id) through the transaction's
+    /// assigned version.
+    pub fn read(&self, handle: TxnHandle, entity: EntityId) -> Result<Value, ServerError> {
+        let entity = self.localize(handle, entity)?;
+        self.call(handle.shard, |reply| Request::Read {
+            txn: handle.txn,
+            entity,
+            reply,
+        })
+    }
+
+    /// Write `value` to entity `entity` (global id), creating a new
+    /// version visible to siblings.
+    pub fn write(
+        &self,
+        handle: TxnHandle,
+        entity: EntityId,
+        value: Value,
+    ) -> Result<(), ServerError> {
+        let entity = self.localize(handle, entity)?;
+        self.call(handle.shard, |reply| Request::Write {
+            txn: handle.txn,
+            entity,
+            value,
+            reply,
+        })
+    }
+
+    /// Commit; the worker checks the output condition and sibling order.
+    pub fn commit(&self, handle: TxnHandle) -> Result<(), ServerError> {
+        self.call(handle.shard, |reply| Request::Commit {
+            txn: handle.txn,
+            reply,
+        })
+    }
+
+    /// Abort (idempotent: acknowledging a re-eval abort is not an error).
+    pub fn abort(&self, handle: TxnHandle) -> Result<(), ServerError> {
+        self.call(handle.shard, |reply| Request::Abort {
+            txn: handle.txn,
+            reply,
+        })
+    }
+
+    fn localize(&self, handle: TxnHandle, entity: EntityId) -> Result<EntityId, ServerError> {
+        if self.shared.map.shard_of(entity) != handle.shard {
+            return Err(ServerError::CrossShard);
+        }
+        Ok(self.shared.map.to_local(entity))
+    }
+
+    /// Route one request and rendezvous on its reply channel.
+    fn call<T>(
+        &self,
+        shard: usize,
+        request: impl FnOnce(Sender<Result<T, ServerError>>) -> Request,
+    ) -> Result<T, ServerError> {
+        let (tx, rx): (_, Receiver<Result<T, ServerError>>) = bounded(1);
+        let start = Instant::now();
+        match self.shared.senders[shard].try_send(request(tx)) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => {
+                crate::metrics::ServerMetrics::add(&self.shared.metrics.backpressure);
+                return Err(ServerError::Backpressure);
+            }
+            Err(TrySendError::Disconnected(_)) => return Err(ServerError::Shutdown),
+        }
+        match rx.recv_timeout(self.shared.config.request_timeout) {
+            Ok(result) => {
+                self.shared.metrics.latency.record(start.elapsed());
+                result
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                crate::metrics::ServerMetrics::add(&self.shared.metrics.timeouts);
+                Err(ServerError::Timeout)
+            }
+            Err(RecvTimeoutError::Disconnected) => Err(ServerError::Shutdown),
+        }
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        self.shared
+            .metrics
+            .sessions_in_flight
+            .fetch_sub(1, Ordering::Relaxed);
+    }
+}

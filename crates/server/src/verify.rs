@@ -1,0 +1,55 @@
+//! Post-run correctness verification: drain the shard managers through
+//! [`ks_protocol::extract`] and check every shard's execution against the
+//! formal model with [`ks_core::check`].
+//!
+//! This is the service's ground truth: whatever interleaving the workers
+//! served, the committed transactions of each shard must form a correct
+//! execution in the paper's sense (parent-based version function, input
+//! and output conditions, partial order).
+
+use ks_protocol::{extract, ProtocolManager};
+
+/// Outcome of verifying a set of shard managers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Shards checked.
+    pub shards: usize,
+    /// Committed transactions across all shards.
+    pub committed: usize,
+    /// Human-readable descriptions of every violation found (empty ⇔ the
+    /// run was correct).
+    pub violations: Vec<String>,
+}
+
+impl VerifyReport {
+    /// Did every shard's execution check out?
+    pub fn is_correct(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Verify the managers returned by
+/// [`TxnService::shutdown`](crate::TxnService::shutdown).
+pub fn verify_managers(managers: &[ProtocolManager]) -> VerifyReport {
+    let mut report = VerifyReport {
+        shards: managers.len(),
+        ..VerifyReport::default()
+    };
+    for (shard, pm) in managers.iter().enumerate() {
+        match extract::model_execution(pm, pm.root()) {
+            Ok((txn, parent, exec)) => {
+                report.committed += txn.children().len();
+                let check = ks_core::check::check(pm.schema(), &txn, &parent, &exec);
+                if !check.is_correct_parent_based() {
+                    report
+                        .violations
+                        .push(format!("shard {shard}: model check failed: {check:?}"));
+                }
+            }
+            Err(e) => report
+                .violations
+                .push(format!("shard {shard}: extraction failed: {e}")),
+        }
+    }
+    report
+}

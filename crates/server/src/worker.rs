@@ -1,0 +1,201 @@
+//! The per-shard worker: single-threaded owner of one protocol manager.
+//!
+//! Each worker drains its shard's bounded request queue in arrival order
+//! and executes calls against its own [`ProtocolManager`], so the phased
+//! state machine never sees concurrent mutation. The worker never blocks
+//! on protocol outcomes — a validation that must wait or a read of an
+//! in-flight version replies [`ServerError::Busy`] and lets the session
+//! retry, because the transaction being waited on is served by this same
+//! queue.
+
+use crate::metrics::ServerMetrics;
+use crate::ServerError;
+use crossbeam::channel::{Receiver, Sender};
+use ks_core::Specification;
+use ks_kernel::{EntityId, Value};
+use ks_predicate::Strategy;
+use ks_protocol::manager::ProtocolStats;
+use ks_protocol::{
+    CommitOutcome, ProtocolManager, ReEvalAction, ReadOutcome, Txn, TxnState, ValidationOutcome,
+};
+use std::sync::Arc;
+
+/// One routed service call. Entity ids and specifications are already in
+/// the target shard's local id space (sessions translate at the boundary).
+pub(crate) enum Request {
+    /// Define a new root child with its `(I_t, O_t)` specification,
+    /// optionally ordered after sibling transactions of the same shard.
+    Define {
+        spec: Specification,
+        after: Vec<Txn>,
+        reply: Sender<Result<Txn, ServerError>>,
+    },
+    /// Validate: acquire `R_v` locks and a version assignment.
+    Validate {
+        txn: Txn,
+        strategy: Strategy,
+        reply: Sender<Result<(), ServerError>>,
+    },
+    /// Read the assigned version of an entity.
+    Read {
+        txn: Txn,
+        entity: EntityId,
+        reply: Sender<Result<Value, ServerError>>,
+    },
+    /// Write a new version (may trigger re-eval of siblings).
+    Write {
+        txn: Txn,
+        entity: EntityId,
+        value: Value,
+        reply: Sender<Result<(), ServerError>>,
+    },
+    /// Commit (checks the output condition).
+    Commit {
+        txn: Txn,
+        reply: Sender<Result<(), ServerError>>,
+    },
+    /// Explicit abort.
+    Abort {
+        txn: Txn,
+        reply: Sender<Result<(), ServerError>>,
+    },
+    /// Snapshot the shard manager's protocol statistics.
+    Stats { reply: Sender<ProtocolStats> },
+    /// Drain no further requests and return the manager.
+    Shutdown,
+}
+
+fn reject(e: ks_protocol::ProtocolError) -> ServerError {
+    ServerError::Rejected(e.to_string())
+}
+
+/// A transaction aborted underneath its session (re-eval or cascade) is
+/// reported as such on its next call.
+fn precheck(pm: &ProtocolManager, txn: Txn) -> Result<(), ServerError> {
+    match pm.state_of(txn) {
+        Ok(TxnState::Aborted) => Err(ServerError::ReEvalAborted),
+        Ok(_) => Ok(()),
+        Err(e) => Err(reject(e)),
+    }
+}
+
+/// Drain requests until shutdown (message or all senders gone); returns
+/// the manager for post-run extraction and model checking.
+pub(crate) fn run(
+    mut pm: ProtocolManager,
+    requests: Receiver<Request>,
+    metrics: Arc<ServerMetrics>,
+) -> ProtocolManager {
+    while let Ok(request) = requests.recv() {
+        ServerMetrics::add(&metrics.requests);
+        match request {
+            Request::Define { spec, after, reply } => {
+                let root = pm.root();
+                let result = pm.define(root, spec, &after, &[]).map_err(|e| {
+                    ServerMetrics::add(&metrics.rejected);
+                    reject(e)
+                });
+                let _ = reply.send(result);
+            }
+            Request::Validate {
+                txn,
+                strategy,
+                reply,
+            } => {
+                let result = precheck(&pm, txn).and_then(|()| match pm.validate(txn, strategy) {
+                    Ok(ValidationOutcome::Validated) => Ok(()),
+                    Ok(ValidationOutcome::Blocked(_)) | Ok(ValidationOutcome::MustWait(_)) => {
+                        Err(ServerError::Busy)
+                    }
+                    Ok(ValidationOutcome::CannotSatisfy) => {
+                        ServerMetrics::add(&metrics.rejected);
+                        Err(ServerError::Rejected(
+                            "no version assignment satisfies the input predicate".into(),
+                        ))
+                    }
+                    Err(e) => {
+                        ServerMetrics::add(&metrics.rejected);
+                        Err(reject(e))
+                    }
+                });
+                let _ = reply.send(result);
+            }
+            Request::Read { txn, entity, reply } => {
+                let result = precheck(&pm, txn).and_then(|()| match pm.read(txn, entity) {
+                    Ok(ReadOutcome::Value(v)) => Ok(v),
+                    Ok(ReadOutcome::Blocked(_)) => Err(ServerError::Busy),
+                    Err(e) => {
+                        ServerMetrics::add(&metrics.rejected);
+                        Err(reject(e))
+                    }
+                });
+                let _ = reply.send(result);
+            }
+            Request::Write {
+                txn,
+                entity,
+                value,
+                reply,
+            } => {
+                let result = precheck(&pm, txn).and_then(|()| match pm.write(txn, entity, value) {
+                    Ok(report) => {
+                        for action in &report.reeval {
+                            match action {
+                                ReEvalAction::Reassigned(_) => {
+                                    ServerMetrics::add(&metrics.re_assigns)
+                                }
+                                ReEvalAction::Aborted(_)
+                                | ReEvalAction::ReassignFailedAborted(_) => {
+                                    ServerMetrics::add(&metrics.reeval_aborts)
+                                }
+                            }
+                        }
+                        Ok(())
+                    }
+                    Err(e) => {
+                        ServerMetrics::add(&metrics.rejected);
+                        Err(reject(e))
+                    }
+                });
+                let _ = reply.send(result);
+            }
+            Request::Commit { txn, reply } => {
+                let result = precheck(&pm, txn).and_then(|()| match pm.commit(txn) {
+                    Ok(CommitOutcome::Committed) => {
+                        ServerMetrics::add(&metrics.committed);
+                        Ok(())
+                    }
+                    Ok(CommitOutcome::PredecessorsPending(_))
+                    | Ok(CommitOutcome::ChildrenPending(_)) => Err(ServerError::Busy),
+                    Ok(CommitOutcome::OutputViolated) => {
+                        // The transaction cannot terminate successfully;
+                        // abort it so its versions don't dangle.
+                        let _ = pm.abort(txn);
+                        ServerMetrics::add(&metrics.rejected);
+                        Err(ServerError::Rejected("output condition violated".into()))
+                    }
+                    Err(e) => {
+                        ServerMetrics::add(&metrics.rejected);
+                        Err(reject(e))
+                    }
+                });
+                let _ = reply.send(result);
+            }
+            Request::Abort { txn, reply } => {
+                // Aborting an already-aborted transaction is a no-op ack,
+                // not an error: the session is acknowledging the doom.
+                let result = match pm.state_of(txn) {
+                    Ok(TxnState::Aborted) => Ok(()),
+                    Ok(_) => pm.abort(txn).map(|_| ()).map_err(reject),
+                    Err(e) => Err(reject(e)),
+                };
+                let _ = reply.send(result);
+            }
+            Request::Stats { reply } => {
+                let _ = reply.send(pm.stats());
+            }
+            Request::Shutdown => break,
+        }
+    }
+    pm
+}

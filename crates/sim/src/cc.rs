@@ -22,6 +22,22 @@ impl fmt::Display for SimTxnId {
     }
 }
 
+/// Scheduler-internal activity counters, reported alongside the engine's
+/// own [`crate::Metrics`]. The names follow the KS protocol's Figure 4
+/// machinery (the only scheduler with internal repair work); classical
+/// schedulers report zeros.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CcCounters {
+    /// `re-eval` invocations (one per write that reaches the store).
+    pub re_evals: u64,
+    /// `R_v` holders repaired by re-assignment instead of abort.
+    pub re_assigns: u64,
+    /// Transactions aborted by `re-eval` (stale reads, failed re-assigns).
+    pub reeval_aborts: u64,
+    /// Aborts cascaded from explicit aborts.
+    pub cascade_aborts: u64,
+}
+
 /// A scheduler's answer to an operation request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Decision {
@@ -57,6 +73,13 @@ pub trait ConcurrencyControl {
 
     /// Name for reports.
     fn name(&self) -> &'static str;
+
+    /// Scheduler-internal counters, copied into the run's metrics by the
+    /// engine. The default (all zeros) suits schedulers with no internal
+    /// repair machinery.
+    fn counters(&self) -> CcCounters {
+        CcCounters::default()
+    }
 }
 
 #[cfg(test)]

@@ -118,7 +118,13 @@ impl<'a, C: ConcurrencyControl> Engine<'a, C> {
                     blocked.remove(&victim);
                     let id = SimTxnId(victim);
                     self.finish_wait(&mut states[victim as usize], now, &mut metrics);
-                    self.abort_txn(id, now, &mut states[victim as usize], &mut trace, &mut metrics);
+                    self.abort_txn(
+                        id,
+                        now,
+                        &mut states[victim as usize],
+                        &mut trace,
+                        &mut metrics,
+                    );
                     heap.push(Reverse((
                         now + self.backoff(&states[victim as usize], victim),
                         seq,
@@ -229,6 +235,7 @@ impl<'a, C: ConcurrencyControl> Engine<'a, C> {
                 }
             }
         }
+        metrics.cc = self.cc.counters();
         (metrics, trace, self.cc)
     }
 
@@ -366,10 +373,7 @@ mod tests {
         assert_eq!(m.waits, 0);
         assert_eq!(m.aborts, 0);
         assert!(m.makespan > 0);
-        let commits = trace
-            .iter()
-            .filter(|e| e.kind == TraceKind::Commit)
-            .count();
+        let commits = trace.iter().filter(|e| e.kind == TraceKind::Commit).count();
         assert_eq!(commits, 4);
         // every transaction executed all ops exactly once
         let reads_writes = trace
@@ -393,7 +397,8 @@ mod tests {
     #[test]
     fn abort_restarts_and_commits() {
         let w = small_workload();
-        let (m, trace, _) = Engine::new(&w, AbortOnce { done: false }, EngineConfig::default()).run();
+        let (m, trace, _) =
+            Engine::new(&w, AbortOnce { done: false }, EngineConfig::default()).run();
         assert_eq!(m.committed, 4);
         assert_eq!(m.aborts, 1);
         // txn 0 has two Begin events (original + restart)

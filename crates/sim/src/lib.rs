@@ -29,7 +29,7 @@ pub mod metrics;
 pub mod trace;
 pub mod workload;
 
-pub use cc::{ConcurrencyControl, Decision, SimTxnId};
+pub use cc::{CcCounters, ConcurrencyControl, Decision, SimTxnId};
 pub use engine::{Engine, EngineConfig};
 pub use metrics::Metrics;
 pub use trace::{TraceEvent, TraceKind};

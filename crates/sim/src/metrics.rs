@@ -1,5 +1,6 @@
 //! Aggregate metrics of a simulation run.
 
+use crate::cc::CcCounters;
 use crate::SimTime;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -30,6 +31,9 @@ pub struct Metrics {
     pub total_latency: SimTime,
     /// Per-transaction commit latencies (commit − arrival), unsorted.
     pub latencies: Vec<SimTime>,
+    /// Scheduler-internal counters (re-eval activity for the KS protocol;
+    /// zeros for the classical baselines).
+    pub cc: CcCounters,
 }
 
 impl Metrics {
@@ -74,13 +78,14 @@ impl Metrics {
 
     /// Table header aligned with [`Metrics::row`].
     pub fn header() -> &'static str {
-        "scheduler        commit  waits  wait_time  max_wait  aborts  wasted   makespan  mean_lat"
+        "scheduler        commit  waits  wait_time  max_wait  aborts  wasted   makespan  mean_lat  \
+         re_ev  re_as  rv_ab  casc"
     }
 
     /// One aligned table row.
     pub fn row(&self) -> String {
         format!(
-            "{:<16} {:>6} {:>6} {:>10} {:>9} {:>7} {:>7} {:>10} {:>9.1}",
+            "{:<16} {:>6} {:>6} {:>10} {:>9} {:>7} {:>7} {:>10} {:>9.1} {:>6} {:>6} {:>6} {:>5}",
             self.scheduler,
             self.committed,
             self.waits,
@@ -90,6 +95,10 @@ impl Metrics {
             self.wasted_work,
             self.makespan,
             self.mean_latency(),
+            self.cc.re_evals,
+            self.cc.re_assigns,
+            self.cc.reeval_aborts,
+            self.cc.cascade_aborts,
         )
     }
 }
@@ -117,6 +126,7 @@ mod tests {
             makespan: 1000,
             total_latency: 400,
             latencies: vec![50, 100, 150, 100],
+            cc: CcCounters::default(),
         };
         assert_eq!(m.mean_wait(), 5.0);
         assert_eq!(m.mean_latency(), 100.0);

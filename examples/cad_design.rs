@@ -17,14 +17,20 @@
 //! ```
 
 use korth_speegle::kernel::{Domain, EntityId, Schema, UniqueState};
+use korth_speegle::model::check;
 use korth_speegle::model::Specification;
 use korth_speegle::predicate::{parse_cnf, Strategy};
 use korth_speegle::protocol::extract::model_execution;
 use korth_speegle::protocol::{CommitOutcome, ProtocolManager, ReadOutcome};
-use korth_speegle::model::check;
 
 fn main() {
-    let schema = Schema::uniform(["load", "capacity", "rev"], Domain::Range { min: 0, max: 10_000 });
+    let schema = Schema::uniform(
+        ["load", "capacity", "rev"],
+        Domain::Range {
+            min: 0,
+            max: 10_000,
+        },
+    );
     let load = EntityId(0);
     let capacity = EntityId(1);
     let rev = EntityId(2);
@@ -32,7 +38,11 @@ fn main() {
 
     // Initial design: load 100, capacity 120, revision 1.
     let initial = UniqueState::new(&schema, vec![100, 120, 1]).unwrap();
-    let mut pm = ProtocolManager::new(schema.clone(), &initial, Specification::classical(&invariant));
+    let mut pm = ProtocolManager::new(
+        schema.clone(),
+        &initial,
+        Specification::classical(&invariant),
+    );
     let root = pm.root();
 
     // ── Phase 1: definition ─────────────────────────────────────────────
@@ -75,14 +85,18 @@ fn main() {
         )
         .unwrap();
 
-    println!("defined {} (designer A), {} (designer B), {} (inspector)",
+    println!(
+        "defined {} (designer A), {} (designer B), {} (inspector)",
         pm.name_of(designer_a).unwrap(),
         pm.name_of(designer_b).unwrap(),
-        pm.name_of(inspector).unwrap());
+        pm.name_of(inspector).unwrap()
+    );
 
     // ── Phase 2+3: validation and execution, interleaved ───────────────
     pm.validate(designer_a, Strategy::Backtracking).unwrap();
-    let ReadOutcome::Value(l) = pm.read(designer_a, load).unwrap() else { panic!() };
+    let ReadOutcome::Value(l) = pm.read(designer_a, load).unwrap() else {
+        panic!()
+    };
     println!("\ndesigner A reads load = {l}, raises it to 200");
     pm.write(designer_a, load, 200).unwrap();
 
@@ -90,14 +104,20 @@ fn main() {
     // inspector still validates: versions give them the old consistent
     // snapshot — no waiting.
     pm.validate(inspector, Strategy::Backtracking).unwrap();
-    let ReadOutcome::Value(il) = pm.read(inspector, load).unwrap() else { panic!() };
-    let ReadOutcome::Value(ic) = pm.read(inspector, capacity).unwrap() else { panic!() };
+    let ReadOutcome::Value(il) = pm.read(inspector, load).unwrap() else {
+        panic!()
+    };
+    let ReadOutcome::Value(ic) = pm.read(inspector, capacity).unwrap() else {
+        panic!()
+    };
     println!("inspector reads a CONSISTENT snapshot mid-flight: load={il}, capacity={ic}");
     assert!(ic >= il);
 
     // Designer B picks up A's dirty (uncommitted!) change — cooperation.
     pm.validate(designer_b, Strategy::Backtracking).unwrap();
-    let ReadOutcome::Value(bl) = pm.read(designer_b, load).unwrap() else { panic!() };
+    let ReadOutcome::Value(bl) = pm.read(designer_b, load).unwrap() else {
+        panic!()
+    };
     println!("designer B sees A's in-flight load = {bl}, reinforces cables to 250");
     assert_eq!(bl, 200);
     pm.write(designer_b, capacity, 250).unwrap();
@@ -108,7 +128,12 @@ fn main() {
     assert_eq!(pm.commit(designer_a).unwrap(), CommitOutcome::Committed);
     assert_eq!(pm.commit(designer_b).unwrap(), CommitOutcome::Committed);
     let view = pm.result_view(root).unwrap();
-    println!("\nfinal design: load={}, capacity={}, rev={}", view.get(load), view.get(capacity), view.get(rev));
+    println!(
+        "\nfinal design: load={}, capacity={}, rev={}",
+        view.get(load),
+        view.get(capacity),
+        view.get(rev)
+    );
     assert_eq!(pm.commit(root).unwrap(), CommitOutcome::Committed);
 
     // Verify against the formal model: correct and parent-based.

@@ -23,7 +23,10 @@ fn main() {
     println!("\n— Region 9 (fully serializable): every witness agrees —");
     let r9 = &fig2_regions()[8];
     println!("schedule: {}", r9.schedule);
-    println!("conflict graph edges: {:?}", conflict_graph(&r9.schedule).edges().collect::<Vec<_>>());
+    println!(
+        "conflict graph edges: {:?}",
+        conflict_graph(&r9.schedule).edges().collect::<Vec<_>>()
+    );
     println!("CSR witness:  {:?}", csr_witness(&r9.schedule).unwrap());
     println!("VSR witness:  {:?}", vsr_witness(&r9.schedule).unwrap());
     println!("MVSR witness: {:?}", mvsr_witness(&r9.schedule).unwrap());
@@ -31,11 +34,16 @@ fn main() {
     println!("\n— Region 4 (Example 1): versions rescue a non-serializable run —");
     let r4 = &fig2_regions()[3];
     println!("schedule: {}", r4.schedule);
-    println!("VSR witness:  {:?} (none: not serializable)", vsr_witness(&r4.schedule));
+    println!(
+        "VSR witness:  {:?} (none: not serializable)",
+        vsr_witness(&r4.schedule)
+    );
     println!("MVSR witness: {:?}", mvsr_witness(&r4.schedule).unwrap());
     println!(
         "reads-before-writes edges: {:?} (acyclic → MVCSR)",
-        reads_before_writes_graph(&r4.schedule).edges().collect::<Vec<_>>()
+        reads_before_writes_graph(&r4.schedule)
+            .edges()
+            .collect::<Vec<_>>()
     );
 
     println!("\n— Region 2: only the predicate decomposition rescues it —");

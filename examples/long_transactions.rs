@@ -33,8 +33,12 @@ fn main() {
         let runs: Vec<Metrics> = vec![
             Engine::new(&w, TwoPhaseLocking::new(), config).run().0,
             Engine::new(&w, TimestampOrdering::new(), config).run().0,
-            Engine::new(&w, MultiversionTimestampOrdering::new(), config).run().0,
-            Engine::new(&w, KsProtocolAdapter::for_workload(&w), config).run().0,
+            Engine::new(&w, MultiversionTimestampOrdering::new(), config)
+                .run()
+                .0,
+            Engine::new(&w, KsProtocolAdapter::for_workload(&w), config)
+                .run()
+                .0,
         ];
         for m in &runs {
             println!("  {}", m.row());

@@ -18,7 +18,10 @@ fn main() {
     let vp = reduce_to_version_problem(&inst);
     println!("Lemma 1 reduction:");
     println!("  entities: {} boolean data items", vp.schema.len());
-    println!("  database state: {} (every truth assignment is a version state)", vp.state);
+    println!(
+        "  database state: {} (every truth assignment is a version state)",
+        vp.state
+    );
     println!("  I_t = {}", vp.input_predicate.display_with(&vp.schema));
 
     // Theorem 1: wrap in a one-child transaction with O_t = true and ask

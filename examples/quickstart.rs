@@ -26,7 +26,11 @@ fn main() {
     // A predicate can be satisfiable over V_S even when no single unique
     // state satisfies it — the essence of multiversion freedom.
     let p = parse_cnf(&schema, "x = 3 & y = 2").unwrap();
-    println!("\npredicate {}: satisfiable over V_S? {}", p.display_with(&schema), p.satisfiable_over(&db));
+    println!(
+        "\npredicate {}: satisfiable over V_S? {}",
+        p.display_with(&schema),
+        p.satisfiable_over(&db)
+    );
 
     // ── 2. Schedules: correctness classes beyond serializability ────────
     let s = Schedule::parse("R1(x) W1(x) R2(x) R2(y) W2(y) R1(y) W1(y)").unwrap();
@@ -75,7 +79,11 @@ fn main() {
     println!("  X(t.1) = {}", exec.inputs[1]);
     println!("  final  = {}", exec.final_input);
     let report = check::check(&schema, &root, &initial, &exec);
-    println!("  correct? {}   parent-based? {}", report.is_correct(), report.parent_based);
+    println!(
+        "  correct? {}   parent-based? {}",
+        report.is_correct(),
+        report.parent_based
+    );
     assert!(report.is_correct_parent_based());
     println!("\nNeither subtransaction preserves x = y on its own, and the");
     println!("interleaving is NOT serializable in the classical sense — yet the");

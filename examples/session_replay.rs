@@ -1,14 +1,14 @@
-//! Record a protocol session, serialize it to JSON, replay it on a fresh
-//! manager, and verify the replayed session against the formal model —
-//! the observability/reproducibility workflow a production deployment
-//! would use for bug reports.
+//! Record a protocol session, serialize it to the wire format, replay it
+//! on a fresh manager, and verify the replayed session against the formal
+//! model — the observability/reproducibility workflow a production
+//! deployment would use for bug reports.
 //!
 //! ```sh
 //! cargo run --example session_replay
 //! ```
 
-use korth_speegle::model::{check, Specification};
 use korth_speegle::kernel::{Domain, EntityId, Schema, UniqueState};
+use korth_speegle::model::{check, Specification};
 use korth_speegle::predicate::{parse_cnf, Strategy};
 use korth_speegle::protocol::extract::model_execution;
 use korth_speegle::protocol::session::replay;
@@ -63,12 +63,13 @@ fn main() {
     println!("recorded {} events", log.events.len());
 
     // ── Serialize / deserialize ──────────────────────────────────────────
-    let json = serde_json::to_string_pretty(&log).unwrap();
-    println!("log is {} bytes of JSON; first lines:", json.len());
-    for line in json.lines().take(6) {
+    let text = korth_speegle::protocol::to_wire(&log);
+    println!("log is {} bytes of wire text; first lines:", text.len());
+    for line in text.lines().take(6) {
         println!("  {line}");
     }
-    let restored: korth_speegle::protocol::SessionLog = serde_json::from_str(&json).unwrap();
+    let restored: korth_speegle::protocol::SessionLog =
+        korth_speegle::protocol::from_wire(&text).unwrap();
 
     // ── Replay ───────────────────────────────────────────────────────────
     let pm = replay(&restored).unwrap();

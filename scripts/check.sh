@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Repo-wide verification: formatting, lints, tests.
+#
+# Usage: scripts/check.sh
+# This is the gate referenced by ROADMAP.md's tier-1 line; CI and local
+# development run the same three steps.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "== cargo test -q"
+cargo test -q
+
+echo "OK: fmt, clippy, tests all green"

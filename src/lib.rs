@@ -22,7 +22,10 @@
 //!   timestamp ordering comparators;
 //! * [`protocol`] — the paper's Section 5 correct-execution protocol with
 //!   the `R_v`/`R`/`W` lock table (Figure 3) and `re-eval` procedure
-//!   (Figure 4).
+//!   (Figure 4);
+//! * [`server`] — the concurrent multi-session transaction service:
+//!   entity-sharded worker threads, blocking sessions, admission control,
+//!   and post-run model-checked verification.
 //!
 //! See `examples/quickstart.rs` for a guided tour and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the experiment inventory.
@@ -36,6 +39,7 @@ pub use ks_mvstore as mvstore;
 pub use ks_predicate as predicate;
 pub use ks_protocol as protocol;
 pub use ks_schedule as schedule;
+pub use ks_server as server;
 pub use ks_sim as sim;
 
 /// Convenience re-exports for the common 90% of the API.
@@ -47,12 +51,12 @@ pub use ks_sim as sim;
 /// ```
 pub mod prelude {
     pub use ks_core::{
-        check, check_tree, search, Execution, Expr, Specification, Step, Transaction,
-        TreeBuilder, TreeExecution, TxnName,
+        check, check_tree, search, Execution, Expr, Specification, Step, Transaction, TreeBuilder,
+        TreeExecution, TxnName,
     };
     pub use ks_kernel::{
-        DatabaseState, Domain, EntityId, Schema, SchemaBuilder, UniqueState, Value,
-        VersionSpace, VersionState,
+        DatabaseState, Domain, EntityId, Schema, SchemaBuilder, UniqueState, Value, VersionSpace,
+        VersionState,
     };
     pub use ks_predicate::{parse_cnf, solve, Atom, Clause, CmpOp, Cnf, Object, Strategy};
     pub use ks_protocol::{
@@ -60,5 +64,6 @@ pub mod prelude {
         ValidationOutcome,
     };
     pub use ks_schedule::{classify, csr, mvsr, pc, pwsr, vsr, Membership, Schedule, TxnId};
+    pub use ks_server::{ServerConfig, ServerError, Session, TxnHandle, TxnService};
     pub use ks_sim::{Engine, EngineConfig, Metrics, Workload, WorkloadSpec};
 }

@@ -52,7 +52,11 @@ fn protocol_to_model_pipeline() {
     let schema = Schema::uniform(["a", "b"], Domain::Range { min: 0, max: 100 });
     let constraint = parse_cnf(&schema, "a <= b").unwrap();
     let initial = UniqueState::new(&schema, vec![10, 20]).unwrap();
-    let mut pm = ProtocolManager::new(schema.clone(), &initial, Specification::classical(&constraint));
+    let mut pm = ProtocolManager::new(
+        schema.clone(),
+        &initial,
+        Specification::classical(&constraint),
+    );
     let root = pm.root();
     let a = EntityId(0);
     let b = EntityId(1);
@@ -60,7 +64,10 @@ fn protocol_to_model_pipeline() {
     let grow_b = pm
         .define(
             root,
-            Specification::new(parse_cnf(&schema, "b = 20").unwrap(), parse_cnf(&schema, "b = 40").unwrap()),
+            Specification::new(
+                parse_cnf(&schema, "b = 20").unwrap(),
+                parse_cnf(&schema, "b = 40").unwrap(),
+            ),
             &[],
             &[],
         )
@@ -68,7 +75,10 @@ fn protocol_to_model_pipeline() {
     let grow_a = pm
         .define(
             root,
-            Specification::new(parse_cnf(&schema, "b = 40 & a = 10").unwrap(), parse_cnf(&schema, "a <= b").unwrap()),
+            Specification::new(
+                parse_cnf(&schema, "b = 40 & a = 10").unwrap(),
+                parse_cnf(&schema, "a <= b").unwrap(),
+            ),
             &[grow_b],
             &[],
         )
@@ -101,13 +111,9 @@ fn protocol_to_model_pipeline() {
 fn corpus_schedules_are_reachable_interleavings() {
     for region in fig2_regions() {
         let s = &region.schedule;
-        let programs: Vec<Vec<ks_schedule::Op>> = s
-            .txns()
-            .map(|t| s.txn_ops(t))
-            .collect();
-        let found = ks_schedule::search::find_schedule(programs, |candidate| {
-            candidate.ops() == s.ops()
-        });
+        let programs: Vec<Vec<ks_schedule::Op>> = s.txns().map(|t| s.txn_ops(t)).collect();
+        let found =
+            ks_schedule::search::find_schedule(programs, |candidate| candidate.ops() == s.ops());
         assert!(found.is_some(), "region {}", region.id);
     }
 }
@@ -128,8 +134,16 @@ fn model_search_and_protocol_agree_on_cooperation() {
         parse_cnf(&schema, "x = y").unwrap(),
     );
     // Offline: model search.
-    let c0 = Transaction::leaf(TxnName::root(), spec_c0.clone(), vec![Step::Write(x, Expr::plus_const(x, 1))]);
-    let c1 = Transaction::leaf(TxnName::root(), spec_c1.clone(), vec![Step::Write(y, Expr::plus_const(y, 1))]);
+    let c0 = Transaction::leaf(
+        TxnName::root(),
+        spec_c0.clone(),
+        vec![Step::Write(x, Expr::plus_const(x, 1))],
+    );
+    let c1 = Transaction::leaf(
+        TxnName::root(),
+        spec_c1.clone(),
+        vec![Step::Write(y, Expr::plus_const(y, 1))],
+    );
     let root_model = Transaction::nested(
         TxnName::root(),
         Specification::classical(&parse_cnf(&schema, "x = y").unwrap()),
@@ -142,9 +156,10 @@ fn model_search_and_protocol_agree_on_cooperation() {
     // GreedyLatest prefers the freshest versions, matching the protocol's
     // operational final state. (Backtracking would pick X(t_f) = (5,5) —
     // also correct under the model, since O only requires satisfaction.)
-    let offline = search::find_correct_execution(&schema, &root_model, &parent, Strategy::GreedyLatest)
-        .unwrap()
-        .expect("offline execution");
+    let offline =
+        search::find_correct_execution(&schema, &root_model, &parent, Strategy::GreedyLatest)
+            .unwrap()
+            .expect("offline execution");
 
     // Online: protocol session.
     let mut pm = ProtocolManager::new(

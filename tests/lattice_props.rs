@@ -13,11 +13,7 @@ use proptest::prelude::*;
 /// Strategy: a random schedule of `txns` transactions over `entities`
 /// entities, with program orders induced by the interleaving itself.
 fn schedules(txns: u32, entities: u32, max_ops: usize) -> impl Strategy<Value = Schedule> {
-    prop::collection::vec(
-        (0..txns, 0..entities, prop::bool::ANY),
-        1..max_ops,
-    )
-    .prop_map(|ops| {
+    prop::collection::vec((0..txns, 0..entities, prop::bool::ANY), 1..max_ops).prop_map(|ops| {
         Schedule::from_ops(
             ops.into_iter()
                 .map(|(t, e, w)| Op {

@@ -80,7 +80,10 @@ fn lemma2_exhaustive_two_transactions() {
         let report = check::check(&schema, &txn, &parent, &exec);
         if is_vsr(&s) {
             vsr_count += 1;
-            assert!(report.is_correct() && report.parent_based, "{s}: {report:?}");
+            assert!(
+                report.is_correct() && report.parent_based,
+                "{s}: {report:?}"
+            );
         }
     }
     assert!(vsr_count >= 2, "at least the serial orders are VSR");
@@ -101,7 +104,10 @@ fn lemma2_exhaustive_three_transactions_sampled() {
         let (txn, parent, exec) =
             lemma2_execution(&schema, &s, &constraint, &rules, &initial).unwrap();
         let report = check::check(&schema, &txn, &parent, &exec);
-        assert!(report.is_correct() && report.parent_based, "{s}: {report:?}");
+        assert!(
+            report.is_correct() && report.parent_based,
+            "{s}: {report:?}"
+        );
         checked += 1;
     }
     assert!(checked > 0);

@@ -20,15 +20,14 @@ enum Act {
 }
 
 fn acts(num_txns: usize, num_entities: u32) -> impl Strategy<Value = Vec<Act>> {
-    let act = (0..5u8, 0..num_txns, 0..num_entities, 0..10i64).prop_map(
-        |(kind, t, e, v)| match kind {
+    let act =
+        (0..5u8, 0..num_txns, 0..num_entities, 0..10i64).prop_map(|(kind, t, e, v)| match kind {
             0 => Act::Validate(t),
             1 => Act::Read(t, e),
             2 => Act::Write(t, e, v),
             3 => Act::Commit(t),
             _ => Act::Abort(t),
-        },
-    );
+        });
     prop::collection::vec(act, 0..30)
 }
 

@@ -126,7 +126,10 @@ fn engine_metrics_consistent_across_schedulers() {
     ] {
         assert!(metrics.committed <= w.txns.len(), "{name}");
         assert!(metrics.makespan > 0, "{name}");
-        assert!(metrics.total_latency >= metrics.makespan - w.spec.arrival_spread, "{name}");
+        assert!(
+            metrics.total_latency >= metrics.makespan - w.spec.arrival_spread,
+            "{name}"
+        );
     }
 }
 
@@ -143,8 +146,7 @@ fn ks_protocol_sim_runs_are_model_correct() {
         let adapter = KsProtocolAdapter::for_workload(&w);
         let (_, _, adapter) = Engine::new(&w, adapter, EngineConfig::default()).run();
         let pm = adapter.manager();
-        let (txn, parent, exec) =
-            ks_protocol::extract::model_execution(pm, pm.root()).unwrap();
+        let (txn, parent, exec) = ks_protocol::extract::model_execution(pm, pm.root()).unwrap();
         let schema = pm.schema().clone();
         let report = ks_core::check::check(&schema, &txn, &parent, &exec);
         assert!(report.is_correct(), "seed {seed} chain {chain}: {report:?}");

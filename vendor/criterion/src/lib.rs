@@ -1,0 +1,277 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the slice of the criterion 0.5 API this workspace uses:
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`],
+//! and the [`criterion_group!`]/[`criterion_main!`] macros. Measurement is
+//! a plain wall-clock loop that reports the mean ns/iter over a fixed time
+//! budget — no warm-up modeling, outlier rejection, or plotting.
+//!
+//! Like real criterion, full measurement only happens when the binary is
+//! invoked with `--bench` (which `cargo bench` passes). Under `cargo test`
+//! each benchmark body runs exactly once as a smoke test, so test runs
+//! stay fast.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark context handed to each `criterion_group!` function.
+pub struct Criterion {
+    measure: bool,
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measure: false,
+            budget: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Enable full measurement when `--bench` is among the CLI args
+    /// (mirrors criterion's cargo-bench detection).
+    pub fn configure_from_args(mut self) -> Self {
+        self.measure = std::env::args().any(|a| a == "--bench");
+        self
+    }
+
+    /// Set the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, budget: Duration) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let label = name.to_string();
+        run_benchmark(self, &label, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark a closure under `group_name/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(self.criterion, &label, f);
+        self
+    }
+
+    /// Benchmark a closure over a borrowed input under `group_name/id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(self.criterion, &label, |b| f(b, input));
+        self
+    }
+
+    /// End the group (printing-only in this shim).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter, no function name.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Anything usable as a benchmark id: a [`BenchmarkId`] or a plain string.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    measure: bool,
+    budget: Duration,
+    result_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Time `routine`, storing mean ns/iter. In smoke mode (no `--bench`)
+    /// the routine runs once and no timing is recorded.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if !self.measure {
+            std::hint::black_box(routine());
+            return;
+        }
+        // Calibrate: find an iteration count that takes roughly 1/10 of
+        // the budget, doubling from 1.
+        let mut iters: u64 = 1;
+        let per_probe = self.budget / 10;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= per_probe || iters >= 1 << 40 {
+                // Measure: repeat batches until the budget is spent.
+                let mut total = elapsed;
+                let mut total_iters = iters;
+                while total < self.budget {
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        std::hint::black_box(routine());
+                    }
+                    total += start.elapsed();
+                    total_iters += iters;
+                }
+                self.result_ns = Some(total.as_nanos() as f64 / total_iters as f64);
+                return;
+            }
+            iters *= 2;
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(criterion: &Criterion, label: &str, mut f: F) {
+    let mut bencher = Bencher {
+        measure: criterion.measure,
+        budget: criterion.budget,
+        result_ns: None,
+    };
+    f(&mut bencher);
+    match bencher.result_ns {
+        Some(ns) => println!("{label:<56} time: {}", format_ns(ns)),
+        None => {
+            if criterion.measure {
+                println!("{label:<56} time: (no iter() call)");
+            } else {
+                println!("{label:<56} ok (smoke)");
+            }
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:8.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:8.2} µs/iter", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:8.2} ms/iter", ns / 1_000_000.0)
+    } else {
+        format!("{:8.2}  s/iter", ns / 1_000_000_000.0)
+    }
+}
+
+/// Define a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main()` invoking each `criterion_group!`-defined function.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion::default(); // measure = false
+        let mut calls = 0;
+        {
+            let mut group = c.benchmark_group("g");
+            group.bench_function("one", |b| b.iter(|| calls += 1));
+            group.finish();
+        }
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn measurement_reports_time() {
+        let mut c = Criterion {
+            measure: true,
+            budget: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("sq", 7), &7u64, |b, &x| {
+            b.iter(|| std::hint::black_box(x * x))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
+    }
+}

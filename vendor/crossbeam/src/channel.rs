@@ -1,0 +1,417 @@
+//! A multi-producer multi-consumer channel (crossbeam-channel API subset).
+//!
+//! Bounded and unbounded variants over a `Mutex<VecDeque>` + two `Condvar`s
+//! (not-empty / not-full). Disconnection follows crossbeam semantics: a
+//! receive on an empty channel whose senders are all gone fails, a send to
+//! a channel whose receivers are all gone fails and returns the message.
+//! A bounded capacity of 0 is rounded up to 1 (the rendezvous special case
+//! is not needed by this workspace).
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+struct State<T> {
+    queue: VecDeque<T>,
+    cap: Option<usize>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Chan<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> Chan<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The sending half. Cloneable (multi-producer).
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// The receiving half. Cloneable (multi-consumer).
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// Error of [`Sender::send`]: all receivers disconnected. Carries the
+/// unsent message back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error of [`Sender::try_send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is full.
+    Full(T),
+    /// All receivers disconnected.
+    Disconnected(T),
+}
+
+/// Error of [`Sender::send_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendTimeoutError<T> {
+    /// The channel stayed full for the whole timeout.
+    Timeout(T),
+    /// All receivers disconnected.
+    Disconnected(T),
+}
+
+/// Error of [`Receiver::recv`]: empty and all senders disconnected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error of [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty.
+    Empty,
+    /// Empty and all senders disconnected.
+    Disconnected,
+}
+
+/// Error of [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The channel stayed empty for the whole timeout.
+    Timeout,
+    /// Empty and all senders disconnected.
+    Disconnected,
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            cap,
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (Sender { chan: chan.clone() }, Receiver { chan })
+}
+
+/// An unbounded channel: sends never block.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel(None)
+}
+
+/// A bounded channel holding at most `cap.max(1)` messages.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    channel(Some(cap.max(1)))
+}
+
+impl<T> Sender<T> {
+    /// Send, blocking while the channel is full.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut st = self.chan.lock();
+        loop {
+            if st.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            if st.cap.is_none_or(|c| st.queue.len() < c) {
+                st.queue.push_back(msg);
+                self.chan.not_empty.notify_one();
+                return Ok(());
+            }
+            st = self
+                .chan
+                .not_full
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Send without blocking.
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let mut st = self.chan.lock();
+        if st.receivers == 0 {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        if st.cap.is_some_and(|c| st.queue.len() >= c) {
+            return Err(TrySendError::Full(msg));
+        }
+        st.queue.push_back(msg);
+        self.chan.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Send, blocking at most `timeout` while the channel is full.
+    pub fn send_timeout(&self, msg: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.chan.lock();
+        loop {
+            if st.receivers == 0 {
+                return Err(SendTimeoutError::Disconnected(msg));
+            }
+            if st.cap.is_none_or(|c| st.queue.len() < c) {
+                st.queue.push_back(msg);
+                self.chan.not_empty.notify_one();
+                return Ok(());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(SendTimeoutError::Timeout(msg));
+            }
+            let (guard, _) = self
+                .chan
+                .not_full
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            st = guard;
+        }
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.chan.lock().queue.len()
+    }
+
+    /// Is the queue currently empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receive, blocking while the channel is empty.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.chan.lock();
+        loop {
+            if let Some(msg) = st.queue.pop_front() {
+                self.chan.not_full.notify_one();
+                return Ok(msg);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = self
+                .chan
+                .not_empty
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Receive without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.chan.lock();
+        if let Some(msg) = st.queue.pop_front() {
+            self.chan.not_full.notify_one();
+            return Ok(msg);
+        }
+        if st.senders == 0 {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
+    }
+
+    /// Receive, blocking at most `timeout` while the channel is empty.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.chan.lock();
+        loop {
+            if let Some(msg) = st.queue.pop_front() {
+                self.chan.not_full.notify_one();
+                return Ok(msg);
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _) = self
+                .chan
+                .not_empty
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            st = guard;
+        }
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.chan.lock().queue.len()
+    }
+
+    /// Is the queue currently empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.chan.lock().senders += 1;
+        Sender {
+            chan: self.chan.clone(),
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.chan.lock().receivers += 1;
+        Receiver {
+            chan: self.chan.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.chan.lock();
+        st.senders -= 1;
+        if st.senders == 0 {
+            drop(st);
+            self.chan.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.chan.lock();
+        st.receivers -= 1;
+        if st.receivers == 0 {
+            drop(st);
+            self.chan.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn bounded_try_send_fills_up() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.try_send(3).unwrap();
+        assert_eq!(tx.len(), 2);
+    }
+
+    #[test]
+    fn disconnect_semantics() {
+        let (tx, rx) = unbounded::<u32>();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv(), Err(RecvError));
+
+        let (tx, rx) = unbounded::<u32>();
+        drop(rx);
+        assert_eq!(tx.send(9), Err(SendError(9)));
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (_tx, rx) = unbounded::<u32>();
+        let err = rx.recv_timeout(Duration::from_millis(10)).unwrap_err();
+        assert_eq!(err, RecvTimeoutError::Timeout);
+    }
+
+    #[test]
+    fn blocking_handoff_across_threads() {
+        let (tx, rx) = bounded(1);
+        let producer = thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        for _ in 0..100 {
+            got.push(rx.recv().unwrap());
+        }
+        producer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mpmc_all_messages_arrive_once() {
+        let (tx, rx) = bounded(4);
+        let mut producers = Vec::new();
+        for p in 0..4u64 {
+            let tx = tx.clone();
+            producers.push(thread::spawn(move || {
+                for i in 0..50 {
+                    tx.send(p * 1000 + i).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        let mut consumers = Vec::new();
+        for _ in 0..3 {
+            let rx = rx.clone();
+            consumers.push(thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Ok(v) = rx.recv() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        drop(rx);
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let mut expect: Vec<u64> = (0..4u64)
+            .flat_map(|p| (0..50).map(move |i| p * 1000 + i))
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(all, expect);
+    }
+}

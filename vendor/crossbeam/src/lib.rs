@@ -1,0 +1,82 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! The build environment has no crates.io access, so this vendors the two
+//! pieces the workspace uses:
+//!
+//! * [`scope`] — crossbeam-style scoped threads (spawn closures receive a
+//!   `&Scope` so they can spawn siblings), implemented safely on top of
+//!   `std::thread::scope`;
+//! * [`channel`] — a multi-producer multi-consumer channel (bounded or
+//!   unbounded) built on `Mutex` + `Condvar`, with the blocking,
+//!   non-blocking, and timeout send/receive operations `ks-server` needs
+//!   for its request queues and reply rendezvous.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+
+use std::any::Any;
+
+/// A scope handle: spawn threads that may borrow from the enclosing stack
+/// frame. Mirrors `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. The closure receives a scope handle so it
+    /// can spawn further siblings (crossbeam's signature).
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Create a scope for spawning borrowing threads; joins all of them before
+/// returning. Returns `Ok(result)` (a panic in a child propagates, as with
+/// `std::thread::scope`, so the error arm is never constructed — kept for
+/// crossbeam API compatibility, where callers `.unwrap()`).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_arg() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+}

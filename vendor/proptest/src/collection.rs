@@ -1,0 +1,76 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Acceptable size arguments for [`vec`]: an exact length, a half-open
+/// range, or an inclusive range.
+pub trait IntoSizeRange {
+    /// Lower and inclusive upper bound of the length.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl IntoSizeRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self)
+    }
+}
+
+impl IntoSizeRange for core::ops::Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty size range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start() <= self.end(), "empty size range");
+        (*self.start(), *self.end())
+    }
+}
+
+/// Strategy for `Vec<T>` with lengths drawn from `size`.
+pub fn vec<S: Strategy, R: IntoSizeRange>(element: S, size: R) -> VecStrategy<S> {
+    let (min, max) = size.bounds();
+    VecStrategy { element, min, max }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    min: usize,
+    max: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = if self.min == self.max {
+            self.min
+        } else {
+            self.min + rng.below((self.max - self.min + 1) as u64) as usize
+        };
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_respected() {
+        let mut rng = TestRng::from_seed(3);
+        let s = vec(0..100u32, 2..5usize);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!((2..=4).contains(&v.len()));
+        }
+        let exact = vec(0..10i64, 3usize);
+        assert_eq!(exact.sample(&mut rng).len(), 3);
+        let incl = vec(0..10i64, 1..=1usize);
+        assert_eq!(incl.sample(&mut rng).len(), 1);
+    }
+}

@@ -1,0 +1,12 @@
+//! The glob-import surface: `use proptest::prelude::*;`.
+
+pub use crate::arbitrary::any;
+pub use crate::strategy::{Just, Strategy};
+pub use crate::ProptestConfig;
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+/// The `prop::` module alias (`prop::collection::vec`, `prop::bool::ANY`).
+pub mod prop {
+    pub use crate::bool;
+    pub use crate::collection;
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace's `#[derive(Serialize, Deserialize)]` attributes are kept
+//! as declarations of intent (and so the code compiles unchanged when real
+//! serde is available again), but in this offline build they expand to
+//! nothing: persistence goes through hand-written wire codecs
+//! (`ks_protocol::wire`) instead of serde's generated impls.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive (accepts and ignores `#[serde(...)]` attrs).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive (accepts and ignores `#[serde(...)]` attrs).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
