@@ -7,8 +7,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ks_core::Specification;
 use ks_kernel::{Domain, EntityId, Schema, UniqueState};
 use ks_predicate::{Atom, Clause, CmpOp, Cnf};
-use ks_server::{ServerConfig, ServerError, TxnService};
+use ks_server::{MetricsSnapshot, ServerConfig, ServerError, TxnService};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 const CLIENTS: usize = 8;
 const ENTITIES: usize = 32;
@@ -91,7 +92,16 @@ fn run_service(shards: usize) -> u64 {
             });
         }
     });
-    let committed = svc.metrics().committed;
+    let snap = svc.metrics();
+    // One snapshot per shard count, in the columnar format shared with
+    // `exp_server_load` and `ks-top` (criterion runs this closure many
+    // times; print only the first).
+    static HEADER_SHOWN: AtomicBool = AtomicBool::new(false);
+    if !HEADER_SHOWN.swap(true, Ordering::Relaxed) {
+        eprintln!("{}", MetricsSnapshot::header());
+        eprintln!("{snap}");
+    }
+    let committed = snap.committed;
     drop(svc.shutdown());
     committed
 }

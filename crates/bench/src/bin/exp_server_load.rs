@@ -14,8 +14,9 @@
 
 use ks_core::Specification;
 use ks_kernel::{Domain, EntityId, Schema, UniqueState};
+use ks_obs::Recorder;
 use ks_predicate::{Atom, Clause, CmpOp, Cnf, Strategy};
-use ks_server::{verify_managers, ServerConfig, ServerError, Session, TxnService};
+use ks_server::{verify_managers, MetricsSnapshot, ServerConfig, ServerError, Session, TxnService};
 use ks_sim::{Workload, WorkloadSpec};
 use std::time::{Duration, Instant};
 
@@ -23,6 +24,9 @@ const CLIENTS: usize = 8;
 const TOTAL_ENTITIES: usize = 64;
 const TXNS_PER_CLIENT: usize = 12;
 const OPS_PER_TXN: usize = 6;
+/// Ring capacity (events per shard) for the tracing-overhead runs: big
+/// enough that a full run never wraps, so `recorded()` counts every event.
+const OVERHEAD_RING: usize = 1 << 16;
 /// Retries of a single transaction before the client gives up and aborts
 /// it (breaks assigned-version wait cycles under greedy assignment).
 const RETRY_BUDGET: u32 = 10_000;
@@ -40,13 +44,18 @@ struct RunResult {
     shards: usize,
     outcome: ClientOutcome,
     elapsed: Duration,
-    p50: Option<Duration>,
-    p99: Option<Duration>,
+    snap: MetricsSnapshot,
     re_evals: u64,
     re_assigns: u64,
     reeval_aborts: u64,
     cascade_aborts: u64,
     violations: usize,
+}
+
+impl RunResult {
+    fn throughput(&self) -> f64 {
+        self.outcome.committed as f64 / self.elapsed.as_secs_f64()
+    }
 }
 
 /// Tautological input over `entities` (placing them in the accessible set
@@ -163,7 +172,7 @@ fn run_client(svc: &TxnService, client: usize, shards: usize) -> ClientOutcome {
     out
 }
 
-fn run_one(shards: usize, strategy: Strategy) -> RunResult {
+fn run_one(shards: usize, strategy: Strategy, recorder: Option<Recorder>) -> RunResult {
     let schema = Schema::uniform(
         (0..TOTAL_ENTITIES).map(|i| format!("d{i}")),
         Domain::Range {
@@ -179,6 +188,7 @@ fn run_one(shards: usize, strategy: Strategy) -> RunResult {
             shards,
             max_sessions: CLIENTS,
             strategy,
+            recorder,
             ..ServerConfig::default()
         },
     );
@@ -213,8 +223,7 @@ fn run_one(shards: usize, strategy: Strategy) -> RunResult {
         shards,
         outcome,
         elapsed,
-        p50: snap.p50,
-        p99: snap.p99,
+        snap,
         re_evals: stats.iter().map(|s| s.re_evals).sum(),
         re_assigns: stats.iter().map(|s| s.re_assigns).sum(),
         reeval_aborts: stats.iter().map(|s| s.reeval_aborts).sum(),
@@ -228,25 +237,86 @@ fn micros(d: Option<Duration>) -> f64 {
 }
 
 fn row(r: &RunResult) -> String {
-    let thru = r.outcome.committed as f64 / r.elapsed.as_secs_f64();
     format!(
         "{:>6} {:>9} {:>7} {:>6} {:>11.0} {:>8.1} {:>8.1} {:>10}",
         r.shards,
         r.outcome.committed,
         r.outcome.aborted,
         r.outcome.busy_retries,
-        thru,
-        micros(r.p50),
-        micros(r.p99),
+        r.throughput(),
+        micros(r.snap.p50),
+        micros(r.snap.p99),
         r.violations,
     )
 }
 
+/// Tracing-overhead A/B: the identical workload with the flight recorder
+/// disabled vs. attached. Prints both throughputs, the event volume, and
+/// the relative delta; returns the violation count.
+fn tracing_overhead(shards: usize, reps: usize) -> usize {
+    println!(
+        "— tracing overhead at {shards} shards (flight recorder off vs. on, best of {reps}) —"
+    );
+    // Warm up caches/allocator so the A and B runs see the same machine.
+    let mut violations = run_one(shards, Strategy::Backtracking, None).violations;
+    let mut pick_best = |runs: Vec<(RunResult, Option<Recorder>)>| {
+        violations += runs.iter().map(|(r, _)| r.violations).sum::<usize>();
+        runs.into_iter()
+            .max_by(|a, b| a.0.throughput().total_cmp(&b.0.throughput()))
+            .expect("reps >= 1")
+    };
+    let (off, _) = pick_best(
+        (0..reps)
+            .map(|_| (run_one(shards, Strategy::Backtracking, None), None))
+            .collect(),
+    );
+    // Fresh recorder per rep so the event counts describe exactly one run.
+    let (on, recorder) = pick_best(
+        (0..reps)
+            .map(|_| {
+                let recorder = Recorder::new(OVERHEAD_RING);
+                (
+                    run_one(shards, Strategy::Backtracking, Some(recorder.clone())),
+                    Some(recorder),
+                )
+            })
+            .collect(),
+    );
+    let recorder = recorder.expect("on-runs carry a recorder");
+    let (thru_off, thru_on) = (off.throughput(), on.throughput());
+    let delta_pct = (thru_off - thru_on) / thru_off * 100.0;
+    let events = recorder.recorded();
+    let events_per_sec = events as f64 / on.elapsed.as_secs_f64();
+    println!(
+        "{:>9} {:>12} {:>11} {:>9} {:>12} {:>8}",
+        "tracing", "thru(txn/s)", "events", "dropped", "events/s", "delta"
+    );
+    println!(
+        "{:>9} {:>12.0} {:>11} {:>9} {:>12} {:>8}",
+        "off", thru_off, "-", "-", "-", "-"
+    );
+    println!(
+        "{:>9} {:>12.0} {:>11} {:>9} {:>12.0} {:>7.1}%",
+        "on",
+        thru_on,
+        events,
+        recorder.dropped(),
+        events_per_sec,
+        delta_pct
+    );
+    println!("\n  metrics snapshot of the traced run (shared Display format):");
+    println!("  {}", MetricsSnapshot::header());
+    println!("  {}", on.snap);
+    violations
+}
+
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
     println!("server-load — {CLIENTS} closed-loop clients over the sharded TxnService");
     println!(
         "{TXNS_PER_CLIENT} txns/client, {OPS_PER_TXN} ops/txn, {TOTAL_ENTITIES} entities, \
-         60% reads, hot-spot skew\n"
+         60% reads, hot-spot skew{}\n",
+        if smoke { " (smoke mode)" } else { "" }
     );
 
     let mut total_violations = 0usize;
@@ -256,40 +326,46 @@ fn main() {
         "{:>6} {:>9} {:>7} {:>6} {:>11} {:>8} {:>8} {:>10}",
         "shards", "committed", "aborted", "busy", "thru(txn/s)", "p50(µs)", "p99(µs)", "violations"
     );
-    for shards in [1usize, 2, 4, 8] {
-        let r = run_one(shards, Strategy::Backtracking);
+    let sweep: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    for &shards in sweep {
+        let r = run_one(shards, Strategy::Backtracking, None);
         total_violations += r.violations;
         println!("{}", row(&r));
     }
 
-    println!("\n— assignment strategy at 4 shards (protocol internals) —");
-    println!(
-        "{:>14} {:>9} {:>7} {:>8} {:>10} {:>13} {:>14}",
-        "strategy",
-        "committed",
-        "aborted",
-        "re_evals",
-        "re_assigns",
-        "reeval_aborts",
-        "cascade_aborts"
-    );
-    for (name, strategy) in [
-        ("backtracking", Strategy::Backtracking),
-        ("greedy-latest", Strategy::GreedyLatest),
-    ] {
-        let r = run_one(4, strategy);
-        total_violations += r.violations;
+    if !smoke {
+        println!("\n— assignment strategy at 4 shards (protocol internals) —");
         println!(
             "{:>14} {:>9} {:>7} {:>8} {:>10} {:>13} {:>14}",
-            name,
-            r.outcome.committed,
-            r.outcome.aborted,
-            r.re_evals,
-            r.re_assigns,
-            r.reeval_aborts,
-            r.cascade_aborts,
+            "strategy",
+            "committed",
+            "aborted",
+            "re_evals",
+            "re_assigns",
+            "reeval_aborts",
+            "cascade_aborts"
         );
+        for (name, strategy) in [
+            ("backtracking", Strategy::Backtracking),
+            ("greedy-latest", Strategy::GreedyLatest),
+        ] {
+            let r = run_one(4, strategy, None);
+            total_violations += r.violations;
+            println!(
+                "{:>14} {:>9} {:>7} {:>8} {:>10} {:>13} {:>14}",
+                name,
+                r.outcome.committed,
+                r.outcome.aborted,
+                r.re_evals,
+                r.re_assigns,
+                r.reeval_aborts,
+                r.cascade_aborts,
+            );
+        }
     }
+
+    println!();
+    total_violations += tracing_overhead(if smoke { 2 } else { 4 }, if smoke { 1 } else { 5 });
 
     println!();
     if total_violations == 0 {
@@ -299,6 +375,7 @@ fn main() {
         std::process::exit(1);
     }
     println!("expected shape: throughput grows with shard count (independent");
-    println!("managers), and greedy assignment trades re-eval aborts for reading");
-    println!("in-flight versions that backtracking never touches.");
+    println!("managers), greedy assignment trades re-eval aborts for reading");
+    println!("in-flight versions that backtracking never touches, and the");
+    println!("flight recorder costs well under 10% of throughput.");
 }

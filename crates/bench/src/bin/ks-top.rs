@@ -1,0 +1,279 @@
+//! `ks-top`: a live text dashboard over a running `TxnService`.
+//!
+//! Embeds a sharded service plus a handful of closed-loop load threads,
+//! then renders a refreshing terminal view the way `top(1)` does: one
+//! frame per interval showing throughput, the shared [`MetricsSnapshot`]
+//! row, per-shard latency quantiles and queue depths, flight-recorder
+//! volume, and the most recent protocol *decision* events (version
+//! assignments, re-evals, cascade edges) drained from the rings.
+//!
+//! The run is finite — `--frames N` frames at `--interval-ms M` — so the
+//! binary doubles as a smoke test: after the last frame the load stops,
+//! the service shuts down, and every shard manager is model-checked.
+//! `--plain` suppresses the ANSI clear-screen for logs and CI.
+
+use ks_core::Specification;
+use ks_kernel::{Domain, EntityId, Schema, UniqueState};
+use ks_obs::{event_to_json, ObsEvent, ObsKind, Recorder};
+use ks_predicate::{Atom, Clause, CmpOp, Cnf, Strategy};
+use ks_server::metrics::fmt_duration;
+use ks_server::{verify_with_dump, MetricsSnapshot, ServerConfig, ServerError, TxnService};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+const CLIENTS: usize = 6;
+const SHARDS: usize = 4;
+const ENTITIES: usize = 32;
+const RING_CAPACITY: usize = 1 << 14;
+/// Decision events kept for the "recent decisions" panel.
+const RECENT: usize = 8;
+
+struct Options {
+    frames: usize,
+    interval: Duration,
+    plain: bool,
+}
+
+fn parse_options() -> Options {
+    let mut opts = Options {
+        frames: 10,
+        interval: Duration::from_millis(500),
+        plain: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut number = |name: &str| -> u64 {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{name} needs a number"))
+        };
+        match arg.as_str() {
+            "--frames" => opts.frames = number("--frames") as usize,
+            "--interval-ms" => opts.interval = Duration::from_millis(number("--interval-ms")),
+            "--plain" => opts.plain = true,
+            other => panic!("unknown flag {other} (try --frames N --interval-ms M --plain)"),
+        }
+    }
+    opts
+}
+
+fn tautology_spec(entities: &[EntityId]) -> Specification {
+    Specification::new(
+        Cnf::new(
+            entities
+                .iter()
+                .map(|&e| Clause::unit(Atom::cmp_const(e, CmpOp::Ge, i64::MIN / 2)))
+                .collect(),
+        ),
+        Cnf::truth(),
+    )
+}
+
+/// One closed-loop client: read-modify-write over its home shard's
+/// entities until `stop` flips. Greedy assignment plus shared entities
+/// keep the decision panels busy (re-evals, re-assigns, aborts).
+fn run_client(svc: &TxnService, client: usize, stop: &AtomicBool) {
+    let Ok(session) = svc.session() else { return };
+    let home = client % SHARDS;
+    let entities: Vec<EntityId> = (0..ENTITIES / SHARDS)
+        .map(|i| EntityId((i * SHARDS + home) as u32))
+        .collect();
+    let mut round = 0usize;
+    while !stop.load(Ordering::Relaxed) {
+        round += 1;
+        // Two entities per txn: a hot one (contended with the other
+        // client on this shard) and a rotating cold one.
+        let hot = entities[0];
+        let cold = entities[1 + round % (entities.len() - 1)];
+        let spec = tautology_spec(&[hot, cold]);
+        let txn = match session.define(&spec) {
+            Ok(t) => t,
+            Err(ServerError::Busy) | Err(ServerError::Backpressure) => {
+                std::thread::yield_now();
+                continue;
+            }
+            Err(_) => return,
+        };
+        let step = || -> Result<(), ServerError> {
+            loop {
+                match session.validate(txn) {
+                    Ok(()) => break,
+                    Err(ServerError::Busy) | Err(ServerError::Backpressure) => {
+                        if stop.load(Ordering::Relaxed) {
+                            return Err(ServerError::Shutdown);
+                        }
+                        std::thread::yield_now();
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            session.read(txn, hot)?;
+            session.write(txn, cold, (client * 1000 + round) as i64)?;
+            loop {
+                match session.commit(txn) {
+                    Ok(()) => return Ok(()),
+                    Err(ServerError::Busy) | Err(ServerError::Backpressure) => {
+                        if stop.load(Ordering::Relaxed) {
+                            return Err(ServerError::Shutdown);
+                        }
+                        std::thread::yield_now();
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        };
+        match step() {
+            Ok(()) => {}
+            Err(ServerError::Shutdown) => {
+                let _ = session.abort(txn);
+                return;
+            }
+            Err(_) => {
+                let _ = session.abort(txn);
+            }
+        }
+    }
+}
+
+fn is_decision(kind: &ObsKind) -> bool {
+    matches!(
+        kind,
+        ObsKind::VersionAssigned { .. }
+            | ObsKind::ValidationUnsat { .. }
+            | ObsKind::ReEvalTriggered { .. }
+            | ObsKind::ReAssigned { .. }
+            | ObsKind::ReEvalAbort { .. }
+            | ObsKind::ReassignFailed { .. }
+            | ObsKind::CascadeEdge { .. }
+    )
+}
+
+struct FrameState {
+    last: Instant,
+    last_committed: u64,
+    last_events: u64,
+    recent: Vec<ObsEvent>,
+}
+
+fn render(
+    frame: usize,
+    opts: &Options,
+    snap: &MetricsSnapshot,
+    recorder: &Recorder,
+    state: &mut FrameState,
+) {
+    let now = Instant::now();
+    let dt = now.duration_since(state.last).as_secs_f64().max(1e-9);
+    let recorded = recorder.recorded();
+    let throughput = (snap.committed - state.last_committed) as f64 / dt;
+    let event_rate = (recorded - state.last_events) as f64 / dt;
+    state.last = now;
+    state.last_committed = snap.committed;
+    state.last_events = recorded;
+
+    // Fold freshly drained decision events into the recent panel; the
+    // drain also keeps the rings from wrapping between frames.
+    for ev in recorder.drain() {
+        if is_decision(&ev.kind) {
+            state.recent.push(ev);
+        }
+    }
+    let overflow = state.recent.len().saturating_sub(RECENT);
+    state.recent.drain(..overflow);
+
+    if !opts.plain {
+        print!("\x1b[2J\x1b[H");
+    }
+    println!(
+        "ks-top — frame {}/{} — {CLIENTS} clients, {SHARDS} shards, {ENTITIES} entities",
+        frame + 1,
+        opts.frames
+    );
+    println!(
+        "throughput {throughput:>8.0} txn/s    events {event_rate:>8.0}/s    \
+         recorded {recorded}    dropped {}",
+        recorder.dropped()
+    );
+    println!();
+    println!("{}", MetricsSnapshot::header());
+    println!("{snap}");
+    println!();
+    println!("{:>6} {:>10} {:>10} {:>7}", "shard", "p50", "p99", "queue");
+    for shard in 0..snap.shard_p50.len() {
+        println!(
+            "{:>6} {:>10} {:>10} {:>7}",
+            shard,
+            fmt_duration(snap.shard_p50[shard]),
+            fmt_duration(snap.shard_p99[shard]),
+            snap.queue_depths.get(shard).copied().unwrap_or(0),
+        );
+    }
+    println!();
+    println!("recent protocol decisions:");
+    if state.recent.is_empty() {
+        println!("  (none yet)");
+    }
+    for ev in &state.recent {
+        println!("  {}", event_to_json(ev));
+    }
+}
+
+fn main() {
+    let opts = parse_options();
+    let schema = Schema::uniform(
+        (0..ENTITIES).map(|i| format!("d{i}")),
+        Domain::Range {
+            min: i64::MIN / 2,
+            max: i64::MAX / 2,
+        },
+    );
+    let initial = UniqueState::constant(ENTITIES, 0);
+    let recorder = Recorder::new(RING_CAPACITY);
+    let svc = TxnService::new(
+        schema,
+        &initial,
+        ServerConfig {
+            shards: SHARDS,
+            max_sessions: CLIENTS,
+            strategy: Strategy::GreedyLatest,
+            recorder: Some(recorder.clone()),
+            ..ServerConfig::default()
+        },
+    );
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let (svc, stop) = (&svc, &stop);
+            scope.spawn(move || run_client(svc, client, stop));
+        }
+        let mut state = FrameState {
+            last: Instant::now(),
+            last_committed: 0,
+            last_events: 0,
+            recent: Vec::new(),
+        };
+        for frame in 0..opts.frames {
+            std::thread::sleep(opts.interval);
+            let snap = svc.metrics();
+            render(frame, &opts, &snap, &recorder, &mut state);
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let managers = svc.shutdown();
+    let (report, dump) = verify_with_dump(&managers, &recorder);
+    println!();
+    if report.is_correct() {
+        println!(
+            "shutdown clean: {} committed transactions model-check correct",
+            report.committed
+        );
+    } else {
+        if let Some(dump) = dump {
+            eprintln!("{}", dump.summary);
+        }
+        eprintln!("model check FAILED: {} violations", report.violations.len());
+        std::process::exit(1);
+    }
+}

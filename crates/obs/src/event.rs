@@ -1,0 +1,469 @@
+//! The typed event model.
+//!
+//! Events are deliberately flat and integer-valued so one event packs into
+//! five `u64` words (see [`ObsEvent::pack`]) and the recording hot path
+//! never allocates. Ids are raw integers, not the typed ids of the other
+//! crates, so `ks-obs` sits at the bottom of the dependency DAG and every
+//! layer (protocol, server, sim) can emit into the same stream.
+
+/// Sentinel for "no transaction" (service-level events).
+pub const NO_TXN: u32 = u32::MAX;
+
+/// Which service operation a lifecycle event refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpCode {
+    /// `define` — create a transaction.
+    Define,
+    /// `validate` — version assignment.
+    Validate,
+    /// `read`.
+    Read,
+    /// `write`.
+    Write,
+    /// `commit`.
+    Commit,
+    /// `abort`.
+    Abort,
+    /// statistics snapshot.
+    Stats,
+}
+
+impl OpCode {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpCode::Define => "define",
+            OpCode::Validate => "validate",
+            OpCode::Read => "read",
+            OpCode::Write => "write",
+            OpCode::Commit => "commit",
+            OpCode::Abort => "abort",
+            OpCode::Stats => "stats",
+        }
+    }
+
+    fn code(self) -> u32 {
+        match self {
+            OpCode::Define => 0,
+            OpCode::Validate => 1,
+            OpCode::Read => 2,
+            OpCode::Write => 3,
+            OpCode::Commit => 4,
+            OpCode::Abort => 5,
+            OpCode::Stats => 6,
+        }
+    }
+
+    fn from_code(c: u32) -> Option<OpCode> {
+        Some(match c {
+            0 => OpCode::Define,
+            1 => OpCode::Validate,
+            2 => OpCode::Read,
+            3 => OpCode::Write,
+            4 => OpCode::Commit,
+            5 => OpCode::Abort,
+            6 => OpCode::Stats,
+            _ => return None,
+        })
+    }
+
+    /// Parse a wire name.
+    pub fn from_name(s: &str) -> Option<OpCode> {
+        Some(match s {
+            "define" => OpCode::Define,
+            "validate" => OpCode::Validate,
+            "read" => OpCode::Read,
+            "write" => OpCode::Write,
+            "commit" => OpCode::Commit,
+            "abort" => OpCode::Abort,
+            "stats" => OpCode::Stats,
+            _ => return None,
+        })
+    }
+}
+
+/// What happened. The taxonomy covers the three layers that emit:
+///
+/// * **request lifecycle** (server): [`ObsKind::Enqueue`] when a session
+///   posts a request, [`ObsKind::Execute`] when the shard worker dequeues
+///   it (carrying the queue wait), [`ObsKind::Reply`] when the worker
+///   finishes (carrying the execute time);
+/// * **transaction lifecycle** (protocol): begin / validated / committed /
+///   aborted, plus session admission at the service edge;
+/// * **protocol decisions** (the Figure 3/4 machinery): how many candidate
+///   versions were considered per entity, which version was assigned (and
+///   whether it was forced by a test hook), which CNF clause made a
+///   validation unsatisfiable, each re-eval trigger, each re-assign /
+///   re-eval abort, and each cascade edge (doomed author → dependent
+///   sibling);
+/// * **simulation ops** (sim): the bridged `TraceEvent` stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObsKind {
+    /// A session was admitted by the service.
+    SessionAdmit,
+    /// A session was shed by admission control.
+    SessionShed,
+    /// A session posted a request onto a shard queue.
+    Enqueue {
+        /// The operation.
+        op: OpCode,
+    },
+    /// The shard worker dequeued a request.
+    Execute {
+        /// The operation.
+        op: OpCode,
+        /// Nanoseconds the request sat in the shard queue.
+        queue_ns: u64,
+    },
+    /// The shard worker finished a request.
+    Reply {
+        /// The operation.
+        op: OpCode,
+        /// Did the call succeed (`Ok`)?
+        ok: bool,
+        /// Nanoseconds spent executing (dequeue → reply).
+        exec_ns: u64,
+    },
+    /// A transaction was defined.
+    TxnBegin,
+    /// A transaction passed validation (versions assigned).
+    TxnValidated,
+    /// A transaction committed.
+    TxnCommitted,
+    /// A transaction aborted (explicitly, by re-eval, or by cascade).
+    TxnAborted,
+    /// Validation considered a candidate version set for one entity.
+    CandidatesConsidered {
+        /// The entity (shard-local id).
+        entity: u32,
+        /// Number of allowed candidate versions.
+        count: u32,
+    },
+    /// A version was assigned to a transaction's input set.
+    VersionAssigned {
+        /// The entity.
+        entity: u32,
+        /// The assigned version's index in the entity's chain.
+        version: u32,
+        /// True when injected by the `force_assign` test hook rather than
+        /// chosen by the solver — the smoking gun in a violation dump.
+        forced: bool,
+    },
+    /// Validation found no satisfying assignment. `clause` is the index of
+    /// the first input-CNF clause no candidate combination can satisfy, or
+    /// `u32::MAX` when every clause is individually satisfiable and the
+    /// conflict is cross-clause.
+    ValidationUnsat {
+        /// Failing clause index (`u32::MAX` = cross-clause conflict).
+        clause: u32,
+    },
+    /// A write triggered the Figure 4 re-eval procedure.
+    ReEvalTriggered {
+        /// The written entity.
+        entity: u32,
+        /// The new version's index in the entity's chain.
+        version: u32,
+    },
+    /// Re-eval salvaged a holder by re-assignment.
+    ReAssigned {
+        /// The salvaged sibling.
+        holder: u32,
+        /// The entity whose version went stale.
+        entity: u32,
+    },
+    /// Re-eval aborted a holder that had already read the stale version.
+    ReEvalAbort {
+        /// The aborted sibling.
+        holder: u32,
+        /// The entity whose version went stale.
+        entity: u32,
+    },
+    /// Re-assignment failed and the holder was aborted.
+    ReassignFailed {
+        /// The aborted sibling.
+        holder: u32,
+        /// The entity whose version went stale.
+        entity: u32,
+    },
+    /// An abort cascaded: `from`'s doomed versions forced `to` down.
+    CascadeEdge {
+        /// The transaction whose versions are doomed.
+        from: u32,
+        /// The dependent sibling that was aborted or re-assigned.
+        to: u32,
+        /// The entity carrying the dependency.
+        entity: u32,
+    },
+    /// Simulation: transaction (re)started.
+    SimBegin,
+    /// Simulation: a read executed.
+    SimRead {
+        /// The entity.
+        entity: u32,
+    },
+    /// Simulation: a write executed.
+    SimWrite {
+        /// The entity.
+        entity: u32,
+    },
+    /// Simulation: commit.
+    SimCommit,
+    /// Simulation: abort.
+    SimAbort,
+}
+
+impl ObsKind {
+    /// Stable wire name (also the JSONL `kind` field).
+    pub fn name(self) -> &'static str {
+        match self {
+            ObsKind::SessionAdmit => "session_admit",
+            ObsKind::SessionShed => "session_shed",
+            ObsKind::Enqueue { .. } => "enqueue",
+            ObsKind::Execute { .. } => "execute",
+            ObsKind::Reply { .. } => "reply",
+            ObsKind::TxnBegin => "txn_begin",
+            ObsKind::TxnValidated => "txn_validated",
+            ObsKind::TxnCommitted => "txn_committed",
+            ObsKind::TxnAborted => "txn_aborted",
+            ObsKind::CandidatesConsidered { .. } => "candidates_considered",
+            ObsKind::VersionAssigned { .. } => "version_assigned",
+            ObsKind::ValidationUnsat { .. } => "validation_unsat",
+            ObsKind::ReEvalTriggered { .. } => "re_eval_triggered",
+            ObsKind::ReAssigned { .. } => "re_assigned",
+            ObsKind::ReEvalAbort { .. } => "re_eval_abort",
+            ObsKind::ReassignFailed { .. } => "reassign_failed",
+            ObsKind::CascadeEdge { .. } => "cascade_edge",
+            ObsKind::SimBegin => "sim_begin",
+            ObsKind::SimRead { .. } => "sim_read",
+            ObsKind::SimWrite { .. } => "sim_write",
+            ObsKind::SimCommit => "sim_commit",
+            ObsKind::SimAbort => "sim_abort",
+        }
+    }
+
+    /// `(tag, a, b, c)` — the packed payload.
+    fn fields(self) -> (u32, u32, u32, u64) {
+        match self {
+            ObsKind::SessionAdmit => (0, 0, 0, 0),
+            ObsKind::SessionShed => (1, 0, 0, 0),
+            ObsKind::Enqueue { op } => (2, op.code(), 0, 0),
+            ObsKind::Execute { op, queue_ns } => (3, op.code(), 0, queue_ns),
+            ObsKind::Reply { op, ok, exec_ns } => (4, op.code(), ok as u32, exec_ns),
+            ObsKind::TxnBegin => (5, 0, 0, 0),
+            ObsKind::TxnValidated => (6, 0, 0, 0),
+            ObsKind::TxnCommitted => (7, 0, 0, 0),
+            ObsKind::TxnAborted => (8, 0, 0, 0),
+            ObsKind::CandidatesConsidered { entity, count } => (9, entity, count, 0),
+            ObsKind::VersionAssigned {
+                entity,
+                version,
+                forced,
+            } => (10, entity, version, forced as u64),
+            ObsKind::ValidationUnsat { clause } => (11, clause, 0, 0),
+            ObsKind::ReEvalTriggered { entity, version } => (12, entity, version, 0),
+            ObsKind::ReAssigned { holder, entity } => (13, holder, entity, 0),
+            ObsKind::ReEvalAbort { holder, entity } => (14, holder, entity, 0),
+            ObsKind::ReassignFailed { holder, entity } => (15, holder, entity, 0),
+            ObsKind::CascadeEdge { from, to, entity } => (16, from, to, entity as u64),
+            ObsKind::SimBegin => (17, 0, 0, 0),
+            ObsKind::SimRead { entity } => (18, entity, 0, 0),
+            ObsKind::SimWrite { entity } => (19, entity, 0, 0),
+            ObsKind::SimCommit => (20, 0, 0, 0),
+            ObsKind::SimAbort => (21, 0, 0, 0),
+        }
+    }
+
+    fn from_fields(tag: u32, a: u32, b: u32, c: u64) -> Option<ObsKind> {
+        Some(match tag {
+            0 => ObsKind::SessionAdmit,
+            1 => ObsKind::SessionShed,
+            2 => ObsKind::Enqueue {
+                op: OpCode::from_code(a)?,
+            },
+            3 => ObsKind::Execute {
+                op: OpCode::from_code(a)?,
+                queue_ns: c,
+            },
+            4 => ObsKind::Reply {
+                op: OpCode::from_code(a)?,
+                ok: b != 0,
+                exec_ns: c,
+            },
+            5 => ObsKind::TxnBegin,
+            6 => ObsKind::TxnValidated,
+            7 => ObsKind::TxnCommitted,
+            8 => ObsKind::TxnAborted,
+            9 => ObsKind::CandidatesConsidered {
+                entity: a,
+                count: b,
+            },
+            10 => ObsKind::VersionAssigned {
+                entity: a,
+                version: b,
+                forced: c != 0,
+            },
+            11 => ObsKind::ValidationUnsat { clause: a },
+            12 => ObsKind::ReEvalTriggered {
+                entity: a,
+                version: b,
+            },
+            13 => ObsKind::ReAssigned {
+                holder: a,
+                entity: b,
+            },
+            14 => ObsKind::ReEvalAbort {
+                holder: a,
+                entity: b,
+            },
+            15 => ObsKind::ReassignFailed {
+                holder: a,
+                entity: b,
+            },
+            16 => ObsKind::CascadeEdge {
+                from: a,
+                to: b,
+                entity: c as u32,
+            },
+            17 => ObsKind::SimBegin,
+            18 => ObsKind::SimRead { entity: a },
+            19 => ObsKind::SimWrite { entity: a },
+            20 => ObsKind::SimCommit,
+            21 => ObsKind::SimAbort,
+            _ => return None,
+        })
+    }
+}
+
+/// One recorded event: a timestamp, a source coordinate, and a kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsEvent {
+    /// Nanoseconds since the recorder's epoch (simulation ticks for
+    /// bridged sim events — the streams are merged by value, so bridge
+    /// one source at a time or treat `ts` as per-layer).
+    pub ts: u64,
+    /// The shard (or `u32::MAX` for unsharded sources).
+    pub shard: u32,
+    /// The acting transaction's shard-local index, or [`NO_TXN`].
+    pub txn: u32,
+    /// What happened.
+    pub kind: ObsKind,
+}
+
+impl ObsEvent {
+    /// Pack into five words for the ring buffer.
+    pub fn pack(&self) -> [u64; 5] {
+        let (tag, a, b, c) = self.kind.fields();
+        [
+            self.ts,
+            (u64::from(self.shard) << 32) | u64::from(self.txn),
+            (u64::from(tag) << 32) | u64::from(a),
+            u64::from(b),
+            c,
+        ]
+    }
+
+    /// Unpack five words; `None` when the tag is unknown (e.g. a torn or
+    /// zero-initialized slot).
+    pub fn unpack(words: [u64; 5]) -> Option<ObsEvent> {
+        let kind = ObsKind::from_fields(
+            (words[2] >> 32) as u32,
+            words[2] as u32,
+            words[3] as u32,
+            words[4],
+        )?;
+        Some(ObsEvent {
+            ts: words[0],
+            shard: (words[1] >> 32) as u32,
+            txn: words[1] as u32,
+            kind,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn all_kinds() -> Vec<ObsKind> {
+        vec![
+            ObsKind::SessionAdmit,
+            ObsKind::SessionShed,
+            ObsKind::Enqueue { op: OpCode::Define },
+            ObsKind::Execute {
+                op: OpCode::Validate,
+                queue_ns: 12_345,
+            },
+            ObsKind::Reply {
+                op: OpCode::Commit,
+                ok: true,
+                exec_ns: 99,
+            },
+            ObsKind::Reply {
+                op: OpCode::Abort,
+                ok: false,
+                exec_ns: 0,
+            },
+            ObsKind::TxnBegin,
+            ObsKind::TxnValidated,
+            ObsKind::TxnCommitted,
+            ObsKind::TxnAborted,
+            ObsKind::CandidatesConsidered {
+                entity: 3,
+                count: 17,
+            },
+            ObsKind::VersionAssigned {
+                entity: 1,
+                version: 4,
+                forced: true,
+            },
+            ObsKind::ValidationUnsat { clause: 2 },
+            ObsKind::ValidationUnsat { clause: u32::MAX },
+            ObsKind::ReEvalTriggered {
+                entity: 0,
+                version: 7,
+            },
+            ObsKind::ReAssigned {
+                holder: 2,
+                entity: 0,
+            },
+            ObsKind::ReEvalAbort {
+                holder: 5,
+                entity: 1,
+            },
+            ObsKind::ReassignFailed {
+                holder: 6,
+                entity: 2,
+            },
+            ObsKind::CascadeEdge {
+                from: 1,
+                to: 9,
+                entity: 3,
+            },
+            ObsKind::SimBegin,
+            ObsKind::SimRead { entity: 8 },
+            ObsKind::SimWrite { entity: 9 },
+            ObsKind::SimCommit,
+            ObsKind::SimAbort,
+        ]
+    }
+
+    #[test]
+    fn pack_round_trips_every_kind() {
+        for (i, kind) in all_kinds().into_iter().enumerate() {
+            let ev = ObsEvent {
+                ts: 1_000 + i as u64,
+                shard: i as u32,
+                txn: if i % 3 == 0 { NO_TXN } else { i as u32 },
+                kind,
+            };
+            assert_eq!(ObsEvent::unpack(ev.pack()), Some(ev), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn zeroed_slot_is_a_session_admit_tag_but_unknown_tag_is_none() {
+        // A zeroed slot decodes as tag 0; rings guard against this with
+        // the seq field, not the payload. Unknown tags still fail closed.
+        assert!(ObsEvent::unpack([0, 0, u64::from(u32::MAX) << 32, 0, 0]).is_none());
+    }
+}

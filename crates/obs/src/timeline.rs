@@ -1,0 +1,208 @@
+//! Causal stitching: from a flat event stream to per-transaction
+//! timelines.
+//!
+//! A drained flight-recorder stream interleaves every thread's events.
+//! What a human debugging a violation needs is the *story of one
+//! transaction*: the decisions that led to the bad state, in order, with
+//! the cross-transaction edges (re-eval, cascade) attached to both ends.
+//! [`stitch`] produces exactly that — events are grouped by
+//! `(shard, txn)`, and decision events that name another transaction
+//! (re-assign, re-eval abort, cascade edges) are mirrored into the named
+//! transaction's timeline too, so either side of the causal edge tells the
+//! whole story.
+
+use crate::event::{ObsEvent, ObsKind, NO_TXN};
+use std::collections::BTreeMap;
+
+/// The stitched history of one transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxnTimeline {
+    /// The shard the transaction ran on.
+    pub shard: u32,
+    /// The shard-local transaction index.
+    pub txn: u32,
+    /// Events touching this transaction, in timestamp order. Includes
+    /// events *emitted by* the transaction and decision events emitted by
+    /// siblings that *name* it (the mirrored causal edges).
+    pub events: Vec<ObsEvent>,
+}
+
+impl TxnTimeline {
+    /// The last protocol-decision event, if any — in a violation dump this
+    /// is the decision that produced the bad state (forced assignments
+    /// rank above ordinary ones, since a forced assignment is by
+    /// construction the injected cause).
+    pub fn causal_decision(&self) -> Option<&ObsEvent> {
+        self.events
+            .iter()
+            .rev()
+            .find(|e| matches!(e.kind, ObsKind::VersionAssigned { forced: true, .. }))
+            .or_else(|| {
+                self.events.iter().rev().find(|e| {
+                    matches!(
+                        e.kind,
+                        ObsKind::VersionAssigned { .. }
+                            | ObsKind::ValidationUnsat { .. }
+                            | ObsKind::ReEvalTriggered { .. }
+                            | ObsKind::ReAssigned { .. }
+                            | ObsKind::ReEvalAbort { .. }
+                            | ObsKind::ReassignFailed { .. }
+                            | ObsKind::CascadeEdge { .. }
+                    )
+                })
+            })
+    }
+
+    /// One-line human summary: `shard 0 txn 3: begin → validated →
+    /// committed (12 events)`.
+    pub fn summary(&self) -> String {
+        let mut phases: Vec<&'static str> = Vec::new();
+        for e in &self.events {
+            let p = match e.kind {
+                ObsKind::TxnBegin => "begin",
+                ObsKind::TxnValidated => "validated",
+                ObsKind::TxnCommitted => "committed",
+                ObsKind::TxnAborted => "aborted",
+                _ => continue,
+            };
+            if phases.last() != Some(&p) {
+                phases.push(p);
+            }
+        }
+        format!(
+            "shard {} txn {}: {} ({} events)",
+            self.shard,
+            self.txn,
+            if phases.is_empty() {
+                "(no lifecycle events)".to_string()
+            } else {
+                phases.join(" → ")
+            },
+            self.events.len()
+        )
+    }
+}
+
+/// Which *other* transactions (same shard) an event names — the targets a
+/// causal edge should be mirrored to.
+fn named_peers(kind: ObsKind) -> [Option<u32>; 2] {
+    match kind {
+        ObsKind::ReAssigned { holder, .. }
+        | ObsKind::ReEvalAbort { holder, .. }
+        | ObsKind::ReassignFailed { holder, .. } => [Some(holder), None],
+        ObsKind::CascadeEdge { from, to, .. } => [Some(from), Some(to)],
+        _ => [None, None],
+    }
+}
+
+/// Group a flat stream into per-transaction timelines (sorted by shard,
+/// then transaction index). Events with `txn == NO_TXN` (service-level)
+/// are dropped; decision events naming a peer are mirrored into the
+/// peer's timeline.
+pub fn stitch(events: &[ObsEvent]) -> Vec<TxnTimeline> {
+    let mut by_txn: BTreeMap<(u32, u32), Vec<ObsEvent>> = BTreeMap::new();
+    for ev in events {
+        let mut targets: Vec<u32> = Vec::with_capacity(3);
+        if ev.txn != NO_TXN {
+            targets.push(ev.txn);
+        }
+        for peer in named_peers(ev.kind).into_iter().flatten() {
+            if !targets.contains(&peer) {
+                targets.push(peer);
+            }
+        }
+        for t in targets {
+            by_txn.entry((ev.shard, t)).or_default().push(*ev);
+        }
+    }
+    by_txn
+        .into_iter()
+        .map(|((shard, txn), mut events)| {
+            events.sort_by_key(|e| e.ts);
+            TxnTimeline { shard, txn, events }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: u64, txn: u32, kind: ObsKind) -> ObsEvent {
+        ObsEvent {
+            ts,
+            shard: 0,
+            txn,
+            kind,
+        }
+    }
+
+    #[test]
+    fn groups_and_mirrors_causal_edges() {
+        let events = vec![
+            ev(1, 1, ObsKind::TxnBegin),
+            ev(2, 2, ObsKind::TxnBegin),
+            ev(
+                3,
+                2,
+                ObsKind::ReEvalTriggered {
+                    entity: 0,
+                    version: 1,
+                },
+            ),
+            // Txn 2's write aborts holder 1: must appear in both timelines.
+            ev(
+                4,
+                2,
+                ObsKind::ReEvalAbort {
+                    holder: 1,
+                    entity: 0,
+                },
+            ),
+            ev(5, 1, ObsKind::TxnAborted),
+            ev(6, 2, ObsKind::TxnCommitted),
+        ];
+        let timelines = stitch(&events);
+        assert_eq!(timelines.len(), 2);
+        let t1 = &timelines[0];
+        assert_eq!((t1.shard, t1.txn), (0, 1));
+        assert!(t1
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, ObsKind::ReEvalAbort { holder: 1, .. })));
+        assert_eq!(t1.summary(), "shard 0 txn 1: begin → aborted (3 events)");
+        let t2 = &timelines[1];
+        assert!(matches!(
+            t2.causal_decision().unwrap().kind,
+            ObsKind::ReEvalAbort { .. }
+        ));
+    }
+
+    #[test]
+    fn forced_assignment_outranks_later_decisions() {
+        let events = vec![
+            ev(
+                1,
+                1,
+                ObsKind::VersionAssigned {
+                    entity: 0,
+                    version: 2,
+                    forced: true,
+                },
+            ),
+            ev(
+                2,
+                1,
+                ObsKind::ReEvalTriggered {
+                    entity: 1,
+                    version: 0,
+                },
+            ),
+        ];
+        let timelines = stitch(&events);
+        assert!(matches!(
+            timelines[0].causal_decision().unwrap().kind,
+            ObsKind::VersionAssigned { forced: true, .. }
+        ));
+    }
+}

@@ -1,0 +1,122 @@
+//! JSONL wire round-trip: every event kind survives encode → decode
+//! exactly, through both the packed ring representation and the JSONL
+//! text format. This is the CI gate `scripts/check.sh` runs by name.
+
+use ks_obs::{event_from_json, event_to_json, from_jsonl, to_jsonl, ObsEvent, ObsKind, OpCode};
+
+/// One event of every kind, with payload values that exercise edge cases
+/// (zero, `u32::MAX` sentinels, large ns counts, both booleans).
+fn corpus() -> Vec<ObsEvent> {
+    let kinds = vec![
+        ObsKind::SessionAdmit,
+        ObsKind::SessionShed,
+        ObsKind::Enqueue { op: OpCode::Define },
+        ObsKind::Enqueue { op: OpCode::Stats },
+        ObsKind::Execute {
+            op: OpCode::Validate,
+            queue_ns: u64::MAX / 2,
+        },
+        ObsKind::Reply {
+            op: OpCode::Write,
+            ok: true,
+            exec_ns: 1,
+        },
+        ObsKind::Reply {
+            op: OpCode::Read,
+            ok: false,
+            exec_ns: 0,
+        },
+        ObsKind::TxnBegin,
+        ObsKind::TxnValidated,
+        ObsKind::TxnCommitted,
+        ObsKind::TxnAborted,
+        ObsKind::CandidatesConsidered {
+            entity: 0,
+            count: u32::MAX,
+        },
+        ObsKind::VersionAssigned {
+            entity: 7,
+            version: 0,
+            forced: true,
+        },
+        ObsKind::VersionAssigned {
+            entity: 7,
+            version: 3,
+            forced: false,
+        },
+        ObsKind::ValidationUnsat { clause: 5 },
+        ObsKind::ValidationUnsat { clause: u32::MAX },
+        ObsKind::ReEvalTriggered {
+            entity: 2,
+            version: 9,
+        },
+        ObsKind::ReAssigned {
+            holder: 4,
+            entity: 2,
+        },
+        ObsKind::ReEvalAbort {
+            holder: 1,
+            entity: 0,
+        },
+        ObsKind::ReassignFailed {
+            holder: 3,
+            entity: 1,
+        },
+        ObsKind::CascadeEdge {
+            from: 2,
+            to: 6,
+            entity: 0,
+        },
+        ObsKind::SimBegin,
+        ObsKind::SimRead { entity: 11 },
+        ObsKind::SimWrite { entity: 12 },
+        ObsKind::SimCommit,
+        ObsKind::SimAbort,
+    ];
+    kinds
+        .into_iter()
+        .enumerate()
+        .map(|(i, kind)| ObsEvent {
+            ts: i as u64 * 1_000_003,
+            shard: (i % 5) as u32,
+            txn: if i % 7 == 0 { u32::MAX } else { i as u32 },
+            kind,
+        })
+        .collect()
+}
+
+#[test]
+fn jsonl_round_trips_every_kind() {
+    let events = corpus();
+    let text = to_jsonl(&events);
+    let back = from_jsonl(&text).expect("decode");
+    assert_eq!(events, back);
+}
+
+#[test]
+fn single_lines_round_trip() {
+    for ev in corpus() {
+        let line = event_to_json(&ev);
+        assert_eq!(event_from_json(1, &line).expect(&line), ev, "{line}");
+    }
+}
+
+#[test]
+fn packed_and_jsonl_agree() {
+    // Ring packing and JSONL are two encodings of the same event; going
+    // through either must yield the same value.
+    for ev in corpus() {
+        let via_pack = ObsEvent::unpack(ev.pack()).expect("pack");
+        let via_json = event_from_json(1, &event_to_json(&ev)).expect("json");
+        assert_eq!(via_pack, via_json);
+    }
+}
+
+#[test]
+fn decode_reports_line_numbers() {
+    let mut text = to_jsonl(&corpus());
+    text.push_str("{\"ts\":0,\"shard\":0,\"txn\":0,\"kind\":\"warp_drive\"}\n");
+    let err = from_jsonl(&text).unwrap_err();
+    assert_eq!(err.line, corpus().len() + 1);
+    assert!(err.message.contains("warp_drive"), "{err}");
+}

@@ -5,7 +5,8 @@ use crate::ProtocolError;
 use ks_core::{Specification, TxnName};
 use ks_kernel::{EntityId, Schema, UniqueState, Value};
 use ks_mvstore::{AuthorId, MvStore, Snapshot, VersionId};
-use ks_predicate::{solve_pinned, SolveOutcome, Strategy};
+use ks_obs::{ObsKind, ObsSink};
+use ks_predicate::{solve_pinned, Cnf, SolveOutcome, Strategy};
 use ks_schedule::DiGraph;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -182,6 +183,9 @@ pub struct ProtocolManager {
     /// (j,i) ∉ R⁺`. Tracking provenance closes that leak (see DESIGN.md).
     provenance: BTreeMap<VersionId, BTreeSet<usize>>,
     stats: ProtocolStats,
+    /// Flight-recorder sink; when attached, every protocol decision is
+    /// emitted as a structured event (see `ks-obs`).
+    obs: Option<ObsSink>,
 }
 
 impl ProtocolManager {
@@ -209,7 +213,31 @@ impl ProtocolManager {
             write_locks: BTreeMap::new(),
             provenance: BTreeMap::new(),
             stats: ProtocolStats::default(),
+            obs: None,
         }
+    }
+
+    /// Attach a flight-recorder sink. Subsequent protocol decisions —
+    /// candidate consideration, version assignment, unsatisfiable
+    /// validations (with the failed clause), `re-eval` repairs, and
+    /// cascade edges — are recorded as structured events.
+    pub fn attach_obs(&mut self, sink: ObsSink) {
+        self.obs = Some(sink);
+    }
+
+    /// The attached observability sink, if any.
+    pub fn obs(&self) -> Option<&ObsSink> {
+        self.obs.as_ref()
+    }
+
+    fn emit(&self, txn: usize, kind: ObsKind) {
+        if let Some(sink) = &self.obs {
+            sink.emit(txn as u32, kind);
+        }
+    }
+
+    fn obs_enabled(&self) -> bool {
+        self.obs.as_ref().is_some_and(|s| s.is_enabled())
     }
 
     /// The root transaction.
@@ -384,6 +412,7 @@ impl ProtocolManager {
         for b in before_slots {
             pnode.order.push((slot, b));
         }
+        self.emit(idx, ObsKind::TxnBegin);
         Ok(Txn(idx))
     }
 
@@ -515,6 +544,15 @@ impl ProtocolManager {
                     values.push(val);
                 }
             }
+            if input_set.contains(&e) {
+                self.emit(
+                    idx,
+                    ObsKind::CandidatesConsidered {
+                        entity: e.index() as u32,
+                        count: stamped.len() as u32,
+                    },
+                );
+            }
             per_entity_versions.push(stamped.iter().map(|&(_, v, _)| v).collect());
             candidates.push(values);
         }
@@ -522,7 +560,16 @@ impl ProtocolManager {
         let (outcome, _) = solve_pinned(&input, &candidates, pins, strategy);
         let values = match outcome {
             SolveOutcome::Sat(v) => v,
-            SolveOutcome::Unsat => return None,
+            SolveOutcome::Unsat => {
+                // The *why*: name the clause no candidate combination can
+                // satisfy (u32::MAX = clauses individually satisfiable but
+                // jointly conflicting). Computed only when someone listens.
+                if self.obs_enabled() {
+                    let clause = unsat_clause_witness(&input, &candidates, pins);
+                    self.emit(idx, ObsKind::ValidationUnsat { clause });
+                }
+                return None;
+            }
         };
         // Map chosen values back to versions (newest version per value).
         let mut snapshot = Snapshot::new();
@@ -534,6 +581,16 @@ impl ProtocolManager {
                 .find(|&&v| self.store.meta(v).expect("candidate").value == want);
             match chosen {
                 Some(&v) => {
+                    if input_set.contains(&e) {
+                        self.emit(
+                            idx,
+                            ObsKind::VersionAssigned {
+                                entity: e.index() as u32,
+                                version: v.index,
+                                forced: false,
+                            },
+                        );
+                    }
                     snapshot.select(v);
                 }
                 None => {
@@ -577,6 +634,7 @@ impl ProtocolManager {
                 self.nodes[t.0].snapshot = snapshot;
                 self.nodes[t.0].state = TxnState::Validated;
                 self.stats.validations += 1;
+                self.emit(t.0, ObsKind::TxnValidated);
                 Ok(ValidationOutcome::Validated)
             }
             None => {
@@ -756,13 +814,20 @@ impl ProtocolManager {
 
     /// Figure 4: after node `writer` wrote `version` of `e`, interrupt
     /// sibling read-side holders that should have read it.
-    fn re_eval(&mut self, writer: usize, e: EntityId, _version: VersionId) -> Vec<ReEvalAction> {
+    fn re_eval(&mut self, writer: usize, e: EntityId, version: VersionId) -> Vec<ReEvalAction> {
         self.stats.re_evals += 1;
         let mut actions = Vec::new();
         let parent_idx = match self.nodes[writer].parent {
             Some(p) => p,
             None => return actions, // the root has no siblings
         };
+        self.emit(
+            writer,
+            ObsKind::ReEvalTriggered {
+                entity: e.index() as u32,
+                version: version.index,
+            },
+        );
         let paths = self.paths_of(parent_idx);
         let writer_slot = self.nodes[writer].slot;
         let holders: Vec<usize> = self.nodes[parent_idx]
@@ -789,7 +854,7 @@ impl ProtocolManager {
             // assigned that stale version no longer reads "t_j(X(t_j))(e)"
             // — re-assign it (or abort it if the read already happened).
             if author.0 as usize == writer {
-                self.repair_holder(h, e, &mut actions);
+                self.repair_holder(writer, h, e, &mut actions);
                 continue;
             }
             // `path(parent(W).P, W.name, R[i].name)`: writer precedes holder?
@@ -813,7 +878,7 @@ impl ProtocolManager {
             if !v_precedes_w {
                 continue;
             }
-            self.repair_holder(h, e, &mut actions);
+            self.repair_holder(writer, h, e, &mut actions);
         }
         actions
     }
@@ -821,11 +886,25 @@ impl ProtocolManager {
     /// Figure 4's two repair outcomes for a holder whose assigned version
     /// of `e` became stale: abort if `e` was already read (`R` lock),
     /// otherwise re-assign with the performed reads pinned.
-    fn repair_holder(&mut self, h: usize, e: EntityId, actions: &mut Vec<ReEvalAction>) {
+    fn repair_holder(
+        &mut self,
+        writer: usize,
+        h: usize,
+        e: EntityId,
+        actions: &mut Vec<ReEvalAction>,
+    ) {
         let parent_idx = self.nodes[h].parent.expect("holders are non-root");
+        let entity = e.index() as u32;
         if self.nodes[h].reads_done.contains_key(&e) {
             // R lock: the stale version was already consumed — abort, and
             // cascade to siblings that consumed the holder's versions.
+            self.emit(
+                writer,
+                ObsKind::ReEvalAbort {
+                    holder: h as u32,
+                    entity,
+                },
+            );
             let doomed = self.abort_subtree(h);
             self.stats.reeval_aborts += 1;
             actions.push(ReEvalAction::Aborted(Txn(h)));
@@ -843,9 +922,23 @@ impl ProtocolManager {
                 Some(snapshot) => {
                     self.nodes[h].snapshot = snapshot;
                     self.stats.re_assigns += 1;
+                    self.emit(
+                        writer,
+                        ObsKind::ReAssigned {
+                            holder: h as u32,
+                            entity,
+                        },
+                    );
                     actions.push(ReEvalAction::Reassigned(Txn(h)));
                 }
                 None => {
+                    self.emit(
+                        writer,
+                        ObsKind::ReassignFailed {
+                            holder: h as u32,
+                            entity,
+                        },
+                    );
                     let doomed = self.abort_subtree(h);
                     self.stats.reeval_aborts += 1;
                     actions.push(ReEvalAction::ReassignFailedAborted(Txn(h)));
@@ -951,6 +1044,7 @@ impl ProtocolManager {
             return Ok(CommitOutcome::OutputViolated);
         }
         self.nodes[t.0].state = TxnState::Committed;
+        self.emit(t.0, ObsKind::TxnCommitted);
         Ok(CommitOutcome::Committed)
     }
 
@@ -997,14 +1091,16 @@ impl ProtocolManager {
                 .collect();
             for s in siblings {
                 let input_set = self.nodes[s].spec.input_set();
-                let depends: Vec<EntityId> = input_set
+                // Entities whose assigned version was authored by a doomed
+                // node, with that author — each pair is a causal cascade
+                // edge `doomed author → s`.
+                let depends: Vec<(EntityId, usize)> = input_set
                     .iter()
                     .copied()
-                    .filter(|&e| {
-                        self.nodes[s].snapshot.version_of(e).is_some_and(|v| {
-                            doomed_authors
-                                .contains(&(self.store.meta(v).expect("version").author.0 as usize))
-                        })
+                    .filter_map(|e| {
+                        let v = self.nodes[s].snapshot.version_of(e)?;
+                        let author = self.store.meta(v).expect("version").author.0 as usize;
+                        doomed_authors.contains(&author).then_some((e, author))
                     })
                     .collect();
                 if depends.is_empty() {
@@ -1013,8 +1109,9 @@ impl ProtocolManager {
                 let committed = self.nodes[s].state == TxnState::Committed;
                 let read_one = depends
                     .iter()
-                    .any(|e| self.nodes[s].reads_done.contains_key(e));
+                    .any(|(e, _)| self.nodes[s].reads_done.contains_key(e));
                 if committed || read_one {
+                    self.emit_cascade_edges(s, &depends);
                     doomed_authors.extend(self.abort_subtree(s));
                     self.stats.cascade_aborts += 1;
                     cascaded.push(Txn(s));
@@ -1031,6 +1128,7 @@ impl ProtocolManager {
                             self.stats.re_assigns += 1;
                         }
                         None => {
+                            self.emit_cascade_edges(s, &depends);
                             doomed_authors.extend(self.abort_subtree(s));
                             self.stats.cascade_aborts += 1;
                             cascaded.push(Txn(s));
@@ -1051,6 +1149,20 @@ impl ProtocolManager {
         cascaded
     }
 
+    /// One `CascadeEdge` per doomed-author dependency of victim `s`.
+    fn emit_cascade_edges(&self, s: usize, depends: &[(EntityId, usize)]) {
+        for &(e, author) in depends {
+            self.emit(
+                s,
+                ObsKind::CascadeEdge {
+                    from: author as u32,
+                    to: s as u32,
+                    entity: e.index() as u32,
+                },
+            );
+        }
+    }
+
     /// Mark a subtree aborted; returns the node indices (authors whose
     /// versions are now dead).
     fn abort_subtree(&mut self, idx: usize) -> BTreeSet<usize> {
@@ -1059,11 +1171,87 @@ impl ProtocolManager {
         while let Some(i) = stack.pop() {
             // A commit "is only relative to the parent": aborting the
             // subtree undoes committed descendants as well.
-            let node = &mut self.nodes[i];
-            node.state = TxnState::Aborted;
+            self.nodes[i].state = TxnState::Aborted;
             out.insert(i);
-            stack.extend(node.children.iter().copied());
+            stack.extend(self.nodes[i].children.iter().copied());
+            self.emit(i, ObsKind::TxnAborted);
         }
         out
     }
+
+    /// Fault-injection hook for tests and violation-dump demos: overwrite
+    /// the validated assignment of `e` with an arbitrary existing store
+    /// version, bypassing the candidate rules of Section 5.1. Emits
+    /// `VersionAssigned { forced: true }` so a later model-check failure
+    /// can be traced back to exactly this decision in the flight recorder.
+    pub fn force_assign(&mut self, t: Txn, e: EntityId, index: u32) -> Result<(), ProtocolError> {
+        let state = self.node(t)?.state;
+        if state != TxnState::Validated {
+            return Err(ProtocolError::WrongPhase {
+                attempted: "force-assign a version",
+                state: state.label(),
+            });
+        }
+        let v = VersionId { entity: e, index };
+        self.store.meta(v)?; // must name an existing version
+        self.nodes[t.0].snapshot.select(v);
+        self.emit(
+            t.0,
+            ObsKind::VersionAssigned {
+                entity: e.index() as u32,
+                version: index,
+                forced: true,
+            },
+        );
+        Ok(())
+    }
+}
+
+/// Name a clause of `input` that no combination of candidate values can
+/// satisfy (honouring `pins`), or `u32::MAX` when every clause is
+/// individually satisfiable and the conflict is cross-clause. Atoms
+/// mention at most two entities, so per-clause checking is cheap.
+fn unsat_clause_witness(input: &Cnf, candidates: &[Vec<Value>], pins: &[(EntityId, Value)]) -> u32 {
+    let pinned: BTreeMap<EntityId, Value> = pins.iter().copied().collect();
+    let values_of = |e: EntityId| -> Vec<Value> {
+        match pinned.get(&e) {
+            Some(&v) => vec![v],
+            None => candidates.get(e.index()).cloned().unwrap_or_default(),
+        }
+    };
+    'clauses: for (ci, clause) in input.clauses().iter().enumerate() {
+        for atom in clause.atoms() {
+            let mut ents: Vec<EntityId> = atom.entities().collect();
+            ents.dedup();
+            match ents.as_slice() {
+                [] => {
+                    if atom.eval(&BTreeMap::new()) {
+                        continue 'clauses;
+                    }
+                }
+                [a] => {
+                    for va in values_of(*a) {
+                        let m = BTreeMap::from([(*a, va)]);
+                        if atom.eval(&m) {
+                            continue 'clauses;
+                        }
+                    }
+                }
+                [a, b] => {
+                    for va in values_of(*a) {
+                        for vb in values_of(*b) {
+                            let m = BTreeMap::from([(*a, va), (*b, vb)]);
+                            if atom.eval(&m) {
+                                continue 'clauses;
+                            }
+                        }
+                    }
+                }
+                _ => continue 'clauses,
+            }
+        }
+        // No atom of this clause can ever hold: the definitive witness.
+        return ci as u32;
+    }
+    u32::MAX
 }

@@ -1,5 +1,6 @@
 //! Service tuning knobs.
 
+use ks_obs::Recorder;
 use ks_predicate::Strategy;
 use std::time::Duration;
 
@@ -19,6 +20,12 @@ pub struct ServerConfig {
     pub request_timeout: Duration,
     /// Version-assignment solver strategy used at validation.
     pub strategy: Strategy,
+    /// Flight recorder for structured decision tracing. When set, every
+    /// shard manager and worker gets an [`ObsSink`](ks_obs::ObsSink) and
+    /// the service records request lifecycle + protocol decision events
+    /// into the recorder's rings (see `ks-obs`); `None` disables
+    /// instrumentation entirely.
+    pub recorder: Option<Recorder>,
 }
 
 impl Default for ServerConfig {
@@ -29,6 +36,7 @@ impl Default for ServerConfig {
             max_sessions: 64,
             request_timeout: Duration::from_secs(10),
             strategy: Strategy::Backtracking,
+            recorder: None,
         }
     }
 }

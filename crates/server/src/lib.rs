@@ -50,7 +50,7 @@ pub use metrics::{LatencyHistogram, MetricsSnapshot, ServerMetrics};
 pub use routing::ShardMap;
 pub use service::TxnService;
 pub use session::{Session, TxnHandle};
-pub use verify::{verify_managers, VerifyReport};
+pub use verify::{verify_managers, verify_with_dump, VerifyReport, ViolationDump};
 
 #[cfg(test)]
 mod tests {

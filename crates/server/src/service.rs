@@ -4,11 +4,12 @@ use crate::config::ServerConfig;
 use crate::metrics::{MetricsSnapshot, ServerMetrics};
 use crate::routing::ShardMap;
 use crate::session::Session;
-use crate::worker::{self, Request};
+use crate::worker::{self, Request, Routed};
 use crate::ServerError;
 use crossbeam::channel::{bounded, Sender};
 use ks_core::Specification;
 use ks_kernel::{Schema, UniqueState};
+use ks_obs::{ObsKind, ObsSink, NO_TXN};
 use ks_protocol::manager::ProtocolStats;
 use ks_protocol::ProtocolManager;
 use std::sync::atomic::Ordering;
@@ -18,9 +19,12 @@ use std::thread::JoinHandle;
 /// State shared between the service front end and every session.
 pub(crate) struct Shared {
     pub(crate) map: ShardMap,
-    pub(crate) senders: Vec<Sender<Request>>,
+    pub(crate) senders: Vec<Sender<Routed>>,
     pub(crate) metrics: Arc<ServerMetrics>,
     pub(crate) config: ServerConfig,
+    /// Session-side sink (shard-stamped per call with `emit_for`); `None`
+    /// when the service runs without a recorder.
+    pub(crate) obs: Option<ObsSink>,
 }
 
 /// A concurrent multi-session transaction service over the KS protocol.
@@ -41,18 +45,27 @@ impl TxnService {
     /// specification over the shard's slice of `initial`.
     pub fn new(schema: Schema, initial: &UniqueState, config: ServerConfig) -> Self {
         let map = ShardMap::new(&schema, config.shards);
-        let metrics = Arc::new(ServerMetrics::default());
+        let metrics = Arc::new(ServerMetrics::new(map.shards()));
+        let obs = config.recorder.as_ref().map(|r| r.sink(u32::MAX));
         let mut senders = Vec::with_capacity(map.shards());
         let mut workers = Vec::with_capacity(map.shards());
         for shard in 0..map.shards() {
             let (tx, rx) = bounded(config.queue_depth.max(1));
-            let pm = ProtocolManager::new(
+            let mut pm = ProtocolManager::new(
                 map.sub_schema(shard).clone(),
                 &map.sub_initial(shard, initial),
                 Specification::trivial(),
             );
+            // One ring per shard, shared by the worker's request spans and
+            // the manager's protocol decisions (both run on this thread).
+            let sink = config.recorder.as_ref().map(|r| r.sink(shard as u32));
+            if let Some(s) = &sink {
+                pm.attach_obs(s.clone());
+            }
             let metrics = Arc::clone(&metrics);
-            workers.push(std::thread::spawn(move || worker::run(pm, rx, metrics)));
+            workers.push(std::thread::spawn(move || {
+                worker::run(pm, rx, metrics, sink)
+            }));
             senders.push(tx);
         }
         TxnService {
@@ -61,6 +74,7 @@ impl TxnService {
                 senders,
                 metrics,
                 config,
+                obs,
             }),
             workers,
         }
@@ -74,9 +88,15 @@ impl TxnService {
         if prior >= self.shared.config.max_sessions {
             metrics.sessions_in_flight.fetch_sub(1, Ordering::Relaxed);
             ServerMetrics::add(&metrics.sessions_shed);
+            if let Some(obs) = &self.shared.obs {
+                obs.emit(NO_TXN, ObsKind::SessionShed);
+            }
             return Err(ServerError::Backpressure);
         }
         ServerMetrics::add(&metrics.sessions_admitted);
+        if let Some(obs) = &self.shared.obs {
+            obs.emit(NO_TXN, ObsKind::SessionAdmit);
+        }
         Ok(Session::new(Arc::clone(&self.shared)))
     }
 
@@ -98,7 +118,10 @@ impl TxnService {
         for sender in &self.shared.senders {
             let (tx, rx) = bounded(1);
             sender
-                .send(Request::Stats { reply: tx })
+                .send(Routed {
+                    enqueued: std::time::Instant::now(),
+                    request: Request::Stats { reply: tx },
+                })
                 .map_err(|_| ServerError::Shutdown)?;
             receivers.push(rx);
         }
@@ -117,7 +140,10 @@ impl TxnService {
     /// marker are dropped; their sessions observe `Shutdown`.
     pub fn shutdown(self) -> Vec<ProtocolManager> {
         for sender in &self.shared.senders {
-            let _ = sender.send(Request::Shutdown);
+            let _ = sender.send(Routed {
+                enqueued: std::time::Instant::now(),
+                request: Request::Shutdown,
+            });
         }
         self.workers
             .into_iter()

@@ -9,11 +9,12 @@
 //! boundary.
 
 use crate::service::Shared;
-use crate::worker::Request;
+use crate::worker::{Request, Routed};
 use crate::ServerError;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use ks_core::Specification;
 use ks_kernel::{EntityId, Value};
+use ks_obs::ObsKind;
 use ks_protocol::Txn;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -152,8 +153,20 @@ impl Session {
         request: impl FnOnce(Sender<Result<T, ServerError>>) -> Request,
     ) -> Result<T, ServerError> {
         let (tx, rx): (_, Receiver<Result<T, ServerError>>) = bounded(1);
+        let request = request(tx);
+        if let Some(obs) = &self.shared.obs {
+            obs.emit_for(
+                shard as u32,
+                request.txn_u32(),
+                ObsKind::Enqueue { op: request.op() },
+            );
+        }
         let start = Instant::now();
-        match self.shared.senders[shard].try_send(request(tx)) {
+        let routed = Routed {
+            enqueued: start,
+            request,
+        };
+        match self.shared.senders[shard].try_send(routed) {
             Ok(()) => {}
             Err(TrySendError::Full(_)) => {
                 crate::metrics::ServerMetrics::add(&self.shared.metrics.backpressure);
@@ -163,7 +176,7 @@ impl Session {
         }
         match rx.recv_timeout(self.shared.config.request_timeout) {
             Ok(result) => {
-                self.shared.metrics.latency.record(start.elapsed());
+                self.shared.metrics.record_latency(shard, start.elapsed());
                 result
             }
             Err(RecvTimeoutError::Timeout) => {

@@ -6,8 +6,16 @@
 //! served, the committed transactions of each shard must form a correct
 //! execution in the paper's sense (parent-based version function, input
 //! and output conditions, partial order).
+//!
+//! When a check fails **and** the run carried a flight recorder,
+//! [`verify_with_dump`] turns the failure into a [`ViolationDump`]: the
+//! full JSONL event stream plus, for each offending transaction, its
+//! causally-stitched timeline and the protocol decision that produced the
+//! bad state — the difference between "shard 0 failed" and "txn 2's input
+//! condition fails because version 1 of entity 0 was force-assigned".
 
-use ks_protocol::{extract, ProtocolManager};
+use ks_obs::{event_to_json, stitch, to_jsonl, Recorder, TxnTimeline};
+use ks_protocol::{extract, ProtocolManager, TxnState};
 
 /// Outcome of verifying a set of shard managers.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -19,6 +27,9 @@ pub struct VerifyReport {
     /// Human-readable descriptions of every violation found (empty ⇔ the
     /// run was correct).
     pub violations: Vec<String>,
+    /// The offending transactions, when attributable: `(shard, node
+    /// index)` pairs matching the `txn` stamp of flight-recorder events.
+    pub offenders: Vec<(usize, u32)>,
 }
 
 impl VerifyReport {
@@ -40,7 +51,33 @@ pub fn verify_managers(managers: &[ProtocolManager]) -> VerifyReport {
             Ok((txn, parent, exec)) => {
                 report.committed += txn.children().len();
                 let check = ks_core::check::check(pm.schema(), &txn, &parent, &exec);
-                if !check.is_correct_parent_based() {
+                if check.is_correct_parent_based() {
+                    continue;
+                }
+                // `inputs_ok[i]` indexes the committed children in slot
+                // order — the same order extraction used — so a false
+                // entry names a protocol node directly.
+                let committed: Vec<u32> = pm
+                    .children_of(pm.root())
+                    .unwrap_or_default()
+                    .into_iter()
+                    .filter(|&c| pm.state_of(c).ok() == Some(TxnState::Committed))
+                    .map(|c| c.0 as u32)
+                    .collect();
+                let mut named = false;
+                for (i, ok) in check.inputs_ok.iter().enumerate() {
+                    if *ok {
+                        continue;
+                    }
+                    let node = committed.get(i).copied().unwrap_or(u32::MAX);
+                    report.violations.push(format!(
+                        "shard {shard}: txn {node}: input condition fails on its \
+                         assigned version state"
+                    ));
+                    report.offenders.push((shard, node));
+                    named = true;
+                }
+                if !named {
                     report
                         .violations
                         .push(format!("shard {shard}: model check failed: {check:?}"));
@@ -52,4 +89,69 @@ pub fn verify_managers(managers: &[ProtocolManager]) -> VerifyReport {
         }
     }
     report
+}
+
+/// A flight-recorder dump produced when verification fails.
+#[derive(Debug, Clone)]
+pub struct ViolationDump {
+    /// The full drained event stream, JSONL-encoded (see `ks-obs::json`).
+    pub jsonl: String,
+    /// Every transaction's stitched timeline (causal edges mirrored).
+    pub timelines: Vec<TxnTimeline>,
+    /// Human summary: each violation, the offender's timeline, and the
+    /// causal decision event that produced the bad state.
+    pub summary: String,
+}
+
+/// Verify, and on failure drain `recorder` into a [`ViolationDump`] whose
+/// summary names, per offender, the transaction, the entity, and the
+/// protocol decision event the failure traces back to.
+pub fn verify_with_dump(
+    managers: &[ProtocolManager],
+    recorder: &Recorder,
+) -> (VerifyReport, Option<ViolationDump>) {
+    let report = verify_managers(managers);
+    if report.is_correct() {
+        return (report, None);
+    }
+    let events = recorder.drain();
+    let timelines = stitch(&events);
+    let mut summary = String::new();
+    for violation in &report.violations {
+        summary.push_str(violation);
+        summary.push('\n');
+    }
+    if recorder.dropped() > 0 {
+        summary.push_str(&format!(
+            "(flight recorder overwrote {} events; timelines may be partial)\n",
+            recorder.dropped()
+        ));
+    }
+    for &(shard, node) in &report.offenders {
+        let Some(tl) = timelines
+            .iter()
+            .find(|t| t.shard == shard as u32 && t.txn == node)
+        else {
+            summary.push_str(&format!(
+                "shard {shard} txn {node}: no flight-recorder events retained\n"
+            ));
+            continue;
+        };
+        summary.push_str(&format!("--- {}\n", tl.summary()));
+        match tl.causal_decision() {
+            Some(cause) => {
+                summary.push_str(&format!("    caused by: {}\n", event_to_json(cause)));
+            }
+            None => summary.push_str("    no decision event retained\n"),
+        }
+        for ev in &tl.events {
+            summary.push_str(&format!("    {}\n", event_to_json(ev)));
+        }
+    }
+    let dump = ViolationDump {
+        jsonl: to_jsonl(&events),
+        timelines,
+        summary,
+    };
+    (report, Some(dump))
 }

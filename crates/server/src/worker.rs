@@ -13,12 +13,21 @@ use crate::ServerError;
 use crossbeam::channel::{Receiver, Sender};
 use ks_core::Specification;
 use ks_kernel::{EntityId, Value};
+use ks_obs::{ObsKind, ObsSink, OpCode, NO_TXN};
 use ks_predicate::Strategy;
 use ks_protocol::manager::ProtocolStats;
 use ks_protocol::{
     CommitOutcome, ProtocolManager, ReEvalAction, ReadOutcome, Txn, TxnState, ValidationOutcome,
 };
 use std::sync::Arc;
+use std::time::Instant;
+
+/// A request plus its enqueue instant, so the worker can split round-trip
+/// latency into queue-wait and execute portions.
+pub(crate) struct Routed {
+    pub(crate) enqueued: Instant,
+    pub(crate) request: Request,
+}
 
 /// One routed service call. Entity ids and specifications are already in
 /// the target shard's local id space (sessions translate at the boundary).
@@ -65,6 +74,34 @@ pub(crate) enum Request {
     Shutdown,
 }
 
+impl Request {
+    /// The observability op code of this request.
+    pub(crate) fn op(&self) -> OpCode {
+        match self {
+            Request::Define { .. } => OpCode::Define,
+            Request::Validate { .. } => OpCode::Validate,
+            Request::Read { .. } => OpCode::Read,
+            Request::Write { .. } => OpCode::Write,
+            Request::Commit { .. } => OpCode::Commit,
+            Request::Abort { .. } => OpCode::Abort,
+            Request::Stats { .. } | Request::Shutdown => OpCode::Stats,
+        }
+    }
+
+    /// The shard-local transaction this request targets, for event
+    /// stamping (`NO_TXN` for define/stats, which have none yet).
+    pub(crate) fn txn_u32(&self) -> u32 {
+        match self {
+            Request::Validate { txn, .. }
+            | Request::Read { txn, .. }
+            | Request::Write { txn, .. }
+            | Request::Commit { txn, .. }
+            | Request::Abort { txn, .. } => txn.0 as u32,
+            Request::Define { .. } | Request::Stats { .. } | Request::Shutdown => NO_TXN,
+        }
+    }
+}
+
 fn reject(e: ks_protocol::ProtocolError) -> ServerError {
     ServerError::Rejected(e.to_string())
 }
@@ -81,21 +118,42 @@ fn precheck(pm: &ProtocolManager, txn: Txn) -> Result<(), ServerError> {
 
 /// Drain requests until shutdown (message or all senders gone); returns
 /// the manager for post-run extraction and model checking.
+///
+/// Every dequeue records the request's queue wait; every reply records
+/// its execute time. With a sink attached, the two are also emitted as
+/// `Execute`/`Reply` events so a flight-recorder dump shows where each
+/// request's time went.
 pub(crate) fn run(
     mut pm: ProtocolManager,
-    requests: Receiver<Request>,
+    requests: Receiver<Routed>,
     metrics: Arc<ServerMetrics>,
+    sink: Option<ObsSink>,
 ) -> ProtocolManager {
-    while let Ok(request) = requests.recv() {
+    while let Ok(Routed { enqueued, request }) = requests.recv() {
+        let queue_wait = enqueued.elapsed();
+        metrics.queue_wait.record(queue_wait);
         ServerMetrics::add(&metrics.requests);
-        match request {
+        let (op, txn32) = (request.op(), request.txn_u32());
+        if let Some(s) = &sink {
+            s.emit(
+                txn32,
+                ObsKind::Execute {
+                    op,
+                    queue_ns: queue_wait.as_nanos() as u64,
+                },
+            );
+        }
+        let exec_start = Instant::now();
+        let ok = match request {
             Request::Define { spec, after, reply } => {
                 let root = pm.root();
                 let result = pm.define(root, spec, &after, &[]).map_err(|e| {
                     ServerMetrics::add(&metrics.rejected);
                     reject(e)
                 });
+                let ok = result.is_ok();
                 let _ = reply.send(result);
+                ok
             }
             Request::Validate {
                 txn,
@@ -118,7 +176,9 @@ pub(crate) fn run(
                         Err(reject(e))
                     }
                 });
+                let ok = result.is_ok();
                 let _ = reply.send(result);
+                ok
             }
             Request::Read { txn, entity, reply } => {
                 let result = precheck(&pm, txn).and_then(|()| match pm.read(txn, entity) {
@@ -129,7 +189,9 @@ pub(crate) fn run(
                         Err(reject(e))
                     }
                 });
+                let ok = result.is_ok();
                 let _ = reply.send(result);
+                ok
             }
             Request::Write {
                 txn,
@@ -157,7 +219,9 @@ pub(crate) fn run(
                         Err(reject(e))
                     }
                 });
+                let ok = result.is_ok();
                 let _ = reply.send(result);
+                ok
             }
             Request::Commit { txn, reply } => {
                 let result = precheck(&pm, txn).and_then(|()| match pm.commit(txn) {
@@ -179,7 +243,9 @@ pub(crate) fn run(
                         Err(reject(e))
                     }
                 });
+                let ok = result.is_ok();
                 let _ = reply.send(result);
+                ok
             }
             Request::Abort { txn, reply } => {
                 // Aborting an already-aborted transaction is a no-op ack,
@@ -189,12 +255,27 @@ pub(crate) fn run(
                     Ok(_) => pm.abort(txn).map(|_| ()).map_err(reject),
                     Err(e) => Err(reject(e)),
                 };
+                let ok = result.is_ok();
                 let _ = reply.send(result);
+                ok
             }
             Request::Stats { reply } => {
                 let _ = reply.send(pm.stats());
+                true
             }
             Request::Shutdown => break,
+        };
+        let exec = exec_start.elapsed();
+        metrics.exec_time.record(exec);
+        if let Some(s) = &sink {
+            s.emit(
+                txn32,
+                ObsKind::Reply {
+                    op,
+                    ok,
+                    exec_ns: exec.as_nanos() as u64,
+                },
+            );
         }
     }
     pm

@@ -141,8 +141,23 @@ proptest! {
         });
         let snap = svc.metrics();
         prop_assert_eq!(committed, snap.committed);
+        let stats = svc.protocol_stats().expect("stats before shutdown");
+        let cascade_aborts: u64 = stats.iter().map(|s| s.cascade_aborts).sum();
         let report = verify_managers(&svc.shutdown());
         prop_assert!(report.is_correct(), "case {seed}: {:?}", report.violations);
-        prop_assert_eq!(report.committed as u64, committed);
+        // A client-counted commit can later be undone: a commit "is only
+        // relative to the parent", so when the author of a consumed
+        // in-flight version aborts (clients walk away 15% of the time),
+        // the committed reader is cascade-undone and leaves the extracted
+        // execution. Extraction may therefore trail the client count, but
+        // only by transactions the cascade machinery actually aborted.
+        prop_assert!(
+            report.committed as u64 <= committed
+                && committed - report.committed as u64 <= cascade_aborts,
+            "extracted {} + cascades {} cannot explain client count {}",
+            report.committed,
+            cascade_aborts,
+            committed
+        );
     }
 }

@@ -1,0 +1,172 @@
+//! Dump-on-violation acceptance test: deliberately mis-assign a version
+//! behind the protocol's back, watch the model check fail, and assert the
+//! flight-recorder dump names the offending transaction, the entity, and
+//! the causal decision event.
+
+use ks_core::Specification;
+use ks_kernel::{Domain, EntityId, Schema, UniqueState};
+use ks_obs::{from_jsonl, ObsKind, Recorder};
+use ks_predicate::{parse_cnf, Cnf, Strategy};
+use ks_protocol::{CommitOutcome, ProtocolManager, ValidationOutcome};
+use ks_server::{verify_with_dump, ServerConfig, TxnService};
+
+fn one_entity_setup() -> (Schema, UniqueState) {
+    let schema = Schema::uniform(["x"], Domain::Range { min: 0, max: 99 });
+    let initial = UniqueState::new(&schema, vec![5]).unwrap();
+    (schema, initial)
+}
+
+#[test]
+fn forced_misassignment_dump_names_txn_entity_and_decision() {
+    let (schema, initial) = one_entity_setup();
+    let mut pm = ProtocolManager::new(schema.clone(), &initial, Specification::trivial());
+    let recorder = Recorder::new(1024);
+    pm.attach_obs(recorder.sink(0));
+    let x = EntityId(0);
+
+    // A writer commits x = 7, creating version 1.
+    let writer_spec = Specification::new(parse_cnf(&schema, "x >= 0").unwrap(), Cnf::truth());
+    let writer = pm.define(pm.root(), writer_spec, &[], &[]).unwrap();
+    assert_eq!(
+        pm.validate(writer, Strategy::Backtracking).unwrap(),
+        ValidationOutcome::Validated
+    );
+    pm.write(writer, x, 7).unwrap();
+    assert_eq!(pm.commit(writer).unwrap(), CommitOutcome::Committed);
+
+    // The victim requires x = 5; validation correctly assigns version 0.
+    let victim_spec = Specification::new(parse_cnf(&schema, "x = 5").unwrap(), Cnf::truth());
+    let victim = pm.define(pm.root(), victim_spec, &[], &[]).unwrap();
+    assert_eq!(
+        pm.validate(victim, Strategy::Backtracking).unwrap(),
+        ValidationOutcome::Validated
+    );
+
+    // Fault injection: overwrite the assignment with version 1 (x = 7),
+    // which violates the victim's input condition. The hook records
+    // `VersionAssigned { forced: true }` — the causal decision.
+    pm.force_assign(victim, x, 1).unwrap();
+    assert_eq!(pm.commit(victim).unwrap(), CommitOutcome::Committed);
+
+    let (report, dump) = verify_with_dump(&[pm], &recorder);
+    assert!(!report.is_correct(), "the forced assignment must be caught");
+    let victim_node = victim.0 as u32;
+    assert!(
+        report.offenders.contains(&(0, victim_node)),
+        "offenders must name the victim: {:?}",
+        report.offenders
+    );
+
+    let dump = dump.expect("violations must produce a dump");
+    // The JSONL stream is machine-readable and contains the forced event.
+    let events = from_jsonl(&dump.jsonl).expect("dump must round-trip");
+    assert!(events.iter().any(|e| e.txn == victim_node
+        && matches!(
+            e.kind,
+            ObsKind::VersionAssigned {
+                entity: 0,
+                version: 1,
+                forced: true
+            }
+        )));
+    // The stitched timeline of the offender pins the causal decision.
+    let timeline = dump
+        .timelines
+        .iter()
+        .find(|t| t.shard == 0 && t.txn == victim_node)
+        .expect("offender timeline");
+    let cause = timeline.causal_decision().expect("causal decision");
+    assert!(matches!(
+        cause.kind,
+        ObsKind::VersionAssigned {
+            forced: true,
+            entity: 0,
+            version: 1
+        }
+    ));
+    // The human summary names txn, entity, and decision in one place.
+    assert!(
+        dump.summary.contains(&format!("txn {victim_node}")),
+        "{}",
+        dump.summary
+    );
+    assert!(dump.summary.contains("\"entity\":0"), "{}", dump.summary);
+    assert!(
+        dump.summary.contains("\"kind\":\"version_assigned\"")
+            && dump.summary.contains("\"forced\":true"),
+        "{}",
+        dump.summary
+    );
+}
+
+#[test]
+fn clean_runs_produce_no_dump() {
+    let (schema, initial) = one_entity_setup();
+    let mut pm = ProtocolManager::new(schema.clone(), &initial, Specification::trivial());
+    let recorder = Recorder::new(1024);
+    pm.attach_obs(recorder.sink(0));
+    let spec = Specification::new(parse_cnf(&schema, "x >= 0").unwrap(), Cnf::truth());
+    let t = pm.define(pm.root(), spec, &[], &[]).unwrap();
+    pm.validate(t, Strategy::Backtracking).unwrap();
+    pm.write(t, EntityId(0), 9).unwrap();
+    pm.commit(t).unwrap();
+    let (report, dump) = verify_with_dump(&[pm], &recorder);
+    assert!(report.is_correct(), "{report:?}");
+    assert!(dump.is_none());
+}
+
+/// End-to-end through the service: a recorder wired into `ServerConfig`
+/// captures the full request lifecycle (enqueue → execute → reply) and
+/// the workers' protocol decisions, shard-stamped.
+#[test]
+fn service_with_recorder_captures_request_lifecycle() {
+    let (schema, initial) = one_entity_setup();
+    let recorder = Recorder::new(4096);
+    let svc = TxnService::new(
+        schema.clone(),
+        &initial,
+        ServerConfig {
+            shards: 1,
+            recorder: Some(recorder.clone()),
+            ..ServerConfig::default()
+        },
+    );
+    let session = svc.session().unwrap();
+    let spec = Specification::new(parse_cnf(&schema, "x >= 0").unwrap(), Cnf::truth());
+    let txn = session.define(&spec).unwrap();
+    session.validate(txn).unwrap();
+    session.read(txn, EntityId(0)).unwrap();
+    session.write(txn, EntityId(0), 9).unwrap();
+    session.commit(txn).unwrap();
+    drop(session);
+    let managers = svc.shutdown();
+
+    let events = recorder.drain();
+    assert!(recorder.dropped() == 0, "tiny run must not overflow rings");
+    let has = |pred: &dyn Fn(&ks_obs::ObsEvent) -> bool| events.iter().any(pred);
+    assert!(has(&|e| matches!(e.kind, ObsKind::SessionAdmit)));
+    assert!(has(&|e| matches!(e.kind, ObsKind::Enqueue { .. })));
+    assert!(has(&|e| matches!(
+        e.kind,
+        ObsKind::Execute {
+            op: ks_obs::OpCode::Commit,
+            ..
+        }
+    )));
+    assert!(has(&|e| matches!(e.kind, ObsKind::Reply { ok: true, .. })));
+    assert!(has(&|e| matches!(e.kind, ObsKind::TxnValidated)));
+    assert!(has(&|e| matches!(e.kind, ObsKind::TxnCommitted)));
+    assert!(has(&|e| matches!(
+        e.kind,
+        ObsKind::VersionAssigned { forced: false, .. }
+    )));
+    // Worker events are stamped with their shard.
+    assert!(events
+        .iter()
+        .filter(|e| matches!(e.kind, ObsKind::Execute { .. }))
+        .all(|e| e.shard == 0));
+
+    let (report, dump) = verify_with_dump(&managers, &recorder);
+    assert!(report.is_correct(), "{report:?}");
+    assert!(dump.is_none());
+}

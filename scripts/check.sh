@@ -17,4 +17,10 @@ cargo clippy --all-targets -- -D warnings
 echo "== cargo test -q"
 cargo test -q
 
-echo "OK: fmt, clippy, tests all green"
+echo "== cargo test -p ks-obs --test wire_roundtrip"
+cargo test -q -p ks-obs --test wire_roundtrip
+
+echo "== exp_server_load --smoke (serving layer + tracing overhead)"
+cargo run --release -q -p ks-bench --bin exp_server_load -- --smoke
+
+echo "OK: fmt, clippy, tests, obs wire round-trip, server smoke all green"

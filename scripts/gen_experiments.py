@@ -234,11 +234,15 @@ a private protocol manager, blocking client sessions with retry-on-`Busy`.
 every run's extracted execution passes the model checker (the correctness
 theorem survives the serving layer). The strategy ablation shows greedy
 assignment reading in-flight versions and paying re-eval aborts that
-backtracking avoids. The backtracking rows and the zero-violation verdict
+backtracking avoids. The final section measures the `ks-obs` flight
+recorder's cost: the identical workload with the recorder detached vs.
+attached (best of 5 each), printing both throughputs, the event volume,
+and the relative delta — the always-on tracing budget is <10% of
+throughput. The backtracking rows and the zero-violation verdict
 are deterministic; the greedy-latest commit/abort split depends on thread
 interleaving (it reads in-flight versions, so whether a writer supersedes
-in time varies), and wall-clock-derived columns (`thru`, `p50`, `p99`)
-vary by machine.
+in time varies), and wall-clock-derived columns (`thru`, `p50`, `p99`,
+the overhead delta) vary by machine.
 
 ```
 {exp_server_load}
