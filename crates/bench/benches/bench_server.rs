@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ks_core::Specification;
 use ks_kernel::{Domain, EntityId, Schema, UniqueState};
 use ks_predicate::{Atom, Clause, CmpOp, Cnf};
-use ks_server::{MetricsSnapshot, ServerConfig, ServerError, TxnService};
+use ks_server::{Client, MetricsSnapshot, ServerConfig, ServerError, TxnBuilder, TxnService};
 use std::hint::black_box;
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -59,7 +59,7 @@ fn run_service(shards: usize) -> u64 {
                     .collect();
                 for round in 0..TXNS_PER_CLIENT {
                     let spec = tautology_spec(&entities);
-                    let txn = session.define(&spec).unwrap();
+                    let txn = session.open(TxnBuilder::new(spec)).unwrap();
                     loop {
                         match session.validate(txn) {
                             Ok(()) => break,

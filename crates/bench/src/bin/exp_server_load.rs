@@ -12,12 +12,11 @@
 //! model-checked with `ks_core::check`. The binary exits non-zero if any
 //! run produces a single model-correctness violation.
 
-use ks_core::Specification;
-use ks_kernel::{Domain, EntityId, Schema, UniqueState};
+use ks_bench::driver::{drive_client, DriveOutcome, DriverConfig};
+use ks_kernel::{Domain, Schema, UniqueState};
 use ks_obs::Recorder;
-use ks_predicate::{Atom, Clause, CmpOp, Cnf, Strategy};
-use ks_server::{verify_managers, MetricsSnapshot, ServerConfig, ServerError, Session, TxnService};
-use ks_sim::{Workload, WorkloadSpec};
+use ks_predicate::Strategy;
+use ks_server::{verify_managers, MetricsSnapshot, ServerConfig, TxnService};
 use std::time::{Duration, Instant};
 
 const CLIENTS: usize = 8;
@@ -31,18 +30,10 @@ const OVERHEAD_RING: usize = 1 << 16;
 /// it (breaks assigned-version wait cycles under greedy assignment).
 const RETRY_BUDGET: u32 = 10_000;
 
-#[derive(Debug, Default, Clone, Copy)]
-struct ClientOutcome {
-    committed: u64,
-    aborted: u64,
-    rejected: u64,
-    busy_retries: u64,
-}
-
 #[derive(Debug)]
 struct RunResult {
     shards: usize,
-    outcome: ClientOutcome,
+    outcome: DriveOutcome,
     elapsed: Duration,
     snap: MetricsSnapshot,
     re_evals: u64,
@@ -58,118 +49,22 @@ impl RunResult {
     }
 }
 
-/// Tautological input over `entities` (placing them in the accessible set
-/// `N_t`), unconstrained output — the serving analogue of the sim
-/// adapter's specifications.
-fn tautology_spec(entities: &[EntityId]) -> Specification {
-    Specification::new(
-        Cnf::new(
-            entities
-                .iter()
-                .map(|&e| Clause::unit(Atom::cmp_const(e, CmpOp::Ge, i64::MIN / 2)))
-                .collect(),
-        ),
-        Cnf::truth(),
+/// One client: open a session and run its slice of the shared
+/// deterministic workload through the transport-generic driver.
+fn run_client(svc: &TxnService, client: usize, shards: usize) -> DriveOutcome {
+    let session = svc.session().expect("admission (sessions \u{2264} cap)");
+    drive_client(
+        &session,
+        &DriverConfig {
+            client,
+            shards,
+            total_entities: TOTAL_ENTITIES,
+            txns: TXNS_PER_CLIENT,
+            ops_per_txn: OPS_PER_TXN,
+            seed: 0xC0FFEE,
+            retry_budget: RETRY_BUDGET,
+        },
     )
-}
-
-/// Run one generated transaction through the session. `ops` carries
-/// `(is_write, global entity)` pairs, all on the client's home shard;
-/// `entities` is the deduplicated access set for the specification.
-fn run_txn(
-    session: &Session,
-    ops: &[(bool, EntityId)],
-    entities: &[EntityId],
-    value_base: i64,
-    out: &mut ClientOutcome,
-) {
-    let mut budget = RETRY_BUDGET;
-    let spec = tautology_spec(entities);
-    // Macro-free "retry on Busy/Backpressure" loop, shared by every call.
-    macro_rules! retry {
-        ($call:expr) => {
-            loop {
-                match $call {
-                    Err(ServerError::Busy) | Err(ServerError::Backpressure) => {
-                        out.busy_retries += 1;
-                        if budget == 0 {
-                            break Err(ServerError::Busy);
-                        }
-                        budget -= 1;
-                        std::thread::yield_now();
-                    }
-                    other => break other,
-                }
-            }
-        };
-    }
-    let txn = match retry!(session.define(&spec)) {
-        Ok(t) => t,
-        Err(_) => {
-            out.rejected += 1;
-            return;
-        }
-    };
-    let finish_abort = |session: &Session, out: &mut ClientOutcome| {
-        let _ = session.abort(txn);
-        out.aborted += 1;
-    };
-    match retry!(session.validate(txn)) {
-        Ok(()) => {}
-        Err(_) => return finish_abort(session, out),
-    }
-    for (i, &(is_write, entity)) in ops.iter().enumerate() {
-        let result = if is_write {
-            retry!(session.write(txn, entity, value_base + i as i64))
-        } else {
-            retry!(session.read(txn, entity).map(|_| ()))
-        };
-        if result.is_err() {
-            return finish_abort(session, out);
-        }
-    }
-    match retry!(session.commit(txn)) {
-        Ok(()) => out.committed += 1,
-        Err(_) => finish_abort(session, out),
-    }
-}
-
-fn run_client(svc: &TxnService, client: usize, shards: usize) -> ClientOutcome {
-    let session = svc.session().expect("admission (sessions ≤ cap)");
-    let home = client % shards;
-    let per_shard = TOTAL_ENTITIES / shards;
-    let workload = Workload::generate(WorkloadSpec {
-        num_txns: TXNS_PER_CLIENT,
-        ops_per_txn: OPS_PER_TXN,
-        num_entities: per_shard,
-        read_pct: 60,
-        think_time: 0,
-        hot_fraction_pct: 25,
-        hot_access_pct: 75,
-        arrival_spread: 0,
-        chain_length: 1,
-        seed: 0xC0FFEE + client as u64,
-    });
-    let mut out = ClientOutcome::default();
-    for (n, sim) in workload.txns.iter().enumerate() {
-        // Shard-local ids from the generator → global ids on `home`.
-        let ops: Vec<(bool, EntityId)> = sim
-            .ops
-            .iter()
-            .map(|o| {
-                (
-                    o.is_write,
-                    EntityId((o.entity.index() * shards + home) as u32),
-                )
-            })
-            .collect();
-        let mut entities: Vec<EntityId> = ops.iter().map(|&(_, e)| e).collect();
-        entities.sort_unstable_by_key(|e| e.index());
-        entities.dedup();
-        let value_base = (client * 1_000_000 + n * 1_000) as i64;
-        run_txn(&session, &ops, &entities, value_base, &mut out);
-    }
-    out
 }
 
 fn run_one(shards: usize, strategy: Strategy, recorder: Option<Recorder>) -> RunResult {
@@ -194,7 +89,7 @@ fn run_one(shards: usize, strategy: Strategy, recorder: Option<Recorder>) -> Run
     );
     let shards = svc.shard_map().shards();
     let start = Instant::now();
-    let outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
+    let outcomes: Vec<DriveOutcome> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..CLIENTS)
             .map(|client| {
                 let svc = &svc;
@@ -207,12 +102,9 @@ fn run_one(shards: usize, strategy: Strategy, recorder: Option<Recorder>) -> Run
     let snap = svc.metrics();
     let stats = svc.protocol_stats().expect("stats before shutdown");
     let report = verify_managers(&svc.shutdown());
-    let mut outcome = ClientOutcome::default();
+    let mut outcome = DriveOutcome::default();
     for o in outcomes {
-        outcome.committed += o.committed;
-        outcome.aborted += o.aborted;
-        outcome.rejected += o.rejected;
-        outcome.busy_retries += o.busy_retries;
+        outcome.merge(o);
     }
     assert_eq!(outcome.committed, snap.committed, "client/server agree");
     assert_eq!(

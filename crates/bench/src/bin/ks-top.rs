@@ -17,7 +17,9 @@ use ks_kernel::{Domain, EntityId, Schema, UniqueState};
 use ks_obs::{event_to_json, ObsEvent, ObsKind, Recorder};
 use ks_predicate::{Atom, Clause, CmpOp, Cnf, Strategy};
 use ks_server::metrics::fmt_duration;
-use ks_server::{verify_with_dump, MetricsSnapshot, ServerConfig, ServerError, TxnService};
+use ks_server::{
+    verify_with_dump, Client, MetricsSnapshot, ServerConfig, ServerError, TxnBuilder, TxnService,
+};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
@@ -86,7 +88,7 @@ fn run_client(svc: &TxnService, client: usize, stop: &AtomicBool) {
         let hot = entities[0];
         let cold = entities[1 + round % (entities.len() - 1)];
         let spec = tautology_spec(&[hot, cold]);
-        let txn = match session.define(&spec) {
+        let txn = match session.open(TxnBuilder::new(spec)) {
             Ok(t) => t,
             Err(ServerError::Busy) | Err(ServerError::Backpressure) => {
                 std::thread::yield_now();

@@ -7,6 +7,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod driver;
+
 use ks_baselines::{
     MultiversionTimestampOrdering, PredicatewiseTwoPhaseLocking, TimestampOrdering, TwoPhaseLocking,
 };

@@ -1,0 +1,332 @@
+//! `RemoteSession`: the networked counterpart of an in-process
+//! [`Session`](ks_server::Session).
+//!
+//! It implements the same [`Client`] contract over TCP, so workloads,
+//! tests, and benchmarks written against the trait run unchanged on
+//! either transport. The differences live entirely in the failure model:
+//!
+//! * **Connect timeouts** — [`RemoteSession::connect`] bounds the TCP
+//!   dial and the Hello/HelloOk version negotiation.
+//! * **Per-request deadlines** — every attempt gets a socket read
+//!   timeout; a reply that does not arrive in time surfaces as
+//!   [`ServerError::Timeout`].
+//! * **Bounded jittered retries** — server-signalled transient errors
+//!   ([`ServerError::is_retryable`]) are retried up to `max_retries`
+//!   times with exponential backoff (`min(cap, base·2^(n−1))`, jittered
+//!   into `[delay/2, delay]` so synchronized clients decorrelate), each
+//!   retry emitting an [`ObsKind::NetRetry`] event. The final error is
+//!   typed — a saturated server yields `Busy`/`Backpressure`, never a
+//!   hang.
+//! * **Poisoning** — an I/O error or read timeout leaves the byte stream
+//!   in an unknowable position (the reply may still be in flight), so
+//!   the connection is poisoned and every later call fails fast with
+//!   [`ServerError::Wire`]. Transient *server* errors arrive as complete
+//!   `Err` frames on a healthy stream and do not poison.
+
+use crate::wire::{self, read_frame, write_frame, Request, Response, WireMetrics, HELLO_MAGIC};
+use ks_kernel::{EntityId, Value};
+use ks_obs::{ObsKind, ObsSink, OpCode, Recorder, NO_TXN};
+use ks_server::{Client, ServerError, TxnBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Client-side tuning: timeouts, deadlines, and the retry envelope.
+#[derive(Clone)]
+pub struct NetClientConfig {
+    /// Bound on the TCP dial plus version negotiation.
+    pub connect_timeout: Duration,
+    /// Per-attempt reply deadline (socket read timeout).
+    pub request_deadline: Duration,
+    /// Retries after the first attempt for retryable server errors.
+    pub max_retries: u32,
+    /// First backoff delay; doubles per retry.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Recorder for [`ObsKind::NetRetry`] events.
+    pub recorder: Option<Recorder>,
+}
+
+impl Default for NetClientConfig {
+    fn default() -> Self {
+        NetClientConfig {
+            connect_timeout: Duration::from_secs(2),
+            request_deadline: Duration::from_secs(10),
+            max_retries: 5,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(100),
+            recorder: None,
+        }
+    }
+}
+
+/// An opaque, connection-scoped remote transaction handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RemoteTxn(pub u64);
+
+struct Conn {
+    writer: BufWriter<TcpStream>,
+    reader: BufReader<TcpStream>,
+    /// Set after an I/O failure mid-request: the stream position is
+    /// unknowable, so no further request may be issued.
+    poisoned: bool,
+}
+
+/// A connection to a [`NetServer`](crate::NetServer), usable wherever a
+/// [`Client`] is expected.
+pub struct RemoteSession {
+    conn: Mutex<Conn>,
+    shards: usize,
+    config: NetClientConfig,
+    rng: Mutex<StdRng>,
+    obs: Option<ObsSink>,
+}
+
+impl std::fmt::Debug for RemoteSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteSession")
+            .field("shards", &self.shards)
+            .field("poisoned", &self.conn.lock().unwrap().poisoned)
+            .finish()
+    }
+}
+
+/// Distinct backoff-jitter seeds across sessions in one process without
+/// an entropy source: process id mixed with a connection counter.
+fn jitter_seed() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    (std::process::id() as u64) << 32 | n
+}
+
+impl RemoteSession {
+    /// Dial `addr`, negotiate the protocol version, and return a ready
+    /// session. Fails with [`ServerError::Wire`] on version mismatch and
+    /// [`ServerError::Timeout`] if the dial or handshake exceeds
+    /// `connect_timeout`.
+    pub fn connect(addr: impl ToSocketAddrs, config: NetClientConfig) -> Result<Self, ServerError> {
+        let wire_err = |m: String| ServerError::Wire(m);
+        let addr: SocketAddr = addr
+            .to_socket_addrs()
+            .map_err(|e| wire_err(format!("resolving address: {e}")))?
+            .next()
+            .ok_or_else(|| wire_err("address resolved to nothing".into()))?;
+        let stream = TcpStream::connect_timeout(&addr, config.connect_timeout)
+            .map_err(|e| map_io(&e, "connect"))?;
+        let _ = stream.set_nodelay(true);
+        stream
+            .set_read_timeout(Some(config.connect_timeout))
+            .map_err(|e| wire_err(e.to_string()))?;
+        let reader = BufReader::new(stream.try_clone().map_err(|e| wire_err(e.to_string()))?);
+        let mut conn = Conn {
+            writer: BufWriter::new(stream),
+            reader,
+            poisoned: false,
+        };
+        // Version negotiation: Hello must be answered by HelloOk before
+        // any other frame is sent (the server handshakes on a separate
+        // buffer, so pipelining past Hello would lose frames).
+        write_frame(
+            &mut conn.writer,
+            &wire::encode_request(&Request::Hello { magic: HELLO_MAGIC }),
+        )
+        .map_err(|e| map_io(&e, "hello"))?;
+        let shards = match read_reply(&mut conn)? {
+            Response::HelloOk { shards } => shards as usize,
+            other => return Err(wire_err(format!("expected HelloOk, got {other:?}"))),
+        };
+        Ok(RemoteSession {
+            conn: Mutex::new(conn),
+            shards,
+            rng: Mutex::new(StdRng::seed_from_u64(jitter_seed())),
+            obs: config.recorder.as_ref().map(|r| r.sink(u32::MAX)),
+            config,
+        })
+    }
+
+    /// Shard count the server reported in its HelloOk (clients co-locate
+    /// a transaction's entities by `entity.0 % shards`, exactly like
+    /// in-process callers).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Fetch the server's metrics snapshot.
+    pub fn metrics(&self) -> Result<WireMetrics, ServerError> {
+        match self.call(OpCode::Stats, Request::Metrics)? {
+            Response::Metrics(m) => Ok(m),
+            other => Err(self.desync(other)),
+        }
+    }
+
+    /// Graceful goodbye: sends Shutdown, awaits Bye, closes the socket.
+    pub fn close(self) -> Result<(), ServerError> {
+        let mut conn = self.conn.into_inner().unwrap();
+        if conn.poisoned {
+            return Ok(()); // nothing orderly left to do
+        }
+        write_frame(&mut conn.writer, &wire::encode_request(&Request::Shutdown))
+            .map_err(|e| map_io(&e, "shutdown"))?;
+        match read_reply(&mut conn)? {
+            Response::Bye => Ok(()),
+            other => Err(ServerError::Wire(format!("expected Bye, got {other:?}"))),
+        }
+    }
+
+    /// One request/reply exchange, with the retry envelope around
+    /// retryable server errors. Poisoned-transport errors are never
+    /// retried: the failed attempt's reply could still arrive and
+    /// desynchronize every later exchange.
+    fn call(&self, op: OpCode, req: Request) -> Result<Response, ServerError> {
+        let mut attempt: u32 = 0;
+        loop {
+            match self.exchange(&req) {
+                // A retryable error only re-sends while the transport is
+                // healthy: `Timeout` from a socket read poisons (the late
+                // reply may still arrive), so it falls through typed.
+                Err(e)
+                    if e.is_retryable()
+                        && attempt < self.config.max_retries
+                        && !self.conn.lock().unwrap().poisoned =>
+                {
+                    attempt += 1;
+                    let delay = self.backoff(attempt);
+                    if let Some(obs) = &self.obs {
+                        obs.emit(
+                            NO_TXN,
+                            ObsKind::NetRetry {
+                                op,
+                                attempt,
+                                delay_ns: delay.as_nanos() as u64,
+                            },
+                        );
+                    }
+                    std::thread::sleep(delay);
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Jittered exponential backoff: `min(cap, base·2^(n−1))`, then a
+    /// uniform draw from `[delay/2, delay]`.
+    fn backoff(&self, attempt: u32) -> Duration {
+        let base = self.config.backoff_base.max(Duration::from_micros(1));
+        let exp = base.saturating_mul(1u32 << (attempt - 1).min(20));
+        let delay = exp.min(self.config.backoff_cap.max(base));
+        let ns = delay.as_nanos() as u64;
+        let jittered = self.rng.lock().unwrap().random_range(ns / 2..=ns);
+        Duration::from_nanos(jittered)
+    }
+
+    /// Send one frame and read its reply. Server-signalled errors come
+    /// back as `Err` without touching `poisoned`; transport failures
+    /// poison the connection.
+    fn exchange(&self, req: &Request) -> Result<Response, ServerError> {
+        let mut conn = self.conn.lock().unwrap();
+        if conn.poisoned {
+            return Err(ServerError::Wire(
+                "connection poisoned by an earlier transport failure; reconnect".into(),
+            ));
+        }
+        let _ = conn
+            .writer
+            .get_ref()
+            .set_read_timeout(Some(self.config.request_deadline));
+        if let Err(e) = write_frame(&mut conn.writer, &wire::encode_request(req)) {
+            conn.poisoned = true;
+            return Err(map_io(&e, "send"));
+        }
+        match read_reply(&mut conn) {
+            Ok(Response::Error { code, detail }) => Err(Response::into_server_error(code, &detail)),
+            Ok(resp) => Ok(resp),
+            Err(e) => {
+                conn.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+
+    fn desync(&self, got: Response) -> ServerError {
+        self.conn.lock().unwrap().poisoned = true;
+        ServerError::Wire(format!("response type desync: unexpected {got:?}"))
+    }
+
+    fn unit(&self, op: OpCode, req: Request) -> Result<(), ServerError> {
+        match self.call(op, req)? {
+            Response::Done => Ok(()),
+            other => Err(self.desync(other)),
+        }
+    }
+}
+
+/// Read and decode one reply frame. EOF and timeouts are transport
+/// failures (the caller poisons); a decoded `Error` frame is *not* — it
+/// is a healthy reply.
+fn read_reply(conn: &mut Conn) -> Result<Response, ServerError> {
+    match read_frame(&mut conn.reader) {
+        Ok(Some(payload)) => wire::decode_response(&payload).map_err(ServerError::from),
+        Ok(None) => Err(ServerError::Wire("server closed the connection".into())),
+        Err(e) => Err(map_io(&e, "receive")),
+    }
+}
+
+fn map_io(e: &std::io::Error, what: &str) -> ServerError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => ServerError::Timeout,
+        _ => ServerError::Wire(format!("{what}: {e}")),
+    }
+}
+
+impl Client for RemoteSession {
+    type Handle = RemoteTxn;
+
+    fn open(&self, txn: TxnBuilder<RemoteTxn>) -> Result<RemoteTxn, ServerError> {
+        let (spec, after, before, strategy) = txn.into_parts();
+        let req = Request::Open {
+            spec,
+            after: after.into_iter().map(|t| t.0).collect(),
+            before: before.into_iter().map(|t| t.0).collect(),
+            strategy,
+        };
+        match self.call(OpCode::Define, req)? {
+            Response::Opened { txn } => Ok(RemoteTxn(txn)),
+            other => Err(self.desync(other)),
+        }
+    }
+
+    fn validate(&self, txn: RemoteTxn) -> Result<(), ServerError> {
+        self.unit(OpCode::Validate, Request::Validate { txn: txn.0 })
+    }
+
+    fn read(&self, txn: RemoteTxn, entity: EntityId) -> Result<Value, ServerError> {
+        match self.call(OpCode::Read, Request::Read { txn: txn.0, entity })? {
+            Response::Value { value } => Ok(value),
+            other => Err(self.desync(other)),
+        }
+    }
+
+    fn write(&self, txn: RemoteTxn, entity: EntityId, value: Value) -> Result<(), ServerError> {
+        self.unit(
+            OpCode::Write,
+            Request::Write {
+                txn: txn.0,
+                entity,
+                value,
+            },
+        )
+    }
+
+    fn commit(&self, txn: RemoteTxn) -> Result<(), ServerError> {
+        self.unit(OpCode::Commit, Request::Commit { txn: txn.0 })
+    }
+
+    fn abort(&self, txn: RemoteTxn) -> Result<(), ServerError> {
+        self.unit(OpCode::Abort, Request::Abort { txn: txn.0 })
+    }
+}

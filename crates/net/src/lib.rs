@@ -1,0 +1,43 @@
+//! # ks-net — the networked front end for the KS transaction service
+//!
+//! This crate puts [`TxnService`](ks_server::TxnService) behind a TCP
+//! socket without changing what a client program looks like. The same
+//! [`Client`](ks_server::Client) trait that in-process
+//! [`Session`](ks_server::Session)s implement is implemented here by
+//! [`RemoteSession`], so a workload written once runs over either
+//! transport — the loopback integration tests and the `exp_net_load`
+//! experiment drive both from a single generic function.
+//!
+//! Three layers:
+//!
+//! * [`wire`] — the protocol itself: length-prefixed, versioned binary
+//!   frames covering the full session surface (hello / open / validate /
+//!   read / write / commit / abort / metrics / shutdown), with
+//!   specifications encoded structurally and errors as typed
+//!   `(code, detail)` pairs that round-trip losslessly into
+//!   [`ServerError`](ks_server::ServerError). Documented normatively in
+//!   `docs/wire.md`.
+//! * [`server`] — [`NetServer`]: an accept loop embedding a
+//!   `TxnService`, one reader + handler thread pair per connection, a
+//!   bounded in-flight window per connection, and a graceful drain
+//!   shutdown that hands back the shard managers for model-checking.
+//! * [`client`] — [`RemoteSession`]: connect timeouts, per-request
+//!   deadlines, bounded jittered retry/backoff on transient errors, and
+//!   fail-fast poisoning after transport faults.
+//!
+//! The design stance matches the rest of the repo: the network may delay,
+//! sever, or refuse, but it must never *invent* an outcome — every
+//! failure surfaces as a typed [`ServerError`](ks_server::ServerError),
+//! and the serializability-free correctness argument still rests on the
+//! embedded service's protocol managers, which `NetServer::shutdown`
+//! returns for verification exactly like the in-process path.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{NetClientConfig, RemoteSession, RemoteTxn};
+pub use server::{NetConfig, NetServer};
+pub use wire::{Request, Response, WireError, WireMetrics, MAX_FRAME, PROTOCOL_VERSION};

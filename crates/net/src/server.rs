@@ -1,0 +1,432 @@
+//! The TCP front end: accept loop, per-connection handler threads,
+//! bounded in-flight windows, graceful drain.
+//!
+//! Each accepted connection gets two threads: a *reader* that decodes
+//! frames off the socket into a bounded channel (the in-flight window —
+//! a client that pipelines more than `window` requests blocks in TCP
+//! backpressure instead of ballooning server memory) and a *handler*
+//! that executes requests against an in-process [`Session`] via the
+//! [`Client`] trait and writes replies in request order. Wire-visible
+//! transaction ids are connection-scoped `u64`s mapped to [`Session`]
+//! handles in a per-connection table, so server handles never cross the
+//! wire.
+//!
+//! Shutdown drains: stop accepting, let readers notice the stop flag at
+//! their next read-timeout tick, give in-flight requests up to the drain
+//! timeout to complete, force-close stragglers, join everything, then
+//! shut the embedded [`TxnService`] down and hand back its shard
+//! managers for verification.
+
+use crate::wire::{self, read_frame, write_frame, Request, Response, WireMetrics, HELLO_MAGIC};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use ks_obs::{ObsKind, ObsSink, Recorder, NO_TXN};
+use ks_protocol::ProtocolManager;
+use ks_server::{Client, ServerError, Session, TxnBuilder, TxnHandle, TxnService};
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Write as _};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning for the network front end (the embedded service has its own
+/// [`ServerConfig`](ks_server::ServerConfig)).
+#[derive(Clone)]
+pub struct NetConfig {
+    /// Per-connection in-flight request window: how many decoded,
+    /// not-yet-answered requests the server buffers before it stops
+    /// reading the socket.
+    pub window: usize,
+    /// How long the reader sleeps in `read` before re-checking the stop
+    /// flag; bounds shutdown latency for idle connections.
+    pub poll_interval: Duration,
+    /// How long [`NetServer::shutdown`] waits for in-flight connections
+    /// to drain before force-closing them.
+    pub drain_timeout: Duration,
+    /// Recorder for connection-lifecycle events ([`ObsKind::ConnOpened`]
+    /// / [`ObsKind::ConnClosed`]); usually the same recorder the embedded
+    /// service uses.
+    pub recorder: Option<Recorder>,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            window: 16,
+            poll_interval: Duration::from_millis(50),
+            drain_timeout: Duration::from_secs(5),
+            recorder: None,
+        }
+    }
+}
+
+struct NetShared {
+    service: Mutex<Option<TxnService>>,
+    stop: AtomicBool,
+    active: AtomicUsize,
+    /// Write halves of live connections, for force-close at drain expiry.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    handlers: Mutex<Vec<JoinHandle<()>>>,
+    config: NetConfig,
+    obs: Option<ObsSink>,
+}
+
+impl NetShared {
+    fn with_service<T>(&self, f: impl FnOnce(&TxnService) -> T) -> Option<T> {
+        self.service.lock().unwrap().as_ref().map(f)
+    }
+}
+
+/// A TCP server speaking the ks-net wire protocol over an embedded
+/// [`TxnService`].
+pub struct NetServer {
+    shared: Arc<NetShared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start serving
+    /// `service`.
+    pub fn start(service: TxnService, addr: &str, config: NetConfig) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let obs = config.recorder.as_ref().map(|r| r.sink(u32::MAX));
+        let shared = Arc::new(NetShared {
+            service: Mutex::new(Some(service)),
+            stop: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            conns: Mutex::new(HashMap::new()),
+            handlers: Mutex::new(Vec::new()),
+            config,
+            obs,
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(listener, shared))
+        };
+        Ok(NetServer {
+            shared,
+            addr,
+            accept: Some(accept),
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections currently open.
+    pub fn connections(&self) -> usize {
+        self.shared.active.load(Ordering::Relaxed)
+    }
+
+    /// Graceful shutdown: stop accepting, drain in-flight connections up
+    /// to the drain timeout, force-close stragglers, stop the embedded
+    /// service, and return its shard managers for verification (see
+    /// [`ks_server::verify_managers`]).
+    pub fn shutdown(mut self) -> Vec<ProtocolManager> {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // Drain: readers notice `stop` within one poll interval, handlers
+        // finish what is already windowed, connections close.
+        let deadline = Instant::now() + self.shared.config.drain_timeout;
+        while self.shared.active.load(Ordering::Relaxed) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Force-close anything still open past the deadline.
+        for (_, stream) in self.shared.conns.lock().unwrap().drain() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        let handlers = std::mem::take(&mut *self.shared.handlers.lock().unwrap());
+        for h in handlers {
+            let _ = h.join();
+        }
+        let service = self
+            .shared
+            .service
+            .lock()
+            .unwrap()
+            .take()
+            .expect("shutdown called twice");
+        service.shutdown()
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<NetShared>) {
+    let mut next_conn: u64 = 0;
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let conn_id = next_conn;
+        next_conn += 1;
+        let _ = stream.set_nodelay(true);
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().unwrap().insert(conn_id, clone);
+        }
+        if let Some(obs) = &shared.obs {
+            obs.emit(
+                NO_TXN,
+                ObsKind::ConnOpened {
+                    conn: conn_id as u32,
+                },
+            );
+        }
+        let handler = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                serve_connection(stream, &shared);
+                shared.conns.lock().unwrap().remove(&conn_id);
+                shared.active.fetch_sub(1, Ordering::SeqCst);
+                if let Some(obs) = &shared.obs {
+                    obs.emit(
+                        NO_TXN,
+                        ObsKind::ConnClosed {
+                            conn: conn_id as u32,
+                        },
+                    );
+                }
+            })
+        };
+        shared.handlers.lock().unwrap().push(handler);
+    }
+}
+
+/// Read frames into the in-flight window until EOF, error, or stop.
+/// Dropping the sender is the reader's only exit signal to the handler.
+fn reader_loop(stream: TcpStream, window: Sender<Vec<u8>>, shared: Arc<NetShared>) {
+    let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_frame(&mut reader) {
+            Ok(Some(payload)) => {
+                if window.send(payload).is_err() {
+                    return; // handler gone
+                }
+            }
+            Ok(None) => return, // clean EOF
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Per-connection state the handler threads over requests.
+struct ConnState {
+    session: Session,
+    /// Wire-visible transaction ids → in-process handles.
+    txns: HashMap<u64, TxnHandle>,
+    next_txn: u64,
+}
+
+fn serve_connection(stream: TcpStream, shared: &Arc<NetShared>) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = BufWriter::new(stream);
+
+    // Handshake before any state is allocated: first frame must be a
+    // well-formed Hello with the right magic and version.
+    if let Err(resp) = handshake(&mut writer, shared) {
+        let _ = write_frame(&mut writer, &wire::encode_response(&resp));
+        return;
+    }
+
+    let Some(session) = shared.with_service(|svc| svc.session()) else {
+        return; // already shutting down
+    };
+    let session = match session {
+        Ok(s) => s,
+        Err(e) => {
+            let _ = write_frame(&mut writer, &wire::encode_response(&Response::error(&e)));
+            return;
+        }
+    };
+    let mut state = ConnState {
+        session,
+        txns: HashMap::new(),
+        next_txn: 0,
+    };
+
+    let (tx, rx): (Sender<Vec<u8>>, Receiver<Vec<u8>>) = bounded(shared.config.window.max(1));
+    let reader = {
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || reader_loop(read_half, tx, shared))
+    };
+
+    // Handler loop: requests leave the window in order; replies are
+    // written in the same order.
+    while let Ok(payload) = rx.recv() {
+        let resp = match wire::decode_request(&payload) {
+            Ok(req) => match handle(&mut state, req, shared) {
+                Some(resp) => resp,
+                None => {
+                    // Shutdown request: acknowledge and close.
+                    let _ = write_frame(&mut writer, &wire::encode_response(&Response::Bye));
+                    break;
+                }
+            },
+            Err(e) => Response::error(&ServerError::from(e)),
+        };
+        if write_frame(&mut writer, &wire::encode_response(&resp)).is_err() {
+            break;
+        }
+    }
+    let _ = writer.flush();
+    // Closing (or crashing) a connection must not leave its transactions
+    // holding locks: abort everything still open.
+    for (_, handle) in state.txns.drain() {
+        let _ = state.session.abort(handle);
+    }
+    drop(rx); // unblock a reader stuck on a full window
+    let _ = writer.get_ref().shutdown(Shutdown::Both);
+    let _ = reader.join();
+}
+
+fn handshake(writer: &mut BufWriter<TcpStream>, shared: &NetShared) -> Result<(), Response> {
+    let wire_err = |msg: String| Response::error(&ServerError::Wire(msg));
+    let stream = writer.get_ref();
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| wire_err(e.to_string()))?);
+    let payload = match read_frame(&mut reader) {
+        Ok(Some(p)) => p,
+        Ok(None) => return Err(wire_err("connection closed before Hello".into())),
+        Err(e) => return Err(wire_err(format!("reading Hello: {e}"))),
+    };
+    match wire::decode_request(&payload) {
+        Ok(Request::Hello { magic }) if magic == HELLO_MAGIC => {
+            let shards = shared
+                .with_service(|svc| svc.shard_map().shards())
+                .unwrap_or(0);
+            let ok = Response::HelloOk {
+                shards: shards as u32,
+            };
+            write_frame(writer, &wire::encode_response(&ok))
+                .map_err(|e| wire_err(e.to_string()))?;
+            Ok(())
+        }
+        Ok(Request::Hello { magic }) => Err(wire_err(format!("bad hello magic 0x{magic:08x}"))),
+        Ok(other) => Err(wire_err(format!(
+            "expected Hello as the first frame, got {other:?}"
+        ))),
+        Err(e) => Err(wire_err(e.to_string())),
+    }
+}
+
+/// Execute one request. `None` means "Shutdown: reply Bye and close".
+fn handle(state: &mut ConnState, req: Request, shared: &NetShared) -> Option<Response> {
+    let lookup = |txns: &HashMap<u64, TxnHandle>, id: u64| -> Result<TxnHandle, Response> {
+        txns.get(&id).copied().ok_or_else(|| {
+            Response::error(&ServerError::Wire(format!("unknown transaction id {id}")))
+        })
+    };
+    let reply = |r: Result<(), ServerError>| match r {
+        Ok(()) => Response::Done,
+        Err(e) => Response::error(&e),
+    };
+    Some(match req {
+        Request::Hello { .. } => {
+            Response::error(&ServerError::Wire("Hello after the handshake".to_string()))
+        }
+        Request::Open {
+            spec,
+            after,
+            before,
+            strategy,
+        } => {
+            let mut builder = TxnBuilder::new(spec);
+            for id in after {
+                match lookup(&state.txns, id) {
+                    Ok(h) => builder = builder.after(h),
+                    Err(resp) => return Some(resp),
+                }
+            }
+            for id in before {
+                match lookup(&state.txns, id) {
+                    Ok(h) => builder = builder.before(h),
+                    Err(resp) => return Some(resp),
+                }
+            }
+            if let Some(s) = strategy {
+                builder = builder.strategy(s);
+            }
+            match state.session.open(builder) {
+                Ok(handle) => {
+                    let id = state.next_txn;
+                    state.next_txn += 1;
+                    state.txns.insert(id, handle);
+                    Response::Opened { txn: id }
+                }
+                Err(e) => Response::error(&e),
+            }
+        }
+        Request::Validate { txn } => match lookup(&state.txns, txn) {
+            Ok(h) => reply(state.session.validate(h)),
+            Err(resp) => resp,
+        },
+        Request::Read { txn, entity } => match lookup(&state.txns, txn) {
+            Ok(h) => match state.session.read(h, entity) {
+                Ok(value) => Response::Value { value },
+                Err(e) => Response::error(&e),
+            },
+            Err(resp) => resp,
+        },
+        Request::Write { txn, entity, value } => match lookup(&state.txns, txn) {
+            Ok(h) => reply(state.session.write(h, entity, value)),
+            Err(resp) => resp,
+        },
+        Request::Commit { txn } => match lookup(&state.txns, txn) {
+            Ok(h) => {
+                let r = state.session.commit(h);
+                // The id stays mapped while the outcome is retryable (the
+                // transaction is still live server-side); otherwise it is
+                // spent.
+                if !matches!(&r, Err(e) if e.is_retryable()) {
+                    state.txns.remove(&txn);
+                }
+                reply(r)
+            }
+            Err(resp) => resp,
+        },
+        Request::Abort { txn } => match lookup(&state.txns, txn) {
+            Ok(h) => {
+                let r = state.session.abort(h);
+                if !matches!(&r, Err(e) if e.is_retryable()) {
+                    state.txns.remove(&txn);
+                }
+                reply(r)
+            }
+            Err(resp) => resp,
+        },
+        Request::Metrics => match shared.with_service(|svc| svc.metrics()) {
+            Some(m) => Response::Metrics(WireMetrics {
+                requests: m.requests,
+                committed: m.committed,
+                rejected: m.rejected,
+                backpressure: m.backpressure,
+                timeouts: m.timeouts,
+                sessions_in_flight: m.sessions_in_flight as u64,
+                p50_ns: m.p50.map_or(0, |d| d.as_nanos() as u64),
+                p99_ns: m.p99.map_or(0, |d| d.as_nanos() as u64),
+            }),
+            None => Response::error(&ServerError::Shutdown),
+        },
+        Request::Shutdown => return None,
+    })
+}

@@ -1,0 +1,684 @@
+//! The ks-net wire protocol: length-prefixed, versioned binary frames.
+//!
+//! Framing is `u32` little-endian payload length followed by the payload;
+//! every payload starts with the protocol version byte and a message-type
+//! byte. Integers are little-endian; strings are `u32` length + UTF-8.
+//! The full format, the version-negotiation rules and the error-code
+//! table live in `docs/wire.md` — this module is the normative encoder
+//! and decoder, and the round-trip tests in `tests/wire_fuzz.rs` pin it.
+//!
+//! Specifications travel **structurally** (CNF → clauses → atoms with
+//! global entity ids), not as parser text, so the wire needs no schema
+//! and malformed predicates are impossible by construction. Errors travel
+//! as `(code, detail)` pairs that reconstruct the exact
+//! [`ServerError`] via [`ServerError::from_code`] — the typed codes are
+//! the client-visible correctness contract at the interface.
+
+use ks_core::Specification;
+use ks_kernel::{EntityId, Value};
+use ks_predicate::{Atom, Clause, CmpOp, Cnf, Operand, Strategy};
+use ks_server::ServerError;
+use std::io::{Read, Write};
+
+/// Protocol version this build speaks. The Hello exchange rejects peers
+/// whose version differs (see `docs/wire.md` § version negotiation).
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Magic carried in Hello so a stray non-ks-net peer is rejected before
+/// any state is allocated.
+pub const HELLO_MAGIC: u32 = 0x4B534E50; // "KSNP"
+
+/// Hard cap on one frame's payload. Large enough for any realistic
+/// specification, small enough that a corrupt length prefix cannot make
+/// a peer allocate unboundedly.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// A malformed or oversized frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire protocol error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<WireError> for ServerError {
+    fn from(e: WireError) -> Self {
+        ServerError::Wire(e.0)
+    }
+}
+
+/// One client → server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Version negotiation; must be the first frame on a connection.
+    Hello {
+        /// [`HELLO_MAGIC`].
+        magic: u32,
+    },
+    /// Open a transaction: specification, sibling ordering (connection-
+    /// scoped transaction ids), optional strategy override.
+    Open {
+        /// The `(I_t, O_t)` specification, in global entity ids.
+        spec: Specification,
+        /// Transactions this one is ordered after.
+        after: Vec<u64>,
+        /// Transactions this one is ordered before.
+        before: Vec<u64>,
+        /// Per-transaction solver override (`None` = service default).
+        strategy: Option<Strategy>,
+    },
+    /// Validate: acquire `R_v` locks and a version assignment.
+    Validate {
+        /// Connection-scoped transaction id.
+        txn: u64,
+    },
+    /// Read an entity through the assigned version.
+    Read {
+        /// Connection-scoped transaction id.
+        txn: u64,
+        /// Global entity id.
+        entity: EntityId,
+    },
+    /// Write a new version.
+    Write {
+        /// Connection-scoped transaction id.
+        txn: u64,
+        /// Global entity id.
+        entity: EntityId,
+        /// The value.
+        value: Value,
+    },
+    /// Commit.
+    Commit {
+        /// Connection-scoped transaction id.
+        txn: u64,
+    },
+    /// Abort (idempotent acknowledgement).
+    Abort {
+        /// Connection-scoped transaction id.
+        txn: u64,
+    },
+    /// Snapshot the service metrics.
+    Metrics,
+    /// Graceful connection shutdown; the server replies [`Response::Bye`]
+    /// and closes.
+    Shutdown,
+}
+
+/// A wire-portable subset of the server's metrics snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WireMetrics {
+    /// Requests that received a reply.
+    pub requests: u64,
+    /// Commits through the service.
+    pub committed: u64,
+    /// Protocol rejections.
+    pub rejected: u64,
+    /// Requests shed on full queues.
+    pub backpressure: u64,
+    /// Reply timeouts.
+    pub timeouts: u64,
+    /// Currently open sessions.
+    pub sessions_in_flight: u64,
+    /// Median round-trip latency in ns (0 = no observations).
+    pub p50_ns: u64,
+    /// 99th-percentile round-trip latency in ns (0 = no observations).
+    pub p99_ns: u64,
+}
+
+/// One server → client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Hello accepted.
+    HelloOk {
+        /// Number of entity shards the service runs (clients co-locate
+        /// a transaction's entities by shard, as in-process callers do).
+        shards: u32,
+    },
+    /// Transaction opened.
+    Opened {
+        /// Connection-scoped transaction id.
+        txn: u64,
+    },
+    /// Unit success (validate/write/commit/abort).
+    Done,
+    /// Read result.
+    Value {
+        /// The value read.
+        value: Value,
+    },
+    /// Metrics snapshot.
+    Metrics(WireMetrics),
+    /// The call failed; `(code, detail)` round-trips into [`ServerError`].
+    Error {
+        /// Stable error code ([`ServerError::code`]).
+        code: u16,
+        /// Detail payload ([`ServerError::detail`]).
+        detail: String,
+    },
+    /// Acknowledges [`Request::Shutdown`]; the connection closes next.
+    Bye,
+}
+
+impl Response {
+    /// Build the error response for a [`ServerError`].
+    pub fn error(e: &ServerError) -> Response {
+        Response::Error {
+            code: e.code(),
+            detail: e.detail().to_string(),
+        }
+    }
+
+    /// Decode an error response back into the exact [`ServerError`];
+    /// unknown codes fail closed as [`ServerError::Wire`].
+    pub fn into_server_error(code: u16, detail: &str) -> ServerError {
+        ServerError::from_code(code, detail)
+            .unwrap_or_else(|| ServerError::Wire(format!("unknown error code {code}: {detail}")))
+    }
+}
+
+// ---------------------------------------------------------------- encoding
+
+struct Enc(Vec<u8>);
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.0.extend_from_slice(s.as_bytes());
+    }
+    fn txns(&mut self, ids: &[u64]) {
+        self.u32(ids.len() as u32);
+        for &t in ids {
+            self.u64(t);
+        }
+    }
+    fn operand(&mut self, o: Operand) {
+        match o {
+            Operand::Entity(e) => {
+                self.u8(0);
+                self.u32(e.0);
+            }
+            Operand::Const(c) => {
+                self.u8(1);
+                self.i64(c);
+            }
+        }
+    }
+    fn cnf(&mut self, cnf: &Cnf) {
+        let clauses = cnf.clauses();
+        self.u32(clauses.len() as u32);
+        for clause in clauses {
+            let atoms = clause.atoms();
+            self.u32(atoms.len() as u32);
+            for a in atoms {
+                self.operand(a.lhs);
+                self.u8(cmp_code(a.op));
+                self.operand(a.rhs);
+            }
+        }
+    }
+}
+
+fn cmp_code(op: CmpOp) -> u8 {
+    match op {
+        CmpOp::Eq => 0,
+        CmpOp::Ne => 1,
+        CmpOp::Lt => 2,
+        CmpOp::Le => 3,
+        CmpOp::Gt => 4,
+        CmpOp::Ge => 5,
+    }
+}
+
+fn cmp_from(code: u8) -> Option<CmpOp> {
+    Some(match code {
+        0 => CmpOp::Eq,
+        1 => CmpOp::Ne,
+        2 => CmpOp::Lt,
+        3 => CmpOp::Le,
+        4 => CmpOp::Gt,
+        5 => CmpOp::Ge,
+        _ => return None,
+    })
+}
+
+fn strategy_code(s: Option<Strategy>) -> u8 {
+    match s {
+        None => 0,
+        Some(Strategy::Exhaustive) => 1,
+        Some(Strategy::Backtracking) => 2,
+        Some(Strategy::GreedyLatest) => 3,
+    }
+}
+
+fn strategy_from(code: u8) -> Option<Option<Strategy>> {
+    Some(match code {
+        0 => None,
+        1 => Some(Strategy::Exhaustive),
+        2 => Some(Strategy::Backtracking),
+        3 => Some(Strategy::GreedyLatest),
+        _ => return None,
+    })
+}
+
+/// Encode a request payload (version byte + type byte + body).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut e = Enc(Vec::with_capacity(32));
+    e.u8(PROTOCOL_VERSION);
+    match req {
+        Request::Hello { magic } => {
+            e.u8(0x01);
+            e.u32(*magic);
+        }
+        Request::Open {
+            spec,
+            after,
+            before,
+            strategy,
+        } => {
+            e.u8(0x02);
+            e.cnf(&spec.input);
+            e.cnf(&spec.output);
+            e.txns(after);
+            e.txns(before);
+            e.u8(strategy_code(*strategy));
+        }
+        Request::Validate { txn } => {
+            e.u8(0x03);
+            e.u64(*txn);
+        }
+        Request::Read { txn, entity } => {
+            e.u8(0x04);
+            e.u64(*txn);
+            e.u32(entity.0);
+        }
+        Request::Write { txn, entity, value } => {
+            e.u8(0x05);
+            e.u64(*txn);
+            e.u32(entity.0);
+            e.i64(*value);
+        }
+        Request::Commit { txn } => {
+            e.u8(0x06);
+            e.u64(*txn);
+        }
+        Request::Abort { txn } => {
+            e.u8(0x07);
+            e.u64(*txn);
+        }
+        Request::Metrics => e.u8(0x08),
+        Request::Shutdown => e.u8(0x09),
+    }
+    e.0
+}
+
+/// Encode a response payload (version byte + type byte + body).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut e = Enc(Vec::with_capacity(16));
+    e.u8(PROTOCOL_VERSION);
+    match resp {
+        Response::HelloOk { shards } => {
+            e.u8(0x81);
+            e.u32(*shards);
+        }
+        Response::Opened { txn } => {
+            e.u8(0x82);
+            e.u64(*txn);
+        }
+        Response::Done => e.u8(0x83),
+        Response::Value { value } => {
+            e.u8(0x84);
+            e.i64(*value);
+        }
+        Response::Metrics(m) => {
+            e.u8(0x85);
+            e.u64(m.requests);
+            e.u64(m.committed);
+            e.u64(m.rejected);
+            e.u64(m.backpressure);
+            e.u64(m.timeouts);
+            e.u64(m.sessions_in_flight);
+            e.u64(m.p50_ns);
+            e.u64(m.p99_ns);
+        }
+        Response::Error { code, detail } => {
+            e.u8(0x86);
+            e.u16(*code);
+            e.str(detail);
+        }
+        Response::Bye => e.u8(0x87),
+    }
+    e.0
+}
+
+// ---------------------------------------------------------------- decoding
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    fn err<T>(&self, what: &str) -> Result<T, WireError> {
+        Err(WireError(format!("truncated or malformed {what}")))
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], WireError> {
+        if self.buf.len() - self.pos < n {
+            return self.err(what);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, WireError> {
+        Ok(self.take(1, what)?[0])
+    }
+    fn u16(&mut self, what: &str) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
+    }
+    fn u32(&mut self, what: &str) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+    fn u64(&mut self, what: &str) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+    fn i64(&mut self, what: &str) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    /// Bounded count prefix: a corrupt length cannot force a huge
+    /// allocation because every element costs at least one byte of
+    /// remaining payload.
+    fn count(&mut self, what: &str) -> Result<usize, WireError> {
+        let n = self.u32(what)? as usize;
+        if n > self.buf.len() - self.pos {
+            return self.err(what);
+        }
+        Ok(n)
+    }
+
+    fn str(&mut self, what: &str) -> Result<String, WireError> {
+        let n = self.count(what)?;
+        let bytes = self.take(n, what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError(format!("{what}: invalid UTF-8")))
+    }
+
+    fn txns(&mut self, what: &str) -> Result<Vec<u64>, WireError> {
+        let n = self.count(what)?;
+        (0..n).map(|_| self.u64(what)).collect()
+    }
+
+    fn operand(&mut self, what: &str) -> Result<Operand, WireError> {
+        match self.u8(what)? {
+            0 => Ok(Operand::Entity(EntityId(self.u32(what)?))),
+            1 => Ok(Operand::Const(self.i64(what)?)),
+            t => Err(WireError(format!("{what}: unknown operand tag {t}"))),
+        }
+    }
+
+    fn cnf(&mut self, what: &str) -> Result<Cnf, WireError> {
+        let nclauses = self.count(what)?;
+        let mut clauses = Vec::with_capacity(nclauses);
+        for _ in 0..nclauses {
+            let natoms = self.count(what)?;
+            let mut atoms = Vec::with_capacity(natoms);
+            for _ in 0..natoms {
+                let lhs = self.operand(what)?;
+                let op = cmp_from(self.u8(what)?)
+                    .ok_or_else(|| WireError(format!("{what}: unknown comparison op")))?;
+                let rhs = self.operand(what)?;
+                atoms.push(Atom { lhs, op, rhs });
+            }
+            clauses.push(Clause::new(atoms));
+        }
+        Ok(Cnf::new(clauses))
+    }
+
+    fn finish<T>(self, value: T, what: &str) -> Result<T, WireError> {
+        if self.pos != self.buf.len() {
+            return Err(WireError(format!(
+                "{what}: {} trailing bytes",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(value)
+    }
+}
+
+fn check_version(d: &mut Dec, what: &str) -> Result<(), WireError> {
+    let v = d.u8(what)?;
+    if v != PROTOCOL_VERSION {
+        return Err(WireError(format!(
+            "{what}: protocol version {v} (this build speaks {PROTOCOL_VERSION})"
+        )));
+    }
+    Ok(())
+}
+
+/// Decode a request payload.
+pub fn decode_request(buf: &[u8]) -> Result<Request, WireError> {
+    let mut d = Dec::new(buf);
+    check_version(&mut d, "request")?;
+    let ty = d.u8("request type")?;
+    let req = match ty {
+        0x01 => Request::Hello {
+            magic: d.u32("hello")?,
+        },
+        0x02 => {
+            let input = d.cnf("open.input")?;
+            let output = d.cnf("open.output")?;
+            let after = d.txns("open.after")?;
+            let before = d.txns("open.before")?;
+            let strategy = strategy_from(d.u8("open.strategy")?)
+                .ok_or_else(|| WireError("open: unknown strategy code".into()))?;
+            Request::Open {
+                spec: Specification::new(input, output),
+                after,
+                before,
+                strategy,
+            }
+        }
+        0x03 => Request::Validate {
+            txn: d.u64("validate")?,
+        },
+        0x04 => Request::Read {
+            txn: d.u64("read")?,
+            entity: EntityId(d.u32("read")?),
+        },
+        0x05 => Request::Write {
+            txn: d.u64("write")?,
+            entity: EntityId(d.u32("write")?),
+            value: d.i64("write")?,
+        },
+        0x06 => Request::Commit {
+            txn: d.u64("commit")?,
+        },
+        0x07 => Request::Abort {
+            txn: d.u64("abort")?,
+        },
+        0x08 => Request::Metrics,
+        0x09 => Request::Shutdown,
+        t => return Err(WireError(format!("unknown request type 0x{t:02x}"))),
+    };
+    d.finish(req, "request")
+}
+
+/// Decode a response payload.
+pub fn decode_response(buf: &[u8]) -> Result<Response, WireError> {
+    let mut d = Dec::new(buf);
+    check_version(&mut d, "response")?;
+    let ty = d.u8("response type")?;
+    let resp = match ty {
+        0x81 => Response::HelloOk {
+            shards: d.u32("hello_ok")?,
+        },
+        0x82 => Response::Opened {
+            txn: d.u64("opened")?,
+        },
+        0x83 => Response::Done,
+        0x84 => Response::Value {
+            value: d.i64("value")?,
+        },
+        0x85 => Response::Metrics(WireMetrics {
+            requests: d.u64("metrics")?,
+            committed: d.u64("metrics")?,
+            rejected: d.u64("metrics")?,
+            backpressure: d.u64("metrics")?,
+            timeouts: d.u64("metrics")?,
+            sessions_in_flight: d.u64("metrics")?,
+            p50_ns: d.u64("metrics")?,
+            p99_ns: d.u64("metrics")?,
+        }),
+        0x86 => {
+            let code = d.u16("error")?;
+            let detail = d.str("error")?;
+            Response::Error { code, detail }
+        }
+        0x87 => Response::Bye,
+        t => return Err(WireError(format!("unknown response type 0x{t:02x}"))),
+    };
+    d.finish(resp, "response")
+}
+
+// ---------------------------------------------------------------- framing
+
+/// Write one frame: `u32` LE payload length, then the payload.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame's payload; `Ok(None)` on clean EOF at a frame boundary.
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds MAX_FRAME ({MAX_FRAME})"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ks_predicate::Cnf;
+
+    #[test]
+    fn hello_and_unit_frames_round_trip() {
+        for req in [
+            Request::Hello { magic: HELLO_MAGIC },
+            Request::Validate { txn: 7 },
+            Request::Metrics,
+            Request::Shutdown,
+        ] {
+            let buf = encode_request(&req);
+            assert_eq!(decode_request(&buf).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn open_round_trips_structural_spec() {
+        let spec = Specification::new(
+            Cnf::new(vec![
+                Clause::unit(Atom::cmp_const(EntityId(4), CmpOp::Ge, -3)),
+                Clause::unit(Atom::cmp_entities(EntityId(0), CmpOp::Lt, EntityId(8))),
+            ]),
+            Cnf::truth(),
+        );
+        let req = Request::Open {
+            spec,
+            after: vec![1, 2],
+            before: vec![9],
+            strategy: Some(Strategy::GreedyLatest),
+        };
+        let buf = encode_request(&req);
+        assert_eq!(decode_request(&buf).unwrap(), req);
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut buf = encode_request(&Request::Metrics);
+        buf[0] = 2;
+        let err = decode_request(&buf).unwrap_err();
+        assert!(err.0.contains("version 2"), "{err}");
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut buf = encode_request(&Request::Validate { txn: 1 });
+        buf.push(0);
+        assert!(decode_request(&buf).is_err());
+    }
+
+    #[test]
+    fn corrupt_count_cannot_force_allocation() {
+        // An `after` count of u32::MAX with no payload behind it must be
+        // rejected by the budget check, not attempted.
+        let mut e = Enc(Vec::new());
+        e.u8(PROTOCOL_VERSION);
+        e.u8(0x02);
+        e.cnf(&Cnf::truth());
+        e.cnf(&Cnf::truth());
+        e.u32(u32::MAX); // after count
+        assert!(decode_request(&e.0).is_err());
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_pipe() {
+        let payload = encode_response(&Response::Error {
+            code: 4,
+            detail: String::new(),
+        });
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        let got = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(got, payload);
+        assert_eq!(read_frame(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_frame_length_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME as u32 + 1).to_le_bytes());
+        let err = read_frame(&mut std::io::Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+}

@@ -1,0 +1,231 @@
+//! Loopback integration: concurrent TCP connections drive real
+//! transactions through a `NetServer`, and after the graceful drain every
+//! shard manager still passes the paper's model checker — the wire must
+//! not be able to smuggle an incorrect execution past the protocol.
+
+use ks_core::Specification;
+use ks_kernel::{Domain, EntityId, Schema, UniqueState};
+use ks_net::{NetClientConfig, NetConfig, NetServer, RemoteSession};
+use ks_obs::{ObsKind, Recorder};
+use ks_predicate::{Atom, Clause, CmpOp, Cnf, Strategy};
+use ks_server::{verify_managers, Client, ServerConfig, ServerError, TxnBuilder, TxnService};
+
+const ENTITIES: usize = 16;
+const CLIENTS: usize = 5;
+const TXNS_PER_CLIENT: usize = 8;
+
+fn tautology_spec(entities: &[EntityId]) -> Specification {
+    Specification::new(
+        Cnf::new(
+            entities
+                .iter()
+                .map(|&e| Clause::unit(Atom::cmp_const(e, CmpOp::Ge, i64::MIN / 2)))
+                .collect(),
+        ),
+        Cnf::truth(),
+    )
+}
+
+fn start_server(shards: usize, recorder: Option<Recorder>) -> NetServer {
+    let schema = Schema::uniform(
+        (0..ENTITIES).map(|i| format!("d{i}")),
+        Domain::Range {
+            min: i64::MIN / 2,
+            max: i64::MAX / 2,
+        },
+    );
+    let initial = UniqueState::constant(ENTITIES, 0);
+    let svc = TxnService::new(
+        schema,
+        &initial,
+        ServerConfig {
+            shards,
+            max_sessions: CLIENTS + 2,
+            ..ServerConfig::default()
+        },
+    );
+    let config = NetConfig {
+        recorder,
+        ..NetConfig::default()
+    };
+    NetServer::start(svc, "127.0.0.1:0", config).expect("bind loopback")
+}
+
+/// The workload body, written once against the trait: it cannot tell a
+/// `Session` from a `RemoteSession`.
+fn run_one_client<C: Client>(session: &C, client: usize, shards: usize) -> u64 {
+    let home = client % shards;
+    let per_shard = ENTITIES / shards;
+    let mut committed = 0;
+    for round in 0..TXNS_PER_CLIENT {
+        let entities: Vec<EntityId> = (0..2.min(per_shard))
+            .map(|i| EntityId(((i + round) % per_shard * shards + home) as u32))
+            .collect();
+        let mut sorted = entities.clone();
+        sorted.sort_unstable_by_key(|e| e.0);
+        sorted.dedup();
+        let txn = match session.open(TxnBuilder::new(tautology_spec(&sorted))) {
+            Ok(t) => t,
+            Err(e) if e.is_retryable() => continue,
+            Err(e) => panic!("open: {e}"),
+        };
+        let step = || -> Result<(), ServerError> {
+            session.validate(txn)?;
+            for (i, &e) in sorted.iter().enumerate() {
+                if i % 2 == 0 {
+                    session.write(txn, e, (client * 100 + round) as i64)?;
+                } else {
+                    session.read(txn, e)?;
+                }
+            }
+            session.commit(txn)
+        };
+        match step() {
+            Ok(()) => committed += 1,
+            Err(_) => {
+                let _ = session.abort(txn);
+            }
+        }
+    }
+    committed
+}
+
+/// ≥ 4 concurrent connections, real transactions, graceful shutdown,
+/// model check clean.
+#[test]
+fn concurrent_connections_commit_and_verify_clean() {
+    let recorder = Recorder::new(1 << 14);
+    let server = start_server(2, Some(recorder.clone()));
+    let addr = server.local_addr();
+    assert!(CLIENTS >= 4, "the test must exercise ≥4 connections");
+    let committed: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|client| {
+                scope.spawn(move || {
+                    let session =
+                        RemoteSession::connect(addr, NetClientConfig::default()).expect("connect");
+                    assert_eq!(session.shards(), 2, "HelloOk reports the shard count");
+                    let n = run_one_client(&session, client, session.shards());
+                    session.close().expect("goodbye");
+                    n
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    assert!(committed > 0, "the workload must make progress");
+    let report = verify_managers(&server.shutdown());
+    assert!(report.is_correct(), "{:?}", report.violations);
+    assert_eq!(report.committed as u64, committed, "wire loses no commits");
+    // Connection lifecycle is observable: one opened/closed pair per
+    // client connection.
+    let events = recorder.drain();
+    let opened = events
+        .iter()
+        .filter(|e| matches!(e.kind, ObsKind::ConnOpened { .. }))
+        .count();
+    let closed = events
+        .iter()
+        .filter(|e| matches!(e.kind, ObsKind::ConnClosed { .. }))
+        .count();
+    assert_eq!(opened, CLIENTS);
+    assert_eq!(closed, CLIENTS);
+}
+
+/// Sibling ordering and strategy overrides survive the wire: a `before`
+/// edge opened remotely gates the earlier sibling's commit exactly as it
+/// does in-process.
+#[test]
+fn ordering_edges_and_strategy_cross_the_wire() {
+    let server = start_server(1, None);
+    let addr = server.local_addr();
+    let session = RemoteSession::connect(addr, NetClientConfig::default()).expect("connect");
+    let e = EntityId(0);
+    let early = session
+        .open(TxnBuilder::new(tautology_spec(&[e])).strategy(Strategy::GreedyLatest))
+        .expect("open early");
+    let late = session
+        .open(TxnBuilder::new(tautology_spec(&[e])).before(early))
+        .expect("open late, ordered before early");
+    // `early` may not commit while its predecessor `late` is still live.
+    session.validate(early).expect("validate early");
+    session.write(early, e, 1).expect("write early");
+    match session.commit(early) {
+        Err(ServerError::Busy) => {}
+        other => panic!("commit before the predecessor finished: {other:?}"),
+    }
+    session.validate(late).expect("validate late");
+    session.commit(late).expect("commit late");
+    session.commit(early).expect("commit early after late");
+    session.close().expect("goodbye");
+    let report = verify_managers(&server.shutdown());
+    assert!(report.is_correct(), "{:?}", report.violations);
+    assert_eq!(report.committed, 2);
+}
+
+/// A dropped connection (no Shutdown frame, no aborts) must not wedge the
+/// server: its open transactions are aborted by the connection reaper and
+/// other clients proceed.
+#[test]
+fn dropped_connection_releases_its_transactions() {
+    let server = start_server(1, None);
+    let addr = server.local_addr();
+    let e = EntityId(0);
+    {
+        // This client validates (acquiring R_v locks) and vanishes.
+        let session = RemoteSession::connect(addr, NetClientConfig::default()).expect("connect");
+        let txn = session.open(TxnBuilder::new(tautology_spec(&[e]))).unwrap();
+        session.validate(txn).unwrap();
+        session.write(txn, e, 42).unwrap();
+        // Drop without close(): simulates a client crash.
+    }
+    // A second client must eventually get through (the abort happens
+    // when the server notices the dead socket).
+    let session = RemoteSession::connect(addr, NetClientConfig::default()).expect("connect");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let committed = loop {
+        let txn = session.open(TxnBuilder::new(tautology_spec(&[e]))).unwrap();
+        let outcome = session
+            .validate(txn)
+            .and_then(|()| session.write(txn, e, 7))
+            .and_then(|()| session.commit(txn));
+        match outcome {
+            Ok(()) => break true,
+            Err(_) => {
+                let _ = session.abort(txn);
+                if std::time::Instant::now() > deadline {
+                    break false;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+        }
+    };
+    assert!(committed, "survivor must commit after the crash is reaped");
+    session.close().expect("goodbye");
+    let report = verify_managers(&server.shutdown());
+    assert!(report.is_correct(), "{:?}", report.violations);
+}
+
+/// Metrics cross the wire: the remote snapshot sees the same commits the
+/// client made.
+#[test]
+fn remote_metrics_reflect_the_work() {
+    let server = start_server(1, None);
+    let addr = server.local_addr();
+    let session = RemoteSession::connect(addr, NetClientConfig::default()).expect("connect");
+    let e = EntityId(0);
+    let txn = session.open(TxnBuilder::new(tautology_spec(&[e]))).unwrap();
+    session.validate(txn).unwrap();
+    session.write(txn, e, 9).unwrap();
+    session.commit(txn).unwrap();
+    let m = session.metrics().expect("metrics over the wire");
+    assert_eq!(m.committed, 1);
+    assert!(
+        m.requests >= 4,
+        "define+validate+write+commit: {}",
+        m.requests
+    );
+    assert_eq!(m.sessions_in_flight, 1);
+    session.close().expect("goodbye");
+    drop(verify_managers(&server.shutdown()));
+}

@@ -1,0 +1,248 @@
+//! Fault injection against a mock wire server: the remote client's retry
+//! envelope must convert transient server errors into bounded, backed-off
+//! retries ending in success or a *typed* error — never a hang — and must
+//! treat transport timeouts as poison, not something to retry into a
+//! desynchronized stream.
+
+use ks_core::Specification;
+use ks_kernel::EntityId;
+use ks_net::wire::{self, read_frame, write_frame, Request, Response, HELLO_MAGIC};
+use ks_net::{NetClientConfig, RemoteSession};
+use ks_obs::{ObsKind, Recorder};
+use ks_predicate::{Atom, Clause, CmpOp, Cnf};
+use ks_server::{Client, ServerError, TxnBuilder};
+use std::io::{BufReader, BufWriter};
+use std::net::TcpListener;
+use std::time::Duration;
+
+fn spec() -> Specification {
+    Specification::new(
+        Cnf::new(vec![Clause::unit(Atom::cmp_const(
+            EntityId(0),
+            CmpOp::Ge,
+            0,
+        ))]),
+        Cnf::truth(),
+    )
+}
+
+fn fast_config(recorder: Option<Recorder>) -> NetClientConfig {
+    NetClientConfig {
+        connect_timeout: Duration::from_secs(2),
+        request_deadline: Duration::from_millis(300),
+        max_retries: 3,
+        backoff_base: Duration::from_millis(2),
+        backoff_cap: Duration::from_millis(50),
+        recorder,
+    }
+}
+
+/// A scripted single-connection server: handshakes properly, then plays
+/// `script` — one canned response per incoming frame. `None` means "read
+/// the frame but never reply" (deadline injection).
+fn mock_server(
+    script: Vec<Option<Response>>,
+) -> (std::net::SocketAddr, std::thread::JoinHandle<usize>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().unwrap();
+    let handle = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().expect("accept");
+        let _ = stream.set_nodelay(true);
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        // Handshake.
+        let hello = read_frame(&mut reader).unwrap().expect("hello frame");
+        assert!(matches!(
+            wire::decode_request(&hello),
+            Ok(Request::Hello { magic }) if magic == HELLO_MAGIC
+        ));
+        write_frame(
+            &mut writer,
+            &wire::encode_response(&Response::HelloOk { shards: 1 }),
+        )
+        .unwrap();
+        // Play the script.
+        let mut served = 0usize;
+        for step in script {
+            match read_frame(&mut reader) {
+                Ok(Some(_)) => {
+                    served += 1;
+                    if let Some(resp) = step {
+                        write_frame(&mut writer, &wire::encode_response(&resp)).unwrap();
+                    }
+                    // None: swallow the request silently.
+                }
+                _ => break, // client gave up / closed
+            }
+        }
+        served
+    });
+    (addr, handle)
+}
+
+fn busy() -> Response {
+    Response::error(&ServerError::Busy)
+}
+
+/// Busy twice, then success: the client retries with backoff and the
+/// caller sees only the final `Ok`. The retry trail is observable.
+#[test]
+fn transient_busy_is_retried_to_success() {
+    let recorder = Recorder::new(1024);
+    let (addr, server) = mock_server(vec![
+        Some(busy()),
+        Some(busy()),
+        Some(Response::Opened { txn: 0 }),
+    ]);
+    let session =
+        RemoteSession::connect(addr, fast_config(Some(recorder.clone()))).expect("connect");
+    let txn = session
+        .open(TxnBuilder::new(spec()))
+        .expect("retries succeed");
+    assert_eq!(format!("{txn:?}"), "RemoteTxn(0)");
+    drop(session);
+    assert_eq!(server.join().unwrap(), 3, "initial send + 2 retries");
+    // NetRetry events: attempts 1 and 2, delays within the jittered
+    // exponential envelope delay_n ∈ [base·2^(n−1)/2, min(cap, base·2^(n−1))].
+    let retries: Vec<(u32, u64)> = recorder
+        .drain()
+        .into_iter()
+        .filter_map(|e| match e.kind {
+            ObsKind::NetRetry {
+                attempt, delay_ns, ..
+            } => Some((attempt, delay_ns)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        retries.iter().map(|&(a, _)| a).collect::<Vec<_>>(),
+        vec![1, 2]
+    );
+    let base = Duration::from_millis(2).as_nanos() as u64;
+    for &(attempt, delay_ns) in &retries {
+        let full = base << (attempt - 1);
+        assert!(
+            delay_ns >= full / 2 && delay_ns <= full,
+            "attempt {attempt}: delay {delay_ns}ns outside [{}, {}]",
+            full / 2,
+            full
+        );
+    }
+}
+
+/// A server that never stops being Busy: the client gives up after
+/// exactly `max_retries` re-sends and surfaces the typed error. This is
+/// the "full send queue" acceptance case — bounded retries, then
+/// `ServerError::Busy`, never a hang.
+#[test]
+fn saturated_server_yields_typed_error_after_bounded_retries() {
+    let (addr, server) = mock_server(vec![Some(busy()); 8]);
+    let session = RemoteSession::connect(addr, fast_config(None)).expect("connect");
+    let start = std::time::Instant::now();
+    let err = session.open(TxnBuilder::new(spec())).unwrap_err();
+    assert!(matches!(err, ServerError::Busy), "typed, not a hang: {err}");
+    assert!(
+        start.elapsed() < Duration::from_secs(2),
+        "bounded: {:?}",
+        start.elapsed()
+    );
+    drop(session);
+    assert_eq!(
+        server.join().unwrap(),
+        4,
+        "initial attempt + max_retries(3), then give up"
+    );
+}
+
+/// A swallowed request trips the per-request deadline as a typed
+/// `Timeout`, poisons the connection (the reply could still arrive and
+/// desync the stream), and every later call fails fast.
+#[test]
+fn deadline_times_out_and_poisons_the_connection() {
+    let (addr, _server) = mock_server(vec![None, Some(busy())]);
+    let session = RemoteSession::connect(addr, fast_config(None)).expect("connect");
+    let start = std::time::Instant::now();
+    let err = session.open(TxnBuilder::new(spec())).unwrap_err();
+    assert!(matches!(err, ServerError::Timeout), "{err}");
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed >= Duration::from_millis(250) && elapsed < Duration::from_secs(2),
+        "one deadline, no retries into a poisoned stream: {elapsed:?}"
+    );
+    // Poisoned: fails fast with a wire error, does not touch the socket.
+    let start = std::time::Instant::now();
+    let err = session.validate(ks_net::RemoteTxn(0)).unwrap_err();
+    assert!(matches!(err, ServerError::Wire(_)), "{err}");
+    assert!(start.elapsed() < Duration::from_millis(50), "fail fast");
+}
+
+/// Backpressure is retryable exactly like Busy; non-retryable rejections
+/// (typed `Rejected` with its detail string) pass through on the first
+/// attempt, detail intact.
+#[test]
+fn rejections_pass_through_with_detail_while_backpressure_retries() {
+    let reject = Response::error(&ServerError::Rejected("entity x out of domain".into()));
+    let (addr, server) = mock_server(vec![
+        Some(Response::error(&ServerError::Backpressure)),
+        Some(reject),
+    ]);
+    let session = RemoteSession::connect(addr, fast_config(None)).expect("connect");
+    let err = session.open(TxnBuilder::new(spec())).unwrap_err();
+    match err {
+        ServerError::Rejected(detail) => assert_eq!(detail, "entity x out of domain"),
+        other => panic!("expected the typed rejection, got {other}"),
+    }
+    drop(session);
+    assert_eq!(server.join().unwrap(), 2, "one retry, then the rejection");
+}
+
+/// Version negotiation fails closed: a server speaking a different
+/// protocol version is refused at connect, with a message naming both
+/// versions.
+#[test]
+fn version_mismatch_is_refused_at_connect() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().expect("accept");
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let _ = read_frame(&mut reader).unwrap();
+        // Reply HelloOk with a bumped version byte.
+        let mut payload = wire::encode_response(&Response::HelloOk { shards: 1 });
+        payload[0] = wire::PROTOCOL_VERSION + 1;
+        write_frame(&mut BufWriter::new(stream), &payload).unwrap();
+    });
+    let err = RemoteSession::connect(addr, fast_config(None)).unwrap_err();
+    match err {
+        ServerError::Wire(msg) => {
+            assert!(msg.contains("version"), "{msg}");
+        }
+        other => panic!("expected a wire error, got {other}"),
+    }
+    server.join().unwrap();
+}
+
+/// The connect timeout is honored: dialing a non-routable address
+/// returns (rather than hangs) within the configured bound.
+#[test]
+fn connect_timeout_is_bounded() {
+    use std::net::{IpAddr, Ipv4Addr, SocketAddr};
+    // RFC 5737 TEST-NET-1: guaranteed unroutable.
+    let addr = SocketAddr::new(IpAddr::V4(Ipv4Addr::new(192, 0, 2, 1)), 9);
+    let config = NetClientConfig {
+        connect_timeout: Duration::from_millis(200),
+        ..fast_config(None)
+    };
+    let start = std::time::Instant::now();
+    let err = RemoteSession::connect(addr, config).unwrap_err();
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "dial must be bounded: {:?}",
+        start.elapsed()
+    );
+    // Timeout or immediate unreachability — both are typed.
+    assert!(
+        matches!(err, ServerError::Timeout | ServerError::Wire(_)),
+        "{err}"
+    );
+}

@@ -96,6 +96,8 @@ impl OpCode {
 ///   validation unsatisfiable, each re-eval trigger, each re-assign /
 ///   re-eval abort, and each cascade edge (doomed author → dependent
 ///   sibling);
+/// * **network lifecycle** (`ks-net`): connection open/close on the
+///   server and retry/backoff decisions on the remote client;
 /// * **simulation ops** (sim): the bridged `TraceEvent` stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ObsKind {
@@ -194,6 +196,25 @@ pub enum ObsKind {
         /// The entity carrying the dependency.
         entity: u32,
     },
+    /// Network: a TCP connection was accepted and its session admitted.
+    ConnOpened {
+        /// Server-assigned connection id.
+        conn: u32,
+    },
+    /// Network: a connection closed (client bye, drain, or error).
+    ConnClosed {
+        /// Server-assigned connection id.
+        conn: u32,
+    },
+    /// Network: a remote client backed off and retried a transient reply.
+    NetRetry {
+        /// The operation being retried.
+        op: OpCode,
+        /// 1-based retry attempt number.
+        attempt: u32,
+        /// Nanoseconds of jittered backoff slept before this attempt.
+        delay_ns: u64,
+    },
     /// Simulation: transaction (re)started.
     SimBegin,
     /// Simulation: a read executed.
@@ -233,6 +254,9 @@ impl ObsKind {
             ObsKind::ReEvalAbort { .. } => "re_eval_abort",
             ObsKind::ReassignFailed { .. } => "reassign_failed",
             ObsKind::CascadeEdge { .. } => "cascade_edge",
+            ObsKind::ConnOpened { .. } => "conn_opened",
+            ObsKind::ConnClosed { .. } => "conn_closed",
+            ObsKind::NetRetry { .. } => "net_retry",
             ObsKind::SimBegin => "sim_begin",
             ObsKind::SimRead { .. } => "sim_read",
             ObsKind::SimWrite { .. } => "sim_write",
@@ -265,6 +289,13 @@ impl ObsKind {
             ObsKind::ReEvalAbort { holder, entity } => (14, holder, entity, 0),
             ObsKind::ReassignFailed { holder, entity } => (15, holder, entity, 0),
             ObsKind::CascadeEdge { from, to, entity } => (16, from, to, entity as u64),
+            ObsKind::ConnOpened { conn } => (22, conn, 0, 0),
+            ObsKind::ConnClosed { conn } => (23, conn, 0, 0),
+            ObsKind::NetRetry {
+                op,
+                attempt,
+                delay_ns,
+            } => (24, op.code(), attempt, delay_ns),
             ObsKind::SimBegin => (17, 0, 0, 0),
             ObsKind::SimRead { entity } => (18, entity, 0, 0),
             ObsKind::SimWrite { entity } => (19, entity, 0, 0),
@@ -323,6 +354,13 @@ impl ObsKind {
                 from: a,
                 to: b,
                 entity: c as u32,
+            },
+            22 => ObsKind::ConnOpened { conn: a },
+            23 => ObsKind::ConnClosed { conn: a },
+            24 => ObsKind::NetRetry {
+                op: OpCode::from_code(a)?,
+                attempt: b,
+                delay_ns: c,
             },
             17 => ObsKind::SimBegin,
             18 => ObsKind::SimRead { entity: a },
@@ -438,6 +476,13 @@ mod tests {
                 from: 1,
                 to: 9,
                 entity: 3,
+            },
+            ObsKind::ConnOpened { conn: 3 },
+            ObsKind::ConnClosed { conn: u32::MAX },
+            ObsKind::NetRetry {
+                op: OpCode::Commit,
+                attempt: 4,
+                delay_ns: 2_500_000,
             },
             ObsKind::SimBegin,
             ObsKind::SimRead { entity: 8 },

@@ -94,6 +94,20 @@ pub fn event_to_json(ev: &ObsEvent) -> String {
         ObsKind::CascadeEdge { from, to, entity } => {
             let _ = write!(s, ",\"from\":{from},\"to\":{to},\"entity\":{entity}");
         }
+        ObsKind::ConnOpened { conn } | ObsKind::ConnClosed { conn } => {
+            let _ = write!(s, ",\"conn\":{conn}");
+        }
+        ObsKind::NetRetry {
+            op,
+            attempt,
+            delay_ns,
+        } => {
+            let _ = write!(
+                s,
+                ",\"op\":\"{}\",\"attempt\":{attempt},\"delay_ns\":{delay_ns}",
+                op.name()
+            );
+        }
         ObsKind::SimRead { entity } | ObsKind::SimWrite { entity } => {
             let _ = write!(s, ",\"entity\":{entity}");
         }
@@ -249,6 +263,17 @@ pub fn event_from_json(line_no: usize, text: &str) -> Result<ObsEvent, JsonError
             from: f.u32("from")?,
             to: f.u32("to")?,
             entity: f.u32("entity")?,
+        },
+        "conn_opened" => ObsKind::ConnOpened {
+            conn: f.u32("conn")?,
+        },
+        "conn_closed" => ObsKind::ConnClosed {
+            conn: f.u32("conn")?,
+        },
+        "net_retry" => ObsKind::NetRetry {
+            op: f.op()?,
+            attempt: f.u32("attempt")?,
+            delay_ns: f.u64("delay_ns")?,
         },
         "sim_begin" => ObsKind::SimBegin,
         "sim_read" => ObsKind::SimRead {

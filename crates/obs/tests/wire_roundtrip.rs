@@ -67,6 +67,19 @@ fn corpus() -> Vec<ObsEvent> {
             to: 6,
             entity: 0,
         },
+        ObsKind::ConnOpened { conn: 0 },
+        ObsKind::ConnOpened { conn: u32::MAX },
+        ObsKind::ConnClosed { conn: 17 },
+        ObsKind::NetRetry {
+            op: OpCode::Validate,
+            attempt: 1,
+            delay_ns: 0,
+        },
+        ObsKind::NetRetry {
+            op: OpCode::Define,
+            attempt: u32::MAX,
+            delay_ns: u64::MAX / 2,
+        },
         ObsKind::SimBegin,
         ObsKind::SimRead { entity: 11 },
         ObsKind::SimWrite { entity: 12 },

@@ -1,0 +1,160 @@
+//! The transport-generic client surface: [`Client`] and [`TxnBuilder`].
+//!
+//! The paper's protocol is specified at the *interface*: a transaction is
+//! its `(I_t, O_t)` specification plus its place in the sibling partial
+//! order, and the correctness guarantee is stated over what clients can
+//! observe — not over how calls reach the manager. This module makes that
+//! interface a Rust trait, so workloads, tests and benchmarks are generic
+//! over transport: the in-process [`Session`](crate::Session) and the
+//! `ks-net` `RemoteSession` implement the same [`Client`] contract, and a
+//! driver written against `C: Client` runs unchanged over a function call
+//! or a TCP connection.
+//!
+//! [`TxnBuilder`] replaces the old positional `define`/`define_ordered`
+//! signatures: the specification, the `after`/`before` ordering edges
+//! (the paper's cooperation chains, both directions), and an optional
+//! per-transaction version-assignment strategy are named, composable and
+//! transport-independent.
+
+use crate::ServerError;
+use ks_core::Specification;
+use ks_kernel::{EntityId, Value};
+use ks_predicate::Strategy;
+use std::fmt;
+
+/// A transaction request under construction: specification, sibling
+/// ordering, and solver strategy. Generic over the transport's handle
+/// type so ordering edges reference transactions *of the same client*.
+#[derive(Debug, Clone)]
+pub struct TxnBuilder<H> {
+    spec: Specification,
+    after: Vec<H>,
+    before: Vec<H>,
+    strategy: Option<Strategy>,
+}
+
+impl<H: Copy> TxnBuilder<H> {
+    /// Start from the transaction's `(I_t, O_t)` specification.
+    pub fn new(spec: Specification) -> Self {
+        TxnBuilder {
+            spec,
+            after: Vec::new(),
+            before: Vec::new(),
+            strategy: None,
+        }
+    }
+
+    /// Order this transaction **after** `pred` in the sibling partial
+    /// order: commit is gated until `pred` has committed.
+    pub fn after(mut self, pred: H) -> Self {
+        self.after.push(pred);
+        self
+    }
+
+    /// Order this transaction **before** `succ` in the sibling partial
+    /// order (the other direction of a cooperation chain).
+    pub fn before(mut self, succ: H) -> Self {
+        self.before.push(succ);
+        self
+    }
+
+    /// Override the service's default version-assignment strategy for
+    /// this transaction's validation.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = Some(strategy);
+        self
+    }
+
+    /// The specification.
+    pub fn spec(&self) -> &Specification {
+        &self.spec
+    }
+
+    /// Predecessors in the sibling partial order.
+    pub fn after_handles(&self) -> &[H] {
+        &self.after
+    }
+
+    /// Successors in the sibling partial order.
+    pub fn before_handles(&self) -> &[H] {
+        &self.before
+    }
+
+    /// The per-transaction strategy override, if any.
+    pub fn strategy_override(&self) -> Option<Strategy> {
+        self.strategy
+    }
+
+    /// Decompose into `(spec, after, before, strategy)` — used by
+    /// transport implementations.
+    pub fn into_parts(self) -> (Specification, Vec<H>, Vec<H>, Option<Strategy>) {
+        (self.spec, self.after, self.before, self.strategy)
+    }
+}
+
+/// The client-visible contract of the KS transaction service.
+///
+/// Implementations promise the paper's interface semantics regardless of
+/// transport:
+///
+/// * [`open`](Client::open) admits a transaction whose specification and
+///   ordering edges live on one shard;
+/// * [`validate`](Client::validate) acquires `R_v` locks and a version
+///   assignment (or replies a retryable [`ServerError::Busy`]);
+/// * [`read`](Client::read) observes the *assigned* version — not own
+///   writes: the paper's execution model, not read-your-writes;
+/// * [`write`](Client::write) publishes a version visible to siblings,
+///   possibly triggering re-eval of their assignments;
+/// * [`commit`](Client::commit) checks the output condition and the
+///   sibling order; [`abort`](Client::abort) is an idempotent
+///   acknowledgement.
+///
+/// Transient outcomes are classified by
+/// [`ServerError::is_retryable`]; drivers retry those (with backoff for
+/// remote transports) and treat everything else as a verdict.
+pub trait Client {
+    /// Opaque per-transport transaction handle.
+    type Handle: Copy + fmt::Debug + PartialEq;
+
+    /// Open (define) a transaction from a [`TxnBuilder`].
+    fn open(&self, txn: TxnBuilder<Self::Handle>) -> Result<Self::Handle, ServerError>;
+
+    /// Validate: acquire `R_v` locks plus a version assignment for the
+    /// input predicate. [`ServerError::Busy`] means a sibling must finish
+    /// first — retry.
+    fn validate(&self, txn: Self::Handle) -> Result<(), ServerError>;
+
+    /// Read an entity through the transaction's assigned version.
+    fn read(&self, txn: Self::Handle, entity: EntityId) -> Result<Value, ServerError>;
+
+    /// Write a new version of an entity, visible to siblings.
+    fn write(&self, txn: Self::Handle, entity: EntityId, value: Value) -> Result<(), ServerError>;
+
+    /// Commit; the service checks the output condition and sibling order.
+    fn commit(&self, txn: Self::Handle) -> Result<(), ServerError>;
+
+    /// Abort (idempotent: acknowledging a re-eval abort is not an error).
+    fn abort(&self, txn: Self::Handle) -> Result<(), ServerError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ks_predicate::Cnf;
+
+    #[test]
+    fn builder_accumulates_ordering_and_strategy() {
+        let b: TxnBuilder<u64> = TxnBuilder::new(Specification::new(Cnf::truth(), Cnf::truth()))
+            .after(1)
+            .after(2)
+            .before(9)
+            .strategy(Strategy::GreedyLatest);
+        assert_eq!(b.after_handles(), &[1, 2]);
+        assert_eq!(b.before_handles(), &[9]);
+        assert_eq!(b.strategy_override(), Some(Strategy::GreedyLatest));
+        let (spec, after, before, strategy) = b.into_parts();
+        assert!(spec.input.is_truth());
+        assert_eq!((after, before), (vec![1, 2], vec![9]));
+        assert_eq!(strategy, Some(Strategy::GreedyLatest));
+    }
+}

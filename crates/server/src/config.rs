@@ -1,7 +1,16 @@
 //! Service tuning knobs.
+//!
+//! [`ServerConfig`] keeps public fields (struct-literal construction still
+//! works for internal code), but the supported way to build one is the
+//! validating [`ServerConfig::builder`]: it rejects configurations that
+//! would wedge the service at startup — zero shards, a zero-depth queue
+//! nothing can ever enter, a session cap of zero, or a zero timeout that
+//! turns every call into an instant `Timeout`.
 
+use crate::error::ServerError;
 use ks_obs::Recorder;
 use ks_predicate::Strategy;
+use std::fmt;
 use std::time::Duration;
 
 /// Configuration for a [`TxnService`](crate::TxnService).
@@ -18,7 +27,9 @@ pub struct ServerConfig {
     pub max_sessions: usize,
     /// How long a session waits for a reply before reporting `Timeout`.
     pub request_timeout: Duration,
-    /// Version-assignment solver strategy used at validation.
+    /// Version-assignment solver strategy used at validation (overridable
+    /// per transaction via
+    /// [`TxnBuilder::strategy`](crate::TxnBuilder::strategy)).
     pub strategy: Strategy,
     /// Flight recorder for structured decision tracing. When set, every
     /// shard manager and worker gets an [`ObsSink`](ks_obs::ObsSink) and
@@ -38,5 +49,152 @@ impl Default for ServerConfig {
             strategy: Strategy::Backtracking,
             recorder: None,
         }
+    }
+}
+
+impl ServerConfig {
+    /// Start a validating builder seeded with the defaults.
+    pub fn builder() -> ServerConfigBuilder {
+        ServerConfigBuilder {
+            config: ServerConfig::default(),
+        }
+    }
+}
+
+/// A [`ServerConfig`] that failed validation; explains which knob is
+/// unusable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(pub String);
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid server config: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<ConfigError> for ServerError {
+    fn from(e: ConfigError) -> Self {
+        ServerError::Rejected(e.to_string())
+    }
+}
+
+/// Builder for [`ServerConfig`] whose [`build`](ServerConfigBuilder::build)
+/// rejects degenerate settings instead of starting a service that can
+/// never make progress.
+#[derive(Debug, Clone)]
+pub struct ServerConfigBuilder {
+    config: ServerConfig,
+}
+
+impl ServerConfigBuilder {
+    /// Number of entity shards (must be ≥ 1; still clamped to `|E|` at
+    /// service startup).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
+    /// Per-shard request-queue depth (must be ≥ 1).
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.config.queue_depth = depth;
+        self
+    }
+
+    /// Admission-control session cap (must be ≥ 1).
+    pub fn max_sessions(mut self, cap: usize) -> Self {
+        self.config.max_sessions = cap;
+        self
+    }
+
+    /// Reply timeout for every session call (must be non-zero).
+    pub fn request_timeout(mut self, timeout: Duration) -> Self {
+        self.config.request_timeout = timeout;
+        self
+    }
+
+    /// Default version-assignment strategy.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.config.strategy = strategy;
+        self
+    }
+
+    /// Attach a flight recorder.
+    pub fn recorder(mut self, recorder: Recorder) -> Self {
+        self.config.recorder = Some(recorder);
+        self
+    }
+
+    /// Validate and produce the config.
+    pub fn build(self) -> Result<ServerConfig, ConfigError> {
+        let c = &self.config;
+        if c.shards == 0 {
+            return Err(ConfigError("shards must be >= 1".into()));
+        }
+        if c.queue_depth == 0 {
+            return Err(ConfigError(
+                "queue_depth must be >= 1 (a zero-depth queue admits nothing)".into(),
+            ));
+        }
+        if c.max_sessions == 0 {
+            return Err(ConfigError(
+                "max_sessions must be >= 1 (a zero cap sheds every session)".into(),
+            ));
+        }
+        if c.request_timeout.is_zero() {
+            return Err(ConfigError(
+                "request_timeout must be non-zero (every call would time out)".into(),
+            ));
+        }
+        Ok(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_validate() {
+        let c = ServerConfig::builder().build().unwrap();
+        assert_eq!(c.shards, 4);
+        assert_eq!(c.queue_depth, 128);
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_knobs() {
+        assert!(ServerConfig::builder().shards(0).build().is_err());
+        assert!(ServerConfig::builder().queue_depth(0).build().is_err());
+        assert!(ServerConfig::builder().max_sessions(0).build().is_err());
+        assert!(ServerConfig::builder()
+            .request_timeout(Duration::ZERO)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn builder_sets_every_knob() {
+        let c = ServerConfig::builder()
+            .shards(2)
+            .queue_depth(7)
+            .max_sessions(3)
+            .request_timeout(Duration::from_millis(250))
+            .strategy(Strategy::GreedyLatest)
+            .build()
+            .unwrap();
+        assert_eq!(c.shards, 2);
+        assert_eq!(c.queue_depth, 7);
+        assert_eq!(c.max_sessions, 3);
+        assert_eq!(c.request_timeout, Duration::from_millis(250));
+        assert_eq!(c.strategy, Strategy::GreedyLatest);
+        assert!(c.recorder.is_none());
+    }
+
+    #[test]
+    fn config_error_converts_to_server_error() {
+        let e: ServerError = ConfigError("shards must be >= 1".into()).into();
+        assert!(e.to_string().contains("shards"));
+        assert!(!e.is_retryable());
     }
 }

@@ -1,5 +1,13 @@
-//! Typed errors surfaced to [`Session`](crate::Session) callers.
+//! Typed errors surfaced to [`Client`](crate::Client) callers.
+//!
+//! Every variant carries a **stable wire code** ([`ServerError::code`])
+//! so remote transports can round-trip errors losslessly: the `ks-net`
+//! client reconstructs exactly the error the server raised via
+//! [`ServerError::from_code`]. Retryable outcomes are classified once,
+//! in [`ServerError::is_retryable`], and both the in-process drivers and
+//! the remote client's backoff loop consult that single predicate.
 
+use ks_protocol::ProtocolError;
 use std::fmt;
 
 /// Why a service call failed.
@@ -22,10 +30,74 @@ pub enum ServerError {
     /// The specification references entities owned by more than one shard;
     /// a transaction must live inside a single shard.
     CrossShard,
-    /// No reply within the configured request timeout.
+    /// No reply within the configured request timeout (server side) or
+    /// the per-request deadline expired (remote client side).
     Timeout,
     /// The service has shut down.
     Shutdown,
+    /// Transport failure between a remote client and the server: the
+    /// connection dropped, a frame was malformed, or the peer spoke an
+    /// incompatible protocol version. Never produced in-process.
+    Wire(String),
+}
+
+impl ServerError {
+    /// Is this a transient outcome a caller may retry (with backoff)?
+    ///
+    /// `Busy` (a sibling holds the resource), `Backpressure` (admission
+    /// or queue shedding) and `Timeout` are transient by design — the
+    /// paper's protocol replies "wait" rather than blocking, and the
+    /// serving layer sheds rather than queueing unboundedly. Everything
+    /// else is a terminal verdict about the call or the transaction.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ServerError::Busy | ServerError::Backpressure | ServerError::Timeout
+        )
+    }
+
+    /// The stable wire code of this error (see `docs/wire.md`).
+    ///
+    /// Codes are part of the `ks-net` protocol contract: they never
+    /// change meaning, and new variants get new codes.
+    pub fn code(&self) -> u16 {
+        match self {
+            ServerError::Rejected(_) => 1,
+            ServerError::ReEvalAborted => 2,
+            ServerError::Backpressure => 3,
+            ServerError::Busy => 4,
+            ServerError::CrossShard => 5,
+            ServerError::Timeout => 6,
+            ServerError::Shutdown => 7,
+            ServerError::Wire(_) => 8,
+        }
+    }
+
+    /// Reconstruct an error from its wire code and detail string; `None`
+    /// for unknown codes (a newer peer). Inverse of [`ServerError::code`]
+    /// paired with [`ServerError::detail`].
+    pub fn from_code(code: u16, detail: &str) -> Option<ServerError> {
+        Some(match code {
+            1 => ServerError::Rejected(detail.to_string()),
+            2 => ServerError::ReEvalAborted,
+            3 => ServerError::Backpressure,
+            4 => ServerError::Busy,
+            5 => ServerError::CrossShard,
+            6 => ServerError::Timeout,
+            7 => ServerError::Shutdown,
+            8 => ServerError::Wire(detail.to_string()),
+            _ => return None,
+        })
+    }
+
+    /// The detail payload that travels with [`ServerError::code`] (empty
+    /// for variants whose meaning is fully carried by the code).
+    pub fn detail(&self) -> &str {
+        match self {
+            ServerError::Rejected(why) | ServerError::Wire(why) => why,
+            _ => "",
+        }
+    }
 }
 
 impl fmt::Display for ServerError {
@@ -38,8 +110,77 @@ impl fmt::Display for ServerError {
             ServerError::CrossShard => f.write_str("specification spans shards"),
             ServerError::Timeout => f.write_str("request timed out"),
             ServerError::Shutdown => f.write_str("service is shut down"),
+            ServerError::Wire(why) => write!(f, "wire: {why}"),
         }
     }
 }
 
 impl std::error::Error for ServerError {}
+
+/// The one `ProtocolError` → `ServerError` conversion, shared by the
+/// shard workers and the wire layer: every manager refusal is a
+/// `Rejected` carrying the protocol's own diagnostic.
+impl From<ProtocolError> for ServerError {
+    fn from(e: ProtocolError) -> Self {
+        ServerError::Rejected(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all() -> Vec<ServerError> {
+        vec![
+            ServerError::Rejected("output condition violated".into()),
+            ServerError::ReEvalAborted,
+            ServerError::Backpressure,
+            ServerError::Busy,
+            ServerError::CrossShard,
+            ServerError::Timeout,
+            ServerError::Shutdown,
+            ServerError::Wire("connection reset".into()),
+        ]
+    }
+
+    #[test]
+    fn codes_round_trip_every_variant() {
+        for e in all() {
+            assert_eq!(
+                ServerError::from_code(e.code(), e.detail()),
+                Some(e.clone()),
+                "{e:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn codes_are_distinct_and_unknown_codes_fail_closed() {
+        let mut codes: Vec<u16> = all().iter().map(|e| e.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), all().len());
+        assert_eq!(ServerError::from_code(0, ""), None);
+        assert_eq!(ServerError::from_code(999, "x"), None);
+    }
+
+    #[test]
+    fn retryable_is_exactly_the_transient_set() {
+        for e in all() {
+            let transient = matches!(
+                e,
+                ServerError::Busy | ServerError::Backpressure | ServerError::Timeout
+            );
+            assert_eq!(e.is_retryable(), transient, "{e:?}");
+        }
+    }
+
+    #[test]
+    fn protocol_errors_become_rejections() {
+        let e: ServerError = ProtocolError::UnknownTxn.into();
+        match e {
+            ServerError::Rejected(why) => assert!(why.contains("unknown")),
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+    }
+}

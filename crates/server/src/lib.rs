@@ -17,10 +17,16 @@
 //!   workers never block on protocol outcomes — contended calls reply
 //!   [`ServerError::Busy`] and the session retries, which is what keeps
 //!   one stalled transaction from wedging its whole shard.
-//! - **Sessions** ([`session`]): blocking client handles with a one-shot
-//!   reply rendezvous per call, request timeouts, and typed errors
-//!   ([`ServerError::Rejected`], [`ServerError::ReEvalAborted`],
-//!   [`ServerError::Backpressure`]…).
+//! - **Clients** ([`client`]): the transport-generic [`Client`] trait and
+//!   [`TxnBuilder`] (spec, after/before ordering, strategy) — the
+//!   client-visible contract both the in-process [`Session`] and the
+//!   `ks-net` remote session implement, so workloads are generic over
+//!   transport.
+//! - **Sessions** ([`session`]): blocking in-process client handles with
+//!   a one-shot reply rendezvous per call, request timeouts, and typed
+//!   errors ([`ServerError::Rejected`], [`ServerError::ReEvalAborted`],
+//!   [`ServerError::Backpressure`]…) carrying stable wire codes and a
+//!   single [`ServerError::is_retryable`] classification.
 //! - **Admission control** ([`service`]): a session cap plus full-queue
 //!   shedding degrade gracefully under overload.
 //! - **Metrics** ([`metrics`]): lock-free counters and a fixed-bucket
@@ -34,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod client;
 pub mod config;
 pub mod error;
 pub mod metrics;
@@ -44,7 +51,8 @@ pub mod verify;
 
 pub(crate) mod worker;
 
-pub use config::ServerConfig;
+pub use client::{Client, TxnBuilder};
+pub use config::{ConfigError, ServerConfig, ServerConfigBuilder};
 pub use error::ServerError;
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ServerMetrics};
 pub use routing::ShardMap;
@@ -86,31 +94,30 @@ mod tests {
     fn service(n_entities: usize, shards: usize) -> TxnService {
         let schema = schema(n_entities);
         let initial = UniqueState::constant(n_entities, 0);
-        TxnService::new(
-            schema,
-            &initial,
-            ServerConfig {
-                shards,
-                ..ServerConfig::default()
-            },
-        )
+        let config = ServerConfig::builder().shards(shards).build().unwrap();
+        TxnService::new(schema, &initial, config)
+    }
+
+    /// The full lifecycle, written against the transport-generic
+    /// [`Client`] contract — `ks-net` runs the same shape over TCP.
+    fn full_lifecycle_over<C: Client>(client: &C) {
+        // Entities 1 and 5 share shard 1 under S=4.
+        let spec = tautology_spec(&[EntityId(1), EntityId(5)]);
+        let txn = client.open(TxnBuilder::new(spec)).unwrap();
+        client.validate(txn).unwrap();
+        assert_eq!(client.read(txn, EntityId(1)).unwrap(), 0);
+        client.write(txn, EntityId(5), 42).unwrap();
+        // Reads consume the version assigned at validation, not own
+        // writes — the paper's execution model, not read-your-writes.
+        assert_eq!(client.read(txn, EntityId(5)).unwrap(), 0);
+        client.commit(txn).unwrap();
     }
 
     #[test]
     fn single_session_full_lifecycle() {
         let svc = service(8, 4);
         let session = svc.session().unwrap();
-        // Entities 1 and 5 share shard 1 under S=4.
-        let spec = tautology_spec(&[EntityId(1), EntityId(5)]);
-        let txn = session.define(&spec).unwrap();
-        assert_eq!(txn.shard(), 1);
-        session.validate(txn).unwrap();
-        assert_eq!(session.read(txn, EntityId(1)).unwrap(), 0);
-        session.write(txn, EntityId(5), 42).unwrap();
-        // Reads consume the version assigned at validation, not own
-        // writes — the paper's execution model, not read-your-writes.
-        assert_eq!(session.read(txn, EntityId(5)).unwrap(), 0);
-        session.commit(txn).unwrap();
+        full_lifecycle_over(&session);
         let snap = svc.metrics();
         assert_eq!(snap.committed, 1);
         assert!(snap.p50.is_some());
@@ -123,17 +130,49 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_define_still_delegates() {
+        let svc = service(8, 4);
+        let session = svc.session().unwrap();
+        let spec = tautology_spec(&[EntityId(1), EntityId(5)]);
+        let txn = session.define(&spec).unwrap();
+        assert_eq!(txn.shard(), 1);
+        session.validate(txn).unwrap();
+        let next = session.define_ordered(&spec, &[txn]).unwrap();
+        session.validate(next).unwrap();
+        session.commit(txn).unwrap();
+        session.commit(next).unwrap();
+        drop(session);
+        assert!(verify_managers(&svc.shutdown()).is_correct());
+    }
+
+    #[test]
     fn cross_shard_specs_are_rejected() {
         let svc = service(8, 4);
         let session = svc.session().unwrap();
         // Entities 0 and 1 live on different shards.
         let spec = tautology_spec(&[EntityId(0), EntityId(1)]);
-        assert_eq!(session.define(&spec).unwrap_err(), ServerError::CrossShard);
+        assert_eq!(
+            session.open(TxnBuilder::new(spec)).unwrap_err(),
+            ServerError::CrossShard
+        );
         // Accessing an entity outside the home shard is rejected too.
-        let txn = session.define(&tautology_spec(&[EntityId(0)])).unwrap();
+        let txn = session
+            .open(TxnBuilder::new(tautology_spec(&[EntityId(0)])))
+            .unwrap();
         session.validate(txn).unwrap();
         assert_eq!(
             session.read(txn, EntityId(1)).unwrap_err(),
+            ServerError::CrossShard
+        );
+        // As is an ordering edge onto a transaction of another shard.
+        let other = session
+            .open(TxnBuilder::new(tautology_spec(&[EntityId(1)])))
+            .unwrap();
+        assert_eq!(
+            session
+                .open(TxnBuilder::new(tautology_spec(&[EntityId(0)])).after(other))
+                .unwrap_err(),
             ServerError::CrossShard
         );
     }
@@ -142,15 +181,12 @@ mod tests {
     fn admission_control_sheds_excess_sessions() {
         let schema = schema(4);
         let initial = UniqueState::constant(4, 0);
-        let svc = TxnService::new(
-            schema,
-            &initial,
-            ServerConfig {
-                shards: 2,
-                max_sessions: 2,
-                ..ServerConfig::default()
-            },
-        );
+        let config = ServerConfig::builder()
+            .shards(2)
+            .max_sessions(2)
+            .build()
+            .unwrap();
+        let svc = TxnService::new(schema, &initial, config);
         let s1 = svc.session().unwrap();
         let _s2 = svc.session().unwrap();
         assert_eq!(svc.session().unwrap_err(), ServerError::Backpressure);
@@ -172,7 +208,7 @@ mod tests {
             parse_cnf(&schema, "x = 5").unwrap(),
             parse_cnf(&schema, "x = 7").unwrap(),
         );
-        let txn = session.define(&spec).unwrap();
+        let txn = session.open(TxnBuilder::new(spec)).unwrap();
         session.validate(txn).unwrap();
         session.write(txn, EntityId(0), 6).unwrap(); // ≠ 7: output fails
         match session.commit(txn).unwrap_err() {
@@ -187,28 +223,25 @@ mod tests {
 
     #[test]
     fn reeval_abort_is_reported_to_the_victim() {
-        // One shard, GreedyLatest assignment: t1 validates onto t2's
-        // in-flight version of x and reads it; t2 then writes x again,
+        // One shard; t1 validates onto t2's in-flight version of x (via a
+        // per-transaction GreedyLatest override — the service default
+        // stays Backtracking) and reads it; t2 then writes x again,
         // superseding the version t1 consumed ⇒ re-eval aborts t1.
         let schema = Schema::uniform(["x"], Domain::Range { min: 0, max: 99 });
         let initial = UniqueState::new(&schema, vec![5]).unwrap();
-        let svc = TxnService::new(
-            schema.clone(),
-            &initial,
-            ServerConfig {
-                shards: 1,
-                strategy: ks_predicate::Strategy::GreedyLatest,
-                ..ServerConfig::default()
-            },
-        );
+        let config = ServerConfig::builder().shards(1).build().unwrap();
+        let svc = TxnService::new(schema.clone(), &initial, config);
         let s1 = svc.session().unwrap();
         let s2 = svc.session().unwrap();
         let x = EntityId(0);
         let spec = tautology_spec(&[x]);
-        let t2 = s2.define(&spec).unwrap();
+        let greedy = |spec: &Specification| {
+            TxnBuilder::new(spec.clone()).strategy(ks_predicate::Strategy::GreedyLatest)
+        };
+        let t2 = s2.open(greedy(&spec)).unwrap();
         s2.validate(t2).unwrap();
         s2.write(t2, x, 9).unwrap();
-        let t1 = s1.define(&spec).unwrap();
+        let t1 = s1.open(greedy(&spec)).unwrap();
         s1.validate(t1).unwrap(); // assigned t2's in-flight version
         assert_eq!(s1.read(t1, x).unwrap(), 9);
         s2.write(t2, x, 11).unwrap(); // supersedes what t1 already read
@@ -232,15 +265,44 @@ mod tests {
         let session = svc.session().unwrap();
         let x = EntityId(0);
         let spec = tautology_spec(&[x]);
-        let first = session.define(&spec).unwrap();
-        let second = session.define_ordered(&spec, &[first]).unwrap();
+        let first = session.open(TxnBuilder::new(spec.clone())).unwrap();
+        let second = session
+            .open(TxnBuilder::new(spec.clone()).after(first))
+            .unwrap();
         session.validate(first).unwrap();
         session.validate(second).unwrap();
         session.write(second, x, 8).unwrap();
-        // The successor cannot commit before its predecessor.
-        assert_eq!(session.commit(second).unwrap_err(), ServerError::Busy);
+        // The successor cannot commit before its predecessor, and the
+        // outcome is classified retryable.
+        let gated = session.commit(second).unwrap_err();
+        assert_eq!(gated, ServerError::Busy);
+        assert!(gated.is_retryable());
         session.commit(first).unwrap();
         session.commit(second).unwrap();
+        drop(session);
+        let report = verify_managers(&svc.shutdown());
+        assert!(report.is_correct(), "{report:?}");
+        assert_eq!(report.committed, 2);
+    }
+
+    #[test]
+    fn before_edge_gates_the_existing_sibling() {
+        // `before` is the dual declaration: opening `late` *before*
+        // `early` makes `early` wait on `late`'s commit.
+        let schema = Schema::uniform(["x"], Domain::Range { min: 0, max: 99 });
+        let initial = UniqueState::new(&schema, vec![5]).unwrap();
+        let svc = TxnService::new(schema, &initial, ServerConfig::default());
+        let session = svc.session().unwrap();
+        let spec = tautology_spec(&[EntityId(0)]);
+        let early = session.open(TxnBuilder::new(spec.clone())).unwrap();
+        let late = session
+            .open(TxnBuilder::new(spec.clone()).before(early))
+            .unwrap();
+        session.validate(early).unwrap();
+        session.validate(late).unwrap();
+        assert_eq!(session.commit(early).unwrap_err(), ServerError::Busy);
+        session.commit(late).unwrap();
+        session.commit(early).unwrap();
         drop(session);
         let report = verify_managers(&svc.shutdown());
         assert!(report.is_correct(), "{report:?}");
@@ -264,11 +326,11 @@ mod tests {
                         .collect();
                     for round in 0..5 {
                         let spec = tautology_spec(&entities);
-                        let txn = session.define(&spec).unwrap();
+                        let txn = session.open(TxnBuilder::new(spec)).unwrap();
                         loop {
                             match session.validate(txn) {
                                 Ok(()) => break,
-                                Err(ServerError::Busy) => std::thread::yield_now(),
+                                Err(e) if e.is_retryable() => std::thread::yield_now(),
                                 Err(e) => panic!("validate: {e}"),
                             }
                         }
@@ -311,6 +373,9 @@ mod tests {
         let managers = svc.shutdown();
         assert_eq!(managers.len(), 2);
         let spec = tautology_spec(&[EntityId(0)]);
-        assert_eq!(session.define(&spec).unwrap_err(), ServerError::Shutdown);
+        assert_eq!(
+            session.open(TxnBuilder::new(spec)).unwrap_err(),
+            ServerError::Shutdown
+        );
     }
 }

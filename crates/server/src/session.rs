@@ -1,28 +1,39 @@
-//! Blocking client handles: request/reply rendezvous with the shard
-//! workers.
+//! Blocking in-process client handles: request/reply rendezvous with the
+//! shard workers.
 //!
-//! A [`Session`] is cheap, `Send`, and owned by one client thread. Every
-//! call routes to the owning shard's queue (`try_send`, shedding with
+//! A [`Session`] is cheap, `Send`, and owned by one client thread. It is
+//! the in-process implementation of the transport-generic
+//! [`Client`](crate::Client) contract: every call routes to the owning
+//! shard's queue (`try_send`, shedding with
 //! [`ServerError::Backpressure`] when full), then blocks on a one-shot
 //! reply channel up to the configured timeout. Sessions speak **global**
 //! entity ids; translation to shard-local ids happens here, at the
 //! boundary.
+//!
+//! Transient outcomes ([`ServerError::Busy`],
+//! [`ServerError::Backpressure`], [`ServerError::Timeout`]) are
+//! classified by [`ServerError::is_retryable`]; in-process callers
+//! typically retry them with `std::thread::yield_now`, remote callers
+//! with jittered backoff.
 
+use crate::client::{Client, TxnBuilder};
 use crate::service::Shared;
 use crate::worker::{Request, Routed};
 use crate::ServerError;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
-use ks_core::Specification;
 use ks_kernel::{EntityId, Value};
 use ks_obs::ObsKind;
+use ks_predicate::Strategy;
 use ks_protocol::Txn;
+use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
 
 /// A transaction opened through a [`Session`]: the owning shard plus the
 /// shard-local protocol handle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TxnHandle {
     pub(crate) shard: usize,
     pub(crate) txn: Txn,
@@ -38,6 +49,10 @@ impl TxnHandle {
 /// One client's blocking handle onto the service.
 pub struct Session {
     shared: Arc<Shared>,
+    /// Per-transaction strategy overrides declared at
+    /// [`TxnBuilder::strategy`], consumed at validation and dropped on
+    /// terminal outcomes.
+    strategies: Mutex<HashMap<TxnHandle, Strategy>>,
 }
 
 impl std::fmt::Debug for Session {
@@ -50,93 +65,41 @@ impl std::fmt::Debug for Session {
 
 impl Session {
     pub(crate) fn new(shared: Arc<Shared>) -> Self {
-        Session { shared }
+        Session {
+            shared,
+            strategies: Mutex::new(HashMap::new()),
+        }
     }
 
-    /// Define a transaction from its `(I_t, O_t)` specification. The spec
-    /// (global ids) picks the home shard; specs spanning shards are
-    /// rejected with [`ServerError::CrossShard`].
-    pub fn define(&self, spec: &Specification) -> Result<TxnHandle, ServerError> {
-        self.define_ordered(spec, &[])
+    /// Define a transaction from its `(I_t, O_t)` specification.
+    #[deprecated(since = "0.2.0", note = "use `Client::open` with a `TxnBuilder`")]
+    pub fn define(&self, spec: &ks_core::Specification) -> Result<TxnHandle, ServerError> {
+        self.open(TxnBuilder::new(spec.clone()))
     }
 
-    /// Like [`Session::define`], but ordered **after** the given sibling
-    /// transactions in the root's partial order (the paper's cooperation
-    /// chains). Predecessors must live on the spec's home shard; commit
-    /// replies [`ServerError::Busy`] until they have committed.
+    /// Like `define`, but ordered **after** the given sibling
+    /// transactions in the root's partial order.
+    #[deprecated(since = "0.2.0", note = "use `Client::open` with `TxnBuilder::after`")]
     pub fn define_ordered(
         &self,
-        spec: &Specification,
+        spec: &ks_core::Specification,
         after: &[TxnHandle],
     ) -> Result<TxnHandle, ServerError> {
-        let shard = self.shared.map.home_shard(spec)?;
-        if after.iter().any(|h| h.shard != shard) {
-            return Err(ServerError::CrossShard);
+        let mut builder = TxnBuilder::new(spec.clone());
+        for &h in after {
+            builder = builder.after(h);
         }
-        let local = self.shared.map.localize_spec(shard, spec);
-        let after: Vec<Txn> = after.iter().map(|h| h.txn).collect();
-        let txn = self.call(shard, |reply| Request::Define {
-            spec: local,
-            after,
-            reply,
-        })?;
-        Ok(TxnHandle { shard, txn })
+        self.open(builder)
     }
 
-    /// Validate: `R_v` locks plus a version assignment for the input
-    /// predicate. [`ServerError::Busy`] means a sibling must finish
-    /// first — retry.
-    pub fn validate(&self, handle: TxnHandle) -> Result<(), ServerError> {
-        let strategy = self.shared.config.strategy;
-        self.call(handle.shard, |reply| Request::Validate {
-            txn: handle.txn,
-            strategy,
-            reply,
-        })
-    }
-
-    /// Read entity `entity` (global id) through the transaction's
-    /// assigned version.
-    pub fn read(&self, handle: TxnHandle, entity: EntityId) -> Result<Value, ServerError> {
-        let entity = self.localize(handle, entity)?;
-        self.call(handle.shard, |reply| Request::Read {
-            txn: handle.txn,
-            entity,
-            reply,
-        })
-    }
-
-    /// Write `value` to entity `entity` (global id), creating a new
-    /// version visible to siblings.
-    pub fn write(
-        &self,
-        handle: TxnHandle,
-        entity: EntityId,
-        value: Value,
-    ) -> Result<(), ServerError> {
-        let entity = self.localize(handle, entity)?;
-        self.call(handle.shard, |reply| Request::Write {
-            txn: handle.txn,
-            entity,
-            value,
-            reply,
-        })
-    }
-
-    /// Commit; the worker checks the output condition and sibling order.
-    pub fn commit(&self, handle: TxnHandle) -> Result<(), ServerError> {
-        self.call(handle.shard, |reply| Request::Commit {
-            txn: handle.txn,
-            reply,
-        })
-    }
-
-    /// Abort (idempotent: acknowledging a re-eval abort is not an error).
-    pub fn abort(&self, handle: TxnHandle) -> Result<(), ServerError> {
-        self.call(handle.shard, |reply| Request::Abort {
-            txn: handle.txn,
-            reply,
-        })
+    /// Drop a transaction's strategy override once its outcome is
+    /// terminal (anything but a retryable error keeps the handle dead or
+    /// done either way).
+    fn forget_if_terminal<T>(&self, handle: TxnHandle, result: &Result<T, ServerError>) {
+        let transient = matches!(result, Err(e) if e.is_retryable());
+        if !transient {
+            self.strategies.lock().remove(&handle);
+        }
     }
 
     fn localize(&self, handle: TxnHandle, entity: EntityId) -> Result<EntityId, ServerError> {
@@ -185,6 +148,86 @@ impl Session {
             }
             Err(RecvTimeoutError::Disconnected) => Err(ServerError::Shutdown),
         }
+    }
+}
+
+impl Client for Session {
+    type Handle = TxnHandle;
+
+    /// Open a transaction. The spec (global ids) picks the home shard;
+    /// specs spanning shards — and ordering edges to transactions of
+    /// other shards — are rejected with [`ServerError::CrossShard`].
+    fn open(&self, txn: TxnBuilder<TxnHandle>) -> Result<TxnHandle, ServerError> {
+        let (spec, after, before, strategy) = txn.into_parts();
+        let shard = self.shared.map.home_shard(&spec)?;
+        if after.iter().chain(&before).any(|h| h.shard != shard) {
+            return Err(ServerError::CrossShard);
+        }
+        let local = self.shared.map.localize_spec(shard, &spec);
+        let after: Vec<Txn> = after.iter().map(|h| h.txn).collect();
+        let before: Vec<Txn> = before.iter().map(|h| h.txn).collect();
+        let txn = self.call(shard, |reply| Request::Define {
+            spec: local,
+            after,
+            before,
+            reply,
+        })?;
+        let handle = TxnHandle { shard, txn };
+        if let Some(s) = strategy {
+            self.strategies.lock().insert(handle, s);
+        }
+        Ok(handle)
+    }
+
+    fn validate(&self, handle: TxnHandle) -> Result<(), ServerError> {
+        let strategy = self
+            .strategies
+            .lock()
+            .get(&handle)
+            .copied()
+            .unwrap_or(self.shared.config.strategy);
+        self.call(handle.shard, |reply| Request::Validate {
+            txn: handle.txn,
+            strategy,
+            reply,
+        })
+    }
+
+    fn read(&self, handle: TxnHandle, entity: EntityId) -> Result<Value, ServerError> {
+        let entity = self.localize(handle, entity)?;
+        self.call(handle.shard, |reply| Request::Read {
+            txn: handle.txn,
+            entity,
+            reply,
+        })
+    }
+
+    fn write(&self, handle: TxnHandle, entity: EntityId, value: Value) -> Result<(), ServerError> {
+        let entity = self.localize(handle, entity)?;
+        self.call(handle.shard, |reply| Request::Write {
+            txn: handle.txn,
+            entity,
+            value,
+            reply,
+        })
+    }
+
+    fn commit(&self, handle: TxnHandle) -> Result<(), ServerError> {
+        let result = self.call(handle.shard, |reply| Request::Commit {
+            txn: handle.txn,
+            reply,
+        });
+        self.forget_if_terminal(handle, &result);
+        result
+    }
+
+    fn abort(&self, handle: TxnHandle) -> Result<(), ServerError> {
+        let result = self.call(handle.shard, |reply| Request::Abort {
+            txn: handle.txn,
+            reply,
+        });
+        self.forget_if_terminal(handle, &result);
+        result
     }
 }
 

@@ -33,10 +33,12 @@ pub(crate) struct Routed {
 /// the target shard's local id space (sessions translate at the boundary).
 pub(crate) enum Request {
     /// Define a new root child with its `(I_t, O_t)` specification,
-    /// optionally ordered after sibling transactions of the same shard.
+    /// optionally ordered after/before sibling transactions of the same
+    /// shard.
     Define {
         spec: Specification,
         after: Vec<Txn>,
+        before: Vec<Txn>,
         reply: Sender<Result<Txn, ServerError>>,
     },
     /// Validate: acquire `R_v` locks and a version assignment.
@@ -102,8 +104,10 @@ impl Request {
     }
 }
 
+/// The shared `ProtocolError` → `ServerError` conversion (see
+/// `crate::error`): every manager refusal becomes a `Rejected`.
 fn reject(e: ks_protocol::ProtocolError) -> ServerError {
-    ServerError::Rejected(e.to_string())
+    ServerError::from(e)
 }
 
 /// A transaction aborted underneath its session (re-eval or cascade) is
@@ -145,9 +149,14 @@ pub(crate) fn run(
         }
         let exec_start = Instant::now();
         let ok = match request {
-            Request::Define { spec, after, reply } => {
+            Request::Define {
+                spec,
+                after,
+                before,
+                reply,
+            } => {
                 let root = pm.root();
-                let result = pm.define(root, spec, &after, &[]).map_err(|e| {
+                let result = pm.define(root, spec, &after, &before).map_err(|e| {
                     ServerMetrics::add(&metrics.rejected);
                     reject(e)
                 });

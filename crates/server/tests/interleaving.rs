@@ -13,7 +13,9 @@
 use ks_core::Specification;
 use ks_kernel::{Domain, EntityId, Schema, UniqueState};
 use ks_predicate::{Atom, Clause, CmpOp, Cnf, Strategy};
-use ks_server::{verify_managers, ServerConfig, ServerError, Session, TxnService};
+use ks_server::{
+    verify_managers, Client, ServerConfig, ServerError, Session, TxnBuilder, TxnService,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -66,7 +68,7 @@ fn run_client(svc: &TxnService, client: usize, shards: usize, seed: u64) -> u64 
                 }
             };
         }
-        let txn = match retry!(session.define(&spec)) {
+        let txn = match retry!(session.open(TxnBuilder::new(spec.clone()))) {
             Ok(t) => t,
             Err(_) => continue,
         };

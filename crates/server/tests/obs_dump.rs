@@ -8,7 +8,7 @@ use ks_kernel::{Domain, EntityId, Schema, UniqueState};
 use ks_obs::{from_jsonl, ObsKind, Recorder};
 use ks_predicate::{parse_cnf, Cnf, Strategy};
 use ks_protocol::{CommitOutcome, ProtocolManager, ValidationOutcome};
-use ks_server::{verify_with_dump, ServerConfig, TxnService};
+use ks_server::{verify_with_dump, Client, ServerConfig, TxnBuilder, TxnService};
 
 fn one_entity_setup() -> (Schema, UniqueState) {
     let schema = Schema::uniform(["x"], Domain::Range { min: 0, max: 99 });
@@ -133,7 +133,7 @@ fn service_with_recorder_captures_request_lifecycle() {
     );
     let session = svc.session().unwrap();
     let spec = Specification::new(parse_cnf(&schema, "x >= 0").unwrap(), Cnf::truth());
-    let txn = session.define(&spec).unwrap();
+    let txn = session.open(TxnBuilder::new(spec)).unwrap();
     session.validate(txn).unwrap();
     session.read(txn, EntityId(0)).unwrap();
     session.write(txn, EntityId(0), 9).unwrap();

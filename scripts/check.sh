@@ -23,4 +23,10 @@ cargo test -q -p ks-obs --test wire_roundtrip
 echo "== exp_server_load --smoke (serving layer + tracing overhead)"
 cargo run --release -q -p ks-bench --bin exp_server_load -- --smoke
 
-echo "OK: fmt, clippy, tests, obs wire round-trip, server smoke all green"
+echo "== ks-net integration tests (loopback + retry/backoff + wire fuzz)"
+cargo test -q -p ks-net
+
+echo "== exp_net_load --smoke (loopback TCP vs in-process)"
+cargo run --release -q -p ks-bench --bin exp_net_load -- --smoke
+
+echo "OK: fmt, clippy, tests, obs wire round-trip, server smoke, net smoke all green"

@@ -26,6 +26,7 @@ BINARIES = [
     "exp_recovery",
     "exp_protocol_correct",
     "exp_server_load",
+    "exp_net_load",
 ]
 
 
@@ -246,6 +247,25 @@ the overhead delta) vary by machine.
 
 ```
 {exp_server_load}
+```
+
+## net-load — the same client API over loopback TCP
+
+*Beyond the paper:* `ks-net` puts the service behind a length-prefixed
+binary wire protocol. The experiment runs one deterministic closed-loop
+workload twice through the transport-generic driver: once with in-process
+`Session`s, once with loopback-TCP `RemoteSession`s (per-request
+deadlines and bounded jittered retry/backoff active). Both runs finish
+with a graceful drain handing every shard manager to the model checker.
+*Measured:* the two transports account for identical transaction
+outcomes, the loopback run sustains a healthy fraction of in-process
+throughput (the wire adds a syscall round trip per request, not a new
+bottleneck — the shard managers bound both), and every extracted
+execution is correct. Committed counts and the zero-violation verdict
+are deterministic; throughput, the ratio, and p99 vary by machine.
+
+```
+{exp_net_load}
 ```
 
 ## recovery-classes — RC / ACA / ST of committed traces

@@ -25,7 +25,11 @@
 //!   (Figure 4);
 //! * [`server`] — the concurrent multi-session transaction service:
 //!   entity-sharded worker threads, blocking sessions, admission control,
-//!   and post-run model-checked verification.
+//!   and post-run model-checked verification;
+//! * [`net`] — the networked front end: a length-prefixed versioned wire
+//!   protocol, a TCP server embedding the service, and a remote session
+//!   with deadlines and retry/backoff implementing the same
+//!   [`Client`](ks_server::Client) contract as in-process sessions.
 //!
 //! See `examples/quickstart.rs` for a guided tour and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the experiment inventory.
@@ -36,6 +40,7 @@ pub use ks_baselines as baselines;
 pub use ks_core as model;
 pub use ks_kernel as kernel;
 pub use ks_mvstore as mvstore;
+pub use ks_net as net;
 pub use ks_predicate as predicate;
 pub use ks_protocol as protocol;
 pub use ks_schedule as schedule;
@@ -58,12 +63,15 @@ pub mod prelude {
         DatabaseState, Domain, EntityId, Schema, SchemaBuilder, UniqueState, Value, VersionSpace,
         VersionState,
     };
+    pub use ks_net::{NetClientConfig, NetConfig, NetServer, RemoteSession};
     pub use ks_predicate::{parse_cnf, solve, Atom, Clause, CmpOp, Cnf, Object, Strategy};
     pub use ks_protocol::{
         CommitOutcome, ProtocolManager, ReadOutcome, RecordingManager, SessionLog,
         ValidationOutcome,
     };
     pub use ks_schedule::{classify, csr, mvsr, pc, pwsr, vsr, Membership, Schedule, TxnId};
-    pub use ks_server::{ServerConfig, ServerError, Session, TxnHandle, TxnService};
+    pub use ks_server::{
+        Client, ServerConfig, ServerError, Session, TxnBuilder, TxnHandle, TxnService,
+    };
     pub use ks_sim::{Engine, EngineConfig, Metrics, Workload, WorkloadSpec};
 }
