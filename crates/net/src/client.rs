@@ -16,7 +16,12 @@
 //!   into `[delay/2, delay]` so synchronized clients decorrelate), each
 //!   retry emitting an [`ObsKind::NetRetry`] event. The final error is
 //!   typed — a saturated server yields `Busy`/`Backpressure`, never a
-//!   hang.
+//!   hang. One carve-out: a server-signalled `Timeout` means the
+//!   operation *may still complete* server-side, so only requests whose
+//!   duplicate execution is harmless (`Read`, `Metrics`, `Abort`) are
+//!   re-sent; for `Open`/`Validate`/`Write`/`Commit` the typed `Timeout`
+//!   surfaces to the caller, which must treat the outcome as unknown
+//!   (at-least-once ambiguity) rather than assume the request was lost.
 //! * **Poisoning** — an I/O error or read timeout leaves the byte stream
 //!   in an unknowable position (the reply may still be in flight), so
 //!   the connection is poisoned and every later call fails fast with
@@ -189,8 +194,15 @@ impl RemoteSession {
                 // A retryable error only re-sends while the transport is
                 // healthy: `Timeout` from a socket read poisons (the late
                 // reply may still arrive), so it falls through typed.
+                // A *server-signalled* `Timeout` arrives as a complete
+                // frame and does not poison, but it leaves the outcome
+                // unknown — the shard worker may still complete the
+                // operation after the reply rendezvous expired — so it is
+                // only retried for requests whose duplicate execution is
+                // harmless; non-idempotent requests surface it typed.
                 Err(e)
                     if e.is_retryable()
+                        && (duplicate_safe(&req) || !matches!(e, ServerError::Timeout))
                         && attempt < self.config.max_retries
                         && !self.conn.lock().unwrap().poisoned =>
                 {
@@ -234,11 +246,23 @@ impl RemoteSession {
                 "connection poisoned by an earlier transport failure; reconnect".into(),
             ));
         }
+        let payload = wire::encode_request(req);
+        if payload.len() > wire::MAX_FRAME {
+            // Refused before any bytes hit the socket: the stream is
+            // still in sync, so this is a typed per-request error, not
+            // poison (the server would reject the frame at read time and
+            // drop the connection).
+            return Err(ServerError::Wire(format!(
+                "encoded request of {} bytes exceeds MAX_FRAME ({})",
+                payload.len(),
+                wire::MAX_FRAME
+            )));
+        }
         let _ = conn
             .writer
             .get_ref()
             .set_read_timeout(Some(self.config.request_deadline));
-        if let Err(e) = write_frame(&mut conn.writer, &wire::encode_request(req)) {
+        if let Err(e) = write_frame(&mut conn.writer, &payload) {
             conn.poisoned = true;
             return Err(map_io(&e, "send"));
         }
@@ -274,6 +298,22 @@ fn read_reply(conn: &mut Conn) -> Result<Response, ServerError> {
         Ok(None) => Err(ServerError::Wire("server closed the connection".into())),
         Err(e) => Err(map_io(&e, "receive")),
     }
+}
+
+/// Requests whose duplicate execution is harmless, and which may
+/// therefore be re-sent after a *server-signalled* [`ServerError::Timeout`]
+/// (the reply rendezvous expired while the shard worker may still
+/// complete the operation). Re-sending anything else risks applying it
+/// twice — a retried `Commit` could re-submit a commit that already
+/// applied and report `Rejected` for a transaction that in fact
+/// committed, and a retried `Open` could leave an orphan transaction.
+/// `Busy`/`Backpressure` carry a known did-not-happen outcome and stay
+/// retryable for every request.
+fn duplicate_safe(req: &Request) -> bool {
+    matches!(
+        req,
+        Request::Read { .. } | Request::Metrics | Request::Abort { .. }
+    )
 }
 
 fn map_io(e: &std::io::Error, what: &str) -> ServerError {

@@ -17,7 +17,10 @@
 //! shut the embedded [`TxnService`] down and hand back its shard
 //! managers for verification.
 
-use crate::wire::{self, read_frame, write_frame, Request, Response, WireMetrics, HELLO_MAGIC};
+use crate::wire::{
+    self, read_frame, write_frame, FrameProgress, FrameReader, Request, Response, WireMetrics,
+    HELLO_MAGIC,
+};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use ks_obs::{ObsKind, ObsSink, Recorder, NO_TXN};
 use ks_protocol::ProtocolManager;
@@ -92,6 +95,10 @@ impl NetServer {
     pub fn start(service: TxnService, addr: &str, config: NetConfig) -> std::io::Result<NetServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        // Nonblocking accepts polled against the stop flag: shutdown must
+        // never depend on being able to dial our own bound address (which
+        // fails for e.g. a 0.0.0.0 bind behind a local firewall).
+        listener.set_nonblocking(true)?;
         let obs = config.recorder.as_ref().map(|r| r.sink(u32::MAX));
         let shared = Arc::new(NetShared {
             service: Mutex::new(Some(service)),
@@ -129,8 +136,8 @@ impl NetServer {
     /// [`ks_server::verify_managers`]).
     pub fn shutdown(mut self) -> Vec<ProtocolManager> {
         self.shared.stop.store(true, Ordering::SeqCst);
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
+        // The accept loop polls nonblockingly, so it notices the flag on
+        // its next tick — no wake-up connection needed.
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
@@ -159,15 +166,34 @@ impl NetServer {
     }
 }
 
+/// How often the (nonblocking) accept loop re-checks the stop flag when
+/// no connection is pending. Short enough that connection setup adds no
+/// measurable latency (pending accepts drain back-to-back without
+/// sleeping); it also bounds the acceptor's shutdown latency.
+const ACCEPT_POLL: Duration = Duration::from_millis(1);
+
 fn accept_loop(listener: TcpListener, shared: Arc<NetShared>) {
     let mut next_conn: u64 = 0;
-    for stream in listener.incoming() {
-        if shared.stop.load(Ordering::SeqCst) {
-            break;
-        }
-        let Ok(stream) = stream else { continue };
+    while !shared.stop.load(Ordering::SeqCst) {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+                continue;
+            }
+            Err(_) => {
+                // Transient accept failure (e.g. fd exhaustion): back off
+                // instead of spinning hot.
+                std::thread::sleep(ACCEPT_POLL);
+                continue;
+            }
+        };
         let conn_id = next_conn;
         next_conn += 1;
+        // The accepted socket must block: per-connection I/O relies on
+        // read timeouts, not nonblocking reads (inheritance of the
+        // listener's nonblocking flag is platform-specific).
+        let _ = stream.set_nonblocking(false);
         let _ = stream.set_nodelay(true);
         shared.active.fetch_add(1, Ordering::SeqCst);
         if let Ok(clone) = stream.try_clone() {
@@ -197,7 +223,12 @@ fn accept_loop(listener: TcpListener, shared: Arc<NetShared>) {
                 }
             })
         };
-        shared.handlers.lock().unwrap().push(handler);
+        let mut handlers = shared.handlers.lock().unwrap();
+        // Reap finished connections as new ones arrive, so a long-running
+        // server tracks only live handlers instead of leaking one join
+        // handle per connection ever accepted.
+        handlers.retain(|h| !h.is_finished());
+        handlers.push(handler);
     }
 }
 
@@ -205,19 +236,20 @@ fn accept_loop(listener: TcpListener, shared: Arc<NetShared>) {
 /// Dropping the sender is the reader's only exit signal to the handler.
 fn reader_loop(stream: TcpStream, window: Sender<Vec<u8>>, shared: Arc<NetShared>) {
     let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
-    let mut reader = BufReader::new(stream);
+    // The incremental FrameReader retains partial length-prefix/payload
+    // progress across poll-interval timeouts, so a frame that straddles
+    // a tick (large Open frames across TCP segments, congestion) is
+    // resumed rather than desynchronizing the stream.
+    let mut frames = FrameReader::new(BufReader::new(stream));
     loop {
-        match read_frame(&mut reader) {
-            Ok(Some(payload)) => {
+        match frames.poll_frame() {
+            Ok(FrameProgress::Frame(payload)) => {
                 if window.send(payload).is_err() {
                     return; // handler gone
                 }
             }
-            Ok(None) => return, // clean EOF
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
+            Ok(FrameProgress::Eof) => return, // clean EOF
+            Ok(FrameProgress::Pending) => {
                 if shared.stop.load(Ordering::SeqCst) {
                     return;
                 }

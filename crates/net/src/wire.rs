@@ -568,8 +568,22 @@ pub fn decode_response(buf: &[u8]) -> Result<Response, WireError> {
 // ---------------------------------------------------------------- framing
 
 /// Write one frame: `u32` LE payload length, then the payload.
+///
+/// Payloads over [`MAX_FRAME`] are refused with `InvalidData` *before*
+/// any bytes hit the stream: the peer would reject the frame at read
+/// time and drop the connection, so enforcing the cap at the sender
+/// turns an oversized message into a typed per-request failure instead
+/// of a poisoned connection.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
-    debug_assert!(payload.len() <= MAX_FRAME);
+    if payload.len() > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!(
+                "frame of {} bytes exceeds MAX_FRAME ({MAX_FRAME})",
+                payload.len()
+            ),
+        ));
+    }
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
     w.write_all(payload)?;
     w.flush()
@@ -593,6 +607,117 @@ pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
     Ok(Some(payload))
+}
+
+/// Outcome of one [`FrameReader::poll_frame`] attempt.
+#[derive(Debug)]
+pub enum FrameProgress {
+    /// A complete frame payload.
+    Frame(Vec<u8>),
+    /// Clean EOF at a frame boundary.
+    Eof,
+    /// The read timed out (`WouldBlock`/`TimedOut`). Partial progress is
+    /// retained — call [`FrameReader::poll_frame`] again to continue the
+    /// same frame from where it left off.
+    Pending,
+}
+
+/// An incremental frame reader for sockets with a read timeout.
+///
+/// [`read_frame`] uses `read_exact`, which consumes partially-read bytes
+/// before surfacing a timeout — re-calling it from scratch after a
+/// timeout desynchronizes the stream on any frame that straddles the
+/// timeout window (mid-payload bytes get reinterpreted as a frame
+/// header). `FrameReader` instead retains its position inside the length
+/// prefix and the payload across [`FrameProgress::Pending`] polls, so a
+/// frame may take arbitrarily many timeout ticks to arrive without
+/// losing a byte. The server's reader loop uses this: its poll interval
+/// doubles as the shutdown-flag check and must never cost stream sync.
+pub struct FrameReader<R> {
+    inner: R,
+    /// Length-prefix bytes accumulated so far (valid up to `len_read`).
+    len_buf: [u8; 4],
+    len_read: usize,
+    /// Allocated once the prefix is complete; filled up to `payload_read`.
+    payload: Option<Vec<u8>>,
+    payload_read: usize,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wrap `inner`, which should have a read timeout set if `Pending`
+    /// polling is wanted.
+    pub fn new(inner: R) -> Self {
+        FrameReader {
+            inner,
+            len_buf: [0u8; 4],
+            len_read: 0,
+            payload: None,
+            payload_read: 0,
+        }
+    }
+
+    /// Read until a full frame, EOF, or a timeout tick. EOF inside a
+    /// frame is an `UnexpectedEof` error; EOF at a frame boundary is
+    /// [`FrameProgress::Eof`].
+    pub fn poll_frame(&mut self) -> std::io::Result<FrameProgress> {
+        use std::io::ErrorKind;
+        // Phase 1: the 4-byte length prefix.
+        while self.payload.is_none() {
+            match self.inner.read(&mut self.len_buf[self.len_read..]) {
+                Ok(0) => {
+                    if self.len_read == 0 {
+                        return Ok(FrameProgress::Eof);
+                    }
+                    return Err(std::io::Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "EOF inside a frame length prefix",
+                    ));
+                }
+                Ok(n) => {
+                    self.len_read += n;
+                    if self.len_read == 4 {
+                        let len = u32::from_le_bytes(self.len_buf) as usize;
+                        if len > MAX_FRAME {
+                            return Err(std::io::Error::new(
+                                ErrorKind::InvalidData,
+                                format!("frame of {len} bytes exceeds MAX_FRAME ({MAX_FRAME})"),
+                            ));
+                        }
+                        self.payload = Some(vec![0u8; len]);
+                        self.payload_read = 0;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    return Ok(FrameProgress::Pending);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // Phase 2: the payload.
+        loop {
+            let buf = self.payload.as_mut().unwrap();
+            if self.payload_read == buf.len() {
+                let frame = self.payload.take().unwrap();
+                self.len_read = 0;
+                return Ok(FrameProgress::Frame(frame));
+            }
+            match self.inner.read(&mut buf[self.payload_read..]) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "EOF inside a frame payload",
+                    ));
+                }
+                Ok(n) => self.payload_read += n,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    return Ok(FrameProgress::Pending);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -679,6 +804,108 @@ mod tests {
         let mut buf = Vec::new();
         buf.extend_from_slice(&(MAX_FRAME as u32 + 1).to_le_bytes());
         let err = read_frame(&mut std::io::Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn oversized_payload_is_refused_at_send_time() {
+        let payload = vec![0u8; MAX_FRAME + 1];
+        let mut buf = Vec::new();
+        let err = write_frame(&mut buf, &payload).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(buf.is_empty(), "no bytes may hit the stream");
+    }
+
+    /// A reader that hands out the scripted chunks one `read` at a time,
+    /// injecting a timeout error between every chunk — the worst case of
+    /// frames straddling poll ticks at arbitrary byte offsets.
+    struct Trickle {
+        chunks: Vec<Vec<u8>>,
+        next: usize,
+        timeout_next: bool,
+    }
+
+    impl std::io::Read for Trickle {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.timeout_next && self.next < self.chunks.len() {
+                self.timeout_next = false;
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WouldBlock,
+                    "trickle timeout",
+                ));
+            }
+            self.timeout_next = true;
+            let Some(chunk) = self.chunks.get_mut(self.next) else {
+                return Ok(0); // EOF
+            };
+            let n = buf.len().min(chunk.len());
+            buf[..n].copy_from_slice(&chunk[..n]);
+            chunk.drain(..n);
+            if chunk.is_empty() {
+                self.next += 1;
+            }
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn frame_reader_retains_progress_across_timeouts() {
+        // Two frames, byte-trickled with a timeout before every chunk:
+        // splits land inside length prefixes and inside payloads.
+        let mut stream = Vec::new();
+        let first = encode_request(&Request::Validate { txn: 42 });
+        let second = encode_request(&Request::Metrics);
+        write_frame(&mut stream, &first).unwrap();
+        write_frame(&mut stream, &second).unwrap();
+        let mut reader = FrameReader::new(Trickle {
+            chunks: stream.chunks(3).map(|c| c.to_vec()).collect(),
+            next: 0,
+            timeout_next: true,
+        });
+        let mut frames = Vec::new();
+        let mut pendings = 0usize;
+        loop {
+            match reader.poll_frame().expect("no transport error") {
+                FrameProgress::Frame(f) => frames.push(f),
+                FrameProgress::Pending => pendings += 1,
+                FrameProgress::Eof => break,
+            }
+        }
+        assert_eq!(frames.len(), 2);
+        assert_eq!(
+            decode_request(&frames[0]).unwrap(),
+            Request::Validate { txn: 42 }
+        );
+        assert_eq!(decode_request(&frames[1]).unwrap(), Request::Metrics);
+        assert!(pendings > 4, "timeouts interleaved every chunk: {pendings}");
+    }
+
+    #[test]
+    fn frame_reader_eof_mid_frame_is_an_error() {
+        let payload = encode_request(&Request::Validate { txn: 1 });
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &payload).unwrap();
+        stream.truncate(stream.len() - 2); // sever inside the payload
+        let mut reader = FrameReader::new(std::io::Cursor::new(stream));
+        loop {
+            match reader.poll_frame() {
+                Ok(FrameProgress::Pending) => continue,
+                Ok(FrameProgress::Frame(_)) => panic!("truncated frame decoded"),
+                Ok(FrameProgress::Eof) => panic!("mid-frame EOF reported as clean"),
+                Err(e) => {
+                    assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof);
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frame_reader_rejects_oversized_length_prefix() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&(MAX_FRAME as u32 + 1).to_le_bytes());
+        let mut reader = FrameReader::new(std::io::Cursor::new(stream));
+        let err = reader.poll_frame().unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     }
 }

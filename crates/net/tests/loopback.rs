@@ -26,7 +26,7 @@ fn tautology_spec(entities: &[EntityId]) -> Specification {
     )
 }
 
-fn start_server(shards: usize, recorder: Option<Recorder>) -> NetServer {
+fn start_server_with(shards: usize, config: NetConfig) -> NetServer {
     let schema = Schema::uniform(
         (0..ENTITIES).map(|i| format!("d{i}")),
         Domain::Range {
@@ -44,11 +44,17 @@ fn start_server(shards: usize, recorder: Option<Recorder>) -> NetServer {
             ..ServerConfig::default()
         },
     );
-    let config = NetConfig {
-        recorder,
-        ..NetConfig::default()
-    };
     NetServer::start(svc, "127.0.0.1:0", config).expect("bind loopback")
+}
+
+fn start_server(shards: usize, recorder: Option<Recorder>) -> NetServer {
+    start_server_with(
+        shards,
+        NetConfig {
+            recorder,
+            ..NetConfig::default()
+        },
+    )
 }
 
 /// The workload body, written once against the trait: it cannot tell a
@@ -204,6 +210,77 @@ fn dropped_connection_releases_its_transactions() {
     session.close().expect("goodbye");
     let report = verify_managers(&server.shutdown());
     assert!(report.is_correct(), "{:?}", report.violations);
+}
+
+/// A frame that straddles the server's read-timeout poll interval —
+/// trickled in chunks split inside the length prefix *and* inside the
+/// payload, with pauses several poll ticks long — must be reassembled,
+/// not desynchronized: the reader retains partial-frame progress across
+/// its stop-flag checks instead of restarting the frame from scratch.
+#[test]
+fn slow_frames_straddling_the_poll_interval_stay_in_sync() {
+    use ks_net::wire::{self, Request, Response, HELLO_MAGIC};
+    use std::io::Write as _;
+    use std::time::Duration;
+
+    let server = start_server_with(
+        1,
+        NetConfig {
+            poll_interval: Duration::from_millis(10),
+            ..NetConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).unwrap();
+    let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+    // Handshake, whole frames.
+    wire::write_frame(
+        &mut stream,
+        &wire::encode_request(&Request::Hello { magic: HELLO_MAGIC }),
+    )
+    .unwrap();
+    let hello_ok = wire::read_frame(&mut reader).unwrap().expect("HelloOk");
+    assert!(matches!(
+        wire::decode_response(&hello_ok),
+        Ok(Response::HelloOk { .. })
+    ));
+    // Trickle an Open frame: 2 bytes of the length prefix, then a sliver
+    // spanning the prefix/payload boundary, then the rest — each chunk
+    // separated by ~4 poll ticks.
+    let payload = wire::encode_request(&Request::Open {
+        spec: tautology_spec(&[EntityId(0)]),
+        after: vec![],
+        before: vec![],
+        strategy: None,
+    });
+    let mut framed = (payload.len() as u32).to_le_bytes().to_vec();
+    framed.extend_from_slice(&payload);
+    for chunk in [&framed[..2], &framed[2..7], &framed[7..]] {
+        stream.write_all(chunk).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(40));
+    }
+    let reply = wire::read_frame(&mut reader).unwrap().expect("reply");
+    match wire::decode_response(&reply) {
+        Ok(Response::Opened { txn }) => assert_eq!(txn, 0),
+        other => panic!("stream desynchronized: {other:?}"),
+    }
+    // The stream is still in sync: ordinary frames keep round-tripping.
+    for req in [Request::Validate { txn: 0 }, Request::Commit { txn: 0 }] {
+        wire::write_frame(&mut stream, &wire::encode_request(&req)).unwrap();
+        let reply = wire::read_frame(&mut reader).unwrap().expect("reply");
+        assert!(
+            matches!(wire::decode_response(&reply), Ok(Response::Done)),
+            "{req:?} after the trickled frame"
+        );
+    }
+    wire::write_frame(&mut stream, &wire::encode_request(&Request::Shutdown)).unwrap();
+    let bye = wire::read_frame(&mut reader).unwrap().expect("Bye");
+    assert!(matches!(wire::decode_response(&bye), Ok(Response::Bye)));
+    let report = verify_managers(&server.shutdown());
+    assert!(report.is_correct(), "{:?}", report.violations);
+    assert_eq!(report.committed, 1);
 }
 
 /// Metrics cross the wire: the remote snapshot sees the same commits the

@@ -176,6 +176,83 @@ fn deadline_times_out_and_poisons_the_connection() {
     assert!(start.elapsed() < Duration::from_millis(50), "fail fast");
 }
 
+/// A *server-signalled* `Timeout` on a non-idempotent request is not
+/// retried: the shard worker may still complete the operation after the
+/// reply rendezvous expired, so re-sending an Open (or Commit) could
+/// apply it twice. The typed `Timeout` surfaces on the first attempt —
+/// and since the error arrived as a complete frame on a healthy stream,
+/// the connection is not poisoned and the next call proceeds normally.
+#[test]
+fn server_timeout_is_not_retried_for_non_idempotent_requests() {
+    let (addr, server) = mock_server(vec![
+        Some(Response::error(&ServerError::Timeout)),
+        Some(Response::Opened { txn: 0 }),
+    ]);
+    let session = RemoteSession::connect(addr, fast_config(None)).expect("connect");
+    let err = session.open(TxnBuilder::new(spec())).unwrap_err();
+    assert!(matches!(err, ServerError::Timeout), "{err}");
+    let txn = session
+        .open(TxnBuilder::new(spec()))
+        .expect("healthy connection after a server-side timeout");
+    assert_eq!(format!("{txn:?}"), "RemoteTxn(0)");
+    drop(session);
+    assert_eq!(
+        server.join().unwrap(),
+        2,
+        "the timed-out Open is not re-sent"
+    );
+}
+
+/// Duplicate-safe requests (reads) do retry through a server-signalled
+/// `Timeout`: re-executing a read is harmless, so the transient
+/// classification applies in full.
+#[test]
+fn server_timeout_is_retried_for_reads() {
+    let (addr, server) = mock_server(vec![
+        Some(Response::error(&ServerError::Timeout)),
+        Some(Response::Value { value: 5 }),
+    ]);
+    let session = RemoteSession::connect(addr, fast_config(None)).expect("connect");
+    let value = session
+        .read(ks_net::RemoteTxn(0), EntityId(0))
+        .expect("retried to success");
+    assert_eq!(value, 5);
+    drop(session);
+    assert_eq!(server.join().unwrap(), 2, "initial send + 1 retry");
+}
+
+/// A request whose encoding exceeds `MAX_FRAME` is refused client-side,
+/// typed, before any bytes hit the socket — the connection stays in sync
+/// and later calls proceed.
+#[test]
+fn oversized_request_is_refused_without_poisoning() {
+    let (addr, server) = mock_server(vec![Some(Response::Opened { txn: 0 })]);
+    let session = RemoteSession::connect(addr, fast_config(None)).expect("connect");
+    // ~19 bytes per unit clause: 60k clauses overflow the 1 MiB cap.
+    let big = Cnf::new(
+        (0..60_000u32)
+            .map(|i| Clause::unit(Atom::cmp_const(EntityId(i), CmpOp::Ge, 0)))
+            .collect(),
+    );
+    let err = session
+        .open(TxnBuilder::new(Specification::new(big, Cnf::truth())))
+        .unwrap_err();
+    match err {
+        ServerError::Wire(msg) => assert!(msg.contains("MAX_FRAME"), "{msg}"),
+        other => panic!("expected a typed wire error, got {other}"),
+    }
+    let txn = session
+        .open(TxnBuilder::new(spec()))
+        .expect("connection not poisoned by the refused request");
+    assert_eq!(format!("{txn:?}"), "RemoteTxn(0)");
+    drop(session);
+    assert_eq!(
+        server.join().unwrap(),
+        1,
+        "the oversized frame never hit the wire"
+    );
+}
+
 /// Backpressure is retryable exactly like Busy; non-retryable rejections
 /// (typed `Rejected` with its detail string) pass through on the first
 /// attempt, detail intact.
