@@ -1,0 +1,203 @@
+//! `dst_smoke`: the deterministic-simulation gate.
+//!
+//! Runs the ks-dst harness over a fixed seed range and exits non-zero on
+//! any oracle violation. A failing seed is automatically shrunk and
+//! dumped as a replayable artifact under `target/dst/`.
+//!
+//! ```text
+//! dst_smoke --seeds 25                 # the CI gate: seeds 0..25, all protections on
+//! dst_smoke --replay 14                # re-run one seed, print its story
+//! dst_smoke --disable timeout-carveout --seeds 25 --expect-violation
+//! ```
+//!
+//! `--disable <protection>` switches one of the stack's protections off
+//! (`frame-retention`, `timeout-carveout`, `abort-on-disconnect`);
+//! combined with `--expect-violation` the exit code inverts — success
+//! means the oracles *caught* the now-unprotected bug, which is how CI
+//! proves the test suite has teeth.
+//!
+//! `--replay` also double-runs the seed and compares canonical traces,
+//! a built-in determinism self-check, and when the run fails it shrinks
+//! twice to confirm the minimized fault schedule is identical — the
+//! acceptance bar for "replayable from the seed alone".
+
+use ks_dst::proto::{run_proto_clean, run_proto_forced};
+use ks_dst::{artifact, generate, run_plan, shrink, Protections};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dst_smoke [--seeds N] [--replay SEED] [--disable PROTECTION] [--expect-violation]\n\
+         protections: frame-retention | timeout-carveout | abort-on-disconnect"
+    );
+    std::process::exit(2);
+}
+
+fn artifact_dir() -> PathBuf {
+    PathBuf::from("target").join("dst")
+}
+
+fn main() -> ExitCode {
+    let mut seeds: u64 = 25;
+    let mut replay: Option<u64> = None;
+    let mut protections = Protections::all_on();
+    let mut disabled: Option<String> = None;
+    let mut expect_violation = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seeds" => {
+                seeds = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--replay" => {
+                replay = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--disable" => {
+                let name = args.next().unwrap_or_else(|| usage());
+                protections = Protections::disable(&name).unwrap_or_else(|| {
+                    eprintln!("unknown protection {name:?}");
+                    usage()
+                });
+                disabled = Some(name);
+            }
+            "--expect-violation" => expect_violation = true,
+            _ => usage(),
+        }
+    }
+
+    let violated = match replay {
+        Some(seed) => replay_seed(seed, protections),
+        None => scan(seeds, protections, disabled.as_deref()),
+    };
+
+    if expect_violation {
+        if violated {
+            println!("OK: oracles caught the injected weakness (as expected)");
+            ExitCode::SUCCESS
+        } else {
+            eprintln!(
+                "FAIL: expected a violation but every run passed — the oracles are toothless"
+            );
+            ExitCode::FAILURE
+        }
+    } else if violated {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Scan the gate's seed range; returns whether any run failed.
+fn scan(seeds: u64, protections: Protections, disabled: Option<&str>) -> bool {
+    match disabled {
+        Some(name) => println!("dst_smoke: seeds 0..{seeds}, protection {name} DISABLED"),
+        None => println!("dst_smoke: seeds 0..{seeds}, all protections on"),
+    }
+    let mut failing: Vec<u64> = Vec::new();
+    for seed in 0..seeds {
+        let plan = generate(seed);
+        let out = run_plan(&plan, protections);
+        if out.failed() {
+            println!("  seed {seed}: FAIL ({} violations)", out.violations.len());
+            for v in &out.violations {
+                println!("    - {v}");
+            }
+            failing.push(seed);
+        }
+    }
+    // The bare-manager fuzz rides along: clean random driving must verify
+    // correct, and a forced mis-assignment must be caught.
+    for seed in 0..seeds {
+        let report = run_proto_clean(seed);
+        if !report.is_correct() {
+            println!("  proto seed {seed}: clean run FAILED verification");
+            for v in &report.violations {
+                println!("    - {v:?}");
+            }
+            failing.push(seed);
+        }
+        let (report, _, _) = run_proto_forced(seed);
+        if report.is_correct() {
+            println!("  proto seed {seed}: forced mis-assignment went UNDETECTED");
+            failing.push(seed);
+        }
+    }
+    if failing.is_empty() {
+        println!("  all {seeds} service seeds + {seeds} proto seeds clean");
+        return false;
+    }
+    // Shrink and dump the first failure for the artifact trail.
+    let seed = failing[0];
+    let plan = generate(seed);
+    let shrunk = shrink(&plan, protections, 200);
+    println!(
+        "shrunk seed {seed}: {} -> {} steps in {} runs",
+        plan.steps.len(),
+        shrunk.plan.steps.len(),
+        shrunk.runs
+    );
+    match artifact::write(
+        &artifact_dir(),
+        "smoke",
+        &shrunk.plan,
+        &shrunk.outcome,
+        protections,
+    ) {
+        Ok(path) => println!("artifact: {}", path.display()),
+        Err(e) => eprintln!("artifact write failed: {e}"),
+    }
+    true
+}
+
+/// Replay one seed with determinism and shrink-reproducibility
+/// self-checks; returns whether it failed its oracles.
+fn replay_seed(seed: u64, protections: Protections) -> bool {
+    let plan = generate(seed);
+    println!("{}", plan.render());
+    let out = run_plan(&plan, protections);
+    let again = run_plan(&plan, protections);
+    assert_eq!(
+        out.canonical_trace, again.canonical_trace,
+        "replay of seed {seed} diverged — determinism broken"
+    );
+    assert_eq!(out.violations, again.violations);
+    println!("journal:\n{}", out.journal);
+    println!(
+        "commits: definite={} ambiguous={} server={}",
+        out.definite_commits, out.ambiguous_commits, out.report.committed
+    );
+    if !out.failed() {
+        println!("seed {seed}: clean (determinism self-check passed)");
+        return false;
+    }
+    println!("seed {seed}: {} violations", out.violations.len());
+    for v in &out.violations {
+        println!("  - {v}");
+    }
+    let a = shrink(&plan, protections, 200);
+    let b = shrink(&plan, protections, 200);
+    assert_eq!(
+        a.plan, b.plan,
+        "shrinking seed {seed} twice minimized differently — replay broken"
+    );
+    println!(
+        "shrunk: {} -> {} steps ({} runs); re-shrink identical",
+        plan.steps.len(),
+        a.plan.steps.len(),
+        a.runs
+    );
+    match artifact::write(&artifact_dir(), "replay", &a.plan, &a.outcome, protections) {
+        Ok(path) => println!("artifact: {}", path.display()),
+        Err(e) => eprintln!("artifact write failed: {e}"),
+    }
+    true
+}

@@ -1,0 +1,45 @@
+//! # ks-dst: deterministic simulation testing for the KS stack
+//!
+//! A FoundationDB-style simulation harness that runs the *production*
+//! stack — the `ks-net` client (framing, deadlines, retry/backoff,
+//! poisoning), the server-side connection core, and a real
+//! [`TxnService`](ks_server::TxnService) with its shard workers — over
+//! an in-memory simulated link, injecting faults at every layer, and
+//! checks the result against the paper's correctness criterion. Every
+//! run is a pure function of a `u64` seed and the protection switches:
+//! a failure anywhere reproduces from the seed alone.
+//!
+//! The moving parts:
+//!
+//! * [`plan`] — the seed expands into an explicit [`RunPlan`](plan::RunPlan)
+//!   (ops + fault schedule) before anything executes, so shrinking never
+//!   shifts the randomness of the steps it keeps.
+//! * [`link`] — the simulated [`World`](link::World) and the
+//!   [`SimLink`](link::SimLink) transport: drops, duplicates, trickled
+//!   frames, resets, and forged server timeouts, all byte-exact against
+//!   the production frame reader.
+//! * [`run`] — the single-threaded driver and the post-run oracles
+//!   (predicate correctness, terminal end state, commit coherence,
+//!   commit accounting, benign-fault liveness, obs causality).
+//! * [`shrink`] — ddmin-style minimization of failing plans.
+//! * [`proto`] — bare-manager fuzzing with `force_assign` perturbations
+//!   (the fault class the service API cannot reach).
+//! * [`artifact`] — replayable failure dumps.
+//!
+//! The harness can also switch *off* each of three protections the stack
+//! relies on ([`Protections`]) to prove the oracles catch the bug each
+//! one prevents — a test of the tests.
+
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod link;
+pub mod plan;
+pub mod proto;
+pub mod run;
+pub mod shrink;
+
+pub use link::{Protections, SimLink, World, WorldEnd};
+pub use plan::{generate, Fault, OpKind, RunPlan, Step};
+pub use run::{run_plan, RunOutcome};
+pub use shrink::{shrink, ShrinkResult};

@@ -1,0 +1,57 @@
+//! The oracles must have teeth: with every protection on, the fixed seed
+//! range is clean; switching any one protection off makes some seed in
+//! the same range fail; and shrinking a failure twice minimizes to the
+//! identical plan (the replay guarantee).
+
+use ks_dst::{generate, run_plan, shrink, Protections};
+
+/// The fixed seed range the gates scan (matches `dst_smoke --seeds 25`).
+const SEEDS: u64 = 25;
+
+#[test]
+fn all_protections_on_seed_range_is_clean() {
+    for seed in 0..SEEDS {
+        let out = run_plan(&generate(seed), Protections::all_on());
+        assert!(
+            !out.failed(),
+            "seed {seed} violated with all protections on:\n{:#?}\njournal:\n{}",
+            out.violations,
+            out.journal
+        );
+    }
+}
+
+fn first_failing_seed(protections: Protections) -> Option<u64> {
+    (0..SEEDS).find(|&seed| run_plan(&generate(seed), protections).failed())
+}
+
+#[test]
+fn disabling_any_protection_is_caught_within_the_seed_range() {
+    for name in Protections::NAMES {
+        let protections = Protections::disable(name).unwrap();
+        assert!(
+            first_failing_seed(protections).is_some(),
+            "disabling {name} went undetected across seeds 0..{SEEDS}"
+        );
+    }
+}
+
+#[test]
+fn shrinking_is_reproducible_and_still_failing() {
+    let protections = Protections::disable("timeout-carveout").unwrap();
+    let seed =
+        first_failing_seed(protections).expect("some seed must fail with the carve-out disabled");
+    let plan = generate(seed);
+    let a = shrink(&plan, protections, 150);
+    let b = shrink(&plan, protections, 150);
+    assert!(a.outcome.failed(), "shrunk plan must still fail");
+    assert_eq!(
+        a.plan, b.plan,
+        "shrinking the same failure twice must minimize identically"
+    );
+    assert_eq!(a.outcome.violations, b.outcome.violations);
+    assert!(
+        a.plan.steps.len() <= plan.steps.len(),
+        "shrinking must not grow the plan"
+    );
+}

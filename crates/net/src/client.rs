@@ -1,14 +1,15 @@
 //! `RemoteSession`: the networked counterpart of an in-process
 //! [`Session`](ks_server::Session).
 //!
-//! It implements the same [`Client`] contract over TCP, so workloads,
-//! tests, and benchmarks written against the trait run unchanged on
-//! either transport. The differences live entirely in the failure model:
+//! It implements the same [`Client`] contract over any [`Transport`], so
+//! workloads, tests, and benchmarks written against the trait run
+//! unchanged on either transport. The differences live entirely in the
+//! failure model:
 //!
 //! * **Connect timeouts** — [`RemoteSession::connect`] bounds the TCP
 //!   dial and the Hello/HelloOk version negotiation.
-//! * **Per-request deadlines** — every attempt gets a socket read
-//!   timeout; a reply that does not arrive in time surfaces as
+//! * **Per-request deadlines** — every attempt gets a read deadline; a
+//!   reply that does not arrive in time surfaces as
 //!   [`ServerError::Timeout`].
 //! * **Bounded jittered retries** — server-signalled transient errors
 //!   ([`ServerError::is_retryable`]) are retried up to `max_retries`
@@ -27,14 +28,19 @@
 //!   the connection is poisoned and every later call fails fast with
 //!   [`ServerError::Wire`]. Transient *server* errors arrive as complete
 //!   `Err` frames on a healthy stream and do not poison.
+//!
+//! The byte stream itself is pluggable: [`RemoteSession::connect`] dials
+//! TCP ([`TcpTransport`]), while [`RemoteSession::over`] wraps any
+//! [`Transport`] — the deterministic simulation harness (`ks-dst`) runs
+//! this exact client over an in-memory simulated link.
 
+use crate::transport::{TcpTransport, Transport};
 use crate::wire::{self, read_frame, write_frame, Request, Response, WireMetrics, HELLO_MAGIC};
 use ks_kernel::{EntityId, Value};
 use ks_obs::{ObsKind, ObsSink, OpCode, Recorder, NO_TXN};
 use ks_server::{Client, ServerError, TxnBuilder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -45,7 +51,7 @@ use std::time::Duration;
 pub struct NetClientConfig {
     /// Bound on the TCP dial plus version negotiation.
     pub connect_timeout: Duration,
-    /// Per-attempt reply deadline (socket read timeout).
+    /// Per-attempt reply deadline (transport read deadline).
     pub request_deadline: Duration,
     /// Retries after the first attempt for retryable server errors.
     pub max_retries: u32,
@@ -53,6 +59,14 @@ pub struct NetClientConfig {
     pub backoff_base: Duration,
     /// Backoff ceiling.
     pub backoff_cap: Duration,
+    /// **Deliberately unsafe** test hook: when set, a server-signalled
+    /// [`ServerError::Timeout`] is retried even for non-idempotent
+    /// requests (`Open`/`Validate`/`Write`/`Commit`), re-introducing the
+    /// at-least-once double-apply bug the carve-out exists to prevent.
+    /// The deterministic simulation harness flips this on to prove its
+    /// oracles catch the resulting double-applied commits. Never enable
+    /// it in production code.
+    pub unsafe_retry_non_idempotent: bool,
     /// Recorder for [`ObsKind::NetRetry`] events.
     pub recorder: Option<Recorder>,
 }
@@ -65,6 +79,7 @@ impl Default for NetClientConfig {
             max_retries: 5,
             backoff_base: Duration::from_millis(1),
             backoff_cap: Duration::from_millis(100),
+            unsafe_retry_non_idempotent: false,
             recorder: None,
         }
     }
@@ -74,25 +89,24 @@ impl Default for NetClientConfig {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RemoteTxn(pub u64);
 
-struct Conn {
-    writer: BufWriter<TcpStream>,
-    reader: BufReader<TcpStream>,
+struct Conn<T> {
+    transport: T,
     /// Set after an I/O failure mid-request: the stream position is
     /// unknowable, so no further request may be issued.
     poisoned: bool,
 }
 
 /// A connection to a [`NetServer`](crate::NetServer), usable wherever a
-/// [`Client`] is expected.
-pub struct RemoteSession {
-    conn: Mutex<Conn>,
+/// [`Client`] is expected. Generic over the byte stream; defaults to TCP.
+pub struct RemoteSession<T: Transport = TcpTransport> {
+    conn: Mutex<Conn<T>>,
     shards: usize,
     config: NetClientConfig,
     rng: Mutex<StdRng>,
     obs: Option<ObsSink>,
 }
 
-impl std::fmt::Debug for RemoteSession {
+impl<T: Transport> std::fmt::Debug for RemoteSession<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RemoteSession")
             .field("shards", &self.shards)
@@ -109,7 +123,7 @@ fn jitter_seed() -> u64 {
     (std::process::id() as u64) << 32 | n
 }
 
-impl RemoteSession {
+impl RemoteSession<TcpTransport> {
     /// Dial `addr`, negotiate the protocol version, and return a ready
     /// session. Fails with [`ServerError::Wire`] on version mismatch and
     /// [`ServerError::Timeout`] if the dial or handshake exceeds
@@ -124,25 +138,40 @@ impl RemoteSession {
         let stream = TcpStream::connect_timeout(&addr, config.connect_timeout)
             .map_err(|e| map_io(&e, "connect"))?;
         let _ = stream.set_nodelay(true);
-        stream
-            .set_read_timeout(Some(config.connect_timeout))
-            .map_err(|e| wire_err(e.to_string()))?;
-        let reader = BufReader::new(stream.try_clone().map_err(|e| wire_err(e.to_string()))?);
+        let transport = TcpTransport::new(stream).map_err(|e| wire_err(e.to_string()))?;
+        Self::over(transport, config)
+    }
+}
+
+impl<T: Transport> RemoteSession<T> {
+    /// Run the client over an already-established byte stream: negotiate
+    /// the protocol version (bounded by `connect_timeout`) and return a
+    /// ready session. This is how non-TCP transports — above all the
+    /// deterministic simulation link — get the full production client:
+    /// framing, deadlines, retry/backoff, and poisoning all behave
+    /// identically.
+    pub fn over(transport: T, config: NetClientConfig) -> Result<Self, ServerError> {
+        let wire_err = |m: String| ServerError::Wire(m);
         let mut conn = Conn {
-            writer: BufWriter::new(stream),
-            reader,
+            transport,
             poisoned: false,
         };
+        conn.transport
+            .set_read_deadline(Some(config.connect_timeout))
+            .map_err(|e| wire_err(e.to_string()))?;
         // Version negotiation: Hello must be answered by HelloOk before
         // any other frame is sent (the server handshakes on a separate
         // buffer, so pipelining past Hello would lose frames).
         write_frame(
-            &mut conn.writer,
+            &mut conn.transport,
             &wire::encode_request(&Request::Hello { magic: HELLO_MAGIC }),
         )
         .map_err(|e| map_io(&e, "hello"))?;
         let shards = match read_reply(&mut conn)? {
             Response::HelloOk { shards } => shards as usize,
+            Response::Error { code, detail } => {
+                return Err(Response::into_server_error(code, &detail))
+            }
             other => return Err(wire_err(format!("expected HelloOk, got {other:?}"))),
         };
         Ok(RemoteSession {
@@ -161,6 +190,12 @@ impl RemoteSession {
         self.shards
     }
 
+    /// Whether an earlier transport failure has poisoned the connection
+    /// (every later call fails fast; reconnect to recover).
+    pub fn is_poisoned(&self) -> bool {
+        self.conn.lock().unwrap().poisoned
+    }
+
     /// Fetch the server's metrics snapshot.
     pub fn metrics(&self) -> Result<WireMetrics, ServerError> {
         match self.call(OpCode::Stats, Request::Metrics)? {
@@ -169,14 +204,17 @@ impl RemoteSession {
         }
     }
 
-    /// Graceful goodbye: sends Shutdown, awaits Bye, closes the socket.
+    /// Graceful goodbye: sends Shutdown, awaits Bye, closes the stream.
     pub fn close(self) -> Result<(), ServerError> {
         let mut conn = self.conn.into_inner().unwrap();
         if conn.poisoned {
             return Ok(()); // nothing orderly left to do
         }
-        write_frame(&mut conn.writer, &wire::encode_request(&Request::Shutdown))
-            .map_err(|e| map_io(&e, "shutdown"))?;
+        write_frame(
+            &mut conn.transport,
+            &wire::encode_request(&Request::Shutdown),
+        )
+        .map_err(|e| map_io(&e, "shutdown"))?;
         match read_reply(&mut conn)? {
             Response::Bye => Ok(()),
             other => Err(ServerError::Wire(format!("expected Bye, got {other:?}"))),
@@ -192,17 +230,20 @@ impl RemoteSession {
         loop {
             match self.exchange(&req) {
                 // A retryable error only re-sends while the transport is
-                // healthy: `Timeout` from a socket read poisons (the late
-                // reply may still arrive), so it falls through typed.
+                // healthy: `Timeout` from a transport read poisons (the
+                // late reply may still arrive), so it falls through typed.
                 // A *server-signalled* `Timeout` arrives as a complete
                 // frame and does not poison, but it leaves the outcome
                 // unknown — the shard worker may still complete the
                 // operation after the reply rendezvous expired — so it is
                 // only retried for requests whose duplicate execution is
-                // harmless; non-idempotent requests surface it typed.
+                // harmless; non-idempotent requests surface it typed
+                // (unless the unsafe test hook disables the carve-out).
                 Err(e)
                     if e.is_retryable()
-                        && (duplicate_safe(&req) || !matches!(e, ServerError::Timeout))
+                        && (duplicate_safe(&req)
+                            || self.config.unsafe_retry_non_idempotent
+                            || !matches!(e, ServerError::Timeout))
                         && attempt < self.config.max_retries
                         && !self.conn.lock().unwrap().poisoned =>
                 {
@@ -248,10 +289,10 @@ impl RemoteSession {
         }
         let payload = wire::encode_request(req);
         if payload.len() > wire::MAX_FRAME {
-            // Refused before any bytes hit the socket: the stream is
-            // still in sync, so this is a typed per-request error, not
-            // poison (the server would reject the frame at read time and
-            // drop the connection).
+            // Refused before any bytes hit the stream: it is still in
+            // sync, so this is a typed per-request error, not poison (the
+            // server would reject the frame at read time and drop the
+            // connection).
             return Err(ServerError::Wire(format!(
                 "encoded request of {} bytes exceeds MAX_FRAME ({})",
                 payload.len(),
@@ -259,10 +300,9 @@ impl RemoteSession {
             )));
         }
         let _ = conn
-            .writer
-            .get_ref()
-            .set_read_timeout(Some(self.config.request_deadline));
-        if let Err(e) = write_frame(&mut conn.writer, &payload) {
+            .transport
+            .set_read_deadline(Some(self.config.request_deadline));
+        if let Err(e) = write_frame(&mut conn.transport, &payload) {
             conn.poisoned = true;
             return Err(map_io(&e, "send"));
         }
@@ -292,8 +332,8 @@ impl RemoteSession {
 /// Read and decode one reply frame. EOF and timeouts are transport
 /// failures (the caller poisons); a decoded `Error` frame is *not* — it
 /// is a healthy reply.
-fn read_reply(conn: &mut Conn) -> Result<Response, ServerError> {
-    match read_frame(&mut conn.reader) {
+fn read_reply<T: Transport>(conn: &mut Conn<T>) -> Result<Response, ServerError> {
+    match read_frame(&mut conn.transport) {
         Ok(Some(payload)) => wire::decode_response(&payload).map_err(ServerError::from),
         Ok(None) => Err(ServerError::Wire("server closed the connection".into())),
         Err(e) => Err(map_io(&e, "receive")),
@@ -323,7 +363,7 @@ fn map_io(e: &std::io::Error, what: &str) -> ServerError {
     }
 }
 
-impl Client for RemoteSession {
+impl<T: Transport> Client for RemoteSession<T> {
     type Handle = RemoteTxn;
 
     fn open(&self, txn: TxnBuilder<RemoteTxn>) -> Result<RemoteTxn, ServerError> {

@@ -1,0 +1,197 @@
+//! The transport-agnostic per-connection core.
+//!
+//! [`ConnCore`] is everything a ks-net connection does *between* frames:
+//! it owns the in-process [`Session`], maps wire-visible connection-scoped
+//! transaction ids to [`TxnHandle`]s, executes decoded [`Request`]s, and
+//! aborts whatever is still open when the connection goes away. The TCP
+//! server ([`crate::NetServer`]) and the deterministic simulation harness
+//! (`ks-dst`) both drive this exact type, so a bug the simulator finds in
+//! request handling is by construction a bug in the production path.
+//!
+//! The id table is a `BTreeMap`, not a `HashMap`, deliberately: the
+//! abort-on-disconnect sweep iterates it, and `HashMap`'s per-instance
+//! random iteration order would make the abort order — and therefore the
+//! protocol's cascade decisions and the obs event stream — differ between
+//! two otherwise identical runs. Determinism here is what lets `ks-dst`
+//! replay a failure from its seed alone.
+
+use crate::wire::{Request, Response, WireMetrics, HELLO_MAGIC, PROTOCOL_VERSION};
+use ks_server::{Client, MetricsSnapshot, ServerError, Session, TxnBuilder, TxnHandle};
+use std::collections::BTreeMap;
+
+/// Validate a decoded first frame as a Hello and build the reply.
+///
+/// `shards` is the embedded service's shard count (what `HelloOk`
+/// advertises). Returns `Err` with the error response to send before
+/// closing the connection.
+pub fn handshake_reply(first: &Request, shards: usize) -> Result<Response, Response> {
+    let wire_err = |msg: String| Response::error(&ServerError::Wire(msg));
+    match first {
+        Request::Hello { magic } if *magic == HELLO_MAGIC => Ok(Response::HelloOk {
+            shards: shards as u32,
+        }),
+        Request::Hello { magic } => Err(wire_err(format!(
+            "bad hello magic 0x{magic:08x} (want 0x{HELLO_MAGIC:08x}, version {PROTOCOL_VERSION})"
+        ))),
+        other => Err(wire_err(format!(
+            "expected Hello as the first frame, got {other:?}"
+        ))),
+    }
+}
+
+/// What the connection should do after handling one request.
+#[derive(Debug)]
+pub enum ConnAction {
+    /// Send this response and keep serving.
+    Reply(Response),
+    /// Send [`Response::Bye`] and close (the client asked to shut down).
+    Bye,
+}
+
+/// Per-connection request execution state, independent of how frames
+/// arrive.
+pub struct ConnCore {
+    session: Session,
+    /// Wire-visible transaction ids → in-process handles, in a `BTreeMap`
+    /// so the disconnect sweep aborts in deterministic (id) order.
+    txns: BTreeMap<u64, TxnHandle>,
+    next_txn: u64,
+}
+
+impl ConnCore {
+    /// Wrap a freshly opened [`Session`].
+    pub fn new(session: Session) -> Self {
+        ConnCore {
+            session,
+            txns: BTreeMap::new(),
+            next_txn: 0,
+        }
+    }
+
+    /// Transactions currently mapped (open as far as the wire knows).
+    pub fn open_txns(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// Execute one decoded request. `metrics` supplies the service-wide
+    /// snapshot for [`Request::Metrics`] (`None` once the service is
+    /// shutting down).
+    pub fn handle(
+        &mut self,
+        req: Request,
+        metrics: impl FnOnce() -> Option<MetricsSnapshot>,
+    ) -> ConnAction {
+        let lookup = |txns: &BTreeMap<u64, TxnHandle>, id: u64| -> Result<TxnHandle, Response> {
+            txns.get(&id).copied().ok_or_else(|| {
+                Response::error(&ServerError::Wire(format!("unknown transaction id {id}")))
+            })
+        };
+        let reply = |r: Result<(), ServerError>| match r {
+            Ok(()) => Response::Done,
+            Err(e) => Response::error(&e),
+        };
+        ConnAction::Reply(match req {
+            Request::Hello { .. } => {
+                Response::error(&ServerError::Wire("Hello after the handshake".to_string()))
+            }
+            Request::Open {
+                spec,
+                after,
+                before,
+                strategy,
+            } => {
+                let mut builder = TxnBuilder::new(spec);
+                for id in after {
+                    match lookup(&self.txns, id) {
+                        Ok(h) => builder = builder.after(h),
+                        Err(resp) => return ConnAction::Reply(resp),
+                    }
+                }
+                for id in before {
+                    match lookup(&self.txns, id) {
+                        Ok(h) => builder = builder.before(h),
+                        Err(resp) => return ConnAction::Reply(resp),
+                    }
+                }
+                if let Some(s) = strategy {
+                    builder = builder.strategy(s);
+                }
+                match self.session.open(builder) {
+                    Ok(handle) => {
+                        let id = self.next_txn;
+                        self.next_txn += 1;
+                        self.txns.insert(id, handle);
+                        Response::Opened { txn: id }
+                    }
+                    Err(e) => Response::error(&e),
+                }
+            }
+            Request::Validate { txn } => match lookup(&self.txns, txn) {
+                Ok(h) => reply(self.session.validate(h)),
+                Err(resp) => resp,
+            },
+            Request::Read { txn, entity } => match lookup(&self.txns, txn) {
+                Ok(h) => match self.session.read(h, entity) {
+                    Ok(value) => Response::Value { value },
+                    Err(e) => Response::error(&e),
+                },
+                Err(resp) => resp,
+            },
+            Request::Write { txn, entity, value } => match lookup(&self.txns, txn) {
+                Ok(h) => reply(self.session.write(h, entity, value)),
+                Err(resp) => resp,
+            },
+            Request::Commit { txn } => match lookup(&self.txns, txn) {
+                Ok(h) => {
+                    let r = self.session.commit(h);
+                    // Only a *successful* commit spends the id. A failed
+                    // commit (wrong phase, output violation, busy) leaves
+                    // the transaction live — or at least reachable —
+                    // server-side; unmapping it here would orphan it
+                    // beyond the reach of both the client and the
+                    // abort-on-disconnect sweep, leaking any state it
+                    // holds until shutdown.
+                    if r.is_ok() {
+                        self.txns.remove(&txn);
+                    }
+                    reply(r)
+                }
+                Err(resp) => resp,
+            },
+            Request::Abort { txn } => match lookup(&self.txns, txn) {
+                Ok(h) => {
+                    let r = self.session.abort(h);
+                    if !matches!(&r, Err(e) if e.is_retryable()) {
+                        self.txns.remove(&txn);
+                    }
+                    reply(r)
+                }
+                Err(resp) => resp,
+            },
+            Request::Metrics => match metrics() {
+                Some(m) => Response::Metrics(WireMetrics {
+                    requests: m.requests,
+                    committed: m.committed,
+                    rejected: m.rejected,
+                    backpressure: m.backpressure,
+                    timeouts: m.timeouts,
+                    sessions_in_flight: m.sessions_in_flight as u64,
+                    p50_ns: m.p50.map_or(0, |d| d.as_nanos() as u64),
+                    p99_ns: m.p99.map_or(0, |d| d.as_nanos() as u64),
+                }),
+                None => Response::error(&ServerError::Shutdown),
+            },
+            Request::Shutdown => return ConnAction::Bye,
+        })
+    }
+
+    /// Abort every transaction still mapped, in id order. Closing (or
+    /// crashing) a connection must not leave its transactions holding
+    /// locks — this is the abort-on-disconnect sweep both the TCP reaper
+    /// and the simulated-link reaper run.
+    pub fn abort_open_txns(&mut self) {
+        while let Some((_, handle)) = self.txns.pop_first() {
+            let _ = self.session.abort(handle);
+        }
+    }
+}

@@ -8,7 +8,7 @@
 //! transport — the loopback integration tests and the `exp_net_load`
 //! experiment drive both from a single generic function.
 //!
-//! Three layers:
+//! Five layers:
 //!
 //! * [`wire`] — the protocol itself: length-prefixed, versioned binary
 //!   frames covering the full session surface (hello / open / validate /
@@ -17,13 +17,23 @@
 //!   `(code, detail)` pairs that round-trip losslessly into
 //!   [`ServerError`](ks_server::ServerError). Documented normatively in
 //!   `docs/wire.md`.
+//! * [`transport`] — [`Transport`]: the byte-stream abstraction under
+//!   the client (an ordered reliable stream with read deadlines).
+//!   [`TcpTransport`] is the production implementation; the
+//!   deterministic simulation harness (`ks-dst`) substitutes an
+//!   in-memory link with seeded fault injection.
+//! * [`conn`] — [`ConnCore`](conn::ConnCore): the transport-agnostic
+//!   per-connection request executor (id table, commit/abort id
+//!   lifecycle, abort-on-disconnect sweep) shared by the TCP server and
+//!   the simulator, so both drive identical server-side logic.
 //! * [`server`] — [`NetServer`]: an accept loop embedding a
 //!   `TxnService`, one reader + handler thread pair per connection, a
 //!   bounded in-flight window per connection, and a graceful drain
 //!   shutdown that hands back the shard managers for model-checking.
 //! * [`client`] — [`RemoteSession`]: connect timeouts, per-request
 //!   deadlines, bounded jittered retry/backoff on transient errors, and
-//!   fail-fast poisoning after transport faults.
+//!   fail-fast poisoning after transport faults; generic over
+//!   [`Transport`] via [`RemoteSession::over`].
 //!
 //! The design stance matches the rest of the repo: the network may delay,
 //! sever, or refuse, but it must never *invent* an outcome — every
@@ -35,9 +45,13 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod conn;
 pub mod server;
+pub mod transport;
 pub mod wire;
 
 pub use client::{NetClientConfig, RemoteSession, RemoteTxn};
+pub use conn::{ConnAction, ConnCore};
 pub use server::{NetConfig, NetServer};
+pub use transport::{TcpTransport, Transport};
 pub use wire::{Request, Response, WireError, WireMetrics, MAX_FRAME, PROTOCOL_VERSION};

@@ -5,11 +5,11 @@
 //! frames off the socket into a bounded channel (the in-flight window —
 //! a client that pipelines more than `window` requests blocks in TCP
 //! backpressure instead of ballooning server memory) and a *handler*
-//! that executes requests against an in-process [`Session`] via the
-//! [`Client`] trait and writes replies in request order. Wire-visible
-//! transaction ids are connection-scoped `u64`s mapped to [`Session`]
-//! handles in a per-connection table, so server handles never cross the
-//! wire.
+//! that executes requests through the transport-agnostic
+//! [`ConnCore`](crate::conn::ConnCore) and writes replies in request
+//! order. Wire-visible transaction ids are connection-scoped `u64`s
+//! mapped to in-process handles inside the core, so server handles never
+//! cross the wire.
 //!
 //! Shutdown drains: stop accepting, let readers notice the stop flag at
 //! their next read-timeout tick, give in-flight requests up to the drain
@@ -17,14 +17,12 @@
 //! shut the embedded [`TxnService`] down and hand back its shard
 //! managers for verification.
 
-use crate::wire::{
-    self, read_frame, write_frame, FrameProgress, FrameReader, Request, Response, WireMetrics,
-    HELLO_MAGIC,
-};
+use crate::conn::{handshake_reply, ConnAction, ConnCore};
+use crate::wire::{self, read_frame, write_frame, FrameProgress, FrameReader, Response};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use ks_obs::{ObsKind, ObsSink, Recorder, NO_TXN};
 use ks_protocol::ProtocolManager;
-use ks_server::{Client, ServerError, Session, TxnBuilder, TxnHandle, TxnService};
+use ks_server::{ServerError, TxnService};
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Write as _};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -259,14 +257,6 @@ fn reader_loop(stream: TcpStream, window: Sender<Vec<u8>>, shared: Arc<NetShared
     }
 }
 
-/// Per-connection state the handler threads over requests.
-struct ConnState {
-    session: Session,
-    /// Wire-visible transaction ids → in-process handles.
-    txns: HashMap<u64, TxnHandle>,
-    next_txn: u64,
-}
-
 fn serve_connection(stream: TcpStream, shared: &Arc<NetShared>) {
     let Ok(read_half) = stream.try_clone() else {
         return;
@@ -290,11 +280,7 @@ fn serve_connection(stream: TcpStream, shared: &Arc<NetShared>) {
             return;
         }
     };
-    let mut state = ConnState {
-        session,
-        txns: HashMap::new(),
-        next_txn: 0,
-    };
+    let mut core = ConnCore::new(session);
 
     let (tx, rx): (Sender<Vec<u8>>, Receiver<Vec<u8>>) = bounded(shared.config.window.max(1));
     let reader = {
@@ -306,9 +292,9 @@ fn serve_connection(stream: TcpStream, shared: &Arc<NetShared>) {
     // written in the same order.
     while let Ok(payload) = rx.recv() {
         let resp = match wire::decode_request(&payload) {
-            Ok(req) => match handle(&mut state, req, shared) {
-                Some(resp) => resp,
-                None => {
+            Ok(req) => match core.handle(req, || shared.with_service(|svc| svc.metrics())) {
+                ConnAction::Reply(resp) => resp,
+                ConnAction::Bye => {
                     // Shutdown request: acknowledge and close.
                     let _ = write_frame(&mut writer, &wire::encode_response(&Response::Bye));
                     break;
@@ -323,9 +309,7 @@ fn serve_connection(stream: TcpStream, shared: &Arc<NetShared>) {
     let _ = writer.flush();
     // Closing (or crashing) a connection must not leave its transactions
     // holding locks: abort everything still open.
-    for (_, handle) in state.txns.drain() {
-        let _ = state.session.abort(handle);
-    }
+    core.abort_open_txns();
     drop(rx); // unblock a reader stuck on a full window
     let _ = writer.get_ref().shutdown(Shutdown::Both);
     let _ = reader.join();
@@ -341,124 +325,11 @@ fn handshake(writer: &mut BufWriter<TcpStream>, shared: &NetShared) -> Result<()
         Ok(None) => return Err(wire_err("connection closed before Hello".into())),
         Err(e) => return Err(wire_err(format!("reading Hello: {e}"))),
     };
-    match wire::decode_request(&payload) {
-        Ok(Request::Hello { magic }) if magic == HELLO_MAGIC => {
-            let shards = shared
-                .with_service(|svc| svc.shard_map().shards())
-                .unwrap_or(0);
-            let ok = Response::HelloOk {
-                shards: shards as u32,
-            };
-            write_frame(writer, &wire::encode_response(&ok))
-                .map_err(|e| wire_err(e.to_string()))?;
-            Ok(())
-        }
-        Ok(Request::Hello { magic }) => Err(wire_err(format!("bad hello magic 0x{magic:08x}"))),
-        Ok(other) => Err(wire_err(format!(
-            "expected Hello as the first frame, got {other:?}"
-        ))),
-        Err(e) => Err(wire_err(e.to_string())),
-    }
-}
-
-/// Execute one request. `None` means "Shutdown: reply Bye and close".
-fn handle(state: &mut ConnState, req: Request, shared: &NetShared) -> Option<Response> {
-    let lookup = |txns: &HashMap<u64, TxnHandle>, id: u64| -> Result<TxnHandle, Response> {
-        txns.get(&id).copied().ok_or_else(|| {
-            Response::error(&ServerError::Wire(format!("unknown transaction id {id}")))
-        })
-    };
-    let reply = |r: Result<(), ServerError>| match r {
-        Ok(()) => Response::Done,
-        Err(e) => Response::error(&e),
-    };
-    Some(match req {
-        Request::Hello { .. } => {
-            Response::error(&ServerError::Wire("Hello after the handshake".to_string()))
-        }
-        Request::Open {
-            spec,
-            after,
-            before,
-            strategy,
-        } => {
-            let mut builder = TxnBuilder::new(spec);
-            for id in after {
-                match lookup(&state.txns, id) {
-                    Ok(h) => builder = builder.after(h),
-                    Err(resp) => return Some(resp),
-                }
-            }
-            for id in before {
-                match lookup(&state.txns, id) {
-                    Ok(h) => builder = builder.before(h),
-                    Err(resp) => return Some(resp),
-                }
-            }
-            if let Some(s) = strategy {
-                builder = builder.strategy(s);
-            }
-            match state.session.open(builder) {
-                Ok(handle) => {
-                    let id = state.next_txn;
-                    state.next_txn += 1;
-                    state.txns.insert(id, handle);
-                    Response::Opened { txn: id }
-                }
-                Err(e) => Response::error(&e),
-            }
-        }
-        Request::Validate { txn } => match lookup(&state.txns, txn) {
-            Ok(h) => reply(state.session.validate(h)),
-            Err(resp) => resp,
-        },
-        Request::Read { txn, entity } => match lookup(&state.txns, txn) {
-            Ok(h) => match state.session.read(h, entity) {
-                Ok(value) => Response::Value { value },
-                Err(e) => Response::error(&e),
-            },
-            Err(resp) => resp,
-        },
-        Request::Write { txn, entity, value } => match lookup(&state.txns, txn) {
-            Ok(h) => reply(state.session.write(h, entity, value)),
-            Err(resp) => resp,
-        },
-        Request::Commit { txn } => match lookup(&state.txns, txn) {
-            Ok(h) => {
-                let r = state.session.commit(h);
-                // The id stays mapped while the outcome is retryable (the
-                // transaction is still live server-side); otherwise it is
-                // spent.
-                if !matches!(&r, Err(e) if e.is_retryable()) {
-                    state.txns.remove(&txn);
-                }
-                reply(r)
-            }
-            Err(resp) => resp,
-        },
-        Request::Abort { txn } => match lookup(&state.txns, txn) {
-            Ok(h) => {
-                let r = state.session.abort(h);
-                if !matches!(&r, Err(e) if e.is_retryable()) {
-                    state.txns.remove(&txn);
-                }
-                reply(r)
-            }
-            Err(resp) => resp,
-        },
-        Request::Metrics => match shared.with_service(|svc| svc.metrics()) {
-            Some(m) => Response::Metrics(WireMetrics {
-                requests: m.requests,
-                committed: m.committed,
-                rejected: m.rejected,
-                backpressure: m.backpressure,
-                timeouts: m.timeouts,
-                sessions_in_flight: m.sessions_in_flight as u64,
-                p50_ns: m.p50.map_or(0, |d| d.as_nanos() as u64),
-                p99_ns: m.p99.map_or(0, |d| d.as_nanos() as u64),
-            }),
-            None => Response::error(&ServerError::Shutdown),
-        },
-        Request::Shutdown => return None,
-    })
+    let first = wire::decode_request(&payload).map_err(|e| wire_err(e.to_string()))?;
+    let shards = shared
+        .with_service(|svc| svc.shard_map().shards())
+        .unwrap_or(0);
+    let ok = handshake_reply(&first, shards)?;
+    write_frame(writer, &wire::encode_response(&ok)).map_err(|e| wire_err(e.to_string()))?;
+    Ok(())
 }

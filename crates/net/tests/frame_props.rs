@@ -1,0 +1,168 @@
+//! Property tests for incremental frame reassembly: a byte stream of
+//! frames split at *any* boundary — every 2-chunk split exhaustively,
+//! multi-chunk splits by property — reassembles through [`FrameReader`]
+//! into exactly the frames a one-shot [`read_frame`] decode of the
+//! unsplit stream produces. This is the invariant the ks-dst trickle
+//! fault hammers end-to-end; here it is isolated to the reader itself.
+
+use ks_net::wire::{read_frame, write_frame, FrameProgress, FrameReader};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read};
+
+/// A reader that serves a byte stream in predetermined segments, going
+/// quiet (one `WouldBlock`) at each segment boundary — a socket whose
+/// peer's bytes straddle poll ticks.
+struct TrickleReader {
+    segments: VecDeque<Vec<u8>>,
+    current: Vec<u8>,
+    pos: usize,
+}
+
+impl TrickleReader {
+    /// Split `stream` at the given sorted, in-range cut positions.
+    fn new(stream: &[u8], cuts: &[usize]) -> Self {
+        let mut segments = VecDeque::new();
+        let mut start = 0;
+        for &c in cuts {
+            segments.push_back(stream[start..c].to_vec());
+            start = c;
+        }
+        segments.push_back(stream[start..].to_vec());
+        let current = segments.pop_front().unwrap();
+        TrickleReader {
+            segments,
+            current,
+            pos: 0,
+        }
+    }
+}
+
+impl Read for TrickleReader {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos == self.current.len() {
+            match self.segments.pop_front() {
+                Some(next) => {
+                    self.current = next;
+                    self.pos = 0;
+                    return Err(std::io::Error::new(
+                        ErrorKind::WouldBlock,
+                        "stream went quiet",
+                    ));
+                }
+                None => return Ok(0),
+            }
+        }
+        let n = out.len().min(self.current.len() - self.pos);
+        out[..n].copy_from_slice(&self.current[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// Concatenate `payloads` into one framed byte stream.
+fn framed_stream(payloads: &[Vec<u8>]) -> Vec<u8> {
+    let mut stream = Vec::new();
+    for p in payloads {
+        write_frame(&mut stream, p).unwrap();
+    }
+    stream
+}
+
+/// Drain a reader to EOF, collecting frames across `Pending` ticks.
+fn drain(reader: &mut FrameReader<TrickleReader>) -> std::io::Result<Vec<Vec<u8>>> {
+    let mut frames = Vec::new();
+    loop {
+        match reader.poll_frame()? {
+            FrameProgress::Frame(f) => frames.push(f),
+            FrameProgress::Pending => continue,
+            FrameProgress::Eof => return Ok(frames),
+        }
+    }
+}
+
+/// The oracle: one-shot decode of the unsplit stream.
+fn one_shot(stream: &[u8]) -> Vec<Vec<u8>> {
+    let mut cursor = std::io::Cursor::new(stream);
+    let mut frames = Vec::new();
+    while let Some(f) = read_frame(&mut cursor).unwrap() {
+        frames.push(f);
+    }
+    frames
+}
+
+/// Every 2-chunk split of a stream of mixed-size frames (empty, tiny,
+/// larger-than-read-buffer) reassembles identically — including cuts
+/// inside the 4-byte length prefix, the classic desync spot.
+#[test]
+fn every_two_chunk_split_reassembles() {
+    let payloads = vec![
+        Vec::new(),
+        vec![0x42],
+        (0u8..=255).collect::<Vec<u8>>(),
+        vec![0xAB; 37],
+    ];
+    let stream = framed_stream(&payloads);
+    let expected = one_shot(&stream);
+    assert_eq!(expected, payloads);
+    for cut in 0..=stream.len() {
+        let cuts = if cut == 0 || cut == stream.len() {
+            vec![]
+        } else {
+            vec![cut]
+        };
+        let mut reader = FrameReader::new(TrickleReader::new(&stream, &cuts));
+        assert_eq!(
+            drain(&mut reader).unwrap(),
+            expected,
+            "split at byte {cut} desynced the stream"
+        );
+    }
+}
+
+/// The degenerate limit: one byte per segment, a `Pending` tick between
+/// every pair of bytes.
+#[test]
+fn byte_at_a_time_reassembles() {
+    let payloads = vec![vec![1, 2, 3], Vec::new(), vec![9; 19]];
+    let stream = framed_stream(&payloads);
+    let cuts: Vec<usize> = (1..stream.len()).collect();
+    let mut reader = FrameReader::new(TrickleReader::new(&stream, &cuts));
+    assert_eq!(drain(&mut reader).unwrap(), payloads);
+}
+
+/// EOF at a frame boundary is clean; EOF anywhere inside a frame is a
+/// hard `UnexpectedEof`, never a silent truncation.
+#[test]
+fn eof_inside_a_frame_is_an_error() {
+    let payloads = vec![vec![7; 10]];
+    let stream = framed_stream(&payloads);
+    for cut in 1..stream.len() {
+        let mut reader = FrameReader::new(TrickleReader::new(&stream[..cut], &[]));
+        let err = drain(&mut reader).expect_err("truncated stream must error");
+        assert_eq!(err.kind(), ErrorKind::UnexpectedEof, "cut at {cut}");
+    }
+}
+
+proptest! {
+    /// Arbitrary frame sequences split at arbitrary multi-chunk
+    /// boundaries reassemble to the one-shot decode of the same bytes.
+    #[test]
+    fn multi_chunk_splits_reassemble(
+        payloads in prop::collection::vec(
+            prop::collection::vec(any::<u8>(), 0..64), 0..6),
+        raw_cuts in prop::collection::vec(any::<u32>(), 0..12),
+    ) {
+        let stream = framed_stream(&payloads);
+        let mut cuts: Vec<usize> = raw_cuts
+            .into_iter()
+            .filter(|_| !stream.is_empty())
+            .map(|c| 1 + c as usize % stream.len().max(1))
+            .filter(|&c| c < stream.len())
+            .collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut reader = FrameReader::new(TrickleReader::new(&stream, &cuts));
+        prop_assert_eq!(drain(&mut reader).unwrap(), one_shot(&stream));
+    }
+}

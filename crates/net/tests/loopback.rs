@@ -185,28 +185,26 @@ fn dropped_connection_releases_its_transactions() {
         session.write(txn, e, 42).unwrap();
         // Drop without close(): simulates a client crash.
     }
-    // A second client must eventually get through (the abort happens
-    // when the server notices the dead socket).
+    // Rendezvous with the reaper instead of retrying the whole workload:
+    // the server aborts the dead connection's transactions *before* its
+    // session drops out of `sessions_in_flight`, so once the survivor
+    // observes itself as the only session, the crashed client's locks
+    // are provably released and a single attempt must succeed.
     let session = RemoteSession::connect(addr, NetClientConfig::default()).expect("connect");
-    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
-    let committed = loop {
-        let txn = session.open(TxnBuilder::new(tautology_spec(&[e]))).unwrap();
-        let outcome = session
-            .validate(txn)
-            .and_then(|()| session.write(txn, e, 7))
-            .and_then(|()| session.commit(txn));
-        match outcome {
-            Ok(()) => break true,
-            Err(_) => {
-                let _ = session.abort(txn);
-                if std::time::Instant::now() > deadline {
-                    break false;
-                }
-                std::thread::sleep(std::time::Duration::from_millis(20));
-            }
-        }
-    };
-    assert!(committed, "survivor must commit after the crash is reaped");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    while session.metrics().expect("metrics").sessions_in_flight > 1 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "server never reaped the dead connection"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let txn = session.open(TxnBuilder::new(tautology_spec(&[e]))).unwrap();
+    session.validate(txn).expect("validate after reap");
+    session.write(txn, e, 7).expect("write after reap");
+    session
+        .commit(txn)
+        .expect("survivor must commit after the crash is reaped");
     session.close().expect("goodbye");
     let report = verify_managers(&server.shutdown());
     assert!(report.is_correct(), "{:?}", report.violations);
@@ -223,10 +221,11 @@ fn slow_frames_straddling_the_poll_interval_stay_in_sync() {
     use std::io::Write as _;
     use std::time::Duration;
 
+    let poll = Duration::from_millis(10);
     let server = start_server_with(
         1,
         NetConfig {
-            poll_interval: Duration::from_millis(10),
+            poll_interval: poll,
             ..NetConfig::default()
         },
     );
@@ -247,7 +246,8 @@ fn slow_frames_straddling_the_poll_interval_stay_in_sync() {
     ));
     // Trickle an Open frame: 2 bytes of the length prefix, then a sliver
     // spanning the prefix/payload boundary, then the rest — each chunk
-    // separated by ~4 poll ticks.
+    // separated by several poll ticks (derived from the configured
+    // interval, so the pause stays meaningful if the interval changes).
     let payload = wire::encode_request(&Request::Open {
         spec: tautology_spec(&[EntityId(0)]),
         after: vec![],
@@ -259,7 +259,7 @@ fn slow_frames_straddling_the_poll_interval_stay_in_sync() {
     for chunk in [&framed[..2], &framed[2..7], &framed[7..]] {
         stream.write_all(chunk).unwrap();
         stream.flush().unwrap();
-        std::thread::sleep(Duration::from_millis(40));
+        std::thread::sleep(poll * 4);
     }
     let reply = wire::read_frame(&mut reader).unwrap().expect("reply");
     match wire::decode_response(&reply) {

@@ -34,6 +34,7 @@ fn fast_config(recorder: Option<Recorder>) -> NetClientConfig {
         backoff_base: Duration::from_millis(2),
         backoff_cap: Duration::from_millis(50),
         recorder,
+        ..NetClientConfig::default()
     }
 }
 

@@ -1,0 +1,166 @@
+//! Round-trip property tests for the wire encoding of CNF
+//! specifications, focused on the shapes the general request fuzz
+//! (`wire_fuzz.rs`) never generates: zero-atom clauses, the empty CNF
+//! vs. explicit truth, entity-to-entity atoms, extreme constants, and
+//! wide/deep formulas near the frame budget.
+
+use ks_core::Specification;
+use ks_kernel::EntityId;
+use ks_net::wire::{decode_request, encode_request, Request, MAX_FRAME};
+use ks_predicate::{Atom, Clause, CmpOp, Cnf, Operand};
+use proptest::prelude::*;
+
+/// Wrap a spec in an `Open` and push it through the wire.
+fn round_trip(spec: Specification) -> Specification {
+    let req = Request::Open {
+        spec,
+        after: vec![],
+        before: vec![],
+        strategy: None,
+    };
+    let buf = encode_request(&req);
+    match decode_request(&buf).expect("valid encoding must decode") {
+        Request::Open { spec, .. } => spec,
+        other => panic!("decoded to {other:?}"),
+    }
+}
+
+fn atom(lhs: Operand, op: CmpOp, rhs: Operand) -> Atom {
+    Atom { lhs, op, rhs }
+}
+
+/// The degenerate formulas: an empty CNF (vacuously true), a CNF holding
+/// an empty clause (unsatisfiable), and a clause mixing both operand
+/// kinds — all must survive structurally, not just semantically.
+#[test]
+fn degenerate_shapes_round_trip() {
+    let shapes = vec![
+        Cnf::new(vec![]),
+        Cnf::truth(),
+        Cnf::new(vec![Clause::new(vec![])]),
+        Cnf::new(vec![
+            Clause::new(vec![]),
+            Clause::new(vec![atom(
+                Operand::Entity(EntityId(0)),
+                CmpOp::Eq,
+                Operand::Entity(EntityId(u32::MAX)),
+            )]),
+            Clause::new(vec![atom(
+                Operand::Const(i64::MIN),
+                CmpOp::Le,
+                Operand::Const(i64::MAX),
+            )]),
+        ]),
+    ];
+    for cnf in shapes {
+        let spec = Specification::new(cnf.clone(), cnf.clone());
+        let back = round_trip(spec);
+        assert_eq!(back.input, cnf);
+        assert_eq!(back.output, cnf);
+    }
+}
+
+/// A formula wide and deep enough to dwarf every fuzz case but still
+/// within the frame budget encodes, stays under [`MAX_FRAME`], and
+/// round-trips exactly.
+#[test]
+fn large_formulas_round_trip_within_the_frame_budget() {
+    let clause = Clause::new(
+        (0..64)
+            .map(|i| {
+                atom(
+                    Operand::Entity(EntityId(i)),
+                    CmpOp::Ge,
+                    Operand::Const(i64::from(i)),
+                )
+            })
+            .collect(),
+    );
+    let cnf = Cnf::new(vec![clause; 128]);
+    let spec = Specification::new(cnf.clone(), Cnf::truth());
+    let encoded = encode_request(&Request::Open {
+        spec: spec.clone(),
+        after: vec![],
+        before: vec![],
+        strategy: None,
+    });
+    assert!(
+        encoded.len() <= MAX_FRAME,
+        "{} bytes exceeds the frame budget",
+        encoded.len()
+    );
+    assert_eq!(round_trip(spec).input, cnf);
+}
+
+fn arb_operand() -> impl Strategy<Value = Operand> {
+    (any::<bool>(), any::<u32>(), any::<i64>()).prop_map(|(is_entity, e, c)| {
+        if is_entity {
+            Operand::Entity(EntityId(e))
+        } else {
+            Operand::Const(c)
+        }
+    })
+}
+
+fn arb_cmp() -> impl Strategy<Value = CmpOp> {
+    (0u8..6).prop_map(|sel| match sel {
+        0 => CmpOp::Eq,
+        1 => CmpOp::Ne,
+        2 => CmpOp::Lt,
+        3 => CmpOp::Le,
+        4 => CmpOp::Gt,
+        _ => CmpOp::Ge,
+    })
+}
+
+/// Unlike the fuzz generator, clauses here may be *empty* (0 atoms) —
+/// the encoding must not conflate an empty clause with a missing one.
+fn arb_cnf_with_empties() -> impl Strategy<Value = Cnf> {
+    prop::collection::vec(
+        prop::collection::vec((arb_operand(), arb_cmp(), arb_operand()), 0..5),
+        0..6,
+    )
+    .prop_map(|clauses| {
+        Cnf::new(
+            clauses
+                .into_iter()
+                .map(|atoms| {
+                    Clause::new(
+                        atoms
+                            .into_iter()
+                            .map(|(lhs, op, rhs)| Atom { lhs, op, rhs })
+                            .collect(),
+                    )
+                })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    /// Any (input, output) CNF pair — empty clauses included — survives
+    /// the wire byte-for-byte structurally.
+    #[test]
+    fn specifications_round_trip(
+        input in arb_cnf_with_empties(),
+        output in arb_cnf_with_empties(),
+    ) {
+        let spec = Specification::new(input.clone(), output.clone());
+        let back = round_trip(spec);
+        prop_assert_eq!(back.input, input);
+        prop_assert_eq!(back.output, output);
+    }
+
+    /// Encoding is injective on structure: two encodes of the same spec
+    /// are identical bytes (no nondeterminism in the encoder).
+    #[test]
+    fn encoding_is_deterministic(cnf in arb_cnf_with_empties()) {
+        let req = Request::Open {
+            spec: Specification::new(cnf.clone(), cnf),
+            after: vec![],
+            before: vec![],
+            strategy: None,
+        };
+        prop_assert_eq!(encode_request(&req), encode_request(&req));
+    }
+}

@@ -200,6 +200,19 @@ impl Recorder {
         out
     }
 
+    /// Snapshot every ring separately, in ring-registration order.
+    ///
+    /// [`Recorder::drain`] merges rings by wall-clock timestamp, which is
+    /// racy across concurrently emitting threads (two rings' clocks can
+    /// interleave either way between runs). Deterministic consumers — the
+    /// `ks-dst` seed-determinism oracle above all — need the per-ring
+    /// streams, whose *within-ring* order is the emitter's program order
+    /// and therefore reproducible.
+    pub fn drain_rings(&self) -> Vec<Vec<ObsEvent>> {
+        let rings = self.inner.rings.lock().unwrap().clone();
+        rings.iter().map(|r| r.snapshot()).collect()
+    }
+
     /// Total events ever recorded across all rings.
     pub fn recorded(&self) -> u64 {
         self.inner

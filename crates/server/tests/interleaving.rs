@@ -128,6 +128,13 @@ proptest! {
                 shards,
                 max_sessions: clients,
                 strategy: if greedy { Strategy::GreedyLatest } else { Strategy::Backtracking },
+                // Generous on purpose: `Timeout` is the one error whose
+                // outcome is ambiguous (the shard worker may still apply
+                // the op), and the committed-count equality below needs
+                // every outcome unambiguous. The default 10s is enough on
+                // an idle box but not under a loaded CI running 24 cases
+                // of this test in parallel.
+                request_timeout: std::time::Duration::from_secs(120),
                 ..ServerConfig::default()
             },
         );

@@ -29,4 +29,14 @@ cargo test -q -p ks-net
 echo "== exp_net_load --smoke (loopback TCP vs in-process)"
 cargo run --release -q -p ks-bench --bin exp_net_load -- --smoke
 
-echo "OK: fmt, clippy, tests, obs wire round-trip, server smoke, net smoke all green"
+echo "== ks-dst (determinism + teeth + proto fuzz)"
+cargo test -q -p ks-dst
+
+echo "== dst_smoke --seeds 25 (seeded fault-injection gate)"
+cargo run --release -q -p ks-bench --bin dst_smoke -- --seeds 25
+
+echo "== dst_smoke teeth (a disabled protection must be caught)"
+cargo run --release -q -p ks-bench --bin dst_smoke -- \
+    --seeds 25 --disable timeout-carveout --expect-violation
+
+echo "OK: fmt, clippy, tests, obs wire round-trip, server smoke, net smoke, dst gate all green"
