@@ -13,6 +13,7 @@
 //! run produces a single model-correctness violation.
 
 use ks_bench::driver::{drive_client, DriveOutcome, DriverConfig};
+use ks_bench::report::Json;
 use ks_kernel::{Domain, Schema, UniqueState};
 use ks_obs::Recorder;
 use ks_predicate::Strategy;
@@ -33,6 +34,7 @@ const RETRY_BUDGET: u32 = 10_000;
 #[derive(Debug)]
 struct RunResult {
     shards: usize,
+    batch: bool,
     outcome: DriveOutcome,
     elapsed: Duration,
     snap: MetricsSnapshot,
@@ -51,7 +53,7 @@ impl RunResult {
 
 /// One client: open a session and run its slice of the shared
 /// deterministic workload through the transport-generic driver.
-fn run_client(svc: &TxnService, client: usize, shards: usize) -> DriveOutcome {
+fn run_client(svc: &TxnService, client: usize, shards: usize, batch: bool) -> DriveOutcome {
     let session = svc.session().expect("admission (sessions \u{2264} cap)");
     drive_client(
         &session,
@@ -63,11 +65,18 @@ fn run_client(svc: &TxnService, client: usize, shards: usize) -> DriveOutcome {
             ops_per_txn: OPS_PER_TXN,
             seed: 0xC0FFEE,
             retry_budget: RETRY_BUDGET,
+            pipeline_depth: 1,
+            batch,
         },
     )
 }
 
-fn run_one(shards: usize, strategy: Strategy, recorder: Option<Recorder>) -> RunResult {
+fn run_one(
+    shards: usize,
+    strategy: Strategy,
+    recorder: Option<Recorder>,
+    batch: bool,
+) -> RunResult {
     let schema = Schema::uniform(
         (0..TOTAL_ENTITIES).map(|i| format!("d{i}")),
         Domain::Range {
@@ -93,7 +102,7 @@ fn run_one(shards: usize, strategy: Strategy, recorder: Option<Recorder>) -> Run
         let handles: Vec<_> = (0..CLIENTS)
             .map(|client| {
                 let svc = &svc;
-                scope.spawn(move || run_client(svc, client, shards))
+                scope.spawn(move || run_client(svc, client, shards, batch))
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
@@ -113,6 +122,7 @@ fn run_one(shards: usize, strategy: Strategy, recorder: Option<Recorder>) -> Run
     );
     RunResult {
         shards,
+        batch,
         outcome,
         elapsed,
         snap,
@@ -150,7 +160,7 @@ fn tracing_overhead(shards: usize, reps: usize) -> usize {
         "— tracing overhead at {shards} shards (flight recorder off vs. on, best of {reps}) —"
     );
     // Warm up caches/allocator so the A and B runs see the same machine.
-    let mut violations = run_one(shards, Strategy::Backtracking, None).violations;
+    let mut violations = run_one(shards, Strategy::Backtracking, None, false).violations;
     let mut pick_best = |runs: Vec<(RunResult, Option<Recorder>)>| {
         violations += runs.iter().map(|(r, _)| r.violations).sum::<usize>();
         runs.into_iter()
@@ -159,7 +169,7 @@ fn tracing_overhead(shards: usize, reps: usize) -> usize {
     };
     let (off, _) = pick_best(
         (0..reps)
-            .map(|_| (run_one(shards, Strategy::Backtracking, None), None))
+            .map(|_| (run_one(shards, Strategy::Backtracking, None, false), None))
             .collect(),
     );
     // Fresh recorder per rep so the event counts describe exactly one run.
@@ -168,7 +178,12 @@ fn tracing_overhead(shards: usize, reps: usize) -> usize {
             .map(|_| {
                 let recorder = Recorder::new(OVERHEAD_RING);
                 (
-                    run_one(shards, Strategy::Backtracking, Some(recorder.clone())),
+                    run_one(
+                        shards,
+                        Strategy::Backtracking,
+                        Some(recorder.clone()),
+                        false,
+                    ),
                     Some(recorder),
                 )
             })
@@ -212,6 +227,20 @@ fn main() {
     );
 
     let mut total_violations = 0usize;
+    let mut runs = Vec::new();
+    let run_json = |r: &RunResult| {
+        Json::obj([
+            ("shards", Json::Num(r.shards as f64)),
+            ("batch", Json::Bool(r.batch)),
+            ("committed", Json::Num(r.outcome.committed as f64)),
+            ("aborted", Json::Num(r.outcome.aborted as f64)),
+            ("busy_retries", Json::Num(r.outcome.busy_retries as f64)),
+            ("throughput_txn_s", Json::Num(r.throughput())),
+            ("p50_us", Json::Num(micros(r.snap.p50))),
+            ("p99_us", Json::Num(micros(r.snap.p99))),
+            ("violations", Json::Num(r.violations as f64)),
+        ])
+    };
 
     println!("— shard sweep (backtracking assignment) —");
     println!(
@@ -220,9 +249,42 @@ fn main() {
     );
     let sweep: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
     for &shards in sweep {
-        let r = run_one(shards, Strategy::Backtracking, None);
+        let r = run_one(shards, Strategy::Backtracking, None, false);
         total_violations += r.violations;
         println!("{}", row(&r));
+        runs.push(run_json(&r));
+    }
+
+    // Op batching: the same closed loop with each transaction's access
+    // phase coalesced into one worker request per shard wakeup.
+    let batch_shards = if smoke { 2 } else { 4 };
+    println!("\n— op batching at {batch_shards} shards (per-op calls vs one coalesced burst) —");
+    println!(
+        "{:>8} {:>9} {:>7} {:>6} {:>11} {:>8} {:>8} {:>10}",
+        "batching",
+        "committed",
+        "aborted",
+        "busy",
+        "thru(txn/s)",
+        "p50(µs)",
+        "p99(µs)",
+        "violations"
+    );
+    for batch in [false, true] {
+        let r = run_one(batch_shards, Strategy::Backtracking, None, batch);
+        total_violations += r.violations;
+        println!(
+            "{:>8} {:>9} {:>7} {:>6} {:>11.0} {:>8.1} {:>8.1} {:>10}",
+            if batch { "burst" } else { "per-op" },
+            r.outcome.committed,
+            r.outcome.aborted,
+            r.outcome.busy_retries,
+            r.throughput(),
+            micros(r.snap.p50),
+            micros(r.snap.p99),
+            r.violations,
+        );
+        runs.push(run_json(&r));
     }
 
     if !smoke {
@@ -241,7 +303,7 @@ fn main() {
             ("backtracking", Strategy::Backtracking),
             ("greedy-latest", Strategy::GreedyLatest),
         ] {
-            let r = run_one(4, strategy, None);
+            let r = run_one(4, strategy, None, false);
             total_violations += r.violations;
             println!(
                 "{:>14} {:>9} {:>7} {:>8} {:>10} {:>13} {:>14}",
@@ -258,6 +320,19 @@ fn main() {
 
     println!();
     total_violations += tracing_overhead(if smoke { 2 } else { 4 }, if smoke { 1 } else { 5 });
+
+    let report = Json::obj([
+        ("bench", Json::Str("server_load".to_string())),
+        ("smoke", Json::Bool(smoke)),
+        ("clients", Json::Num(CLIENTS as f64)),
+        ("txns_per_client", Json::Num(TXNS_PER_CLIENT as f64)),
+        ("ops_per_txn", Json::Num(OPS_PER_TXN as f64)),
+        ("total_entities", Json::Num(TOTAL_ENTITIES as f64)),
+        ("runs", Json::Arr(runs)),
+        ("total_violations", Json::Num(total_violations as f64)),
+    ]);
+    std::fs::write("BENCH_server.json", report.render()).expect("write BENCH_server.json");
+    println!("\nwrote BENCH_server.json");
 
     println!();
     if total_violations == 0 {

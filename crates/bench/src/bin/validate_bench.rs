@@ -1,0 +1,123 @@
+//! `validate_bench`: the machine-readable bench gate.
+//!
+//! Parses the `BENCH_*.json` reports the load experiments emit and
+//! fails (exit 1) unless every file satisfies the schema and carries
+//! zero correctness violations:
+//!
+//! * top level: `bench` (string), `runs` (non-empty array), and
+//!   `total_violations == 0`;
+//! * every run: numeric `throughput_txn_s` (> 0 when anything
+//!   committed), numeric `p50_us`/`p99_us`, and `violations == 0`;
+//! * `net_load` reports additionally: a `ratio` object whose
+//!   `loopback_over_in_process` is a positive number — and if the run
+//!   was full-size (it recorded a `pass` verdict against the gate),
+//!   that verdict must be `true`.
+//!
+//! Usage: `validate_bench BENCH_net.json [BENCH_server.json ...]`
+
+use ks_bench::report::Json;
+
+/// Collects everything wrong with one report file.
+fn validate(name: &str, doc: &Json, errors: &mut Vec<String>) {
+    let mut err = |msg: String| errors.push(format!("{name}: {msg}"));
+
+    let Some(bench) = doc.get("bench").and_then(Json::as_str) else {
+        err("missing string field \"bench\"".to_string());
+        return;
+    };
+    match doc.get("total_violations").and_then(Json::as_f64) {
+        Some(0.0) => {}
+        Some(n) => err(format!("total_violations = {n} (must be 0)")),
+        None => err("missing numeric field \"total_violations\"".to_string()),
+    }
+    let Some(runs) = doc.get("runs").and_then(Json::as_array) else {
+        err("missing array field \"runs\"".to_string());
+        return;
+    };
+    if runs.is_empty() {
+        err("\"runs\" is empty".to_string());
+    }
+    for (i, run) in runs.iter().enumerate() {
+        let field = |key: &str| run.get(key).and_then(Json::as_f64);
+        match field("violations") {
+            Some(0.0) => {}
+            Some(n) => err(format!("runs[{i}]: violations = {n} (must be 0)")),
+            None => err(format!("runs[{i}]: missing numeric \"violations\"")),
+        }
+        for key in ["p50_us", "p99_us"] {
+            if field(key).is_none() {
+                err(format!("runs[{i}]: missing numeric \"{key}\""));
+            }
+        }
+        match (field("throughput_txn_s"), field("committed")) {
+            (None, _) => err(format!("runs[{i}]: missing numeric \"throughput_txn_s\"")),
+            (Some(t), Some(c)) if c > 0.0 && t <= 0.0 => err(format!(
+                "runs[{i}]: committed {c} transactions at non-positive throughput {t}"
+            )),
+            _ => {}
+        }
+    }
+    if bench == "net_load" {
+        let Some(ratio) = doc.get("ratio") else {
+            err("net_load report missing \"ratio\" object".to_string());
+            return;
+        };
+        match ratio.get("loopback_over_in_process").and_then(Json::as_f64) {
+            Some(r) if r > 0.0 => {}
+            Some(r) => err(format!(
+                "ratio.loopback_over_in_process = {r} (must be > 0)"
+            )),
+            None => err("ratio missing numeric \"loopback_over_in_process\"".to_string()),
+        }
+        // A full-size run records its verdict against the throughput
+        // gate; smoke runs omit it (CI timing proves nothing).
+        if let Some(pass) = ratio.get("pass").and_then(Json::as_bool) {
+            if !pass {
+                let r = ratio
+                    .get("loopback_over_in_process")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(f64::NAN);
+                let gate = ratio.get("gate").and_then(Json::as_f64).unwrap_or(f64::NAN);
+                err(format!("throughput ratio {r:.2} is below the {gate} gate"));
+            }
+        }
+    }
+}
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: validate_bench BENCH_net.json [BENCH_server.json ...]");
+        std::process::exit(2);
+    }
+    let mut errors = Vec::new();
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                errors.push(format!("{path}: unreadable: {e}"));
+                continue;
+            }
+        };
+        match Json::parse(&text) {
+            Ok(doc) => {
+                let before = errors.len();
+                validate(path, &doc, &mut errors);
+                if errors.len() == before {
+                    let runs = doc
+                        .get("runs")
+                        .and_then(Json::as_array)
+                        .map_or(0, <[Json]>::len);
+                    println!("{path}: ok ({runs} runs, 0 violations)");
+                }
+            }
+            Err(e) => errors.push(format!("{path}: malformed JSON: {e}")),
+        }
+    }
+    if !errors.is_empty() {
+        for e in &errors {
+            eprintln!("FAIL {e}");
+        }
+        std::process::exit(1);
+    }
+}

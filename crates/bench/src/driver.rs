@@ -12,8 +12,9 @@
 use ks_core::Specification;
 use ks_kernel::EntityId;
 use ks_predicate::{Atom, Clause, CmpOp, Cnf};
-use ks_server::{Client, TxnBuilder};
+use ks_server::{Backoff, BatchOp, Client, TxnBuilder};
 use ks_sim::{Workload, WorkloadSpec};
+use std::time::Duration;
 
 /// Tautological input over `entities` (placing them in the accessible set
 /// `N_t`), unconstrained output — the serving analogue of the sim
@@ -47,6 +48,12 @@ pub struct DriverConfig {
     pub seed: u64,
     /// Transient-error retries per transaction before giving up.
     pub retry_budget: u32,
+    /// Pipeline depth hint (≥ 1): how many `Batch` wire frames a remote
+    /// session keeps in flight per burst (in-process sessions ignore it).
+    pub pipeline_depth: usize,
+    /// Issue each transaction's reads/writes as one
+    /// [`Client::run_batch`] burst instead of sequential calls.
+    pub batch: bool,
 }
 
 /// What one driven client observed.
@@ -74,20 +81,26 @@ impl DriveOutcome {
 
 /// Run one generated transaction. `ops` carries `(is_write, global
 /// entity)` pairs, all on the driving client's home shard; `entities` is
-/// the deduplicated access set for the specification.
+/// the deduplicated access set for the specification. `backoff` paces
+/// the transient-error retries (shared across a client's transactions so
+/// the schedule decorrelates from its neighbors').
 pub fn drive_txn<C: Client>(
     session: &C,
+    cfg: &DriverConfig,
     ops: &[(bool, EntityId)],
     entities: &[EntityId],
     value_base: i64,
-    retry_budget: u32,
+    backoff: &mut Backoff,
     out: &mut DriveOutcome,
 ) {
-    let mut budget = retry_budget;
+    let mut budget = cfg.retry_budget;
     // Retry transient outcomes (`is_retryable`: Busy, Backpressure,
-    // Timeout) until the budget runs dry. Remote sessions already retry
-    // internally with backoff; this outer loop absorbs what still
-    // surfaces after their bounded envelope.
+    // Timeout) until the budget runs dry, sleeping a bounded jittered
+    // delay between attempts instead of spinning on `yield_now` (which
+    // burns a core per blocked client and melts down above the core
+    // count). Remote sessions already retry internally with backoff;
+    // this outer loop absorbs what still surfaces after their bounded
+    // envelope.
     macro_rules! retry {
         ($call:expr) => {
             loop {
@@ -98,14 +111,19 @@ pub fn drive_txn<C: Client>(
                             break Err(e);
                         }
                         budget -= 1;
-                        std::thread::yield_now();
+                        backoff.snooze();
                     }
-                    other => break other,
+                    other => {
+                        backoff.reset();
+                        break other;
+                    }
                 }
             }
         };
     }
-    let txn = match retry!(session.open(TxnBuilder::new(tautology_spec(entities)))) {
+    let builder =
+        TxnBuilder::new(tautology_spec(entities)).pipeline_depth(cfg.pipeline_depth.max(1));
+    let txn = match retry!(session.open(builder.clone())) {
         Ok(t) => t,
         Err(_) => {
             out.rejected += 1;
@@ -120,14 +138,42 @@ pub fn drive_txn<C: Client>(
         Ok(()) => {}
         Err(_) => return finish_abort(out),
     }
-    for (i, &(is_write, entity)) in ops.iter().enumerate() {
-        let result = if is_write {
-            retry!(session.write(txn, entity, value_base + i as i64))
-        } else {
-            retry!(session.read(txn, entity).map(|_| ()))
-        };
+    if cfg.batch {
+        // One burst for the whole access phase: the remote client chunks
+        // it into pipelined `Batch` frames, the in-process session hands
+        // it to its shard worker as one coalesced request. A retryable
+        // per-op error retries the burst (reads are harmless to repeat
+        // and the writes are idempotent re-puts of the same values).
+        let burst: Vec<BatchOp> = ops
+            .iter()
+            .enumerate()
+            .map(|(i, &(is_write, entity))| {
+                if is_write {
+                    BatchOp::Write(entity, value_base + i as i64)
+                } else {
+                    BatchOp::Read(entity)
+                }
+            })
+            .collect();
+        let result = retry!(session.run_batch(txn, &burst).and_then(|replies| {
+            replies
+                .into_iter()
+                .map(|r| r.map(drop))
+                .collect::<Result<(), _>>()
+        }));
         if result.is_err() {
             return finish_abort(out);
+        }
+    } else {
+        for (i, &(is_write, entity)) in ops.iter().enumerate() {
+            let result = if is_write {
+                retry!(session.write(txn, entity, value_base + i as i64))
+            } else {
+                retry!(session.read(txn, entity).map(|_| ()))
+            };
+            if result.is_err() {
+                return finish_abort(out);
+            }
         }
     }
     match retry!(session.commit(txn)) {
@@ -155,6 +201,11 @@ pub fn drive_client<C: Client>(session: &C, cfg: &DriverConfig) -> DriveOutcome 
         seed: cfg.seed + cfg.client as u64,
     });
     let mut out = DriveOutcome::default();
+    let mut backoff = Backoff::new(
+        Duration::from_micros(5),
+        Duration::from_micros(500),
+        cfg.seed ^ (cfg.client as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    );
     for (n, sim) in workload.txns.iter().enumerate() {
         // Shard-local ids from the generator → global ids on `home`.
         let ops: Vec<(bool, EntityId)> = sim
@@ -173,10 +224,11 @@ pub fn drive_client<C: Client>(session: &C, cfg: &DriverConfig) -> DriveOutcome 
         let value_base = (cfg.client * 1_000_000 + n * 1_000) as i64;
         drive_txn(
             session,
+            cfg,
             &ops,
             &entities,
             value_base,
-            cfg.retry_budget,
+            &mut backoff,
             &mut out,
         );
     }

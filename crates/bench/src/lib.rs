@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 
 pub mod driver;
+pub mod report;
 
 use ks_baselines::{
     MultiversionTimestampOrdering, PredicatewiseTwoPhaseLocking, TimestampOrdering, TwoPhaseLocking,

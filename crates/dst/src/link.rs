@@ -23,7 +23,7 @@
 use crate::plan::{trickle_cuts, Fault, ENTITIES_PER_SHARD, MAX_VALUE, SHARDS};
 use ks_kernel::{Domain, Schema, UniqueState};
 use ks_net::wire::{self, FrameProgress, FrameReader, Response};
-use ks_net::{ConnAction, ConnCore, Transport};
+use ks_net::{ConnAction, ConnCore, Transport, TransportRx};
 use ks_obs::{ObsKind, ObsSink, Recorder, NO_TXN};
 use ks_protocol::ProtocolManager;
 use ks_server::{ServerConfig, ServerError, TxnService};
@@ -344,14 +344,18 @@ impl World {
                 self.note(format!(
                     "conn {conn}: request applied, reply replaced by server Timeout"
                 ));
+                // The forged reply must still correlate with the request
+                // it displaces, or the client would rightly discard it.
+                let corr = forged_corr(&bytes);
                 self.deliver(conn, &bytes, &[], false);
-                self.push_response(conn, &Response::error(&ServerError::Timeout));
+                self.push_response(conn, corr, &Response::error(&ServerError::Timeout));
             }
             Some(Fault::ServerTimeoutLost) => {
                 self.note(format!(
                     "conn {conn}: request shed, server Timeout signalled"
                 ));
-                self.push_response(conn, &Response::error(&ServerError::Timeout));
+                let corr = forged_corr(&bytes);
+                self.push_response(conn, corr, &Response::error(&ServerError::Timeout));
             }
             Some(Fault::Reset) => {
                 self.note(format!("conn {conn}: RESET before delivery"));
@@ -425,8 +429,8 @@ impl World {
 
     /// Handle one decoded-or-not frame payload.
     fn on_frame(&mut self, conn: usize, payload: Vec<u8>, keep: bool) {
-        let req = match wire::decode_request(&payload) {
-            Ok(req) => req,
+        let (corr, req) = match wire::decode_request(&payload) {
+            Ok(decoded) => decoded,
             Err(e) => {
                 let desc = format!("conn {conn}: request decode error: {e}");
                 self.note(desc.clone());
@@ -442,7 +446,7 @@ impl World {
                     let session = match self.service.as_ref().map(|s| s.session()) {
                         Some(Ok(session)) => session,
                         Some(Err(e)) => {
-                            self.push_response(conn, &Response::error(&e));
+                            self.push_response(conn, corr, &Response::error(&e));
                             self.reap(conn, "session refused");
                             return;
                         }
@@ -453,10 +457,10 @@ impl World {
                     };
                     self.conns[conn].core = Some(ConnCore::new(session));
                     self.conns[conn].hello_done = true;
-                    self.push_response(conn, &resp);
+                    self.push_response(conn, corr, &resp);
                 }
                 Err(resp) => {
-                    self.push_response(conn, &resp);
+                    self.push_response(conn, corr, &resp);
                     self.reap(conn, "bad hello");
                 }
             }
@@ -480,21 +484,22 @@ impl World {
                     self.acked_commits.insert((conn, id));
                 }
                 if keep {
-                    self.push_response(conn, &resp);
+                    self.push_response(conn, corr, &resp);
                 } else {
                     self.note(format!("conn {conn}: response swallowed"));
                 }
             }
             ConnAction::Bye => {
-                self.push_response(conn, &Response::Bye);
+                self.push_response(conn, corr, &Response::Bye);
                 self.reap(conn, "bye");
             }
         }
     }
 
-    /// Frame and enqueue a response for the client to read.
-    fn push_response(&mut self, conn: usize, resp: &Response) {
-        let payload = wire::encode_response(resp);
+    /// Frame and enqueue a response for the client to read, echoing the
+    /// request's correlation id.
+    fn push_response(&mut self, conn: usize, corr: u64, resp: &Response) {
+        let payload = wire::encode_response(corr, resp);
         let inbox = &mut self.clients[conn].inbox;
         inbox.extend((payload.len() as u32).to_le_bytes());
         inbox.extend(&payload);
@@ -539,9 +544,20 @@ impl World {
     }
 }
 
+/// The correlation id to stamp on a forged (fault-injected) reply to the
+/// framed request in `bytes`: the id the client is actually awaiting.
+/// Frames too mangled to carry one get `u64::MAX`, which the client
+/// discards — exactly what a real server would provoke.
+fn forged_corr(bytes: &[u8]) -> u64 {
+    bytes.get(4..).and_then(wire::peek_corr).unwrap_or(u64::MAX)
+}
+
 /// The client-side [`Transport`]: an in-memory link into a shared
 /// [`World`]. Writes accumulate until `flush` hands one frame to the
 /// world; reads serve the inbox or fail like an expired socket deadline.
+/// Splitting yields two handles onto the same connection — legal here
+/// because the simulation is single-threaded, so the "halves" are never
+/// used concurrently.
 pub struct SimLink {
     world: Rc<RefCell<World>>,
     conn: usize,
@@ -587,10 +603,24 @@ impl Write for SimLink {
     }
 }
 
-impl Transport for SimLink {
+impl TransportRx for SimLink {
     fn set_read_deadline(&mut self, _deadline: Option<Duration>) -> io::Result<()> {
         // The simulated clock decides when a reply is "late": an empty
         // inbox at read time *is* the deadline expiring.
         Ok(())
+    }
+}
+
+impl Transport for SimLink {
+    type Rx = SimLink;
+    type Tx = SimLink;
+
+    fn split(self) -> (SimLink, SimLink) {
+        let rx = SimLink {
+            world: Rc::clone(&self.world),
+            conn: self.conn,
+            out: Vec::new(),
+        };
+        (rx, self)
     }
 }

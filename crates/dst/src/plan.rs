@@ -17,6 +17,7 @@ use ks_core::Specification;
 use ks_kernel::EntityId;
 use ks_predicate::random::SplitMix64;
 use ks_predicate::{Atom, Clause, CmpOp, Cnf, Strategy};
+use ks_server::BatchOp;
 
 /// Clients driven by a plan (each with its own connection + home shard).
 pub const CLIENTS: usize = 3;
@@ -96,6 +97,9 @@ pub enum OpKind {
         before: Vec<u8>,
         /// Per-transaction solver override.
         strategy: Option<Strategy>,
+        /// Pipeline depth hint (≥ 1): how many `Batch` wire frames the
+        /// client keeps in flight for this transaction's bursts.
+        depth: u8,
     },
     /// Validate the slot's transaction.
     Validate {
@@ -117,6 +121,18 @@ pub enum OpKind {
         entity_ix: u8,
         /// The value (within the domain).
         value: i64,
+    },
+    /// Run a burst of reads and writes through
+    /// [`Client::run_batch`](ks_server::Client::run_batch): the client
+    /// chunks it into pipelined `Batch` wire frames per the slot's
+    /// pipeline depth, so faults on this step land on batch frames.
+    Batch {
+        /// Target slot.
+        slot: u8,
+        /// Seed expanding into the op mix (see [`batch_ops_for`]).
+        ops_salt: u32,
+        /// Ops in the burst (≥ 1).
+        len: u8,
     },
     /// Commit the slot's transaction.
     Commit {
@@ -140,6 +156,7 @@ impl OpKind {
             | OpKind::Validate { slot }
             | OpKind::Read { slot, .. }
             | OpKind::Write { slot, .. }
+            | OpKind::Batch { slot, .. }
             | OpKind::Commit { slot }
             | OpKind::Abort { slot } => Some(*slot),
             OpKind::Metrics => None,
@@ -247,6 +264,25 @@ pub fn spec_for(salt: u32, pool: &[EntityId]) -> Specification {
     Specification::new(Cnf::new(clauses), output)
 }
 
+/// Expand a batch step's salt into its concrete op mix over `pool`: a
+/// read-heavy blend (reads never violate a write-monotone invariant, so
+/// most per-op results should be values) with in-domain writes mixed in.
+/// Deterministic in `(salt, len)` alone, so shrinking other steps never
+/// moves a burst's contents.
+pub fn batch_ops_for(salt: u32, len: u8, pool: &[EntityId]) -> Vec<BatchOp> {
+    let mut rng = SplitMix64::new(u64::from(salt) ^ 0xBA7C_4005);
+    (0..len.max(1))
+        .map(|_| {
+            let e = pool[rng.index(pool.len())];
+            if rng.below(100) < 60 {
+                BatchOp::Read(e)
+            } else {
+                BatchOp::Write(e, rng.below(MAX_VALUE as u64 + 1) as i64)
+            }
+        })
+        .collect()
+}
+
 /// Assumed lifecycle phase of a slot while generating (optimistic — the
 /// run may diverge when an op fails, which only means the plan exercises
 /// a wrong-phase path instead of the intended one).
@@ -279,6 +315,10 @@ pub fn generate(seed: u64) -> RunPlan {
         // step most likely to produce a *successful* commit, and so the
         // one worth hammering with ambiguity faults.
         let mut commit_live = false;
+        // Set when the op is a batch burst on a validated transaction:
+        // these steps get their own fault bias so drops, trickles, and
+        // resets land on (and mid-way through) pipelined batch frames.
+        let mut batch_live = false;
         let op = match *p {
             GenPhase::Empty => match roll {
                 0..=79 => {
@@ -306,6 +346,7 @@ pub fn generate(seed: u64) -> RunPlan {
                         after,
                         before,
                         strategy,
+                        depth: 1 + rng.index(3) as u8,
                     }
                 }
                 // No-op ops on an empty slot: kept so the shrinker's
@@ -325,10 +366,18 @@ pub fn generate(seed: u64) -> RunPlan {
                     slot,
                     entity_ix: rng.index(ENTITIES_PER_SHARD) as u8,
                 },
-                60..=69 => OpKind::Write {
+                60..=64 => OpKind::Write {
                     slot,
                     entity_ix: rng.index(ENTITIES_PER_SHARD) as u8,
                     value: rng.below(MAX_VALUE as u64 + 1) as i64,
+                },
+                // A batch on an unvalidated transaction: every per-op
+                // result must come back as a typed rejection, never a
+                // stream desync.
+                65..=69 => OpKind::Batch {
+                    slot,
+                    ops_salt: rng.next_u64() as u32,
+                    len: 1 + rng.index(8) as u8,
                 },
                 70..=79 => OpKind::Commit { slot },
                 80..=89 => {
@@ -338,15 +387,25 @@ pub fn generate(seed: u64) -> RunPlan {
                 _ => OpKind::Metrics,
             },
             GenPhase::Validated => match roll {
-                0..=29 => OpKind::Write {
+                0..=24 => OpKind::Write {
                     slot,
                     entity_ix: rng.index(ENTITIES_PER_SHARD) as u8,
                     value: rng.below(MAX_VALUE as u64 + 1) as i64,
                 },
-                30..=69 => {
+                25..=54 => {
                     *p = GenPhase::Empty;
                     commit_live = true;
                     OpKind::Commit { slot }
+                }
+                // The pipelined-batch surface: a burst of reads/writes
+                // chunked into in-flight `Batch` frames.
+                55..=69 => {
+                    batch_live = true;
+                    OpKind::Batch {
+                        slot,
+                        ops_salt: rng.next_u64() as u32,
+                        len: 1 + rng.index(8) as u8,
+                    }
                 }
                 70..=79 => OpKind::Read {
                     slot,
@@ -370,6 +429,22 @@ pub fn generate(seed: u64) -> RunPlan {
                 1 => Fault::ServerTimeoutLost,
                 2 => Fault::DropResponse,
                 _ => Fault::DupRequest,
+            })
+        } else if batch_live && rng.below(100) < 35 {
+            // Batch frames must survive the exact incidents unit frames
+            // do: the directive arms on the burst's *first* frame, so a
+            // Reset leaves the rest of the burst writing into a dead
+            // connection and a Trickle straddles a frame mid-burst.
+            Some(match rng.below(6) {
+                0 => Fault::DropRequest,
+                1 => Fault::DropResponse,
+                2 => Fault::Trickle {
+                    chunks: 2 + rng.index(3) as u8,
+                    salt: rng.next_u64() as u32,
+                },
+                3 => Fault::Reset,
+                4 => Fault::ServerTimeoutApplied,
+                _ => Fault::ServerTimeoutLost,
             })
         } else if rng.below(100) < FAULT_PCT {
             Some(match rng.below(7) {
@@ -446,6 +521,39 @@ mod tests {
             let pool = client_entities(c);
             let home = (c % SHARDS) as u32;
             assert!(pool.iter().all(|e| e.0 % SHARDS as u32 == home));
+        }
+    }
+
+    #[test]
+    fn plans_cover_faulted_batch_steps() {
+        let mut batches = 0usize;
+        let mut faulted = 0usize;
+        for seed in 0..20u64 {
+            for step in generate(seed).steps {
+                if matches!(step.op, OpKind::Batch { .. }) {
+                    batches += 1;
+                    faulted += usize::from(step.fault.is_some());
+                }
+            }
+        }
+        assert!(batches > 0, "generator never emits batch steps");
+        assert!(faulted > 0, "no fault ever lands on a batch step");
+    }
+
+    #[test]
+    fn batch_ops_are_deterministic_and_in_domain() {
+        let pool = client_entities(1);
+        let ops = batch_ops_for(33, 8, &pool);
+        assert_eq!(ops, batch_ops_for(33, 8, &pool));
+        assert_eq!(ops.len(), 8);
+        for op in &ops {
+            match op {
+                BatchOp::Read(e) => assert!(pool.contains(e)),
+                BatchOp::Write(e, v) => {
+                    assert!(pool.contains(e));
+                    assert!((0..=MAX_VALUE).contains(v));
+                }
+            }
         }
     }
 

@@ -40,7 +40,9 @@
 //!    termination (catches trace corruption and double-retired txns).
 
 use crate::link::{Protections, SimLink, World};
-use crate::plan::{client_entities, spec_for, Fault, OpKind, RunPlan, CLIENTS, SLOTS};
+use crate::plan::{
+    batch_ops_for, client_entities, spec_for, Fault, OpKind, RunPlan, CLIENTS, SLOTS,
+};
 use ks_net::{NetClientConfig, RemoteSession, RemoteTxn};
 use ks_obs::{event_to_json, ObsEvent, ObsKind, Recorder};
 use ks_protocol::TxnState;
@@ -298,13 +300,15 @@ fn exec_step(
             after,
             before,
             strategy,
+            depth,
         } => {
             let slot = *slot as usize;
             if cs.slots[slot].is_some() {
                 return None;
             }
             let pool = client_entities(client_of(cs));
-            let mut builder = TxnBuilder::new(spec_for(*spec_salt, &pool));
+            let mut builder =
+                TxnBuilder::new(spec_for(*spec_salt, &pool)).pipeline_depth(*depth as usize);
             for &s in after {
                 if let Some(h) = cs.slots[s as usize] {
                     builder = builder.after(h);
@@ -340,6 +344,17 @@ fn exec_step(
             let pool = client_entities(client_of(cs));
             let entity = pool[*entity_ix as usize % pool.len()];
             cs.unit_op(*slot, |s, h| s.write(h, entity, *value))
+        }
+        OpKind::Batch {
+            slot,
+            ops_salt,
+            len,
+        } => {
+            let pool = client_entities(client_of(cs));
+            let ops = batch_ops_for(*ops_salt, *len, &pool);
+            // Per-op errors (wrong-phase probes, unsatisfiable reads) are
+            // expected and typed; only the *burst's* outcome classifies.
+            cs.unit_op(*slot, |s, h| s.run_batch(h, &ops).map(|_| ()))
         }
         OpKind::Commit { slot } => {
             let slot = *slot as usize;
@@ -510,8 +525,18 @@ fn canonical_trace(rings: &[Vec<ObsEvent>], dropped: u64) -> String {
         out.push_str(&format!("# WARNING: {dropped} events dropped\n"));
     }
     for (i, ring) in rings.iter().enumerate() {
-        out.push_str(&format!("# ring {i} ({} events)\n", ring.len()));
-        for ev in ring {
+        // Worker drain sizes depend on thread wakeup timing (how many
+        // requests queued before the shard worker woke), so the events
+        // are dropped from the canonical trace entirely — even their
+        // count varies run to run.
+        let logical = ring
+            .iter()
+            .filter(|ev| !matches!(ev.kind, ObsKind::WorkerDrain { .. }));
+        out.push_str(&format!(
+            "# ring {i} ({} events)\n",
+            logical.clone().count()
+        ));
+        for ev in logical {
             let mut ev = *ev;
             ev.ts = 0;
             ev.kind = match ev.kind {

@@ -8,50 +8,69 @@
 //!
 //! * **Connect timeouts** — [`RemoteSession::connect`] bounds the TCP
 //!   dial and the Hello/HelloOk version negotiation.
-//! * **Per-request deadlines** — every attempt gets a read deadline; a
+//! * **Per-request deadlines** — every request gets a reply deadline; a
 //!   reply that does not arrive in time surfaces as
 //!   [`ServerError::Timeout`].
 //! * **Bounded jittered retries** — server-signalled transient errors
 //!   ([`ServerError::is_retryable`]) are retried up to `max_retries`
-//!   times with exponential backoff (`min(cap, base·2^(n−1))`, jittered
-//!   into `[delay/2, delay]` so synchronized clients decorrelate), each
-//!   retry emitting an [`ObsKind::NetRetry`] event. The final error is
-//!   typed — a saturated server yields `Busy`/`Backpressure`, never a
-//!   hang. One carve-out: a server-signalled `Timeout` means the
-//!   operation *may still complete* server-side, so only requests whose
-//!   duplicate execution is harmless (`Read`, `Metrics`, `Abort`) are
-//!   re-sent; for `Open`/`Validate`/`Write`/`Commit` the typed `Timeout`
-//!   surfaces to the caller, which must treat the outcome as unknown
-//!   (at-least-once ambiguity) rather than assume the request was lost.
-//! * **Poisoning** — an I/O error or read timeout leaves the byte stream
-//!   in an unknowable position (the reply may still be in flight), so
-//!   the connection is poisoned and every later call fails fast with
+//!   times with the shared [`ks_server::backoff`] schedule
+//!   (`min(cap, base·2^(n−1))`, jittered into `[delay/2, delay]` so
+//!   synchronized clients decorrelate), each retry emitting an
+//!   [`ObsKind::NetRetry`] event. The final error is typed — a saturated
+//!   server yields `Busy`/`Backpressure`, never a hang. One carve-out: a
+//!   server-signalled `Timeout` means the operation *may still complete*
+//!   server-side, so only requests whose duplicate execution is harmless
+//!   (`Read`, `Metrics`, `Abort`) are re-sent; for
+//!   `Open`/`Validate`/`Write`/`Commit` the typed `Timeout` surfaces to
+//!   the caller, which must treat the outcome as unknown (at-least-once
+//!   ambiguity) rather than assume the request was lost.
+//! * **Poisoning** — an I/O error or reply-deadline expiry leaves the
+//!   request/reply bookkeeping in an unknowable state, so the connection
+//!   is poisoned and every later call fails fast with
 //!   [`ServerError::Wire`]. Transient *server* errors arrive as complete
 //!   `Err` frames on a healthy stream and do not poison.
+//!
+//! # Pipelining
+//!
+//! Since protocol version 2 every frame carries a correlation id, and a
+//! session keeps multiple requests in flight on one connection. The
+//! transport is split ([`Transport::split`]) into a shared send half
+//! (brief mutex per frame, reused encode scratch buffer) and a receive
+//! half driven by an *elected reader*: whichever caller is waiting for a
+//! reply and finds no reader active reads the next frame, routes it by
+//! correlation id (stashing replies that belong to other waiters,
+//! dropping replies nobody is waiting for — which is what makes a
+//! duplicated or abandoned reply harmless), and hands the role off. No
+//! background thread exists, so the same code runs single-threaded over
+//! the deterministic simulation link. [`Client::run_batch`] exploits the
+//! pipeline by packing a read/write burst into `Batch` frames and
+//! sending up to the transaction's [`TxnBuilder::pipeline_depth`] of
+//! them back-to-back before collecting replies in order.
 //!
 //! The byte stream itself is pluggable: [`RemoteSession::connect`] dials
 //! TCP ([`TcpTransport`]), while [`RemoteSession::over`] wraps any
 //! [`Transport`] — the deterministic simulation harness (`ks-dst`) runs
 //! this exact client over an in-memory simulated link.
 
-use crate::transport::{TcpTransport, Transport};
+use crate::transport::{TcpTransport, Transport, TransportRx};
 use crate::wire::{self, read_frame, write_frame, Request, Response, WireMetrics, HELLO_MAGIC};
 use ks_kernel::{EntityId, Value};
 use ks_obs::{ObsKind, ObsSink, OpCode, Recorder, NO_TXN};
-use ks_server::{Client, ServerError, TxnBuilder};
+use ks_server::{backoff, BatchOp, BatchReply, Client, ServerError, TxnBuilder};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
-use std::time::Duration;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Client-side tuning: timeouts, deadlines, and the retry envelope.
 #[derive(Clone)]
 pub struct NetClientConfig {
     /// Bound on the TCP dial plus version negotiation.
     pub connect_timeout: Duration,
-    /// Per-attempt reply deadline (transport read deadline).
+    /// Per-request reply deadline.
     pub request_deadline: Duration,
     /// Retries after the first attempt for retryable server errors.
     pub max_retries: u32,
@@ -67,7 +86,7 @@ pub struct NetClientConfig {
     /// oracles catch the resulting double-applied commits. Never enable
     /// it in production code.
     pub unsafe_retry_non_idempotent: bool,
-    /// Recorder for [`ObsKind::NetRetry`] events.
+    /// Recorder for [`ObsKind::NetRetry`] / [`ObsKind::NetBatch`] events.
     pub recorder: Option<Recorder>,
 }
 
@@ -89,17 +108,40 @@ impl Default for NetClientConfig {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RemoteTxn(pub u64);
 
-struct Conn<T> {
-    transport: T,
-    /// Set after an I/O failure mid-request: the stream position is
-    /// unknowable, so no further request may be issued.
-    poisoned: bool,
+/// The shared send half: the transport's Tx plus a reused encode
+/// buffer, so the frame hot path allocates nothing.
+struct TxHalf<W> {
+    writer: W,
+    scratch: Vec<u8>,
+}
+
+/// Demultiplexer bookkeeping, shared by all callers of one session.
+struct MuxState {
+    /// Correlation ids with a caller waiting (or about to wait).
+    pending: BTreeSet<u64>,
+    /// Replies read off the wire for a pending id other than the
+    /// reader's own, parked until their waiter claims them.
+    arrived: BTreeMap<u64, Response>,
+    /// Whether some caller currently holds the reader role (is blocked
+    /// in `read` on the Rx half).
+    reader_active: bool,
+    /// Set after a transport failure: the reason every later call fails
+    /// fast with. Server-signalled `Err` frames never set this.
+    poisoned: Option<String>,
 }
 
 /// A connection to a [`NetServer`](crate::NetServer), usable wherever a
-/// [`Client`] is expected. Generic over the byte stream; defaults to TCP.
+/// [`Client`] is expected. Generic over the byte stream; defaults to
+/// TCP.
 pub struct RemoteSession<T: Transport = TcpTransport> {
-    conn: Mutex<Conn<T>>,
+    tx: Mutex<TxHalf<T::Tx>>,
+    rx: Mutex<T::Rx>,
+    mux: Mutex<MuxState>,
+    cv: Condvar,
+    next_corr: AtomicU64,
+    /// Pipeline-depth hints per open wire transaction id (declared at
+    /// [`TxnBuilder::pipeline_depth`], dropped on terminal outcomes).
+    depths: Mutex<HashMap<u64, usize>>,
     shards: usize,
     config: NetClientConfig,
     rng: Mutex<StdRng>,
@@ -110,7 +152,7 @@ impl<T: Transport> std::fmt::Debug for RemoteSession<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RemoteSession")
             .field("shards", &self.shards)
-            .field("poisoned", &self.conn.lock().unwrap().poisoned)
+            .field("poisoned", &self.is_poisoned())
             .finish()
     }
 }
@@ -129,16 +171,15 @@ impl RemoteSession<TcpTransport> {
     /// [`ServerError::Timeout`] if the dial or handshake exceeds
     /// `connect_timeout`.
     pub fn connect(addr: impl ToSocketAddrs, config: NetClientConfig) -> Result<Self, ServerError> {
-        let wire_err = |m: String| ServerError::Wire(m);
         let addr: SocketAddr = addr
             .to_socket_addrs()
-            .map_err(|e| wire_err(format!("resolving address: {e}")))?
+            .map_err(|e| ServerError::Wire(format!("resolving address: {e}")))?
             .next()
-            .ok_or_else(|| wire_err("address resolved to nothing".into()))?;
+            .ok_or_else(|| ServerError::Wire("address resolved to nothing".into()))?;
         let stream = TcpStream::connect_timeout(&addr, config.connect_timeout)
             .map_err(|e| map_io(&e, "connect"))?;
         let _ = stream.set_nodelay(true);
-        let transport = TcpTransport::new(stream).map_err(|e| wire_err(e.to_string()))?;
+        let transport = TcpTransport::new(stream).map_err(|e| ServerError::Wire(e.to_string()))?;
         Self::over(transport, config)
     }
 }
@@ -148,34 +189,46 @@ impl<T: Transport> RemoteSession<T> {
     /// the protocol version (bounded by `connect_timeout`) and return a
     /// ready session. This is how non-TCP transports — above all the
     /// deterministic simulation link — get the full production client:
-    /// framing, deadlines, retry/backoff, and poisoning all behave
-    /// identically.
+    /// framing, correlation, deadlines, retry/backoff, and poisoning all
+    /// behave identically.
     pub fn over(transport: T, config: NetClientConfig) -> Result<Self, ServerError> {
-        let wire_err = |m: String| ServerError::Wire(m);
-        let mut conn = Conn {
-            transport,
-            poisoned: false,
-        };
-        conn.transport
-            .set_read_deadline(Some(config.connect_timeout))
-            .map_err(|e| wire_err(e.to_string()))?;
-        // Version negotiation: Hello must be answered by HelloOk before
-        // any other frame is sent (the server handshakes on a separate
-        // buffer, so pipelining past Hello would lose frames).
+        let (mut rx, mut tx) = transport.split();
+        rx.set_read_deadline(Some(config.connect_timeout))
+            .map_err(|e| ServerError::Wire(e.to_string()))?;
+        // Version negotiation happens serially: Hello must be answered
+        // by HelloOk before any other frame is sent. Correlation id 0 is
+        // reserved for it; real requests start at 1.
         write_frame(
-            &mut conn.transport,
-            &wire::encode_request(&Request::Hello { magic: HELLO_MAGIC }),
+            &mut tx,
+            &wire::encode_request(0, &Request::Hello { magic: HELLO_MAGIC }),
         )
         .map_err(|e| map_io(&e, "hello"))?;
-        let shards = match read_reply(&mut conn)? {
-            Response::HelloOk { shards } => shards as usize,
-            Response::Error { code, detail } => {
+        let shards = match read_one(&mut rx)? {
+            (_, Response::HelloOk { shards }) => shards as usize,
+            (_, Response::Error { code, detail }) => {
                 return Err(Response::into_server_error(code, &detail))
             }
-            other => return Err(wire_err(format!("expected HelloOk, got {other:?}"))),
+            (_, other) => {
+                return Err(ServerError::Wire(format!(
+                    "expected HelloOk, got {other:?}"
+                )))
+            }
         };
         Ok(RemoteSession {
-            conn: Mutex::new(conn),
+            tx: Mutex::new(TxHalf {
+                writer: tx,
+                scratch: Vec::with_capacity(256),
+            }),
+            rx: Mutex::new(rx),
+            mux: Mutex::new(MuxState {
+                pending: BTreeSet::new(),
+                arrived: BTreeMap::new(),
+                reader_active: false,
+                poisoned: None,
+            }),
+            cv: Condvar::new(),
+            next_corr: AtomicU64::new(1),
+            depths: Mutex::new(HashMap::new()),
             shards,
             rng: Mutex::new(StdRng::seed_from_u64(jitter_seed())),
             obs: config.recorder.as_ref().map(|r| r.sink(u32::MAX)),
@@ -193,7 +246,7 @@ impl<T: Transport> RemoteSession<T> {
     /// Whether an earlier transport failure has poisoned the connection
     /// (every later call fails fast; reconnect to recover).
     pub fn is_poisoned(&self) -> bool {
-        self.conn.lock().unwrap().poisoned
+        self.mux.lock().unwrap().poisoned.is_some()
     }
 
     /// Fetch the server's metrics snapshot.
@@ -206,49 +259,64 @@ impl<T: Transport> RemoteSession<T> {
 
     /// Graceful goodbye: sends Shutdown, awaits Bye, closes the stream.
     pub fn close(self) -> Result<(), ServerError> {
-        let mut conn = self.conn.into_inner().unwrap();
-        if conn.poisoned {
+        if self.is_poisoned() {
             return Ok(()); // nothing orderly left to do
         }
-        write_frame(
-            &mut conn.transport,
-            &wire::encode_request(&Request::Shutdown),
-        )
-        .map_err(|e| map_io(&e, "shutdown"))?;
-        match read_reply(&mut conn)? {
-            Response::Bye => Ok(()),
-            other => Err(ServerError::Wire(format!("expected Bye, got {other:?}"))),
+        let corr = self.next_corr.fetch_add(1, Ordering::Relaxed);
+        let mut tx = self.tx.into_inner().unwrap();
+        let mut rx = self.rx.into_inner().unwrap();
+        wire::encode_request_into(&mut tx.scratch, corr, &Request::Shutdown);
+        write_frame(&mut tx.writer, &tx.scratch).map_err(|e| map_io(&e, "shutdown"))?;
+        let _ = rx.set_read_deadline(Some(self.config.request_deadline));
+        // Late replies for abandoned correlation ids may still be queued
+        // ahead of the Bye; skip a bounded number of them.
+        for _ in 0..64 {
+            match read_one(&mut rx)? {
+                (c, Response::Bye) if c == corr => return Ok(()),
+                (c, other) if c == corr => {
+                    return Err(ServerError::Wire(format!("expected Bye, got {other:?}")))
+                }
+                _ => continue,
+            }
         }
+        Err(ServerError::Wire("no Bye within 64 frames".into()))
     }
 
     /// One request/reply exchange, with the retry envelope around
     /// retryable server errors. Poisoned-transport errors are never
-    /// retried: the failed attempt's reply could still arrive and
-    /// desynchronize every later exchange.
+    /// retried: the failed attempt left the connection unusable.
     fn call(&self, op: OpCode, req: Request) -> Result<Response, ServerError> {
         let mut attempt: u32 = 0;
         loop {
             match self.exchange(&req) {
                 // A retryable error only re-sends while the transport is
-                // healthy: `Timeout` from a transport read poisons (the
-                // late reply may still arrive), so it falls through typed.
-                // A *server-signalled* `Timeout` arrives as a complete
-                // frame and does not poison, but it leaves the outcome
-                // unknown — the shard worker may still complete the
-                // operation after the reply rendezvous expired — so it is
-                // only retried for requests whose duplicate execution is
-                // harmless; non-idempotent requests surface it typed
-                // (unless the unsafe test hook disables the carve-out).
+                // healthy: `Timeout` from an expired reply deadline
+                // poisons, so it falls through typed. A *server-signalled*
+                // `Timeout` arrives as a complete frame and does not
+                // poison, but it leaves the outcome unknown — the shard
+                // worker may still complete the operation after the reply
+                // rendezvous expired — so it is only retried for requests
+                // whose duplicate execution is harmless; non-idempotent
+                // requests surface it typed (unless the unsafe test hook
+                // disables the carve-out).
                 Err(e)
                     if e.is_retryable()
                         && (duplicate_safe(&req)
                             || self.config.unsafe_retry_non_idempotent
                             || !matches!(e, ServerError::Timeout))
                         && attempt < self.config.max_retries
-                        && !self.conn.lock().unwrap().poisoned =>
+                        && !self.is_poisoned() =>
                 {
                     attempt += 1;
-                    let delay = self.backoff(attempt);
+                    let delay = {
+                        let mut rng = self.rng.lock().unwrap();
+                        backoff::jittered_delay(
+                            &mut rng,
+                            self.config.backoff_base,
+                            self.config.backoff_cap,
+                            attempt,
+                        )
+                    };
                     if let Some(obs) = &self.obs {
                         obs.emit(
                             NO_TXN,
@@ -266,58 +334,145 @@ impl<T: Transport> RemoteSession<T> {
         }
     }
 
-    /// Jittered exponential backoff: `min(cap, base·2^(n−1))`, then a
-    /// uniform draw from `[delay/2, delay]`.
-    fn backoff(&self, attempt: u32) -> Duration {
-        let base = self.config.backoff_base.max(Duration::from_micros(1));
-        let exp = base.saturating_mul(1u32 << (attempt - 1).min(20));
-        let delay = exp.min(self.config.backoff_cap.max(base));
-        let ns = delay.as_nanos() as u64;
-        let jittered = self.rng.lock().unwrap().random_range(ns / 2..=ns);
-        Duration::from_nanos(jittered)
-    }
-
-    /// Send one frame and read its reply. Server-signalled errors come
-    /// back as `Err` without touching `poisoned`; transport failures
+    /// Send one frame and await its correlated reply. Server-signalled
+    /// errors come back as `Err` without poisoning; transport failures
     /// poison the connection.
     fn exchange(&self, req: &Request) -> Result<Response, ServerError> {
-        let mut conn = self.conn.lock().unwrap();
-        if conn.poisoned {
-            return Err(ServerError::Wire(
-                "connection poisoned by an earlier transport failure; reconnect".into(),
-            ));
+        let corr = self.send_request(req)?;
+        match self.await_reply(corr)? {
+            Response::Error { code, detail } => Err(Response::into_server_error(code, &detail)),
+            resp => Ok(resp),
         }
-        let payload = wire::encode_request(req);
-        if payload.len() > wire::MAX_FRAME {
-            // Refused before any bytes hit the stream: it is still in
-            // sync, so this is a typed per-request error, not poison (the
-            // server would reject the frame at read time and drop the
-            // connection).
+    }
+
+    /// Encode `req` into the shared scratch buffer and write it as one
+    /// frame, registering its correlation id with the demultiplexer
+    /// *before* any byte hits the wire (so a fast reply can never race
+    /// the registration and be dropped as unknown). Returns the id to
+    /// await.
+    fn send_request(&self, req: &Request) -> Result<u64, ServerError> {
+        let corr = self.next_corr.fetch_add(1, Ordering::Relaxed);
+        let mut tx = self.tx.lock().unwrap();
+        let TxHalf { writer, scratch } = &mut *tx;
+        wire::encode_request_into(scratch, corr, req);
+        if scratch.len() > wire::MAX_FRAME {
+            // Refused before any bytes hit the stream, which is therefore
+            // still in sync: a typed per-request error, not poison.
             return Err(ServerError::Wire(format!(
                 "encoded request of {} bytes exceeds MAX_FRAME ({})",
-                payload.len(),
+                scratch.len(),
                 wire::MAX_FRAME
             )));
         }
-        let _ = conn
-            .transport
-            .set_read_deadline(Some(self.config.request_deadline));
-        if let Err(e) = write_frame(&mut conn.transport, &payload) {
-            conn.poisoned = true;
-            return Err(map_io(&e, "send"));
+        {
+            let mut mux = self.mux.lock().unwrap();
+            if let Some(reason) = &mux.poisoned {
+                return Err(ServerError::Wire(reason.clone()));
+            }
+            mux.pending.insert(corr);
         }
-        match read_reply(&mut conn) {
-            Ok(Response::Error { code, detail }) => Err(Response::into_server_error(code, &detail)),
-            Ok(resp) => Ok(resp),
-            Err(e) => {
-                conn.poisoned = true;
-                Err(e)
+        if let Err(e) = write_frame(writer, scratch) {
+            let err = map_io(&e, "send");
+            self.poison(corr, format!("send failed: {e}"));
+            return Err(err);
+        }
+        Ok(corr)
+    }
+
+    /// Wait for the reply correlated with `corr`, cooperating on the
+    /// reader role: claim the reply if it already arrived, otherwise
+    /// either become the reader (read one frame off the Rx half, route
+    /// it, hand the role back) or wait to be notified. Deadline expiry —
+    /// ours or the transport's — poisons the connection.
+    fn await_reply(&self, corr: u64) -> Result<Response, ServerError> {
+        let start = Instant::now();
+        let deadline = self.config.request_deadline;
+        loop {
+            let remaining = {
+                let mut mux = self.mux.lock().unwrap();
+                if let Some(resp) = mux.arrived.remove(&corr) {
+                    mux.pending.remove(&corr);
+                    return Ok(resp);
+                }
+                if let Some(reason) = &mux.poisoned {
+                    let reason = reason.clone();
+                    mux.pending.remove(&corr);
+                    return Err(ServerError::Wire(reason));
+                }
+                let Some(remaining) = deadline.checked_sub(start.elapsed()) else {
+                    mux.pending.remove(&corr);
+                    mux.poisoned = Some(poison_reason("reply deadline expired"));
+                    drop(mux);
+                    self.cv.notify_all();
+                    return Err(ServerError::Timeout);
+                };
+                if mux.reader_active {
+                    // Someone else is blocked in `read`; they will route
+                    // our reply (or poison) and notify.
+                    let _ = self.cv.wait_timeout(mux, remaining).unwrap();
+                    continue;
+                }
+                mux.reader_active = true;
+                remaining
+            };
+            // We are the elected reader. Read one frame without holding
+            // the mux lock (so parked waiters can time out), then route.
+            let read = {
+                let mut rx = self.rx.lock().unwrap();
+                let _ = rx.set_read_deadline(Some(remaining));
+                read_one(&mut *rx)
+            };
+            let mut mux = self.mux.lock().unwrap();
+            mux.reader_active = false;
+            match read {
+                Ok((rcorr, resp)) => {
+                    if rcorr == corr {
+                        mux.pending.remove(&corr);
+                        drop(mux);
+                        self.cv.notify_all();
+                        return Ok(resp);
+                    }
+                    if mux.pending.contains(&rcorr) {
+                        mux.arrived.insert(rcorr, resp);
+                    }
+                    // else: a reply nobody is waiting for (abandoned or
+                    // duplicated) — dropped; the stream stays sound.
+                    drop(mux);
+                    self.cv.notify_all();
+                }
+                Err(e) => {
+                    mux.pending.remove(&corr);
+                    mux.poisoned = Some(poison_reason(&e.to_string()));
+                    drop(mux);
+                    self.cv.notify_all();
+                    return Err(e);
+                }
             }
         }
     }
 
+    /// Drop interest in `corr`; its reply, if it ever comes, is
+    /// discarded by the demultiplexer.
+    fn abandon(&self, corr: u64) {
+        let mut mux = self.mux.lock().unwrap();
+        mux.pending.remove(&corr);
+        mux.arrived.remove(&corr);
+    }
+
+    /// Poison after a transport failure attributable to `corr`.
+    fn poison(&self, corr: u64, why: String) {
+        let mut mux = self.mux.lock().unwrap();
+        mux.pending.remove(&corr);
+        mux.poisoned = Some(poison_reason(&why));
+        drop(mux);
+        self.cv.notify_all();
+    }
+
     fn desync(&self, got: Response) -> ServerError {
-        self.conn.lock().unwrap().poisoned = true;
+        let mut mux = self.mux.lock().unwrap();
+        mux.poisoned = Some(poison_reason("response type desync"));
+        drop(mux);
+        self.cv.notify_all();
         ServerError::Wire(format!("response type desync: unexpected {got:?}"))
     }
 
@@ -327,13 +482,35 @@ impl<T: Transport> RemoteSession<T> {
             other => Err(self.desync(other)),
         }
     }
+
+    /// The transaction's pipeline-depth hint (≥ 1).
+    fn depth_hint(&self, txn: RemoteTxn) -> usize {
+        self.depths
+            .lock()
+            .unwrap()
+            .get(&txn.0)
+            .copied()
+            .unwrap_or(1)
+            .max(1)
+    }
+
+    fn forget_depth_if_terminal<V>(&self, txn: RemoteTxn, result: &Result<V, ServerError>) {
+        let transient = matches!(result, Err(e) if e.is_retryable());
+        if !transient {
+            self.depths.lock().unwrap().remove(&txn.0);
+        }
+    }
 }
 
-/// Read and decode one reply frame. EOF and timeouts are transport
-/// failures (the caller poisons); a decoded `Error` frame is *not* — it
-/// is a healthy reply.
-fn read_reply<T: Transport>(conn: &mut Conn<T>) -> Result<Response, ServerError> {
-    match read_frame(&mut conn.transport) {
+fn poison_reason(why: &str) -> String {
+    format!("connection poisoned by an earlier transport failure ({why}); reconnect")
+}
+
+/// Read and decode one reply frame into `(corr, response)`. EOF and
+/// timeouts are transport failures (the caller poisons); a decoded
+/// `Error` frame is *not* — it is a healthy reply.
+fn read_one<R: TransportRx>(rx: &mut R) -> Result<(u64, Response), ServerError> {
+    match read_frame(rx) {
         Ok(Some(payload)) => wire::decode_response(&payload).map_err(ServerError::from),
         Ok(None) => Err(ServerError::Wire("server closed the connection".into())),
         Err(e) => Err(map_io(&e, "receive")),
@@ -341,14 +518,14 @@ fn read_reply<T: Transport>(conn: &mut Conn<T>) -> Result<Response, ServerError>
 }
 
 /// Requests whose duplicate execution is harmless, and which may
-/// therefore be re-sent after a *server-signalled* [`ServerError::Timeout`]
-/// (the reply rendezvous expired while the shard worker may still
-/// complete the operation). Re-sending anything else risks applying it
-/// twice — a retried `Commit` could re-submit a commit that already
-/// applied and report `Rejected` for a transaction that in fact
-/// committed, and a retried `Open` could leave an orphan transaction.
-/// `Busy`/`Backpressure` carry a known did-not-happen outcome and stay
-/// retryable for every request.
+/// therefore be re-sent after a *server-signalled*
+/// [`ServerError::Timeout`] (the reply rendezvous expired while the
+/// shard worker may still complete the operation). Re-sending anything
+/// else risks applying it twice — a retried `Commit` could re-submit a
+/// commit that already applied and report `Rejected` for a transaction
+/// that in fact committed, and a retried `Open` could leave an orphan
+/// transaction. `Busy`/`Backpressure` carry a known did-not-happen
+/// outcome and stay retryable for every request.
 fn duplicate_safe(req: &Request) -> bool {
     matches!(
         req,
@@ -367,6 +544,7 @@ impl<T: Transport> Client for RemoteSession<T> {
     type Handle = RemoteTxn;
 
     fn open(&self, txn: TxnBuilder<RemoteTxn>) -> Result<RemoteTxn, ServerError> {
+        let depth = txn.pipeline_depth_hint();
         let (spec, after, before, strategy) = txn.into_parts();
         let req = Request::Open {
             spec,
@@ -375,7 +553,12 @@ impl<T: Transport> Client for RemoteSession<T> {
             strategy,
         };
         match self.call(OpCode::Define, req)? {
-            Response::Opened { txn } => Ok(RemoteTxn(txn)),
+            Response::Opened { txn } => {
+                if depth > 1 {
+                    self.depths.lock().unwrap().insert(txn, depth);
+                }
+                Ok(RemoteTxn(txn))
+            }
             other => Err(self.desync(other)),
         }
     }
@@ -403,10 +586,80 @@ impl<T: Transport> Client for RemoteSession<T> {
     }
 
     fn commit(&self, txn: RemoteTxn) -> Result<(), ServerError> {
-        self.unit(OpCode::Commit, Request::Commit { txn: txn.0 })
+        let result = self.unit(OpCode::Commit, Request::Commit { txn: txn.0 });
+        self.forget_depth_if_terminal(txn, &result);
+        result
     }
 
     fn abort(&self, txn: RemoteTxn) -> Result<(), ServerError> {
-        self.unit(OpCode::Abort, Request::Abort { txn: txn.0 })
+        let result = self.unit(OpCode::Abort, Request::Abort { txn: txn.0 });
+        self.forget_depth_if_terminal(txn, &result);
+        result
+    }
+
+    /// Pack the burst into `Batch` wire frames — up to the transaction's
+    /// [`TxnBuilder::pipeline_depth`] of them in flight at once — so N
+    /// ops cost about ⌈N/depth⌉ round trips instead of N. Frames are
+    /// sent back-to-back, then replies are collected in order (the
+    /// demultiplexer handles any interleaving). Batch frames are not
+    /// retried at the frame level: per-op transient errors (`Busy`)
+    /// surface in the inner results for the caller's retry policy, and a
+    /// transport failure poisons as usual.
+    fn run_batch(
+        &self,
+        txn: RemoteTxn,
+        ops: &[BatchOp],
+    ) -> Result<Vec<Result<BatchReply, ServerError>>, ServerError> {
+        if ops.is_empty() {
+            return Ok(Vec::new());
+        }
+        let depth = self.depth_hint(txn);
+        let frames = depth.min(ops.len());
+        let chunk = ops.len().div_ceil(frames).min(wire::MAX_BATCH_OPS);
+        let mut corrs = Vec::with_capacity(frames);
+        let mut failed = None;
+        for chunk_ops in ops.chunks(chunk) {
+            if let Some(obs) = &self.obs {
+                obs.emit(
+                    txn.0 as u32,
+                    ObsKind::NetBatch {
+                        ops: chunk_ops.len() as u32,
+                    },
+                );
+            }
+            let req = Request::Batch {
+                ops: chunk_ops.iter().map(|&op| (txn.0, op)).collect(),
+            };
+            match self.send_request(&req) {
+                Ok(corr) => corrs.push(corr),
+                Err(e) => {
+                    failed = Some(e);
+                    break;
+                }
+            }
+        }
+        let mut results = Vec::with_capacity(ops.len());
+        for corr in corrs {
+            if failed.is_some() {
+                // A reply may still arrive for an already-sent frame;
+                // drop interest so the demultiplexer discards it.
+                self.abandon(corr);
+                continue;
+            }
+            match self.await_reply(corr) {
+                Ok(Response::Batch { results: rs }) => results.extend(rs.into_iter().map(|r| {
+                    r.map_err(|(code, detail)| Response::into_server_error(code, &detail))
+                })),
+                Ok(Response::Error { code, detail }) => {
+                    failed = Some(Response::into_server_error(code, &detail))
+                }
+                Ok(other) => failed = Some(self.desync(other)),
+                Err(e) => failed = Some(e),
+            }
+        }
+        match failed {
+            Some(e) => Err(e),
+            None => Ok(results),
+        }
     }
 }

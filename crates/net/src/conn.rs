@@ -16,7 +16,9 @@
 //! replay a failure from its seed alone.
 
 use crate::wire::{Request, Response, WireMetrics, HELLO_MAGIC, PROTOCOL_VERSION};
-use ks_server::{Client, MetricsSnapshot, ServerError, Session, TxnBuilder, TxnHandle};
+use ks_server::{
+    BatchOp, BatchReply, Client, MetricsSnapshot, ServerError, Session, TxnBuilder, TxnHandle,
+};
 use std::collections::BTreeMap;
 
 /// Validate a decoded first frame as a Hello and build the reply.
@@ -36,6 +38,15 @@ pub fn handshake_reply(first: &Request, shards: usize) -> Result<Response, Respo
         other => Err(wire_err(format!(
             "expected Hello as the first frame, got {other:?}"
         ))),
+    }
+}
+
+/// A [`ServerError`] as it travels inside a `Batch` response: the same
+/// `(code, detail)` pair a top-level [`Response::Error`] frame carries.
+fn error_pair(e: &ServerError) -> (u16, String) {
+    match Response::error(e) {
+        Response::Error { code, detail } => (code, detail),
+        _ => unreachable!("Response::error always builds Error"),
     }
 }
 
@@ -168,6 +179,9 @@ impl ConnCore {
                 }
                 Err(resp) => resp,
             },
+            Request::Batch { ops } => Response::Batch {
+                results: self.run_wire_batch(&ops),
+            },
             Request::Metrics => match metrics() {
                 Some(m) => Response::Metrics(WireMetrics {
                     requests: m.requests,
@@ -183,6 +197,50 @@ impl ConnCore {
             },
             Request::Shutdown => return ConnAction::Bye,
         })
+    }
+
+    /// Execute a wire `Batch`: coalesce maximal runs of consecutive ops
+    /// on the same (known) transaction into one [`Client::run_batch`]
+    /// call each, so a typical single-transaction burst costs one worker
+    /// rendezvous. Results come back per op, in op order, the same
+    /// length as the request — an unknown transaction id fails only its
+    /// own ops, and a burst-level error (`Busy`, `Timeout`) is
+    /// replicated across the run it covered. The frame itself never
+    /// fails: fail-closed handling of undecodable batches happens at the
+    /// wire layer before this is reached.
+    fn run_wire_batch(&mut self, ops: &[(u64, BatchOp)]) -> Vec<Result<BatchReply, (u16, String)>> {
+        let mut results = Vec::with_capacity(ops.len());
+        let mut i = 0;
+        while i < ops.len() {
+            let (txn, _) = ops[i];
+            let mut j = i + 1;
+            while j < ops.len() && ops[j].0 == txn {
+                j += 1;
+            }
+            match self.txns.get(&txn).copied() {
+                None => {
+                    let pair =
+                        error_pair(&ServerError::Wire(format!("unknown transaction id {txn}")));
+                    results.extend((i..j).map(|_| Err(pair.clone())));
+                }
+                Some(handle) => {
+                    let run: Vec<BatchOp> = ops[i..j].iter().map(|&(_, op)| op).collect();
+                    match self.session.run_batch(handle, &run) {
+                        Ok(per_op) => {
+                            debug_assert_eq!(per_op.len(), run.len());
+                            results
+                                .extend(per_op.into_iter().map(|r| r.map_err(|e| error_pair(&e))));
+                        }
+                        Err(e) => {
+                            let pair = error_pair(&e);
+                            results.extend((i..j).map(|_| Err(pair.clone())));
+                        }
+                    }
+                }
+            }
+            i = j;
+        }
+        results
     }
 
     /// Abort every transaction still mapped, in id order. Closing (or

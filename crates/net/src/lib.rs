@@ -12,28 +12,37 @@
 //!
 //! * [`wire`] — the protocol itself: length-prefixed, versioned binary
 //!   frames covering the full session surface (hello / open / validate /
-//!   read / write / commit / abort / metrics / shutdown), with
-//!   specifications encoded structurally and errors as typed
-//!   `(code, detail)` pairs that round-trip losslessly into
+//!   read / write / commit / abort / metrics / shutdown), each carrying
+//!   a correlation id so replies can be matched to pipelined requests,
+//!   plus `Batch` frames packing a burst of reads/writes with per-op
+//!   results. Specifications are encoded structurally and errors as
+//!   typed `(code, detail)` pairs that round-trip losslessly into
 //!   [`ServerError`](ks_server::ServerError). Documented normatively in
 //!   `docs/wire.md`.
 //! * [`transport`] — [`Transport`]: the byte-stream abstraction under
-//!   the client (an ordered reliable stream with read deadlines).
-//!   [`TcpTransport`] is the production implementation; the
-//!   deterministic simulation harness (`ks-dst`) substitutes an
-//!   in-memory link with seeded fault injection.
+//!   the client (an ordered reliable stream that splits into a deadlined
+//!   [`TransportRx`] read half and a `Write` send half, which is what
+//!   lets the client pipeline). [`TcpTransport`] is the production
+//!   implementation; the deterministic simulation harness (`ks-dst`)
+//!   substitutes an in-memory link with seeded fault injection.
 //! * [`conn`] — [`ConnCore`](conn::ConnCore): the transport-agnostic
 //!   per-connection request executor (id table, commit/abort id
-//!   lifecycle, abort-on-disconnect sweep) shared by the TCP server and
-//!   the simulator, so both drive identical server-side logic.
+//!   lifecycle, batch coalescing into per-transaction runs,
+//!   abort-on-disconnect sweep) shared by the TCP server and the
+//!   simulator, so both drive identical server-side logic.
 //! * [`server`] — [`NetServer`]: an accept loop embedding a
 //!   `TxnService`, one reader + handler thread pair per connection, a
-//!   bounded in-flight window per connection, and a graceful drain
+//!   bounded in-flight window per connection (the server answers
+//!   pipelined requests in arrival order, echoing each request's
+//!   correlation id, and coalesces reply flushes), and a graceful drain
 //!   shutdown that hands back the shard managers for model-checking.
 //! * [`client`] — [`RemoteSession`]: connect timeouts, per-request
-//!   deadlines, bounded jittered retry/backoff on transient errors, and
-//!   fail-fast poisoning after transport faults; generic over
-//!   [`Transport`] via [`RemoteSession::over`].
+//!   deadlines, bounded jittered retry/backoff on transient errors,
+//!   fail-fast poisoning after transport faults, and correlation-id
+//!   demultiplexing so multiple requests — notably
+//!   [`Client::run_batch`](ks_server::Client::run_batch) bursts — are in
+//!   flight per connection; generic over [`Transport`] via
+//!   [`RemoteSession::over`].
 //!
 //! The design stance matches the rest of the repo: the network may delay,
 //! sever, or refuse, but it must never *invent* an outcome — every
@@ -53,5 +62,8 @@ pub mod wire;
 pub use client::{NetClientConfig, RemoteSession, RemoteTxn};
 pub use conn::{ConnAction, ConnCore};
 pub use server::{NetConfig, NetServer};
-pub use transport::{TcpTransport, Transport};
-pub use wire::{Request, Response, WireError, WireMetrics, MAX_FRAME, PROTOCOL_VERSION};
+pub use transport::{TcpRx, TcpTransport, Transport, TransportRx};
+pub use wire::{
+    peek_corr, Request, Response, WireError, WireMetrics, MAX_BATCH_OPS, MAX_FRAME,
+    PROTOCOL_VERSION,
+};

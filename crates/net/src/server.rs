@@ -262,11 +262,14 @@ fn serve_connection(stream: TcpStream, shared: &Arc<NetShared>) {
         return;
     };
     let mut writer = BufWriter::new(stream);
+    // Reply frames are built in this reused buffer and written with a
+    // single `write_all` each — no per-frame allocation on the hot path.
+    let mut scratch: Vec<u8> = Vec::with_capacity(256);
 
     // Handshake before any state is allocated: first frame must be a
     // well-formed Hello with the right magic and version.
-    if let Err(resp) = handshake(&mut writer, shared) {
-        let _ = write_frame(&mut writer, &wire::encode_response(&resp));
+    if let Err((corr, resp)) = handshake(&mut writer, shared) {
+        let _ = write_frame(&mut writer, &wire::encode_response(corr, &resp));
         return;
     }
 
@@ -276,7 +279,12 @@ fn serve_connection(stream: TcpStream, shared: &Arc<NetShared>) {
     let session = match session {
         Ok(s) => s,
         Err(e) => {
-            let _ = write_frame(&mut writer, &wire::encode_response(&Response::error(&e)));
+            // Unsolicited, so there is no request corr to echo; the
+            // client drops the frame and then sees the close.
+            let _ = write_frame(
+                &mut writer,
+                &wire::encode_response(u64::MAX, &Response::error(&e)),
+            );
             return;
         }
     };
@@ -289,20 +297,37 @@ fn serve_connection(stream: TcpStream, shared: &Arc<NetShared>) {
     };
 
     // Handler loop: requests leave the window in order; replies are
-    // written in the same order.
+    // written in the same order, each echoing its request's correlation
+    // id so a pipelining client can match them up. The BufWriter is only
+    // flushed when the window is momentarily empty, so a pipelined burst
+    // coalesces into as few TCP segments as the buffer allows.
     while let Ok(payload) = rx.recv() {
-        let resp = match wire::decode_request(&payload) {
-            Ok(req) => match core.handle(req, || shared.with_service(|svc| svc.metrics())) {
-                ConnAction::Reply(resp) => resp,
-                ConnAction::Bye => {
-                    // Shutdown request: acknowledge and close.
-                    let _ = write_frame(&mut writer, &wire::encode_response(&Response::Bye));
-                    break;
+        let (corr, resp) = match wire::decode_request(&payload) {
+            Ok((corr, req)) => {
+                match core.handle(req, || shared.with_service(|svc| svc.metrics())) {
+                    ConnAction::Reply(resp) => (corr, resp),
+                    ConnAction::Bye => {
+                        // Shutdown request: acknowledge and close.
+                        let _ =
+                            write_frame(&mut writer, &wire::encode_response(corr, &Response::Bye));
+                        break;
+                    }
                 }
-            },
-            Err(e) => Response::error(&ServerError::from(e)),
+            }
+            // A payload too mangled to decode still gets a best-effort
+            // correlated error: the id lives in a fixed header slot, so
+            // it usually survives even when the body does not.
+            Err(e) => (
+                wire::peek_corr(&payload).unwrap_or(u64::MAX),
+                Response::error(&ServerError::from(e)),
+            ),
         };
-        if write_frame(&mut writer, &wire::encode_response(&resp)).is_err() {
+        let written = wire::encode_response_frame(&mut scratch, corr, &resp)
+            .and_then(|()| writer.write_all(&scratch));
+        if written.is_err() {
+            break;
+        }
+        if rx.is_empty() && writer.flush().is_err() {
             break;
         }
     }
@@ -315,8 +340,8 @@ fn serve_connection(stream: TcpStream, shared: &Arc<NetShared>) {
     let _ = reader.join();
 }
 
-fn handshake(writer: &mut BufWriter<TcpStream>, shared: &NetShared) -> Result<(), Response> {
-    let wire_err = |msg: String| Response::error(&ServerError::Wire(msg));
+fn handshake(writer: &mut BufWriter<TcpStream>, shared: &NetShared) -> Result<(), (u64, Response)> {
+    let wire_err = |msg: String| (0, Response::error(&ServerError::Wire(msg)));
     let stream = writer.get_ref();
     let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
     let mut reader = BufReader::new(stream.try_clone().map_err(|e| wire_err(e.to_string()))?);
@@ -325,11 +350,11 @@ fn handshake(writer: &mut BufWriter<TcpStream>, shared: &NetShared) -> Result<()
         Ok(None) => return Err(wire_err("connection closed before Hello".into())),
         Err(e) => return Err(wire_err(format!("reading Hello: {e}"))),
     };
-    let first = wire::decode_request(&payload).map_err(|e| wire_err(e.to_string()))?;
+    let (corr, first) = wire::decode_request(&payload).map_err(|e| wire_err(e.to_string()))?;
     let shards = shared
         .with_service(|svc| svc.shard_map().shards())
         .unwrap_or(0);
-    let ok = handshake_reply(&first, shards)?;
-    write_frame(writer, &wire::encode_response(&ok)).map_err(|e| wire_err(e.to_string()))?;
+    let ok = handshake_reply(&first, shards).map_err(|resp| (corr, resp))?;
+    write_frame(writer, &wire::encode_response(corr, &ok)).map_err(|e| wire_err(e.to_string()))?;
     Ok(())
 }

@@ -1,11 +1,19 @@
 //! The ks-net wire protocol: length-prefixed, versioned binary frames.
 //!
 //! Framing is `u32` little-endian payload length followed by the payload;
-//! every payload starts with the protocol version byte and a message-type
-//! byte. Integers are little-endian; strings are `u32` length + UTF-8.
-//! The full format, the version-negotiation rules and the error-code
-//! table live in `docs/wire.md` — this module is the normative encoder
-//! and decoder, and the round-trip tests in `tests/wire_fuzz.rs` pin it.
+//! every payload starts with the protocol version byte, a `u64`
+//! correlation id, and a message-type byte. Integers are little-endian;
+//! strings are `u32` length + UTF-8. The full format, the correlation
+//! and pipelining rules, the version-negotiation story and the
+//! error-code table live in `docs/wire.md` — this module is the
+//! normative encoder and decoder, and the round-trip tests in
+//! `tests/wire_fuzz.rs` pin it.
+//!
+//! The correlation id is what makes pipelining sound: a client may keep
+//! several requests in flight on one connection, and the server echoes
+//! each request's id on its reply, so responses can complete out of
+//! order without ambiguity. The server never *reorders* replies today,
+//! but the id — not arrival order — is the contract.
 //!
 //! Specifications travel **structurally** (CNF → clauses → atoms with
 //! global entity ids), not as parser text, so the wire needs no schema
@@ -17,12 +25,13 @@
 use ks_core::Specification;
 use ks_kernel::{EntityId, Value};
 use ks_predicate::{Atom, Clause, CmpOp, Cnf, Operand, Strategy};
-use ks_server::ServerError;
+use ks_server::{BatchOp, BatchReply, ServerError};
 use std::io::{Read, Write};
 
 /// Protocol version this build speaks. The Hello exchange rejects peers
 /// whose version differs (see `docs/wire.md` § version negotiation).
-pub const PROTOCOL_VERSION: u8 = 1;
+/// Version 2 added the per-payload correlation id and `Batch` frames.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Magic carried in Hello so a stray non-ks-net peer is rejected before
 /// any state is allocated.
@@ -32,6 +41,14 @@ pub const HELLO_MAGIC: u32 = 0x4B534E50; // "KSNP"
 /// specification, small enough that a corrupt length prefix cannot make
 /// a peer allocate unboundedly.
 pub const MAX_FRAME: usize = 1 << 20;
+
+/// Hard cap on ops in one `Batch` frame, enforced at decode on both
+/// request and response. The request-side ops are small (a `Write` is 21
+/// bytes) but their *responses* are not bounded by the request size
+/// (`Error` carries a detail string), so without this cap a maximal
+/// request batch could force the server to build a response frame it is
+/// not allowed to send.
+pub const MAX_BATCH_OPS: usize = 1024;
 
 /// A malformed or oversized frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -104,6 +121,16 @@ pub enum Request {
     },
     /// Snapshot the service metrics.
     Metrics,
+    /// A burst of read/write ops answered by one [`Response::Batch`] of
+    /// equal length, in order. Only data-plane ops batch — lifecycle
+    /// frames (`Open`/`Validate`/`Commit`/`Abort`) stay top-level so
+    /// their connection-state side effects remain one-frame-one-decision.
+    Batch {
+        /// One transaction id per op (ops in one batch may target
+        /// different transactions; the server splits maximal same-txn
+        /// runs into shard sub-batches).
+        ops: Vec<(u64, BatchOp)>,
+    },
     /// Graceful connection shutdown; the server replies [`Response::Bye`]
     /// and closes.
     Shutdown,
@@ -160,6 +187,13 @@ pub enum Response {
         /// Detail payload ([`ServerError::detail`]).
         detail: String,
     },
+    /// Per-op results for a [`Request::Batch`], same length, same order.
+    /// An op that failed carries its typed error inline; the batch frame
+    /// itself never fails partially — it decodes whole or not at all.
+    Batch {
+        /// One result per request op.
+        results: Vec<Result<BatchReply, (u16, String)>>,
+    },
     /// Acknowledges [`Request::Shutdown`]; the connection closes next.
     Bye,
 }
@@ -183,9 +217,11 @@ impl Response {
 
 // ---------------------------------------------------------------- encoding
 
-struct Enc(Vec<u8>);
+/// Byte sink borrowing the caller's buffer, so hot paths reuse one
+/// scratch allocation across frames instead of a fresh `Vec` each.
+struct Enc<'a>(&'a mut Vec<u8>);
 
-impl Enc {
+impl Enc<'_> {
     fn u8(&mut self, v: u8) {
         self.0.push(v);
     }
@@ -280,10 +316,13 @@ fn strategy_from(code: u8) -> Option<Option<Strategy>> {
     })
 }
 
-/// Encode a request payload (version byte + type byte + body).
-pub fn encode_request(req: &Request) -> Vec<u8> {
-    let mut e = Enc(Vec::with_capacity(32));
+/// Encode a request payload into `buf` (cleared first): version byte +
+/// correlation id + type byte + body.
+pub fn encode_request_into(buf: &mut Vec<u8>, corr: u64, req: &Request) {
+    buf.clear();
+    let mut e = Enc(buf);
     e.u8(PROTOCOL_VERSION);
+    e.u64(corr);
     match req {
         Request::Hello { magic } => {
             e.u8(0x01);
@@ -326,15 +365,50 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             e.u64(*txn);
         }
         Request::Metrics => e.u8(0x08),
+        Request::Batch { ops } => {
+            e.u8(0x0A);
+            e.u32(ops.len() as u32);
+            for (txn, op) in ops {
+                match op {
+                    BatchOp::Read(entity) => {
+                        e.u8(0x04);
+                        e.u64(*txn);
+                        e.u32(entity.0);
+                    }
+                    BatchOp::Write(entity, value) => {
+                        e.u8(0x05);
+                        e.u64(*txn);
+                        e.u32(entity.0);
+                        e.i64(*value);
+                    }
+                }
+            }
+        }
         Request::Shutdown => e.u8(0x09),
     }
-    e.0
 }
 
-/// Encode a response payload (version byte + type byte + body).
-pub fn encode_response(resp: &Response) -> Vec<u8> {
-    let mut e = Enc(Vec::with_capacity(16));
+/// Encode a request payload into a fresh buffer (tests and cold paths;
+/// hot paths use [`encode_request_into`] with a reused scratch buffer).
+pub fn encode_request(corr: u64, req: &Request) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(48);
+    encode_request_into(&mut buf, corr, req);
+    buf
+}
+
+/// Encode a response payload into `buf` (cleared first).
+pub fn encode_response_into(buf: &mut Vec<u8>, corr: u64, resp: &Response) {
+    buf.clear();
+    append_response(buf, corr, resp);
+}
+
+/// Append a response payload to `buf` *without* clearing it — the
+/// building block [`encode_response_frame`] uses to put `[len][payload]`
+/// in one reused buffer with zero intermediate allocation.
+fn append_response(buf: &mut Vec<u8>, corr: u64, resp: &Response) {
+    let mut e = Enc(buf);
     e.u8(PROTOCOL_VERSION);
+    e.u64(corr);
     match resp {
         Response::HelloOk { shards } => {
             e.u8(0x81);
@@ -365,9 +439,60 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             e.u16(*code);
             e.str(detail);
         }
+        Response::Batch { results } => {
+            e.u8(0x88);
+            e.u32(results.len() as u32);
+            for r in results {
+                match r {
+                    Ok(BatchReply::Value(v)) => {
+                        e.u8(0x84);
+                        e.i64(*v);
+                    }
+                    Ok(BatchReply::Done) => e.u8(0x83),
+                    Err((code, detail)) => {
+                        e.u8(0x86);
+                        e.u16(*code);
+                        e.str(detail);
+                    }
+                }
+            }
+        }
         Response::Bye => e.u8(0x87),
     }
-    e.0
+}
+
+/// Encode a response payload into a fresh buffer.
+pub fn encode_response(corr: u64, resp: &Response) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(32);
+    encode_response_into(&mut buf, corr, resp);
+    buf
+}
+
+/// Encode a complete *frame* — `[len: u32 LE][payload]` — into `scratch`
+/// (cleared first), ready for one `write_all`. This is the server's hot
+/// path: one reused buffer, one syscall, no intermediate payload `Vec`.
+///
+/// Mirrors [`write_frame`]'s send-time cap: an over-[`MAX_FRAME`] payload
+/// is refused with `InvalidData` and `scratch` is cleared, so no bytes
+/// can hit the stream.
+pub fn encode_response_frame(
+    scratch: &mut Vec<u8>,
+    corr: u64,
+    resp: &Response,
+) -> std::io::Result<()> {
+    scratch.clear();
+    scratch.extend_from_slice(&[0u8; 4]); // length placeholder
+    append_response(scratch, corr, resp);
+    let len = scratch.len() - 4;
+    if len > MAX_FRAME {
+        scratch.clear();
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds MAX_FRAME ({MAX_FRAME})"),
+        ));
+    }
+    scratch[..4].copy_from_slice(&(len as u32).to_le_bytes());
+    Ok(())
 }
 
 // ---------------------------------------------------------------- decoding
@@ -422,10 +547,25 @@ impl<'a> Dec<'a> {
         Ok(n)
     }
 
+    /// A batch op count: budget-bounded like [`Dec::count`] and capped at
+    /// [`MAX_BATCH_OPS`] so a decoded batch can never obligate a response
+    /// frame larger than the sender is allowed to emit.
+    fn batch_count(&mut self, what: &str) -> Result<usize, WireError> {
+        let n = self.count(what)?;
+        if n > MAX_BATCH_OPS {
+            return Err(WireError(format!(
+                "{what}: {n} ops exceeds MAX_BATCH_OPS ({MAX_BATCH_OPS})"
+            )));
+        }
+        Ok(n)
+    }
+
     fn str(&mut self, what: &str) -> Result<String, WireError> {
         let n = self.count(what)?;
         let bytes = self.take(n, what)?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| WireError(format!("{what}: invalid UTF-8")))
+        std::str::from_utf8(bytes)
+            .map(str::to_owned)
+            .map_err(|_| WireError(format!("{what}: invalid UTF-8")))
     }
 
     fn txns(&mut self, what: &str) -> Result<Vec<u64>, WireError> {
@@ -480,10 +620,22 @@ fn check_version(d: &mut Dec, what: &str) -> Result<(), WireError> {
     Ok(())
 }
 
-/// Decode a request payload.
-pub fn decode_request(buf: &[u8]) -> Result<Request, WireError> {
+/// Extract the correlation id from an already-encoded payload without a
+/// full decode (the simulation harness forges server-timeout replies for
+/// frames it swallowed and must echo the request's id). `None` if the
+/// payload is too short or carries a different version.
+pub fn peek_corr(payload: &[u8]) -> Option<u64> {
+    if payload.len() < 9 || payload[0] != PROTOCOL_VERSION {
+        return None;
+    }
+    Some(u64::from_le_bytes(payload[1..9].try_into().unwrap()))
+}
+
+/// Decode a request payload into its correlation id and request.
+pub fn decode_request(buf: &[u8]) -> Result<(u64, Request), WireError> {
     let mut d = Dec::new(buf);
     check_version(&mut d, "request")?;
+    let corr = d.u64("request corr")?;
     let ty = d.u8("request type")?;
     let req = match ty {
         0x01 => Request::Hello {
@@ -523,15 +675,43 @@ pub fn decode_request(buf: &[u8]) -> Result<Request, WireError> {
         },
         0x08 => Request::Metrics,
         0x09 => Request::Shutdown,
+        0x0A => {
+            let n = d.batch_count("batch")?;
+            let mut ops = Vec::with_capacity(n);
+            for _ in 0..n {
+                // Only data-plane ops may batch; any other tag fails the
+                // whole frame closed — a partially-understood batch must
+                // never execute its understood prefix.
+                let op = match d.u8("batch op")? {
+                    0x04 => {
+                        let txn = d.u64("batch read")?;
+                        (txn, BatchOp::Read(EntityId(d.u32("batch read")?)))
+                    }
+                    0x05 => {
+                        let txn = d.u64("batch write")?;
+                        let entity = EntityId(d.u32("batch write")?);
+                        (txn, BatchOp::Write(entity, d.i64("batch write")?))
+                    }
+                    t => {
+                        return Err(WireError(format!(
+                            "batch: op type 0x{t:02x} not batchable (only Read/Write)"
+                        )))
+                    }
+                };
+                ops.push(op);
+            }
+            Request::Batch { ops }
+        }
         t => return Err(WireError(format!("unknown request type 0x{t:02x}"))),
     };
-    d.finish(req, "request")
+    d.finish((corr, req), "request")
 }
 
-/// Decode a response payload.
-pub fn decode_response(buf: &[u8]) -> Result<Response, WireError> {
+/// Decode a response payload into its correlation id and response.
+pub fn decode_response(buf: &[u8]) -> Result<(u64, Response), WireError> {
     let mut d = Dec::new(buf);
     check_version(&mut d, "response")?;
+    let corr = d.u64("response corr")?;
     let ty = d.u8("response type")?;
     let resp = match ty {
         0x81 => Response::HelloOk {
@@ -560,9 +740,31 @@ pub fn decode_response(buf: &[u8]) -> Result<Response, WireError> {
             Response::Error { code, detail }
         }
         0x87 => Response::Bye,
+        0x88 => {
+            let n = d.batch_count("batch response")?;
+            let mut results = Vec::with_capacity(n);
+            for _ in 0..n {
+                let r = match d.u8("batch result")? {
+                    0x83 => Ok(BatchReply::Done),
+                    0x84 => Ok(BatchReply::Value(d.i64("batch value")?)),
+                    0x86 => {
+                        let code = d.u16("batch error")?;
+                        let detail = d.str("batch error")?;
+                        Err((code, detail))
+                    }
+                    t => {
+                        return Err(WireError(format!(
+                            "batch response: unknown result type 0x{t:02x}"
+                        )))
+                    }
+                };
+                results.push(r);
+            }
+            Response::Batch { results }
+        }
         t => return Err(WireError(format!("unknown response type 0x{t:02x}"))),
     };
-    d.finish(resp, "response")
+    d.finish((corr, resp), "response")
 }
 
 // ---------------------------------------------------------------- framing
@@ -733,8 +935,8 @@ mod tests {
             Request::Metrics,
             Request::Shutdown,
         ] {
-            let buf = encode_request(&req);
-            assert_eq!(decode_request(&buf).unwrap(), req);
+            let buf = encode_request(99, &req);
+            assert_eq!(decode_request(&buf).unwrap(), (99, req));
         }
     }
 
@@ -753,21 +955,119 @@ mod tests {
             before: vec![9],
             strategy: Some(Strategy::GreedyLatest),
         };
-        let buf = encode_request(&req);
-        assert_eq!(decode_request(&buf).unwrap(), req);
+        let buf = encode_request(u64::MAX, &req);
+        assert_eq!(decode_request(&buf).unwrap(), (u64::MAX, req));
+    }
+
+    #[test]
+    fn batch_round_trips_and_carries_per_op_txns() {
+        let req = Request::Batch {
+            ops: vec![
+                (3, BatchOp::Read(EntityId(7))),
+                (3, BatchOp::Write(EntityId(8), -40)),
+                (5, BatchOp::Read(EntityId(0))),
+            ],
+        };
+        let buf = encode_request(17, &req);
+        assert_eq!(decode_request(&buf).unwrap(), (17, req));
+
+        let resp = Response::Batch {
+            results: vec![
+                Ok(BatchReply::Value(12)),
+                Ok(BatchReply::Done),
+                Err((4, String::new())),
+            ],
+        };
+        let buf = encode_response(17, &resp);
+        assert_eq!(decode_response(&buf).unwrap(), (17, resp));
+    }
+
+    #[test]
+    fn empty_batch_round_trips() {
+        let req = Request::Batch { ops: vec![] };
+        let buf = encode_request(0, &req);
+        assert_eq!(decode_request(&buf).unwrap(), (0, req));
+        let resp = Response::Batch { results: vec![] };
+        let buf = encode_response(0, &resp);
+        assert_eq!(decode_response(&buf).unwrap(), (0, resp));
+    }
+
+    #[test]
+    fn batch_with_non_batchable_op_fails_closed() {
+        // Hand-build a batch whose second op is Commit (0x06): the whole
+        // frame must fail, not execute the Read prefix.
+        let mut buf = Vec::new();
+        let mut e = Enc(&mut buf);
+        e.u8(PROTOCOL_VERSION);
+        e.u64(1);
+        e.u8(0x0A);
+        e.u32(2);
+        e.u8(0x04); // Read
+        e.u64(0);
+        e.u32(3);
+        e.u8(0x06); // Commit — not batchable
+        e.u64(0);
+        let err = decode_request(&buf).unwrap_err();
+        assert!(err.0.contains("not batchable"), "{err}");
+    }
+
+    #[test]
+    fn oversized_batch_count_is_rejected() {
+        // A count past MAX_BATCH_OPS fails even with budget to spare.
+        let mut buf = Vec::new();
+        let mut e = Enc(&mut buf);
+        e.u8(PROTOCOL_VERSION);
+        e.u64(1);
+        e.u8(0x0A);
+        e.u32(MAX_BATCH_OPS as u32 + 1);
+        for _ in 0..(MAX_BATCH_OPS + 1) {
+            e.u8(0x04);
+            e.u64(0);
+            e.u32(0);
+        }
+        let err = decode_request(&buf).unwrap_err();
+        assert!(err.0.contains("MAX_BATCH_OPS"), "{err}");
+    }
+
+    #[test]
+    fn truncated_batch_mid_op_fails_closed() {
+        let req = Request::Batch {
+            ops: vec![
+                (1, BatchOp::Write(EntityId(2), 9)),
+                (1, BatchOp::Write(EntityId(3), 10)),
+            ],
+        };
+        let buf = encode_request(5, &req);
+        // Sever at every byte boundary: no prefix may decode.
+        for cut in 0..buf.len() {
+            assert!(
+                decode_request(&buf[..cut]).is_err(),
+                "truncation at {cut} decoded"
+            );
+        }
     }
 
     #[test]
     fn version_mismatch_is_rejected() {
-        let mut buf = encode_request(&Request::Metrics);
-        buf[0] = 2;
+        let mut buf = encode_request(0, &Request::Metrics);
+        buf[0] = 1;
         let err = decode_request(&buf).unwrap_err();
-        assert!(err.0.contains("version 2"), "{err}");
+        assert!(err.0.contains("version 1"), "{err}");
+    }
+
+    #[test]
+    fn peek_corr_reads_the_header() {
+        let buf = encode_request(0xDEAD_BEEF, &Request::Commit { txn: 3 });
+        assert_eq!(peek_corr(&buf), Some(0xDEAD_BEEF));
+        assert_eq!(peek_corr(&buf[..8]), None);
+        let mut wrong = buf.clone();
+        wrong[0] = 1;
+        assert_eq!(peek_corr(&wrong), None);
     }
 
     #[test]
     fn trailing_bytes_are_rejected() {
-        let mut buf = encode_request(&Request::Validate { txn: 1 });
+        let mut buf = encode_request(1, &Request::Validate { txn: 1 });
         buf.push(0);
         assert!(decode_request(&buf).is_err());
     }
@@ -776,21 +1076,70 @@ mod tests {
     fn corrupt_count_cannot_force_allocation() {
         // An `after` count of u32::MAX with no payload behind it must be
         // rejected by the budget check, not attempted.
-        let mut e = Enc(Vec::new());
+        let mut buf = Vec::new();
+        let mut e = Enc(&mut buf);
         e.u8(PROTOCOL_VERSION);
+        e.u64(0);
         e.u8(0x02);
         e.cnf(&Cnf::truth());
         e.cnf(&Cnf::truth());
         e.u32(u32::MAX); // after count
-        assert!(decode_request(&e.0).is_err());
+        assert!(decode_request(&buf).is_err());
+    }
+
+    #[test]
+    fn scratch_encoders_match_fresh_encoders() {
+        let req = Request::Read {
+            txn: 3,
+            entity: EntityId(5),
+        };
+        let mut scratch = vec![0xFF; 64]; // dirty scratch must be cleared
+        encode_request_into(&mut scratch, 7, &req);
+        assert_eq!(scratch, encode_request(7, &req));
+
+        let resp = Response::Error {
+            code: 4,
+            detail: "busy".into(),
+        };
+        encode_response_into(&mut scratch, 9, &resp);
+        assert_eq!(scratch, encode_response(9, &resp));
+    }
+
+    #[test]
+    fn response_frame_is_len_prefixed_payload() {
+        let resp = Response::Opened { txn: 12 };
+        let mut scratch = Vec::new();
+        encode_response_frame(&mut scratch, 4, &resp).unwrap();
+        let mut expect = Vec::new();
+        write_frame(&mut expect, &encode_response(4, &resp)).unwrap();
+        assert_eq!(scratch, expect);
+        // And it round-trips through the frame reader.
+        let mut cursor = std::io::Cursor::new(scratch);
+        let payload = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(decode_response(&payload).unwrap(), (4, resp));
+    }
+
+    #[test]
+    fn oversized_response_frame_is_refused_clean() {
+        let resp = Response::Error {
+            code: 8,
+            detail: "x".repeat(MAX_FRAME + 1),
+        };
+        let mut scratch = Vec::new();
+        let err = encode_response_frame(&mut scratch, 0, &resp).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(scratch.is_empty(), "no bytes may survive a refused frame");
     }
 
     #[test]
     fn frames_round_trip_over_a_pipe() {
-        let payload = encode_response(&Response::Error {
-            code: 4,
-            detail: String::new(),
-        });
+        let payload = encode_response(
+            2,
+            &Response::Error {
+                code: 4,
+                detail: String::new(),
+            },
+        );
         let mut buf = Vec::new();
         write_frame(&mut buf, &payload).unwrap();
         let mut cursor = std::io::Cursor::new(buf);
@@ -853,8 +1202,8 @@ mod tests {
         // Two frames, byte-trickled with a timeout before every chunk:
         // splits land inside length prefixes and inside payloads.
         let mut stream = Vec::new();
-        let first = encode_request(&Request::Validate { txn: 42 });
-        let second = encode_request(&Request::Metrics);
+        let first = encode_request(1, &Request::Validate { txn: 42 });
+        let second = encode_request(2, &Request::Metrics);
         write_frame(&mut stream, &first).unwrap();
         write_frame(&mut stream, &second).unwrap();
         let mut reader = FrameReader::new(Trickle {
@@ -874,15 +1223,15 @@ mod tests {
         assert_eq!(frames.len(), 2);
         assert_eq!(
             decode_request(&frames[0]).unwrap(),
-            Request::Validate { txn: 42 }
+            (1, Request::Validate { txn: 42 })
         );
-        assert_eq!(decode_request(&frames[1]).unwrap(), Request::Metrics);
+        assert_eq!(decode_request(&frames[1]).unwrap(), (2, Request::Metrics));
         assert!(pendings > 4, "timeouts interleaved every chunk: {pendings}");
     }
 
     #[test]
     fn frame_reader_eof_mid_frame_is_an_error() {
-        let payload = encode_request(&Request::Validate { txn: 1 });
+        let payload = encode_request(1, &Request::Validate { txn: 1 });
         let mut stream = Vec::new();
         write_frame(&mut stream, &payload).unwrap();
         stream.truncate(stream.len() - 2); // sever inside the payload

@@ -236,24 +236,27 @@ fn slow_frames_straddling_the_poll_interval_stay_in_sync() {
     // Handshake, whole frames.
     wire::write_frame(
         &mut stream,
-        &wire::encode_request(&Request::Hello { magic: HELLO_MAGIC }),
+        &wire::encode_request(0, &Request::Hello { magic: HELLO_MAGIC }),
     )
     .unwrap();
     let hello_ok = wire::read_frame(&mut reader).unwrap().expect("HelloOk");
     assert!(matches!(
         wire::decode_response(&hello_ok),
-        Ok(Response::HelloOk { .. })
+        Ok((0, Response::HelloOk { .. }))
     ));
     // Trickle an Open frame: 2 bytes of the length prefix, then a sliver
     // spanning the prefix/payload boundary, then the rest — each chunk
     // separated by several poll ticks (derived from the configured
     // interval, so the pause stays meaningful if the interval changes).
-    let payload = wire::encode_request(&Request::Open {
-        spec: tautology_spec(&[EntityId(0)]),
-        after: vec![],
-        before: vec![],
-        strategy: None,
-    });
+    let payload = wire::encode_request(
+        1,
+        &Request::Open {
+            spec: tautology_spec(&[EntityId(0)]),
+            after: vec![],
+            before: vec![],
+            strategy: None,
+        },
+    );
     let mut framed = (payload.len() as u32).to_le_bytes().to_vec();
     framed.extend_from_slice(&payload);
     for chunk in [&framed[..2], &framed[2..7], &framed[7..]] {
@@ -263,21 +266,28 @@ fn slow_frames_straddling_the_poll_interval_stay_in_sync() {
     }
     let reply = wire::read_frame(&mut reader).unwrap().expect("reply");
     match wire::decode_response(&reply) {
-        Ok(Response::Opened { txn }) => assert_eq!(txn, 0),
+        Ok((1, Response::Opened { txn })) => assert_eq!(txn, 0),
         other => panic!("stream desynchronized: {other:?}"),
     }
-    // The stream is still in sync: ordinary frames keep round-tripping.
-    for req in [Request::Validate { txn: 0 }, Request::Commit { txn: 0 }] {
-        wire::write_frame(&mut stream, &wire::encode_request(&req)).unwrap();
+    // The stream is still in sync: ordinary frames keep round-tripping,
+    // each reply echoing its request's correlation id.
+    for (corr, req) in [
+        (2, Request::Validate { txn: 0 }),
+        (3, Request::Commit { txn: 0 }),
+    ] {
+        wire::write_frame(&mut stream, &wire::encode_request(corr, &req)).unwrap();
         let reply = wire::read_frame(&mut reader).unwrap().expect("reply");
-        assert!(
-            matches!(wire::decode_response(&reply), Ok(Response::Done)),
-            "{req:?} after the trickled frame"
-        );
+        match wire::decode_response(&reply) {
+            Ok((c, Response::Done)) => assert_eq!(c, corr, "{req:?} reply corr"),
+            other => panic!("{req:?} after the trickled frame: {other:?}"),
+        }
     }
-    wire::write_frame(&mut stream, &wire::encode_request(&Request::Shutdown)).unwrap();
+    wire::write_frame(&mut stream, &wire::encode_request(4, &Request::Shutdown)).unwrap();
     let bye = wire::read_frame(&mut reader).unwrap().expect("Bye");
-    assert!(matches!(wire::decode_response(&bye), Ok(Response::Bye)));
+    assert!(matches!(
+        wire::decode_response(&bye),
+        Ok((4, Response::Bye))
+    ));
     let report = verify_managers(&server.shutdown());
     assert!(report.is_correct(), "{:?}", report.violations);
     assert_eq!(report.committed, 1);

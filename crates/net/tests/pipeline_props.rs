@@ -1,0 +1,278 @@
+//! Demultiplexer correctness under forced reply reordering: a mock
+//! transport buffers every response and releases them in *reverse*
+//! arrival order, so a pipelining client only gets correct results if
+//! its correlation-id demux routes each reply to the caller that sent
+//! the matching request — never by arrival position.
+
+use ks_kernel::EntityId;
+use ks_net::wire::{self, Request, Response};
+use ks_net::{NetClientConfig, RemoteSession, Transport, TransportRx};
+use ks_obs::{ObsKind, Recorder};
+use ks_server::{BatchOp, BatchReply, Client, ServerError};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Shared state of the in-memory mock connection.
+struct MockState {
+    /// Bytes the client may read (released response frames).
+    rx_buf: VecDeque<u8>,
+    /// Request bytes accumulated until a whole frame is present.
+    partial: Vec<u8>,
+    /// Complete response frames held back for reordered release.
+    held: Vec<Vec<u8>>,
+    /// Release trigger: once this many responses are held, they are
+    /// flushed to `rx_buf` in reverse arrival order.
+    release_after: usize,
+    opened: u64,
+}
+
+struct Shared {
+    state: Mutex<MockState>,
+    cv: Condvar,
+}
+
+impl Shared {
+    /// Frame a response, echoing `corr`, and either hold it for the next
+    /// reversed release or (for the handshake) deliver it immediately.
+    fn respond(state: &mut MockState, cv: &Condvar, corr: u64, resp: &Response, immediate: bool) {
+        let payload = wire::encode_response(corr, resp);
+        let mut frame = (payload.len() as u32).to_le_bytes().to_vec();
+        frame.extend_from_slice(&payload);
+        if immediate {
+            state.rx_buf.extend(frame);
+            cv.notify_all();
+            return;
+        }
+        state.held.push(frame);
+        if state.held.len() >= state.release_after {
+            // The adversarial step: everything held goes out newest-first.
+            while let Some(frame) = state.held.pop() {
+                state.rx_buf.extend(frame);
+            }
+            cv.notify_all();
+        }
+    }
+}
+
+/// The mock server logic: scripted, state-light responses whose values
+/// encode which request they answer, so misrouting is detectable.
+fn answer(state: &mut MockState, cv: &Condvar, payload: &[u8]) {
+    let (corr, req) = wire::decode_request(payload).expect("client sends valid frames");
+    match req {
+        Request::Hello { .. } => {
+            Shared::respond(state, cv, corr, &Response::HelloOk { shards: 1 }, true)
+        }
+        Request::Open { .. } => {
+            // Released immediately: the client opens serially, so holding
+            // the reply would only stall the burst we want to reorder.
+            let txn = state.opened;
+            state.opened += 1;
+            Shared::respond(state, cv, corr, &Response::Opened { txn }, true)
+        }
+        Request::Read { txn, entity } => {
+            let value = i64::from(entity.0) * 1000 + txn as i64;
+            Shared::respond(state, cv, corr, &Response::Value { value }, false)
+        }
+        Request::Batch { ops } => {
+            let results = ops
+                .iter()
+                .map(|&(txn, op)| match op {
+                    BatchOp::Read(e) => Ok(BatchReply::Value(i64::from(e.0) * 1000 + txn as i64)),
+                    BatchOp::Write(..) => Ok(BatchReply::Done),
+                })
+                .collect();
+            Shared::respond(state, cv, corr, &Response::Batch { results }, false)
+        }
+        Request::Shutdown => Shared::respond(state, cv, corr, &Response::Bye, true),
+        other => {
+            let _ = other;
+            Shared::respond(state, cv, corr, &Response::Done, false)
+        }
+    }
+}
+
+struct MockTx(Arc<Shared>);
+
+impl Write for MockTx {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let mut state = self.0.state.lock().unwrap();
+        state.partial.extend_from_slice(buf);
+        // Process every complete request frame accumulated so far.
+        loop {
+            if state.partial.len() < 4 {
+                break;
+            }
+            let len = u32::from_le_bytes(state.partial[..4].try_into().unwrap()) as usize;
+            if state.partial.len() < 4 + len {
+                break;
+            }
+            let payload: Vec<u8> = state.partial.drain(..4 + len).skip(4).collect();
+            answer(&mut state, &self.0.cv, &payload);
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+struct MockRx {
+    shared: Arc<Shared>,
+    deadline: Option<Duration>,
+}
+
+impl Read for MockRx {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let timeout = self.deadline.unwrap_or(Duration::from_secs(30));
+        let mut state = self.shared.state.lock().unwrap();
+        while state.rx_buf.is_empty() {
+            let (s, result) = self.shared.cv.wait_timeout(state, timeout).unwrap();
+            state = s;
+            if result.timed_out() && state.rx_buf.is_empty() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WouldBlock,
+                    "mock read deadline",
+                ));
+            }
+        }
+        let n = buf.len().min(state.rx_buf.len());
+        for slot in buf.iter_mut().take(n) {
+            *slot = state.rx_buf.pop_front().unwrap();
+        }
+        Ok(n)
+    }
+}
+
+impl TransportRx for MockRx {
+    fn set_read_deadline(&mut self, deadline: Option<Duration>) -> std::io::Result<()> {
+        self.deadline = deadline;
+        Ok(())
+    }
+}
+
+/// An in-memory [`Transport`] whose "server" answers inline but releases
+/// replies in reverse order once `release_after` are held.
+struct ReorderingTransport(Arc<Shared>);
+
+impl ReorderingTransport {
+    fn new(release_after: usize) -> Self {
+        ReorderingTransport(Arc::new(Shared {
+            state: Mutex::new(MockState {
+                rx_buf: VecDeque::new(),
+                partial: Vec::new(),
+                held: Vec::new(),
+                release_after: release_after.max(1),
+                opened: 0,
+            }),
+            cv: Condvar::new(),
+        }))
+    }
+}
+
+impl Transport for ReorderingTransport {
+    type Rx = MockRx;
+    type Tx = MockTx;
+
+    fn split(self) -> (MockRx, MockTx) {
+        (
+            MockRx {
+                shared: Arc::clone(&self.0),
+                deadline: None,
+            },
+            MockTx(Arc::clone(&self.0)),
+        )
+    }
+}
+
+/// How many `Batch` frames the client sends for `ops_len` ops at a given
+/// pipeline depth (mirrors `RemoteSession::run_batch`'s chunking).
+fn chunks_for(ops_len: usize, depth: usize) -> usize {
+    let frames = depth.min(ops_len);
+    let chunk = ops_len.div_ceil(frames);
+    ops_len.div_ceil(chunk)
+}
+
+fn config(recorder: Option<Recorder>) -> NetClientConfig {
+    NetClientConfig {
+        request_deadline: Duration::from_secs(10),
+        recorder,
+        ..NetClientConfig::default()
+    }
+}
+
+proptest! {
+    /// N concurrent callers each read a distinct entity through one
+    /// session; all N replies are released in reverse order. Every
+    /// caller must still receive the value derived from *its own*
+    /// request — a demux keyed on anything but the correlation id hands
+    /// at least one caller someone else's reply.
+    #[test]
+    fn out_of_order_replies_demultiplex_to_their_callers(n in 2usize..6, offset in 0u32..1000) {
+        let session =
+            RemoteSession::over(ReorderingTransport::new(n), config(None)).expect("handshake");
+        let results: Vec<(u32, Result<i64, ServerError>)> = std::thread::scope(|scope| {
+            let session = &session;
+            let handles: Vec<_> = (0..n as u32)
+                .map(|i| {
+                    let entity = EntityId(offset + i);
+                    scope.spawn(move || {
+                        (entity.0, session.read(ks_net::RemoteTxn(7), entity))
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (entity, result) in results {
+            let value = result.expect("read survives reordering");
+            prop_assert_eq!(value, i64::from(entity) * 1000 + 7, "entity {} got someone else's reply", entity);
+        }
+        prop_assert!(!session.is_poisoned());
+    }
+
+    /// A pipelined batch burst: ops are chunked into several `Batch`
+    /// frames in flight at once, the mock releases the frame replies in
+    /// reverse, and the concatenated per-op results must still line up
+    /// with op order exactly.
+    #[test]
+    fn pipelined_batch_results_stay_in_op_order(ops_len in 2usize..12, depth in 2usize..5) {
+        let recorder = Recorder::new(1024);
+        let frames = chunks_for(ops_len, depth);
+        let session = RemoteSession::over(
+            ReorderingTransport::new(frames),
+            config(Some(recorder.clone())),
+        )
+        .expect("handshake");
+        let spec = ks_core::Specification::new(
+            ks_predicate::Cnf::truth(),
+            ks_predicate::Cnf::truth(),
+        );
+        let txn = session
+            .open(ks_server::TxnBuilder::new(spec).pipeline_depth(depth))
+            .expect("open");
+        let ops: Vec<BatchOp> = (0..ops_len as u32).map(|i| BatchOp::Read(EntityId(i))).collect();
+        let results = session.run_batch(txn, &ops).expect("batch survives reordering");
+        prop_assert_eq!(results.len(), ops.len());
+        for (i, r) in results.iter().enumerate() {
+            let got = r.as_ref().expect("per-op ok");
+            prop_assert_eq!(
+                *got,
+                BatchReply::Value(i64::from(i as u32) * 1000),
+                "op {} out of order", i
+            );
+        }
+        let batch_events: Vec<u32> = recorder
+            .drain()
+            .into_iter()
+            .filter_map(|e| match e.kind {
+                ObsKind::NetBatch { ops } => Some(ops),
+                _ => None,
+            })
+            .collect();
+        prop_assert_eq!(batch_events.len(), frames, "one NetBatch event per frame");
+        prop_assert_eq!(batch_events.iter().map(|&n| n as usize).sum::<usize>(), ops_len);
+    }
+}

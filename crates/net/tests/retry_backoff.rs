@@ -53,23 +53,24 @@ fn mock_server(
         let mut writer = BufWriter::new(stream);
         // Handshake.
         let hello = read_frame(&mut reader).unwrap().expect("hello frame");
-        assert!(matches!(
-            wire::decode_request(&hello),
-            Ok(Request::Hello { magic }) if magic == HELLO_MAGIC
-        ));
+        let hello_corr = match wire::decode_request(&hello) {
+            Ok((corr, Request::Hello { magic })) if magic == HELLO_MAGIC => corr,
+            other => panic!("expected Hello, got {other:?}"),
+        };
         write_frame(
             &mut writer,
-            &wire::encode_response(&Response::HelloOk { shards: 1 }),
+            &wire::encode_response(hello_corr, &Response::HelloOk { shards: 1 }),
         )
         .unwrap();
-        // Play the script.
+        // Play the script, echoing each request's correlation id.
         let mut served = 0usize;
         for step in script {
             match read_frame(&mut reader) {
-                Ok(Some(_)) => {
+                Ok(Some(payload)) => {
                     served += 1;
                     if let Some(resp) = step {
-                        write_frame(&mut writer, &wire::encode_response(&resp)).unwrap();
+                        let corr = wire::peek_corr(&payload).expect("request carries a corr");
+                        write_frame(&mut writer, &wire::encode_response(corr, &resp)).unwrap();
                     }
                     // None: swallow the request silently.
                 }
@@ -286,7 +287,7 @@ fn version_mismatch_is_refused_at_connect() {
         let mut reader = BufReader::new(stream.try_clone().unwrap());
         let _ = read_frame(&mut reader).unwrap();
         // Reply HelloOk with a bumped version byte.
-        let mut payload = wire::encode_response(&Response::HelloOk { shards: 1 });
+        let mut payload = wire::encode_response(0, &Response::HelloOk { shards: 1 });
         payload[0] = wire::PROTOCOL_VERSION + 1;
         write_frame(&mut BufWriter::new(stream), &payload).unwrap();
     });

@@ -18,9 +18,9 @@ fn round_trip(spec: Specification) -> Specification {
         before: vec![],
         strategy: None,
     };
-    let buf = encode_request(&req);
+    let buf = encode_request(7, &req);
     match decode_request(&buf).expect("valid encoding must decode") {
-        Request::Open { spec, .. } => spec,
+        (7, Request::Open { spec, .. }) => spec,
         other => panic!("decoded to {other:?}"),
     }
 }
@@ -78,12 +78,15 @@ fn large_formulas_round_trip_within_the_frame_budget() {
     );
     let cnf = Cnf::new(vec![clause; 128]);
     let spec = Specification::new(cnf.clone(), Cnf::truth());
-    let encoded = encode_request(&Request::Open {
-        spec: spec.clone(),
-        after: vec![],
-        before: vec![],
-        strategy: None,
-    });
+    let encoded = encode_request(
+        0,
+        &Request::Open {
+            spec: spec.clone(),
+            after: vec![],
+            before: vec![],
+            strategy: None,
+        },
+    );
     assert!(
         encoded.len() <= MAX_FRAME,
         "{} bytes exceeds the frame budget",
@@ -161,6 +164,6 @@ proptest! {
             before: vec![],
             strategy: None,
         };
-        prop_assert_eq!(encode_request(&req), encode_request(&req));
+        prop_assert_eq!(encode_request(9, &req), encode_request(9, &req));
     }
 }

@@ -5,11 +5,11 @@
 use ks_core::Specification;
 use ks_kernel::EntityId;
 use ks_net::wire::{
-    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
-    Request, Response, WireMetrics, HELLO_MAGIC, MAX_FRAME,
+    decode_request, decode_response, encode_request, encode_response, peek_corr, read_frame,
+    write_frame, Request, Response, WireMetrics, HELLO_MAGIC, MAX_BATCH_OPS, MAX_FRAME,
 };
 use ks_predicate::{Atom, Clause, CmpOp, Cnf, Operand, Strategy as KsStrategy};
-use ks_server::ServerError;
+use ks_server::{BatchOp, BatchReply, ServerError};
 use proptest::prelude::*;
 
 fn arb_op() -> impl Strategy<Value = CmpOp> {
@@ -70,11 +70,34 @@ fn arb_detail() -> impl Strategy<Value = String> {
         .prop_map(|bytes| bytes.into_iter().map(char::from).collect())
 }
 
+fn arb_batch_ops_sized(min: usize) -> impl Strategy<Value = Vec<(u64, BatchOp)>> {
+    prop::collection::vec(
+        (any::<u64>(), any::<bool>(), any::<u32>(), any::<i64>()),
+        min..6,
+    )
+    .prop_map(|ops| {
+        ops.into_iter()
+            .map(|(txn, is_read, entity, value)| {
+                let op = if is_read {
+                    BatchOp::Read(EntityId(entity))
+                } else {
+                    BatchOp::Write(EntityId(entity), value)
+                };
+                (txn, op)
+            })
+            .collect()
+    })
+}
+
+fn arb_batch_ops() -> impl Strategy<Value = Vec<(u64, BatchOp)>> {
+    arb_batch_ops_sized(0)
+}
+
 // The vendored proptest shim has no `prop_oneof!`; variant selection is a
 // selector byte dispatched over a tuple of component strategies instead.
 fn arb_request() -> impl Strategy<Value = Request> {
     (
-        0u8..9,
+        0u8..10,
         (any::<u32>(), any::<u64>(), any::<i64>()),
         (
             arb_cnf(),
@@ -83,9 +106,10 @@ fn arb_request() -> impl Strategy<Value = Request> {
             prop::collection::vec(any::<u64>(), 0usize..4),
             arb_strategy(),
         ),
+        arb_batch_ops(),
     )
         .prop_map(
-            |(sel, (word, txn, value), (input, output, after, before, strategy))| match sel {
+            |(sel, (word, txn, value), (input, output, after, before, strategy), ops)| match sel {
                 0 => Request::Hello { magic: word },
                 1 => Request::Open {
                     spec: Specification::new(input, output),
@@ -106,49 +130,86 @@ fn arb_request() -> impl Strategy<Value = Request> {
                 5 => Request::Commit { txn },
                 6 => Request::Abort { txn },
                 7 => Request::Metrics,
+                8 => Request::Batch { ops },
                 _ => Request::Shutdown,
             },
         )
 }
 
+fn arb_batch_results() -> impl Strategy<Value = Vec<Result<BatchReply, (u16, String)>>> {
+    prop::collection::vec(
+        (0u8..3, any::<i64>(), any::<u16>(), arb_detail()),
+        0usize..6,
+    )
+    .prop_map(|results| {
+        results
+            .into_iter()
+            .map(|(sel, value, code, detail)| match sel {
+                0 => Ok(BatchReply::Done),
+                1 => Ok(BatchReply::Value(value)),
+                _ => Err((code, detail)),
+            })
+            .collect()
+    })
+}
+
 fn arb_response() -> impl Strategy<Value = Response> {
     (
-        0u8..7,
+        0u8..8,
         (any::<u32>(), any::<u64>(), any::<i64>(), any::<u16>()),
         prop::collection::vec(any::<u64>(), 8usize),
         arb_detail(),
+        arb_batch_results(),
     )
-        .prop_map(|(sel, (shards, txn, value, code), m, detail)| match sel {
-            0 => Response::HelloOk { shards },
-            1 => Response::Opened { txn },
-            2 => Response::Done,
-            3 => Response::Value { value },
-            4 => Response::Metrics(WireMetrics {
-                requests: m[0],
-                committed: m[1],
-                rejected: m[2],
-                backpressure: m[3],
-                timeouts: m[4],
-                sessions_in_flight: m[5],
-                p50_ns: m[6],
-                p99_ns: m[7],
-            }),
-            5 => Response::Error { code, detail },
-            _ => Response::Bye,
-        })
+        .prop_map(
+            |(sel, (shards, txn, value, code), m, detail, results)| match sel {
+                0 => Response::HelloOk { shards },
+                1 => Response::Opened { txn },
+                2 => Response::Done,
+                3 => Response::Value { value },
+                4 => Response::Metrics(WireMetrics {
+                    requests: m[0],
+                    committed: m[1],
+                    rejected: m[2],
+                    backpressure: m[3],
+                    timeouts: m[4],
+                    sessions_in_flight: m[5],
+                    p50_ns: m[6],
+                    p99_ns: m[7],
+                }),
+                5 => Response::Error { code, detail },
+                6 => Response::Batch { results },
+                _ => Response::Bye,
+            },
+        )
 }
 
 proptest! {
     #[test]
-    fn requests_round_trip(req in arb_request()) {
-        let buf = encode_request(&req);
-        prop_assert_eq!(decode_request(&buf).unwrap(), req);
+    fn requests_round_trip(req in arb_request(), corr in any::<u64>()) {
+        let buf = encode_request(corr, &req);
+        prop_assert_eq!(peek_corr(&buf), Some(corr));
+        prop_assert_eq!(decode_request(&buf).unwrap(), (corr, req));
     }
 
     #[test]
-    fn responses_round_trip(resp in arb_response()) {
-        let buf = encode_response(&resp);
-        prop_assert_eq!(decode_response(&buf).unwrap(), resp);
+    fn responses_round_trip(resp in arb_response(), corr in any::<u64>()) {
+        let buf = encode_response(corr, &resp);
+        prop_assert_eq!(peek_corr(&buf), Some(corr));
+        prop_assert_eq!(decode_response(&buf).unwrap(), (corr, resp));
+    }
+
+    /// Truncating a `Batch` frame anywhere — mid-op included — fails
+    /// closed: the decoder never yields a shorter batch that would
+    /// misalign per-op results with their ops.
+    #[test]
+    fn truncated_batches_fail_closed(
+        ops in arb_batch_ops_sized(1),
+        cut_seed in any::<usize>(),
+    ) {
+        let buf = encode_request(5, &Request::Batch { ops });
+        let cut = cut_seed % buf.len();
+        prop_assert!(decode_request(&buf[..cut]).is_err());
     }
 
     /// The decoder is total: arbitrary bytes produce `Ok` or `Err`,
@@ -162,7 +223,7 @@ proptest! {
     /// Truncating a valid frame at any point fails cleanly.
     #[test]
     fn truncations_fail_cleanly(req in arb_request(), cut in 0usize..64) {
-        let buf = encode_request(&req);
+        let buf = encode_request(1, &req);
         if cut < buf.len() {
             // Either a clean error, or (only when the truncation removed
             // nothing semantically) a shorter valid message — never a panic.
@@ -198,9 +259,9 @@ fn every_server_error_round_trips_through_the_wire() {
     ];
     for err in errors {
         let resp = Response::error(&err);
-        let buf = encode_response(&resp);
+        let buf = encode_response(3, &resp);
         let back = match decode_response(&buf).unwrap() {
-            Response::Error { code, detail } => Response::into_server_error(code, &detail),
+            (3, Response::Error { code, detail }) => Response::into_server_error(code, &detail),
             other => panic!("expected an error frame, got {other:?}"),
         };
         assert_eq!(back, err, "code {} must round-trip", err.code());
@@ -215,9 +276,9 @@ fn unknown_error_codes_fail_closed() {
         code: 0xBEEF,
         detail: "from the future".into(),
     };
-    let buf = encode_response(&resp);
+    let buf = encode_response(0, &resp);
     match decode_response(&buf).unwrap() {
-        Response::Error { code, detail } => {
+        (0, Response::Error { code, detail }) => {
             let err = Response::into_server_error(code, &detail);
             match err {
                 ServerError::Wire(msg) => {
@@ -235,10 +296,43 @@ fn unknown_error_codes_fail_closed() {
 /// revision, and this test is the tripwire.
 #[test]
 fn protocol_constants_are_pinned() {
-    assert_eq!(ks_net::PROTOCOL_VERSION, 1);
+    assert_eq!(ks_net::PROTOCOL_VERSION, 2);
     assert_eq!(HELLO_MAGIC, 0x4B53_4E50);
     assert_eq!(MAX_FRAME, 1 << 20);
-    let hello = encode_request(&Request::Hello { magic: HELLO_MAGIC });
-    assert_eq!(hello[0], 1, "version byte leads every payload");
-    assert_eq!(hello[1], 0x01, "Hello is message type 0x01");
+    assert_eq!(MAX_BATCH_OPS, 1024);
+    let corr = 0x0123_4567_89AB_CDEFu64;
+    let hello = encode_request(corr, &Request::Hello { magic: HELLO_MAGIC });
+    assert_eq!(hello[0], 2, "version byte leads every payload");
+    assert_eq!(
+        hello[1..9],
+        corr.to_le_bytes(),
+        "correlation id sits at payload[1..9], little-endian"
+    );
+    assert_eq!(hello[9], 0x01, "Hello is message type 0x01");
+    assert_eq!(peek_corr(&hello), Some(corr));
+}
+
+/// An empty batch and a batch at the op-count cap both round-trip; one
+/// past the cap is refused at encode-decode (the decoder fails closed
+/// before allocating).
+#[test]
+fn batch_bounds_round_trip() {
+    let empty = Request::Batch { ops: vec![] };
+    assert_eq!(
+        decode_request(&encode_request(1, &empty)).unwrap(),
+        (1, empty)
+    );
+    let full = Request::Batch {
+        ops: (0..MAX_BATCH_OPS as u32)
+            .map(|i| {
+                (
+                    u64::from(i % 7),
+                    BatchOp::Write(EntityId(i), i64::from(i) << 32),
+                )
+            })
+            .collect(),
+    };
+    let buf = encode_request(2, &full);
+    assert!(buf.len() <= MAX_FRAME, "a full batch fits the frame budget");
+    assert_eq!(decode_request(&buf).unwrap(), (2, full));
 }

@@ -26,6 +26,8 @@ pub enum OpCode {
     Abort,
     /// statistics snapshot.
     Stats,
+    /// `run_batch` — a read/write burst executed as one request.
+    Batch,
 }
 
 impl OpCode {
@@ -39,6 +41,7 @@ impl OpCode {
             OpCode::Commit => "commit",
             OpCode::Abort => "abort",
             OpCode::Stats => "stats",
+            OpCode::Batch => "batch",
         }
     }
 
@@ -51,6 +54,7 @@ impl OpCode {
             OpCode::Commit => 4,
             OpCode::Abort => 5,
             OpCode::Stats => 6,
+            OpCode::Batch => 7,
         }
     }
 
@@ -63,6 +67,7 @@ impl OpCode {
             4 => OpCode::Commit,
             5 => OpCode::Abort,
             6 => OpCode::Stats,
+            7 => OpCode::Batch,
             _ => return None,
         })
     }
@@ -77,6 +82,7 @@ impl OpCode {
             "commit" => OpCode::Commit,
             "abort" => OpCode::Abort,
             "stats" => OpCode::Stats,
+            "batch" => OpCode::Batch,
             _ => return None,
         })
     }
@@ -215,6 +221,19 @@ pub enum ObsKind {
         /// Nanoseconds of jittered backoff slept before this attempt.
         delay_ns: u64,
     },
+    /// Network: a remote client sent a `Batch` frame.
+    NetBatch {
+        /// Number of read/write ops packed into the frame.
+        ops: u32,
+    },
+    /// A shard worker woke up and drained a bounded batch of queued
+    /// requests in one pass. Timing-dependent (the count reflects queue
+    /// occupancy at wakeup), so deterministic trace comparisons must
+    /// ignore it.
+    WorkerDrain {
+        /// Number of requests drained this wakeup.
+        n: u32,
+    },
     /// Simulation: transaction (re)started.
     SimBegin,
     /// Simulation: a read executed.
@@ -257,6 +276,8 @@ impl ObsKind {
             ObsKind::ConnOpened { .. } => "conn_opened",
             ObsKind::ConnClosed { .. } => "conn_closed",
             ObsKind::NetRetry { .. } => "net_retry",
+            ObsKind::NetBatch { .. } => "net_batch",
+            ObsKind::WorkerDrain { .. } => "worker_drain",
             ObsKind::SimBegin => "sim_begin",
             ObsKind::SimRead { .. } => "sim_read",
             ObsKind::SimWrite { .. } => "sim_write",
@@ -296,6 +317,8 @@ impl ObsKind {
                 attempt,
                 delay_ns,
             } => (24, op.code(), attempt, delay_ns),
+            ObsKind::NetBatch { ops } => (25, ops, 0, 0),
+            ObsKind::WorkerDrain { n } => (26, n, 0, 0),
             ObsKind::SimBegin => (17, 0, 0, 0),
             ObsKind::SimRead { entity } => (18, entity, 0, 0),
             ObsKind::SimWrite { entity } => (19, entity, 0, 0),
@@ -362,6 +385,8 @@ impl ObsKind {
                 attempt: b,
                 delay_ns: c,
             },
+            25 => ObsKind::NetBatch { ops: a },
+            26 => ObsKind::WorkerDrain { n: a },
             17 => ObsKind::SimBegin,
             18 => ObsKind::SimRead { entity: a },
             19 => ObsKind::SimWrite { entity: a },
@@ -484,6 +509,9 @@ mod tests {
                 attempt: 4,
                 delay_ns: 2_500_000,
             },
+            ObsKind::NetBatch { ops: 6 },
+            ObsKind::WorkerDrain { n: 32 },
+            ObsKind::Enqueue { op: OpCode::Batch },
             ObsKind::SimBegin,
             ObsKind::SimRead { entity: 8 },
             ObsKind::SimWrite { entity: 9 },

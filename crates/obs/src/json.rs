@@ -108,6 +108,12 @@ pub fn event_to_json(ev: &ObsEvent) -> String {
                 op.name()
             );
         }
+        ObsKind::NetBatch { ops } => {
+            let _ = write!(s, ",\"ops\":{ops}");
+        }
+        ObsKind::WorkerDrain { n } => {
+            let _ = write!(s, ",\"n\":{n}");
+        }
         ObsKind::SimRead { entity } | ObsKind::SimWrite { entity } => {
             let _ = write!(s, ",\"entity\":{entity}");
         }
@@ -275,6 +281,8 @@ pub fn event_from_json(line_no: usize, text: &str) -> Result<ObsEvent, JsonError
             attempt: f.u32("attempt")?,
             delay_ns: f.u64("delay_ns")?,
         },
+        "net_batch" => ObsKind::NetBatch { ops: f.u32("ops")? },
+        "worker_drain" => ObsKind::WorkerDrain { n: f.u32("n")? },
         "sim_begin" => ObsKind::SimBegin,
         "sim_read" => ObsKind::SimRead {
             entity: f.u32("entity")?,

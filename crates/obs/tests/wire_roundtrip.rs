@@ -80,6 +80,16 @@ fn corpus() -> Vec<ObsEvent> {
             attempt: u32::MAX,
             delay_ns: u64::MAX / 2,
         },
+        ObsKind::NetBatch { ops: 0 },
+        ObsKind::NetBatch { ops: u32::MAX },
+        ObsKind::WorkerDrain { n: 1 },
+        ObsKind::WorkerDrain { n: u32::MAX },
+        ObsKind::Enqueue { op: OpCode::Batch },
+        ObsKind::Reply {
+            op: OpCode::Batch,
+            ok: true,
+            exec_ns: 42,
+        },
         ObsKind::SimBegin,
         ObsKind::SimRead { entity: 11 },
         ObsKind::SimWrite { entity: 12 },

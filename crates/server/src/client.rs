@@ -31,6 +31,7 @@ pub struct TxnBuilder<H> {
     after: Vec<H>,
     before: Vec<H>,
     strategy: Option<Strategy>,
+    pipeline_depth: usize,
 }
 
 impl<H: Copy> TxnBuilder<H> {
@@ -41,6 +42,7 @@ impl<H: Copy> TxnBuilder<H> {
             after: Vec::new(),
             before: Vec::new(),
             strategy: None,
+            pipeline_depth: 1,
         }
     }
 
@@ -85,11 +87,66 @@ impl<H: Copy> TxnBuilder<H> {
         self.strategy
     }
 
+    /// Hint how many request frames a transport may keep in flight on the
+    /// connection while serving this transaction's [`run_batch`]
+    /// (`Client::run_batch`) bursts. `1` (the default) is strict
+    /// request/reply lock-step; in-process transports ignore the hint.
+    pub fn pipeline_depth(mut self, depth: usize) -> Self {
+        self.pipeline_depth = depth.max(1);
+        self
+    }
+
+    /// The pipelining hint (always ≥ 1).
+    pub fn pipeline_depth_hint(&self) -> usize {
+        self.pipeline_depth
+    }
+
     /// Decompose into `(spec, after, before, strategy)` — used by
     /// transport implementations.
     pub fn into_parts(self) -> (Specification, Vec<H>, Vec<H>, Option<Strategy>) {
         (self.spec, self.after, self.before, self.strategy)
     }
+}
+
+/// One data-plane operation inside a [`Client::run_batch`] burst. Only
+/// reads and writes batch: lifecycle requests (`open`/`validate`/
+/// `commit`/`abort`) change what later ops in the same burst would mean,
+/// so they stay individual calls with individual outcomes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchOp {
+    /// Read an entity through the transaction's assigned version.
+    Read(EntityId),
+    /// Write a new version of an entity.
+    Write(EntityId, Value),
+}
+
+/// The per-op success payload of a [`Client::run_batch`] burst, mirroring
+/// the return types of [`Client::read`] and [`Client::write`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchReply {
+    /// A [`BatchOp::Read`] result.
+    Value(Value),
+    /// A [`BatchOp::Write`] acknowledgement.
+    Done,
+}
+
+/// The portable fallback behind [`Client::run_batch`]: one call per op,
+/// in order. Transport overrides that hit an edge they cannot batch
+/// (e.g. a cross-shard op) delegate here so semantics stay identical.
+pub fn per_op_batch<C: Client + ?Sized>(
+    client: &C,
+    txn: C::Handle,
+    ops: &[BatchOp],
+) -> Result<Vec<Result<BatchReply, ServerError>>, ServerError> {
+    Ok(ops
+        .iter()
+        .map(|op| match *op {
+            BatchOp::Read(entity) => client.read(txn, entity).map(BatchReply::Value),
+            BatchOp::Write(entity, value) => {
+                client.write(txn, entity, value).map(|()| BatchReply::Done)
+            }
+        })
+        .collect())
 }
 
 /// The client-visible contract of the KS transaction service.
@@ -135,6 +192,29 @@ pub trait Client {
 
     /// Abort (idempotent: acknowledging a re-eval abort is not an error).
     fn abort(&self, txn: Self::Handle) -> Result<(), ServerError>;
+
+    /// Run a burst of read/write ops against one transaction, returning a
+    /// result per op in submission order.
+    ///
+    /// Semantically identical to calling [`read`](Client::read)/
+    /// [`write`](Client::write) one by one — and that is the default
+    /// implementation — but transports may amortize: the in-process
+    /// session makes one worker rendezvous for the whole burst, the
+    /// networked session packs the burst into `Batch` wire frames and
+    /// pipelines them up to the transaction's
+    /// [`pipeline_depth`](TxnBuilder::pipeline_depth).
+    ///
+    /// The outer `Err` is a transport/batch-level failure (nothing can be
+    /// said about individual ops); per-op verdicts — including re-eval
+    /// aborts triggered by an *earlier op in the same burst* — arrive in
+    /// the inner results.
+    fn run_batch(
+        &self,
+        txn: Self::Handle,
+        ops: &[BatchOp],
+    ) -> Result<Vec<Result<BatchReply, ServerError>>, ServerError> {
+        per_op_batch(self, txn, ops)
+    }
 }
 
 #[cfg(test)]
@@ -156,5 +236,14 @@ mod tests {
         assert!(spec.input.is_truth());
         assert_eq!((after, before), (vec![1, 2], vec![9]));
         assert_eq!(strategy, Some(Strategy::GreedyLatest));
+    }
+
+    #[test]
+    fn pipeline_depth_defaults_to_one_and_clamps_zero() {
+        let b: TxnBuilder<u64> = TxnBuilder::new(Specification::new(Cnf::truth(), Cnf::truth()));
+        assert_eq!(b.pipeline_depth_hint(), 1);
+        assert_eq!(b.pipeline_depth(0).pipeline_depth_hint(), 1);
+        let b: TxnBuilder<u64> = TxnBuilder::new(Specification::new(Cnf::truth(), Cnf::truth()));
+        assert_eq!(b.pipeline_depth(8).pipeline_depth_hint(), 8);
     }
 }

@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod client;
 pub mod config;
 pub mod error;
@@ -51,7 +52,8 @@ pub mod verify;
 
 pub(crate) mod worker;
 
-pub use client::{Client, TxnBuilder};
+pub use backoff::Backoff;
+pub use client::{per_op_batch, BatchOp, BatchReply, Client, TxnBuilder};
 pub use config::{ConfigError, ServerConfig, ServerConfigBuilder};
 pub use error::ServerError;
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ServerMetrics};
@@ -127,6 +129,53 @@ mod tests {
         assert!(report.is_correct(), "{report:?}");
         assert_eq!(report.committed, 1);
         assert_eq!(report.shards, 4);
+    }
+
+    #[test]
+    fn run_batch_matches_per_op_semantics() {
+        let svc = service(8, 4);
+        let session = svc.session().unwrap();
+        let spec = tautology_spec(&[EntityId(1), EntityId(5)]);
+        let txn = session.open(TxnBuilder::new(spec)).unwrap();
+        session.validate(txn).unwrap();
+        let results = session
+            .run_batch(
+                txn,
+                &[
+                    BatchOp::Write(EntityId(5), 42),
+                    BatchOp::Read(EntityId(1)),
+                    // Reads observe the assigned version, not own writes.
+                    BatchOp::Read(EntityId(5)),
+                ],
+            )
+            .unwrap();
+        assert_eq!(
+            results,
+            vec![
+                Ok(BatchReply::Done),
+                Ok(BatchReply::Value(0)),
+                Ok(BatchReply::Value(0)),
+            ]
+        );
+        session.commit(txn).unwrap();
+        // A burst touching a foreign shard falls back to per-op verdicts:
+        // the in-shard op still executes, the cross-shard op gets its own
+        // error instead of failing the whole batch.
+        let txn2 = session
+            .open(TxnBuilder::new(tautology_spec(&[EntityId(1)])))
+            .unwrap();
+        session.validate(txn2).unwrap();
+        let results = session
+            .run_batch(
+                txn2,
+                &[BatchOp::Read(EntityId(1)), BatchOp::Read(EntityId(0))],
+            )
+            .unwrap();
+        assert_eq!(results[0], Ok(BatchReply::Value(0)));
+        assert_eq!(results[1], Err(ServerError::CrossShard));
+        session.abort(txn2).unwrap();
+        drop(session);
+        assert!(verify_managers(&svc.shutdown()).is_correct());
     }
 
     #[test]
@@ -324,16 +373,22 @@ mod tests {
                     let entities: Vec<EntityId> = (0..n / shards)
                         .map(|i| EntityId((i * shards + shard) as u32))
                         .collect();
+                    let mut backoff = Backoff::new(
+                        std::time::Duration::from_micros(5),
+                        std::time::Duration::from_micros(500),
+                        client as u64,
+                    );
                     for round in 0..5 {
                         let spec = tautology_spec(&entities);
                         let txn = session.open(TxnBuilder::new(spec)).unwrap();
                         loop {
                             match session.validate(txn) {
                                 Ok(()) => break,
-                                Err(e) if e.is_retryable() => std::thread::yield_now(),
+                                Err(e) if e.is_retryable() => backoff.snooze(),
                                 Err(e) => panic!("validate: {e}"),
                             }
                         }
+                        backoff.reset();
                         let mut ok = true;
                         for (i, &e) in entities.iter().enumerate() {
                             let value = (client * 1000 + round * 10 + i) as i64;

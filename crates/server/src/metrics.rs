@@ -37,6 +37,16 @@ impl LatencyHistogram {
         self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record a raw count observation (same log₂ bucketing, the unit is
+    /// just "items" instead of nanoseconds) — used for batch-size
+    /// distributions, where [`quantile`] then answers "how big is the
+    /// p99 batch".
+    pub fn record_n(&self, n: u64) {
+        let n = n.max(1);
+        let bucket = (63 - n.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Snapshot the bucket counts.
     pub fn counts(&self) -> [u64; BUCKETS] {
         let mut out = [0u64; BUCKETS];
@@ -104,6 +114,11 @@ pub struct ServerMetrics {
     pub queue_wait: LatencyHistogram,
     /// Time the worker spent executing (dequeue → reply sent).
     pub exec_time: LatencyHistogram,
+    /// Ops-per-`run_batch` distribution (count-valued, see
+    /// [`LatencyHistogram::record_n`]).
+    pub op_batch: LatencyHistogram,
+    /// Requests-drained-per-worker-wakeup distribution (count-valued).
+    pub drain_batch: LatencyHistogram,
     /// Request round-trip latencies (measured at the session), per shard.
     shard_latency: Vec<LatencyHistogram>,
 }
@@ -131,6 +146,8 @@ impl ServerMetrics {
             reeval_aborts: AtomicU64::new(0),
             queue_wait: LatencyHistogram::default(),
             exec_time: LatencyHistogram::default(),
+            op_batch: LatencyHistogram::default(),
+            drain_batch: LatencyHistogram::default(),
             shard_latency: (0..shards.max(1))
                 .map(|_| LatencyHistogram::default())
                 .collect(),
@@ -321,6 +338,21 @@ mod tests {
     fn empty_histogram_has_no_quantiles() {
         let h = LatencyHistogram::default();
         assert_eq!(quantile(&h.counts(), 0.5), None);
+    }
+
+    #[test]
+    fn record_n_buckets_by_count() {
+        let h = LatencyHistogram::default();
+        h.record_n(0); // clamped to 1 → bucket 0
+        h.record_n(1); // bucket 0
+        h.record_n(6); // bucket 2: [4, 8)
+        h.record_n(32); // bucket 5: [32, 64)
+        let counts = h.counts();
+        assert_eq!(counts[0], 2);
+        assert_eq!(counts[2], 1);
+        assert_eq!(counts[5], 1);
+        // "p99 batch size" reads off the same quantile machinery.
+        assert_eq!(quantile(&counts, 1.0), Some(Duration::from_nanos(64)));
     }
 
     /// Regression: bucket 62's upper edge is `2^63` ns, which is

@@ -12,11 +12,11 @@
 //!
 //! Transient outcomes ([`ServerError::Busy`],
 //! [`ServerError::Backpressure`], [`ServerError::Timeout`]) are
-//! classified by [`ServerError::is_retryable`]; in-process callers
-//! typically retry them with `std::thread::yield_now`, remote callers
-//! with jittered backoff.
+//! classified by [`ServerError::is_retryable`]; callers retry them with
+//! the shared bounded jittered [`Backoff`](crate::backoff::Backoff) —
+//! the same schedule remote callers use on the wire.
 
-use crate::client::{Client, TxnBuilder};
+use crate::client::{BatchOp, BatchReply, Client, TxnBuilder};
 use crate::service::Shared;
 use crate::worker::{Request, Routed};
 use crate::ServerError;
@@ -228,6 +228,34 @@ impl Client for Session {
         });
         self.forget_if_terminal(handle, &result);
         result
+    }
+
+    /// One worker rendezvous for the whole burst instead of one per op:
+    /// entities are localized up front, then the ops travel as a single
+    /// [`Request::OpBatch`]. A burst touching an entity outside the
+    /// transaction's shard falls back to the per-op path, which reports
+    /// [`ServerError::CrossShard`] on exactly the offending ops.
+    fn run_batch(
+        &self,
+        handle: TxnHandle,
+        ops: &[BatchOp],
+    ) -> Result<Vec<Result<BatchReply, ServerError>>, ServerError> {
+        let mut local = Vec::with_capacity(ops.len());
+        for op in ops {
+            let localized = match *op {
+                BatchOp::Read(e) => self.localize(handle, e).map(BatchOp::Read),
+                BatchOp::Write(e, v) => self.localize(handle, e).map(|le| BatchOp::Write(le, v)),
+            };
+            match localized {
+                Ok(op) => local.push(op),
+                Err(_) => return crate::client::per_op_batch(self, handle, ops),
+            }
+        }
+        self.call(handle.shard, |reply| Request::OpBatch {
+            txn: handle.txn,
+            ops: local,
+            reply,
+        })
     }
 }
 

@@ -7,7 +7,16 @@
 //! in-flight version replies [`ServerError::Busy`] and lets the session
 //! retry, because the transaction being waited on is served by this same
 //! queue.
+//!
+//! Each wakeup drains up to [`DRAIN_MAX`] queued requests in one pass
+//! (one blocking `recv`, then non-blocking `try_recv`s), so under load
+//! the channel rendezvous cost is amortized across a batch instead of
+//! paid per op; the bound keeps any single wakeup from starving
+//! shutdown. A whole read/write burst can also arrive as one
+//! [`Request::OpBatch`], which executes its ops back-to-back with a
+//! single reply rendezvous.
 
+use crate::client::{BatchOp, BatchReply};
 use crate::metrics::ServerMetrics;
 use crate::ServerError;
 use crossbeam::channel::{Receiver, Sender};
@@ -60,6 +69,18 @@ pub(crate) enum Request {
         value: Value,
         reply: Sender<Result<(), ServerError>>,
     },
+    /// A read/write burst executed back-to-back with one reply
+    /// rendezvous. Each op carries its own verdict — including re-eval
+    /// aborts triggered by an earlier op of the same burst. The outer
+    /// `Result` is always `Ok` from the worker; the envelope exists so
+    /// the session's rendezvous machinery can surface transport-level
+    /// failures (backpressure, timeout) batch-wide.
+    OpBatch {
+        txn: Txn,
+        ops: Vec<BatchOp>,
+        #[allow(clippy::type_complexity)]
+        reply: Sender<Result<Vec<Result<BatchReply, ServerError>>, ServerError>>,
+    },
     /// Commit (checks the output condition).
     Commit {
         txn: Txn,
@@ -84,6 +105,7 @@ impl Request {
             Request::Validate { .. } => OpCode::Validate,
             Request::Read { .. } => OpCode::Read,
             Request::Write { .. } => OpCode::Write,
+            Request::OpBatch { .. } => OpCode::Batch,
             Request::Commit { .. } => OpCode::Commit,
             Request::Abort { .. } => OpCode::Abort,
             Request::Stats { .. } | Request::Shutdown => OpCode::Stats,
@@ -97,6 +119,7 @@ impl Request {
             Request::Validate { txn, .. }
             | Request::Read { txn, .. }
             | Request::Write { txn, .. }
+            | Request::OpBatch { txn, .. }
             | Request::Commit { txn, .. }
             | Request::Abort { txn, .. } => txn.0 as u32,
             Request::Define { .. } | Request::Stats { .. } | Request::Shutdown => NO_TXN,
@@ -120,6 +143,56 @@ fn precheck(pm: &ProtocolManager, txn: Txn) -> Result<(), ServerError> {
     }
 }
 
+/// Execute one read against the manager (shared by `Read` and `OpBatch`).
+fn exec_read(
+    pm: &mut ProtocolManager,
+    metrics: &ServerMetrics,
+    txn: Txn,
+    entity: EntityId,
+) -> Result<Value, ServerError> {
+    precheck(pm, txn).and_then(|()| match pm.read(txn, entity) {
+        Ok(ReadOutcome::Value(v)) => Ok(v),
+        Ok(ReadOutcome::Blocked(_)) => Err(ServerError::Busy),
+        Err(e) => {
+            ServerMetrics::add(&metrics.rejected);
+            Err(reject(e))
+        }
+    })
+}
+
+/// Execute one write against the manager (shared by `Write` and
+/// `OpBatch`), counting re-eval consequences.
+fn exec_write(
+    pm: &mut ProtocolManager,
+    metrics: &ServerMetrics,
+    txn: Txn,
+    entity: EntityId,
+    value: Value,
+) -> Result<(), ServerError> {
+    precheck(pm, txn).and_then(|()| match pm.write(txn, entity, value) {
+        Ok(report) => {
+            for action in &report.reeval {
+                match action {
+                    ReEvalAction::Reassigned(_) => ServerMetrics::add(&metrics.re_assigns),
+                    ReEvalAction::Aborted(_) | ReEvalAction::ReassignFailedAborted(_) => {
+                        ServerMetrics::add(&metrics.reeval_aborts)
+                    }
+                }
+            }
+            Ok(())
+        }
+        Err(e) => {
+            ServerMetrics::add(&metrics.rejected);
+            Err(reject(e))
+        }
+    })
+}
+
+/// Upper bound on requests drained per wakeup: big enough to amortize
+/// the channel rendezvous under load, small enough that a saturated
+/// queue cannot indefinitely delay the shutdown message behind it.
+const DRAIN_MAX: usize = 32;
+
 /// Drain requests until shutdown (message or all senders gone); returns
 /// the manager for post-run extraction and model checking.
 ///
@@ -133,158 +206,172 @@ pub(crate) fn run(
     metrics: Arc<ServerMetrics>,
     sink: Option<ObsSink>,
 ) -> ProtocolManager {
-    while let Ok(Routed { enqueued, request }) = requests.recv() {
-        let queue_wait = enqueued.elapsed();
-        metrics.queue_wait.record(queue_wait);
-        ServerMetrics::add(&metrics.requests);
-        let (op, txn32) = (request.op(), request.txn_u32());
+    let mut drained: Vec<Routed> = Vec::with_capacity(DRAIN_MAX);
+    'serve: loop {
+        match requests.recv() {
+            Ok(first) => drained.push(first),
+            Err(_) => break,
+        }
+        while drained.len() < DRAIN_MAX {
+            match requests.try_recv() {
+                Ok(r) => drained.push(r),
+                Err(_) => break,
+            }
+        }
+        metrics.drain_batch.record_n(drained.len() as u64);
         if let Some(s) = &sink {
             s.emit(
-                txn32,
-                ObsKind::Execute {
-                    op,
-                    queue_ns: queue_wait.as_nanos() as u64,
+                NO_TXN,
+                ObsKind::WorkerDrain {
+                    n: drained.len() as u32,
                 },
             );
         }
-        let exec_start = Instant::now();
-        let ok = match request {
-            Request::Define {
-                spec,
-                after,
-                before,
-                reply,
-            } => {
-                let root = pm.root();
-                let result = pm.define(root, spec, &after, &before).map_err(|e| {
-                    ServerMetrics::add(&metrics.rejected);
-                    reject(e)
-                });
-                let ok = result.is_ok();
-                let _ = reply.send(result);
-                ok
+        for Routed { enqueued, request } in drained.drain(..) {
+            let queue_wait = enqueued.elapsed();
+            metrics.queue_wait.record(queue_wait);
+            ServerMetrics::add(&metrics.requests);
+            let (op, txn32) = (request.op(), request.txn_u32());
+            if let Some(s) = &sink {
+                s.emit(
+                    txn32,
+                    ObsKind::Execute {
+                        op,
+                        queue_ns: queue_wait.as_nanos() as u64,
+                    },
+                );
             }
-            Request::Validate {
-                txn,
-                strategy,
-                reply,
-            } => {
-                let result = precheck(&pm, txn).and_then(|()| match pm.validate(txn, strategy) {
-                    Ok(ValidationOutcome::Validated) => Ok(()),
-                    Ok(ValidationOutcome::Blocked(_)) | Ok(ValidationOutcome::MustWait(_)) => {
-                        Err(ServerError::Busy)
-                    }
-                    Ok(ValidationOutcome::CannotSatisfy) => {
+            let exec_start = Instant::now();
+            let ok = match request {
+                Request::Define {
+                    spec,
+                    after,
+                    before,
+                    reply,
+                } => {
+                    let root = pm.root();
+                    let result = pm.define(root, spec, &after, &before).map_err(|e| {
                         ServerMetrics::add(&metrics.rejected);
-                        Err(ServerError::Rejected(
-                            "no version assignment satisfies the input predicate".into(),
-                        ))
-                    }
-                    Err(e) => {
-                        ServerMetrics::add(&metrics.rejected);
-                        Err(reject(e))
-                    }
-                });
-                let ok = result.is_ok();
-                let _ = reply.send(result);
-                ok
-            }
-            Request::Read { txn, entity, reply } => {
-                let result = precheck(&pm, txn).and_then(|()| match pm.read(txn, entity) {
-                    Ok(ReadOutcome::Value(v)) => Ok(v),
-                    Ok(ReadOutcome::Blocked(_)) => Err(ServerError::Busy),
-                    Err(e) => {
-                        ServerMetrics::add(&metrics.rejected);
-                        Err(reject(e))
-                    }
-                });
-                let ok = result.is_ok();
-                let _ = reply.send(result);
-                ok
-            }
-            Request::Write {
-                txn,
-                entity,
-                value,
-                reply,
-            } => {
-                let result = precheck(&pm, txn).and_then(|()| match pm.write(txn, entity, value) {
-                    Ok(report) => {
-                        for action in &report.reeval {
-                            match action {
-                                ReEvalAction::Reassigned(_) => {
-                                    ServerMetrics::add(&metrics.re_assigns)
-                                }
-                                ReEvalAction::Aborted(_)
-                                | ReEvalAction::ReassignFailedAborted(_) => {
-                                    ServerMetrics::add(&metrics.reeval_aborts)
-                                }
+                        reject(e)
+                    });
+                    let ok = result.is_ok();
+                    let _ = reply.send(result);
+                    ok
+                }
+                Request::Validate {
+                    txn,
+                    strategy,
+                    reply,
+                } => {
+                    let result =
+                        precheck(&pm, txn).and_then(|()| match pm.validate(txn, strategy) {
+                            Ok(ValidationOutcome::Validated) => Ok(()),
+                            Ok(ValidationOutcome::Blocked(_))
+                            | Ok(ValidationOutcome::MustWait(_)) => Err(ServerError::Busy),
+                            Ok(ValidationOutcome::CannotSatisfy) => {
+                                ServerMetrics::add(&metrics.rejected);
+                                Err(ServerError::Rejected(
+                                    "no version assignment satisfies the input predicate".into(),
+                                ))
                             }
+                            Err(e) => {
+                                ServerMetrics::add(&metrics.rejected);
+                                Err(reject(e))
+                            }
+                        });
+                    let ok = result.is_ok();
+                    let _ = reply.send(result);
+                    ok
+                }
+                Request::Read { txn, entity, reply } => {
+                    let result = exec_read(&mut pm, &metrics, txn, entity);
+                    let ok = result.is_ok();
+                    let _ = reply.send(result);
+                    ok
+                }
+                Request::Write {
+                    txn,
+                    entity,
+                    value,
+                    reply,
+                } => {
+                    let result = exec_write(&mut pm, &metrics, txn, entity, value);
+                    let ok = result.is_ok();
+                    let _ = reply.send(result);
+                    ok
+                }
+                Request::OpBatch { txn, ops, reply } => {
+                    metrics.op_batch.record_n(ops.len() as u64);
+                    let results: Vec<Result<BatchReply, ServerError>> = ops
+                        .iter()
+                        .map(|op| match *op {
+                            BatchOp::Read(entity) => {
+                                exec_read(&mut pm, &metrics, txn, entity).map(BatchReply::Value)
+                            }
+                            BatchOp::Write(entity, value) => {
+                                exec_write(&mut pm, &metrics, txn, entity, value)
+                                    .map(|()| BatchReply::Done)
+                            }
+                        })
+                        .collect();
+                    let ok = results.iter().all(|r| r.is_ok());
+                    let _ = reply.send(Ok(results));
+                    ok
+                }
+                Request::Commit { txn, reply } => {
+                    let result = precheck(&pm, txn).and_then(|()| match pm.commit(txn) {
+                        Ok(CommitOutcome::Committed) => {
+                            ServerMetrics::add(&metrics.committed);
+                            Ok(())
                         }
-                        Ok(())
-                    }
-                    Err(e) => {
-                        ServerMetrics::add(&metrics.rejected);
-                        Err(reject(e))
-                    }
-                });
-                let ok = result.is_ok();
-                let _ = reply.send(result);
-                ok
+                        Ok(CommitOutcome::PredecessorsPending(_))
+                        | Ok(CommitOutcome::ChildrenPending(_)) => Err(ServerError::Busy),
+                        Ok(CommitOutcome::OutputViolated) => {
+                            // The transaction cannot terminate successfully;
+                            // abort it so its versions don't dangle.
+                            let _ = pm.abort(txn);
+                            ServerMetrics::add(&metrics.rejected);
+                            Err(ServerError::Rejected("output condition violated".into()))
+                        }
+                        Err(e) => {
+                            ServerMetrics::add(&metrics.rejected);
+                            Err(reject(e))
+                        }
+                    });
+                    let ok = result.is_ok();
+                    let _ = reply.send(result);
+                    ok
+                }
+                Request::Abort { txn, reply } => {
+                    // Aborting an already-aborted transaction is a no-op ack,
+                    // not an error: the session is acknowledging the doom.
+                    let result = match pm.state_of(txn) {
+                        Ok(TxnState::Aborted) => Ok(()),
+                        Ok(_) => pm.abort(txn).map(|_| ()).map_err(reject),
+                        Err(e) => Err(reject(e)),
+                    };
+                    let ok = result.is_ok();
+                    let _ = reply.send(result);
+                    ok
+                }
+                Request::Stats { reply } => {
+                    let _ = reply.send(pm.stats());
+                    true
+                }
+                Request::Shutdown => break 'serve,
+            };
+            let exec = exec_start.elapsed();
+            metrics.exec_time.record(exec);
+            if let Some(s) = &sink {
+                s.emit(
+                    txn32,
+                    ObsKind::Reply {
+                        op,
+                        ok,
+                        exec_ns: exec.as_nanos() as u64,
+                    },
+                );
             }
-            Request::Commit { txn, reply } => {
-                let result = precheck(&pm, txn).and_then(|()| match pm.commit(txn) {
-                    Ok(CommitOutcome::Committed) => {
-                        ServerMetrics::add(&metrics.committed);
-                        Ok(())
-                    }
-                    Ok(CommitOutcome::PredecessorsPending(_))
-                    | Ok(CommitOutcome::ChildrenPending(_)) => Err(ServerError::Busy),
-                    Ok(CommitOutcome::OutputViolated) => {
-                        // The transaction cannot terminate successfully;
-                        // abort it so its versions don't dangle.
-                        let _ = pm.abort(txn);
-                        ServerMetrics::add(&metrics.rejected);
-                        Err(ServerError::Rejected("output condition violated".into()))
-                    }
-                    Err(e) => {
-                        ServerMetrics::add(&metrics.rejected);
-                        Err(reject(e))
-                    }
-                });
-                let ok = result.is_ok();
-                let _ = reply.send(result);
-                ok
-            }
-            Request::Abort { txn, reply } => {
-                // Aborting an already-aborted transaction is a no-op ack,
-                // not an error: the session is acknowledging the doom.
-                let result = match pm.state_of(txn) {
-                    Ok(TxnState::Aborted) => Ok(()),
-                    Ok(_) => pm.abort(txn).map(|_| ()).map_err(reject),
-                    Err(e) => Err(reject(e)),
-                };
-                let ok = result.is_ok();
-                let _ = reply.send(result);
-                ok
-            }
-            Request::Stats { reply } => {
-                let _ = reply.send(pm.stats());
-                true
-            }
-            Request::Shutdown => break,
-        };
-        let exec = exec_start.elapsed();
-        metrics.exec_time.record(exec);
-        if let Some(s) = &sink {
-            s.emit(
-                txn32,
-                ObsKind::Reply {
-                    op,
-                    ok,
-                    exec_ns: exec.as_nanos() as u64,
-                },
-            );
         }
     }
     pm

@@ -26,8 +26,11 @@ cargo run --release -q -p ks-bench --bin exp_server_load -- --smoke
 echo "== ks-net integration tests (loopback + retry/backoff + wire fuzz)"
 cargo test -q -p ks-net
 
-echo "== exp_net_load --smoke (loopback TCP vs in-process)"
+echo "== exp_net_load --smoke (loopback TCP vs in-process, pipeline×batch sweep)"
 cargo run --release -q -p ks-bench --bin exp_net_load -- --smoke
+
+echo "== validate_bench (BENCH_*.json schema + zero violations)"
+cargo run --release -q -p ks-bench --bin validate_bench -- BENCH_net.json BENCH_server.json
 
 echo "== ks-dst (determinism + teeth + proto fuzz)"
 cargo test -q -p ks-dst
@@ -39,4 +42,4 @@ echo "== dst_smoke teeth (a disabled protection must be caught)"
 cargo run --release -q -p ks-bench --bin dst_smoke -- \
     --seeds 25 --disable timeout-carveout --expect-violation
 
-echo "OK: fmt, clippy, tests, obs wire round-trip, server smoke, net smoke, dst gate all green"
+echo "OK: fmt, clippy, tests, obs wire round-trip, server smoke, net smoke, bench gate, dst gate all green"

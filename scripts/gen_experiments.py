@@ -230,20 +230,27 @@ also scales with ordering density (top table):
 
 *Beyond the paper:* `ks-server` runs the Section 5 protocol as a
 multi-session service — entities sharded across worker threads, each shard
-a private protocol manager, blocking client sessions with retry-on-`Busy`.
+a private protocol manager, blocking client sessions with bounded
+jittered retry/backoff on `Busy`.
 *Measured:* 8 closed-loop clients; throughput grows with shard count while
 every run's extracted execution passes the model checker (the correctness
-theorem survives the serving layer). The strategy ablation shows greedy
-assignment reading in-flight versions and paying re-eval aborts that
-backtracking avoids. The final section measures the `ks-obs` flight
-recorder's cost: the identical workload with the recorder detached vs.
-attached (best of 5 each), printing both throughputs, the event volume,
-and the relative delta — the always-on tracing budget is <10% of
-throughput. The backtracking rows and the zero-violation verdict
-are deterministic; the greedy-latest commit/abort split depends on thread
-interleaving (it reads in-flight versions, so whether a writer supersedes
-in time varies), and wall-clock-derived columns (`thru`, `p50`, `p99`,
-the overhead delta) vary by machine.
+theorem survives the serving layer). The op-batching section reruns the
+workload with each transaction's read/write burst submitted as one
+`Session::run_batch` call — one dispatch, one coalesced worker run, typed
+per-op results — instead of one dispatch per op; the burst path wins
+because it crosses the session/worker boundary once per transaction. The
+strategy ablation shows greedy assignment reading in-flight versions and
+paying re-eval aborts that backtracking avoids. The final section
+measures the `ks-obs` flight recorder's cost: the identical workload with
+the recorder detached vs. attached (best of 5 each), printing both
+throughputs, the event volume, and the relative delta — the always-on
+tracing budget is <10% of throughput. The backtracking rows and the
+zero-violation verdict are deterministic; the greedy-latest commit/abort
+split depends on thread interleaving (it reads in-flight versions, so
+whether a writer supersedes in time varies), and wall-clock-derived
+columns (`thru`, `p50`, `p99`, the overhead delta) vary by machine. The
+run also emits `BENCH_server.json`, the machine-readable record that
+`validate_bench` checks in CI (schema + zero violations).
 
 ```
 {exp_server_load}
@@ -252,17 +259,25 @@ the overhead delta) vary by machine.
 ## net-load — the same client API over loopback TCP
 
 *Beyond the paper:* `ks-net` puts the service behind a length-prefixed
-binary wire protocol. The experiment runs one deterministic closed-loop
-workload twice through the transport-generic driver: once with in-process
-`Session`s, once with loopback-TCP `RemoteSession`s (per-request
-deadlines and bounded jittered retry/backoff active). Both runs finish
-with a graceful drain handing every shard manager to the model checker.
-*Measured:* the two transports account for identical transaction
-outcomes, the loopback run sustains a healthy fraction of in-process
-throughput (the wire adds a syscall round trip per request, not a new
-bottleneck — the shard managers bound both), and every extracted
-execution is correct. Committed counts and the zero-violation verdict
-are deterministic; throughput, the ratio, and p99 vary by machine.
+binary wire protocol (protocol v2: correlation ids, pipelining, `Batch`
+frames — see `docs/wire.md`). The experiment runs one deterministic
+closed-loop workload through the transport-generic driver: once with
+in-process `Session`s (the baseline), then over loopback-TCP
+`RemoteSession`s sweeping pipeline depth {{1, 4}} × op batching
+{{off, on}} (per-request deadlines and bounded jittered retry/backoff
+active throughout). Every run finishes with a graceful drain handing
+every shard manager to the model checker.
+*Measured:* all transports and configurations account for identical
+transaction outcomes, and every extracted execution is correct. Batching
+is the big lever: folding each transaction's six-op burst into one
+`Batch` frame removes five of six syscall round trips, lifting the best
+loopback configuration to ≥0.7× in-process throughput at 4 shards (the
+gate the run records in `BENCH_net.json` and `validate_bench` enforces).
+Depth 4 *loses* to depth 1 on this workload — splitting a six-op burst
+into ⌈6/4⌉-op frames buys overlap that cannot repay the extra framing
+at loopback latency; the sweep keeps the honest number. Committed counts
+and the zero-violation verdict are deterministic; throughput, the ratio,
+and the percentiles vary by machine.
 
 ```
 {exp_net_load}
