@@ -11,7 +11,8 @@
 //! ```
 //!
 //! `--disable <protection>` switches one of the stack's protections off
-//! (`frame-retention`, `timeout-carveout`, `abort-on-disconnect`);
+//! (`frame-retention`, `timeout-carveout`, `abort-on-disconnect`,
+//! `commit-flush`);
 //! combined with `--expect-violation` the exit code inverts — success
 //! means the oracles *caught* the now-unprotected bug, which is how CI
 //! proves the test suite has teeth.
@@ -29,7 +30,7 @@ use std::process::ExitCode;
 fn usage() -> ! {
     eprintln!(
         "usage: dst_smoke [--seeds N] [--replay SEED] [--disable PROTECTION] [--expect-violation]\n\
-         protections: frame-retention | timeout-carveout | abort-on-disconnect"
+         protections: frame-retention | timeout-carveout | abort-on-disconnect | commit-flush"
     );
     std::process::exit(2);
 }

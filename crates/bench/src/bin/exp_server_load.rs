@@ -22,7 +22,11 @@ use std::time::{Duration, Instant};
 
 const CLIENTS: usize = 8;
 const TOTAL_ENTITIES: usize = 64;
-const TXNS_PER_CLIENT: usize = 12;
+/// Per-client transaction count: smoke keeps CI fast; the full run is
+/// sized so each config commits hundreds of transactions and the
+/// latency quantiles/throughput mean something.
+const TXNS_SMOKE: usize = 12;
+const TXNS_FULL: usize = 96;
 const OPS_PER_TXN: usize = 6;
 /// Ring capacity (events per shard) for the tracing-overhead runs: big
 /// enough that a full run never wraps, so `recorded()` counts every event.
@@ -53,7 +57,13 @@ impl RunResult {
 
 /// One client: open a session and run its slice of the shared
 /// deterministic workload through the transport-generic driver.
-fn run_client(svc: &TxnService, client: usize, shards: usize, batch: bool) -> DriveOutcome {
+fn run_client(
+    svc: &TxnService,
+    client: usize,
+    shards: usize,
+    batch: bool,
+    txns: usize,
+) -> DriveOutcome {
     let session = svc.session().expect("admission (sessions \u{2264} cap)");
     drive_client(
         &session,
@@ -61,7 +71,7 @@ fn run_client(svc: &TxnService, client: usize, shards: usize, batch: bool) -> Dr
             client,
             shards,
             total_entities: TOTAL_ENTITIES,
-            txns: TXNS_PER_CLIENT,
+            txns,
             ops_per_txn: OPS_PER_TXN,
             seed: 0xC0FFEE,
             retry_budget: RETRY_BUDGET,
@@ -76,6 +86,7 @@ fn run_one(
     strategy: Strategy,
     recorder: Option<Recorder>,
     batch: bool,
+    txns: usize,
 ) -> RunResult {
     let schema = Schema::uniform(
         (0..TOTAL_ENTITIES).map(|i| format!("d{i}")),
@@ -102,7 +113,7 @@ fn run_one(
         let handles: Vec<_> = (0..CLIENTS)
             .map(|client| {
                 let svc = &svc;
-                scope.spawn(move || run_client(svc, client, shards, batch))
+                scope.spawn(move || run_client(svc, client, shards, batch, txns))
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
@@ -155,12 +166,12 @@ fn row(r: &RunResult) -> String {
 /// Tracing-overhead A/B: the identical workload with the flight recorder
 /// disabled vs. attached. Prints both throughputs, the event volume, and
 /// the relative delta; returns the violation count.
-fn tracing_overhead(shards: usize, reps: usize) -> usize {
+fn tracing_overhead(shards: usize, reps: usize, txns: usize) -> usize {
     println!(
         "— tracing overhead at {shards} shards (flight recorder off vs. on, best of {reps}) —"
     );
     // Warm up caches/allocator so the A and B runs see the same machine.
-    let mut violations = run_one(shards, Strategy::Backtracking, None, false).violations;
+    let mut violations = run_one(shards, Strategy::Backtracking, None, false, txns).violations;
     let mut pick_best = |runs: Vec<(RunResult, Option<Recorder>)>| {
         violations += runs.iter().map(|(r, _)| r.violations).sum::<usize>();
         runs.into_iter()
@@ -169,7 +180,12 @@ fn tracing_overhead(shards: usize, reps: usize) -> usize {
     };
     let (off, _) = pick_best(
         (0..reps)
-            .map(|_| (run_one(shards, Strategy::Backtracking, None, false), None))
+            .map(|_| {
+                (
+                    run_one(shards, Strategy::Backtracking, None, false, txns),
+                    None,
+                )
+            })
             .collect(),
     );
     // Fresh recorder per rep so the event counts describe exactly one run.
@@ -183,6 +199,7 @@ fn tracing_overhead(shards: usize, reps: usize) -> usize {
                         Strategy::Backtracking,
                         Some(recorder.clone()),
                         false,
+                        txns,
                     ),
                     Some(recorder),
                 )
@@ -219,9 +236,10 @@ fn tracing_overhead(shards: usize, reps: usize) -> usize {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let txns = if smoke { TXNS_SMOKE } else { TXNS_FULL };
     println!("server-load — {CLIENTS} closed-loop clients over the sharded TxnService");
     println!(
-        "{TXNS_PER_CLIENT} txns/client, {OPS_PER_TXN} ops/txn, {TOTAL_ENTITIES} entities, \
+        "{txns} txns/client, {OPS_PER_TXN} ops/txn, {TOTAL_ENTITIES} entities, \
          60% reads, hot-spot skew{}\n",
         if smoke { " (smoke mode)" } else { "" }
     );
@@ -238,6 +256,7 @@ fn main() {
             ("throughput_txn_s", Json::Num(r.throughput())),
             ("p50_us", Json::Num(micros(r.snap.p50))),
             ("p99_us", Json::Num(micros(r.snap.p99))),
+            ("wall_s", Json::Num(r.elapsed.as_secs_f64())),
             ("violations", Json::Num(r.violations as f64)),
         ])
     };
@@ -249,7 +268,7 @@ fn main() {
     );
     let sweep: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
     for &shards in sweep {
-        let r = run_one(shards, Strategy::Backtracking, None, false);
+        let r = run_one(shards, Strategy::Backtracking, None, false, txns);
         total_violations += r.violations;
         println!("{}", row(&r));
         runs.push(run_json(&r));
@@ -271,7 +290,7 @@ fn main() {
         "violations"
     );
     for batch in [false, true] {
-        let r = run_one(batch_shards, Strategy::Backtracking, None, batch);
+        let r = run_one(batch_shards, Strategy::Backtracking, None, batch, txns);
         total_violations += r.violations;
         println!(
             "{:>8} {:>9} {:>7} {:>6} {:>11.0} {:>8.1} {:>8.1} {:>10}",
@@ -303,7 +322,7 @@ fn main() {
             ("backtracking", Strategy::Backtracking),
             ("greedy-latest", Strategy::GreedyLatest),
         ] {
-            let r = run_one(4, strategy, None, false);
+            let r = run_one(4, strategy, None, false, txns);
             total_violations += r.violations;
             println!(
                 "{:>14} {:>9} {:>7} {:>8} {:>10} {:>13} {:>14}",
@@ -319,13 +338,14 @@ fn main() {
     }
 
     println!();
-    total_violations += tracing_overhead(if smoke { 2 } else { 4 }, if smoke { 1 } else { 5 });
+    total_violations +=
+        tracing_overhead(if smoke { 2 } else { 4 }, if smoke { 1 } else { 5 }, txns);
 
     let report = Json::obj([
         ("bench", Json::Str("server_load".to_string())),
         ("smoke", Json::Bool(smoke)),
         ("clients", Json::Num(CLIENTS as f64)),
-        ("txns_per_client", Json::Num(TXNS_PER_CLIENT as f64)),
+        ("txns_per_client", Json::Num(txns as f64)),
         ("ops_per_txn", Json::Num(OPS_PER_TXN as f64)),
         ("total_entities", Json::Num(TOTAL_ENTITIES as f64)),
         ("runs", Json::Arr(runs)),

@@ -1,0 +1,299 @@
+//! `wal-load`: fsync amortization of group commit vs. naive commit.
+//!
+//! Eight closed-loop clients drive the sharded `TxnService` with the
+//! WAL enabled, once with naive durability (every commit issues its own
+//! fsync inline on the worker) and once with group commit (commit
+//! replies are deferred to the flusher thread, which batches every
+//! ticket that arrives within the group window behind a single fsync).
+//! Both modes run over the in-memory `MemStore` (isolates the protocol
+//! cost of batching from media latency) and the real `FileStore`
+//! (checks the same ratio holds when fsync actually hits a filesystem).
+//!
+//! The acceptance metric is `fsync_per_commit`: total durability
+//! barriers divided by committed transactions, read from the service's
+//! live [`WalStats`](ks_wal::WalStats) after the clients drain. Group
+//! commit must amortize at least 4× at 8 clients, so the emitted
+//! `BENCH_wal.json` carries `ratio.group_over_naive_fsync_per_commit`
+//! with a `pass` verdict against `gate = 0.25` that `validate_bench`
+//! (and therefore `scripts/check.sh`) enforces. Unlike the throughput
+//! gates, fsync counts are schedule-robust — the flusher holds the
+//! window open, so every concurrent committer lands in the batch — and
+//! the verdict is emitted in smoke mode too.
+
+use ks_bench::driver::{drive_client, DriveOutcome, DriverConfig};
+use ks_bench::report::Json;
+use ks_kernel::{Domain, Schema, UniqueState};
+use ks_server::{verify_managers, Durability, ServerConfig, TxnService, WalOptions};
+use ks_wal::{FileStore, MemStore, SegmentStore};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const CLIENTS: usize = 8;
+/// Shard count: the WAL (and its flusher) is shared across shards, so
+/// group commit batches globally regardless. Four shards keep the
+/// protocol layer fast enough at full size that commit latency stays
+/// well under the group window — a single manager degrades with
+/// transaction count (see BENCH_server.json's 1-shard row) until
+/// commits arrive too sparsely to batch, which would measure manager
+/// aging, not group commit.
+const SHARDS: usize = 4;
+/// Wide enough that the full run's version chains stay shallow (~30
+/// versions/entity, the density exp_server_load runs at).
+const TOTAL_ENTITIES: usize = 128;
+const OPS_PER_TXN: usize = 6;
+/// Per-client transaction count (smoke / full).
+const TXNS_SMOKE: usize = 40;
+const TXNS_FULL: usize = 200;
+const RETRY_BUDGET: u32 = 10_000;
+/// Group-commit amortization gate: group-commit fsyncs per commit must
+/// be at most this fraction of the naive mode's (≥ 4× fewer fsyncs).
+const GATE: f64 = 0.25;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Mode {
+    /// `sync_on_commit` with the flusher disabled: every commit fsyncs
+    /// inline on its shard worker before the reply.
+    Naive,
+    /// Commit replies deferred to the group-commit flusher.
+    Group,
+}
+
+impl Mode {
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Naive => "naive",
+            Mode::Group => "group",
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Media {
+    Mem,
+    File,
+}
+
+impl Media {
+    fn name(self) -> &'static str {
+        match self {
+            Media::Mem => "mem",
+            Media::File => "file",
+        }
+    }
+}
+
+struct RunResult {
+    mode: Mode,
+    media: Media,
+    outcome: DriveOutcome,
+    elapsed: Duration,
+    fsyncs: u64,
+    p50_us: f64,
+    p99_us: f64,
+    violations: usize,
+}
+
+impl RunResult {
+    fn fsync_per_commit(&self) -> f64 {
+        self.fsyncs as f64 / (self.outcome.committed.max(1)) as f64
+    }
+
+    fn throughput(&self) -> f64 {
+        self.outcome.committed as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Fresh segment-store factory for one run. File runs get a private
+/// directory under `target/wal_bench/` that is wiped first, so every
+/// run starts from an empty log.
+fn factory(media: Media, tag: &str) -> Arc<dyn Fn() -> Box<dyn SegmentStore> + Send + Sync> {
+    match media {
+        Media::Mem => {
+            let store = MemStore::new();
+            Arc::new(move || Box::new(store.clone()) as Box<dyn SegmentStore>)
+        }
+        Media::File => {
+            let dir = PathBuf::from("target").join("wal_bench").join(tag);
+            let _ = std::fs::remove_dir_all(&dir);
+            Arc::new(move || {
+                Box::new(FileStore::open(&dir).expect("open bench WAL dir"))
+                    as Box<dyn SegmentStore>
+            })
+        }
+    }
+}
+
+fn run_one(mode: Mode, media: Media, txns: usize) -> RunResult {
+    let schema = Schema::uniform(
+        (0..TOTAL_ENTITIES).map(|i| format!("d{i}")),
+        Domain::Range {
+            min: i64::MIN / 2,
+            max: i64::MAX / 2,
+        },
+    );
+    let initial = UniqueState::constant(TOTAL_ENTITIES, 0);
+    let mut wal = WalOptions::new(factory(media, &format!("{}_{}", mode.name(), media.name())));
+    wal.group_commit = mode == Mode::Group;
+    wal.sync_on_commit = true;
+    let config = ServerConfig::builder()
+        .shards(SHARDS)
+        .max_sessions(CLIENTS)
+        .durability(Durability::Wal(wal))
+        .build()
+        .expect("static bench config is valid");
+    let svc = TxnService::new(schema, &initial, config);
+    let shards = svc.shard_map().shards();
+    let start = Instant::now();
+    let outcomes: Vec<DriveOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|client| {
+                let svc = &svc;
+                scope.spawn(move || {
+                    let session = svc.session().expect("admission (sessions \u{2264} cap)");
+                    drive_client(
+                        &session,
+                        &DriverConfig {
+                            client,
+                            shards,
+                            total_entities: TOTAL_ENTITIES,
+                            txns,
+                            ops_per_txn: OPS_PER_TXN,
+                            seed: 0xF5C_0DE,
+                            retry_budget: RETRY_BUDGET,
+                            pipeline_depth: 1,
+                            batch: false,
+                        },
+                    )
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = start.elapsed();
+    // Every client has its commit ack in hand, so the fsync that made it
+    // durable has already been counted — read the stats before shutdown
+    // adds its quiescing barrier.
+    let stats = svc.wal_stats().expect("bench runs with the WAL on");
+    let snap = svc.metrics();
+    let report = verify_managers(&svc.shutdown());
+    let mut outcome = DriveOutcome::default();
+    for o in outcomes {
+        outcome.merge(o);
+    }
+    assert_eq!(outcome.committed, snap.committed, "client/server agree");
+    let micros = |d: Option<Duration>| d.map(|d| d.as_secs_f64() * 1e6).unwrap_or(0.0);
+    RunResult {
+        mode,
+        media,
+        outcome,
+        elapsed,
+        fsyncs: stats.syncs,
+        p50_us: micros(snap.p50),
+        p99_us: micros(snap.p99),
+        violations: report.violations.len(),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let txns = if smoke { TXNS_SMOKE } else { TXNS_FULL };
+    println!("wal-load — {CLIENTS} closed-loop clients, group commit vs. naive fsync");
+    println!(
+        "{txns} txns/client, {OPS_PER_TXN} ops/txn, {TOTAL_ENTITIES} entities{}\n",
+        if smoke { " (smoke mode)" } else { "" }
+    );
+    println!(
+        "{:>6} {:>5} {:>9} {:>8} {:>14} {:>11} {:>8} {:>8} {:>10}",
+        "mode",
+        "store",
+        "committed",
+        "fsyncs",
+        "fsync/commit",
+        "thru(txn/s)",
+        "p50(µs)",
+        "p99(µs)",
+        "violations"
+    );
+
+    let mut runs: Vec<RunResult> = Vec::new();
+    let mut total_violations = 0usize;
+    for media in [Media::Mem, Media::File] {
+        for mode in [Mode::Naive, Mode::Group] {
+            let r = run_one(mode, media, txns);
+            total_violations += r.violations;
+            println!(
+                "{:>6} {:>5} {:>9} {:>8} {:>14.4} {:>11.0} {:>8.1} {:>8.1} {:>10}",
+                r.mode.name(),
+                r.media.name(),
+                r.outcome.committed,
+                r.fsyncs,
+                r.fsync_per_commit(),
+                r.throughput(),
+                r.p50_us,
+                r.p99_us,
+                r.violations,
+            );
+            runs.push(r);
+        }
+    }
+
+    let per_commit = |mode: Mode, media: Media| {
+        runs.iter()
+            .find(|r| r.mode == mode && r.media == media)
+            .expect("matrix covers every (mode, media) pair")
+            .fsync_per_commit()
+    };
+    let ratio = per_commit(Mode::Group, Media::Mem) / per_commit(Mode::Naive, Media::Mem);
+    let pass = ratio <= GATE;
+    println!(
+        "\ngroup/naive fsync-per-commit ratio (mem): {ratio:.4} (gate \u{2264} {GATE}) — {}",
+        if pass { "PASS" } else { "FAIL" }
+    );
+
+    let report = Json::obj([
+        ("bench", Json::Str("wal".into())),
+        ("smoke", Json::Bool(smoke)),
+        ("clients", Json::Num(CLIENTS as f64)),
+        ("txns_per_client", Json::Num(txns as f64)),
+        (
+            "runs",
+            Json::Arr(
+                runs.iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("mode", Json::Str(r.mode.name().into())),
+                            ("store", Json::Str(r.media.name().into())),
+                            ("clients", Json::Num(CLIENTS as f64)),
+                            ("committed", Json::Num(r.outcome.committed as f64)),
+                            ("aborted", Json::Num(r.outcome.aborted as f64)),
+                            ("fsyncs", Json::Num(r.fsyncs as f64)),
+                            ("fsync_per_commit", Json::Num(r.fsync_per_commit())),
+                            ("throughput_txn_s", Json::Num(r.throughput())),
+                            ("p50_us", Json::Num(r.p50_us)),
+                            ("p99_us", Json::Num(r.p99_us)),
+                            ("wall_s", Json::Num(r.elapsed.as_secs_f64())),
+                            ("violations", Json::Num(r.violations as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "ratio",
+            Json::obj([
+                ("group_over_naive_fsync_per_commit", Json::Num(ratio)),
+                ("gate", Json::Num(GATE)),
+                ("pass", Json::Bool(pass)),
+            ]),
+        ),
+        ("total_violations", Json::Num(total_violations as f64)),
+    ]);
+    std::fs::write("BENCH_wal.json", report.render()).expect("write BENCH_wal.json");
+    println!("wrote BENCH_wal.json");
+
+    if total_violations > 0 || !pass {
+        std::process::exit(1);
+    }
+    println!("\nmodel check: every extracted execution is correct (0 violations)");
+}

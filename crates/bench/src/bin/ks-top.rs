@@ -4,8 +4,12 @@
 //! then renders a refreshing terminal view the way `top(1)` does: one
 //! frame per interval showing throughput, the shared [`MetricsSnapshot`]
 //! row, per-shard latency quantiles and queue depths, flight-recorder
-//! volume, and the most recent protocol *decision* events (version
-//! assignments, re-evals, cascade edges) drained from the rings.
+//! volume, WAL health (append/fsync counters, flush queue depth, the
+//! group-commit size histogram, and what recovery replayed at boot),
+//! and the most recent protocol *decision* events (version assignments,
+//! re-evals, cascade edges) drained from the rings. The embedded
+//! service runs with the write-ahead log on (in-memory media, group
+//! commit), so the durability pipeline is always on screen.
 //!
 //! The run is finite — `--frames N` frames at `--interval-ms M` — so the
 //! binary doubles as a smoke test: after the last frame the load stops,
@@ -18,9 +22,12 @@ use ks_obs::{event_to_json, ObsEvent, ObsKind, Recorder};
 use ks_predicate::{Atom, Clause, CmpOp, Cnf, Strategy};
 use ks_server::metrics::fmt_duration;
 use ks_server::{
-    verify_with_dump, Client, MetricsSnapshot, ServerConfig, ServerError, TxnBuilder, TxnService,
+    verify_with_dump, Client, Durability, MetricsSnapshot, ServerConfig, ServerError, TxnBuilder,
+    TxnService, WalOptions,
 };
+use ks_wal::{MemStore, SegmentStore};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const CLIENTS: usize = 6;
@@ -150,16 +157,36 @@ fn is_decision(kind: &ObsKind) -> bool {
     )
 }
 
+/// Group-commit size histogram buckets: 1, 2, 3–4, 5–8, 9+.
+const GROUP_BUCKETS: [&str; 5] = ["1", "2", "3-4", "5-8", "9+"];
+
+fn group_bucket(n: u32) -> usize {
+    match n {
+        0 | 1 => 0,
+        2 => 1,
+        3..=4 => 2,
+        5..=8 => 3,
+        _ => 4,
+    }
+}
+
 struct FrameState {
     last: Instant,
     last_committed: u64,
     last_events: u64,
     recent: Vec<ObsEvent>,
+    /// Group-commit batch sizes seen so far, bucketed.
+    group_hist: [u64; GROUP_BUCKETS.len()],
+    /// Total group-commit flushes and commits they covered (for the
+    /// running mean batch size).
+    group_flushes: u64,
+    group_commits: u64,
 }
 
 fn render(
     frame: usize,
     opts: &Options,
+    svc: &TxnService,
     snap: &MetricsSnapshot,
     recorder: &Recorder,
     state: &mut FrameState,
@@ -173,9 +200,15 @@ fn render(
     state.last_committed = snap.committed;
     state.last_events = recorded;
 
-    // Fold freshly drained decision events into the recent panel; the
-    // drain also keeps the rings from wrapping between frames.
+    // Fold freshly drained decision events into the recent panel and
+    // group-commit batch sizes into the histogram; the drain also keeps
+    // the rings from wrapping between frames.
     for ev in recorder.drain() {
+        if let ObsKind::GroupCommit { n } = ev.kind {
+            state.group_hist[group_bucket(n)] += 1;
+            state.group_flushes += 1;
+            state.group_commits += u64::from(n);
+        }
         if is_decision(&ev.kind) {
             state.recent.push(ev);
         }
@@ -211,6 +244,30 @@ fn render(
         );
     }
     println!();
+    if let Some(wal) = svc.wal_stats() {
+        println!(
+            "wal: {} records, {} bytes, {} fsyncs, flush queue {}",
+            wal.records, wal.bytes, wal.syncs, wal.pending_records
+        );
+        let mean = state.group_commits as f64 / state.group_flushes.max(1) as f64;
+        let hist = GROUP_BUCKETS
+            .iter()
+            .zip(state.group_hist)
+            .map(|(label, n)| format!("{label}:{n}"))
+            .collect::<Vec<_>>()
+            .join("  ");
+        println!("group sizes: {hist}   (mean {mean:.1}/flush)");
+        match svc.recovery_report() {
+            Some(r) => println!(
+                "recovery at boot: {} records scanned, {} writes replayed, {} commits recovered",
+                r.records,
+                r.replay.iter().map(|s| s.writes as usize).sum::<usize>(),
+                r.committed.len()
+            ),
+            None => println!("recovery at boot: (none)"),
+        }
+        println!();
+    }
     println!("recent protocol decisions:");
     if state.recent.is_empty() {
         println!("  (none yet)");
@@ -231,6 +288,14 @@ fn main() {
     );
     let initial = UniqueState::constant(ENTITIES, 0);
     let recorder = Recorder::new(RING_CAPACITY);
+    // Durable dashboard: the WAL runs over in-memory media with group
+    // commit on and a short window, so the wal/group-size panels show a
+    // live durability pipeline without touching the filesystem.
+    let media = MemStore::new();
+    let mut wal = WalOptions::new(Arc::new(move || {
+        Box::new(media.clone()) as Box<dyn SegmentStore>
+    }));
+    wal.group_window = Duration::from_micros(500);
     let svc = TxnService::new(
         schema,
         &initial,
@@ -239,6 +304,7 @@ fn main() {
             max_sessions: CLIENTS,
             strategy: Strategy::GreedyLatest,
             recorder: Some(recorder.clone()),
+            durability: Durability::Wal(wal),
             ..ServerConfig::default()
         },
     );
@@ -254,11 +320,14 @@ fn main() {
             last_committed: 0,
             last_events: 0,
             recent: Vec::new(),
+            group_hist: [0; GROUP_BUCKETS.len()],
+            group_flushes: 0,
+            group_commits: 0,
         };
         for frame in 0..opts.frames {
             std::thread::sleep(opts.interval);
             let snap = svc.metrics();
-            render(frame, &opts, &snap, &recorder, &mut state);
+            render(frame, &opts, &svc, &snap, &recorder, &mut state);
         }
         stop.store(true, Ordering::Relaxed);
     });

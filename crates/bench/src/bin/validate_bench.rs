@@ -11,7 +11,12 @@
 //! * `net_load` reports additionally: a `ratio` object whose
 //!   `loopback_over_in_process` is a positive number — and if the run
 //!   was full-size (it recorded a `pass` verdict against the gate),
-//!   that verdict must be `true`.
+//!   that verdict must be `true`;
+//! * `wal` reports additionally: a `ratio` object whose
+//!   `group_over_naive_fsync_per_commit` is a positive number, with a
+//!   `pass` verdict against the amortization gate that must be `true`
+//!   (fsync counts are schedule-robust, so smoke runs carry the verdict
+//!   too).
 //!
 //! Usage: `validate_bench BENCH_net.json [BENCH_server.json ...]`
 
@@ -80,6 +85,33 @@ fn validate(name: &str, doc: &Json, errors: &mut Vec<String>) {
                 let gate = ratio.get("gate").and_then(Json::as_f64).unwrap_or(f64::NAN);
                 err(format!("throughput ratio {r:.2} is below the {gate} gate"));
             }
+        }
+    }
+    if bench == "wal" {
+        let Some(ratio) = doc.get("ratio") else {
+            err("wal report missing \"ratio\" object".to_string());
+            return;
+        };
+        let r = ratio
+            .get("group_over_naive_fsync_per_commit")
+            .and_then(Json::as_f64);
+        match r {
+            Some(r) if r > 0.0 => {}
+            Some(r) => err(format!(
+                "ratio.group_over_naive_fsync_per_commit = {r} (must be > 0)"
+            )),
+            None => err("ratio missing numeric \"group_over_naive_fsync_per_commit\"".to_string()),
+        }
+        // Group-commit amortization is about *counts*, not wall-clock,
+        // so the verdict is mandatory — smoke runs included.
+        let gate = ratio.get("gate").and_then(Json::as_f64).unwrap_or(f64::NAN);
+        match ratio.get("pass").and_then(Json::as_bool) {
+            Some(true) => {}
+            Some(false) => err(format!(
+                "fsync-per-commit ratio {:.4} exceeds the {gate} amortization gate",
+                r.unwrap_or(f64::NAN)
+            )),
+            None => err("ratio missing boolean \"pass\"".to_string()),
         }
     }
 }

@@ -18,8 +18,12 @@ pub fn render(plan: &RunPlan, outcome: &RunOutcome, protections: Protections) ->
     out.push_str("# ks-dst failure artifact\n");
     out.push_str(&format!("seed: {}\n", plan.seed));
     out.push_str(&format!(
-        "protections: frame_retention={} timeout_carveout={} abort_on_disconnect={}\n",
-        protections.frame_retention, protections.timeout_carveout, protections.abort_on_disconnect
+        "protections: frame_retention={} timeout_carveout={} abort_on_disconnect={} \
+         commit_flush={}\n",
+        protections.frame_retention,
+        protections.timeout_carveout,
+        protections.abort_on_disconnect,
+        protections.commit_flush
     ));
     out.push_str(&format!(
         "commits: definite={} ambiguous={} server={}\n",

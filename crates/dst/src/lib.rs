@@ -16,17 +16,20 @@
 //!   shifts the randomness of the steps it keeps.
 //! * [`link`] — the simulated [`World`](link::World) and the
 //!   [`SimLink`](link::SimLink) transport: drops, duplicates, trickled
-//!   frames, resets, and forged server timeouts, all byte-exact against
-//!   the production frame reader.
+//!   frames, resets, forged server timeouts, and whole-server
+//!   crash-restarts against WAL-backed simulated storage with torn
+//!   unsynced tails, all byte-exact against the production frame reader.
 //! * [`run`] — the single-threaded driver and the post-run oracles
 //!   (predicate correctness, terminal end state, commit coherence,
-//!   commit accounting, benign-fault liveness, obs causality).
+//!   commit accounting, benign-fault liveness, obs causality, and crash
+//!   durability: every acked commit survives recovery, nothing revoked
+//!   is resurrected).
 //! * [`shrink`] — ddmin-style minimization of failing plans.
 //! * [`proto`] — bare-manager fuzzing with `force_assign` perturbations
 //!   (the fault class the service API cannot reach).
 //! * [`artifact`] — replayable failure dumps.
 //!
-//! The harness can also switch *off* each of three protections the stack
+//! The harness can also switch *off* each of four protections the stack
 //! relies on ([`Protections`]) to prove the oracles catch the bug each
 //! one prevents — a test of the tests.
 

@@ -22,18 +22,21 @@
 
 use crate::plan::{trickle_cuts, Fault, ENTITIES_PER_SHARD, MAX_VALUE, SHARDS};
 use ks_kernel::{Domain, Schema, UniqueState};
+use ks_mvstore::INITIAL_AUTHOR;
 use ks_net::wire::{self, FrameProgress, FrameReader, Response};
 use ks_net::{ConnAction, ConnCore, Transport, TransportRx};
 use ks_obs::{ObsKind, ObsSink, Recorder, NO_TXN};
-use ks_protocol::ProtocolManager;
-use ks_server::{ServerConfig, ServerError, TxnService};
+use ks_protocol::{ProtocolManager, Txn, TxnState};
+use ks_server::{Durability, ServerConfig, ServerError, TxnService, WalOptions};
+use ks_wal::{MemStore, SegmentStore};
 use std::cell::RefCell;
 use std::collections::{BTreeSet, VecDeque};
 use std::io::{self, Read, Write};
 use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Duration;
 
-/// The three known-fixed protections the harness can switch off to prove
+/// The four known-fixed protections the harness can switch off to prove
 /// its oracles catch the bugs they guard against (the "teeth" of the
 /// acceptance criteria). All on = the production configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +53,11 @@ pub struct Protections {
     /// [`ConnCore::abort_open_txns`] sweep, leaking validated
     /// transactions and the locks they hold).
     pub abort_on_disconnect: bool,
+    /// A commit's WAL record is fsynced before the commit is
+    /// acknowledged (off = the server still logs everything but never
+    /// flushes at commit time, so a [`Fault::Crash`] tears acked commits
+    /// out of the log and the durability oracle catches the lie).
+    pub commit_flush: bool,
 }
 
 impl Default for Protections {
@@ -58,6 +66,7 @@ impl Default for Protections {
             frame_retention: true,
             timeout_carveout: true,
             abort_on_disconnect: true,
+            commit_flush: true,
         }
     }
 }
@@ -69,21 +78,26 @@ impl Protections {
     }
 
     /// Switch one protection off by its CLI name (`frame-retention`,
-    /// `timeout-carveout`, `abort-on-disconnect`).
+    /// `timeout-carveout`, `abort-on-disconnect`, `commit-flush`).
     pub fn disable(name: &str) -> Option<Protections> {
         let mut p = Protections::all_on();
         match name {
             "frame-retention" => p.frame_retention = false,
             "timeout-carveout" => p.timeout_carveout = false,
             "abort-on-disconnect" => p.abort_on_disconnect = false,
+            "commit-flush" => p.commit_flush = false,
             _ => return None,
         }
         Some(p)
     }
 
     /// The CLI names [`Protections::disable`] accepts.
-    pub const NAMES: [&'static str; 3] =
-        ["frame-retention", "timeout-carveout", "abort-on-disconnect"];
+    pub const NAMES: [&'static str; 4] = [
+        "frame-retention",
+        "timeout-carveout",
+        "abort-on-disconnect",
+        "commit-flush",
+    ];
 }
 
 /// Server-side receive buffer: bytes the world has delivered but the
@@ -141,6 +155,19 @@ pub struct World {
     protections: Protections,
     clock: u64,
     journal: Vec<String>,
+    /// The simulated durable media every service incarnation logs to.
+    sim_store: MemStore,
+    /// Schema/initial kept so a crash can boot a fresh incarnation.
+    schema: Schema,
+    initial: UniqueState,
+    /// Shard managers of every crashed incarnation, in crash order, so
+    /// the oracles can account for commits across the whole run.
+    epochs: Vec<Vec<ProtocolManager>>,
+    /// Durability-oracle findings (acked commits lost by a crash,
+    /// aborted commits resurrected, recovered state diverging).
+    durability_violations: Vec<String>,
+    /// Crash-restarts executed.
+    crashes: usize,
     /// Frame/decode errors the server side hit. The simulator never
     /// corrupts bytes, so with a correct stack this stays empty — any
     /// entry is a reassembly desync (the frame-retention oracle).
@@ -157,8 +184,10 @@ const DST_RING_CAPACITY: usize = 1 << 13;
 
 /// What [`World::finish`] hands the oracles.
 pub struct WorldEnd {
-    /// The shard managers, drained for verification.
+    /// The final incarnation's shard managers, drained for verification.
     pub managers: Vec<ProtocolManager>,
+    /// Shard managers of every crashed incarnation, in crash order.
+    pub epochs: Vec<Vec<ProtocolManager>>,
     /// The shared flight recorder (service + world + clients).
     pub recorder: Recorder,
     /// The world's human-readable fault/delivery journal.
@@ -167,6 +196,11 @@ pub struct WorldEnd {
     pub stream_errors: Vec<String>,
     /// `(conn, wire txn id)` pairs whose commit the server acked.
     pub acked_commits: BTreeSet<(usize, u64)>,
+    /// Durability-oracle findings across every crash and the final
+    /// graceful shutdown (must be empty when commit flushing is on).
+    pub durability_violations: Vec<String>,
+    /// Crash-restarts the run executed.
+    pub crashes: usize,
 }
 
 impl World {
@@ -174,6 +208,11 @@ impl World {
     /// [`ENTITIES_PER_SHARD`] entities each, domain `[0, MAX_VALUE]`,
     /// initial state all zeros, with a generous request timeout so real
     /// machine stalls can never masquerade as injected ones.
+    ///
+    /// Every incarnation runs with [`Durability::Wal`] over one shared
+    /// simulated [`MemStore`], naive (non-group) fsync so sync counts
+    /// are a pure function of the plan, and commit-time flushing
+    /// following the `commit_flush` protection.
     pub fn new(protections: Protections) -> World {
         let n = SHARDS * ENTITIES_PER_SHARD;
         let schema = Schema::uniform(
@@ -185,16 +224,10 @@ impl World {
         );
         let initial = UniqueState::constant(n, 0);
         let recorder = Recorder::new(DST_RING_CAPACITY);
-        let config = ServerConfig::builder()
-            .shards(SHARDS)
-            .request_timeout(Duration::from_secs(60))
-            .recorder(recorder.clone())
-            .build()
-            .expect("static DST config is valid");
-        let service = TxnService::new(schema, &initial, config);
+        let sim_store = MemStore::new();
         let obs = recorder.sink(u32::MAX);
-        World {
-            service: Some(service),
+        let mut world = World {
+            service: None,
             recorder,
             obs,
             conns: Vec::new(),
@@ -203,9 +236,44 @@ impl World {
             protections,
             clock: 0,
             journal: Vec::new(),
+            sim_store,
+            schema,
+            initial,
+            epochs: Vec::new(),
+            durability_violations: Vec::new(),
+            crashes: 0,
             stream_errors: Vec::new(),
             acked_commits: BTreeSet::new(),
-        }
+        };
+        world.service = Some(TxnService::new(
+            world.schema.clone(),
+            &world.initial,
+            world.service_config(),
+        ));
+        world
+    }
+
+    /// The config every incarnation boots with: same recorder, same
+    /// simulated media, commit flushing per the protections.
+    fn service_config(&self) -> ServerConfig {
+        let media = self.sim_store.clone();
+        let mut wal = WalOptions::new(Arc::new(move || {
+            Box::new(media.clone()) as Box<dyn SegmentStore>
+        }));
+        // Group commit batches wall-clock-concurrent fsyncs; the DST
+        // driver is synchronous, so it would only add a flusher thread's
+        // timing to an otherwise deterministic run. Naive mode syncs
+        // inline on the worker thread instead.
+        wal.group_commit = false;
+        wal.sync_on_commit = self.protections.commit_flush;
+        wal.segment_bytes = 1 << 16;
+        ServerConfig::builder()
+            .shards(SHARDS)
+            .request_timeout(Duration::from_secs(60))
+            .recorder(self.recorder.clone())
+            .durability(Durability::Wal(wal))
+            .build()
+            .expect("static DST config is valid")
     }
 
     /// The protections this world runs under.
@@ -306,6 +374,85 @@ impl World {
         }
     }
 
+    /// A whole-server power cut followed by a restart.
+    ///
+    /// Order matters: the media crashes *first* (losing a torn,
+    /// salt-derived suffix of every segment's unsynced bytes), so the
+    /// dying workers' graceful shutdown syncs are no-ops and can never
+    /// make the cut look cleaner than it was. Connections vaporize with
+    /// no goodbye and *no abort sweep* — a power cut runs nothing. The
+    /// dying incarnation's managers are snapshotted for their committed
+    /// effects, a fresh incarnation recovers from the log, and any
+    /// divergence (acked commit lost, revoked commit resurrected,
+    /// recovered state off) is recorded for the durability oracle.
+    pub fn crash_restart(&mut self, torn_salt: u32) {
+        self.crashes += 1;
+        self.clock += 1;
+        self.note(format!("CRASH: power cut (torn_salt={torn_salt:#010x})"));
+        self.sim_store.crash(u64::from(torn_salt));
+        for id in 0..self.conns.len() {
+            if !self.conns[id].open {
+                continue;
+            }
+            self.conns[id].open = false;
+            // Dropped without the abort_open_txns sweep: nothing runs
+            // during a power cut.
+            self.conns[id].core = None;
+            self.clients[id].inbox.clear();
+            self.clients[id].reset = true;
+            self.clock += 1;
+            self.obs
+                .emit_at(self.clock, NO_TXN, ObsKind::ConnClosed { conn: id as u32 });
+            self.note(format!("conn {id} vaporized by crash"));
+        }
+        let dying = self
+            .service
+            .take()
+            .expect("crash_restart needs a live service")
+            .shutdown();
+        let (want_states, want_committed) = committed_snapshot(&dying);
+        self.epochs.push(dying);
+        self.sim_store.revive();
+
+        let service = TxnService::new(self.schema.clone(), &self.initial, self.service_config());
+        let report = service
+            .recovery_report()
+            .expect("DST services always run with a WAL")
+            .clone();
+        let got_committed: BTreeSet<(u32, u64)> = report.committed.iter().copied().collect();
+        let crash = self.crashes;
+        for &(shard, txn) in want_committed.difference(&got_committed) {
+            self.durability_violations.push(format!(
+                "durability: crash {crash}: acked commit (shard {shard}, txn {txn}) \
+                 missing after recovery"
+            ));
+        }
+        for &(shard, txn) in got_committed.difference(&want_committed) {
+            self.durability_violations.push(format!(
+                "durability: crash {crash}: recovery resurrected (shard {shard}, \
+                 txn {txn}) which the dying server did not hold committed"
+            ));
+        }
+        if report.states.as_ref() != Some(&want_states) {
+            self.durability_violations.push(format!(
+                "durability: crash {crash}: recovered state {:?} != dying committed \
+                 effects {want_states:?}",
+                report.states
+            ));
+        }
+        self.note(format!(
+            "restart: recovered {} committed txns from {} log records{}",
+            got_committed.len(),
+            report.records,
+            report
+                .torn
+                .as_deref()
+                .map(|t| format!(" (torn tail: {t})"))
+                .unwrap_or_default()
+        ));
+        self.service = Some(service);
+    }
+
     /// A client flushed `bytes` (one request frame): apply the armed
     /// fault directive and pump the server side.
     pub fn client_flush(&mut self, conn: usize, bytes: Vec<u8>) {
@@ -362,6 +509,12 @@ impl World {
                 self.reap(conn, "reset");
                 self.clients[conn].inbox.clear();
                 self.clients[conn].reset = true;
+            }
+            Some(Fault::Crash { .. }) => {
+                // Crashes are step-level events the driver runs *after*
+                // the op (see `crash_restart`); one can never be armed as
+                // a wire directive. Deliver cleanly if it ever is.
+                self.deliver(conn, &bytes, &[], true);
             }
         }
     }
@@ -529,19 +682,78 @@ impl World {
         Ok(n)
     }
 
-    /// End the run: reap every connection, shut the service down, and
-    /// hand the oracles the managers, recorder, and journals.
+    /// End the run: reap every connection, shut the service down
+    /// gracefully, and hand the oracles the managers, recorder, and
+    /// journals. Graceful shutdown always syncs the log, so the final
+    /// durability check (media vs managers) holds even with the
+    /// commit-flush protection off — only a [`Fault::Crash`] can expose
+    /// that hole.
     pub fn finish(mut self) -> WorldEnd {
         self.reap_all();
         let managers = self.service.take().expect("finish called once").shutdown();
+        let (want_states, want_committed) = committed_snapshot(&managers);
+        match ks_wal::recover(&self.sim_store) {
+            Ok(recovered) => {
+                let got: BTreeSet<(u32, u64)> = recovered.committed.iter().copied().collect();
+                if got != want_committed || recovered.states.as_ref() != Some(&want_states) {
+                    self.durability_violations.push(format!(
+                        "durability: graceful shutdown: log replays to \
+                         {:?}/{got:?} but the managers committed \
+                         {want_states:?}/{want_committed:?}",
+                        recovered.states
+                    ));
+                }
+            }
+            Err(e) => self
+                .durability_violations
+                .push(format!("durability: end-of-run log unreadable: {e}")),
+        }
         WorldEnd {
             managers,
+            epochs: self.epochs,
             recorder: self.recorder,
             journal: self.journal.join("\n"),
             stream_errors: self.stream_errors,
             acked_commits: self.acked_commits,
+            durability_violations: self.durability_violations,
+            crashes: self.crashes,
         }
     }
+}
+
+/// The committed effects of a dying (or finished) incarnation's shard
+/// managers: per shard, the latest committed value of every entity (in
+/// shard-local entity order, matching the WAL checkpoint layout), plus
+/// the set of `(shard, txn)` ids the managers hold committed. This is
+/// exactly what WAL recovery must reproduce.
+fn committed_snapshot(managers: &[ProtocolManager]) -> (Vec<Vec<i64>>, BTreeSet<(u32, u64)>) {
+    let mut states = Vec::with_capacity(managers.len());
+    let mut committed = BTreeSet::new();
+    for (shard, pm) in managers.iter().enumerate() {
+        for txn in pm.children_of(pm.root()).unwrap_or_default() {
+            if pm.state_of(txn) == Ok(TxnState::Committed) {
+                committed.insert((shard as u32, txn.0 as u64));
+            }
+        }
+        let state: Vec<i64> = pm
+            .schema()
+            .entity_ids()
+            .map(|e| {
+                pm.store()
+                    .versions_of(e)
+                    .unwrap_or_default()
+                    .into_iter()
+                    .filter(|m| {
+                        m.author == INITIAL_AUTHOR
+                            || pm.state_of(Txn(m.author.0 as usize)) == Ok(TxnState::Committed)
+                    })
+                    .max_by_key(|m| m.stamp)
+                    .map_or(0, |m| m.value)
+            })
+            .collect();
+        states.push(state);
+    }
+    (states, committed)
 }
 
 /// The correlation id to stamp on a forged (fault-injected) reply to the

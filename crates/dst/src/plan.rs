@@ -33,6 +33,8 @@ pub const MAX_VALUE: i64 = 100;
 pub const STEPS: usize = 64;
 /// Percent of steps that carry an injected fault.
 const FAULT_PCT: u64 = 22;
+/// Percent of steps that end in a whole-server crash-restart.
+const CRASH_PCT: u64 = 4;
 
 /// One injected fault, attached to a single step's first request.
 /// Client-internal retries of the same step are delivered cleanly — the
@@ -70,6 +72,19 @@ pub enum Fault {
     /// is applied, the server reaps the connection (running its
     /// abort-on-disconnect sweep), the client poisons and reconnects.
     Reset,
+    /// A whole-server power cut *after* the step's op completes: the
+    /// step's request (and its ack) go through cleanly, then the
+    /// simulated storage loses a torn suffix of its unsynced bytes, every
+    /// connection vaporizes without a goodbye or abort sweep, and a fresh
+    /// service incarnation recovers from the write-ahead log. `torn_salt`
+    /// seeds how much of each segment's unsynced tail survives. The
+    /// durability oracle compares the recovered state against the dying
+    /// incarnation's committed effects — "commit acked then instant
+    /// kill" is exactly the scenario this fault manufactures.
+    Crash {
+        /// Seed for the per-segment torn-write prefix.
+        torn_salt: u32,
+    },
 }
 
 impl Fault {
@@ -419,7 +434,14 @@ pub fn generate(seed: u64) -> RunPlan {
                 _ => OpKind::Metrics,
             },
         };
-        let fault = if commit_live && rng.below(100) < 40 {
+        let fault = if rng.below(100) < CRASH_PCT {
+            // A power cut can land anywhere; the op itself executes
+            // cleanly first, so a crash on a commit step is the classic
+            // "acked then killed" durability probe.
+            Some(Fault::Crash {
+                torn_salt: rng.next_u64() as u32,
+            })
+        } else if commit_live && rng.below(100) < 40 {
             // The commit of a validated transaction is the one request
             // whose outcome a client must never mis-learn: bias these
             // steps toward the faults that make the outcome ambiguous
@@ -469,6 +491,11 @@ pub fn generate(seed: u64) -> RunPlan {
         match fault {
             Some(Fault::DropRequest | Fault::DropResponse | Fault::Reset) => {
                 phase[client as usize] = [GenPhase::Empty; SLOTS];
+            }
+            Some(Fault::Crash { .. }) => {
+                // The restart severs every connection: all clients lose
+                // every slot, not just the acting one.
+                phase = [[GenPhase::Empty; SLOTS]; CLIENTS];
             }
             Some(Fault::ServerTimeoutApplied | Fault::ServerTimeoutLost) => {
                 if let Some(s) = op.slot() {
@@ -538,6 +565,19 @@ mod tests {
         }
         assert!(batches > 0, "generator never emits batch steps");
         assert!(faulted > 0, "no fault ever lands on a batch step");
+    }
+
+    #[test]
+    fn plans_cover_crash_steps() {
+        let mut crashes = 0usize;
+        for seed in 0..20u64 {
+            crashes += generate(seed)
+                .steps
+                .iter()
+                .filter(|s| matches!(s.fault, Some(Fault::Crash { .. })))
+                .count();
+        }
+        assert!(crashes > 0, "generator never emits crash-restart steps");
     }
 
     #[test]

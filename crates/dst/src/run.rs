@@ -72,6 +72,9 @@ pub struct RunOutcome {
     /// Flight-recorder events lost to ring wraparound (0 in practice;
     /// the causality oracle is skipped when nonzero).
     pub dropped_events: u64,
+    /// Crash-restarts the plan executed (each one ran the durability
+    /// oracle against the dying incarnation's committed effects).
+    pub crashes: usize,
 }
 
 impl RunOutcome {
@@ -170,7 +173,16 @@ pub fn run_plan(plan: &RunPlan, protections: Protections) -> RunOutcome {
             }
         }
 
-        world.borrow_mut().set_fault(step.fault);
+        // A crash fires *after* the step's op completes cleanly (so "ack
+        // then power cut" is exercised); it is never armed as a wire
+        // directive.
+        let crash_salt = match step.fault {
+            Some(Fault::Crash { torn_salt }) => Some(torn_salt),
+            fault => {
+                world.borrow_mut().set_fault(fault);
+                None
+            }
+        };
         let outcome = exec_step(
             &mut clients[c],
             &step.op,
@@ -191,6 +203,16 @@ pub fn run_plan(plan: &RunPlan, protections: Protections) -> RunOutcome {
                 ));
             }
         }
+
+        if let Some(salt) = crash_salt {
+            world.borrow_mut().crash_restart(salt);
+            // Every connection died with the server; the next step each
+            // client takes reconnects into the new incarnation.
+            for cs in clients.iter_mut() {
+                cs.session = None;
+                cs.slots = vec![None; SLOTS];
+            }
+        }
     }
 
     // Orderly goodbyes where possible; the world reaps the rest.
@@ -209,9 +231,34 @@ pub fn run_plan(plan: &RunPlan, protections: Protections) -> RunOutcome {
         .into_inner();
     let end = world.finish();
 
-    // Oracle 1: predicate correctness.
+    // Oracle 1: predicate correctness on the final incarnation. Crashed
+    // epochs are *incomplete* executions (a power cut leaves live
+    // children mid-flight), so the finished-session model check does not
+    // apply to them — their committed work is instead held to account by
+    // the durability oracle (replayed exactly) and the commit-accounting
+    // oracle below, whose server-side count sums every incarnation:
+    // recovery bakes prior commits into the next incarnation's initial
+    // state rather than re-creating the transactions, so each commit is
+    // counted exactly once.
     let report = verify_managers(&end.managers);
     violations.extend(report.violations.iter().cloned());
+    let mut server_committed = report.committed;
+    for managers in &end.epochs {
+        for pm in managers {
+            server_committed += pm
+                .children_of(pm.root())
+                .unwrap_or_default()
+                .into_iter()
+                .filter(|&t| pm.state_of(t) == Ok(TxnState::Committed))
+                .count();
+        }
+    }
+
+    // Oracle 7: durability — every acked commit survives recovery,
+    // nothing revoked is resurrected, recovered state matches the dying
+    // incarnation's committed effects (collected by the world at each
+    // crash and at the final graceful shutdown).
+    violations.extend(end.durability_violations.iter().cloned());
 
     // Oracle 2: end state — every transaction terminal.
     for (shard, pm) in end.managers.iter().enumerate() {
@@ -259,16 +306,15 @@ pub fn run_plan(plan: &RunPlan, protections: Protections) -> RunOutcome {
     };
 
     // Oracle 4: commit accounting (skipped on an incomplete trace, where
-    // `undone` is unknowable).
+    // `undone` is unknowable). Counts span every incarnation.
     if dropped_events == 0
-        && (report.committed + undone < definite_commits
-            || report.committed > definite_commits + ambiguous_commits)
+        && (server_committed + undone < definite_commits
+            || server_committed > definite_commits + ambiguous_commits)
     {
         violations.push(format!(
-            "commit accounting: server committed {} (+{undone} undone by \
+            "commit accounting: server committed {server_committed} (+{undone} undone by \
              cascade) but clients saw {definite_commits} definite + \
-             {ambiguous_commits} ambiguous (double-applied or lost commit)",
-            report.committed
+             {ambiguous_commits} ambiguous (double-applied or lost commit)"
         ));
     }
 
@@ -280,6 +326,7 @@ pub fn run_plan(plan: &RunPlan, protections: Protections) -> RunOutcome {
         canonical_trace: canonical_trace(&rings, dropped_events),
         journal: end.journal,
         dropped_events,
+        crashes: end.crashes,
     }
 }
 
@@ -471,6 +518,14 @@ fn check_causality(rings: &[Vec<ObsEvent>], violations: &mut Vec<String>) -> usi
         // txn -> (seen_begin, committed, aborted)
         let mut life: BTreeMap<(u32, u32), (bool, bool, bool)> = BTreeMap::new();
         for ev in ring {
+            // A recovery replay marks an epoch boundary: the restarted
+            // shard reuses worker-local txn ids, so lifecycle tracking
+            // starts over (the WAL's checkpoint fence is what makes the
+            // reuse safe on the durability side).
+            if matches!(ev.kind, ObsKind::RecoveryReplay { .. }) {
+                life.clear();
+                continue;
+            }
             if ev.txn == ks_obs::NO_TXN {
                 continue;
             }
@@ -546,6 +601,10 @@ fn canonical_trace(rings: &[Vec<ObsEvent>], dropped: u64) -> String {
                     op,
                     attempt,
                     delay_ns: 0,
+                },
+                ObsKind::WalFsync { records, .. } => ObsKind::WalFsync {
+                    records,
+                    sync_ns: 0,
                 },
                 other => other,
             };

@@ -234,6 +234,34 @@ pub enum ObsKind {
         /// Number of requests drained this wakeup.
         n: u32,
     },
+    /// Durability: a record was appended to the write-ahead log (not
+    /// yet durable).
+    WalAppend {
+        /// Encoded frame length in bytes.
+        bytes: u32,
+    },
+    /// Durability: an fsync barrier completed on the log.
+    WalFsync {
+        /// Records the barrier covered (the flush queue depth drained).
+        records: u32,
+        /// Nanoseconds the barrier took. Timing-dependent, so
+        /// deterministic trace comparisons must zero it.
+        sync_ns: u64,
+    },
+    /// Durability: the group-commit flusher amortized one fsync across
+    /// a batch of concurrent commit acknowledgements.
+    GroupCommit {
+        /// Commits acknowledged by this single fsync.
+        n: u32,
+    },
+    /// Durability: recovery replayed the log onto one shard's state at
+    /// service startup.
+    RecoveryReplay {
+        /// Committed writes applied to the shard's base state.
+        writes: u32,
+        /// Finally-committed transactions recovered on the shard.
+        committed: u32,
+    },
     /// Simulation: transaction (re)started.
     SimBegin,
     /// Simulation: a read executed.
@@ -278,6 +306,10 @@ impl ObsKind {
             ObsKind::NetRetry { .. } => "net_retry",
             ObsKind::NetBatch { .. } => "net_batch",
             ObsKind::WorkerDrain { .. } => "worker_drain",
+            ObsKind::WalAppend { .. } => "wal_append",
+            ObsKind::WalFsync { .. } => "wal_fsync",
+            ObsKind::GroupCommit { .. } => "group_commit",
+            ObsKind::RecoveryReplay { .. } => "recovery_replay",
             ObsKind::SimBegin => "sim_begin",
             ObsKind::SimRead { .. } => "sim_read",
             ObsKind::SimWrite { .. } => "sim_write",
@@ -319,6 +351,10 @@ impl ObsKind {
             } => (24, op.code(), attempt, delay_ns),
             ObsKind::NetBatch { ops } => (25, ops, 0, 0),
             ObsKind::WorkerDrain { n } => (26, n, 0, 0),
+            ObsKind::WalAppend { bytes } => (27, bytes, 0, 0),
+            ObsKind::WalFsync { records, sync_ns } => (28, records, 0, sync_ns),
+            ObsKind::GroupCommit { n } => (29, n, 0, 0),
+            ObsKind::RecoveryReplay { writes, committed } => (30, writes, committed, 0),
             ObsKind::SimBegin => (17, 0, 0, 0),
             ObsKind::SimRead { entity } => (18, entity, 0, 0),
             ObsKind::SimWrite { entity } => (19, entity, 0, 0),
@@ -387,6 +423,16 @@ impl ObsKind {
             },
             25 => ObsKind::NetBatch { ops: a },
             26 => ObsKind::WorkerDrain { n: a },
+            27 => ObsKind::WalAppend { bytes: a },
+            28 => ObsKind::WalFsync {
+                records: a,
+                sync_ns: c,
+            },
+            29 => ObsKind::GroupCommit { n: a },
+            30 => ObsKind::RecoveryReplay {
+                writes: a,
+                committed: b,
+            },
             17 => ObsKind::SimBegin,
             18 => ObsKind::SimRead { entity: a },
             19 => ObsKind::SimWrite { entity: a },
@@ -511,6 +557,16 @@ mod tests {
             },
             ObsKind::NetBatch { ops: 6 },
             ObsKind::WorkerDrain { n: 32 },
+            ObsKind::WalAppend { bytes: 33 },
+            ObsKind::WalFsync {
+                records: 12,
+                sync_ns: 1_250_000,
+            },
+            ObsKind::GroupCommit { n: 8 },
+            ObsKind::RecoveryReplay {
+                writes: 40,
+                committed: 13,
+            },
             ObsKind::Enqueue { op: OpCode::Batch },
             ObsKind::SimBegin,
             ObsKind::SimRead { entity: 8 },

@@ -114,6 +114,18 @@ pub fn event_to_json(ev: &ObsEvent) -> String {
         ObsKind::WorkerDrain { n } => {
             let _ = write!(s, ",\"n\":{n}");
         }
+        ObsKind::WalAppend { bytes } => {
+            let _ = write!(s, ",\"bytes\":{bytes}");
+        }
+        ObsKind::WalFsync { records, sync_ns } => {
+            let _ = write!(s, ",\"records\":{records},\"sync_ns\":{sync_ns}");
+        }
+        ObsKind::GroupCommit { n } => {
+            let _ = write!(s, ",\"n\":{n}");
+        }
+        ObsKind::RecoveryReplay { writes, committed } => {
+            let _ = write!(s, ",\"writes\":{writes},\"committed\":{committed}");
+        }
         ObsKind::SimRead { entity } | ObsKind::SimWrite { entity } => {
             let _ = write!(s, ",\"entity\":{entity}");
         }
@@ -283,6 +295,18 @@ pub fn event_from_json(line_no: usize, text: &str) -> Result<ObsEvent, JsonError
         },
         "net_batch" => ObsKind::NetBatch { ops: f.u32("ops")? },
         "worker_drain" => ObsKind::WorkerDrain { n: f.u32("n")? },
+        "wal_append" => ObsKind::WalAppend {
+            bytes: f.u32("bytes")?,
+        },
+        "wal_fsync" => ObsKind::WalFsync {
+            records: f.u32("records")?,
+            sync_ns: f.u64("sync_ns")?,
+        },
+        "group_commit" => ObsKind::GroupCommit { n: f.u32("n")? },
+        "recovery_replay" => ObsKind::RecoveryReplay {
+            writes: f.u32("writes")?,
+            committed: f.u32("committed")?,
+        },
         "sim_begin" => ObsKind::SimBegin,
         "sim_read" => ObsKind::SimRead {
             entity: f.u32("entity")?,

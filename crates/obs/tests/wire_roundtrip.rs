@@ -84,6 +84,26 @@ fn corpus() -> Vec<ObsEvent> {
         ObsKind::NetBatch { ops: u32::MAX },
         ObsKind::WorkerDrain { n: 1 },
         ObsKind::WorkerDrain { n: u32::MAX },
+        ObsKind::WalAppend { bytes: 0 },
+        ObsKind::WalAppend { bytes: u32::MAX },
+        ObsKind::WalFsync {
+            records: 0,
+            sync_ns: u64::MAX / 2,
+        },
+        ObsKind::WalFsync {
+            records: u32::MAX,
+            sync_ns: 0,
+        },
+        ObsKind::GroupCommit { n: 1 },
+        ObsKind::GroupCommit { n: u32::MAX },
+        ObsKind::RecoveryReplay {
+            writes: 0,
+            committed: u32::MAX,
+        },
+        ObsKind::RecoveryReplay {
+            writes: u32::MAX,
+            committed: 0,
+        },
         ObsKind::Enqueue { op: OpCode::Batch },
         ObsKind::Reply {
             op: OpCode::Batch,

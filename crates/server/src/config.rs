@@ -7,6 +7,7 @@
 //! nothing can ever enter, a session cap of zero, or a zero timeout that
 //! turns every call into an instant `Timeout`.
 
+use crate::durability::Durability;
 use crate::error::ServerError;
 use ks_obs::Recorder;
 use ks_predicate::Strategy;
@@ -37,6 +38,11 @@ pub struct ServerConfig {
     /// into the recorder's rings (see `ks-obs`); `None` disables
     /// instrumentation entirely.
     pub recorder: Option<Recorder>,
+    /// Crash durability. [`Durability::Wal`] makes the commit path
+    /// log-then-flush through a write-ahead log and replays it at
+    /// startup; the default [`Durability::None`] keeps the pre-WAL
+    /// in-memory behaviour.
+    pub durability: Durability,
 }
 
 impl Default for ServerConfig {
@@ -48,6 +54,7 @@ impl Default for ServerConfig {
             request_timeout: Duration::from_secs(10),
             strategy: Strategy::Backtracking,
             recorder: None,
+            durability: Durability::None,
         }
     }
 }
@@ -126,6 +133,12 @@ impl ServerConfigBuilder {
         self
     }
 
+    /// Select crash durability (write-ahead logging or none).
+    pub fn durability(mut self, durability: Durability) -> Self {
+        self.config.durability = durability;
+        self
+    }
+
     /// Validate and produce the config.
     pub fn build(self) -> Result<ServerConfig, ConfigError> {
         let c = &self.config;
@@ -189,6 +202,7 @@ mod tests {
         assert_eq!(c.request_timeout, Duration::from_millis(250));
         assert_eq!(c.strategy, Strategy::GreedyLatest);
         assert!(c.recorder.is_none());
+        assert!(matches!(c.durability, Durability::None));
     }
 
     #[test]

@@ -43,6 +43,7 @@
 pub mod backoff;
 pub mod client;
 pub mod config;
+pub mod durability;
 pub mod error;
 pub mod metrics;
 pub mod routing;
@@ -55,6 +56,7 @@ pub(crate) mod worker;
 pub use backoff::Backoff;
 pub use client::{per_op_batch, BatchOp, BatchReply, Client, TxnBuilder};
 pub use config::{ConfigError, ServerConfig, ServerConfigBuilder};
+pub use durability::{Durability, RecoveryReport, StoreFactory, WalOptions};
 pub use error::ServerError;
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ServerMetrics};
 pub use routing::ShardMap;

@@ -1,17 +1,19 @@
 //! The front end: shard workers, admission control, lifecycle.
 
 use crate::config::ServerConfig;
+use crate::durability::{self, Durability, RecoveryReport, WalShared, WorkerWal};
 use crate::metrics::{MetricsSnapshot, ServerMetrics};
 use crate::routing::ShardMap;
 use crate::session::Session;
 use crate::worker::{self, Request, Routed};
 use crate::ServerError;
-use crossbeam::channel::{bounded, Sender};
+use crossbeam::channel::{bounded, unbounded, Sender};
 use ks_core::Specification;
 use ks_kernel::{Schema, UniqueState};
 use ks_obs::{ObsKind, ObsSink, NO_TXN};
 use ks_protocol::manager::ProtocolStats;
 use ks_protocol::ProtocolManager;
+use ks_wal::{Wal, WalConfig, WalRecord};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -37,34 +39,122 @@ pub(crate) struct Shared {
 pub struct TxnService {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<ProtocolManager>>,
+    flusher: Option<JoinHandle<()>>,
+    recovery: Option<RecoveryReport>,
+    wal: Option<Arc<WalShared>>,
 }
 
 impl TxnService {
     /// Start the service: build the shard partition and spawn one worker
     /// per shard, each with a protocol manager rooted at a trivial
     /// specification over the shard's slice of `initial`.
+    ///
+    /// With [`Durability::Wal`], startup first replays the log
+    /// (recovered committed state replaces `initial`), then writes a
+    /// synced checkpoint fence — so reused shard-local txn ids of this
+    /// incarnation can never collide with dead epochs — and GCs the
+    /// segments the checkpoint superseded.
     pub fn new(schema: Schema, initial: &UniqueState, config: ServerConfig) -> Self {
         let map = ShardMap::new(&schema, config.shards);
         let metrics = Arc::new(ServerMetrics::new(map.shards()));
         let obs = config.recorder.as_ref().map(|r| r.sink(u32::MAX));
+
+        // Durability startup: recover, fence, arm the flusher.
+        let mut recovery = None;
+        let mut wal_shared: Option<Arc<WalShared>> = None;
+        let mut flusher = None;
+        let mut group_tx = None;
+        if let Durability::Wal(opts) = &config.durability {
+            let store = (opts.store)();
+            let replayed = ks_wal::recover(&store).expect("wal recovery failed");
+            let mut wal = Wal::open(
+                store,
+                WalConfig {
+                    segment_bytes: opts.segment_bytes,
+                },
+            )
+            .expect("wal open failed");
+            // The startup states this incarnation will actually serve:
+            // recovered committed state, or the configured initial.
+            let states: Vec<Vec<i64>> = match &replayed.states {
+                Some(states) => {
+                    assert_eq!(
+                        states.len(),
+                        map.shards(),
+                        "wal checkpoint shard count does not match this config"
+                    );
+                    states.clone()
+                }
+                None => (0..map.shards())
+                    .map(|s| map.sub_initial(s, initial).values().to_vec())
+                    .collect(),
+            };
+            // Checkpoint fence in a fresh segment, synced before any
+            // request is served; older segments are then garbage.
+            let fence = wal.rotate().expect("wal rotate failed");
+            wal.append(&WalRecord::Checkpoint {
+                shards: states.clone(),
+            })
+            .expect("wal checkpoint append failed");
+            wal.sync().expect("wal checkpoint sync failed");
+            wal.gc_before(fence).expect("wal segment gc failed");
+            recovery = Some(RecoveryReport {
+                recovered: replayed.states.is_some(),
+                records: replayed.records,
+                committed: replayed.committed.clone(),
+                replay: replayed.replay.clone(),
+                states: replayed.states.clone(),
+                torn: replayed.torn.clone(),
+            });
+            let shared = Arc::new(WalShared::new(wal, opts.sync_on_commit));
+            if opts.group_commit && opts.sync_on_commit {
+                let (tx, rx) = unbounded();
+                let (flush_shared, window, sink) =
+                    (Arc::clone(&shared), opts.group_window, obs.clone());
+                flusher = Some(std::thread::spawn(move || {
+                    durability::flusher_loop(flush_shared, rx, window, sink)
+                }));
+                group_tx = Some(tx);
+            }
+            wal_shared = Some(shared);
+        }
+        let recovered_states = recovery.as_ref().and_then(|r| r.states.clone());
+
         let mut senders = Vec::with_capacity(map.shards());
         let mut workers = Vec::with_capacity(map.shards());
         for shard in 0..map.shards() {
             let (tx, rx) = bounded(config.queue_depth.max(1));
-            let mut pm = ProtocolManager::new(
-                map.sub_schema(shard).clone(),
-                &map.sub_initial(shard, initial),
-                Specification::trivial(),
-            );
+            let sub_schema = map.sub_schema(shard).clone();
+            let shard_initial = match &recovered_states {
+                Some(states) => UniqueState::new(&sub_schema, states[shard].clone())
+                    .expect("recovered wal state violates the schema domain"),
+                None => map.sub_initial(shard, initial),
+            };
+            let mut pm = ProtocolManager::new(sub_schema, &shard_initial, Specification::trivial());
             // One ring per shard, shared by the worker's request spans and
             // the manager's protocol decisions (both run on this thread).
             let sink = config.recorder.as_ref().map(|r| r.sink(shard as u32));
             if let Some(s) = &sink {
                 pm.attach_obs(s.clone());
+                if let Some(report) = &recovery {
+                    let counters = report.replay.iter().find(|r| r.shard == shard as u32);
+                    s.emit(
+                        NO_TXN,
+                        ObsKind::RecoveryReplay {
+                            writes: counters.map_or(0, |c| c.writes),
+                            committed: counters.map_or(0, |c| c.committed),
+                        },
+                    );
+                }
             }
+            let wal = wal_shared.as_ref().map(|shared| WorkerWal {
+                shared: Arc::clone(shared),
+                group: group_tx.clone(),
+                shard: shard as u32,
+            });
             let metrics = Arc::clone(&metrics);
             workers.push(std::thread::spawn(move || {
-                worker::run(pm, rx, metrics, sink)
+                worker::run(pm, rx, metrics, sink, wal)
             }));
             senders.push(tx);
         }
@@ -77,7 +167,22 @@ impl TxnService {
                 obs,
             }),
             workers,
+            flusher,
+            recovery,
+            wal: wal_shared,
         }
+    }
+
+    /// What WAL recovery found at startup; `None` when the service runs
+    /// without durability.
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
+    /// Live WAL appender counters (records, bytes, fsyncs, flush queue
+    /// depth); `None` when the service runs without durability.
+    pub fn wal_stats(&self) -> Option<ks_wal::WalStats> {
+        self.wal.as_ref().map(|w| w.stats())
     }
 
     /// Open a session, or shed it with [`ServerError::Backpressure`] when
@@ -145,9 +250,16 @@ impl TxnService {
                 request: Request::Shutdown,
             });
         }
-        self.workers
+        let managers: Vec<ProtocolManager> = self
+            .workers
             .into_iter()
             .map(|w| w.join().expect("shard worker panicked"))
-            .collect()
+            .collect();
+        // Workers were the only ticket senders; with them gone the
+        // group flusher drains its queue and exits.
+        if let Some(flusher) = self.flusher {
+            flusher.join().expect("group-commit flusher panicked");
+        }
+        managers
     }
 }

@@ -17,6 +17,7 @@
 //! single reply rendezvous.
 
 use crate::client::{BatchOp, BatchReply};
+use crate::durability::{CommitAck, WorkerWal};
 use crate::metrics::ServerMetrics;
 use crate::ServerError;
 use crossbeam::channel::{Receiver, Sender};
@@ -161,23 +162,33 @@ fn exec_read(
 }
 
 /// Execute one write against the manager (shared by `Write` and
-/// `OpBatch`), counting re-eval consequences.
+/// `OpBatch`), counting re-eval consequences. An applied write logs its
+/// WAL record, followed by an `Abort` record for every re-eval victim
+/// (the log must witness the undo of anything it witnessed applied).
 fn exec_write(
     pm: &mut ProtocolManager,
     metrics: &ServerMetrics,
+    wal: &Option<WorkerWal>,
+    sink: &Option<ObsSink>,
     txn: Txn,
     entity: EntityId,
     value: Value,
 ) -> Result<(), ServerError> {
     precheck(pm, txn).and_then(|()| match pm.write(txn, entity, value) {
         Ok(report) => {
+            let mut aborted = Vec::new();
             for action in &report.reeval {
                 match action {
                     ReEvalAction::Reassigned(_) => ServerMetrics::add(&metrics.re_assigns),
-                    ReEvalAction::Aborted(_) | ReEvalAction::ReassignFailedAborted(_) => {
-                        ServerMetrics::add(&metrics.reeval_aborts)
+                    ReEvalAction::Aborted(t) | ReEvalAction::ReassignFailedAborted(t) => {
+                        ServerMetrics::add(&metrics.reeval_aborts);
+                        aborted.push(t.0 as u64);
                     }
                 }
+            }
+            if let Some(w) = wal {
+                w.log_write(txn.0 as u64, entity.0, value, sink);
+                w.log_aborts(&aborted, sink);
             }
             Ok(())
         }
@@ -205,6 +216,7 @@ pub(crate) fn run(
     requests: Receiver<Routed>,
     metrics: Arc<ServerMetrics>,
     sink: Option<ObsSink>,
+    wal: Option<WorkerWal>,
 ) -> ProtocolManager {
     let mut drained: Vec<Routed> = Vec::with_capacity(DRAIN_MAX);
     'serve: loop {
@@ -254,6 +266,9 @@ pub(crate) fn run(
                         ServerMetrics::add(&metrics.rejected);
                         reject(e)
                     });
+                    if let (Some(w), Ok(txn)) = (&wal, &result) {
+                        w.log_begin(txn.0 as u64, &sink);
+                    }
                     let ok = result.is_ok();
                     let _ = reply.send(result);
                     ok
@@ -295,7 +310,7 @@ pub(crate) fn run(
                     value,
                     reply,
                 } => {
-                    let result = exec_write(&mut pm, &metrics, txn, entity, value);
+                    let result = exec_write(&mut pm, &metrics, &wal, &sink, txn, entity, value);
                     let ok = result.is_ok();
                     let _ = reply.send(result);
                     ok
@@ -309,7 +324,7 @@ pub(crate) fn run(
                                 exec_read(&mut pm, &metrics, txn, entity).map(BatchReply::Value)
                             }
                             BatchOp::Write(entity, value) => {
-                                exec_write(&mut pm, &metrics, txn, entity, value)
+                                exec_write(&mut pm, &metrics, &wal, &sink, txn, entity, value)
                                     .map(|()| BatchReply::Done)
                             }
                         })
@@ -329,7 +344,12 @@ pub(crate) fn run(
                         Ok(CommitOutcome::OutputViolated) => {
                             // The transaction cannot terminate successfully;
                             // abort it so its versions don't dangle.
-                            let _ = pm.abort(txn);
+                            let cascaded = pm.abort(txn).unwrap_or_default();
+                            if let Some(w) = &wal {
+                                let mut victims = vec![txn.0 as u64];
+                                victims.extend(cascaded.iter().map(|t| t.0 as u64));
+                                w.log_aborts(&victims, &sink);
+                            }
                             ServerMetrics::add(&metrics.rejected);
                             Err(ServerError::Rejected("output condition violated".into()))
                         }
@@ -339,7 +359,19 @@ pub(crate) fn run(
                         }
                     });
                     let ok = result.is_ok();
-                    let _ = reply.send(result);
+                    // A successful commit acknowledges only once its WAL
+                    // record is durable: inline, or deferred to the group
+                    // flusher (which then owns the reply).
+                    match (&wal, &result) {
+                        (Some(w), Ok(())) => {
+                            if let CommitAck::Ready = w.log_commit(txn.0 as u64, &sink, &reply) {
+                                let _ = reply.send(result);
+                            }
+                        }
+                        _ => {
+                            let _ = reply.send(result);
+                        }
+                    }
                     ok
                 }
                 Request::Abort { txn, reply } => {
@@ -347,7 +379,17 @@ pub(crate) fn run(
                     // not an error: the session is acknowledging the doom.
                     let result = match pm.state_of(txn) {
                         Ok(TxnState::Aborted) => Ok(()),
-                        Ok(_) => pm.abort(txn).map(|_| ()).map_err(reject),
+                        Ok(_) => match pm.abort(txn) {
+                            Ok(cascaded) => {
+                                if let Some(w) = &wal {
+                                    let mut victims = vec![txn.0 as u64];
+                                    victims.extend(cascaded.iter().map(|t| t.0 as u64));
+                                    w.log_aborts(&victims, &sink);
+                                }
+                                Ok(())
+                            }
+                            Err(e) => Err(reject(e)),
+                        },
                         Err(e) => Err(reject(e)),
                     };
                     let ok = result.is_ok();
@@ -358,7 +400,15 @@ pub(crate) fn run(
                     let _ = reply.send(pm.stats());
                     true
                 }
-                Request::Shutdown => break 'serve,
+                Request::Shutdown => {
+                    // Graceful exit leaves the log durable whatever the
+                    // sync mode (simulated crashes kill the store before
+                    // shutdown, so this cannot mask a power cut).
+                    if let Some(w) = &wal {
+                        w.sync_quiet();
+                    }
+                    break 'serve;
+                }
             };
             let exec = exec_start.elapsed();
             metrics.exec_time.record(exec);

@@ -1,0 +1,226 @@
+//! The appender: segment rotation and the prefix-durability contract.
+
+use crate::record::WalRecord;
+use crate::storage::SegmentStore;
+use std::io;
+
+/// Appender tuning.
+#[derive(Debug, Clone)]
+pub struct WalConfig {
+    /// Rotate to a fresh segment once the active one would exceed this
+    /// many bytes (records never span segments). Rotation syncs the
+    /// outgoing segment first, so `sync` on the active segment always
+    /// means "everything appended so far is durable".
+    pub segment_bytes: usize,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig {
+            segment_bytes: 1 << 20,
+        }
+    }
+}
+
+/// Running appender counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records appended over the log's lifetime.
+    pub records: u64,
+    /// Bytes appended (frame bytes, including headers).
+    pub bytes: u64,
+    /// Durability barriers issued (`sync` calls plus rotation syncs).
+    pub syncs: u64,
+    /// Records appended since the last barrier — the flush queue depth.
+    pub pending_records: u64,
+}
+
+/// An append-only segmented write-ahead log over any [`SegmentStore`].
+///
+/// Single-writer by design: the server serializes appends behind one
+/// mutex (shard workers interleave records, which is fine — recovery
+/// keys every record by `(shard, txn)`).
+pub struct Wal<S: SegmentStore> {
+    store: S,
+    config: WalConfig,
+    active: u64,
+    active_len: u64,
+    stats: WalStats,
+    scratch: Vec<u8>,
+}
+
+impl<S: SegmentStore> Wal<S> {
+    /// Open the log: resume the highest existing segment, or create
+    /// segment 0 on fresh media.
+    pub fn open(store: S, config: WalConfig) -> io::Result<Wal<S>> {
+        let mut store = store;
+        let ids = store.list()?;
+        let (active, active_len) = match ids.last() {
+            Some(&id) => (id, store.len(id)?),
+            None => {
+                store.create(0)?;
+                (0, 0)
+            }
+        };
+        Ok(Wal {
+            store,
+            config,
+            active,
+            active_len,
+            stats: WalStats::default(),
+            scratch: Vec::with_capacity(64),
+        })
+    }
+
+    /// Append one record (rotating first if it would overflow the active
+    /// segment). Not durable until the next [`Wal::sync`].
+    pub fn append(&mut self, record: &WalRecord) -> io::Result<()> {
+        self.scratch.clear();
+        record.encode(&mut self.scratch);
+        let frame = self.scratch.len() as u64;
+        if self.active_len > 0 && self.active_len + frame > self.config.segment_bytes as u64 {
+            self.rotate()?;
+        }
+        self.store.append(self.active, &self.scratch)?;
+        self.active_len += frame;
+        self.stats.records += 1;
+        self.stats.bytes += frame;
+        self.stats.pending_records += 1;
+        Ok(())
+    }
+
+    /// Durability barrier: everything appended so far is durable when
+    /// this returns. Returns the number of records the barrier covered
+    /// (the flush queue depth it drained).
+    pub fn sync(&mut self) -> io::Result<u64> {
+        self.store.sync(self.active)?;
+        self.stats.syncs += 1;
+        Ok(std::mem::take(&mut self.stats.pending_records))
+    }
+
+    /// Seal the active segment (syncing it) and start a fresh one.
+    /// Returns the new active segment id — used as the GC fence when a
+    /// checkpoint is about to be written.
+    pub fn rotate(&mut self) -> io::Result<u64> {
+        self.store.sync(self.active)?;
+        self.stats.syncs += 1;
+        self.stats.pending_records = 0;
+        self.active += 1;
+        self.store.create(self.active)?;
+        self.active_len = 0;
+        Ok(self.active)
+    }
+
+    /// Remove every segment below `fence` (they are fully superseded by
+    /// a checkpoint at or after `fence`). Returns how many were removed.
+    pub fn gc_before(&mut self, fence: u64) -> io::Result<usize> {
+        let mut removed = 0;
+        for id in self.store.list()? {
+            if id < fence {
+                self.store.remove(id)?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> WalStats {
+        self.stats
+    }
+
+    /// The active segment id.
+    pub fn active_segment(&self) -> u64 {
+        self.active
+    }
+
+    /// Borrow the underlying store.
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::decode_stream;
+    use crate::storage::MemStore;
+
+    fn rec(txn: u64) -> WalRecord {
+        WalRecord::Commit { shard: 0, txn }
+    }
+
+    #[test]
+    fn append_sync_read_back() {
+        let store = MemStore::new();
+        let mut wal = Wal::open(store.clone(), WalConfig::default()).unwrap();
+        for t in 0..5 {
+            wal.append(&rec(t)).unwrap();
+        }
+        assert_eq!(wal.stats().pending_records, 5);
+        assert_eq!(wal.sync().unwrap(), 5);
+        assert_eq!(wal.stats().pending_records, 0);
+        let scan = decode_stream(&store.read(0).unwrap());
+        assert_eq!(scan.records.len(), 5);
+        assert_eq!(scan.torn, None);
+    }
+
+    #[test]
+    fn rotation_preserves_order_and_syncs_outgoing_segment() {
+        let store = MemStore::new();
+        let frame = rec(0).frame_len();
+        let config = WalConfig {
+            segment_bytes: frame * 3, // three records per segment
+        };
+        let mut wal = Wal::open(store.clone(), config).unwrap();
+        for t in 0..8 {
+            wal.append(&rec(t)).unwrap();
+        }
+        // Two rotations happened (after records 3 and 6); the sealed
+        // segments are durable even though we never called sync().
+        let ids = store.list().unwrap();
+        assert_eq!(ids, vec![0, 1, 2]);
+        store.crash(1); // lose pending bytes of the active segment only
+        let mut bytes = Vec::new();
+        for id in [0u64, 1] {
+            bytes.extend_from_slice(&store.read(id).unwrap());
+        }
+        let scan = decode_stream(&bytes);
+        assert_eq!(
+            scan.records,
+            (0..6).map(rec).collect::<Vec<_>>(),
+            "sealed segments hold the first six records"
+        );
+    }
+
+    #[test]
+    fn reopen_resumes_highest_segment() {
+        let store = MemStore::new();
+        {
+            let mut wal = Wal::open(store.clone(), WalConfig::default()).unwrap();
+            wal.append(&rec(1)).unwrap();
+            wal.rotate().unwrap();
+            wal.append(&rec(2)).unwrap();
+            wal.sync().unwrap();
+        }
+        let mut wal = Wal::open(store.clone(), WalConfig::default()).unwrap();
+        assert_eq!(wal.active_segment(), 1);
+        wal.append(&rec(3)).unwrap();
+        wal.sync().unwrap();
+        let scan = decode_stream(&store.read(1).unwrap());
+        assert_eq!(scan.records, vec![rec(2), rec(3)]);
+    }
+
+    #[test]
+    fn gc_removes_only_segments_below_fence() {
+        let store = MemStore::new();
+        let mut wal = Wal::open(store.clone(), WalConfig::default()).unwrap();
+        wal.append(&rec(1)).unwrap();
+        wal.rotate().unwrap();
+        wal.append(&rec(2)).unwrap();
+        let fence = wal.rotate().unwrap();
+        assert_eq!(fence, 2);
+        assert_eq!(wal.gc_before(fence).unwrap(), 2);
+        assert_eq!(store.list().unwrap(), vec![2]);
+    }
+}

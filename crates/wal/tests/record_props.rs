@@ -1,0 +1,105 @@
+//! Property tests for the WAL frame codec, mirroring the byte-boundary
+//! suite ks-net runs over its `FrameReader`: arbitrary record sequences
+//! must round-trip; arbitrary truncation must yield a clean,
+//! re-decodable prefix; and arbitrary single-byte corruption must never
+//! let a *different* record through (fail-closed, prefix preserved).
+
+use ks_wal::{decode_stream, WalRecord};
+use proptest::prelude::*;
+
+/// An arbitrary record driven by a handful of integers (the vendored
+/// proptest shim has no enum strategies, so records are built from a
+/// tag draw plus field draws).
+fn build_record(tag: u8, shard: u32, txn: u64, entity: u32, value: i64) -> WalRecord {
+    match tag % 5 {
+        0 => WalRecord::Begin { shard, txn },
+        1 => WalRecord::Write {
+            shard,
+            txn,
+            entity,
+            value,
+        },
+        2 => WalRecord::Commit { shard, txn },
+        3 => WalRecord::Abort { shard, txn },
+        _ => WalRecord::Checkpoint {
+            shards: vec![
+                vec![value, value.wrapping_add(entity as i64)],
+                vec![txn as i64],
+            ],
+        },
+    }
+}
+
+fn encode_all(records: &[WalRecord]) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    for r in records {
+        r.encode(&mut bytes);
+    }
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn round_trip_arbitrary_sequences(
+        seeds in prop::collection::vec((any::<u8>(), any::<u32>(), any::<u64>(), any::<u32>(), any::<i64>()), 0..12)
+    ) {
+        let records: Vec<WalRecord> = seeds
+            .iter()
+            .map(|&(t, s, x, e, v)| build_record(t, s, x, e, v))
+            .collect();
+        let bytes = encode_all(&records);
+        let scan = decode_stream(&bytes);
+        prop_assert_eq!(scan.records, records);
+        prop_assert_eq!(scan.clean_len, bytes.len());
+        prop_assert!(scan.torn.is_none());
+    }
+
+    #[test]
+    fn truncation_yields_clean_redecodable_prefix(
+        seeds in prop::collection::vec((any::<u8>(), any::<u32>(), any::<u64>(), any::<u32>(), any::<i64>()), 1..8),
+        cut in any::<u16>()
+    ) {
+        let records: Vec<WalRecord> = seeds
+            .iter()
+            .map(|&(t, s, x, e, v)| build_record(t, s, x, e, v))
+            .collect();
+        let bytes = encode_all(&records);
+        let keep = (cut as usize) % (bytes.len() + 1);
+        let scan = decode_stream(&bytes[..keep]);
+        // The clean prefix is a prefix of the original sequence…
+        prop_assert!(scan.records.len() <= records.len());
+        prop_assert_eq!(&scan.records[..], &records[..scan.records.len()]);
+        // …and re-decoding exactly the clean bytes reproduces it with no
+        // torn tail (the recovery idempotence recovery relies on).
+        let again = decode_stream(&bytes[..scan.clean_len]);
+        prop_assert_eq!(again.records, scan.records);
+        prop_assert!(again.torn.is_none());
+        // A cut that is not at a frame boundary must be reported torn.
+        prop_assert_eq!(scan.torn.is_some(), keep != scan.clean_len);
+    }
+
+    #[test]
+    fn single_byte_corruption_fails_closed(
+        seeds in prop::collection::vec((any::<u8>(), any::<u32>(), any::<u64>(), any::<u32>(), any::<i64>()), 1..6),
+        victim in any::<u16>(),
+        flip in 1..=255u8
+    ) {
+        let records: Vec<WalRecord> = seeds
+            .iter()
+            .map(|&(t, s, x, e, v)| build_record(t, s, x, e, v))
+            .collect();
+        let mut bytes = encode_all(&records);
+        let at = (victim as usize) % bytes.len();
+        bytes[at] ^= flip;
+        let scan = decode_stream(&bytes);
+        // Every decoded record must be one we actually wrote, in order:
+        // corruption may truncate history but never invent or alter it.
+        // (A flipped length field can desync framing, so decoding could
+        // stop before the corrupted byte's own frame — that's fine; what
+        // is not fine is a record surviving with different contents.)
+        prop_assert!(scan.records.len() <= records.len());
+        prop_assert_eq!(&scan.records[..], &records[..scan.records.len()]);
+    }
+}

@@ -29,8 +29,12 @@ cargo test -q -p ks-net
 echo "== exp_net_load --smoke (loopback TCP vs in-process, pipeline×batch sweep)"
 cargo run --release -q -p ks-bench --bin exp_net_load -- --smoke
 
+echo "== exp_wal --smoke (group commit must amortize fsyncs ≥4× at 8 clients)"
+cargo run --release -q -p ks-bench --bin exp_wal -- --smoke
+
 echo "== validate_bench (BENCH_*.json schema + zero violations)"
-cargo run --release -q -p ks-bench --bin validate_bench -- BENCH_net.json BENCH_server.json
+cargo run --release -q -p ks-bench --bin validate_bench -- \
+    BENCH_net.json BENCH_server.json BENCH_wal.json
 
 echo "== ks-dst (determinism + teeth + proto fuzz)"
 cargo test -q -p ks-dst
@@ -42,4 +46,8 @@ echo "== dst_smoke teeth (a disabled protection must be caught)"
 cargo run --release -q -p ks-bench --bin dst_smoke -- \
     --seeds 25 --disable timeout-carveout --expect-violation
 
-echo "OK: fmt, clippy, tests, obs wire round-trip, server smoke, net smoke, bench gate, dst gate all green"
+echo "== dst_smoke durability teeth (no commit-record flush ⇒ oracles must catch lost commits)"
+cargo run --release -q -p ks-bench --bin dst_smoke -- \
+    --seeds 25 --disable commit-flush --expect-violation
+
+echo "OK: fmt, clippy, tests, obs wire round-trip, server smoke, net smoke, wal gate, bench gate, dst gate all green"
