@@ -11,14 +11,26 @@
 //! service runs with the write-ahead log on (in-memory media, group
 //! commit), so the durability pipeline is always on screen.
 //!
+//! Live mode additions: every frame pulls the service's windowed
+//! telemetry *incrementally* (`TxnService::telemetry`, the same delta
+//! stream a remote poller gets over the wire), renders a p99-over-time
+//! sparkline against a declarative SLO (`--slo p99<=800us@3s`), a
+//! per-shard latency heat column, and the slowest sampled traces with
+//! their per-hop latency breakdown (the service runs at a 5% trace
+//! sampling rate).
+//!
 //! The run is finite — `--frames N` frames at `--interval-ms M` — so the
 //! binary doubles as a smoke test: after the last frame the load stops,
 //! the service shuts down, and every shard manager is model-checked.
 //! `--plain` suppresses the ANSI clear-screen for logs and CI.
+//! `--no-wal` runs without durability: the WAL panel degrades to a
+//! placeholder line, never a panic.
 
 use ks_core::Specification;
 use ks_kernel::{Domain, EntityId, Schema, UniqueState};
-use ks_obs::{event_to_json, ObsEvent, ObsKind, Recorder};
+use ks_obs::{
+    event_to_json, stitch_traces, ObsEvent, ObsKind, Recorder, SloSpec, TraceTree, WindowSnapshot,
+};
 use ks_predicate::{Atom, Clause, CmpOp, Cnf, Strategy};
 use ks_server::metrics::fmt_duration;
 use ks_server::{
@@ -36,11 +48,18 @@ const ENTITIES: usize = 32;
 const RING_CAPACITY: usize = 1 << 14;
 /// Decision events kept for the "recent decisions" panel.
 const RECENT: usize = 8;
+/// Service-originated trace sampling rate for the slowest-traces panel.
+const TRACE_SAMPLE: f64 = 0.05;
 
 struct Options {
     frames: usize,
     interval: Duration,
     plain: bool,
+    /// Run without durability; the WAL panel becomes a placeholder.
+    no_wal: bool,
+    /// Declarative latency objective checked against the live telemetry.
+    slo: SloSpec,
+    slo_raw: String,
 }
 
 fn parse_options() -> Options {
@@ -48,6 +67,9 @@ fn parse_options() -> Options {
         frames: 10,
         interval: Duration::from_millis(500),
         plain: false,
+        no_wal: false,
+        slo: SloSpec::parse("p99<=50ms@3s").expect("default SLO parses"),
+        slo_raw: "p99<=50ms@3s".to_string(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -60,7 +82,16 @@ fn parse_options() -> Options {
             "--frames" => opts.frames = number("--frames") as usize,
             "--interval-ms" => opts.interval = Duration::from_millis(number("--interval-ms")),
             "--plain" => opts.plain = true,
-            other => panic!("unknown flag {other} (try --frames N --interval-ms M --plain)"),
+            "--no-wal" => opts.no_wal = true,
+            "--slo" => {
+                let raw = args.next().expect("--slo needs a spec like p99<=800us@3s");
+                opts.slo = SloSpec::parse(&raw).unwrap_or_else(|e| panic!("{e}"));
+                opts.slo_raw = raw;
+            }
+            other => panic!(
+                "unknown flag {other} \
+                 (try --frames N --interval-ms M --plain --no-wal --slo p99<=800us@3s)"
+            ),
         }
     }
     opts
@@ -174,6 +205,10 @@ struct FrameState {
     last: Instant,
     last_committed: u64,
     last_events: u64,
+    /// Ring drains are non-destructive snapshots, so each frame re-sees
+    /// retained events; only events newer than this watermark are folded
+    /// into the accumulating panels.
+    seen_ts: u64,
     recent: Vec<ObsEvent>,
     /// Group-commit batch sizes seen so far, bucketed.
     group_hist: [u64; GROUP_BUCKETS.len()],
@@ -181,6 +216,41 @@ struct FrameState {
     /// running mean batch size).
     group_flushes: u64,
     group_commits: u64,
+    /// Span events accumulated for the slowest-traces panel (bounded).
+    spans: Vec<ObsEvent>,
+    /// Incremental-telemetry cursor (`TxnService::telemetry`).
+    telemetry_cursor: u64,
+    /// Closed telemetry windows pulled so far (bounded), oldest first.
+    series: Vec<WindowSnapshot>,
+}
+
+/// Eight-level bar: `scale` maps to the top character.
+const SPARK: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+fn spark(value: u64, scale: u64) -> char {
+    let level = (value as f64 / scale.max(1) as f64 * (SPARK.len() - 1) as f64).round() as usize;
+    SPARK[level.min(SPARK.len() - 1)]
+}
+
+/// One compact line per trace: end-to-end total plus per-hop self times.
+fn trace_line(t: &TraceTree) -> String {
+    let hops = t
+        .hop_latencies()
+        .iter()
+        .map(|h| {
+            format!(
+                "{} {}",
+                h.hop.name(),
+                fmt_duration(Some(Duration::from_nanos(h.self_ns)))
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(" + ");
+    format!(
+        "  {:#018x} {:>9} = {hops}",
+        t.trace,
+        fmt_duration(Some(Duration::from_nanos(t.total_ns())))
+    )
 }
 
 fn render(
@@ -200,21 +270,40 @@ fn render(
     state.last_committed = snap.committed;
     state.last_events = recorded;
 
-    // Fold freshly drained decision events into the recent panel and
-    // group-commit batch sizes into the histogram; the drain also keeps
-    // the rings from wrapping between frames.
+    // Fold freshly drained events into the accumulating panels. Drains
+    // are non-destructive ring snapshots, so the watermark keeps a
+    // retained event from being counted once per frame.
+    let mut newest = state.seen_ts;
     for ev in recorder.drain() {
+        if ev.ts <= state.seen_ts {
+            continue;
+        }
+        newest = newest.max(ev.ts);
         if let ObsKind::GroupCommit { n } = ev.kind {
             state.group_hist[group_bucket(n)] += 1;
             state.group_flushes += 1;
             state.group_commits += u64::from(n);
         }
+        if matches!(ev.kind, ObsKind::SpanStart { .. } | ObsKind::SpanEnd { .. }) {
+            state.spans.push(ev);
+        }
         if is_decision(&ev.kind) {
             state.recent.push(ev);
         }
     }
+    state.seen_ts = newest;
     let overflow = state.recent.len().saturating_sub(RECENT);
     state.recent.drain(..overflow);
+    let span_overflow = state.spans.len().saturating_sub(4096);
+    state.spans.drain(..span_overflow);
+
+    // Pull the windowed telemetry incrementally — the identical delta
+    // stream a remote `Request::Telemetry` poller reconstructs from.
+    let delta = svc.telemetry(state.telemetry_cursor);
+    state.telemetry_cursor = delta.next_seq;
+    state.series.extend(delta.windows);
+    let series_overflow = state.series.len().saturating_sub(64);
+    state.series.drain(..series_overflow);
 
     if !opts.plain {
         print!("\x1b[2J\x1b[H");
@@ -233,15 +322,69 @@ fn render(
     println!("{}", MetricsSnapshot::header());
     println!("{snap}");
     println!();
-    println!("{:>6} {:>10} {:>10} {:>7}", "shard", "p50", "p99", "queue");
+    // Per-shard heat: each shard's p99 scaled against the hottest shard.
+    let hottest = snap
+        .shard_p99
+        .iter()
+        .filter_map(|d| *d)
+        .max()
+        .map_or(1, |d| d.as_nanos() as u64);
+    println!(
+        "{:>6} {:>10} {:>10} {:>7} {:>5}",
+        "shard", "p50", "p99", "queue", "heat"
+    );
     for shard in 0..snap.shard_p50.len() {
         println!(
-            "{:>6} {:>10} {:>10} {:>7}",
+            "{:>6} {:>10} {:>10} {:>7} {:>5}",
             shard,
             fmt_duration(snap.shard_p50[shard]),
             fmt_duration(snap.shard_p99[shard]),
             snap.queue_depths.get(shard).copied().unwrap_or(0),
+            spark(
+                snap.shard_p99[shard].map_or(0, |d| d.as_nanos() as u64),
+                hottest
+            ),
         );
+    }
+    println!();
+
+    // SLO panel: p99 over time from the pulled windows, the SLO limit at
+    // half scale so a breach is visibly above the midline.
+    let breaches = opts.slo.check(&state.series);
+    let line: String = state
+        .series
+        .iter()
+        .map(|w| spark(w.p99_ns().unwrap_or(0), opts.slo.limit_ns.saturating_mul(2)))
+        .collect();
+    println!(
+        "slo {} — {} window(s) pulled, {} breach(es){}   p99/s [{}]",
+        opts.slo_raw,
+        state.series.len(),
+        breaches.len(),
+        match breaches.last() {
+            Some(b) => format!(
+                " (last: {} at window {})",
+                fmt_duration(Some(Duration::from_nanos(b.value_ns))),
+                b.start_seq
+            ),
+            None => String::new(),
+        },
+        line,
+    );
+    println!();
+
+    // Slowest sampled traces, with per-hop self-time attribution.
+    let mut trees: Vec<TraceTree> = stitch_traces(&state.spans)
+        .into_iter()
+        .filter(TraceTree::is_well_formed)
+        .collect();
+    trees.sort_by_key(|t| std::cmp::Reverse(t.total_ns()));
+    println!("slowest traces (sampled at {TRACE_SAMPLE}):");
+    if trees.is_empty() {
+        println!("  (none sampled yet)");
+    }
+    for t in trees.iter().take(3) {
+        println!("{}", trace_line(t));
     }
     println!();
     if let Some(wal) = svc.wal_stats() {
@@ -267,6 +410,11 @@ fn render(
             None => println!("recovery at boot: (none)"),
         }
         println!();
+    } else {
+        // No durability configured (`--no-wal`): keep the panel slot so
+        // the layout is stable, and never panic on the absent stats.
+        println!("wal: (off — running without durability)");
+        println!();
     }
     println!("recent protocol decisions:");
     if state.recent.is_empty() {
@@ -291,11 +439,18 @@ fn main() {
     // Durable dashboard: the WAL runs over in-memory media with group
     // commit on and a short window, so the wal/group-size panels show a
     // live durability pipeline without touching the filesystem.
-    let media = MemStore::new();
-    let mut wal = WalOptions::new(Arc::new(move || {
-        Box::new(media.clone()) as Box<dyn SegmentStore>
-    }));
-    wal.group_window = Duration::from_micros(500);
+    // `--no-wal` drops durability entirely; the WAL panel degrades to a
+    // placeholder.
+    let durability = if opts.no_wal {
+        Durability::None
+    } else {
+        let media = MemStore::new();
+        let mut wal = WalOptions::new(Arc::new(move || {
+            Box::new(media.clone()) as Box<dyn SegmentStore>
+        }));
+        wal.group_window = Duration::from_micros(500);
+        Durability::Wal(wal)
+    };
     let svc = TxnService::new(
         schema,
         &initial,
@@ -304,7 +459,8 @@ fn main() {
             max_sessions: CLIENTS,
             strategy: Strategy::GreedyLatest,
             recorder: Some(recorder.clone()),
-            durability: Durability::Wal(wal),
+            durability,
+            trace_sample: TRACE_SAMPLE,
             ..ServerConfig::default()
         },
     );
@@ -319,10 +475,14 @@ fn main() {
             last: Instant::now(),
             last_committed: 0,
             last_events: 0,
+            seen_ts: 0,
             recent: Vec::new(),
             group_hist: [0; GROUP_BUCKETS.len()],
             group_flushes: 0,
             group_commits: 0,
+            spans: Vec::new(),
+            telemetry_cursor: 0,
+            series: Vec::new(),
         };
         for frame in 0..opts.frames {
             std::thread::sleep(opts.interval);

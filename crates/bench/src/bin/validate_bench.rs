@@ -16,7 +16,10 @@
 //!   `group_over_naive_fsync_per_commit` is a positive number, with a
 //!   `pass` verdict against the amortization gate that must be `true`
 //!   (fsync counts are schedule-robust, so smoke runs carry the verdict
-//!   too).
+//!   too);
+//! * `obs` reports additionally: an `overhead` object with a numeric
+//!   `value` and a mandatory `pass` verdict against the tracing-overhead
+//!   budget (best-of-alternating-rounds absorbs CI timing noise).
 //!
 //! Usage: `validate_bench BENCH_net.json [BENCH_server.json ...]`
 
@@ -85,6 +88,32 @@ fn validate(name: &str, doc: &Json, errors: &mut Vec<String>) {
                 let gate = ratio.get("gate").and_then(Json::as_f64).unwrap_or(f64::NAN);
                 err(format!("throughput ratio {r:.2} is below the {gate} gate"));
             }
+        }
+    }
+    if bench == "obs" {
+        let Some(overhead) = doc.get("overhead") else {
+            err("obs report missing \"overhead\" object".to_string());
+            return;
+        };
+        let value = overhead.get("value").and_then(Json::as_f64);
+        if value.is_none() {
+            err("overhead missing numeric \"value\"".to_string());
+        }
+        let gate = overhead
+            .get("gate")
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN);
+        // The tracing-overhead verdict is mandatory — smoke runs
+        // included: best-of-alternating-rounds absorbs CI timing noise,
+        // and a silent overhead regression defeats the point of a
+        // sampling knob.
+        match overhead.get("pass").and_then(Json::as_bool) {
+            Some(true) => {}
+            Some(false) => err(format!(
+                "tracing overhead {:.3} exceeds the {gate} budget",
+                value.unwrap_or(f64::NAN)
+            )),
+            None => err("overhead missing boolean \"pass\"".to_string()),
         }
     }
     if bench == "wal" {

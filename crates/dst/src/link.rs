@@ -495,14 +495,17 @@ impl World {
                 // it displaces, or the client would rightly discard it.
                 let corr = forged_corr(&bytes);
                 self.deliver(conn, &bytes, &[], false);
-                self.push_response(conn, corr, &Response::error(&ServerError::Timeout));
+                // Forged frames echo trace 0: the fault injector peeks
+                // only the correlation id, and the client ignores the
+                // echoed trace anyway.
+                self.push_response(conn, corr, 0, &Response::error(&ServerError::Timeout));
             }
             Some(Fault::ServerTimeoutLost) => {
                 self.note(format!(
                     "conn {conn}: request shed, server Timeout signalled"
                 ));
                 let corr = forged_corr(&bytes);
-                self.push_response(conn, corr, &Response::error(&ServerError::Timeout));
+                self.push_response(conn, corr, 0, &Response::error(&ServerError::Timeout));
             }
             Some(Fault::Reset) => {
                 self.note(format!("conn {conn}: RESET before delivery"));
@@ -582,7 +585,7 @@ impl World {
 
     /// Handle one decoded-or-not frame payload.
     fn on_frame(&mut self, conn: usize, payload: Vec<u8>, keep: bool) {
-        let (corr, req) = match wire::decode_request(&payload) {
+        let (corr, trace, req) = match wire::decode_request(&payload) {
             Ok(decoded) => decoded,
             Err(e) => {
                 let desc = format!("conn {conn}: request decode error: {e}");
@@ -599,7 +602,7 @@ impl World {
                     let session = match self.service.as_ref().map(|s| s.session()) {
                         Some(Ok(session)) => session,
                         Some(Err(e)) => {
-                            self.push_response(conn, corr, &Response::error(&e));
+                            self.push_response(conn, corr, trace, &Response::error(&e));
                             self.reap(conn, "session refused");
                             return;
                         }
@@ -610,10 +613,10 @@ impl World {
                     };
                     self.conns[conn].core = Some(ConnCore::new(session));
                     self.conns[conn].hello_done = true;
-                    self.push_response(conn, corr, &resp);
+                    self.push_response(conn, corr, trace, &resp);
                 }
                 Err(resp) => {
-                    self.push_response(conn, corr, &resp);
+                    self.push_response(conn, corr, trace, &resp);
                     self.reap(conn, "bad hello");
                 }
             }
@@ -629,7 +632,7 @@ impl World {
                 .core
                 .as_mut()
                 .expect("post-hello connection has a core");
-            core.handle(req, || service.map(|s| s.metrics()))
+            core.handle(trace, req, &|| service.map(|s| s.metrics()))
         };
         match action {
             ConnAction::Reply(resp) => {
@@ -637,22 +640,22 @@ impl World {
                     self.acked_commits.insert((conn, id));
                 }
                 if keep {
-                    self.push_response(conn, corr, &resp);
+                    self.push_response(conn, corr, trace, &resp);
                 } else {
                     self.note(format!("conn {conn}: response swallowed"));
                 }
             }
             ConnAction::Bye => {
-                self.push_response(conn, corr, &Response::Bye);
+                self.push_response(conn, corr, trace, &Response::Bye);
                 self.reap(conn, "bye");
             }
         }
     }
 
     /// Frame and enqueue a response for the client to read, echoing the
-    /// request's correlation id.
-    fn push_response(&mut self, conn: usize, corr: u64, resp: &Response) {
-        let payload = wire::encode_response(corr, resp);
+    /// request's correlation and trace ids.
+    fn push_response(&mut self, conn: usize, corr: u64, trace: u64, resp: &Response) {
+        let payload = wire::encode_response(corr, trace, resp);
         let inbox = &mut self.clients[conn].inbox;
         inbox.extend((payload.len() as u32).to_le_bytes());
         inbox.extend(&payload);

@@ -122,6 +122,10 @@ fn dst_client_config(protections: Protections, recorder: &Recorder) -> NetClient
         backoff_cap: Duration::from_nanos(400),
         unsafe_retry_non_idempotent: !protections.timeout_carveout,
         recorder: Some(recorder.clone()),
+        // Trace every request: span breadcrumbs are filtered out of the
+        // canonical trace (they carry wall-clock timestamps) but feed the
+        // causality oracle's span bookkeeping.
+        trace_sample: 1.0,
     }
 }
 
@@ -507,10 +511,11 @@ fn classify(session: &RemoteSession<SimLink>, e: &ServerError) -> Outcome {
     }
 }
 
-/// Per-ring, per-txn lifecycle checks on a complete trace. Returns the
-/// number of commits the protocol later undid by cascade (a committed
-/// sibling aborted when versions it depends on became doomed — legal
-/// per the paper, and needed by the accounting oracle's lower bound).
+/// Per-ring, per-txn lifecycle checks plus cross-ring span pairing on a
+/// complete trace. Returns the number of commits the protocol later
+/// undid by cascade (a committed sibling aborted when versions it
+/// depends on became doomed — legal per the paper, and needed by the
+/// accounting oracle's lower bound).
 fn check_causality(rings: &[Vec<ObsEvent>], violations: &mut Vec<String>) -> usize {
     use std::collections::BTreeMap;
     let mut undone = 0usize;
@@ -569,7 +574,54 @@ fn check_causality(rings: &[Vec<ObsEvent>], violations: &mut Vec<String>) -> usi
             }
         }
     }
+    check_spans(rings, violations);
     undone
+}
+
+/// Distributed-trace span pairing. Spans cross rings — a `Queue` span
+/// opens on the enqueuing session thread and closes on the shard worker
+/// — so the check runs on the merged, time-ordered stream. The network
+/// may legally replay a frame (`Fault::DupRequest` executes the same
+/// traced request twice), so repeated starts open *incarnations* of the
+/// same `(trace, hop)` span; the invariant is that every end closes an
+/// incarnation some start opened before it. A `RecoveryReplay` marks an
+/// epoch boundary: a crash legitimately strands open spans (the thread
+/// that would close them died mid-request), so open incarnations are
+/// *forgiven* — their late ends are accepted silently.
+fn check_spans(rings: &[Vec<ObsEvent>], violations: &mut Vec<String>) {
+    use std::collections::BTreeMap;
+    let mut merged: Vec<&ObsEvent> = rings.iter().flatten().collect();
+    // Starts sort before ends at equal timestamps, so a span opened and
+    // closed within one clock tick still pairs in causal order.
+    merged.sort_by_key(|ev| (ev.ts, !matches!(ev.kind, ObsKind::SpanStart { .. })));
+    // (trace, hop) -> (open incarnations, forgiven incarnations).
+    let mut spans: BTreeMap<(u64, u32), (u64, u64)> = BTreeMap::new();
+    for ev in merged {
+        match ev.kind {
+            ObsKind::RecoveryReplay { .. } => {
+                for (open, forgiven) in spans.values_mut() {
+                    *forgiven += *open;
+                    *open = 0;
+                }
+            }
+            ObsKind::SpanStart { hop, trace, .. } => {
+                spans.entry((trace, hop.code())).or_insert((0, 0)).0 += 1;
+            }
+            ObsKind::SpanEnd { hop, trace, .. } => {
+                let (open, forgiven) = spans.entry((trace, hop.code())).or_insert((0, 0));
+                if *open > 0 {
+                    *open -= 1;
+                } else if *forgiven > 0 {
+                    *forgiven -= 1;
+                } else {
+                    violations.push(format!(
+                        "span causality: trace {trace:#x} hop {hop:?} ends without a start"
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
 }
 
 /// Serialize the rings with every wall-clock-valued field zeroed, so the
@@ -583,10 +635,20 @@ fn canonical_trace(rings: &[Vec<ObsEvent>], dropped: u64) -> String {
         // Worker drain sizes depend on thread wakeup timing (how many
         // requests queued before the shard worker woke), so the events
         // are dropped from the canonical trace entirely — even their
-        // count varies run to run.
-        let logical = ring
-            .iter()
-            .filter(|ev| !matches!(ev.kind, ObsKind::WorkerDrain { .. }));
+        // count varies run to run. Span breadcrumbs and telemetry
+        // deltas go the same way: which WAL flush group a commit lands
+        // in and which 1-second window a request falls into are
+        // wall-clock facts, not logical ones (the span causality oracle
+        // checks them instead).
+        let logical = ring.iter().filter(|ev| {
+            !matches!(
+                ev.kind,
+                ObsKind::WorkerDrain { .. }
+                    | ObsKind::SpanStart { .. }
+                    | ObsKind::SpanEnd { .. }
+                    | ObsKind::TelemetryDelta { .. }
+            )
+        });
         out.push_str(&format!(
             "# ring {i} ({} events)\n",
             logical.clone().count()
@@ -613,4 +675,107 @@ fn canonical_trace(rings: &[Vec<ObsEvent>], dropped: u64) -> String {
         }
     }
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ks_obs::{OpCode, SpanHop, NO_TXN};
+
+    fn ev(ts: u64, kind: ObsKind) -> ObsEvent {
+        ObsEvent {
+            ts,
+            shard: 0,
+            txn: NO_TXN,
+            kind,
+        }
+    }
+
+    fn start(ts: u64, hop: SpanHop, trace: u64) -> ObsEvent {
+        ev(
+            ts,
+            ObsKind::SpanStart {
+                hop,
+                op: OpCode::Commit,
+                trace,
+            },
+        )
+    }
+
+    fn end(ts: u64, hop: SpanHop, trace: u64) -> ObsEvent {
+        ev(
+            ts,
+            ObsKind::SpanEnd {
+                hop,
+                ok: true,
+                trace,
+            },
+        )
+    }
+
+    /// A start/end pair split across two rings (the Queue span opens on
+    /// the session thread and closes on the worker) pairs cleanly.
+    #[test]
+    fn spans_pair_across_rings() {
+        let rings = vec![
+            vec![start(10, SpanHop::Queue, 7)],
+            vec![end(20, SpanHop::Queue, 7)],
+        ];
+        let mut violations = Vec::new();
+        check_spans(&rings, &mut violations);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    /// An end with no start anywhere is a causality violation.
+    #[test]
+    fn orphan_end_is_a_violation() {
+        let rings = vec![vec![end(5, SpanHop::Exec, 9)]];
+        let mut violations = Vec::new();
+        check_spans(&rings, &mut violations);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(
+            violations[0].contains("ends without a start"),
+            "{violations:?}"
+        );
+    }
+
+    /// A replayed frame (Fault::DupRequest) opens two incarnations of
+    /// the same span; two ends close them without complaint, a third
+    /// would not.
+    #[test]
+    fn duplicate_delivery_opens_incarnations() {
+        let rings = vec![vec![
+            start(1, SpanHop::Exec, 3),
+            start(2, SpanHop::Exec, 3),
+            end(3, SpanHop::Exec, 3),
+            end(4, SpanHop::Exec, 3),
+        ]];
+        let mut violations = Vec::new();
+        check_spans(&rings, &mut violations);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    /// A crash strands open spans; the RecoveryReplay epoch boundary
+    /// forgives them, so a late end (the client's Request span closing
+    /// after the server restarted) is not a violation — but an end with
+    /// no start in *any* epoch still is.
+    #[test]
+    fn recovery_epoch_forgives_spans_open_across_the_crash() {
+        let replay = ev(
+            15,
+            ObsKind::RecoveryReplay {
+                writes: 1,
+                committed: 1,
+            },
+        );
+        let rings = vec![
+            vec![start(10, SpanHop::Request, 11)],
+            vec![replay],
+            vec![end(20, SpanHop::Request, 11), end(21, SpanHop::Certify, 12)],
+        ];
+        let mut violations = Vec::new();
+        check_spans(&rings, &mut violations);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("0xc"), "{violations:?}");
+    }
 }

@@ -55,7 +55,10 @@
 use crate::transport::{TcpTransport, Transport, TransportRx};
 use crate::wire::{self, read_frame, write_frame, Request, Response, WireMetrics, HELLO_MAGIC};
 use ks_kernel::{EntityId, Value};
-use ks_obs::{ObsKind, ObsSink, OpCode, Recorder, NO_TXN};
+use ks_obs::{
+    derive_trace_id, trace_sampled, ObsEvent, ObsKind, ObsSink, OpCode, Recorder, SpanHop,
+    TelemetryDelta, NO_TXN,
+};
 use ks_server::{backoff, BatchOp, BatchReply, Client, ServerError, TxnBuilder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -86,8 +89,20 @@ pub struct NetClientConfig {
     /// oracles catch the resulting double-applied commits. Never enable
     /// it in production code.
     pub unsafe_retry_non_idempotent: bool,
-    /// Recorder for [`ObsKind::NetRetry`] / [`ObsKind::NetBatch`] events.
+    /// Recorder for [`ObsKind::NetRetry`] / [`ObsKind::NetBatch`] events
+    /// and client-side [`ObsKind::SpanStart`]/[`ObsKind::SpanEnd`] trace
+    /// breadcrumbs.
     pub recorder: Option<Recorder>,
+    /// Fraction of requests (0.0..=1.0) that originate a distributed
+    /// trace. A sampled request derives a trace id from a per-session
+    /// salt and its correlation id ([`derive_trace_id`]), emits a
+    /// `Request`-hop span around the
+    /// whole send→reply exchange, and carries the id in the wire header
+    /// so every server-side hop (connection handler, shard queue,
+    /// execute, certifier, WAL) records spans under the same trace. Each
+    /// retry is a fresh attempt with a fresh correlation id, so it gets
+    /// its own trace. Default 0.0 (tracing off).
+    pub trace_sample: f64,
 }
 
 impl Default for NetClientConfig {
@@ -100,6 +115,7 @@ impl Default for NetClientConfig {
             backoff_cap: Duration::from_millis(100),
             unsafe_retry_non_idempotent: false,
             recorder: None,
+            trace_sample: 0.0,
         }
     }
 }
@@ -146,6 +162,10 @@ pub struct RemoteSession<T: Transport = TcpTransport> {
     config: NetClientConfig,
     rng: Mutex<StdRng>,
     obs: Option<ObsSink>,
+    /// Per-session salt mixed into trace-id derivation: correlation ids
+    /// are connection-scoped counters, so unsalted ids would collide
+    /// across sessions and corrupt cross-session trace stitching.
+    trace_salt: u64,
 }
 
 impl<T: Transport> std::fmt::Debug for RemoteSession<T> {
@@ -200,7 +220,7 @@ impl<T: Transport> RemoteSession<T> {
         // reserved for it; real requests start at 1.
         write_frame(
             &mut tx,
-            &wire::encode_request(0, &Request::Hello { magic: HELLO_MAGIC }),
+            &wire::encode_request(0, 0, &Request::Hello { magic: HELLO_MAGIC }),
         )
         .map_err(|e| map_io(&e, "hello"))?;
         let shards = match read_one(&mut rx)? {
@@ -232,6 +252,7 @@ impl<T: Transport> RemoteSession<T> {
             shards,
             rng: Mutex::new(StdRng::seed_from_u64(jitter_seed())),
             obs: config.recorder.as_ref().map(|r| r.sink(u32::MAX)),
+            trace_salt: derive_trace_id(jitter_seed()),
             config,
         })
     }
@@ -257,6 +278,31 @@ impl<T: Transport> RemoteSession<T> {
         }
     }
 
+    /// Pull the server's incremental telemetry: every closed 1-second
+    /// window with sequence ≥ `since`, plus the cursor to resume from.
+    /// Polling this in a loop reconstructs the full time series —
+    /// p50/p99/p999, throughput, abort rate, queue depth, WAL flush
+    /// groups — and is sufficient on its own to evaluate an
+    /// [`SloSpec`](ks_obs::SloSpec) client-side.
+    pub fn telemetry(&self, since: u64) -> Result<TelemetryDelta, ServerError> {
+        match self.call(OpCode::Stats, Request::Telemetry { since })? {
+            Response::Telemetry(delta) => Ok(delta),
+            other => Err(self.desync(other)),
+        }
+    }
+
+    /// Pull up to `max` span events from the server's trace-export
+    /// buffer starting at absolute cursor `since`. Returns the next
+    /// cursor (resume from it; a gap means the buffer wrapped past a
+    /// slow poller) and the events, ready for
+    /// [`stitch_traces`](ks_obs::stitch_traces).
+    pub fn trace_export(&self, since: u64, max: u32) -> Result<(u64, Vec<ObsEvent>), ServerError> {
+        match self.call(OpCode::Stats, Request::TraceExport { since, max })? {
+            Response::TraceExport { next, events } => Ok((next, events)),
+            other => Err(self.desync(other)),
+        }
+    }
+
     /// Graceful goodbye: sends Shutdown, awaits Bye, closes the stream.
     pub fn close(self) -> Result<(), ServerError> {
         if self.is_poisoned() {
@@ -265,7 +311,7 @@ impl<T: Transport> RemoteSession<T> {
         let corr = self.next_corr.fetch_add(1, Ordering::Relaxed);
         let mut tx = self.tx.into_inner().unwrap();
         let mut rx = self.rx.into_inner().unwrap();
-        wire::encode_request_into(&mut tx.scratch, corr, &Request::Shutdown);
+        wire::encode_request_into(&mut tx.scratch, corr, 0, &Request::Shutdown);
         write_frame(&mut tx.writer, &tx.scratch).map_err(|e| map_io(&e, "shutdown"))?;
         let _ = rx.set_read_deadline(Some(self.config.request_deadline));
         // Late replies for abandoned correlation ids may still be queued
@@ -288,7 +334,7 @@ impl<T: Transport> RemoteSession<T> {
     fn call(&self, op: OpCode, req: Request) -> Result<Response, ServerError> {
         let mut attempt: u32 = 0;
         loop {
-            match self.exchange(&req) {
+            match self.exchange(op, &req) {
                 // A retryable error only re-sends while the transport is
                 // healthy: `Timeout` from an expired reply deadline
                 // poisons, so it falls through typed. A *server-signalled*
@@ -334,27 +380,89 @@ impl<T: Transport> RemoteSession<T> {
         }
     }
 
-    /// Send one frame and await its correlated reply. Server-signalled
+    /// Send one frame and await its correlated reply, wrapped in the
+    /// `Request` trace hop when this attempt is sampled. Server-signalled
     /// errors come back as `Err` without poisoning; transport failures
     /// poison the connection.
-    fn exchange(&self, req: &Request) -> Result<Response, ServerError> {
-        let corr = self.send_request(req)?;
-        match self.await_reply(corr)? {
+    fn exchange(&self, op: OpCode, req: &Request) -> Result<Response, ServerError> {
+        let corr = self.next_corr.fetch_add(1, Ordering::Relaxed);
+        // The observability plane never traces itself: a traced
+        // telemetry or trace-export pull would append its own spans to
+        // the buffer it is draining, and a drain-until-empty poller
+        // would chase its own tail forever.
+        let trace = match req {
+            Request::Telemetry { .. } | Request::TraceExport { .. } => 0,
+            _ => self.pick_trace(corr),
+        };
+        if trace != 0 {
+            if let Some(obs) = &self.obs {
+                obs.emit(
+                    NO_TXN,
+                    ObsKind::SpanStart {
+                        hop: SpanHop::Request,
+                        op,
+                        trace,
+                    },
+                );
+            }
+        }
+        let result = self
+            .send_with(corr, trace, req)
+            .and_then(|()| self.await_reply(corr));
+        if trace != 0 {
+            // "ok" is the client's view: a deadline expiry or transport
+            // failure closes the span unsuccessfully even though a
+            // server-side span under the same trace may record success.
+            let ok = matches!(&result, Ok(resp) if !matches!(resp, Response::Error { .. }));
+            if let Some(obs) = &self.obs {
+                obs.emit(
+                    NO_TXN,
+                    ObsKind::SpanEnd {
+                        hop: SpanHop::Request,
+                        ok,
+                        trace,
+                    },
+                );
+            }
+        }
+        match result? {
             Response::Error { code, detail } => Err(Response::into_server_error(code, &detail)),
             resp => Ok(resp),
         }
     }
 
+    /// The trace id this attempt carries on the wire: derived from the
+    /// session salt and the attempt's correlation id when sampled, zero
+    /// (untraced) otherwise.
+    fn pick_trace(&self, corr: u64) -> u64 {
+        if self.config.trace_sample <= 0.0 {
+            return 0;
+        }
+        let trace = derive_trace_id(self.trace_salt ^ corr);
+        if trace_sampled(trace, self.config.trace_sample) {
+            trace
+        } else {
+            0
+        }
+    }
+
+    /// Allocate a correlation id, derive this attempt's trace id, and
+    /// send `req`. Returns the id to await. Used by paths that pipeline
+    /// frames without a per-exchange `Request` span (`run_batch`).
+    fn send_request(&self, req: &Request) -> Result<u64, ServerError> {
+        let corr = self.next_corr.fetch_add(1, Ordering::Relaxed);
+        self.send_with(corr, self.pick_trace(corr), req)?;
+        Ok(corr)
+    }
+
     /// Encode `req` into the shared scratch buffer and write it as one
     /// frame, registering its correlation id with the demultiplexer
     /// *before* any byte hits the wire (so a fast reply can never race
-    /// the registration and be dropped as unknown). Returns the id to
-    /// await.
-    fn send_request(&self, req: &Request) -> Result<u64, ServerError> {
-        let corr = self.next_corr.fetch_add(1, Ordering::Relaxed);
+    /// the registration and be dropped as unknown).
+    fn send_with(&self, corr: u64, trace: u64, req: &Request) -> Result<(), ServerError> {
         let mut tx = self.tx.lock().unwrap();
         let TxHalf { writer, scratch } = &mut *tx;
-        wire::encode_request_into(scratch, corr, req);
+        wire::encode_request_into(scratch, corr, trace, req);
         if scratch.len() > wire::MAX_FRAME {
             // Refused before any bytes hit the stream, which is therefore
             // still in sync: a typed per-request error, not poison.
@@ -376,7 +484,7 @@ impl<T: Transport> RemoteSession<T> {
             self.poison(corr, format!("send failed: {e}"));
             return Err(err);
         }
-        Ok(corr)
+        Ok(())
     }
 
     /// Wait for the reply correlated with `corr`, cooperating on the
@@ -511,7 +619,12 @@ fn poison_reason(why: &str) -> String {
 /// `Error` frame is *not* — it is a healthy reply.
 fn read_one<R: TransportRx>(rx: &mut R) -> Result<(u64, Response), ServerError> {
     match read_frame(rx) {
-        Ok(Some(payload)) => wire::decode_response(&payload).map_err(ServerError::from),
+        // The echoed trace id is dropped here: the demultiplexer routes
+        // by correlation id alone, and the client's span for the attempt
+        // closes in `exchange` regardless of what the reply echoes.
+        Ok(Some(payload)) => wire::decode_response(&payload)
+            .map(|(corr, _trace, resp)| (corr, resp))
+            .map_err(ServerError::from),
         Ok(None) => Err(ServerError::Wire("server closed the connection".into())),
         Err(e) => Err(map_io(&e, "receive")),
     }
@@ -529,7 +642,11 @@ fn read_one<R: TransportRx>(rx: &mut R) -> Result<(u64, Response), ServerError> 
 fn duplicate_safe(req: &Request) -> bool {
     matches!(
         req,
-        Request::Read { .. } | Request::Metrics | Request::Abort { .. }
+        Request::Read { .. }
+            | Request::Metrics
+            | Request::Abort { .. }
+            | Request::Telemetry { .. }
+            | Request::TraceExport { .. }
     )
 }
 

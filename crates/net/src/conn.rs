@@ -16,10 +16,45 @@
 //! replay a failure from its seed alone.
 
 use crate::wire::{Request, Response, WireMetrics, HELLO_MAGIC, PROTOCOL_VERSION};
+use ks_obs::{ObsEvent, ObsKind, ObsSink, OpCode, SpanHop, TelemetryDelta, NO_TXN};
 use ks_server::{
     BatchOp, BatchReply, Client, MetricsSnapshot, ServerError, Session, TxnBuilder, TxnHandle,
 };
 use std::collections::BTreeMap;
+
+/// What the connection core can ask of the process hosting it: the
+/// embedded service's observability surfaces. The TCP server implements
+/// this over its `TxnService`; the deterministic simulator implements
+/// what it supports and leans on the fail-closed defaults for the rest.
+/// Every method returns `None` once the service is shutting down (or
+/// when the host simply does not offer the surface), which the core
+/// turns into a typed [`ServerError::Shutdown`] reply.
+pub trait ConnHost {
+    /// Service-wide metrics snapshot for [`Request::Metrics`].
+    fn metrics(&self) -> Option<MetricsSnapshot>;
+
+    /// Incremental telemetry for [`Request::Telemetry`] (see
+    /// [`ks_server::TxnService::telemetry`]).
+    fn telemetry(&self, since: u64) -> Option<TelemetryDelta> {
+        let _ = since;
+        None
+    }
+
+    /// Exported trace span events for [`Request::TraceExport`]: the next
+    /// cursor and the events at `since..`, at most `max`.
+    fn trace_export(&self, since: u64, max: u32) -> Option<(u64, Vec<ObsEvent>)> {
+        let _ = (since, max);
+        None
+    }
+}
+
+/// Blanket host for callers that only serve metrics (a bare closure was
+/// the old `handle` signature; this keeps those call sites trivial).
+impl<F: Fn() -> Option<MetricsSnapshot>> ConnHost for F {
+    fn metrics(&self) -> Option<MetricsSnapshot> {
+        self()
+    }
+}
 
 /// Validate a decoded first frame as a Hello and build the reply.
 ///
@@ -67,6 +102,9 @@ pub struct ConnCore {
     /// so the disconnect sweep aborts in deterministic (id) order.
     txns: BTreeMap<u64, TxnHandle>,
     next_txn: u64,
+    /// Sink for [`SpanHop::ConnHandle`] spans on traced requests; `None`
+    /// when the host runs without a recorder.
+    obs: Option<ObsSink>,
 }
 
 impl ConnCore {
@@ -76,7 +114,14 @@ impl ConnCore {
             session,
             txns: BTreeMap::new(),
             next_txn: 0,
+            obs: None,
         }
+    }
+
+    /// Attach a span sink: traced requests (nonzero wire trace id) get a
+    /// [`SpanHop::ConnHandle`] span covering decode-to-response-built.
+    pub fn attach_obs(&mut self, sink: ObsSink) {
+        self.obs = Some(sink);
     }
 
     /// Transactions currently mapped (open as far as the wire knows).
@@ -84,14 +129,61 @@ impl ConnCore {
         self.txns.len()
     }
 
-    /// Execute one decoded request. `metrics` supplies the service-wide
-    /// snapshot for [`Request::Metrics`] (`None` once the service is
-    /// shutting down).
-    pub fn handle(
-        &mut self,
-        req: Request,
-        metrics: impl FnOnce() -> Option<MetricsSnapshot>,
-    ) -> ConnAction {
+    /// Execute one decoded request. `trace` is the wire header's trace
+    /// id (0 = unsampled): it is handed to the session — so server-side
+    /// spans carry the originator's trace — and, when a sink is
+    /// attached, brackets the whole dispatch in a
+    /// [`SpanHop::ConnHandle`] span. `host` supplies the service-wide
+    /// observability surfaces ([`Request::Metrics`] /
+    /// [`Request::Telemetry`] / [`Request::TraceExport`]).
+    pub fn handle(&mut self, trace: u64, req: Request, host: &impl ConnHost) -> ConnAction {
+        // The observability plane never traces itself: spans for a
+        // telemetry or trace-export pull would land in the very buffer
+        // the pull is draining, so a drain-until-empty poller would
+        // never reach the end. The wire still echoes the header's trace
+        // id; only span emission is suppressed.
+        let trace = match req {
+            Request::Telemetry { .. } | Request::TraceExport { .. } => 0,
+            _ => trace,
+        };
+        let (op, txn) = (op_of(&req), wire_txn_of(&req));
+        if trace != 0 {
+            if let Some(obs) = &self.obs {
+                obs.emit(
+                    txn,
+                    ObsKind::SpanStart {
+                        hop: SpanHop::ConnHandle,
+                        op,
+                        trace,
+                    },
+                );
+            }
+        }
+        // Every dispatch sets the session's pending wire trace — zero
+        // included, so a traced non-session request (e.g. Metrics) can
+        // never leak its id into the next session call.
+        self.session.set_trace(trace);
+        let action = self.dispatch(req, host);
+        if trace != 0 {
+            // `ok` is the hop outcome the client will see: an Error
+            // reply closes the span failed, everything else (including
+            // Bye) succeeded.
+            let ok = !matches!(&action, ConnAction::Reply(Response::Error { .. }));
+            if let Some(obs) = &self.obs {
+                obs.emit(
+                    txn,
+                    ObsKind::SpanEnd {
+                        hop: SpanHop::ConnHandle,
+                        ok,
+                        trace,
+                    },
+                );
+            }
+        }
+        action
+    }
+
+    fn dispatch(&mut self, req: Request, host: &impl ConnHost) -> ConnAction {
         let lookup = |txns: &BTreeMap<u64, TxnHandle>, id: u64| -> Result<TxnHandle, Response> {
             txns.get(&id).copied().ok_or_else(|| {
                 Response::error(&ServerError::Wire(format!("unknown transaction id {id}")))
@@ -182,7 +274,15 @@ impl ConnCore {
             Request::Batch { ops } => Response::Batch {
                 results: self.run_wire_batch(&ops),
             },
-            Request::Metrics => match metrics() {
+            Request::Telemetry { since } => match host.telemetry(since) {
+                Some(delta) => Response::Telemetry(delta),
+                None => Response::error(&ServerError::Shutdown),
+            },
+            Request::TraceExport { since, max } => match host.trace_export(since, max) {
+                Some((next, events)) => Response::TraceExport { next, events },
+                None => Response::error(&ServerError::Shutdown),
+            },
+            Request::Metrics => match host.metrics() {
                 Some(m) => Response::Metrics(WireMetrics {
                     requests: m.requests,
                     committed: m.committed,
@@ -251,5 +351,38 @@ impl ConnCore {
         while let Some((_, handle)) = self.txns.pop_first() {
             let _ = self.session.abort(handle);
         }
+    }
+}
+
+/// The operation a request's `ConnHandle` span is labelled with.
+fn op_of(req: &Request) -> OpCode {
+    match req {
+        Request::Open { .. } => OpCode::Define,
+        Request::Validate { .. } => OpCode::Validate,
+        Request::Read { .. } => OpCode::Read,
+        Request::Write { .. } => OpCode::Write,
+        Request::Commit { .. } => OpCode::Commit,
+        Request::Abort { .. } => OpCode::Abort,
+        Request::Batch { .. } => OpCode::Batch,
+        Request::Hello { .. }
+        | Request::Metrics
+        | Request::Telemetry { .. }
+        | Request::TraceExport { .. }
+        | Request::Shutdown => OpCode::Stats,
+    }
+}
+
+/// The wire-visible (connection-scoped) transaction id to stamp on a
+/// `ConnHandle` span, [`NO_TXN`] for lifecycle-free requests. Note this
+/// is the *wire* id, not the shard-local index server-side events carry;
+/// the trace id — not the txn stamp — is what correlates the two.
+fn wire_txn_of(req: &Request) -> u32 {
+    match req {
+        Request::Validate { txn }
+        | Request::Read { txn, .. }
+        | Request::Write { txn, .. }
+        | Request::Commit { txn }
+        | Request::Abort { txn } => *txn as u32,
+        _ => NO_TXN,
     }
 }

@@ -12,9 +12,11 @@
 //!
 //! * [`wire`] — the protocol itself: length-prefixed, versioned binary
 //!   frames covering the full session surface (hello / open / validate /
-//!   read / write / commit / abort / metrics / shutdown), each carrying
-//!   a correlation id so replies can be matched to pipelined requests,
-//!   plus `Batch` frames packing a burst of reads/writes with per-op
+//!   read / write / commit / abort / metrics / telemetry / trace export /
+//!   shutdown), each carrying a correlation id **and a trace id** so
+//!   replies can be matched to pipelined requests and distributed-trace
+//!   spans can be stitched across the client/server boundary, plus
+//!   `Batch` frames packing a burst of reads/writes with per-op
 //!   results. Specifications are encoded structurally and errors as
 //!   typed `(code, detail)` pairs that round-trip losslessly into
 //!   [`ServerError`](ks_server::ServerError). Documented normatively in
@@ -60,10 +62,10 @@ pub mod transport;
 pub mod wire;
 
 pub use client::{NetClientConfig, RemoteSession, RemoteTxn};
-pub use conn::{ConnAction, ConnCore};
+pub use conn::{ConnAction, ConnCore, ConnHost};
 pub use server::{NetConfig, NetServer};
 pub use transport::{TcpRx, TcpTransport, Transport, TransportRx};
 pub use wire::{
     peek_corr, Request, Response, WireError, WireMetrics, MAX_BATCH_OPS, MAX_FRAME,
-    PROTOCOL_VERSION,
+    MAX_TRACE_EVENTS, PROTOCOL_VERSION,
 };

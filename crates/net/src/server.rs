@@ -17,13 +17,13 @@
 //! shut the embedded [`TxnService`] down and hand back its shard
 //! managers for verification.
 
-use crate::conn::{handshake_reply, ConnAction, ConnCore};
+use crate::conn::{handshake_reply, ConnAction, ConnCore, ConnHost};
 use crate::wire::{self, read_frame, write_frame, FrameProgress, FrameReader, Response};
 use crossbeam::channel::{bounded, Receiver, Sender};
-use ks_obs::{ObsKind, ObsSink, Recorder, NO_TXN};
+use ks_obs::{ObsEvent, ObsKind, ObsSink, Recorder, NO_TXN};
 use ks_protocol::ProtocolManager;
-use ks_server::{ServerError, TxnService};
-use std::collections::HashMap;
+use ks_server::{MetricsSnapshot, ServerError, TxnService};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{BufReader, BufWriter, Write as _};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -62,6 +62,77 @@ impl Default for NetConfig {
     }
 }
 
+/// How many exported span events the server retains for
+/// [`wire::Request::TraceExport`] pollers. Old events fall off the front
+/// (the cursor keeps advancing, so a slow poller sees a gap, never a
+/// duplicate).
+const TRACE_BUF_CAP: usize = 1 << 16;
+
+/// The server-side trace-export buffer: an append-only (bounded) log of
+/// span events with an absolute cursor, refreshed from the recorder on
+/// every pull. Recorder rings are non-destructive snapshots, so repeat
+/// pulls re-see retained events; span events are unique by
+/// `(trace, hop, start|end)` — each request attempt owns its trace id —
+/// which is what `seen` dedupes on.
+struct TraceBuf {
+    events: VecDeque<ObsEvent>,
+    seen: HashSet<(u64, u32, bool)>,
+    /// Absolute index of `events[0]`.
+    base: u64,
+    /// Admission floor: the newest timestamp ever trimmed off the front.
+    /// Trimming removes an event's dedup key (so `seen` stays bounded by
+    /// the buffer), but the event may still sit in a recorder ring — the
+    /// floor keeps the next refresh from readmitting it as "new".
+    floor: u64,
+}
+
+impl TraceBuf {
+    fn new() -> Self {
+        TraceBuf {
+            events: VecDeque::new(),
+            seen: HashSet::new(),
+            base: 0,
+            floor: 0,
+        }
+    }
+
+    fn refresh(&mut self, recorder: &Recorder) {
+        for ev in recorder.drain() {
+            if self.floor > 0 && ev.ts <= self.floor {
+                continue;
+            }
+            let key = match ev.kind {
+                ObsKind::SpanStart { hop, trace, .. } => (trace, hop.code(), true),
+                ObsKind::SpanEnd { hop, trace, .. } => (trace, hop.code(), false),
+                _ => continue,
+            };
+            if self.seen.insert(key) {
+                self.events.push_back(ev);
+            }
+        }
+        while self.events.len() > TRACE_BUF_CAP {
+            if let Some(ev) = self.events.pop_front() {
+                let key = match ev.kind {
+                    ObsKind::SpanStart { hop, trace, .. } => (trace, hop.code(), true),
+                    ObsKind::SpanEnd { hop, trace, .. } => (trace, hop.code(), false),
+                    _ => unreachable!("trace buffer only holds span events"),
+                };
+                self.seen.remove(&key);
+                self.floor = self.floor.max(ev.ts);
+            }
+            self.base += 1;
+        }
+    }
+
+    fn export(&self, since: u64, max: u32) -> (u64, Vec<ObsEvent>) {
+        let start = since.max(self.base);
+        let offset = (start - self.base) as usize;
+        let cap = (max as usize).min(wire::MAX_TRACE_EVENTS);
+        let events: Vec<ObsEvent> = self.events.iter().skip(offset).take(cap).copied().collect();
+        (start + events.len() as u64, events)
+    }
+}
+
 struct NetShared {
     service: Mutex<Option<TxnService>>,
     stop: AtomicBool,
@@ -71,11 +142,34 @@ struct NetShared {
     handlers: Mutex<Vec<JoinHandle<()>>>,
     config: NetConfig,
     obs: Option<ObsSink>,
+    traces: Mutex<TraceBuf>,
 }
 
 impl NetShared {
     fn with_service<T>(&self, f: impl FnOnce(&TxnService) -> T) -> Option<T> {
         self.service.lock().unwrap().as_ref().map(f)
+    }
+}
+
+/// The [`ConnHost`] the TCP server exposes to its connection cores:
+/// metrics and telemetry straight off the embedded service, trace export
+/// off the shared recorder-backed buffer.
+struct NetHost<'a>(&'a NetShared);
+
+impl ConnHost for NetHost<'_> {
+    fn metrics(&self) -> Option<MetricsSnapshot> {
+        self.0.with_service(|svc| svc.metrics())
+    }
+
+    fn telemetry(&self, since: u64) -> Option<ks_obs::TelemetryDelta> {
+        self.0.with_service(|svc| svc.telemetry(since))
+    }
+
+    fn trace_export(&self, since: u64, max: u32) -> Option<(u64, Vec<ObsEvent>)> {
+        let recorder = self.0.config.recorder.as_ref()?;
+        let mut buf = self.0.traces.lock().unwrap();
+        buf.refresh(recorder);
+        Some(buf.export(since, max))
     }
 }
 
@@ -106,6 +200,7 @@ impl NetServer {
             handlers: Mutex::new(Vec::new()),
             config,
             obs,
+            traces: Mutex::new(TraceBuf::new()),
         });
         let accept = {
             let shared = Arc::clone(&shared);
@@ -268,8 +363,8 @@ fn serve_connection(stream: TcpStream, shared: &Arc<NetShared>) {
 
     // Handshake before any state is allocated: first frame must be a
     // well-formed Hello with the right magic and version.
-    if let Err((corr, resp)) = handshake(&mut writer, shared) {
-        let _ = write_frame(&mut writer, &wire::encode_response(corr, &resp));
+    if let Err((corr, trace, resp)) = handshake(&mut writer, shared) {
+        let _ = write_frame(&mut writer, &wire::encode_response(corr, trace, &resp));
         return;
     }
 
@@ -283,12 +378,16 @@ fn serve_connection(stream: TcpStream, shared: &Arc<NetShared>) {
             // client drops the frame and then sees the close.
             let _ = write_frame(
                 &mut writer,
-                &wire::encode_response(u64::MAX, &Response::error(&e)),
+                &wire::encode_response(u64::MAX, 0, &Response::error(&e)),
             );
             return;
         }
     };
     let mut core = ConnCore::new(session);
+    if let Some(obs) = &shared.obs {
+        core.attach_obs(obs.clone());
+    }
+    let host = NetHost(shared);
 
     let (tx, rx): (Sender<Vec<u8>>, Receiver<Vec<u8>>) = bounded(shared.config.window.max(1));
     let reader = {
@@ -302,27 +401,28 @@ fn serve_connection(stream: TcpStream, shared: &Arc<NetShared>) {
     // flushed when the window is momentarily empty, so a pipelined burst
     // coalesces into as few TCP segments as the buffer allows.
     while let Ok(payload) = rx.recv() {
-        let (corr, resp) = match wire::decode_request(&payload) {
-            Ok((corr, req)) => {
-                match core.handle(req, || shared.with_service(|svc| svc.metrics())) {
-                    ConnAction::Reply(resp) => (corr, resp),
-                    ConnAction::Bye => {
-                        // Shutdown request: acknowledge and close.
-                        let _ =
-                            write_frame(&mut writer, &wire::encode_response(corr, &Response::Bye));
-                        break;
-                    }
+        let (corr, trace, resp) = match wire::decode_request(&payload) {
+            Ok((corr, trace, req)) => match core.handle(trace, req, &host) {
+                ConnAction::Reply(resp) => (corr, trace, resp),
+                ConnAction::Bye => {
+                    // Shutdown request: acknowledge and close.
+                    let _ = write_frame(
+                        &mut writer,
+                        &wire::encode_response(corr, trace, &Response::Bye),
+                    );
+                    break;
                 }
-            }
+            },
             // A payload too mangled to decode still gets a best-effort
             // correlated error: the id lives in a fixed header slot, so
             // it usually survives even when the body does not.
             Err(e) => (
                 wire::peek_corr(&payload).unwrap_or(u64::MAX),
+                0,
                 Response::error(&ServerError::from(e)),
             ),
         };
-        let written = wire::encode_response_frame(&mut scratch, corr, &resp)
+        let written = wire::encode_response_frame(&mut scratch, corr, trace, &resp)
             .and_then(|()| writer.write_all(&scratch));
         if written.is_err() {
             break;
@@ -340,8 +440,11 @@ fn serve_connection(stream: TcpStream, shared: &Arc<NetShared>) {
     let _ = reader.join();
 }
 
-fn handshake(writer: &mut BufWriter<TcpStream>, shared: &NetShared) -> Result<(), (u64, Response)> {
-    let wire_err = |msg: String| (0, Response::error(&ServerError::Wire(msg)));
+fn handshake(
+    writer: &mut BufWriter<TcpStream>,
+    shared: &NetShared,
+) -> Result<(), (u64, u64, Response)> {
+    let wire_err = |msg: String| (0, 0, Response::error(&ServerError::Wire(msg)));
     let stream = writer.get_ref();
     let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
     let mut reader = BufReader::new(stream.try_clone().map_err(|e| wire_err(e.to_string()))?);
@@ -350,11 +453,13 @@ fn handshake(writer: &mut BufWriter<TcpStream>, shared: &NetShared) -> Result<()
         Ok(None) => return Err(wire_err("connection closed before Hello".into())),
         Err(e) => return Err(wire_err(format!("reading Hello: {e}"))),
     };
-    let (corr, first) = wire::decode_request(&payload).map_err(|e| wire_err(e.to_string()))?;
+    let (corr, trace, first) =
+        wire::decode_request(&payload).map_err(|e| wire_err(e.to_string()))?;
     let shards = shared
         .with_service(|svc| svc.shard_map().shards())
         .unwrap_or(0);
-    let ok = handshake_reply(&first, shards).map_err(|resp| (corr, resp))?;
-    write_frame(writer, &wire::encode_response(corr, &ok)).map_err(|e| wire_err(e.to_string()))?;
+    let ok = handshake_reply(&first, shards).map_err(|resp| (corr, trace, resp))?;
+    write_frame(writer, &wire::encode_response(corr, trace, &ok))
+        .map_err(|e| wire_err(e.to_string()))?;
     Ok(())
 }

@@ -2,10 +2,10 @@
 //!
 //! Framing is `u32` little-endian payload length followed by the payload;
 //! every payload starts with the protocol version byte, a `u64`
-//! correlation id, and a message-type byte. Integers are little-endian;
-//! strings are `u32` length + UTF-8. The full format, the correlation
-//! and pipelining rules, the version-negotiation story and the
-//! error-code table live in `docs/wire.md` — this module is the
+//! correlation id, a `u64` trace id, and a message-type byte. Integers
+//! are little-endian; strings are `u32` length + UTF-8. The full format,
+//! the correlation and pipelining rules, the version-negotiation story
+//! and the error-code table live in `docs/wire.md` — this module is the
 //! normative encoder and decoder, and the round-trip tests in
 //! `tests/wire_fuzz.rs` pin it.
 //!
@@ -14,6 +14,16 @@
 //! each request's id on its reply, so responses can complete out of
 //! order without ambiguity. The server never *reorders* replies today,
 //! but the id — not arrival order — is the contract.
+//!
+//! The trace id is the distributed-tracing context (see
+//! `docs/observability.md`): `0` means *unsampled* — no span may be
+//! emitted for the request — and any other value identifies the
+//! end-to-end trace the request belongs to. The server echoes the
+//! request's trace id on its reply and stamps it on every server-side
+//! span, so a stitched tree spans both processes. The id rides in the
+//! fixed header between the correlation id and the type byte; peers
+//! built before the extension fail closed at decode (their type byte is
+//! consumed as trace bytes, leaving a truncated or unknown-type body).
 //!
 //! Specifications travel **structurally** (CNF → clauses → atoms with
 //! global entity ids), not as parser text, so the wire needs no schema
@@ -24,6 +34,7 @@
 
 use ks_core::Specification;
 use ks_kernel::{EntityId, Value};
+use ks_obs::{ObsEvent, TelemetryDelta, WindowSnapshot, LATENCY_BUCKETS};
 use ks_predicate::{Atom, Clause, CmpOp, Cnf, Operand, Strategy};
 use ks_server::{BatchOp, BatchReply, ServerError};
 use std::io::{Read, Write};
@@ -49,6 +60,11 @@ pub const MAX_FRAME: usize = 1 << 20;
 /// request batch could force the server to build a response frame it is
 /// not allowed to send.
 pub const MAX_BATCH_OPS: usize = 1024;
+
+/// Hard cap on events in one `TraceExport` response, enforced at decode.
+/// 40 bytes per packed event keeps the largest legal export well under
+/// [`MAX_FRAME`]; a poller wanting more pages with its cursor.
+pub const MAX_TRACE_EVENTS: usize = 4096;
 
 /// A malformed or oversized frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -131,6 +147,23 @@ pub enum Request {
         /// runs into shard sub-batches).
         ops: Vec<(u64, BatchOp)>,
     },
+    /// Pull incremental time-series telemetry: every closed window with
+    /// sequence number `>= since` (see
+    /// [`TelemetrySeries::delta`](ks_obs::TelemetrySeries::delta)).
+    Telemetry {
+        /// The cursor from the previous [`Response::Telemetry`]'s
+        /// `next_seq` (0 on the first pull).
+        since: u64,
+    },
+    /// Pull exported trace span events from the server's trace buffer.
+    TraceExport {
+        /// The cursor from the previous [`Response::TraceExport`]'s
+        /// `next` (0 on the first pull).
+        since: u64,
+        /// Upper bound on events in the reply (the server additionally
+        /// caps at [`MAX_TRACE_EVENTS`]).
+        max: u32,
+    },
     /// Graceful connection shutdown; the server replies [`Response::Bye`]
     /// and closes.
     Shutdown,
@@ -193,6 +226,15 @@ pub enum Response {
     Batch {
         /// One result per request op.
         results: Vec<Result<BatchReply, (u16, String)>>,
+    },
+    /// Incremental telemetry windows for a [`Request::Telemetry`].
+    Telemetry(TelemetryDelta),
+    /// Exported trace span events for a [`Request::TraceExport`].
+    TraceExport {
+        /// The cursor to pass as `since` next time.
+        next: u64,
+        /// The exported events (each a span start/end), oldest first.
+        events: Vec<ObsEvent>,
     },
     /// Acknowledges [`Request::Shutdown`]; the connection closes next.
     Bye,
@@ -272,6 +314,28 @@ impl Enc<'_> {
             }
         }
     }
+
+    /// One telemetry window: the sequence number, six counters, and the
+    /// latency histogram encoded sparsely — `[n:u8](idx:u8, count:u64)*`
+    /// over the non-empty buckets (most of the 64 log₂ buckets are empty
+    /// in any real window).
+    fn window(&mut self, w: &WindowSnapshot) {
+        self.u64(w.seq);
+        self.u64(w.requests);
+        self.u64(w.committed);
+        self.u64(w.aborted);
+        self.u64(w.queue_depth);
+        self.u64(w.flush_groups);
+        self.u64(w.flush_commits);
+        let filled = w.latency.iter().filter(|&&n| n != 0).count();
+        self.u8(filled as u8);
+        for (i, &n) in w.latency.iter().enumerate() {
+            if n != 0 {
+                self.u8(i as u8);
+                self.u64(n);
+            }
+        }
+    }
 }
 
 fn cmp_code(op: CmpOp) -> u8 {
@@ -317,12 +381,13 @@ fn strategy_from(code: u8) -> Option<Option<Strategy>> {
 }
 
 /// Encode a request payload into `buf` (cleared first): version byte +
-/// correlation id + type byte + body.
-pub fn encode_request_into(buf: &mut Vec<u8>, corr: u64, req: &Request) {
+/// correlation id + trace id (0 = unsampled) + type byte + body.
+pub fn encode_request_into(buf: &mut Vec<u8>, corr: u64, trace: u64, req: &Request) {
     buf.clear();
     let mut e = Enc(buf);
     e.u8(PROTOCOL_VERSION);
     e.u64(corr);
+    e.u64(trace);
     match req {
         Request::Hello { magic } => {
             e.u8(0x01);
@@ -384,31 +449,41 @@ pub fn encode_request_into(buf: &mut Vec<u8>, corr: u64, req: &Request) {
                 }
             }
         }
+        Request::Telemetry { since } => {
+            e.u8(0x0B);
+            e.u64(*since);
+        }
+        Request::TraceExport { since, max } => {
+            e.u8(0x0C);
+            e.u64(*since);
+            e.u32(*max);
+        }
         Request::Shutdown => e.u8(0x09),
     }
 }
 
 /// Encode a request payload into a fresh buffer (tests and cold paths;
 /// hot paths use [`encode_request_into`] with a reused scratch buffer).
-pub fn encode_request(corr: u64, req: &Request) -> Vec<u8> {
+pub fn encode_request(corr: u64, trace: u64, req: &Request) -> Vec<u8> {
     let mut buf = Vec::with_capacity(48);
-    encode_request_into(&mut buf, corr, req);
+    encode_request_into(&mut buf, corr, trace, req);
     buf
 }
 
 /// Encode a response payload into `buf` (cleared first).
-pub fn encode_response_into(buf: &mut Vec<u8>, corr: u64, resp: &Response) {
+pub fn encode_response_into(buf: &mut Vec<u8>, corr: u64, trace: u64, resp: &Response) {
     buf.clear();
-    append_response(buf, corr, resp);
+    append_response(buf, corr, trace, resp);
 }
 
 /// Append a response payload to `buf` *without* clearing it — the
 /// building block [`encode_response_frame`] uses to put `[len][payload]`
 /// in one reused buffer with zero intermediate allocation.
-fn append_response(buf: &mut Vec<u8>, corr: u64, resp: &Response) {
+fn append_response(buf: &mut Vec<u8>, corr: u64, trace: u64, resp: &Response) {
     let mut e = Enc(buf);
     e.u8(PROTOCOL_VERSION);
     e.u64(corr);
+    e.u64(trace);
     match resp {
         Response::HelloOk { shards } => {
             e.u8(0x81);
@@ -457,14 +532,33 @@ fn append_response(buf: &mut Vec<u8>, corr: u64, resp: &Response) {
                 }
             }
         }
+        Response::Telemetry(delta) => {
+            e.u8(0x89);
+            e.u64(delta.width_ns);
+            e.u64(delta.next_seq);
+            e.u32(delta.windows.len() as u32);
+            for w in &delta.windows {
+                e.window(w);
+            }
+        }
+        Response::TraceExport { next, events } => {
+            e.u8(0x8A);
+            e.u64(*next);
+            e.u32(events.len() as u32);
+            for ev in events {
+                for word in ev.pack() {
+                    e.u64(word);
+                }
+            }
+        }
         Response::Bye => e.u8(0x87),
     }
 }
 
 /// Encode a response payload into a fresh buffer.
-pub fn encode_response(corr: u64, resp: &Response) -> Vec<u8> {
+pub fn encode_response(corr: u64, trace: u64, resp: &Response) -> Vec<u8> {
     let mut buf = Vec::with_capacity(32);
-    encode_response_into(&mut buf, corr, resp);
+    encode_response_into(&mut buf, corr, trace, resp);
     buf
 }
 
@@ -478,11 +572,12 @@ pub fn encode_response(corr: u64, resp: &Response) -> Vec<u8> {
 pub fn encode_response_frame(
     scratch: &mut Vec<u8>,
     corr: u64,
+    trace: u64,
     resp: &Response,
 ) -> std::io::Result<()> {
     scratch.clear();
     scratch.extend_from_slice(&[0u8; 4]); // length placeholder
-    append_response(scratch, corr, resp);
+    append_response(scratch, corr, trace, resp);
     let len = scratch.len() - 4;
     if len > MAX_FRAME {
         scratch.clear();
@@ -599,6 +694,31 @@ impl<'a> Dec<'a> {
         Ok(Cnf::new(clauses))
     }
 
+    /// One telemetry window (see [`Enc::window`]). The sparse histogram
+    /// is bounded by construction: the entry count is a `u8` and every
+    /// index must name one of the [`LATENCY_BUCKETS`] buckets.
+    fn window(&mut self, what: &str) -> Result<WindowSnapshot, WireError> {
+        let mut w = WindowSnapshot::empty(self.u64(what)?);
+        w.requests = self.u64(what)?;
+        w.committed = self.u64(what)?;
+        w.aborted = self.u64(what)?;
+        w.queue_depth = self.u64(what)?;
+        w.flush_groups = self.u64(what)?;
+        w.flush_commits = self.u64(what)?;
+        let filled = self.u8(what)? as usize;
+        for _ in 0..filled {
+            let idx = self.u8(what)? as usize;
+            if idx >= LATENCY_BUCKETS {
+                return Err(WireError(format!(
+                    "{what}: latency bucket {idx} out of range"
+                )));
+            }
+            let n = self.u64(what)?;
+            w.latency[idx] = w.latency[idx].wrapping_add(n);
+        }
+        Ok(w)
+    }
+
     fn finish<T>(self, value: T, what: &str) -> Result<T, WireError> {
         if self.pos != self.buf.len() {
             return Err(WireError(format!(
@@ -631,11 +751,13 @@ pub fn peek_corr(payload: &[u8]) -> Option<u64> {
     Some(u64::from_le_bytes(payload[1..9].try_into().unwrap()))
 }
 
-/// Decode a request payload into its correlation id and request.
-pub fn decode_request(buf: &[u8]) -> Result<(u64, Request), WireError> {
+/// Decode a request payload into its correlation id, trace id (0 =
+/// unsampled), and request.
+pub fn decode_request(buf: &[u8]) -> Result<(u64, u64, Request), WireError> {
     let mut d = Dec::new(buf);
     check_version(&mut d, "request")?;
     let corr = d.u64("request corr")?;
+    let trace = d.u64("request trace")?;
     let ty = d.u8("request type")?;
     let req = match ty {
         0x01 => Request::Hello {
@@ -675,6 +797,13 @@ pub fn decode_request(buf: &[u8]) -> Result<(u64, Request), WireError> {
         },
         0x08 => Request::Metrics,
         0x09 => Request::Shutdown,
+        0x0B => Request::Telemetry {
+            since: d.u64("telemetry")?,
+        },
+        0x0C => Request::TraceExport {
+            since: d.u64("trace_export")?,
+            max: d.u32("trace_export")?,
+        },
         0x0A => {
             let n = d.batch_count("batch")?;
             let mut ops = Vec::with_capacity(n);
@@ -704,14 +833,16 @@ pub fn decode_request(buf: &[u8]) -> Result<(u64, Request), WireError> {
         }
         t => return Err(WireError(format!("unknown request type 0x{t:02x}"))),
     };
-    d.finish((corr, req), "request")
+    d.finish((corr, trace, req), "request")
 }
 
-/// Decode a response payload into its correlation id and response.
-pub fn decode_response(buf: &[u8]) -> Result<(u64, Response), WireError> {
+/// Decode a response payload into its correlation id, echoed trace id,
+/// and response.
+pub fn decode_response(buf: &[u8]) -> Result<(u64, u64, Response), WireError> {
     let mut d = Dec::new(buf);
     check_version(&mut d, "response")?;
     let corr = d.u64("response corr")?;
+    let trace = d.u64("response trace")?;
     let ty = d.u8("response type")?;
     let resp = match ty {
         0x81 => Response::HelloOk {
@@ -762,9 +893,48 @@ pub fn decode_response(buf: &[u8]) -> Result<(u64, Response), WireError> {
             }
             Response::Batch { results }
         }
+        0x89 => {
+            let width_ns = d.u64("telemetry")?;
+            let next_seq = d.u64("telemetry")?;
+            let n = d.count("telemetry windows")?;
+            let mut windows = Vec::with_capacity(n);
+            for _ in 0..n {
+                windows.push(d.window("telemetry window")?);
+            }
+            Response::Telemetry(TelemetryDelta {
+                width_ns,
+                next_seq,
+                windows,
+            })
+        }
+        0x8A => {
+            let next = d.u64("trace_export")?;
+            let n = d.count("trace_export events")?;
+            if n > MAX_TRACE_EVENTS {
+                return Err(WireError(format!(
+                    "trace_export: {n} events exceeds MAX_TRACE_EVENTS ({MAX_TRACE_EVENTS})"
+                )));
+            }
+            let mut events = Vec::with_capacity(n);
+            for _ in 0..n {
+                let mut words = [0u64; 5];
+                for w in &mut words {
+                    *w = d.u64("trace_export event")?;
+                }
+                // Unknown tags fail the frame closed: a peer must never
+                // silently drop events it cannot represent.
+                events.push(ObsEvent::unpack(words).ok_or_else(|| {
+                    WireError(format!(
+                        "trace_export: unknown event tag {}",
+                        (words[2] >> 32) as u32
+                    ))
+                })?);
+            }
+            Response::TraceExport { next, events }
+        }
         t => return Err(WireError(format!("unknown response type 0x{t:02x}"))),
     };
-    d.finish((corr, resp), "response")
+    d.finish((corr, trace, resp), "response")
 }
 
 // ---------------------------------------------------------------- framing
@@ -935,8 +1105,8 @@ mod tests {
             Request::Metrics,
             Request::Shutdown,
         ] {
-            let buf = encode_request(99, &req);
-            assert_eq!(decode_request(&buf).unwrap(), (99, req));
+            let buf = encode_request(99, 7, &req);
+            assert_eq!(decode_request(&buf).unwrap(), (99, 7, req));
         }
     }
 
@@ -955,8 +1125,8 @@ mod tests {
             before: vec![9],
             strategy: Some(Strategy::GreedyLatest),
         };
-        let buf = encode_request(u64::MAX, &req);
-        assert_eq!(decode_request(&buf).unwrap(), (u64::MAX, req));
+        let buf = encode_request(u64::MAX, 0, &req);
+        assert_eq!(decode_request(&buf).unwrap(), (u64::MAX, 0, req));
     }
 
     #[test]
@@ -968,8 +1138,8 @@ mod tests {
                 (5, BatchOp::Read(EntityId(0))),
             ],
         };
-        let buf = encode_request(17, &req);
-        assert_eq!(decode_request(&buf).unwrap(), (17, req));
+        let buf = encode_request(17, 0, &req);
+        assert_eq!(decode_request(&buf).unwrap(), (17, 0, req));
 
         let resp = Response::Batch {
             results: vec![
@@ -978,18 +1148,18 @@ mod tests {
                 Err((4, String::new())),
             ],
         };
-        let buf = encode_response(17, &resp);
-        assert_eq!(decode_response(&buf).unwrap(), (17, resp));
+        let buf = encode_response(17, 0, &resp);
+        assert_eq!(decode_response(&buf).unwrap(), (17, 0, resp));
     }
 
     #[test]
     fn empty_batch_round_trips() {
         let req = Request::Batch { ops: vec![] };
-        let buf = encode_request(0, &req);
-        assert_eq!(decode_request(&buf).unwrap(), (0, req));
+        let buf = encode_request(0, 0, &req);
+        assert_eq!(decode_request(&buf).unwrap(), (0, 0, req));
         let resp = Response::Batch { results: vec![] };
-        let buf = encode_response(0, &resp);
-        assert_eq!(decode_response(&buf).unwrap(), (0, resp));
+        let buf = encode_response(0, 0, &resp);
+        assert_eq!(decode_response(&buf).unwrap(), (0, 0, resp));
     }
 
     #[test]
@@ -1000,6 +1170,7 @@ mod tests {
         let mut e = Enc(&mut buf);
         e.u8(PROTOCOL_VERSION);
         e.u64(1);
+        e.u64(0); // trace
         e.u8(0x0A);
         e.u32(2);
         e.u8(0x04); // Read
@@ -1018,6 +1189,7 @@ mod tests {
         let mut e = Enc(&mut buf);
         e.u8(PROTOCOL_VERSION);
         e.u64(1);
+        e.u64(0); // trace
         e.u8(0x0A);
         e.u32(MAX_BATCH_OPS as u32 + 1);
         for _ in 0..(MAX_BATCH_OPS + 1) {
@@ -1037,7 +1209,7 @@ mod tests {
                 (1, BatchOp::Write(EntityId(3), 10)),
             ],
         };
-        let buf = encode_request(5, &req);
+        let buf = encode_request(5, 0, &req);
         // Sever at every byte boundary: no prefix may decode.
         for cut in 0..buf.len() {
             assert!(
@@ -1048,8 +1220,164 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_round_trips_sparse_windows() {
+        let mut w = WindowSnapshot::empty(41);
+        w.requests = 120;
+        w.committed = 30;
+        w.aborted = 2;
+        w.queue_depth = 7;
+        w.flush_groups = 5;
+        w.flush_commits = 28;
+        w.latency[0] = 3;
+        w.latency[17] = 100;
+        w.latency[LATENCY_BUCKETS - 1] = 17;
+        let req = Request::Telemetry { since: 41 };
+        let buf = encode_request(3, 0, &req);
+        assert_eq!(decode_request(&buf).unwrap(), (3, 0, req));
+        let resp = Response::Telemetry(TelemetryDelta {
+            width_ns: 1_000_000_000,
+            next_seq: 42,
+            windows: vec![WindowSnapshot::empty(40), w],
+        });
+        let buf = encode_response(3, 0, &resp);
+        assert_eq!(decode_response(&buf).unwrap(), (3, 0, resp));
+    }
+
+    #[test]
+    fn telemetry_window_with_out_of_range_bucket_fails_closed() {
+        let mut w = WindowSnapshot::empty(1);
+        w.latency[0] = 9;
+        let resp = Response::Telemetry(TelemetryDelta {
+            width_ns: 1,
+            next_seq: 2,
+            windows: vec![w],
+        });
+        let mut buf = encode_response(0, 0, &resp);
+        // The single sparse entry's index byte sits right after the 7
+        // u64 window fields; corrupt it past LATENCY_BUCKETS.
+        let idx_pos = buf.len() - 9;
+        assert_eq!(buf[idx_pos], 0);
+        buf[idx_pos] = LATENCY_BUCKETS as u8;
+        let err = decode_response(&buf).unwrap_err();
+        assert!(err.0.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn trace_export_round_trips_span_events() {
+        use ks_obs::{ObsKind, SpanHop};
+        let events = vec![
+            ObsEvent {
+                ts: 10,
+                shard: u32::MAX,
+                txn: ks_obs::NO_TXN,
+                kind: ObsKind::SpanStart {
+                    hop: SpanHop::ConnHandle,
+                    op: ks_obs::OpCode::Commit,
+                    trace: 0xABCD,
+                },
+            },
+            ObsEvent {
+                ts: 90,
+                shard: 2,
+                txn: 5,
+                kind: ObsKind::SpanEnd {
+                    hop: SpanHop::Certify,
+                    ok: true,
+                    trace: 0xABCD,
+                },
+            },
+        ];
+        let req = Request::TraceExport { since: 7, max: 64 };
+        let buf = encode_request(9, 0, &req);
+        assert_eq!(decode_request(&buf).unwrap(), (9, 0, req));
+        let resp = Response::TraceExport { next: 9, events };
+        let buf = encode_response(9, 0, &resp);
+        assert_eq!(decode_response(&buf).unwrap(), (9, 0, resp));
+    }
+
+    #[test]
+    fn trace_export_with_unknown_event_tag_fails_closed() {
+        let mut buf = Vec::new();
+        let mut e = Enc(&mut buf);
+        e.u8(PROTOCOL_VERSION);
+        e.u64(1);
+        e.u64(0); // trace
+        e.u8(0x8A);
+        e.u64(0); // next
+        e.u32(1); // one event
+        e.u64(5); // ts
+        e.u64(0); // shard/txn
+        e.u64(0xFFFF_u64 << 32); // unknown kind tag
+        e.u64(0);
+        e.u64(0);
+        let err = decode_response(&buf).unwrap_err();
+        assert!(err.0.contains("unknown event tag"), "{err}");
+    }
+
+    /// Satellite: a well-formed frame from a peer built before the
+    /// trace-context extension (header `[version][corr][type]`, no trace
+    /// id) must fail closed, never decode as something else. The type
+    /// byte lands inside the trace field and the stream runs out — or
+    /// hits an unknown type — before a body can parse.
+    #[test]
+    fn pre_trace_layout_frames_fail_closed() {
+        // Old-layout requests: version + corr + type (+ body).
+        let old_frames: Vec<Vec<u8>> = vec![
+            // Metrics: [2][corr][0x08]
+            {
+                let mut b = vec![PROTOCOL_VERSION];
+                b.extend_from_slice(&7u64.to_le_bytes());
+                b.push(0x08);
+                b
+            },
+            // Validate{txn:3}: [2][corr][0x03][txn]
+            {
+                let mut b = vec![PROTOCOL_VERSION];
+                b.extend_from_slice(&7u64.to_le_bytes());
+                b.push(0x03);
+                b.extend_from_slice(&3u64.to_le_bytes());
+                b
+            },
+            // Hello: [2][corr][0x01][magic]
+            {
+                let mut b = vec![PROTOCOL_VERSION];
+                b.extend_from_slice(&0u64.to_le_bytes());
+                b.push(0x01);
+                b.extend_from_slice(&HELLO_MAGIC.to_le_bytes());
+                b
+            },
+        ];
+        for frame in &old_frames {
+            assert!(
+                decode_request(frame).is_err(),
+                "pre-trace frame {frame:02x?} decoded"
+            );
+        }
+        // Old-layout responses fail the same way.
+        let mut done = vec![PROTOCOL_VERSION];
+        done.extend_from_slice(&7u64.to_le_bytes());
+        done.push(0x83);
+        assert!(decode_response(&done).is_err());
+        let mut hello_ok = vec![PROTOCOL_VERSION];
+        hello_ok.extend_from_slice(&0u64.to_le_bytes());
+        hello_ok.push(0x81);
+        hello_ok.extend_from_slice(&4u32.to_le_bytes());
+        assert!(decode_response(&hello_ok).is_err());
+    }
+
+    #[test]
+    fn trace_id_rides_both_directions() {
+        let buf = encode_request(5, 0x1234_5678_9ABC_DEF0, &Request::Commit { txn: 1 });
+        let (corr, trace, _) = decode_request(&buf).unwrap();
+        assert_eq!((corr, trace), (5, 0x1234_5678_9ABC_DEF0));
+        let buf = encode_response(5, 0x1234_5678_9ABC_DEF0, &Response::Done);
+        let (corr, trace, _) = decode_response(&buf).unwrap();
+        assert_eq!((corr, trace), (5, 0x1234_5678_9ABC_DEF0));
+    }
+
+    #[test]
     fn version_mismatch_is_rejected() {
-        let mut buf = encode_request(0, &Request::Metrics);
+        let mut buf = encode_request(0, 0, &Request::Metrics);
         buf[0] = 1;
         let err = decode_request(&buf).unwrap_err();
         assert!(err.0.contains("version 1"), "{err}");
@@ -1057,7 +1385,7 @@ mod tests {
 
     #[test]
     fn peek_corr_reads_the_header() {
-        let buf = encode_request(0xDEAD_BEEF, &Request::Commit { txn: 3 });
+        let buf = encode_request(0xDEAD_BEEF, 0xFACE, &Request::Commit { txn: 3 });
         assert_eq!(peek_corr(&buf), Some(0xDEAD_BEEF));
         assert_eq!(peek_corr(&buf[..8]), None);
         let mut wrong = buf.clone();
@@ -1067,7 +1395,7 @@ mod tests {
 
     #[test]
     fn trailing_bytes_are_rejected() {
-        let mut buf = encode_request(1, &Request::Validate { txn: 1 });
+        let mut buf = encode_request(1, 0, &Request::Validate { txn: 1 });
         buf.push(0);
         assert!(decode_request(&buf).is_err());
     }
@@ -1080,6 +1408,7 @@ mod tests {
         let mut e = Enc(&mut buf);
         e.u8(PROTOCOL_VERSION);
         e.u64(0);
+        e.u64(0); // trace
         e.u8(0x02);
         e.cnf(&Cnf::truth());
         e.cnf(&Cnf::truth());
@@ -1094,29 +1423,29 @@ mod tests {
             entity: EntityId(5),
         };
         let mut scratch = vec![0xFF; 64]; // dirty scratch must be cleared
-        encode_request_into(&mut scratch, 7, &req);
-        assert_eq!(scratch, encode_request(7, &req));
+        encode_request_into(&mut scratch, 7, 11, &req);
+        assert_eq!(scratch, encode_request(7, 11, &req));
 
         let resp = Response::Error {
             code: 4,
             detail: "busy".into(),
         };
-        encode_response_into(&mut scratch, 9, &resp);
-        assert_eq!(scratch, encode_response(9, &resp));
+        encode_response_into(&mut scratch, 9, 11, &resp);
+        assert_eq!(scratch, encode_response(9, 11, &resp));
     }
 
     #[test]
     fn response_frame_is_len_prefixed_payload() {
         let resp = Response::Opened { txn: 12 };
         let mut scratch = Vec::new();
-        encode_response_frame(&mut scratch, 4, &resp).unwrap();
+        encode_response_frame(&mut scratch, 4, 6, &resp).unwrap();
         let mut expect = Vec::new();
-        write_frame(&mut expect, &encode_response(4, &resp)).unwrap();
+        write_frame(&mut expect, &encode_response(4, 6, &resp)).unwrap();
         assert_eq!(scratch, expect);
         // And it round-trips through the frame reader.
         let mut cursor = std::io::Cursor::new(scratch);
         let payload = read_frame(&mut cursor).unwrap().unwrap();
-        assert_eq!(decode_response(&payload).unwrap(), (4, resp));
+        assert_eq!(decode_response(&payload).unwrap(), (4, 6, resp));
     }
 
     #[test]
@@ -1126,7 +1455,7 @@ mod tests {
             detail: "x".repeat(MAX_FRAME + 1),
         };
         let mut scratch = Vec::new();
-        let err = encode_response_frame(&mut scratch, 0, &resp).unwrap_err();
+        let err = encode_response_frame(&mut scratch, 0, 0, &resp).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
         assert!(scratch.is_empty(), "no bytes may survive a refused frame");
     }
@@ -1135,6 +1464,7 @@ mod tests {
     fn frames_round_trip_over_a_pipe() {
         let payload = encode_response(
             2,
+            0,
             &Response::Error {
                 code: 4,
                 detail: String::new(),
@@ -1202,8 +1532,8 @@ mod tests {
         // Two frames, byte-trickled with a timeout before every chunk:
         // splits land inside length prefixes and inside payloads.
         let mut stream = Vec::new();
-        let first = encode_request(1, &Request::Validate { txn: 42 });
-        let second = encode_request(2, &Request::Metrics);
+        let first = encode_request(1, 0, &Request::Validate { txn: 42 });
+        let second = encode_request(2, 0, &Request::Metrics);
         write_frame(&mut stream, &first).unwrap();
         write_frame(&mut stream, &second).unwrap();
         let mut reader = FrameReader::new(Trickle {
@@ -1223,15 +1553,18 @@ mod tests {
         assert_eq!(frames.len(), 2);
         assert_eq!(
             decode_request(&frames[0]).unwrap(),
-            (1, Request::Validate { txn: 42 })
+            (1, 0, Request::Validate { txn: 42 })
         );
-        assert_eq!(decode_request(&frames[1]).unwrap(), (2, Request::Metrics));
+        assert_eq!(
+            decode_request(&frames[1]).unwrap(),
+            (2, 0, Request::Metrics)
+        );
         assert!(pendings > 4, "timeouts interleaved every chunk: {pendings}");
     }
 
     #[test]
     fn frame_reader_eof_mid_frame_is_an_error() {
-        let payload = encode_request(1, &Request::Validate { txn: 1 });
+        let payload = encode_request(1, 0, &Request::Validate { txn: 1 });
         let mut stream = Vec::new();
         write_frame(&mut stream, &payload).unwrap();
         stream.truncate(stream.len() - 2); // sever inside the payload

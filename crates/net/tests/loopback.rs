@@ -236,13 +236,13 @@ fn slow_frames_straddling_the_poll_interval_stay_in_sync() {
     // Handshake, whole frames.
     wire::write_frame(
         &mut stream,
-        &wire::encode_request(0, &Request::Hello { magic: HELLO_MAGIC }),
+        &wire::encode_request(0, 0, &Request::Hello { magic: HELLO_MAGIC }),
     )
     .unwrap();
     let hello_ok = wire::read_frame(&mut reader).unwrap().expect("HelloOk");
     assert!(matches!(
         wire::decode_response(&hello_ok),
-        Ok((0, Response::HelloOk { .. }))
+        Ok((0, 0, Response::HelloOk { .. }))
     ));
     // Trickle an Open frame: 2 bytes of the length prefix, then a sliver
     // spanning the prefix/payload boundary, then the rest — each chunk
@@ -250,6 +250,7 @@ fn slow_frames_straddling_the_poll_interval_stay_in_sync() {
     // interval, so the pause stays meaningful if the interval changes).
     let payload = wire::encode_request(
         1,
+        0,
         &Request::Open {
             spec: tautology_spec(&[EntityId(0)]),
             after: vec![],
@@ -266,7 +267,7 @@ fn slow_frames_straddling_the_poll_interval_stay_in_sync() {
     }
     let reply = wire::read_frame(&mut reader).unwrap().expect("reply");
     match wire::decode_response(&reply) {
-        Ok((1, Response::Opened { txn })) => assert_eq!(txn, 0),
+        Ok((1, 0, Response::Opened { txn })) => assert_eq!(txn, 0),
         other => panic!("stream desynchronized: {other:?}"),
     }
     // The stream is still in sync: ordinary frames keep round-tripping,
@@ -275,18 +276,18 @@ fn slow_frames_straddling_the_poll_interval_stay_in_sync() {
         (2, Request::Validate { txn: 0 }),
         (3, Request::Commit { txn: 0 }),
     ] {
-        wire::write_frame(&mut stream, &wire::encode_request(corr, &req)).unwrap();
+        wire::write_frame(&mut stream, &wire::encode_request(corr, 0, &req)).unwrap();
         let reply = wire::read_frame(&mut reader).unwrap().expect("reply");
         match wire::decode_response(&reply) {
-            Ok((c, Response::Done)) => assert_eq!(c, corr, "{req:?} reply corr"),
+            Ok((c, 0, Response::Done)) => assert_eq!(c, corr, "{req:?} reply corr"),
             other => panic!("{req:?} after the trickled frame: {other:?}"),
         }
     }
-    wire::write_frame(&mut stream, &wire::encode_request(4, &Request::Shutdown)).unwrap();
+    wire::write_frame(&mut stream, &wire::encode_request(4, 0, &Request::Shutdown)).unwrap();
     let bye = wire::read_frame(&mut reader).unwrap().expect("Bye");
     assert!(matches!(
         wire::decode_response(&bye),
-        Ok((4, Response::Bye))
+        Ok((4, 0, Response::Bye))
     ));
     let report = verify_managers(&server.shutdown());
     assert!(report.is_correct(), "{:?}", report.violations);

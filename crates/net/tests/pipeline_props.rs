@@ -38,7 +38,7 @@ impl Shared {
     /// Frame a response, echoing `corr`, and either hold it for the next
     /// reversed release or (for the handshake) deliver it immediately.
     fn respond(state: &mut MockState, cv: &Condvar, corr: u64, resp: &Response, immediate: bool) {
-        let payload = wire::encode_response(corr, resp);
+        let payload = wire::encode_response(corr, 0, resp);
         let mut frame = (payload.len() as u32).to_le_bytes().to_vec();
         frame.extend_from_slice(&payload);
         if immediate {
@@ -60,7 +60,7 @@ impl Shared {
 /// The mock server logic: scripted, state-light responses whose values
 /// encode which request they answer, so misrouting is detectable.
 fn answer(state: &mut MockState, cv: &Condvar, payload: &[u8]) {
-    let (corr, req) = wire::decode_request(payload).expect("client sends valid frames");
+    let (corr, _trace, req) = wire::decode_request(payload).expect("client sends valid frames");
     match req {
         Request::Hello { .. } => {
             Shared::respond(state, cv, corr, &Response::HelloOk { shards: 1 }, true)

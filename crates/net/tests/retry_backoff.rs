@@ -54,12 +54,12 @@ fn mock_server(
         // Handshake.
         let hello = read_frame(&mut reader).unwrap().expect("hello frame");
         let hello_corr = match wire::decode_request(&hello) {
-            Ok((corr, Request::Hello { magic })) if magic == HELLO_MAGIC => corr,
+            Ok((corr, _trace, Request::Hello { magic })) if magic == HELLO_MAGIC => corr,
             other => panic!("expected Hello, got {other:?}"),
         };
         write_frame(
             &mut writer,
-            &wire::encode_response(hello_corr, &Response::HelloOk { shards: 1 }),
+            &wire::encode_response(hello_corr, 0, &Response::HelloOk { shards: 1 }),
         )
         .unwrap();
         // Play the script, echoing each request's correlation id.
@@ -70,7 +70,7 @@ fn mock_server(
                     served += 1;
                     if let Some(resp) = step {
                         let corr = wire::peek_corr(&payload).expect("request carries a corr");
-                        write_frame(&mut writer, &wire::encode_response(corr, &resp)).unwrap();
+                        write_frame(&mut writer, &wire::encode_response(corr, 0, &resp)).unwrap();
                     }
                     // None: swallow the request silently.
                 }
@@ -287,7 +287,7 @@ fn version_mismatch_is_refused_at_connect() {
         let mut reader = BufReader::new(stream.try_clone().unwrap());
         let _ = read_frame(&mut reader).unwrap();
         // Reply HelloOk with a bumped version byte.
-        let mut payload = wire::encode_response(0, &Response::HelloOk { shards: 1 });
+        let mut payload = wire::encode_response(0, 0, &Response::HelloOk { shards: 1 });
         payload[0] = wire::PROTOCOL_VERSION + 1;
         write_frame(&mut BufWriter::new(stream), &payload).unwrap();
     });

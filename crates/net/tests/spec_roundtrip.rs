@@ -18,9 +18,9 @@ fn round_trip(spec: Specification) -> Specification {
         before: vec![],
         strategy: None,
     };
-    let buf = encode_request(7, &req);
+    let buf = encode_request(7, 0, &req);
     match decode_request(&buf).expect("valid encoding must decode") {
-        (7, Request::Open { spec, .. }) => spec,
+        (7, 0, Request::Open { spec, .. }) => spec,
         other => panic!("decoded to {other:?}"),
     }
 }
@@ -79,6 +79,7 @@ fn large_formulas_round_trip_within_the_frame_budget() {
     let cnf = Cnf::new(vec![clause; 128]);
     let spec = Specification::new(cnf.clone(), Cnf::truth());
     let encoded = encode_request(
+        0,
         0,
         &Request::Open {
             spec: spec.clone(),
@@ -164,6 +165,6 @@ proptest! {
             before: vec![],
             strategy: None,
         };
-        prop_assert_eq!(encode_request(9, &req), encode_request(9, &req));
+        prop_assert_eq!(encode_request(9, 3, &req), encode_request(9, 3, &req));
     }
 }

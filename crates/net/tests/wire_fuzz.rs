@@ -97,7 +97,7 @@ fn arb_batch_ops() -> impl Strategy<Value = Vec<(u64, BatchOp)>> {
 // selector byte dispatched over a tuple of component strategies instead.
 fn arb_request() -> impl Strategy<Value = Request> {
     (
-        0u8..10,
+        0u8..12,
         (any::<u32>(), any::<u64>(), any::<i64>()),
         (
             arb_cnf(),
@@ -131,6 +131,11 @@ fn arb_request() -> impl Strategy<Value = Request> {
                 6 => Request::Abort { txn },
                 7 => Request::Metrics,
                 8 => Request::Batch { ops },
+                9 => Request::Telemetry { since: txn },
+                10 => Request::TraceExport {
+                    since: txn,
+                    max: word,
+                },
                 _ => Request::Shutdown,
             },
         )
@@ -186,17 +191,17 @@ fn arb_response() -> impl Strategy<Value = Response> {
 
 proptest! {
     #[test]
-    fn requests_round_trip(req in arb_request(), corr in any::<u64>()) {
-        let buf = encode_request(corr, &req);
+    fn requests_round_trip(req in arb_request(), corr in any::<u64>(), trace in any::<u64>()) {
+        let buf = encode_request(corr, trace, &req);
         prop_assert_eq!(peek_corr(&buf), Some(corr));
-        prop_assert_eq!(decode_request(&buf).unwrap(), (corr, req));
+        prop_assert_eq!(decode_request(&buf).unwrap(), (corr, trace, req));
     }
 
     #[test]
-    fn responses_round_trip(resp in arb_response(), corr in any::<u64>()) {
-        let buf = encode_response(corr, &resp);
+    fn responses_round_trip(resp in arb_response(), corr in any::<u64>(), trace in any::<u64>()) {
+        let buf = encode_response(corr, trace, &resp);
         prop_assert_eq!(peek_corr(&buf), Some(corr));
-        prop_assert_eq!(decode_response(&buf).unwrap(), (corr, resp));
+        prop_assert_eq!(decode_response(&buf).unwrap(), (corr, trace, resp));
     }
 
     /// Truncating a `Batch` frame anywhere — mid-op included — fails
@@ -207,7 +212,7 @@ proptest! {
         ops in arb_batch_ops_sized(1),
         cut_seed in any::<usize>(),
     ) {
-        let buf = encode_request(5, &Request::Batch { ops });
+        let buf = encode_request(5, 0, &Request::Batch { ops });
         let cut = cut_seed % buf.len();
         prop_assert!(decode_request(&buf[..cut]).is_err());
     }
@@ -223,7 +228,7 @@ proptest! {
     /// Truncating a valid frame at any point fails cleanly.
     #[test]
     fn truncations_fail_cleanly(req in arb_request(), cut in 0usize..64) {
-        let buf = encode_request(1, &req);
+        let buf = encode_request(1, 0, &req);
         if cut < buf.len() {
             // Either a clean error, or (only when the truncation removed
             // nothing semantically) a shorter valid message — never a panic.
@@ -259,9 +264,9 @@ fn every_server_error_round_trips_through_the_wire() {
     ];
     for err in errors {
         let resp = Response::error(&err);
-        let buf = encode_response(3, &resp);
+        let buf = encode_response(3, 0, &resp);
         let back = match decode_response(&buf).unwrap() {
-            (3, Response::Error { code, detail }) => Response::into_server_error(code, &detail),
+            (3, 0, Response::Error { code, detail }) => Response::into_server_error(code, &detail),
             other => panic!("expected an error frame, got {other:?}"),
         };
         assert_eq!(back, err, "code {} must round-trip", err.code());
@@ -276,9 +281,9 @@ fn unknown_error_codes_fail_closed() {
         code: 0xBEEF,
         detail: "from the future".into(),
     };
-    let buf = encode_response(0, &resp);
+    let buf = encode_response(0, 0, &resp);
     match decode_response(&buf).unwrap() {
-        (0, Response::Error { code, detail }) => {
+        (0, 0, Response::Error { code, detail }) => {
             let err = Response::into_server_error(code, &detail);
             match err {
                 ServerError::Wire(msg) => {
@@ -301,14 +306,20 @@ fn protocol_constants_are_pinned() {
     assert_eq!(MAX_FRAME, 1 << 20);
     assert_eq!(MAX_BATCH_OPS, 1024);
     let corr = 0x0123_4567_89AB_CDEFu64;
-    let hello = encode_request(corr, &Request::Hello { magic: HELLO_MAGIC });
+    let trace = 0xFEDC_BA98_7654_3210u64;
+    let hello = encode_request(corr, trace, &Request::Hello { magic: HELLO_MAGIC });
     assert_eq!(hello[0], 2, "version byte leads every payload");
     assert_eq!(
         hello[1..9],
         corr.to_le_bytes(),
         "correlation id sits at payload[1..9], little-endian"
     );
-    assert_eq!(hello[9], 0x01, "Hello is message type 0x01");
+    assert_eq!(
+        hello[9..17],
+        trace.to_le_bytes(),
+        "trace id sits at payload[9..17], little-endian"
+    );
+    assert_eq!(hello[17], 0x01, "Hello is message type 0x01");
     assert_eq!(peek_corr(&hello), Some(corr));
 }
 
@@ -319,8 +330,8 @@ fn protocol_constants_are_pinned() {
 fn batch_bounds_round_trip() {
     let empty = Request::Batch { ops: vec![] };
     assert_eq!(
-        decode_request(&encode_request(1, &empty)).unwrap(),
-        (1, empty)
+        decode_request(&encode_request(1, 0, &empty)).unwrap(),
+        (1, 0, empty)
     );
     let full = Request::Batch {
         ops: (0..MAX_BATCH_OPS as u32)
@@ -332,7 +343,7 @@ fn batch_bounds_round_trip() {
             })
             .collect(),
     };
-    let buf = encode_request(2, &full);
+    let buf = encode_request(2, 0, &full);
     assert!(buf.len() <= MAX_FRAME, "a full batch fits the frame budget");
-    assert_eq!(decode_request(&buf).unwrap(), (2, full));
+    assert_eq!(decode_request(&buf).unwrap(), (2, 0, full));
 }

@@ -88,6 +88,128 @@ impl OpCode {
     }
 }
 
+/// A distributed-trace hop: where in the request pipeline a span was
+/// recorded. The hop taxonomy is fixed, so the span tree's shape is
+/// encoded here once — [`SpanHop::parent`] gives the static topology the
+/// stitcher uses — and a span event only needs `(trace, hop)` to place
+/// itself, never an explicit span-id chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SpanHop {
+    /// The whole request as the originator saw it: send → reply (remote
+    /// client) or call → reply (in-process session).
+    Request,
+    /// Server connection handler: frame decoded → response bytes ready.
+    ConnHandle,
+    /// Shard queue residency: enqueued → dequeued by the worker.
+    Queue,
+    /// Shard worker execution: dequeue → protocol result.
+    Exec,
+    /// Certifier decision inside execution (validate / commit); the end
+    /// event's `ok` carries the decision outcome.
+    Certify,
+    /// Group commit: ticket enqueued by the worker → picked up by the
+    /// flusher.
+    WalEnqueue,
+    /// Group commit: flusher barrier open (batching window) → fsync
+    /// issued.
+    WalBarrier,
+    /// Durability barrier: fsync start → fsync complete.
+    WalFsync,
+}
+
+impl SpanHop {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanHop::Request => "request",
+            SpanHop::ConnHandle => "conn_handle",
+            SpanHop::Queue => "queue",
+            SpanHop::Exec => "exec",
+            SpanHop::Certify => "certify",
+            SpanHop::WalEnqueue => "wal_enqueue",
+            SpanHop::WalBarrier => "wal_barrier",
+            SpanHop::WalFsync => "wal_fsync",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn from_name(s: &str) -> Option<SpanHop> {
+        Some(match s {
+            "request" => SpanHop::Request,
+            "conn_handle" => SpanHop::ConnHandle,
+            "queue" => SpanHop::Queue,
+            "exec" => SpanHop::Exec,
+            "certify" => SpanHop::Certify,
+            "wal_enqueue" => SpanHop::WalEnqueue,
+            "wal_barrier" => SpanHop::WalBarrier,
+            "wal_fsync" => SpanHop::WalFsync,
+            _ => return None,
+        })
+    }
+
+    /// Packed code.
+    pub fn code(self) -> u32 {
+        match self {
+            SpanHop::Request => 0,
+            SpanHop::ConnHandle => 1,
+            SpanHop::Queue => 2,
+            SpanHop::Exec => 3,
+            SpanHop::Certify => 4,
+            SpanHop::WalEnqueue => 5,
+            SpanHop::WalBarrier => 6,
+            SpanHop::WalFsync => 7,
+        }
+    }
+
+    /// Decode a packed code.
+    pub fn from_code(c: u32) -> Option<SpanHop> {
+        Some(match c {
+            0 => SpanHop::Request,
+            1 => SpanHop::ConnHandle,
+            2 => SpanHop::Queue,
+            3 => SpanHop::Exec,
+            4 => SpanHop::Certify,
+            5 => SpanHop::WalEnqueue,
+            6 => SpanHop::WalBarrier,
+            7 => SpanHop::WalFsync,
+            _ => return None,
+        })
+    }
+
+    /// The hop's static parent in the span topology, `None` for the
+    /// root. A stitched trace may omit intermediate hops (an in-process
+    /// request has no `ConnHandle`); the stitcher attaches a span to its
+    /// nearest *present* ancestor.
+    pub fn parent(self) -> Option<SpanHop> {
+        match self {
+            SpanHop::Request => None,
+            SpanHop::ConnHandle => Some(SpanHop::Request),
+            SpanHop::Queue | SpanHop::Exec => Some(SpanHop::ConnHandle),
+            SpanHop::Certify => Some(SpanHop::Exec),
+            // WAL hops overlap the worker's deferred-ack window, not the
+            // execute interval, so they nest under the connection handler
+            // (the conn thread blocks until the flusher acks).
+            SpanHop::WalEnqueue | SpanHop::WalBarrier | SpanHop::WalFsync => {
+                Some(SpanHop::ConnHandle)
+            }
+        }
+    }
+
+    /// Every hop, in topology order.
+    pub fn all() -> [SpanHop; 8] {
+        [
+            SpanHop::Request,
+            SpanHop::ConnHandle,
+            SpanHop::Queue,
+            SpanHop::Exec,
+            SpanHop::Certify,
+            SpanHop::WalEnqueue,
+            SpanHop::WalBarrier,
+            SpanHop::WalFsync,
+        ]
+    }
+}
+
 /// What happened. The taxonomy covers the three layers that emit:
 ///
 /// * **request lifecycle** (server): [`ObsKind::Enqueue`] when a session
@@ -262,6 +384,35 @@ pub enum ObsKind {
         /// Finally-committed transactions recovered on the shard.
         committed: u32,
     },
+    /// Tracing: a span opened at a pipeline hop. `trace` is the
+    /// end-to-end trace id minted by the sampling originator (never 0 —
+    /// 0 on the wire means "unsampled").
+    SpanStart {
+        /// Where in the pipeline.
+        hop: SpanHop,
+        /// The operation the traced request carries.
+        op: OpCode,
+        /// The trace id.
+        trace: u64,
+    },
+    /// Tracing: a span closed at a pipeline hop.
+    SpanEnd {
+        /// Where in the pipeline.
+        hop: SpanHop,
+        /// Did the hop succeed? For [`SpanHop::Certify`] this is the
+        /// certifier's decision outcome.
+        ok: bool,
+        /// The trace id.
+        trace: u64,
+    },
+    /// Telemetry: a windowed snapshot delta was exported (over the wire
+    /// or to an in-process puller).
+    TelemetryDelta {
+        /// The puller's cursor after this delta (next window sequence).
+        seq: u32,
+        /// Windows carried by the delta.
+        windows: u32,
+    },
     /// Simulation: transaction (re)started.
     SimBegin,
     /// Simulation: a read executed.
@@ -310,6 +461,9 @@ impl ObsKind {
             ObsKind::WalFsync { .. } => "wal_fsync",
             ObsKind::GroupCommit { .. } => "group_commit",
             ObsKind::RecoveryReplay { .. } => "recovery_replay",
+            ObsKind::SpanStart { .. } => "span_start",
+            ObsKind::SpanEnd { .. } => "span_end",
+            ObsKind::TelemetryDelta { .. } => "telemetry_delta",
             ObsKind::SimBegin => "sim_begin",
             ObsKind::SimRead { .. } => "sim_read",
             ObsKind::SimWrite { .. } => "sim_write",
@@ -355,6 +509,9 @@ impl ObsKind {
             ObsKind::WalFsync { records, sync_ns } => (28, records, 0, sync_ns),
             ObsKind::GroupCommit { n } => (29, n, 0, 0),
             ObsKind::RecoveryReplay { writes, committed } => (30, writes, committed, 0),
+            ObsKind::SpanStart { hop, op, trace } => (31, hop.code(), op.code(), trace),
+            ObsKind::SpanEnd { hop, ok, trace } => (32, hop.code(), ok as u32, trace),
+            ObsKind::TelemetryDelta { seq, windows } => (33, seq, windows, 0),
             ObsKind::SimBegin => (17, 0, 0, 0),
             ObsKind::SimRead { entity } => (18, entity, 0, 0),
             ObsKind::SimWrite { entity } => (19, entity, 0, 0),
@@ -433,6 +590,17 @@ impl ObsKind {
                 writes: a,
                 committed: b,
             },
+            31 => ObsKind::SpanStart {
+                hop: SpanHop::from_code(a)?,
+                op: OpCode::from_code(b)?,
+                trace: c,
+            },
+            32 => ObsKind::SpanEnd {
+                hop: SpanHop::from_code(a)?,
+                ok: b != 0,
+                trace: c,
+            },
+            33 => ObsKind::TelemetryDelta { seq: a, windows: b },
             17 => ObsKind::SimBegin,
             18 => ObsKind::SimRead { entity: a },
             19 => ObsKind::SimWrite { entity: a },
@@ -568,6 +736,25 @@ mod tests {
                 committed: 13,
             },
             ObsKind::Enqueue { op: OpCode::Batch },
+            ObsKind::SpanStart {
+                hop: SpanHop::Request,
+                op: OpCode::Commit,
+                trace: u64::MAX / 3,
+            },
+            ObsKind::SpanEnd {
+                hop: SpanHop::Certify,
+                ok: true,
+                trace: 1,
+            },
+            ObsKind::SpanEnd {
+                hop: SpanHop::WalFsync,
+                ok: false,
+                trace: u64::MAX,
+            },
+            ObsKind::TelemetryDelta {
+                seq: 42,
+                windows: u32::MAX,
+            },
             ObsKind::SimBegin,
             ObsKind::SimRead { entity: 8 },
             ObsKind::SimWrite { entity: 9 },

@@ -13,7 +13,7 @@
 //! is a small exact-match scanner, not a general JSON implementation. It
 //! rejects anything the encoder would not produce.
 
-use crate::event::{ObsEvent, ObsKind, OpCode};
+use crate::event::{ObsEvent, ObsKind, OpCode, SpanHop};
 use std::fmt::Write as _;
 
 /// A malformed JSONL document.
@@ -126,6 +126,24 @@ pub fn event_to_json(ev: &ObsEvent) -> String {
         ObsKind::RecoveryReplay { writes, committed } => {
             let _ = write!(s, ",\"writes\":{writes},\"committed\":{committed}");
         }
+        ObsKind::SpanStart { hop, op, trace } => {
+            let _ = write!(
+                s,
+                ",\"hop\":\"{}\",\"op\":\"{}\",\"trace\":{trace}",
+                hop.name(),
+                op.name()
+            );
+        }
+        ObsKind::SpanEnd { hop, ok, trace } => {
+            let _ = write!(
+                s,
+                ",\"hop\":\"{}\",\"ok\":{ok},\"trace\":{trace}",
+                hop.name()
+            );
+        }
+        ObsKind::TelemetryDelta { seq, windows } => {
+            let _ = write!(s, ",\"seq\":{seq},\"windows\":{windows}");
+        }
         ObsKind::SimRead { entity } | ObsKind::SimWrite { entity } => {
             let _ = write!(s, ",\"entity\":{entity}");
         }
@@ -226,6 +244,11 @@ impl<'a> Fields<'a> {
         let name = self.string("op")?;
         OpCode::from_name(name).ok_or_else(|| self.err(format!("unknown op {name:?}")))
     }
+
+    fn hop(&self) -> Result<SpanHop, JsonError> {
+        let name = self.string("hop")?;
+        SpanHop::from_name(name).ok_or_else(|| self.err(format!("unknown hop {name:?}")))
+    }
 }
 
 /// Decode one JSON object line back into an event.
@@ -306,6 +329,20 @@ pub fn event_from_json(line_no: usize, text: &str) -> Result<ObsEvent, JsonError
         "recovery_replay" => ObsKind::RecoveryReplay {
             writes: f.u32("writes")?,
             committed: f.u32("committed")?,
+        },
+        "span_start" => ObsKind::SpanStart {
+            hop: f.hop()?,
+            op: f.op()?,
+            trace: f.u64("trace")?,
+        },
+        "span_end" => ObsKind::SpanEnd {
+            hop: f.hop()?,
+            ok: f.bool("ok")?,
+            trace: f.u64("trace")?,
+        },
+        "telemetry_delta" => ObsKind::TelemetryDelta {
+            seq: f.u32("seq")?,
+            windows: f.u32("windows")?,
         },
         "sim_begin" => ObsKind::SimBegin,
         "sim_read" => ObsKind::SimRead {

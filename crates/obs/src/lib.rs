@@ -25,6 +25,16 @@
 //! * [`timeline`] — causal stitching: group a drained stream into
 //!   per-transaction timelines, the artifact a dump-on-violation hands
 //!   to a human.
+//! * [`trace`] — distributed request tracing: `SpanStart`/`SpanEnd`
+//!   breadcrumbs emitted at every pipeline hop (client send, connection
+//!   handler, shard queue, worker execute, certifier decision, WAL group
+//!   commit) stitch into end-to-end [`trace::TraceTree`]s with per-hop
+//!   latency attribution.
+//! * [`telemetry`] — time-series SLO telemetry: windowed latency
+//!   histograms, throughput/abort-rate/queue-depth/flush-group series,
+//!   incremental [`telemetry::TelemetryDelta`] export, and the
+//!   declarative [`telemetry::SloSpec`] check
+//!   (`p99 ≤ X over any Y-second window`).
 //!
 //! Emission cost when a recorder is attached is a timestamp read plus a
 //! handful of relaxed atomic stores; when detached (the default), a single
@@ -36,9 +46,16 @@
 pub mod event;
 pub mod json;
 pub mod ring;
+pub mod telemetry;
 pub mod timeline;
+pub mod trace;
 
-pub use event::{ObsEvent, ObsKind, OpCode, NO_TXN};
+pub use event::{ObsEvent, ObsKind, OpCode, SpanHop, NO_TXN};
 pub use json::{event_from_json, event_to_json, from_jsonl, to_jsonl, JsonError};
 pub use ring::{ObsSink, Recorder, Ring};
+pub use telemetry::{
+    SloBreach, SloQuantile, SloSpec, TelemetryDelta, TelemetrySeries, WindowSnapshot,
+    LATENCY_BUCKETS,
+};
 pub use timeline::{stitch, TxnTimeline};
+pub use trace::{derive_trace_id, stitch_traces, trace_sampled, HopLatency, TraceSpan, TraceTree};

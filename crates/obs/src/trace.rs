@@ -1,0 +1,596 @@
+//! Distributed-trace stitching: span events → end-to-end trees.
+//!
+//! A traced request leaves [`ObsKind::SpanStart`]/[`ObsKind::SpanEnd`]
+//! breadcrumbs at every pipeline hop it crosses (client send, connection
+//! handler, shard queue, worker execute, certifier decision, WAL group
+//! commit). The hops of one request all carry the same trace id, and the
+//! hop taxonomy itself is a fixed topology ([`SpanHop::parent`]), so no
+//! explicit span-id chain crosses the wire: `(trace, hop)` places every
+//! span. This module reassembles the flat, arbitrarily interleaved event
+//! stream a [`crate::Recorder`] drains into one [`TraceTree`] per trace,
+//! with per-hop latency attribution that sums to the root span's
+//! duration.
+//!
+//! Timestamps are nanoseconds on the emitting recorder's clock. Hops of
+//! one trace only nest meaningfully when every emitter shares a recorder
+//! (the loopback benches and ks-dst do exactly that); cross-process
+//! traces still stitch, but interval arithmetic inherits the clock skew.
+
+use crate::event::{ObsEvent, ObsKind, OpCode, SpanHop};
+
+/// Derive a nonzero trace id from a seed (a wire correlation id, or an
+/// origination sequence number) via SplitMix64. Deterministic, so a
+/// replayed run — the dst harness in particular — produces identical
+/// trace ids, and both ends of a wire derive the same id from the same
+/// correlation id without exchanging extra state.
+pub fn derive_trace_id(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    // 0 means "unsampled" on the wire; the all-zero output maps to 1.
+    if z == 0 {
+        1
+    } else {
+        z
+    }
+}
+
+/// Head-sampling decision at `rate ∈ [0, 1]`: a pure function of the
+/// derived trace id (its top 53 bits against the rate threshold), so
+/// every component that sees the id agrees without coordination.
+pub fn trace_sampled(trace: u64, rate: f64) -> bool {
+    if rate >= 1.0 {
+        true
+    } else if rate <= 0.0 {
+        false
+    } else {
+        ((trace >> 11) as f64 / (1u64 << 53) as f64) < rate
+    }
+}
+
+/// One reassembled span: a hop's interval within a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// The trace this span belongs to.
+    pub trace: u64,
+    /// Where in the pipeline.
+    pub hop: SpanHop,
+    /// The operation, when the start event carried one.
+    pub op: Option<OpCode>,
+    /// Shard stamp of the start event.
+    pub shard: u32,
+    /// Transaction stamp of the start event ([`crate::NO_TXN`] when the
+    /// emitter did not know the transaction yet).
+    pub txn: u32,
+    /// Start timestamp (recorder nanoseconds).
+    pub start_ns: u64,
+    /// End timestamp; `None` for a span whose end event was not drained
+    /// (dropped by the ring, or the request was still in flight).
+    pub end_ns: Option<u64>,
+    /// The end event's outcome; for [`SpanHop::Certify`] the certifier's
+    /// decision.
+    pub ok: Option<bool>,
+}
+
+impl TraceSpan {
+    /// The span's duration, 0 while unclosed.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns
+            .map_or(0, |end| end.saturating_sub(self.start_ns))
+    }
+}
+
+/// Per-hop latency attribution within one trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HopLatency {
+    /// The hop.
+    pub hop: SpanHop,
+    /// The hop's full interval.
+    pub span_ns: u64,
+    /// The interval minus the intervals of its direct children — the
+    /// time *this* hop is responsible for. Self times over a
+    /// single-rooted tree sum to the root span's duration.
+    pub self_ns: u64,
+}
+
+/// One trace's spans, linked into a tree by the hop topology.
+#[derive(Debug, Clone)]
+pub struct TraceTree {
+    /// The trace id.
+    pub trace: u64,
+    /// Every reassembled span, in start-timestamp order.
+    pub spans: Vec<TraceSpan>,
+    /// `children[i]` = indices of the spans attached under `spans[i]`.
+    pub children: Vec<Vec<usize>>,
+    /// Indices of top-level spans (no present ancestor). A full wire
+    /// trace has exactly one: the client's [`SpanHop::Request`].
+    pub roots: Vec<usize>,
+}
+
+impl TraceTree {
+    /// The root span when the tree has exactly one top-level span.
+    pub fn root(&self) -> Option<&TraceSpan> {
+        match self.roots.as_slice() {
+            [r] => Some(&self.spans[*r]),
+            _ => None,
+        }
+    }
+
+    /// End-to-end duration: the single root's interval, or the envelope
+    /// of all spans when the trace has no single root.
+    pub fn total_ns(&self) -> u64 {
+        if let Some(root) = self.root() {
+            return root.duration_ns();
+        }
+        let start = self.spans.iter().map(|s| s.start_ns).min().unwrap_or(0);
+        let end = self
+            .spans
+            .iter()
+            .filter_map(|s| s.end_ns)
+            .max()
+            .unwrap_or(start);
+        end.saturating_sub(start)
+    }
+
+    /// Which hops the trace covers.
+    pub fn hops(&self) -> Vec<SpanHop> {
+        self.spans.iter().map(|s| s.hop).collect()
+    }
+
+    /// Per-hop latency attribution, in span order. Each hop's `self_ns`
+    /// is its interval minus its direct children's; over a well-formed
+    /// single-rooted tree the self times sum exactly to
+    /// [`TraceTree::total_ns`].
+    pub fn hop_latencies(&self) -> Vec<HopLatency> {
+        self.spans
+            .iter()
+            .enumerate()
+            .map(|(i, span)| {
+                let span_ns = span.duration_ns();
+                let child_ns: u64 = self.children[i]
+                    .iter()
+                    .map(|&c| self.spans[c].duration_ns())
+                    .sum();
+                HopLatency {
+                    hop: span.hop,
+                    span_ns,
+                    self_ns: span_ns.saturating_sub(child_ns),
+                }
+            })
+            .collect()
+    }
+
+    /// Structural validity: exactly one root, every span closed, every
+    /// child interval within its parent's, and every span's end at or
+    /// after its start.
+    pub fn is_well_formed(&self) -> bool {
+        if self.roots.len() != 1 {
+            return false;
+        }
+        for (i, span) in self.spans.iter().enumerate() {
+            let Some(end) = span.end_ns else { return false };
+            if end < span.start_ns {
+                return false;
+            }
+            for &c in &self.children[i] {
+                let child = &self.spans[c];
+                if child.start_ns < span.start_ns || child.end_ns.unwrap_or(u64::MAX) > end {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// One line per span, indented by depth — the hop breakdown a human
+    /// (or ks-top) reads.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trace {:#018x}: {} spans, {} ns end-to-end",
+            self.trace,
+            self.spans.len(),
+            self.total_ns()
+        );
+        fn walk(tree: &TraceTree, i: usize, depth: usize, out: &mut String) {
+            use std::fmt::Write as _;
+            let s = &tree.spans[i];
+            let _ = writeln!(
+                out,
+                "{:indent$}{} {:>10} ns{}{}",
+                "",
+                s.hop.name(),
+                s.duration_ns(),
+                s.op.map(|o| format!(" op={}", o.name()))
+                    .unwrap_or_default(),
+                s.ok.map(|ok| format!(" ok={ok}")).unwrap_or_default(),
+                indent = 2 + depth * 2,
+            );
+            for &c in &tree.children[i] {
+                walk(tree, c, depth + 1, out);
+            }
+        }
+        for &r in &self.roots {
+            walk(self, r, 0, &mut out);
+        }
+        out
+    }
+}
+
+/// Reassemble every trace present in `events` (other event kinds are
+/// ignored). Starts and ends pair by `(trace, hop)` in timestamp order;
+/// an end without a start opens a zero-length span at its own timestamp
+/// so ring drops degrade to visible stubs, never to panics. Returned
+/// trees are ordered by first span start.
+pub fn stitch_traces(events: &[ObsEvent]) -> Vec<TraceTree> {
+    use std::collections::BTreeMap;
+
+    // Collect per-trace span events, in timestamp order.
+    let mut sorted: Vec<&ObsEvent> = events
+        .iter()
+        .filter(|e| matches!(e.kind, ObsKind::SpanStart { .. } | ObsKind::SpanEnd { .. }))
+        .collect();
+    sorted.sort_by_key(|e| e.ts);
+
+    let mut traces: BTreeMap<u64, Vec<TraceSpan>> = BTreeMap::new();
+    for ev in sorted {
+        match ev.kind {
+            ObsKind::SpanStart { hop, op, trace } => {
+                traces.entry(trace).or_default().push(TraceSpan {
+                    trace,
+                    hop,
+                    op: Some(op),
+                    shard: ev.shard,
+                    txn: ev.txn,
+                    start_ns: ev.ts,
+                    end_ns: None,
+                    ok: None,
+                });
+            }
+            ObsKind::SpanEnd { hop, ok, trace } => {
+                let spans = traces.entry(trace).or_default();
+                match spans
+                    .iter_mut()
+                    .find(|s| s.hop == hop && s.end_ns.is_none())
+                {
+                    Some(open) => {
+                        open.end_ns = Some(ev.ts);
+                        open.ok = Some(ok);
+                    }
+                    // Orphan end (start dropped): a zero-length stub.
+                    None => spans.push(TraceSpan {
+                        trace,
+                        hop,
+                        op: None,
+                        shard: ev.shard,
+                        txn: ev.txn,
+                        start_ns: ev.ts,
+                        end_ns: Some(ev.ts),
+                        ok: Some(ok),
+                    }),
+                }
+            }
+            _ => unreachable!("filtered above"),
+        }
+    }
+
+    let mut trees: Vec<TraceTree> = traces
+        .into_iter()
+        .map(|(trace, mut spans)| {
+            spans.sort_by_key(|s| s.start_ns);
+            let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+            let mut roots = Vec::new();
+            for i in 0..spans.len() {
+                // Walk the static topology to the nearest hop actually
+                // present in this trace; absent intermediates (an
+                // in-process request has no ConnHandle) are skipped.
+                let mut ancestor = spans[i].hop.parent();
+                let parent = loop {
+                    match ancestor {
+                        None => break None,
+                        Some(hop) => {
+                            if let Some(p) = spans.iter().position(|s| s.hop == hop) {
+                                break Some(p);
+                            }
+                            ancestor = hop.parent();
+                        }
+                    }
+                };
+                match parent {
+                    Some(p) if p != i => children[p].push(i),
+                    _ => roots.push(i),
+                }
+            }
+            TraceTree {
+                trace,
+                spans,
+                children,
+                roots,
+            }
+        })
+        .collect();
+    trees.sort_by_key(|t| t.spans.first().map_or(0, |s| s.start_ns));
+    trees
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::NO_TXN;
+
+    fn ev(ts: u64, kind: ObsKind) -> ObsEvent {
+        ObsEvent {
+            ts,
+            shard: 0,
+            txn: NO_TXN,
+            kind,
+        }
+    }
+
+    fn full_trace(trace: u64, base: u64) -> Vec<ObsEvent> {
+        let op = OpCode::Commit;
+        vec![
+            ev(
+                base,
+                ObsKind::SpanStart {
+                    hop: SpanHop::Request,
+                    op,
+                    trace,
+                },
+            ),
+            ev(
+                base + 10,
+                ObsKind::SpanStart {
+                    hop: SpanHop::ConnHandle,
+                    op,
+                    trace,
+                },
+            ),
+            ev(
+                base + 12,
+                ObsKind::SpanStart {
+                    hop: SpanHop::Queue,
+                    op,
+                    trace,
+                },
+            ),
+            ev(
+                base + 20,
+                ObsKind::SpanEnd {
+                    hop: SpanHop::Queue,
+                    ok: true,
+                    trace,
+                },
+            ),
+            ev(
+                base + 20,
+                ObsKind::SpanStart {
+                    hop: SpanHop::Exec,
+                    op,
+                    trace,
+                },
+            ),
+            ev(
+                base + 22,
+                ObsKind::SpanStart {
+                    hop: SpanHop::Certify,
+                    op,
+                    trace,
+                },
+            ),
+            ev(
+                base + 30,
+                ObsKind::SpanEnd {
+                    hop: SpanHop::Certify,
+                    ok: true,
+                    trace,
+                },
+            ),
+            ev(
+                base + 34,
+                ObsKind::SpanStart {
+                    hop: SpanHop::WalEnqueue,
+                    op,
+                    trace,
+                },
+            ),
+            ev(
+                base + 36,
+                ObsKind::SpanEnd {
+                    hop: SpanHop::Exec,
+                    ok: true,
+                    trace,
+                },
+            ),
+            ev(
+                base + 40,
+                ObsKind::SpanEnd {
+                    hop: SpanHop::WalEnqueue,
+                    ok: true,
+                    trace,
+                },
+            ),
+            ev(
+                base + 40,
+                ObsKind::SpanStart {
+                    hop: SpanHop::WalBarrier,
+                    op,
+                    trace,
+                },
+            ),
+            ev(
+                base + 50,
+                ObsKind::SpanEnd {
+                    hop: SpanHop::WalBarrier,
+                    ok: true,
+                    trace,
+                },
+            ),
+            ev(
+                base + 50,
+                ObsKind::SpanStart {
+                    hop: SpanHop::WalFsync,
+                    op,
+                    trace,
+                },
+            ),
+            ev(
+                base + 70,
+                ObsKind::SpanEnd {
+                    hop: SpanHop::WalFsync,
+                    ok: true,
+                    trace,
+                },
+            ),
+            ev(
+                base + 80,
+                ObsKind::SpanEnd {
+                    hop: SpanHop::ConnHandle,
+                    ok: true,
+                    trace,
+                },
+            ),
+            ev(
+                base + 90,
+                ObsKind::SpanEnd {
+                    hop: SpanHop::Request,
+                    ok: true,
+                    trace,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn stitches_a_full_wire_trace_into_one_rooted_tree() {
+        let trees = stitch_traces(&full_trace(7, 1000));
+        assert_eq!(trees.len(), 1);
+        let t = &trees[0];
+        assert!(t.is_well_formed(), "{t:?}");
+        assert_eq!(t.root().unwrap().hop, SpanHop::Request);
+        assert_eq!(t.total_ns(), 90);
+        // Self times over the tree sum exactly to the root duration.
+        let sum: u64 = t.hop_latencies().iter().map(|h| h.self_ns).sum();
+        assert_eq!(sum, 90);
+        // The certifier decision is a child of execute.
+        let exec = t.spans.iter().position(|s| s.hop == SpanHop::Exec).unwrap();
+        assert!(t.children[exec]
+            .iter()
+            .any(|&c| t.spans[c].hop == SpanHop::Certify));
+    }
+
+    #[test]
+    fn interleaved_traces_separate_and_order_by_start() {
+        let mut events = full_trace(2, 5000);
+        events.extend(full_trace(1, 1000));
+        // Shuffle deterministically: reverse.
+        events.reverse();
+        let trees = stitch_traces(&events);
+        assert_eq!(trees.len(), 2);
+        assert_eq!(trees[0].trace, 1);
+        assert_eq!(trees[1].trace, 2);
+        assert!(trees.iter().all(TraceTree::is_well_formed));
+    }
+
+    #[test]
+    fn in_process_trace_roots_at_request_despite_missing_conn_hop() {
+        let trace = 3;
+        let op = OpCode::Read;
+        let events = vec![
+            ev(
+                0,
+                ObsKind::SpanStart {
+                    hop: SpanHop::Request,
+                    op,
+                    trace,
+                },
+            ),
+            ev(
+                1,
+                ObsKind::SpanStart {
+                    hop: SpanHop::Queue,
+                    op,
+                    trace,
+                },
+            ),
+            ev(
+                5,
+                ObsKind::SpanEnd {
+                    hop: SpanHop::Queue,
+                    ok: true,
+                    trace,
+                },
+            ),
+            ev(
+                5,
+                ObsKind::SpanStart {
+                    hop: SpanHop::Exec,
+                    op,
+                    trace,
+                },
+            ),
+            ev(
+                9,
+                ObsKind::SpanEnd {
+                    hop: SpanHop::Exec,
+                    ok: true,
+                    trace,
+                },
+            ),
+            ev(
+                12,
+                ObsKind::SpanEnd {
+                    hop: SpanHop::Request,
+                    ok: true,
+                    trace,
+                },
+            ),
+        ];
+        let t = &stitch_traces(&events)[0];
+        assert!(t.is_well_formed(), "{t:?}");
+        // Queue and Exec skipped the absent ConnHandle and attached to
+        // Request directly.
+        let root = t.roots[0];
+        assert_eq!(t.children[root].len(), 2);
+        let sum: u64 = t.hop_latencies().iter().map(|h| h.self_ns).sum();
+        assert_eq!(sum, 12);
+    }
+
+    #[test]
+    fn orphan_end_becomes_a_stub_not_a_panic() {
+        let events = vec![ev(
+            9,
+            ObsKind::SpanEnd {
+                hop: SpanHop::Exec,
+                ok: false,
+                trace: 8,
+            },
+        )];
+        let t = &stitch_traces(&events)[0];
+        assert_eq!(t.spans.len(), 1);
+        assert_eq!(t.spans[0].duration_ns(), 0);
+        assert_eq!(t.spans[0].ok, Some(false));
+        // A stub is closed but the tree is still renderable and its
+        // latency attribution is zero, not garbage.
+        assert_eq!(t.hop_latencies()[0].self_ns, 0);
+        assert!(!t.render().is_empty());
+    }
+
+    #[test]
+    fn unclosed_span_is_not_well_formed() {
+        let events = vec![ev(
+            1,
+            ObsKind::SpanStart {
+                hop: SpanHop::Request,
+                op: OpCode::Commit,
+                trace: 5,
+            },
+        )];
+        let t = &stitch_traces(&events)[0];
+        assert!(!t.is_well_formed());
+        assert_eq!(t.total_ns(), 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property test: trace stitching reconstructs a valid tree — single
+//! root, no orphan spans, child intervals within the parent's — from
+//! arbitrarily interleaved ring-buffer drains across threads.
+//!
+//! Each generated trace is a well-formed request: a `Request` root plus
+//! an arbitrary subset of the other pipeline hops, with intervals that
+//! nest under every possible resolved ancestor (the stitcher attaches a
+//! span to its nearest *present* ancestor, so the layout must nest under
+//! `Request` directly too). The trace's events are then scattered over
+//! several recorder sinks and emitted from concurrent threads, the
+//! recorder is drained, and the stitched forest must reconstruct every
+//! trace exactly.
+
+use ks_obs::{stitch_traces, ObsKind, OpCode, Recorder, SpanHop, TraceTree};
+use proptest::prelude::*;
+
+/// Relative interval layout, nesting-correct for any present-subset:
+/// every non-root hop nests inside `ConnHandle` and `Request`, and
+/// `Certify` inside `Exec`.
+fn layout(hop: SpanHop) -> (u64, u64) {
+    match hop {
+        SpanHop::Request => (0, 90),
+        SpanHop::ConnHandle => (10, 80),
+        SpanHop::Queue => (12, 20),
+        SpanHop::Exec => (20, 36),
+        SpanHop::Certify => (22, 30),
+        SpanHop::WalEnqueue => (36, 40),
+        SpanHop::WalBarrier => (40, 50),
+        SpanHop::WalFsync => (50, 70),
+    }
+}
+
+/// Total end-to-end duration of the layout above.
+const TOTAL_NS: u64 = 90;
+
+#[derive(Debug, Clone)]
+struct GenTrace {
+    trace: u64,
+    base: u64,
+    hops: Vec<SpanHop>,
+}
+
+fn gen_trace(index: usize, mask: u8, jitter: u64) -> GenTrace {
+    let optional = [
+        SpanHop::ConnHandle,
+        SpanHop::Queue,
+        SpanHop::Exec,
+        SpanHop::Certify,
+        SpanHop::WalEnqueue,
+        SpanHop::WalBarrier,
+        SpanHop::WalFsync,
+    ];
+    let mut hops = vec![SpanHop::Request];
+    for (bit, hop) in optional.into_iter().enumerate() {
+        if mask & (1 << bit) != 0 {
+            hops.push(hop);
+        }
+    }
+    GenTrace {
+        trace: index as u64 + 1,
+        // Traces may overlap in time (concurrent requests do); jitter
+        // staggers them arbitrarily.
+        base: index as u64 * 37 + jitter % 512,
+        hops,
+    }
+}
+
+proptest! {
+    #[test]
+    fn interleaved_multi_ring_drains_stitch_to_valid_trees(
+        masks in prop::collection::vec(any::<u8>(), 1..8),
+        jitters in prop::collection::vec(any::<u64>(), 1..8),
+        assignment in prop::collection::vec(0usize..4, 0..256),
+        sinks in 1usize..4,
+    ) {
+        let traces: Vec<GenTrace> = masks
+            .iter()
+            .zip(jitters.iter().chain(std::iter::repeat(&0)))
+            .enumerate()
+            .map(|(i, (&m, &j))| gen_trace(i, m, j))
+            .collect();
+
+        // Flatten every trace's start/end events, then scatter them over
+        // the sinks according to the arbitrary assignment vector.
+        let mut events = Vec::new();
+        for t in &traces {
+            for &hop in &t.hops {
+                let (s, e) = layout(hop);
+                events.push((t.base + s, ObsKind::SpanStart {
+                    hop,
+                    op: OpCode::Commit,
+                    trace: t.trace,
+                }));
+                events.push((t.base + e, ObsKind::SpanEnd {
+                    hop,
+                    ok: true,
+                    trace: t.trace,
+                }));
+            }
+        }
+        let recorder = Recorder::new(1024);
+        let handles: Vec<_> = (0..sinks).map(|s| recorder.sink(s as u32)).collect();
+        let mut per_sink: Vec<Vec<(u64, ObsKind)>> = vec![Vec::new(); sinks];
+        for (i, ev) in events.into_iter().enumerate() {
+            let s = assignment.get(i).copied().unwrap_or(i) % sinks;
+            per_sink[s].push(ev);
+        }
+        // Emit concurrently: within-ring order is each thread's program
+        // order, cross-ring order is whatever the scheduler does.
+        std::thread::scope(|scope| {
+            for (sink, batch) in handles.iter().zip(per_sink) {
+                scope.spawn(move || {
+                    for (ts, kind) in batch {
+                        sink.emit_at(ts, 0, kind);
+                    }
+                });
+            }
+        });
+
+        let drained = recorder.drain();
+        let trees = stitch_traces(&drained);
+        prop_assert_eq!(trees.len(), traces.len());
+        for tree in &trees {
+            let expected = &traces[(tree.trace - 1) as usize];
+            prop_assert!(tree.is_well_formed(), "tree {:?}", tree);
+            prop_assert_eq!(tree.spans.len(), expected.hops.len());
+            // Single root, and it is the client request span.
+            prop_assert_eq!(tree.roots.len(), 1);
+            prop_assert_eq!(tree.root().unwrap().hop, SpanHop::Request);
+            // No orphans: every non-root span is someone's child.
+            let attached: usize = tree.children.iter().map(Vec::len).sum();
+            prop_assert_eq!(attached, tree.spans.len() - 1);
+            // Per-hop self times attribute the whole request exactly.
+            prop_assert_eq!(tree.total_ns(), TOTAL_NS);
+            let self_sum: u64 = tree.hop_latencies().iter().map(|h| h.self_ns).sum();
+            prop_assert_eq!(self_sum, TOTAL_NS);
+        }
+        prop_assert!(trees.iter().all(TraceTree::is_well_formed));
+    }
+}

@@ -2,7 +2,9 @@
 //! exactly, through both the packed ring representation and the JSONL
 //! text format. This is the CI gate `scripts/check.sh` runs by name.
 
-use ks_obs::{event_from_json, event_to_json, from_jsonl, to_jsonl, ObsEvent, ObsKind, OpCode};
+use ks_obs::{
+    event_from_json, event_to_json, from_jsonl, to_jsonl, ObsEvent, ObsKind, OpCode, SpanHop,
+};
 
 /// One event of every kind, with payload values that exercise edge cases
 /// (zero, `u32::MAX` sentinels, large ns counts, both booleans).
@@ -115,7 +117,44 @@ fn corpus() -> Vec<ObsEvent> {
         ObsKind::SimWrite { entity: 12 },
         ObsKind::SimCommit,
         ObsKind::SimAbort,
+        ObsKind::TelemetryDelta {
+            seq: 0,
+            windows: u32::MAX,
+        },
+        ObsKind::TelemetryDelta {
+            seq: u32::MAX,
+            windows: 0,
+        },
     ];
+    // Every span hop, as both a start (each op exercised somewhere) and
+    // an end (both outcomes), with edge-case trace ids.
+    let kinds: Vec<ObsKind> = kinds
+        .into_iter()
+        .chain(SpanHop::all().into_iter().enumerate().flat_map(|(i, hop)| {
+            let ops = [
+                OpCode::Define,
+                OpCode::Validate,
+                OpCode::Read,
+                OpCode::Write,
+                OpCode::Commit,
+                OpCode::Abort,
+                OpCode::Stats,
+                OpCode::Batch,
+            ];
+            [
+                ObsKind::SpanStart {
+                    hop,
+                    op: ops[i % ops.len()],
+                    trace: if i % 2 == 0 { 1 } else { u64::MAX },
+                },
+                ObsKind::SpanEnd {
+                    hop,
+                    ok: i % 2 == 0,
+                    trace: u64::MAX / (i as u64 + 1),
+                },
+            ]
+        }))
+        .collect();
     kinds
         .into_iter()
         .enumerate()

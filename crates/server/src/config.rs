@@ -43,6 +43,12 @@ pub struct ServerConfig {
     /// startup; the default [`Durability::None`] keeps the pre-WAL
     /// in-memory behaviour.
     pub durability: Durability,
+    /// Fraction of requests the service *originates* distributed traces
+    /// for (`0.0` = never, the default; `1.0` = every request). Only
+    /// applies to requests that did not already arrive with a wire
+    /// trace id — those are always honoured — and only when a
+    /// `recorder` is attached. See `ks_obs::trace`.
+    pub trace_sample: f64,
 }
 
 impl Default for ServerConfig {
@@ -55,6 +61,7 @@ impl Default for ServerConfig {
             strategy: Strategy::Backtracking,
             recorder: None,
             durability: Durability::None,
+            trace_sample: 0.0,
         }
     }
 }
@@ -139,6 +146,12 @@ impl ServerConfigBuilder {
         self
     }
 
+    /// Trace-origination sampling rate (must be within `[0.0, 1.0]`).
+    pub fn trace_sample(mut self, rate: f64) -> Self {
+        self.config.trace_sample = rate;
+        self
+    }
+
     /// Validate and produce the config.
     pub fn build(self) -> Result<ServerConfig, ConfigError> {
         let c = &self.config;
@@ -159,6 +172,9 @@ impl ServerConfigBuilder {
             return Err(ConfigError(
                 "request_timeout must be non-zero (every call would time out)".into(),
             ));
+        }
+        if !(0.0..=1.0).contains(&c.trace_sample) {
+            return Err(ConfigError("trace_sample must be within [0.0, 1.0]".into()));
         }
         Ok(self.config)
     }
@@ -184,6 +200,12 @@ mod tests {
             .request_timeout(Duration::ZERO)
             .build()
             .is_err());
+        assert!(ServerConfig::builder().trace_sample(1.5).build().is_err());
+        assert!(ServerConfig::builder().trace_sample(-0.1).build().is_err());
+        assert!(ServerConfig::builder()
+            .trace_sample(f64::NAN)
+            .build()
+            .is_err());
     }
 
     #[test]
@@ -194,6 +216,7 @@ mod tests {
             .max_sessions(3)
             .request_timeout(Duration::from_millis(250))
             .strategy(Strategy::GreedyLatest)
+            .trace_sample(0.25)
             .build()
             .unwrap();
         assert_eq!(c.shards, 2);
@@ -201,6 +224,7 @@ mod tests {
         assert_eq!(c.max_sessions, 3);
         assert_eq!(c.request_timeout, Duration::from_millis(250));
         assert_eq!(c.strategy, Strategy::GreedyLatest);
+        assert_eq!(c.trace_sample, 0.25);
         assert!(c.recorder.is_none());
         assert!(matches!(c.durability, Durability::None));
     }

@@ -30,7 +30,7 @@
 
 use crate::ServerError;
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
-use ks_obs::{ObsKind, ObsSink, NO_TXN};
+use ks_obs::{ObsKind, ObsSink, OpCode, SpanHop, TelemetrySeries, NO_TXN};
 use ks_wal::{SegmentStore, Wal, WalRecord};
 use parking_lot::Mutex;
 use std::collections::BTreeSet;
@@ -167,14 +167,20 @@ impl WalShared {
 /// A deferred commit acknowledgement parked with the group flusher.
 pub(crate) struct Ticket {
     pub(crate) reply: Sender<Result<(), ServerError>>,
+    /// Distributed trace riding this commit (`0` = unsampled); the
+    /// flusher emits the `WalEnqueue`/`WalBarrier`/`WalFsync` span
+    /// boundaries for it.
+    pub(crate) trace: u64,
 }
 
 /// How a logged commit gets acknowledged.
 pub(crate) enum CommitAck {
     /// The flusher owns the reply; the worker must not send one.
     Deferred,
-    /// Durable (or durability waived); the worker replies now.
-    Ready,
+    /// Durable (or durability waived); the worker replies now. `synced`
+    /// reports whether an inline fsync ran, so the caller can count it
+    /// as a flush group of one.
+    Ready { synced: bool },
 }
 
 /// Per-worker handle: the shared log plus this worker's shard id and
@@ -276,6 +282,7 @@ impl WorkerWal {
     pub(crate) fn log_commit(
         &self,
         txn: u64,
+        trace: u64,
         sink: &Option<ObsSink>,
         reply: &Sender<Result<(), ServerError>>,
     ) -> CommitAck {
@@ -291,23 +298,64 @@ impl WorkerWal {
         );
         inner.committed_logged.insert((self.shard, txn));
         if !self.shared.sync_on_commit {
-            return CommitAck::Ready;
+            return CommitAck::Ready { synced: false };
         }
         match &self.group {
             Some(group) => {
                 // The flusher replies once the shared fsync covers this
                 // record; drop the lock first so it can sync promptly.
                 drop(inner);
+                // The time from here to the flusher picking the ticket
+                // up is the WalEnqueue hop of the trace.
+                if trace != 0 {
+                    if let Some(s) = sink {
+                        s.emit(
+                            txn as u32,
+                            ObsKind::SpanStart {
+                                hop: SpanHop::WalEnqueue,
+                                op: OpCode::Commit,
+                                trace,
+                            },
+                        );
+                    }
+                }
                 group
                     .send(Ticket {
                         reply: reply.clone(),
+                        trace,
                     })
                     .unwrap_or_else(|_| panic!("group flusher exited while workers live"));
                 CommitAck::Deferred
             }
             None => {
+                // Inline sync: the whole durability wait is one WalFsync
+                // hop on the worker thread.
+                if trace != 0 {
+                    if let Some(s) = sink {
+                        s.emit(
+                            txn as u32,
+                            ObsKind::SpanStart {
+                                hop: SpanHop::WalFsync,
+                                op: OpCode::Commit,
+                                trace,
+                            },
+                        );
+                    }
+                }
                 self.sync(&mut inner, sink);
-                CommitAck::Ready
+                if trace != 0 {
+                    if let Some(s) = sink {
+                        s.emit(
+                            txn as u32,
+                            ObsKind::SpanEnd {
+                                hop: SpanHop::WalFsync,
+                                ok: true,
+                                trace,
+                            },
+                        );
+                    }
+                }
+                CommitAck::Ready { synced: true }
             }
         }
     }
@@ -324,13 +372,46 @@ impl WorkerWal {
 /// The group-commit flusher: collect every ticket within `window` of
 /// the first, issue one fsync, acknowledge them all. Exits when all
 /// workers (the only `Ticket` senders) are gone.
+///
+/// For traced tickets the flusher closes the worker's `WalEnqueue` span
+/// at pickup, brackets the straggler wait as `WalBarrier`, and the
+/// shared fsync as `WalFsync` — so a slow group commit shows up in the
+/// trace tree attributed to the right phase. Every group's size also
+/// feeds the windowed telemetry series.
 pub(crate) fn flusher_loop(
     shared: Arc<WalShared>,
     tickets: Receiver<Ticket>,
     window: Duration,
     sink: Option<ObsSink>,
+    telemetry: TelemetrySeries,
 ) {
+    let emit = |trace: u64, kind: ObsKind| {
+        if trace != 0 {
+            if let Some(s) = &sink {
+                s.emit(NO_TXN, kind);
+            }
+        }
+    };
+    let pickup = |t: &Ticket| {
+        emit(
+            t.trace,
+            ObsKind::SpanEnd {
+                hop: SpanHop::WalEnqueue,
+                ok: true,
+                trace: t.trace,
+            },
+        );
+        emit(
+            t.trace,
+            ObsKind::SpanStart {
+                hop: SpanHop::WalBarrier,
+                op: OpCode::Commit,
+                trace: t.trace,
+            },
+        );
+    };
     while let Ok(first) = tickets.recv() {
+        pickup(&first);
         let mut batch = vec![first];
         let deadline = Instant::now() + window;
         loop {
@@ -339,9 +420,30 @@ pub(crate) fn flusher_loop(
                 break;
             }
             match tickets.recv_timeout(deadline - now) {
-                Ok(t) => batch.push(t),
+                Ok(t) => {
+                    pickup(&t);
+                    batch.push(t);
+                }
                 Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
             }
+        }
+        for t in &batch {
+            emit(
+                t.trace,
+                ObsKind::SpanEnd {
+                    hop: SpanHop::WalBarrier,
+                    ok: true,
+                    trace: t.trace,
+                },
+            );
+            emit(
+                t.trace,
+                ObsKind::SpanStart {
+                    hop: SpanHop::WalFsync,
+                    op: OpCode::Commit,
+                    trace: t.trace,
+                },
+            );
         }
         let start = Instant::now();
         let records = shared.inner.lock().wal.sync().expect("wal fsync failed");
@@ -360,6 +462,17 @@ pub(crate) fn flusher_loop(
                 },
             );
         }
+        for t in &batch {
+            emit(
+                t.trace,
+                ObsKind::SpanEnd {
+                    hop: SpanHop::WalFsync,
+                    ok: true,
+                    trace: t.trace,
+                },
+            );
+        }
+        telemetry.record_flush(batch.len() as u64);
         for t in batch {
             let _ = t.reply.send(Ok(()));
         }

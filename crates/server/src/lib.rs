@@ -424,6 +424,81 @@ mod tests {
     }
 
     #[test]
+    fn sampled_sessions_emit_stitchable_traces() {
+        // trace_sample = 1.0: every in-process call originates a trace;
+        // the drained rings must stitch into one well-formed tree per
+        // call, rooted at the client Request span, with the worker's
+        // Queue/Exec (and Certify, for validate/commit) hops inside.
+        let recorder = ks_obs::Recorder::new(1 << 12);
+        let schema = schema(8);
+        let initial = UniqueState::constant(8, 0);
+        let config = ServerConfig::builder()
+            .shards(4)
+            .recorder(recorder.clone())
+            .trace_sample(1.0)
+            .build()
+            .unwrap();
+        let svc = TxnService::new(schema, &initial, config);
+        let session = svc.session().unwrap();
+        full_lifecycle_over(&session);
+        drop(session);
+        assert!(verify_managers(&svc.shutdown()).is_correct());
+
+        let events = recorder.drain();
+        let trees = ks_obs::stitch_traces(&events);
+        // open + validate + read + write + read + commit = 6 calls.
+        assert_eq!(trees.len(), 6, "one trace per session call");
+        for tree in &trees {
+            assert!(tree.is_well_formed(), "{}", tree.render());
+            assert_eq!(tree.root().unwrap().hop, ks_obs::SpanHop::Request);
+            let hops = tree.hops();
+            assert!(hops.contains(&ks_obs::SpanHop::Queue), "{hops:?}");
+            assert!(hops.contains(&ks_obs::SpanHop::Exec), "{hops:?}");
+            // Self-times attribute the root duration exactly (shared
+            // clock: every emitter is on this recorder).
+            let self_sum: u64 = tree.hop_latencies().iter().map(|h| h.self_ns).sum();
+            assert_eq!(self_sum, tree.total_ns());
+        }
+        // The certifier decision is visible on validate and commit, with
+        // its outcome.
+        let certified: Vec<_> = trees
+            .iter()
+            .filter_map(|t| t.spans.iter().find(|s| s.hop == ks_obs::SpanHop::Certify))
+            .collect();
+        assert_eq!(certified.len(), 2, "validate + commit decisions");
+        assert!(certified.iter().all(|s| s.ok == Some(true)));
+    }
+
+    #[test]
+    fn telemetry_deltas_expose_slo_breaches_incrementally() {
+        // The windowed series must let a poller detect an SLO breach
+        // from deltas alone — no access to the live histograms.
+        let svc = service(8, 4);
+        let session = svc.session().unwrap();
+        full_lifecycle_over(&session);
+        // Cross the 1 s window boundary so the traffic's window closes
+        // and the next pull exports it.
+        std::thread::sleep(std::time::Duration::from_millis(1100));
+        let d0 = svc.telemetry(0);
+        let total_requests: u64 = d0.windows.iter().map(|w| w.requests).sum();
+        assert_eq!(total_requests, 6, "all six lifecycle calls exported");
+        assert_eq!(d0.windows.iter().map(|w| w.committed).sum::<u64>(), 1);
+        // An impossible SLO budget breaches on the exported windows —
+        // the check consumes nothing but the delta.
+        let slo = ks_obs::SloSpec::parse("p50<=0ns@1s").unwrap();
+        assert!(!slo.check(&d0.windows).is_empty(), "{:?}", d0.windows);
+        // A generous budget does not.
+        let slack = ks_obs::SloSpec::parse("p99<=60s@1s").unwrap();
+        assert!(slack.check(&d0.windows).is_empty());
+        // Pulling from the returned cursor never rewinds: nothing before
+        // `next_seq` reappears.
+        let d1 = svc.telemetry(d0.next_seq);
+        assert!(d1.windows.iter().all(|w| w.seq >= d0.next_seq));
+        drop(session);
+        svc.shutdown();
+    }
+
+    #[test]
     fn shutdown_disconnect_is_reported() {
         let svc = service(4, 2);
         let session = svc.session().unwrap();

@@ -119,6 +119,12 @@ pub struct ServerMetrics {
     pub op_batch: LatencyHistogram,
     /// Requests-drained-per-worker-wakeup distribution (count-valued).
     pub drain_batch: LatencyHistogram,
+    /// Windowed time-series telemetry (1 s latency-histogram windows,
+    /// throughput/abort-rate/queue-depth/flush series) feeding
+    /// incremental [`TelemetryDelta`](ks_obs::TelemetryDelta) exports
+    /// and SLO checks — unlike the counters above, it can answer "what
+    /// was p99 *over the last N seconds*", not just since startup.
+    pub telemetry: ks_obs::TelemetrySeries,
     /// Request round-trip latencies (measured at the session), per shard.
     shard_latency: Vec<LatencyHistogram>,
 }
@@ -148,6 +154,7 @@ impl ServerMetrics {
             exec_time: LatencyHistogram::default(),
             op_batch: LatencyHistogram::default(),
             drain_batch: LatencyHistogram::default(),
+            telemetry: ks_obs::TelemetrySeries::default(),
             shard_latency: (0..shards.max(1))
                 .map(|_| LatencyHistogram::default())
                 .collect(),

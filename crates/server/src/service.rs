@@ -27,6 +27,10 @@ pub(crate) struct Shared {
     /// Session-side sink (shard-stamped per call with `emit_for`); `None`
     /// when the service runs without a recorder.
     pub(crate) obs: Option<ObsSink>,
+    /// Monotone seed for in-process trace origination (see
+    /// `ServerConfig::trace_sample`): each sampled-candidate call draws
+    /// a sequence number whose SplitMix64 hash is the trace id.
+    pub(crate) trace_seq: std::sync::atomic::AtomicU64,
 }
 
 /// A concurrent multi-session transaction service over the KS protocol.
@@ -111,8 +115,9 @@ impl TxnService {
                 let (tx, rx) = unbounded();
                 let (flush_shared, window, sink) =
                     (Arc::clone(&shared), opts.group_window, obs.clone());
+                let telemetry = metrics.telemetry.clone();
                 flusher = Some(std::thread::spawn(move || {
-                    durability::flusher_loop(flush_shared, rx, window, sink)
+                    durability::flusher_loop(flush_shared, rx, window, sink, telemetry)
                 }));
                 group_tx = Some(tx);
             }
@@ -165,6 +170,7 @@ impl TxnService {
                 metrics,
                 config,
                 obs,
+                trace_seq: std::sync::atomic::AtomicU64::new(0),
             }),
             workers,
             flusher,
@@ -216,6 +222,33 @@ impl TxnService {
         self.shared.metrics.snapshot(depths)
     }
 
+    /// Incremental time-series telemetry: every closed window with
+    /// sequence number `>= since`, plus the cursor to pass next time.
+    /// Pulling the same cursor twice is idempotent; a remote poller
+    /// reconstructs the full series — and checks SLOs — from deltas
+    /// alone. Each pull leaves a `TelemetryDelta` breadcrumb in the
+    /// flight recorder.
+    pub fn telemetry(&self, since: u64) -> ks_obs::TelemetryDelta {
+        let delta = self.shared.metrics.telemetry.delta(since);
+        if let Some(obs) = &self.shared.obs {
+            obs.emit(
+                NO_TXN,
+                ObsKind::TelemetryDelta {
+                    seq: delta.next_seq.min(u32::MAX as u64) as u32,
+                    windows: delta.windows.len() as u32,
+                },
+            );
+        }
+        delta
+    }
+
+    /// The live telemetry series itself (shared handle), for callers
+    /// embedding the service in-process — `ks-top`'s live mode reads
+    /// this directly.
+    pub fn telemetry_series(&self) -> &ks_obs::TelemetrySeries {
+        &self.shared.metrics.telemetry
+    }
+
     /// Per-shard protocol statistics (re-evals, re-assigns, aborts…),
     /// gathered by round-tripping each worker.
     pub fn protocol_stats(&self) -> Result<Vec<ProtocolStats>, ServerError> {
@@ -225,6 +258,7 @@ impl TxnService {
             sender
                 .send(Routed {
                     enqueued: std::time::Instant::now(),
+                    trace: 0,
                     request: Request::Stats { reply: tx },
                 })
                 .map_err(|_| ServerError::Shutdown)?;
@@ -247,6 +281,7 @@ impl TxnService {
         for sender in &self.shared.senders {
             let _ = sender.send(Routed {
                 enqueued: std::time::Instant::now(),
+                trace: 0,
                 request: Request::Shutdown,
             });
         }

@@ -22,12 +22,12 @@ use crate::worker::{Request, Routed};
 use crate::ServerError;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use ks_kernel::{EntityId, Value};
-use ks_obs::ObsKind;
+use ks_obs::{derive_trace_id, trace_sampled, ObsKind, SpanHop};
 use ks_predicate::Strategy;
 use ks_protocol::Txn;
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -53,6 +53,10 @@ pub struct Session {
     /// [`TxnBuilder::strategy`], consumed at validation and dropped on
     /// terminal outcomes.
     strategies: Mutex<HashMap<TxnHandle, Strategy>>,
+    /// Wire-propagated trace id for the *next* call (`0` = none), set by
+    /// a transport adapter via [`Session::set_trace`] and consumed per
+    /// call.
+    wire_trace: AtomicU64,
 }
 
 impl std::fmt::Debug for Session {
@@ -68,7 +72,19 @@ impl Session {
         Session {
             shared,
             strategies: Mutex::new(HashMap::new()),
+            wire_trace: AtomicU64::new(0),
         }
+    }
+
+    /// Associate the next call on this session with a wire-propagated
+    /// distributed trace id (`0` clears). Transport adapters — the
+    /// `ks-net` connection handler — call this before dispatching a
+    /// decoded request, so the server-side `Queue`/`Exec`/`Certify`/WAL
+    /// spans join the trace the remote client originated. The id is
+    /// consumed by exactly one call; a session that originates its own
+    /// traces instead uses the service's `trace_sample` rate.
+    pub fn set_trace(&self, trace: u64) {
+        self.wire_trace.store(trace, Ordering::Relaxed);
     }
 
     /// Define a transaction from its `(I_t, O_t)` specification.
@@ -110,6 +126,13 @@ impl Session {
     }
 
     /// Route one request and rendezvous on its reply channel.
+    ///
+    /// Tracing: a wire-propagated id (see [`Session::set_trace`]) is
+    /// always honoured; otherwise, with a recorder attached and
+    /// `trace_sample > 0`, the session *originates* a trace for a
+    /// sampled subset of calls — those additionally get the client-side
+    /// `Request` span. Either way the traced call opens the `Queue` span
+    /// here; the shard worker closes it at dequeue.
     fn call<T>(
         &self,
         shard: usize,
@@ -117,37 +140,115 @@ impl Session {
     ) -> Result<T, ServerError> {
         let (tx, rx): (_, Receiver<Result<T, ServerError>>) = bounded(1);
         let request = request(tx);
+        let (op, txn32) = (request.op(), request.txn_u32());
+        let wire = self.wire_trace.swap(0, Ordering::Relaxed);
+        let (trace, originated) = match (&self.shared.obs, wire) {
+            (Some(_), w) if w != 0 => (w, false),
+            (Some(obs), _) if self.shared.config.trace_sample > 0.0 && obs.is_enabled() => {
+                let seq = self.shared.trace_seq.fetch_add(1, Ordering::Relaxed);
+                let t = derive_trace_id(seq);
+                if trace_sampled(t, self.shared.config.trace_sample) {
+                    (t, true)
+                } else {
+                    (0, false)
+                }
+            }
+            _ => (0, false),
+        };
+        let span = |kind: ObsKind| {
+            if let Some(obs) = &self.shared.obs {
+                obs.emit_for(shard as u32, txn32, kind);
+            }
+        };
         if let Some(obs) = &self.shared.obs {
-            obs.emit_for(
-                shard as u32,
-                request.txn_u32(),
-                ObsKind::Enqueue { op: request.op() },
-            );
+            obs.emit_for(shard as u32, txn32, ObsKind::Enqueue { op });
         }
+        if trace != 0 {
+            if originated {
+                span(ObsKind::SpanStart {
+                    hop: SpanHop::Request,
+                    op,
+                    trace,
+                });
+            }
+            span(ObsKind::SpanStart {
+                hop: SpanHop::Queue,
+                op,
+                trace,
+            });
+        }
+        let depth = self.shared.senders[shard].len() as u64;
         let start = Instant::now();
         let routed = Routed {
             enqueued: start,
+            trace,
             request,
+        };
+        // A shed or dead-service call still closes the spans it opened,
+        // so sampled failures don't dangle in the trace export.
+        let close_unrouted = |ok: bool| {
+            if trace != 0 {
+                span(ObsKind::SpanEnd {
+                    hop: SpanHop::Queue,
+                    ok,
+                    trace,
+                });
+                if originated {
+                    span(ObsKind::SpanEnd {
+                        hop: SpanHop::Request,
+                        ok,
+                        trace,
+                    });
+                }
+            }
         };
         match self.shared.senders[shard].try_send(routed) {
             Ok(()) => {}
             Err(TrySendError::Full(_)) => {
                 crate::metrics::ServerMetrics::add(&self.shared.metrics.backpressure);
+                close_unrouted(false);
                 return Err(ServerError::Backpressure);
             }
-            Err(TrySendError::Disconnected(_)) => return Err(ServerError::Shutdown),
+            Err(TrySendError::Disconnected(_)) => {
+                close_unrouted(false);
+                return Err(ServerError::Shutdown);
+            }
         }
-        match rx.recv_timeout(self.shared.config.request_timeout) {
+        let result = match rx.recv_timeout(self.shared.config.request_timeout) {
             Ok(result) => {
-                self.shared.metrics.record_latency(shard, start.elapsed());
+                let elapsed = start.elapsed();
+                self.shared.metrics.record_latency(shard, elapsed);
+                self.shared.metrics.telemetry.record_request(
+                    elapsed.as_nanos() as u64,
+                    op == ks_obs::OpCode::Commit && result.is_ok(),
+                    matches!(
+                        result,
+                        Err(ServerError::ReEvalAborted) | Err(ServerError::Rejected(_))
+                    ),
+                    depth,
+                );
                 result
             }
             Err(RecvTimeoutError::Timeout) => {
                 crate::metrics::ServerMetrics::add(&self.shared.metrics.timeouts);
+                self.shared.metrics.telemetry.record_request(
+                    start.elapsed().as_nanos() as u64,
+                    false,
+                    false,
+                    depth,
+                );
                 Err(ServerError::Timeout)
             }
             Err(RecvTimeoutError::Disconnected) => Err(ServerError::Shutdown),
+        };
+        if trace != 0 && originated {
+            span(ObsKind::SpanEnd {
+                hop: SpanHop::Request,
+                ok: result.is_ok(),
+                trace,
+            });
         }
+        result
     }
 }
 

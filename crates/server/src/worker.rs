@@ -23,7 +23,7 @@ use crate::ServerError;
 use crossbeam::channel::{Receiver, Sender};
 use ks_core::Specification;
 use ks_kernel::{EntityId, Value};
-use ks_obs::{ObsKind, ObsSink, OpCode, NO_TXN};
+use ks_obs::{ObsKind, ObsSink, OpCode, SpanHop, NO_TXN};
 use ks_predicate::Strategy;
 use ks_protocol::manager::ProtocolStats;
 use ks_protocol::{
@@ -36,6 +36,10 @@ use std::time::Instant;
 /// latency into queue-wait and execute portions.
 pub(crate) struct Routed {
     pub(crate) enqueued: Instant,
+    /// Distributed trace id this request rides under (`0` = unsampled):
+    /// the worker closes the `Queue` span and brackets execution with
+    /// `Exec`/`Certify` spans for it.
+    pub(crate) trace: u64,
     pub(crate) request: Request,
 }
 
@@ -199,6 +203,16 @@ fn exec_write(
     })
 }
 
+/// Emit a span breadcrumb iff this request is being traced (`trace != 0`)
+/// and a sink is attached.
+fn emit_span(sink: &Option<ObsSink>, trace: u64, txn: u32, kind: ObsKind) {
+    if trace != 0 {
+        if let Some(s) = sink {
+            s.emit(txn, kind);
+        }
+    }
+}
+
 /// Upper bound on requests drained per wakeup: big enough to amortize
 /// the channel rendezvous under load, small enough that a saturated
 /// queue cannot indefinitely delay the shutdown message behind it.
@@ -239,7 +253,12 @@ pub(crate) fn run(
                 },
             );
         }
-        for Routed { enqueued, request } in drained.drain(..) {
+        for Routed {
+            enqueued,
+            trace,
+            request,
+        } in drained.drain(..)
+        {
             let queue_wait = enqueued.elapsed();
             metrics.queue_wait.record(queue_wait);
             ServerMetrics::add(&metrics.requests);
@@ -253,6 +272,28 @@ pub(crate) fn run(
                     },
                 );
             }
+            // The session opened the Queue span at enqueue; dequeue ends
+            // it, and the worker's execution gets its own span.
+            emit_span(
+                &sink,
+                trace,
+                txn32,
+                ObsKind::SpanEnd {
+                    hop: SpanHop::Queue,
+                    ok: true,
+                    trace,
+                },
+            );
+            emit_span(
+                &sink,
+                trace,
+                txn32,
+                ObsKind::SpanStart {
+                    hop: SpanHop::Exec,
+                    op,
+                    trace,
+                },
+            );
             let exec_start = Instant::now();
             let ok = match request {
                 Request::Define {
@@ -278,6 +319,18 @@ pub(crate) fn run(
                     strategy,
                     reply,
                 } => {
+                    // The certifier's validation-time decision (version
+                    // assignment) gets its own span nested inside Exec.
+                    emit_span(
+                        &sink,
+                        trace,
+                        txn32,
+                        ObsKind::SpanStart {
+                            hop: SpanHop::Certify,
+                            op: OpCode::Validate,
+                            trace,
+                        },
+                    );
                     let result =
                         precheck(&pm, txn).and_then(|()| match pm.validate(txn, strategy) {
                             Ok(ValidationOutcome::Validated) => Ok(()),
@@ -295,6 +348,16 @@ pub(crate) fn run(
                             }
                         });
                     let ok = result.is_ok();
+                    emit_span(
+                        &sink,
+                        trace,
+                        txn32,
+                        ObsKind::SpanEnd {
+                            hop: SpanHop::Certify,
+                            ok,
+                            trace,
+                        },
+                    );
                     let _ = reply.send(result);
                     ok
                 }
@@ -334,6 +397,19 @@ pub(crate) fn run(
                     ok
                 }
                 Request::Commit { txn, reply } => {
+                    // The certifier's commit-time decision (output
+                    // condition + commit gating) is a span of its own,
+                    // closed before any WAL hop opens.
+                    emit_span(
+                        &sink,
+                        trace,
+                        txn32,
+                        ObsKind::SpanStart {
+                            hop: SpanHop::Certify,
+                            op: OpCode::Commit,
+                            trace,
+                        },
+                    );
                     let result = precheck(&pm, txn).and_then(|()| match pm.commit(txn) {
                         Ok(CommitOutcome::Committed) => {
                             ServerMetrics::add(&metrics.committed);
@@ -359,13 +435,28 @@ pub(crate) fn run(
                         }
                     });
                     let ok = result.is_ok();
+                    emit_span(
+                        &sink,
+                        trace,
+                        txn32,
+                        ObsKind::SpanEnd {
+                            hop: SpanHop::Certify,
+                            ok,
+                            trace,
+                        },
+                    );
                     // A successful commit acknowledges only once its WAL
                     // record is durable: inline, or deferred to the group
                     // flusher (which then owns the reply).
                     match (&wal, &result) {
                         (Some(w), Ok(())) => {
-                            if let CommitAck::Ready = w.log_commit(txn.0 as u64, &sink, &reply) {
+                            if let CommitAck::Ready { synced } =
+                                w.log_commit(txn.0 as u64, trace, &sink, &reply)
+                            {
                                 let _ = reply.send(result);
+                                if synced {
+                                    metrics.telemetry.record_flush(1);
+                                }
                             }
                         }
                         _ => {
@@ -422,6 +513,16 @@ pub(crate) fn run(
                     },
                 );
             }
+            emit_span(
+                &sink,
+                trace,
+                txn32,
+                ObsKind::SpanEnd {
+                    hop: SpanHop::Exec,
+                    ok,
+                    trace,
+                },
+            );
         }
     }
     pm

@@ -32,9 +32,16 @@ cargo run --release -q -p ks-bench --bin exp_net_load -- --smoke
 echo "== exp_wal --smoke (group commit must amortize fsyncs ≥4× at 8 clients)"
 cargo run --release -q -p ks-bench --bin exp_wal -- --smoke
 
+echo "== exp_obs --smoke (tracing overhead at 1% sampling within budget)"
+cargo run --release -q -p ks-bench --bin exp_obs -- --smoke
+
+echo "== exp_obs teeth (full sampling vs an impossible budget must fail the gate)"
+cargo run --release -q -p ks-bench --bin exp_obs -- \
+    --smoke --gate-sample 1.0 --max-overhead -1.0 --expect-fail
+
 echo "== validate_bench (BENCH_*.json schema + zero violations)"
 cargo run --release -q -p ks-bench --bin validate_bench -- \
-    BENCH_net.json BENCH_server.json BENCH_wal.json
+    BENCH_net.json BENCH_server.json BENCH_wal.json BENCH_obs.json
 
 echo "== ks-dst (determinism + teeth + proto fuzz)"
 cargo test -q -p ks-dst
@@ -50,4 +57,4 @@ echo "== dst_smoke durability teeth (no commit-record flush ⇒ oracles must cat
 cargo run --release -q -p ks-bench --bin dst_smoke -- \
     --seeds 25 --disable commit-flush --expect-violation
 
-echo "OK: fmt, clippy, tests, obs wire round-trip, server smoke, net smoke, wal gate, bench gate, dst gate all green"
+echo "OK: fmt, clippy, tests, obs wire round-trip, server smoke, net smoke, wal gate, obs gate, bench gate, dst gate all green"
