@@ -23,7 +23,7 @@ use ks_bench::driver::{drive_client, DriveOutcome, DriverConfig};
 use ks_bench::report::Json;
 use ks_kernel::{Domain, Schema, UniqueState};
 use ks_net::{NetClientConfig, NetConfig, NetServer, RemoteSession};
-use ks_server::{verify_managers, ServerConfig, TxnService};
+use ks_server::{verify_certifiers, ServerConfig, TxnService};
 use std::time::{Duration, Instant};
 
 const TOTAL_ENTITIES: usize = 64;
@@ -113,7 +113,7 @@ fn run_in_process(shards: usize, clients: usize, txns: usize) -> RunResult {
         (outcomes, start.elapsed())
     });
     let snap = svc.metrics();
-    let report = verify_managers(&svc.shutdown());
+    let report = verify_certifiers(&svc.shutdown());
     let mut outcome = DriveOutcome::default();
     outcomes.into_iter().for_each(|o| outcome.merge(o));
     RunResult {
@@ -173,7 +173,7 @@ fn run_loopback(
         let outcomes: Vec<DriveOutcome> = results.into_iter().map(|(o, _)| o).collect();
         (outcomes, p50, p99, elapsed)
     });
-    let report = verify_managers(&server.shutdown());
+    let report = verify_certifiers(&server.shutdown());
     let mut outcome = DriveOutcome::default();
     outcomes.into_iter().for_each(|o| outcome.merge(o));
     RunResult {

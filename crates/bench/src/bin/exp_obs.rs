@@ -29,7 +29,7 @@ use ks_bench::report::Json;
 use ks_kernel::{Domain, Schema, UniqueState};
 use ks_net::{NetClientConfig, NetConfig, NetServer, RemoteSession};
 use ks_obs::{ObsKind, Recorder};
-use ks_server::{verify_managers, ServerConfig, TxnService};
+use ks_server::{verify_certifiers, ServerConfig, TxnService};
 use std::time::{Duration, Instant};
 
 const TOTAL_ENTITIES: usize = 64;
@@ -183,7 +183,7 @@ fn run_one(rate: f64, clients: usize, txns: usize) -> RunResult {
         .iter()
         .filter(|ev| matches!(ev.kind, ObsKind::SpanStart { .. } | ObsKind::SpanEnd { .. }))
         .count() as u64;
-    let report = verify_managers(&server.shutdown());
+    let report = verify_certifiers(&server.shutdown());
     let mut outcome = DriveOutcome::default();
     outcomes.into_iter().for_each(|o| outcome.merge(o));
     RunResult {

@@ -17,7 +17,7 @@ use ks_bench::report::Json;
 use ks_kernel::{Domain, Schema, UniqueState};
 use ks_obs::Recorder;
 use ks_predicate::Strategy;
-use ks_server::{verify_managers, MetricsSnapshot, ServerConfig, TxnService};
+use ks_server::{verify_certifiers, MetricsSnapshot, ServerConfig, TxnService};
 use std::time::{Duration, Instant};
 
 const CLIENTS: usize = 8;
@@ -121,7 +121,7 @@ fn run_one(
     let elapsed = start.elapsed();
     let snap = svc.metrics();
     let stats = svc.protocol_stats().expect("stats before shutdown");
-    let report = verify_managers(&svc.shutdown());
+    let report = verify_certifiers(&svc.shutdown());
     let mut outcome = DriveOutcome::default();
     for o in outcomes {
         outcome.merge(o);

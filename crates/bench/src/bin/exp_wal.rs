@@ -23,7 +23,7 @@
 use ks_bench::driver::{drive_client, DriveOutcome, DriverConfig};
 use ks_bench::report::Json;
 use ks_kernel::{Domain, Schema, UniqueState};
-use ks_server::{verify_managers, Durability, ServerConfig, TxnService, WalOptions};
+use ks_server::{verify_certifiers, Durability, ServerConfig, TxnService, WalOptions};
 use ks_wal::{FileStore, MemStore, SegmentStore};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -176,7 +176,7 @@ fn run_one(mode: Mode, media: Media, txns: usize) -> RunResult {
     // adds its quiescing barrier.
     let stats = svc.wal_stats().expect("bench runs with the WAL on");
     let snap = svc.metrics();
-    let report = verify_managers(&svc.shutdown());
+    let report = verify_certifiers(&svc.shutdown());
     let mut outcome = DriveOutcome::default();
     for o in outcomes {
         outcome.merge(o);

@@ -19,6 +19,11 @@
 //! their per-hop latency breakdown (the service runs at a 5% trace
 //! sampling rate).
 //!
+//! `--backend cpc|ssi|2pl` picks the certification backend the embedded
+//! service runs; the certifier panel charts its abort rate over the
+//! same telemetry windows, so the backends' contention behavior can be
+//! eyeballed side by side under the identical closed-loop workload.
+//!
 //! The run is finite — `--frames N` frames at `--interval-ms M` — so the
 //! binary doubles as a smoke test: after the last frame the load stops,
 //! the service shuts down, and every shard manager is model-checked.
@@ -34,8 +39,8 @@ use ks_obs::{
 use ks_predicate::{Atom, Clause, CmpOp, Cnf, Strategy};
 use ks_server::metrics::fmt_duration;
 use ks_server::{
-    verify_with_dump, Client, Durability, MetricsSnapshot, ServerConfig, ServerError, TxnBuilder,
-    TxnService, WalOptions,
+    verify_certifiers_with_dump, Backend, Client, Durability, MetricsSnapshot, ServerConfig,
+    ServerError, TxnBuilder, TxnService, WalOptions,
 };
 use ks_wal::{MemStore, SegmentStore};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -60,6 +65,8 @@ struct Options {
     /// Declarative latency objective checked against the live telemetry.
     slo: SloSpec,
     slo_raw: String,
+    /// Which certification backend the embedded service runs.
+    backend: Backend,
 }
 
 fn parse_options() -> Options {
@@ -70,6 +77,7 @@ fn parse_options() -> Options {
         no_wal: false,
         slo: SloSpec::parse("p99<=50ms@3s").expect("default SLO parses"),
         slo_raw: "p99<=50ms@3s".to_string(),
+        backend: Backend::Cpc,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -88,9 +96,17 @@ fn parse_options() -> Options {
                 opts.slo = SloSpec::parse(&raw).unwrap_or_else(|e| panic!("{e}"));
                 opts.slo_raw = raw;
             }
+            "--backend" => {
+                let raw = args.next().expect("--backend needs cpc, ssi, or 2pl");
+                opts.backend = Backend::all()
+                    .into_iter()
+                    .find(|b| b.name() == raw)
+                    .unwrap_or_else(|| panic!("unknown backend {raw} (try cpc, ssi, or 2pl)"));
+            }
             other => panic!(
                 "unknown flag {other} \
-                 (try --frames N --interval-ms M --plain --no-wal --slo p99<=800us@3s)"
+                 (try --frames N --interval-ms M --plain --no-wal \
+                 --slo p99<=800us@3s --backend cpc|ssi|2pl)"
             ),
         }
     }
@@ -309,9 +325,11 @@ fn render(
         print!("\x1b[2J\x1b[H");
     }
     println!(
-        "ks-top — frame {}/{} — {CLIENTS} clients, {SHARDS} shards, {ENTITIES} entities",
+        "ks-top — frame {}/{} — {CLIENTS} clients, {SHARDS} shards, {ENTITIES} entities, \
+         certifier {}",
         frame + 1,
-        opts.frames
+        opts.frames,
+        opts.backend
     );
     println!(
         "throughput {throughput:>8.0} txn/s    events {event_rate:>8.0}/s    \
@@ -370,6 +388,27 @@ fn render(
             None => String::new(),
         },
         line,
+    );
+    // Certifier panel: the backend's abort rate per telemetry window —
+    // the live counterpart of the `exp_certifier` shootout's curves.
+    let aborts: String = state
+        .series
+        .iter()
+        .map(|w| spark((w.abort_rate() * 100.0).round() as u64, 100))
+        .collect();
+    let (committed, aborted) = state
+        .series
+        .iter()
+        .fold((0u64, 0u64), |(c, a), w| (c + w.committed, a + w.aborted));
+    println!(
+        "certifier {} — abort rate {:5.1}% ({aborted} aborted / {} decided)   rate/s [{aborts}]",
+        opts.backend,
+        if committed + aborted == 0 {
+            0.0
+        } else {
+            aborted as f64 / (committed + aborted) as f64 * 100.0
+        },
+        committed + aborted,
     );
     println!();
 
@@ -457,6 +496,7 @@ fn main() {
         ServerConfig {
             shards: SHARDS,
             max_sessions: CLIENTS,
+            backend: opts.backend,
             strategy: Strategy::GreedyLatest,
             recorder: Some(recorder.clone()),
             durability,
@@ -492,13 +532,13 @@ fn main() {
         stop.store(true, Ordering::Relaxed);
     });
 
-    let managers = svc.shutdown();
-    let (report, dump) = verify_with_dump(&managers, &recorder);
+    let certifiers = svc.shutdown();
+    let (report, dump) = verify_certifiers_with_dump(&certifiers, &recorder);
     println!();
     if report.is_correct() {
         println!(
-            "shutdown clean: {} committed transactions model-check correct",
-            report.committed
+            "shutdown clean: {} committed transactions pass the {} history check",
+            report.committed, opts.backend
         );
     } else {
         if let Some(dump) = dump {

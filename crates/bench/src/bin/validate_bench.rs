@@ -19,7 +19,12 @@
 //!   too);
 //! * `obs` reports additionally: an `overhead` object with a numeric
 //!   `value` and a mandatory `pass` verdict against the tracing-overhead
-//!   budget (best-of-alternating-rounds absorbs CI timing noise).
+//!   budget (best-of-alternating-rounds absorbs CI timing noise);
+//! * `certifier` reports additionally: runs for all three backends
+//!   (`cpc`, `ssi`, `2pl`) and a `gate` object whose mandatory `pass`
+//!   verdict asserts SSI's long-transaction abort rate exceeds CPC's by
+//!   the margin (abort rates are certification logic, not wall-clock,
+//!   so smoke runs carry the verdict too).
 //!
 //! Usage: `validate_bench BENCH_net.json [BENCH_server.json ...]`
 
@@ -114,6 +119,43 @@ fn validate(name: &str, doc: &Json, errors: &mut Vec<String>) {
                 value.unwrap_or(f64::NAN)
             )),
             None => err("overhead missing boolean \"pass\"".to_string()),
+        }
+    }
+    if bench == "certifier" {
+        // Every backend must appear: a shootout missing a contender
+        // proves nothing.
+        for want in ["cpc", "ssi", "2pl"] {
+            if !runs
+                .iter()
+                .any(|r| r.get("backend").and_then(Json::as_str) == Some(want))
+            {
+                err(format!(
+                    "certifier report has no run for backend \"{want}\""
+                ));
+            }
+        }
+        let Some(gate) = doc.get("gate") else {
+            err("certifier report missing \"gate\" object".to_string());
+            return;
+        };
+        let cpc = gate.get("cpc_long_abort_rate").and_then(Json::as_f64);
+        let ssi = gate.get("ssi_long_abort_rate").and_then(Json::as_f64);
+        if cpc.is_none() || ssi.is_none() {
+            err("gate missing numeric \"cpc_long_abort_rate\"/\"ssi_long_abort_rate\"".to_string());
+        }
+        // The paper's headline claim is directional logic, not timing —
+        // the verdict is mandatory, smoke runs included.
+        match gate.get("pass").and_then(Json::as_bool) {
+            Some(true) => {}
+            Some(false) => err(format!(
+                "long-txn abort rates: ssi {:.2} does not exceed cpc {:.2} by the {} margin",
+                ssi.unwrap_or(f64::NAN),
+                cpc.unwrap_or(f64::NAN),
+                gate.get("margin")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(f64::NAN)
+            )),
+            None => err("gate missing boolean \"pass\"".to_string()),
         }
     }
     if bench == "wal" {

@@ -19,8 +19,10 @@
 //!   frames, resets, forged server timeouts, and whole-server
 //!   crash-restarts against WAL-backed simulated storage with torn
 //!   unsynced tails, all byte-exact against the production frame reader.
-//! * [`run`] — the single-threaded driver and the post-run oracles
-//!   (predicate correctness, terminal end state, commit coherence,
+//! * [`run`] — the single-threaded driver and the post-run oracles,
+//!   runnable against any certification [`Backend`] via
+//!   [`run_plan_with`]
+//!   (per-backend history correctness, terminal end state, commit coherence,
 //!   commit accounting, benign-fault liveness, obs causality, and crash
 //!   durability: every acked commit survives recovery, nothing revoked
 //!   is resurrected).
@@ -42,7 +44,8 @@ pub mod proto;
 pub mod run;
 pub mod shrink;
 
+pub use ks_protocol::Backend;
 pub use link::{Protections, SimLink, World, WorldEnd};
 pub use plan::{generate, Fault, OpKind, RunPlan, Step};
-pub use run::{run_plan, RunOutcome};
+pub use run::{run_plan, run_plan_with, RunOutcome};
 pub use shrink::{shrink, ShrinkResult};

@@ -22,11 +22,10 @@
 
 use crate::plan::{trickle_cuts, Fault, ENTITIES_PER_SHARD, MAX_VALUE, SHARDS};
 use ks_kernel::{Domain, Schema, UniqueState};
-use ks_mvstore::INITIAL_AUTHOR;
 use ks_net::wire::{self, FrameProgress, FrameReader, Response};
 use ks_net::{ConnAction, ConnCore, Transport, TransportRx};
 use ks_obs::{ObsKind, ObsSink, Recorder, NO_TXN};
-use ks_protocol::{ProtocolManager, Txn, TxnState};
+use ks_protocol::{Backend, Certifier, TxnState};
 use ks_server::{Durability, ServerConfig, ServerError, TxnService, WalOptions};
 use ks_wal::{MemStore, SegmentStore};
 use std::cell::RefCell;
@@ -160,9 +159,11 @@ pub struct World {
     /// Schema/initial kept so a crash can boot a fresh incarnation.
     schema: Schema,
     initial: UniqueState,
-    /// Shard managers of every crashed incarnation, in crash order, so
+    /// Which certification backend every incarnation runs.
+    backend: Backend,
+    /// Shard certifiers of every crashed incarnation, in crash order, so
     /// the oracles can account for commits across the whole run.
-    epochs: Vec<Vec<ProtocolManager>>,
+    epochs: Vec<Vec<Box<dyn Certifier>>>,
     /// Durability-oracle findings (acked commits lost by a crash,
     /// aborted commits resurrected, recovered state diverging).
     durability_violations: Vec<String>,
@@ -184,10 +185,11 @@ const DST_RING_CAPACITY: usize = 1 << 13;
 
 /// What [`World::finish`] hands the oracles.
 pub struct WorldEnd {
-    /// The final incarnation's shard managers, drained for verification.
-    pub managers: Vec<ProtocolManager>,
-    /// Shard managers of every crashed incarnation, in crash order.
-    pub epochs: Vec<Vec<ProtocolManager>>,
+    /// The final incarnation's shard certifiers, drained for
+    /// verification.
+    pub certifiers: Vec<Box<dyn Certifier>>,
+    /// Shard certifiers of every crashed incarnation, in crash order.
+    pub epochs: Vec<Vec<Box<dyn Certifier>>>,
     /// The shared flight recorder (service + world + clients).
     pub recorder: Recorder,
     /// The world's human-readable fault/delivery journal.
@@ -212,8 +214,15 @@ impl World {
     /// Every incarnation runs with [`Durability::Wal`] over one shared
     /// simulated [`MemStore`], naive (non-group) fsync so sync counts
     /// are a pure function of the plan, and commit-time flushing
-    /// following the `commit_flush` protection.
+    /// following the `commit_flush` protection. Runs the paper's CPC
+    /// backend; [`World::new_with_backend`] picks another certifier.
     pub fn new(protections: Protections) -> World {
+        World::new_with_backend(protections, Backend::Cpc)
+    }
+
+    /// [`World::new`], but every incarnation runs the given
+    /// certification backend — same shards, WAL, faults, and oracles.
+    pub fn new_with_backend(protections: Protections, backend: Backend) -> World {
         let n = SHARDS * ENTITIES_PER_SHARD;
         let schema = Schema::uniform(
             (0..n).map(|i| format!("e{i}")),
@@ -239,6 +248,7 @@ impl World {
             sim_store,
             schema,
             initial,
+            backend,
             epochs: Vec::new(),
             durability_violations: Vec::new(),
             crashes: 0,
@@ -269,6 +279,7 @@ impl World {
         wal.segment_bytes = 1 << 16;
         ServerConfig::builder()
             .shards(SHARDS)
+            .backend(self.backend)
             .request_timeout(Duration::from_secs(60))
             .recorder(self.recorder.clone())
             .durability(Durability::Wal(wal))
@@ -597,7 +608,8 @@ impl World {
         };
         if !self.conns[conn].hello_done {
             let shards = self.service.as_ref().map_or(0, |s| s.shard_map().shards());
-            match ks_net::conn::handshake_reply(&req, shards) {
+            let backend = self.service.as_ref().map_or(self.backend, |s| s.backend());
+            match ks_net::conn::handshake_reply(&req, shards, backend) {
                 Ok(resp) => {
                     let session = match self.service.as_ref().map(|s| s.session()) {
                         Some(Ok(session)) => session,
@@ -693,15 +705,15 @@ impl World {
     /// that hole.
     pub fn finish(mut self) -> WorldEnd {
         self.reap_all();
-        let managers = self.service.take().expect("finish called once").shutdown();
-        let (want_states, want_committed) = committed_snapshot(&managers);
+        let certifiers = self.service.take().expect("finish called once").shutdown();
+        let (want_states, want_committed) = committed_snapshot(&certifiers);
         match ks_wal::recover(&self.sim_store) {
             Ok(recovered) => {
                 let got: BTreeSet<(u32, u64)> = recovered.committed.iter().copied().collect();
                 if got != want_committed || recovered.states.as_ref() != Some(&want_states) {
                     self.durability_violations.push(format!(
                         "durability: graceful shutdown: log replays to \
-                         {:?}/{got:?} but the managers committed \
+                         {:?}/{got:?} but the certifiers committed \
                          {want_states:?}/{want_committed:?}",
                         recovered.states
                     ));
@@ -712,7 +724,7 @@ impl World {
                 .push(format!("durability: end-of-run log unreadable: {e}")),
         }
         WorldEnd {
-            managers,
+            certifiers,
             epochs: self.epochs,
             recorder: self.recorder,
             journal: self.journal.join("\n"),
@@ -725,36 +737,21 @@ impl World {
 }
 
 /// The committed effects of a dying (or finished) incarnation's shard
-/// managers: per shard, the latest committed value of every entity (in
-/// shard-local entity order, matching the WAL checkpoint layout), plus
-/// the set of `(shard, txn)` ids the managers hold committed. This is
-/// exactly what WAL recovery must reproduce.
-fn committed_snapshot(managers: &[ProtocolManager]) -> (Vec<Vec<i64>>, BTreeSet<(u32, u64)>) {
-    let mut states = Vec::with_capacity(managers.len());
+/// certifiers: per shard, the latest committed value of every entity (in
+/// shard-local entity order — [`Certifier::checkpoint`] is specified to
+/// match the WAL checkpoint layout), plus the set of `(shard, txn)` ids
+/// the certifiers hold committed. This is exactly what WAL recovery must
+/// reproduce, whichever backend produced it.
+fn committed_snapshot(certs: &[Box<dyn Certifier>]) -> (Vec<Vec<i64>>, BTreeSet<(u32, u64)>) {
+    let mut states = Vec::with_capacity(certs.len());
     let mut committed = BTreeSet::new();
-    for (shard, pm) in managers.iter().enumerate() {
-        for txn in pm.children_of(pm.root()).unwrap_or_default() {
-            if pm.state_of(txn) == Ok(TxnState::Committed) {
+    for (shard, cert) in certs.iter().enumerate() {
+        for txn in cert.txns() {
+            if cert.state_of(txn) == Ok(TxnState::Committed) {
                 committed.insert((shard as u32, txn.0 as u64));
             }
         }
-        let state: Vec<i64> = pm
-            .schema()
-            .entity_ids()
-            .map(|e| {
-                pm.store()
-                    .versions_of(e)
-                    .unwrap_or_default()
-                    .into_iter()
-                    .filter(|m| {
-                        m.author == INITIAL_AUTHOR
-                            || pm.state_of(Txn(m.author.0 as usize)) == Ok(TxnState::Committed)
-                    })
-                    .max_by_key(|m| m.stamp)
-                    .map_or(0, |m| m.value)
-            })
-            .collect();
-        states.push(state);
+        states.push(cert.checkpoint());
     }
     (states, committed)
 }

@@ -16,7 +16,7 @@ use ks_obs::Recorder;
 use ks_predicate::random::SplitMix64;
 use ks_predicate::{Atom, Clause, CmpOp, Cnf, Strategy};
 use ks_protocol::{CommitOutcome, ProtocolManager, Txn, ValidationOutcome};
-use ks_server::{verify_with_dump, VerifyReport, ViolationDump};
+use ks_server::{verify_certifiers_with_dump, VerifyReport, ViolationDump};
 
 /// Entities the bare-manager scenarios run over.
 const PROTO_ENTITIES: usize = 4;
@@ -104,7 +104,8 @@ pub fn run_proto_forced(seed: u64) -> (VerifyReport, Option<ViolationDump>, u32)
     pm.force_assign(victim, target, 1).expect("force_assign");
     assert_eq!(pm.commit(victim).expect("commit"), CommitOutcome::Committed);
 
-    let (report, dump) = verify_with_dump(&[pm], &recorder);
+    let certs: Vec<Box<dyn ks_protocol::Certifier>> = vec![Box::new(pm)];
+    let (report, dump) = verify_certifiers_with_dump(&certs, &recorder);
     (report, dump, victim.0 as u32)
 }
 
@@ -168,7 +169,8 @@ pub fn run_proto_clean(seed: u64) -> VerifyReport {
         let _ = pm.abort(t);
     }
 
-    let (report, _dump) = verify_with_dump(&[pm], &recorder);
+    let certs: Vec<Box<dyn ks_protocol::Certifier>> = vec![Box::new(pm)];
+    let (report, _dump) = verify_certifiers_with_dump(&certs, &recorder);
     report
 }
 

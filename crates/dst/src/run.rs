@@ -7,14 +7,15 @@
 //! *definitely* applied (clean `Ok`) and which are *ambiguous* (a
 //! timeout or transport failure after the commit may or may not have
 //! landed) — and the oracles reconcile that against what the shard
-//! managers actually did.
+//! certifiers actually did.
 //!
 //! Oracles, in order:
 //!
-//! 1. **Predicate correctness** — [`verify_managers`]: every committed
-//!    transaction's input predicate holds on its assigned version state
-//!    (the paper's correctness criterion; catches double-applied commits
-//!    and forced misassignments).
+//! 1. **History correctness** — [`verify_certifiers`]: every committed
+//!    transaction re-checked against its backend's own criterion (CPC:
+//!    the paper's input predicate holds on the assigned version state;
+//!    SSI/2PL: conflict-graph serializability of the recorded history —
+//!    catches double-applied commits and forced misassignments).
 //! 2. **End state** — after every connection is reaped, no transaction
 //!    is left non-terminal (catches a missing abort-on-disconnect sweep).
 //! 3. **Commit coherence** — a commit the server acked `Done` may never
@@ -45,8 +46,8 @@ use crate::plan::{
 };
 use ks_net::{NetClientConfig, RemoteSession, RemoteTxn};
 use ks_obs::{event_to_json, ObsEvent, ObsKind, Recorder};
-use ks_protocol::TxnState;
-use ks_server::{verify_managers, Client, ServerError, TxnBuilder, VerifyReport};
+use ks_protocol::{Backend, TxnState};
+use ks_server::{verify_certifiers, Client, ServerError, TxnBuilder, VerifyReport};
 use std::cell::RefCell;
 use std::rc::Rc;
 use std::time::Duration;
@@ -129,11 +130,19 @@ fn dst_client_config(protections: Protections, recorder: &Recorder) -> NetClient
     }
 }
 
-/// Execute `plan` under `protections` and run every oracle.
+/// Execute `plan` under `protections` with the paper's CPC backend and
+/// run every oracle.
 pub fn run_plan(plan: &RunPlan, protections: Protections) -> RunOutcome {
+    run_plan_with(plan, protections, Backend::Cpc)
+}
+
+/// [`run_plan`], but the embedded service certifies with `backend` — the
+/// cross-backend gate runs the same seed through all three and expects
+/// every oracle to hold for each.
+pub fn run_plan_with(plan: &RunPlan, protections: Protections, backend: Backend) -> RunOutcome {
     let recorder;
     let world = {
-        let w = World::new(protections);
+        let w = World::new_with_backend(protections, backend);
         recorder = w.recorder();
         Rc::new(RefCell::new(w))
     };
@@ -235,7 +244,7 @@ pub fn run_plan(plan: &RunPlan, protections: Protections) -> RunOutcome {
         .into_inner();
     let end = world.finish();
 
-    // Oracle 1: predicate correctness on the final incarnation. Crashed
+    // Oracle 1: history correctness on the final incarnation. Crashed
     // epochs are *incomplete* executions (a power cut leaves live
     // children mid-flight), so the finished-session model check does not
     // apply to them — their committed work is instead held to account by
@@ -244,16 +253,15 @@ pub fn run_plan(plan: &RunPlan, protections: Protections) -> RunOutcome {
     // recovery bakes prior commits into the next incarnation's initial
     // state rather than re-creating the transactions, so each commit is
     // counted exactly once.
-    let report = verify_managers(&end.managers);
+    let report = verify_certifiers(&end.certifiers);
     violations.extend(report.violations.iter().cloned());
     let mut server_committed = report.committed;
-    for managers in &end.epochs {
-        for pm in managers {
-            server_committed += pm
-                .children_of(pm.root())
-                .unwrap_or_default()
+    for certs in &end.epochs {
+        for cert in certs.iter() {
+            server_committed += cert
+                .txns()
                 .into_iter()
-                .filter(|&t| pm.state_of(t) == Ok(TxnState::Committed))
+                .filter(|&t| cert.state_of(t) == Ok(TxnState::Committed))
                 .count();
         }
     }
@@ -265,9 +273,9 @@ pub fn run_plan(plan: &RunPlan, protections: Protections) -> RunOutcome {
     violations.extend(end.durability_violations.iter().cloned());
 
     // Oracle 2: end state — every transaction terminal.
-    for (shard, pm) in end.managers.iter().enumerate() {
-        for txn in pm.children_of(pm.root()).unwrap_or_default() {
-            match pm.state_of(txn) {
+    for (shard, cert) in end.certifiers.iter().enumerate() {
+        for txn in cert.txns() {
+            match cert.state_of(txn) {
                 Ok(TxnState::Committed | TxnState::Aborted) => {}
                 Ok(state) => violations.push(format!(
                     "shard {shard}: txn {} left {state:?} after every \

@@ -59,7 +59,7 @@ use ks_obs::{
     derive_trace_id, trace_sampled, ObsEvent, ObsKind, ObsSink, OpCode, Recorder, SpanHop,
     TelemetryDelta, NO_TXN,
 };
-use ks_server::{backoff, BatchOp, BatchReply, Client, ServerError, TxnBuilder};
+use ks_server::{backoff, Backend, BatchOp, BatchReply, Client, ServerError, TxnBuilder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -159,6 +159,7 @@ pub struct RemoteSession<T: Transport = TcpTransport> {
     /// [`TxnBuilder::pipeline_depth`], dropped on terminal outcomes).
     depths: Mutex<HashMap<u64, usize>>,
     shards: usize,
+    backend: Backend,
     config: NetClientConfig,
     rng: Mutex<StdRng>,
     obs: Option<ObsSink>,
@@ -223,8 +224,8 @@ impl<T: Transport> RemoteSession<T> {
             &wire::encode_request(0, 0, &Request::Hello { magic: HELLO_MAGIC }),
         )
         .map_err(|e| map_io(&e, "hello"))?;
-        let shards = match read_one(&mut rx)? {
-            (_, Response::HelloOk { shards }) => shards as usize,
+        let (shards, backend) = match read_one(&mut rx)? {
+            (_, Response::HelloOk { shards, backend }) => (shards as usize, backend),
             (_, Response::Error { code, detail }) => {
                 return Err(Response::into_server_error(code, &detail))
             }
@@ -250,6 +251,7 @@ impl<T: Transport> RemoteSession<T> {
             next_corr: AtomicU64::new(1),
             depths: Mutex::new(HashMap::new()),
             shards,
+            backend,
             rng: Mutex::new(StdRng::seed_from_u64(jitter_seed())),
             obs: config.recorder.as_ref().map(|r| r.sink(u32::MAX)),
             trace_salt: derive_trace_id(jitter_seed()),
@@ -262,6 +264,13 @@ impl<T: Transport> RemoteSession<T> {
     /// in-process callers).
     pub fn shards(&self) -> usize {
         self.shards
+    }
+
+    /// The certifier backend the server advertised in its HelloOk.
+    /// Workloads written for one backend's semantics check this (or pin
+    /// via [`TxnBuilder::backend`]) instead of discovering mid-run.
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// Whether an earlier transport failure has poisoned the connection
@@ -286,7 +295,7 @@ impl<T: Transport> RemoteSession<T> {
     /// [`SloSpec`](ks_obs::SloSpec) client-side.
     pub fn telemetry(&self, since: u64) -> Result<TelemetryDelta, ServerError> {
         match self.call(OpCode::Stats, Request::Telemetry { since })? {
-            Response::Telemetry(delta) => Ok(delta),
+            Response::Telemetry { delta, .. } => Ok(delta),
             other => Err(self.desync(other)),
         }
     }
@@ -662,12 +671,13 @@ impl<T: Transport> Client for RemoteSession<T> {
 
     fn open(&self, txn: TxnBuilder<RemoteTxn>) -> Result<RemoteTxn, ServerError> {
         let depth = txn.pipeline_depth_hint();
-        let (spec, after, before, strategy) = txn.into_parts();
+        let (spec, after, before, strategy, backend) = txn.into_parts();
         let req = Request::Open {
             spec,
             after: after.into_iter().map(|t| t.0).collect(),
             before: before.into_iter().map(|t| t.0).collect(),
             strategy,
+            backend,
         };
         match self.call(OpCode::Define, req)? {
             Response::Opened { txn } => {

@@ -18,7 +18,8 @@
 use crate::wire::{Request, Response, WireMetrics, HELLO_MAGIC, PROTOCOL_VERSION};
 use ks_obs::{ObsEvent, ObsKind, ObsSink, OpCode, SpanHop, TelemetryDelta, NO_TXN};
 use ks_server::{
-    BatchOp, BatchReply, Client, MetricsSnapshot, ServerError, Session, TxnBuilder, TxnHandle,
+    Backend, BatchOp, BatchReply, Client, MetricsSnapshot, ServerError, Session, TxnBuilder,
+    TxnHandle,
 };
 use std::collections::BTreeMap;
 
@@ -32,6 +33,15 @@ use std::collections::BTreeMap;
 pub trait ConnHost {
     /// Service-wide metrics snapshot for [`Request::Metrics`].
     fn metrics(&self) -> Option<MetricsSnapshot>;
+
+    /// The certifier backend the embedded service runs — stamped on
+    /// [`Response::Telemetry`] frames. Hosts that serve telemetry (a
+    /// non-`None` [`ConnHost::telemetry`]) must override this; the
+    /// default only exists for metrics-only closure hosts, whose
+    /// telemetry pulls fail before the backend is consulted.
+    fn backend(&self) -> Backend {
+        Backend::Cpc
+    }
 
     /// Incremental telemetry for [`Request::Telemetry`] (see
     /// [`ks_server::TxnService::telemetry`]).
@@ -58,14 +68,19 @@ impl<F: Fn() -> Option<MetricsSnapshot>> ConnHost for F {
 
 /// Validate a decoded first frame as a Hello and build the reply.
 ///
-/// `shards` is the embedded service's shard count (what `HelloOk`
-/// advertises). Returns `Err` with the error response to send before
-/// closing the connection.
-pub fn handshake_reply(first: &Request, shards: usize) -> Result<Response, Response> {
+/// `shards` is the embedded service's shard count and `backend` its
+/// certifier backend (what `HelloOk` advertises). Returns `Err` with
+/// the error response to send before closing the connection.
+pub fn handshake_reply(
+    first: &Request,
+    shards: usize,
+    backend: Backend,
+) -> Result<Response, Response> {
     let wire_err = |msg: String| Response::error(&ServerError::Wire(msg));
     match first {
         Request::Hello { magic } if *magic == HELLO_MAGIC => Ok(Response::HelloOk {
             shards: shards as u32,
+            backend,
         }),
         Request::Hello { magic } => Err(wire_err(format!(
             "bad hello magic 0x{magic:08x} (want 0x{HELLO_MAGIC:08x}, version {PROTOCOL_VERSION})"
@@ -202,8 +217,12 @@ impl ConnCore {
                 after,
                 before,
                 strategy,
+                backend,
             } => {
                 let mut builder = TxnBuilder::new(spec);
+                if let Some(b) = backend {
+                    builder = builder.backend(b);
+                }
                 for id in after {
                     match lookup(&self.txns, id) {
                         Ok(h) => builder = builder.after(h),
@@ -275,7 +294,10 @@ impl ConnCore {
                 results: self.run_wire_batch(&ops),
             },
             Request::Telemetry { since } => match host.telemetry(since) {
-                Some(delta) => Response::Telemetry(delta),
+                Some(delta) => Response::Telemetry {
+                    backend: host.backend(),
+                    delta,
+                },
                 None => Response::error(&ServerError::Shutdown),
             },
             Request::TraceExport { since, max } => match host.trace_export(since, max) {

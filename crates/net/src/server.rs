@@ -21,8 +21,8 @@ use crate::conn::{handshake_reply, ConnAction, ConnCore, ConnHost};
 use crate::wire::{self, read_frame, write_frame, FrameProgress, FrameReader, Response};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use ks_obs::{ObsEvent, ObsKind, ObsSink, Recorder, NO_TXN};
-use ks_protocol::ProtocolManager;
-use ks_server::{MetricsSnapshot, ServerError, TxnService};
+use ks_protocol::Certifier;
+use ks_server::{Backend, MetricsSnapshot, ServerError, TxnService};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{BufReader, BufWriter, Write as _};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -161,6 +161,10 @@ impl ConnHost for NetHost<'_> {
         self.0.with_service(|svc| svc.metrics())
     }
 
+    fn backend(&self) -> Backend {
+        self.0.with_service(|svc| svc.backend()).unwrap_or_default()
+    }
+
     fn telemetry(&self, since: u64) -> Option<ks_obs::TelemetryDelta> {
         self.0.with_service(|svc| svc.telemetry(since))
     }
@@ -225,9 +229,9 @@ impl NetServer {
 
     /// Graceful shutdown: stop accepting, drain in-flight connections up
     /// to the drain timeout, force-close stragglers, stop the embedded
-    /// service, and return its shard managers for verification (see
-    /// [`ks_server::verify_managers`]).
-    pub fn shutdown(mut self) -> Vec<ProtocolManager> {
+    /// service, and return its shard certifiers for verification (see
+    /// [`ks_server::verify_certifiers`]).
+    pub fn shutdown(mut self) -> Vec<Box<dyn Certifier>> {
         self.shared.stop.store(true, Ordering::SeqCst);
         // The accept loop polls nonblockingly, so it notices the flag on
         // its next tick — no wake-up connection needed.
@@ -455,10 +459,10 @@ fn handshake(
     };
     let (corr, trace, first) =
         wire::decode_request(&payload).map_err(|e| wire_err(e.to_string()))?;
-    let shards = shared
-        .with_service(|svc| svc.shard_map().shards())
-        .unwrap_or(0);
-    let ok = handshake_reply(&first, shards).map_err(|resp| (corr, trace, resp))?;
+    let (shards, backend) = shared
+        .with_service(|svc| (svc.shard_map().shards(), svc.backend()))
+        .unwrap_or((0, Backend::default()));
+    let ok = handshake_reply(&first, shards, backend).map_err(|resp| (corr, trace, resp))?;
     write_frame(writer, &wire::encode_response(corr, trace, &ok))
         .map_err(|e| wire_err(e.to_string()))?;
     Ok(())

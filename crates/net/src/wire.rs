@@ -36,13 +36,16 @@ use ks_core::Specification;
 use ks_kernel::{EntityId, Value};
 use ks_obs::{ObsEvent, TelemetryDelta, WindowSnapshot, LATENCY_BUCKETS};
 use ks_predicate::{Atom, Clause, CmpOp, Cnf, Operand, Strategy};
-use ks_server::{BatchOp, BatchReply, ServerError};
+use ks_server::{Backend, BatchOp, BatchReply, ServerError};
 use std::io::{Read, Write};
 
 /// Protocol version this build speaks. The Hello exchange rejects peers
 /// whose version differs (see `docs/wire.md` § version negotiation).
-/// Version 2 added the per-payload correlation id and `Batch` frames.
-pub const PROTOCOL_VERSION: u8 = 2;
+/// Version 2 added the per-payload correlation id and `Batch` frames;
+/// version 3 added the certifier-backend byte to `Open` (a client pin,
+/// `0` = unpinned), `HelloOk` (the backend the server runs), and the
+/// `Telemetry` response (so pollers label series per backend).
+pub const PROTOCOL_VERSION: u8 = 3;
 
 /// Magic carried in Hello so a stray non-ks-net peer is rejected before
 /// any state is allocated.
@@ -103,6 +106,11 @@ pub enum Request {
         before: Vec<u64>,
         /// Per-transaction solver override (`None` = service default).
         strategy: Option<Strategy>,
+        /// Certifier-backend pin (`None` = accept whatever the server
+        /// runs). A pinned backend the server does not run fails closed
+        /// with [`ServerError::BackendMismatch`]; an unknown backend
+        /// byte fails the frame at decode.
+        backend: Option<Backend>,
     },
     /// Validate: acquire `R_v` locks and a version assignment.
     Validate {
@@ -198,6 +206,10 @@ pub enum Response {
         /// Number of entity shards the service runs (clients co-locate
         /// a transaction's entities by shard, as in-process callers do).
         shards: u32,
+        /// The certifier backend every shard of this service runs —
+        /// advertised up front so clients can pin (or refuse) before
+        /// opening anything. Unknown bytes fail the frame at decode.
+        backend: Backend,
     },
     /// Transaction opened.
     Opened {
@@ -228,7 +240,13 @@ pub enum Response {
         results: Vec<Result<BatchReply, (u16, String)>>,
     },
     /// Incremental telemetry windows for a [`Request::Telemetry`].
-    Telemetry(TelemetryDelta),
+    Telemetry {
+        /// The certifier backend the windows measure (matches the
+        /// `HelloOk` advertisement; lets pollers label series).
+        backend: Backend,
+        /// The incremental windows.
+        delta: TelemetryDelta,
+    },
     /// Exported trace span events for a [`Request::TraceExport`].
     TraceExport {
         /// The cursor to pass as `since` next time.
@@ -380,6 +398,22 @@ fn strategy_from(code: u8) -> Option<Option<Strategy>> {
     })
 }
 
+/// The Open frame's backend-pin byte: `0` = unpinned, otherwise the
+/// backend's stable wire code ([`Backend::code`]).
+fn backend_pin_code(b: Option<Backend>) -> u8 {
+    b.map_or(0, Backend::code)
+}
+
+/// Decode a backend-pin byte; `None` means the byte is unknown (fail the
+/// frame closed — a client pinning a backend this build cannot name must
+/// not silently run unpinned).
+fn backend_pin_from(code: u8) -> Option<Option<Backend>> {
+    if code == 0 {
+        return Some(None);
+    }
+    Backend::from_code(code).map(Some)
+}
+
 /// Encode a request payload into `buf` (cleared first): version byte +
 /// correlation id + trace id (0 = unsampled) + type byte + body.
 pub fn encode_request_into(buf: &mut Vec<u8>, corr: u64, trace: u64, req: &Request) {
@@ -398,6 +432,7 @@ pub fn encode_request_into(buf: &mut Vec<u8>, corr: u64, trace: u64, req: &Reque
             after,
             before,
             strategy,
+            backend,
         } => {
             e.u8(0x02);
             e.cnf(&spec.input);
@@ -405,6 +440,7 @@ pub fn encode_request_into(buf: &mut Vec<u8>, corr: u64, trace: u64, req: &Reque
             e.txns(after);
             e.txns(before);
             e.u8(strategy_code(*strategy));
+            e.u8(backend_pin_code(*backend));
         }
         Request::Validate { txn } => {
             e.u8(0x03);
@@ -485,9 +521,10 @@ fn append_response(buf: &mut Vec<u8>, corr: u64, trace: u64, resp: &Response) {
     e.u64(corr);
     e.u64(trace);
     match resp {
-        Response::HelloOk { shards } => {
+        Response::HelloOk { shards, backend } => {
             e.u8(0x81);
             e.u32(*shards);
+            e.u8(backend.code());
         }
         Response::Opened { txn } => {
             e.u8(0x82);
@@ -532,8 +569,9 @@ fn append_response(buf: &mut Vec<u8>, corr: u64, trace: u64, resp: &Response) {
                 }
             }
         }
-        Response::Telemetry(delta) => {
+        Response::Telemetry { backend, delta } => {
             e.u8(0x89);
+            e.u8(backend.code());
             e.u64(delta.width_ns);
             e.u64(delta.next_seq);
             e.u32(delta.windows.len() as u32);
@@ -770,11 +808,15 @@ pub fn decode_request(buf: &[u8]) -> Result<(u64, u64, Request), WireError> {
             let before = d.txns("open.before")?;
             let strategy = strategy_from(d.u8("open.strategy")?)
                 .ok_or_else(|| WireError("open: unknown strategy code".into()))?;
+            let backend_byte = d.u8("open.backend")?;
+            let backend = backend_pin_from(backend_byte)
+                .ok_or_else(|| WireError(format!("open: unknown backend byte {backend_byte}")))?;
             Request::Open {
                 spec: Specification::new(input, output),
                 after,
                 before,
                 strategy,
+                backend,
             }
         }
         0x03 => Request::Validate {
@@ -845,9 +887,13 @@ pub fn decode_response(buf: &[u8]) -> Result<(u64, u64, Response), WireError> {
     let trace = d.u64("response trace")?;
     let ty = d.u8("response type")?;
     let resp = match ty {
-        0x81 => Response::HelloOk {
-            shards: d.u32("hello_ok")?,
-        },
+        0x81 => {
+            let shards = d.u32("hello_ok")?;
+            let byte = d.u8("hello_ok.backend")?;
+            let backend = Backend::from_code(byte)
+                .ok_or_else(|| WireError(format!("hello_ok: unknown backend byte {byte}")))?;
+            Response::HelloOk { shards, backend }
+        }
         0x82 => Response::Opened {
             txn: d.u64("opened")?,
         },
@@ -894,6 +940,9 @@ pub fn decode_response(buf: &[u8]) -> Result<(u64, u64, Response), WireError> {
             Response::Batch { results }
         }
         0x89 => {
+            let byte = d.u8("telemetry.backend")?;
+            let backend = Backend::from_code(byte)
+                .ok_or_else(|| WireError(format!("telemetry: unknown backend byte {byte}")))?;
             let width_ns = d.u64("telemetry")?;
             let next_seq = d.u64("telemetry")?;
             let n = d.count("telemetry windows")?;
@@ -901,11 +950,14 @@ pub fn decode_response(buf: &[u8]) -> Result<(u64, u64, Response), WireError> {
             for _ in 0..n {
                 windows.push(d.window("telemetry window")?);
             }
-            Response::Telemetry(TelemetryDelta {
-                width_ns,
-                next_seq,
-                windows,
-            })
+            Response::Telemetry {
+                backend,
+                delta: TelemetryDelta {
+                    width_ns,
+                    next_seq,
+                    windows,
+                },
+            }
         }
         0x8A => {
             let next = d.u64("trace_export")?;
@@ -1124,9 +1176,65 @@ mod tests {
             after: vec![1, 2],
             before: vec![9],
             strategy: Some(Strategy::GreedyLatest),
+            backend: Some(Backend::Ssi),
         };
         let buf = encode_request(u64::MAX, 0, &req);
         assert_eq!(decode_request(&buf).unwrap(), (u64::MAX, 0, req));
+    }
+
+    #[test]
+    fn open_backend_pin_round_trips_every_backend_and_unpinned() {
+        for backend in [
+            None,
+            Some(Backend::Cpc),
+            Some(Backend::Ssi),
+            Some(Backend::TwoPl),
+        ] {
+            let req = Request::Open {
+                spec: Specification::new(Cnf::truth(), Cnf::truth()),
+                after: vec![],
+                before: vec![],
+                strategy: None,
+                backend,
+            };
+            let buf = encode_request(1, 0, &req);
+            assert_eq!(decode_request(&buf).unwrap(), (1, 0, req));
+        }
+    }
+
+    /// Satellite: an unknown backend byte in Open fails the frame closed —
+    /// the server must never run a transaction whose pin it cannot name.
+    #[test]
+    fn open_with_unknown_backend_byte_fails_closed() {
+        let req = Request::Open {
+            spec: Specification::new(Cnf::truth(), Cnf::truth()),
+            after: vec![],
+            before: vec![],
+            strategy: None,
+            backend: None,
+        };
+        let mut buf = encode_request(1, 0, &req);
+        // The backend byte is the last byte of the Open body.
+        *buf.last_mut().unwrap() = 0x77;
+        let err = decode_request(&buf).unwrap_err();
+        assert!(err.0.contains("unknown backend byte 119"), "{err}");
+    }
+
+    #[test]
+    fn hello_ok_advertises_the_backend_and_rejects_unknown_bytes() {
+        for backend in Backend::all() {
+            let resp = Response::HelloOk { shards: 4, backend };
+            let buf = encode_response(0, 0, &resp);
+            assert_eq!(decode_response(&buf).unwrap(), (0, 0, resp));
+        }
+        let resp = Response::HelloOk {
+            shards: 4,
+            backend: Backend::Cpc,
+        };
+        let mut buf = encode_response(0, 0, &resp);
+        *buf.last_mut().unwrap() = 0; // 0 is not a valid server backend
+        let err = decode_response(&buf).unwrap_err();
+        assert!(err.0.contains("unknown backend byte 0"), "{err}");
     }
 
     #[test]
@@ -1234,11 +1342,14 @@ mod tests {
         let req = Request::Telemetry { since: 41 };
         let buf = encode_request(3, 0, &req);
         assert_eq!(decode_request(&buf).unwrap(), (3, 0, req));
-        let resp = Response::Telemetry(TelemetryDelta {
-            width_ns: 1_000_000_000,
-            next_seq: 42,
-            windows: vec![WindowSnapshot::empty(40), w],
-        });
+        let resp = Response::Telemetry {
+            backend: Backend::Ssi,
+            delta: TelemetryDelta {
+                width_ns: 1_000_000_000,
+                next_seq: 42,
+                windows: vec![WindowSnapshot::empty(40), w],
+            },
+        };
         let buf = encode_response(3, 0, &resp);
         assert_eq!(decode_response(&buf).unwrap(), (3, 0, resp));
     }
@@ -1247,11 +1358,14 @@ mod tests {
     fn telemetry_window_with_out_of_range_bucket_fails_closed() {
         let mut w = WindowSnapshot::empty(1);
         w.latency[0] = 9;
-        let resp = Response::Telemetry(TelemetryDelta {
-            width_ns: 1,
-            next_seq: 2,
-            windows: vec![w],
-        });
+        let resp = Response::Telemetry {
+            backend: Backend::Cpc,
+            delta: TelemetryDelta {
+                width_ns: 1,
+                next_seq: 2,
+                windows: vec![w],
+            },
+        };
         let mut buf = encode_response(0, 0, &resp);
         // The single sparse entry's index byte sits right after the 7
         // u64 window fields; corrupt it past LATENCY_BUCKETS.

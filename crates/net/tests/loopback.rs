@@ -256,6 +256,7 @@ fn slow_frames_straddling_the_poll_interval_stay_in_sync() {
             after: vec![],
             before: vec![],
             strategy: None,
+            backend: None,
         },
     );
     let mut framed = (payload.len() as u32).to_le_bytes().to_vec();

@@ -62,9 +62,16 @@ impl Shared {
 fn answer(state: &mut MockState, cv: &Condvar, payload: &[u8]) {
     let (corr, _trace, req) = wire::decode_request(payload).expect("client sends valid frames");
     match req {
-        Request::Hello { .. } => {
-            Shared::respond(state, cv, corr, &Response::HelloOk { shards: 1 }, true)
-        }
+        Request::Hello { .. } => Shared::respond(
+            state,
+            cv,
+            corr,
+            &Response::HelloOk {
+                shards: 1,
+                backend: ks_server::Backend::Cpc,
+            },
+            true,
+        ),
         Request::Open { .. } => {
             // Released immediately: the client opens serially, so holding
             // the reply would only stall the burst we want to reorder.

@@ -59,7 +59,14 @@ fn mock_server(
         };
         write_frame(
             &mut writer,
-            &wire::encode_response(hello_corr, 0, &Response::HelloOk { shards: 1 }),
+            &wire::encode_response(
+                hello_corr,
+                0,
+                &Response::HelloOk {
+                    shards: 1,
+                    backend: ks_server::Backend::Cpc,
+                },
+            ),
         )
         .unwrap();
         // Play the script, echoing each request's correlation id.
@@ -287,7 +294,14 @@ fn version_mismatch_is_refused_at_connect() {
         let mut reader = BufReader::new(stream.try_clone().unwrap());
         let _ = read_frame(&mut reader).unwrap();
         // Reply HelloOk with a bumped version byte.
-        let mut payload = wire::encode_response(0, 0, &Response::HelloOk { shards: 1 });
+        let mut payload = wire::encode_response(
+            0,
+            0,
+            &Response::HelloOk {
+                shards: 1,
+                backend: ks_server::Backend::Cpc,
+            },
+        );
         payload[0] = wire::PROTOCOL_VERSION + 1;
         write_frame(&mut BufWriter::new(stream), &payload).unwrap();
     });

@@ -17,6 +17,7 @@ fn round_trip(spec: Specification) -> Specification {
         after: vec![],
         before: vec![],
         strategy: None,
+        backend: None,
     };
     let buf = encode_request(7, 0, &req);
     match decode_request(&buf).expect("valid encoding must decode") {
@@ -86,6 +87,7 @@ fn large_formulas_round_trip_within_the_frame_budget() {
             after: vec![],
             before: vec![],
             strategy: None,
+            backend: None,
         },
     );
     assert!(
@@ -164,6 +166,7 @@ proptest! {
             after: vec![],
             before: vec![],
             strategy: None,
+            backend: None,
         };
         prop_assert_eq!(encode_request(9, 3, &req), encode_request(9, 3, &req));
     }

@@ -9,7 +9,7 @@ use ks_net::wire::{
     write_frame, Request, Response, WireMetrics, HELLO_MAGIC, MAX_BATCH_OPS, MAX_FRAME,
 };
 use ks_predicate::{Atom, Clause, CmpOp, Cnf, Operand, Strategy as KsStrategy};
-use ks_server::{BatchOp, BatchReply, ServerError};
+use ks_server::{Backend, BatchOp, BatchReply, ServerError};
 use proptest::prelude::*;
 
 fn arb_op() -> impl Strategy<Value = CmpOp> {
@@ -52,6 +52,23 @@ fn arb_cnf() -> impl Strategy<Value = Cnf> {
                 })
                 .collect(),
         )
+    })
+}
+
+fn arb_backend_pin() -> impl Strategy<Value = Option<Backend>> {
+    (0u8..4).prop_map(|sel| match sel {
+        0 => None,
+        1 => Some(Backend::Cpc),
+        2 => Some(Backend::Ssi),
+        _ => Some(Backend::TwoPl),
+    })
+}
+
+fn arb_backend() -> impl Strategy<Value = Backend> {
+    (0u8..3).prop_map(|sel| match sel {
+        0 => Backend::Cpc,
+        1 => Backend::Ssi,
+        _ => Backend::TwoPl,
     })
 }
 
@@ -105,38 +122,42 @@ fn arb_request() -> impl Strategy<Value = Request> {
             prop::collection::vec(any::<u64>(), 0usize..4),
             prop::collection::vec(any::<u64>(), 0usize..4),
             arb_strategy(),
+            arb_backend_pin(),
         ),
         arb_batch_ops(),
     )
         .prop_map(
-            |(sel, (word, txn, value), (input, output, after, before, strategy), ops)| match sel {
-                0 => Request::Hello { magic: word },
-                1 => Request::Open {
-                    spec: Specification::new(input, output),
-                    after,
-                    before,
-                    strategy,
-                },
-                2 => Request::Validate { txn },
-                3 => Request::Read {
-                    txn,
-                    entity: EntityId(word),
-                },
-                4 => Request::Write {
-                    txn,
-                    entity: EntityId(word),
-                    value,
-                },
-                5 => Request::Commit { txn },
-                6 => Request::Abort { txn },
-                7 => Request::Metrics,
-                8 => Request::Batch { ops },
-                9 => Request::Telemetry { since: txn },
-                10 => Request::TraceExport {
-                    since: txn,
-                    max: word,
-                },
-                _ => Request::Shutdown,
+            |(sel, (word, txn, value), (input, output, after, before, strategy, backend), ops)| {
+                match sel {
+                    0 => Request::Hello { magic: word },
+                    1 => Request::Open {
+                        spec: Specification::new(input, output),
+                        after,
+                        before,
+                        strategy,
+                        backend,
+                    },
+                    2 => Request::Validate { txn },
+                    3 => Request::Read {
+                        txn,
+                        entity: EntityId(word),
+                    },
+                    4 => Request::Write {
+                        txn,
+                        entity: EntityId(word),
+                        value,
+                    },
+                    5 => Request::Commit { txn },
+                    6 => Request::Abort { txn },
+                    7 => Request::Metrics,
+                    8 => Request::Batch { ops },
+                    9 => Request::Telemetry { since: txn },
+                    10 => Request::TraceExport {
+                        since: txn,
+                        max: word,
+                    },
+                    _ => Request::Shutdown,
+                }
             },
         )
 }
@@ -165,10 +186,11 @@ fn arb_response() -> impl Strategy<Value = Response> {
         prop::collection::vec(any::<u64>(), 8usize),
         arb_detail(),
         arb_batch_results(),
+        arb_backend(),
     )
         .prop_map(
-            |(sel, (shards, txn, value, code), m, detail, results)| match sel {
-                0 => Response::HelloOk { shards },
+            |(sel, (shards, txn, value, code), m, detail, results, backend)| match sel {
+                0 => Response::HelloOk { shards, backend },
                 1 => Response::Opened { txn },
                 2 => Response::Done,
                 3 => Response::Value { value },
@@ -301,14 +323,14 @@ fn unknown_error_codes_fail_closed() {
 /// revision, and this test is the tripwire.
 #[test]
 fn protocol_constants_are_pinned() {
-    assert_eq!(ks_net::PROTOCOL_VERSION, 2);
+    assert_eq!(ks_net::PROTOCOL_VERSION, 3);
     assert_eq!(HELLO_MAGIC, 0x4B53_4E50);
     assert_eq!(MAX_FRAME, 1 << 20);
     assert_eq!(MAX_BATCH_OPS, 1024);
     let corr = 0x0123_4567_89AB_CDEFu64;
     let trace = 0xFEDC_BA98_7654_3210u64;
     let hello = encode_request(corr, trace, &Request::Hello { magic: HELLO_MAGIC });
-    assert_eq!(hello[0], 2, "version byte leads every payload");
+    assert_eq!(hello[0], 3, "version byte leads every payload");
     assert_eq!(
         hello[1..9],
         corr.to_le_bytes(),

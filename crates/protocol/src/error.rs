@@ -31,6 +31,17 @@ pub enum ProtocolError {
     NotASibling,
     /// The root cannot be aborted or re-defined.
     RootImmutable,
+    /// The certifier aborted this transaction during the call itself
+    /// (SSI dangerous structure / first-committer-wins, 2PL deadlock
+    /// victim). The transaction is `Aborted`; the serving layer reports
+    /// this the same way as a re-eval abort.
+    CertifierAborted {
+        /// The backend's reason, for diagnostics.
+        reason: &'static str,
+    },
+    /// A lock-based certifier cannot grant the requested access right
+    /// now (a conflicting holder exists); safe to retry after backoff.
+    WouldBlock(EntityId),
     /// Underlying version store failure.
     Store(StoreError),
 }
@@ -52,6 +63,12 @@ impl fmt::Display for ProtocolError {
             ProtocolError::CyclicPartialOrder => write!(f, "partial order would become cyclic"),
             ProtocolError::NotASibling => write!(f, "ordering constraint references a non-sibling"),
             ProtocolError::RootImmutable => write!(f, "the root transaction cannot be aborted"),
+            ProtocolError::CertifierAborted { reason } => {
+                write!(f, "aborted by the certifier: {reason}")
+            }
+            ProtocolError::WouldBlock(e) => {
+                write!(f, "access to {e} would block on a conflicting holder")
+            }
             ProtocolError::Store(e) => write!(f, "store error: {e}"),
         }
     }

@@ -37,24 +37,32 @@
 
 pub mod adapter;
 pub mod candidates;
+pub mod certifier;
 pub mod error;
 pub mod extract;
+pub mod history;
 pub mod locks;
 pub mod manager;
 pub mod session;
+pub mod ssi;
+pub mod tpl;
 pub mod wire;
 
 pub use adapter::KsProtocolAdapter;
+pub use certifier::{verify_cpc, Backend, Certifier};
 pub use error::ProtocolError;
+pub use history::{check_serializable, History, HistoryVerdict};
 pub use locks::{compatibility, LockMode, MatrixEntry};
 pub use manager::{
     CommitOutcome, ProtocolManager, ReEvalAction, ReadOutcome, Txn, TxnState, ValidationOutcome,
     WriteReport,
 };
 pub use session::{replay, RecordingManager, SessionEvent, SessionLog};
+pub use ssi::SsiCertifier;
+pub use tpl::TplCertifier;
 pub use wire::{from_wire, to_wire, WireError};
 
-// The serving layer (`ks-server`) moves managers into worker threads and
+// The serving layer (`ks-server`) moves certifiers into worker threads and
 // back out through join handles; compile-time-assert they stay `Send` so
 // an accidental `Rc`/raw-pointer field can't silently break the server.
 const _: fn() = || {
@@ -62,4 +70,7 @@ const _: fn() = || {
     assert_send::<ProtocolManager>();
     assert_send::<RecordingManager>();
     assert_send::<SessionLog>();
+    assert_send::<SsiCertifier>();
+    assert_send::<TplCertifier>();
+    assert_send::<Box<dyn Certifier>>();
 };

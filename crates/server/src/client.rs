@@ -20,6 +20,7 @@ use crate::ServerError;
 use ks_core::Specification;
 use ks_kernel::{EntityId, Value};
 use ks_predicate::Strategy;
+use ks_protocol::Backend;
 use std::fmt;
 
 /// A transaction request under construction: specification, sibling
@@ -31,6 +32,7 @@ pub struct TxnBuilder<H> {
     after: Vec<H>,
     before: Vec<H>,
     strategy: Option<Strategy>,
+    backend: Option<Backend>,
     pipeline_depth: usize,
 }
 
@@ -42,6 +44,7 @@ impl<H: Copy> TxnBuilder<H> {
             after: Vec::new(),
             before: Vec::new(),
             strategy: None,
+            backend: None,
             pipeline_depth: 1,
         }
     }
@@ -87,6 +90,22 @@ impl<H: Copy> TxnBuilder<H> {
         self.strategy
     }
 
+    /// Pin the certification backend this transaction expects the
+    /// service to run. A workload written for one backend's semantics
+    /// (e.g. a bench measuring SSI abort rates) fails closed with
+    /// [`ServerError::BackendMismatch`] instead of silently measuring
+    /// the wrong certifier. On the wire this travels as the Open
+    /// frame's backend byte (`0` = unpinned; see `docs/wire.md`).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// The pinned backend expectation, if any.
+    pub fn backend_expectation(&self) -> Option<Backend> {
+        self.backend
+    }
+
     /// Hint how many request frames a transport may keep in flight on the
     /// connection while serving this transaction's [`run_batch`]
     /// (`Client::run_batch`) bursts. `1` (the default) is strict
@@ -101,10 +120,25 @@ impl<H: Copy> TxnBuilder<H> {
         self.pipeline_depth
     }
 
-    /// Decompose into `(spec, after, before, strategy)` — used by
-    /// transport implementations.
-    pub fn into_parts(self) -> (Specification, Vec<H>, Vec<H>, Option<Strategy>) {
-        (self.spec, self.after, self.before, self.strategy)
+    /// Decompose into `(spec, after, before, strategy, backend)` — used
+    /// by transport implementations.
+    #[allow(clippy::type_complexity)]
+    pub fn into_parts(
+        self,
+    ) -> (
+        Specification,
+        Vec<H>,
+        Vec<H>,
+        Option<Strategy>,
+        Option<Backend>,
+    ) {
+        (
+            self.spec,
+            self.after,
+            self.before,
+            self.strategy,
+            self.backend,
+        )
     }
 }
 
@@ -223,19 +257,28 @@ mod tests {
     use ks_predicate::Cnf;
 
     #[test]
-    fn builder_accumulates_ordering_and_strategy() {
+    fn builder_accumulates_ordering_strategy_and_backend() {
         let b: TxnBuilder<u64> = TxnBuilder::new(Specification::new(Cnf::truth(), Cnf::truth()))
             .after(1)
             .after(2)
             .before(9)
-            .strategy(Strategy::GreedyLatest);
+            .strategy(Strategy::GreedyLatest)
+            .backend(Backend::Ssi);
         assert_eq!(b.after_handles(), &[1, 2]);
         assert_eq!(b.before_handles(), &[9]);
         assert_eq!(b.strategy_override(), Some(Strategy::GreedyLatest));
-        let (spec, after, before, strategy) = b.into_parts();
+        assert_eq!(b.backend_expectation(), Some(Backend::Ssi));
+        let (spec, after, before, strategy, backend) = b.into_parts();
         assert!(spec.input.is_truth());
         assert_eq!((after, before), (vec![1, 2], vec![9]));
         assert_eq!(strategy, Some(Strategy::GreedyLatest));
+        assert_eq!(backend, Some(Backend::Ssi));
+    }
+
+    #[test]
+    fn builder_defaults_to_no_backend_pin() {
+        let b: TxnBuilder<u64> = TxnBuilder::new(Specification::new(Cnf::truth(), Cnf::truth()));
+        assert_eq!(b.backend_expectation(), None);
     }
 
     #[test]

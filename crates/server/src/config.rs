@@ -11,6 +11,7 @@ use crate::durability::Durability;
 use crate::error::ServerError;
 use ks_obs::Recorder;
 use ks_predicate::Strategy;
+use ks_protocol::Backend;
 use std::fmt;
 use std::time::Duration;
 
@@ -49,6 +50,19 @@ pub struct ServerConfig {
     /// trace id — those are always honoured — and only when a
     /// `recorder` is attached. See `ks_obs::trace`.
     pub trace_sample: f64,
+    /// Which certification backend every shard worker runs: the paper's
+    /// CPC protocol (the default), SSI, or strict 2PL. Advertised to
+    /// remote clients in the wire handshake; clients may pin an
+    /// expectation per transaction ([`TxnBuilder::backend`]
+    /// (crate::TxnBuilder::backend)), which fails closed with
+    /// [`ServerError::BackendMismatch`](crate::ServerError) on disagreement.
+    pub backend: Backend,
+    /// SSI dangerous-structure detection (`true`, the default). Turning
+    /// it off degrades [`Backend::Ssi`] to plain snapshot isolation,
+    /// which admits write skew — a **test-only** knob that exists so the
+    /// offline history checker can be proven to catch a broken detector
+    /// (the `exp_certifier --teeth` gate). Ignored by other backends.
+    pub ssi_detect: bool,
 }
 
 impl Default for ServerConfig {
@@ -62,6 +76,8 @@ impl Default for ServerConfig {
             recorder: None,
             durability: Durability::None,
             trace_sample: 0.0,
+            backend: Backend::Cpc,
+            ssi_detect: true,
         }
     }
 }
@@ -152,6 +168,19 @@ impl ServerConfigBuilder {
         self
     }
 
+    /// Select the certification backend (CPC / SSI / 2PL).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.config.backend = backend;
+        self
+    }
+
+    /// Toggle SSI dangerous-structure detection (test-only knob; see
+    /// [`ServerConfig::ssi_detect`]).
+    pub fn ssi_detect(mut self, detect: bool) -> Self {
+        self.config.ssi_detect = detect;
+        self
+    }
+
     /// Validate and produce the config.
     pub fn build(self) -> Result<ServerConfig, ConfigError> {
         let c = &self.config;
@@ -189,6 +218,8 @@ mod tests {
         let c = ServerConfig::builder().build().unwrap();
         assert_eq!(c.shards, 4);
         assert_eq!(c.queue_depth, 128);
+        assert_eq!(c.backend, Backend::Cpc);
+        assert!(c.ssi_detect);
     }
 
     #[test]
@@ -217,6 +248,8 @@ mod tests {
             .request_timeout(Duration::from_millis(250))
             .strategy(Strategy::GreedyLatest)
             .trace_sample(0.25)
+            .backend(Backend::Ssi)
+            .ssi_detect(false)
             .build()
             .unwrap();
         assert_eq!(c.shards, 2);
@@ -225,6 +258,8 @@ mod tests {
         assert_eq!(c.request_timeout, Duration::from_millis(250));
         assert_eq!(c.strategy, Strategy::GreedyLatest);
         assert_eq!(c.trace_sample, 0.25);
+        assert_eq!(c.backend, Backend::Ssi);
+        assert!(!c.ssi_detect);
         assert!(c.recorder.is_none());
         assert!(matches!(c.durability, Durability::None));
     }

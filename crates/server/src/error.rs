@@ -39,6 +39,11 @@ pub enum ServerError {
     /// connection dropped, a frame was malformed, or the peer spoke an
     /// incompatible protocol version. Never produced in-process.
     Wire(String),
+    /// The client pinned a certification backend expectation
+    /// ([`TxnBuilder::backend`](crate::TxnBuilder::backend)) that does
+    /// not match the backend this service runs. The detail names both
+    /// sides.
+    BackendMismatch(String),
 }
 
 impl ServerError {
@@ -70,6 +75,7 @@ impl ServerError {
             ServerError::Timeout => 6,
             ServerError::Shutdown => 7,
             ServerError::Wire(_) => 8,
+            ServerError::BackendMismatch(_) => 9,
         }
     }
 
@@ -86,6 +92,7 @@ impl ServerError {
             6 => ServerError::Timeout,
             7 => ServerError::Shutdown,
             8 => ServerError::Wire(detail.to_string()),
+            9 => ServerError::BackendMismatch(detail.to_string()),
             _ => return None,
         })
     }
@@ -94,7 +101,9 @@ impl ServerError {
     /// for variants whose meaning is fully carried by the code).
     pub fn detail(&self) -> &str {
         match self {
-            ServerError::Rejected(why) | ServerError::Wire(why) => why,
+            ServerError::Rejected(why)
+            | ServerError::Wire(why)
+            | ServerError::BackendMismatch(why) => why,
             _ => "",
         }
     }
@@ -111,6 +120,7 @@ impl fmt::Display for ServerError {
             ServerError::Timeout => f.write_str("request timed out"),
             ServerError::Shutdown => f.write_str("service is shut down"),
             ServerError::Wire(why) => write!(f, "wire: {why}"),
+            ServerError::BackendMismatch(why) => write!(f, "backend mismatch: {why}"),
         }
     }
 }
@@ -118,11 +128,20 @@ impl fmt::Display for ServerError {
 impl std::error::Error for ServerError {}
 
 /// The one `ProtocolError` → `ServerError` conversion, shared by the
-/// shard workers and the wire layer: every manager refusal is a
-/// `Rejected` carrying the protocol's own diagnostic.
+/// shard workers and the wire layer. Two protocol outcomes keep their
+/// meaning across the boundary — a certifier killing the calling
+/// transaction mid-call surfaces as [`ServerError::ReEvalAborted`]
+/// (same client contract as a CPC re-eval abort, so retry loops and
+/// abort telemetry treat all backends alike), and a lock conflict
+/// surfaces as the retryable [`ServerError::Busy`]. Every other manager
+/// refusal is a `Rejected` carrying the protocol's own diagnostic.
 impl From<ProtocolError> for ServerError {
     fn from(e: ProtocolError) -> Self {
-        ServerError::Rejected(e.to_string())
+        match e {
+            ProtocolError::CertifierAborted { .. } => ServerError::ReEvalAborted,
+            ProtocolError::WouldBlock(_) => ServerError::Busy,
+            other => ServerError::Rejected(other.to_string()),
+        }
     }
 }
 
@@ -140,6 +159,7 @@ mod tests {
             ServerError::Timeout,
             ServerError::Shutdown,
             ServerError::Wire("connection reset".into()),
+            ServerError::BackendMismatch("client pinned ssi, server runs cpc".into()),
         ]
     }
 
@@ -182,5 +202,17 @@ mod tests {
             ServerError::Rejected(why) => assert!(why.contains("unknown")),
             other => panic!("expected Rejected, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn certifier_outcomes_keep_their_meaning() {
+        let e: ServerError = ProtocolError::CertifierAborted {
+            reason: "deadlock victim",
+        }
+        .into();
+        assert_eq!(e, ServerError::ReEvalAborted);
+        let e: ServerError = ProtocolError::WouldBlock(ks_kernel::EntityId(3)).into();
+        assert_eq!(e, ServerError::Busy);
+        assert!(e.is_retryable());
     }
 }

@@ -10,9 +10,12 @@
 //!
 //! - **Sharding** ([`routing`]): entities are partitioned round-robin
 //!   across `S` shards; each shard's worker thread owns a private
-//!   [`ProtocolManager`](ks_protocol::ProtocolManager) over the shard's
-//!   sub-schema. The manager stays single-writer; shards are independent
-//!   correctness domains (a transaction lives entirely inside one shard).
+//!   [`Certifier`](ks_protocol::Certifier) backend — the paper's CPC
+//!   [`ProtocolManager`](ks_protocol::ProtocolManager), an SSI
+//!   certifier, or a strict-2PL baseline, selected per
+//!   [`ServerConfig::backend`] — over the shard's sub-schema. The
+//!   certifier stays single-writer; shards are independent correctness
+//!   domains (a transaction lives entirely inside one shard).
 //! - **Workers** ([`worker`]): bounded crossbeam queues feed each shard;
 //!   workers never block on protocol outcomes — contended calls reply
 //!   [`ServerError::Busy`] and the session retries, which is what keeps
@@ -31,11 +34,12 @@
 //!   shedding degrade gracefully under overload.
 //! - **Metrics** ([`metrics`]): lock-free counters and a fixed-bucket
 //!   latency histogram (p50/p99) snapshotted on demand.
-//! - **Verification** ([`verify`]): after shutdown, every shard manager
-//!   is drained through [`ks_protocol::extract`] and checked against the
-//!   formal model with [`ks_core::check`] — the service inherits the
-//!   paper's correctness guarantee, and the tests assert it under real
-//!   thread interleavings.
+//! - **Verification** ([`verify`]): after shutdown, every shard
+//!   certifier re-checks its own history offline — the CPC backend
+//!   against the paper's parent-based criterion ([`ks_core::check`]),
+//!   SSI/2PL against conflict-graph serializability — so the service
+//!   inherits each backend's correctness guarantee, and the tests assert
+//!   it under real thread interleavings.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -58,11 +62,14 @@ pub use client::{per_op_batch, BatchOp, BatchReply, Client, TxnBuilder};
 pub use config::{ConfigError, ServerConfig, ServerConfigBuilder};
 pub use durability::{Durability, RecoveryReport, StoreFactory, WalOptions};
 pub use error::ServerError;
+pub use ks_protocol::{Backend, Certifier};
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ServerMetrics};
 pub use routing::ShardMap;
 pub use service::TxnService;
 pub use session::{Session, TxnHandle};
-pub use verify::{verify_managers, verify_with_dump, VerifyReport, ViolationDump};
+pub use verify::{verify_certifiers, verify_certifiers_with_dump, VerifyReport, ViolationDump};
+#[allow(deprecated)]
+pub use verify::{verify_managers, verify_with_dump};
 
 #[cfg(test)]
 mod tests {
@@ -127,7 +134,7 @@ mod tests {
         assert!(snap.p50.is_some());
         drop(session);
         let managers = svc.shutdown();
-        let report = verify_managers(&managers);
+        let report = verify_certifiers(&managers);
         assert!(report.is_correct(), "{report:?}");
         assert_eq!(report.committed, 1);
         assert_eq!(report.shards, 4);
@@ -177,24 +184,80 @@ mod tests {
         assert_eq!(results[1], Err(ServerError::CrossShard));
         session.abort(txn2).unwrap();
         drop(session);
-        assert!(verify_managers(&svc.shutdown()).is_correct());
+        assert!(verify_certifiers(&svc.shutdown()).is_correct());
+    }
+
+    #[test]
+    fn ssi_backend_serves_the_full_lifecycle() {
+        let schema = schema(8);
+        let initial = UniqueState::constant(8, 0);
+        let config = ServerConfig::builder()
+            .shards(4)
+            .backend(Backend::Ssi)
+            .build()
+            .unwrap();
+        let svc = TxnService::new(schema, &initial, config);
+        assert_eq!(svc.backend(), Backend::Ssi);
+        let session = svc.session().unwrap();
+        full_lifecycle_over(&session);
+        drop(session);
+        let report = verify_certifiers(&svc.shutdown());
+        assert!(report.is_correct(), "{report:?}");
+        assert_eq!(report.committed, 1);
+    }
+
+    #[test]
+    fn two_pl_backend_serves_the_full_lifecycle() {
+        let schema = schema(8);
+        let initial = UniqueState::constant(8, 0);
+        let config = ServerConfig::builder()
+            .shards(4)
+            .backend(Backend::TwoPl)
+            .build()
+            .unwrap();
+        let svc = TxnService::new(schema, &initial, config);
+        let session = svc.session().unwrap();
+        full_lifecycle_over(&session);
+        drop(session);
+        let report = verify_certifiers(&svc.shutdown());
+        assert!(report.is_correct(), "{report:?}");
+        assert_eq!(report.committed, 1);
+    }
+
+    #[test]
+    fn backend_pin_mismatch_fails_closed() {
+        let svc = service(8, 4); // default backend: CPC
+        let session = svc.session().unwrap();
+        let spec = tautology_spec(&[EntityId(1)]);
+        match session
+            .open(TxnBuilder::new(spec.clone()).backend(Backend::Ssi))
+            .unwrap_err()
+        {
+            ServerError::BackendMismatch(why) => {
+                assert!(why.contains("ssi") && why.contains("cpc"), "{why}");
+            }
+            other => panic!("expected BackendMismatch, got {other:?}"),
+        }
+        // Pinning the backend the service actually runs is accepted.
+        let txn = session
+            .open(TxnBuilder::new(spec).backend(Backend::Cpc))
+            .unwrap();
+        session.validate(txn).unwrap();
+        session.commit(txn).unwrap();
+        drop(session);
+        assert!(verify_certifiers(&svc.shutdown()).is_correct());
     }
 
     #[test]
     #[allow(deprecated)]
-    fn deprecated_define_still_delegates() {
+    fn deprecated_verify_aliases_still_delegate() {
         let svc = service(8, 4);
         let session = svc.session().unwrap();
-        let spec = tautology_spec(&[EntityId(1), EntityId(5)]);
-        let txn = session.define(&spec).unwrap();
-        assert_eq!(txn.shard(), 1);
-        session.validate(txn).unwrap();
-        let next = session.define_ordered(&spec, &[txn]).unwrap();
-        session.validate(next).unwrap();
-        session.commit(txn).unwrap();
-        session.commit(next).unwrap();
+        full_lifecycle_over(&session);
         drop(session);
-        assert!(verify_managers(&svc.shutdown()).is_correct());
+        let report = verify_managers(&svc.shutdown());
+        assert!(report.is_correct(), "{report:?}");
+        assert_eq!(report.committed, 1);
     }
 
     #[test]
@@ -267,7 +330,7 @@ mod tests {
             other => panic!("expected Rejected, got {other:?}"),
         }
         drop(session);
-        let report = verify_managers(&svc.shutdown());
+        let report = verify_certifiers(&svc.shutdown());
         assert!(report.is_correct(), "{report:?}");
         assert_eq!(report.committed, 0, "aborted txn is outside the execution");
     }
@@ -303,7 +366,7 @@ mod tests {
         s1.abort(t1).unwrap(); // acknowledging is idempotent
         assert!(svc.metrics().reeval_aborts >= 1);
         drop((s1, s2));
-        let report = verify_managers(&svc.shutdown());
+        let report = verify_certifiers(&svc.shutdown());
         assert!(report.is_correct(), "{report:?}");
         assert_eq!(report.committed, 1);
     }
@@ -331,7 +394,7 @@ mod tests {
         session.commit(first).unwrap();
         session.commit(second).unwrap();
         drop(session);
-        let report = verify_managers(&svc.shutdown());
+        let report = verify_certifiers(&svc.shutdown());
         assert!(report.is_correct(), "{report:?}");
         assert_eq!(report.committed, 2);
     }
@@ -355,7 +418,7 @@ mod tests {
         session.commit(late).unwrap();
         session.commit(early).unwrap();
         drop(session);
-        let report = verify_managers(&svc.shutdown());
+        let report = verify_certifiers(&svc.shutdown());
         assert!(report.is_correct(), "{report:?}");
         assert_eq!(report.committed, 2);
     }
@@ -418,7 +481,7 @@ mod tests {
         assert!(snap.committed > 0);
         let stats = svc.protocol_stats().unwrap();
         assert_eq!(stats.len(), shards);
-        let report = verify_managers(&svc.shutdown());
+        let report = verify_certifiers(&svc.shutdown());
         assert!(report.is_correct(), "{report:?}");
         assert_eq!(report.committed as u64, snap.committed);
     }
@@ -442,7 +505,7 @@ mod tests {
         let session = svc.session().unwrap();
         full_lifecycle_over(&session);
         drop(session);
-        assert!(verify_managers(&svc.shutdown()).is_correct());
+        assert!(verify_certifiers(&svc.shutdown()).is_correct());
 
         let events = recorder.drain();
         let trees = ks_obs::stitch_traces(&events);

@@ -12,7 +12,7 @@ use ks_core::Specification;
 use ks_kernel::{Schema, UniqueState};
 use ks_obs::{ObsKind, ObsSink, NO_TXN};
 use ks_protocol::manager::ProtocolStats;
-use ks_protocol::ProtocolManager;
+use ks_protocol::{Backend, Certifier, ProtocolManager, SsiCertifier, TplCertifier};
 use ks_wal::{Wal, WalConfig, WalRecord};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -33,16 +33,19 @@ pub(crate) struct Shared {
     pub(crate) trace_seq: std::sync::atomic::AtomicU64,
 }
 
-/// A concurrent multi-session transaction service over the KS protocol.
+/// A concurrent multi-session transaction service over a pluggable
+/// certification backend.
 ///
 /// Entities are partitioned across shard worker threads (see
-/// [`ShardMap`]); each worker owns a [`ProtocolManager`] over its
-/// sub-schema, so every protocol decision is made single-threaded while
+/// [`ShardMap`]); each worker owns a [`Certifier`] over its sub-schema —
+/// the paper's CPC [`ProtocolManager`] by default, or the SSI / 2PL
+/// backends via [`ServerConfig::backend`](crate::ServerConfig) — so
+/// every certification decision is made single-threaded while
 /// independent shards proceed in parallel. Sessions obtained from
 /// [`TxnService::session`] are the only client surface.
 pub struct TxnService {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<ProtocolManager>>,
+    workers: Vec<JoinHandle<Box<dyn Certifier>>>,
     flusher: Option<JoinHandle<()>>,
     recovery: Option<RecoveryReport>,
     wal: Option<Arc<WalShared>>,
@@ -135,12 +138,24 @@ impl TxnService {
                     .expect("recovered wal state violates the schema domain"),
                 None => map.sub_initial(shard, initial),
             };
-            let mut pm = ProtocolManager::new(sub_schema, &shard_initial, Specification::trivial());
+            let mut cert: Box<dyn Certifier> = match config.backend {
+                Backend::Cpc => Box::new(ProtocolManager::new(
+                    sub_schema,
+                    &shard_initial,
+                    Specification::trivial(),
+                )),
+                Backend::Ssi => Box::new(SsiCertifier::new_with_detection(
+                    sub_schema,
+                    &shard_initial,
+                    config.ssi_detect,
+                )),
+                Backend::TwoPl => Box::new(TplCertifier::new(sub_schema, &shard_initial)),
+            };
             // One ring per shard, shared by the worker's request spans and
-            // the manager's protocol decisions (both run on this thread).
+            // the certifier's protocol decisions (both run on this thread).
             let sink = config.recorder.as_ref().map(|r| r.sink(shard as u32));
             if let Some(s) = &sink {
-                pm.attach_obs(s.clone());
+                cert.attach_obs(s.clone());
                 if let Some(report) = &recovery {
                     let counters = report.replay.iter().find(|r| r.shard == shard as u32);
                     s.emit(
@@ -159,7 +174,7 @@ impl TxnService {
             });
             let metrics = Arc::clone(&metrics);
             workers.push(std::thread::spawn(move || {
-                worker::run(pm, rx, metrics, sink, wal)
+                worker::run(cert, rx, metrics, sink, wal)
             }));
             senders.push(tx);
         }
@@ -273,11 +288,16 @@ impl TxnService {
             .collect()
     }
 
+    /// The certification backend every shard of this service runs.
+    pub fn backend(&self) -> Backend {
+        self.shared.config.backend
+    }
+
     /// Stop accepting work, join every worker, and hand back the shard
-    /// managers so callers can extract model executions and verify them
+    /// certifiers so callers can re-verify their histories offline
     /// (see [`crate::verify`]). Requests still queued behind the shutdown
     /// marker are dropped; their sessions observe `Shutdown`.
-    pub fn shutdown(self) -> Vec<ProtocolManager> {
+    pub fn shutdown(self) -> Vec<Box<dyn Certifier>> {
         for sender in &self.shared.senders {
             let _ = sender.send(Routed {
                 enqueued: std::time::Instant::now(),
@@ -285,7 +305,7 @@ impl TxnService {
                 request: Request::Shutdown,
             });
         }
-        let managers: Vec<ProtocolManager> = self
+        let certifiers: Vec<Box<dyn Certifier>> = self
             .workers
             .into_iter()
             .map(|w| w.join().expect("shard worker panicked"))
@@ -295,6 +315,6 @@ impl TxnService {
         if let Some(flusher) = self.flusher {
             flusher.join().expect("group-commit flusher panicked");
         }
-        managers
+        certifiers
     }
 }

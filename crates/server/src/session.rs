@@ -87,27 +87,6 @@ impl Session {
         self.wire_trace.store(trace, Ordering::Relaxed);
     }
 
-    /// Define a transaction from its `(I_t, O_t)` specification.
-    #[deprecated(since = "0.2.0", note = "use `Client::open` with a `TxnBuilder`")]
-    pub fn define(&self, spec: &ks_core::Specification) -> Result<TxnHandle, ServerError> {
-        self.open(TxnBuilder::new(spec.clone()))
-    }
-
-    /// Like `define`, but ordered **after** the given sibling
-    /// transactions in the root's partial order.
-    #[deprecated(since = "0.2.0", note = "use `Client::open` with `TxnBuilder::after`")]
-    pub fn define_ordered(
-        &self,
-        spec: &ks_core::Specification,
-        after: &[TxnHandle],
-    ) -> Result<TxnHandle, ServerError> {
-        let mut builder = TxnBuilder::new(spec.clone());
-        for &h in after {
-            builder = builder.after(h);
-        }
-        self.open(builder)
-    }
-
     /// Drop a transaction's strategy override once its outcome is
     /// terminal (anything but a retryable error keeps the handle dead or
     /// done either way).
@@ -257,9 +236,20 @@ impl Client for Session {
 
     /// Open a transaction. The spec (global ids) picks the home shard;
     /// specs spanning shards — and ordering edges to transactions of
-    /// other shards — are rejected with [`ServerError::CrossShard`].
+    /// other shards — are rejected with [`ServerError::CrossShard`]. A
+    /// pinned backend expectation that disagrees with the service's
+    /// configured backend fails closed with
+    /// [`ServerError::BackendMismatch`].
     fn open(&self, txn: TxnBuilder<TxnHandle>) -> Result<TxnHandle, ServerError> {
-        let (spec, after, before, strategy) = txn.into_parts();
+        let (spec, after, before, strategy, backend) = txn.into_parts();
+        if let Some(expected) = backend {
+            let running = self.shared.config.backend;
+            if expected != running {
+                return Err(ServerError::BackendMismatch(format!(
+                    "client pinned {expected}, server runs {running}"
+                )));
+            }
+        }
         let shard = self.shared.map.home_shard(&spec)?;
         if after.iter().chain(&before).any(|h| h.shard != shard) {
             return Err(ServerError::CrossShard);

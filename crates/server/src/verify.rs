@@ -1,23 +1,30 @@
-//! Post-run correctness verification: drain the shard managers through
-//! [`ks_protocol::extract`] and check every shard's execution against the
-//! formal model with [`ks_core::check`].
+//! Post-run correctness verification: every shard certifier re-checks
+//! its own history offline against its backend's correctness criterion.
 //!
 //! This is the service's ground truth: whatever interleaving the workers
-//! served, the committed transactions of each shard must form a correct
-//! execution in the paper's sense (parent-based version function, input
-//! and output conditions, partial order).
+//! served, the committed transactions of each shard must satisfy what
+//! the backend promised. The CPC backend extracts a model execution
+//! ([`ks_protocol::extract`]) and checks the paper's parent-based
+//! criterion with `ks_core::check`; the SSI and 2PL backends promise
+//! *serializability*, so their recorded histories go through the
+//! Biswas–Enea-style conflict-graph check (`ks_protocol::history`) —
+//! polynomial and exact because the version order is known. Both paths
+//! run behind [`Certifier::verify_history`]; this module only aggregates
+//! per-shard verdicts into a service-level [`VerifyReport`].
 //!
 //! When a check fails **and** the run carried a flight recorder,
-//! [`verify_with_dump`] turns the failure into a [`ViolationDump`]: the
-//! full JSONL event stream plus, for each offending transaction, its
-//! causally-stitched timeline and the protocol decision that produced the
-//! bad state — the difference between "shard 0 failed" and "txn 2's input
-//! condition fails because version 1 of entity 0 was force-assigned".
+//! [`verify_certifiers_with_dump`] turns the failure into a
+//! [`ViolationDump`]: the full JSONL event stream plus, for each
+//! offending transaction, its causally-stitched timeline and the
+//! protocol decision that produced the bad state — the difference
+//! between "shard 0 failed" and "txn 2's input condition fails because
+//! version 1 of entity 0 was force-assigned".
 
-use ks_obs::{event_to_json, stitch, to_jsonl, Recorder, TxnTimeline};
-use ks_protocol::{extract, ProtocolManager, TxnState};
+use ks_obs::to_jsonl;
+use ks_obs::{event_to_json, stitch, Recorder, TxnTimeline};
+use ks_protocol::Certifier;
 
-/// Outcome of verifying a set of shard managers.
+/// Outcome of verifying a set of shard certifiers.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct VerifyReport {
     /// Shards checked.
@@ -39,56 +46,34 @@ impl VerifyReport {
     }
 }
 
-/// Verify the managers returned by
-/// [`TxnService::shutdown`](crate::TxnService::shutdown).
-pub fn verify_managers(managers: &[ProtocolManager]) -> VerifyReport {
+/// Verify the certifiers returned by
+/// [`TxnService::shutdown`](crate::TxnService::shutdown): each shard is
+/// checked by its backend's own offline oracle, and the verdicts are
+/// aggregated with shard-prefixed messages.
+pub fn verify_certifiers(certifiers: &[Box<dyn Certifier>]) -> VerifyReport {
     let mut report = VerifyReport {
-        shards: managers.len(),
+        shards: certifiers.len(),
         ..VerifyReport::default()
     };
-    for (shard, pm) in managers.iter().enumerate() {
-        match extract::model_execution(pm, pm.root()) {
-            Ok((txn, parent, exec)) => {
-                report.committed += txn.children().len();
-                let check = ks_core::check::check(pm.schema(), &txn, &parent, &exec);
-                if check.is_correct_parent_based() {
-                    continue;
-                }
-                // `inputs_ok[i]` indexes the committed children in slot
-                // order — the same order extraction used — so a false
-                // entry names a protocol node directly.
-                let committed: Vec<u32> = pm
-                    .children_of(pm.root())
-                    .unwrap_or_default()
-                    .into_iter()
-                    .filter(|&c| pm.state_of(c).ok() == Some(TxnState::Committed))
-                    .map(|c| c.0 as u32)
-                    .collect();
-                let mut named = false;
-                for (i, ok) in check.inputs_ok.iter().enumerate() {
-                    if *ok {
-                        continue;
-                    }
-                    let node = committed.get(i).copied().unwrap_or(u32::MAX);
-                    report.violations.push(format!(
-                        "shard {shard}: txn {node}: input condition fails on its \
-                         assigned version state"
-                    ));
-                    report.offenders.push((shard, node));
-                    named = true;
-                }
-                if !named {
-                    report
-                        .violations
-                        .push(format!("shard {shard}: model check failed: {check:?}"));
-                }
-            }
-            Err(e) => report
+    for (shard, cert) in certifiers.iter().enumerate() {
+        let verdict = cert.verify_history();
+        report.committed += verdict.committed;
+        for violation in verdict.violations {
+            report
                 .violations
-                .push(format!("shard {shard}: extraction failed: {e}")),
+                .push(format!("shard {shard}: {violation}"));
+        }
+        for node in verdict.offenders {
+            report.offenders.push((shard, node));
         }
     }
     report
+}
+
+/// Deprecated alias of [`verify_certifiers`], kept for one release.
+#[deprecated(since = "0.3.0", note = "use `verify_certifiers`")]
+pub fn verify_managers(certifiers: &[Box<dyn Certifier>]) -> VerifyReport {
+    verify_certifiers(certifiers)
 }
 
 /// A flight-recorder dump produced when verification fails.
@@ -106,11 +91,11 @@ pub struct ViolationDump {
 /// Verify, and on failure drain `recorder` into a [`ViolationDump`] whose
 /// summary names, per offender, the transaction, the entity, and the
 /// protocol decision event the failure traces back to.
-pub fn verify_with_dump(
-    managers: &[ProtocolManager],
+pub fn verify_certifiers_with_dump(
+    certifiers: &[Box<dyn Certifier>],
     recorder: &Recorder,
 ) -> (VerifyReport, Option<ViolationDump>) {
-    let report = verify_managers(managers);
+    let report = verify_certifiers(certifiers);
     if report.is_correct() {
         return (report, None);
     }
@@ -154,4 +139,14 @@ pub fn verify_with_dump(
         summary,
     };
     (report, Some(dump))
+}
+
+/// Deprecated alias of [`verify_certifiers_with_dump`], kept for one
+/// release.
+#[deprecated(since = "0.3.0", note = "use `verify_certifiers_with_dump`")]
+pub fn verify_with_dump(
+    certifiers: &[Box<dyn Certifier>],
+    recorder: &Recorder,
+) -> (VerifyReport, Option<ViolationDump>) {
+    verify_certifiers_with_dump(certifiers, recorder)
 }

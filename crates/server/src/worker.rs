@@ -1,12 +1,13 @@
-//! The per-shard worker: single-threaded owner of one protocol manager.
+//! The per-shard worker: single-threaded owner of one certifier.
 //!
 //! Each worker drains its shard's bounded request queue in arrival order
-//! and executes calls against its own [`ProtocolManager`], so the phased
-//! state machine never sees concurrent mutation. The worker never blocks
-//! on protocol outcomes — a validation that must wait or a read of an
-//! in-flight version replies [`ServerError::Busy`] and lets the session
-//! retry, because the transaction being waited on is served by this same
-//! queue.
+//! and executes calls against its own [`Certifier`] — the paper's CPC
+//! protocol manager, the SSI certifier, or the 2PL baseline, selected by
+//! `ServerConfig::backend` — so the phased state machine never sees
+//! concurrent mutation. The worker never blocks on protocol outcomes —
+//! a validation that must wait or a read of an in-flight version replies
+//! [`ServerError::Busy`] and lets the session retry, because the
+//! transaction being waited on is served by this same queue.
 //!
 //! Each wakeup drains up to [`DRAIN_MAX`] queued requests in one pass
 //! (one blocking `recv`, then non-blocking `try_recv`s), so under load
@@ -27,7 +28,7 @@ use ks_obs::{ObsKind, ObsSink, OpCode, SpanHop, NO_TXN};
 use ks_predicate::Strategy;
 use ks_protocol::manager::ProtocolStats;
 use ks_protocol::{
-    CommitOutcome, ProtocolManager, ReEvalAction, ReadOutcome, Txn, TxnState, ValidationOutcome,
+    Certifier, CommitOutcome, ReEvalAction, ReadOutcome, Txn, TxnState, ValidationOutcome,
 };
 use std::sync::Arc;
 use std::time::Instant;
@@ -133,44 +134,56 @@ impl Request {
 }
 
 /// The shared `ProtocolError` → `ServerError` conversion (see
-/// `crate::error`): every manager refusal becomes a `Rejected`.
+/// `crate::error`): certifier self-aborts surface as `ReEvalAborted`,
+/// lock conflicts as `Busy`, everything else as `Rejected`.
 fn reject(e: ks_protocol::ProtocolError) -> ServerError {
     ServerError::from(e)
 }
 
-/// A transaction aborted underneath its session (re-eval or cascade) is
-/// reported as such on its next call.
-fn precheck(pm: &ProtocolManager, txn: Txn) -> Result<(), ServerError> {
-    match pm.state_of(txn) {
+/// Convert and count a protocol refusal: a certifier killing the caller
+/// counts as an abort (like a re-eval victim), a retryable lock conflict
+/// counts as neither, and everything else is a rejection.
+fn reject_counted(metrics: &ServerMetrics, e: ks_protocol::ProtocolError) -> ServerError {
+    let err = reject(e);
+    match &err {
+        ServerError::ReEvalAborted => ServerMetrics::add(&metrics.reeval_aborts),
+        ServerError::Busy => {}
+        _ => ServerMetrics::add(&metrics.rejected),
+    }
+    err
+}
+
+/// A transaction aborted underneath its session (re-eval, cascade, or a
+/// certifier victim) is reported as such on its next call.
+fn precheck(cert: &dyn Certifier, txn: Txn) -> Result<(), ServerError> {
+    match cert.state_of(txn) {
         Ok(TxnState::Aborted) => Err(ServerError::ReEvalAborted),
         Ok(_) => Ok(()),
         Err(e) => Err(reject(e)),
     }
 }
 
-/// Execute one read against the manager (shared by `Read` and `OpBatch`).
+/// Execute one read against the certifier (shared by `Read` and
+/// `OpBatch`).
 fn exec_read(
-    pm: &mut ProtocolManager,
+    cert: &mut dyn Certifier,
     metrics: &ServerMetrics,
     txn: Txn,
     entity: EntityId,
 ) -> Result<Value, ServerError> {
-    precheck(pm, txn).and_then(|()| match pm.read(txn, entity) {
+    precheck(cert, txn).and_then(|()| match cert.read(txn, entity) {
         Ok(ReadOutcome::Value(v)) => Ok(v),
         Ok(ReadOutcome::Blocked(_)) => Err(ServerError::Busy),
-        Err(e) => {
-            ServerMetrics::add(&metrics.rejected);
-            Err(reject(e))
-        }
+        Err(e) => Err(reject_counted(metrics, e)),
     })
 }
 
-/// Execute one write against the manager (shared by `Write` and
+/// Execute one write against the certifier (shared by `Write` and
 /// `OpBatch`), counting re-eval consequences. An applied write logs its
-/// WAL record, followed by an `Abort` record for every re-eval victim
+/// WAL record, followed by an `Abort` record for every victim it felled
 /// (the log must witness the undo of anything it witnessed applied).
 fn exec_write(
-    pm: &mut ProtocolManager,
+    cert: &mut dyn Certifier,
     metrics: &ServerMetrics,
     wal: &Option<WorkerWal>,
     sink: &Option<ObsSink>,
@@ -178,7 +191,7 @@ fn exec_write(
     entity: EntityId,
     value: Value,
 ) -> Result<(), ServerError> {
-    precheck(pm, txn).and_then(|()| match pm.write(txn, entity, value) {
+    precheck(cert, txn).and_then(|()| match cert.write(txn, entity, value) {
         Ok(report) => {
             let mut aborted = Vec::new();
             for action in &report.reeval {
@@ -196,10 +209,7 @@ fn exec_write(
             }
             Ok(())
         }
-        Err(e) => {
-            ServerMetrics::add(&metrics.rejected);
-            Err(reject(e))
-        }
+        Err(e) => Err(reject_counted(metrics, e)),
     })
 }
 
@@ -219,19 +229,19 @@ fn emit_span(sink: &Option<ObsSink>, trace: u64, txn: u32, kind: ObsKind) {
 const DRAIN_MAX: usize = 32;
 
 /// Drain requests until shutdown (message or all senders gone); returns
-/// the manager for post-run extraction and model checking.
+/// the certifier for post-run history verification.
 ///
 /// Every dequeue records the request's queue wait; every reply records
 /// its execute time. With a sink attached, the two are also emitted as
 /// `Execute`/`Reply` events so a flight-recorder dump shows where each
 /// request's time went.
 pub(crate) fn run(
-    mut pm: ProtocolManager,
+    mut cert: Box<dyn Certifier>,
     requests: Receiver<Routed>,
     metrics: Arc<ServerMetrics>,
     sink: Option<ObsSink>,
     wal: Option<WorkerWal>,
-) -> ProtocolManager {
+) -> Box<dyn Certifier> {
     let mut drained: Vec<Routed> = Vec::with_capacity(DRAIN_MAX);
     'serve: loop {
         match requests.recv() {
@@ -302,11 +312,9 @@ pub(crate) fn run(
                     before,
                     reply,
                 } => {
-                    let root = pm.root();
-                    let result = pm.define(root, spec, &after, &before).map_err(|e| {
-                        ServerMetrics::add(&metrics.rejected);
-                        reject(e)
-                    });
+                    let result = cert
+                        .open(spec, &after, &before)
+                        .map_err(|e| reject_counted(&metrics, e));
                     if let (Some(w), Ok(txn)) = (&wal, &result) {
                         w.log_begin(txn.0 as u64, &sink);
                     }
@@ -332,7 +340,7 @@ pub(crate) fn run(
                         },
                     );
                     let result =
-                        precheck(&pm, txn).and_then(|()| match pm.validate(txn, strategy) {
+                        precheck(&*cert, txn).and_then(|()| match cert.validate(txn, strategy) {
                             Ok(ValidationOutcome::Validated) => Ok(()),
                             Ok(ValidationOutcome::Blocked(_))
                             | Ok(ValidationOutcome::MustWait(_)) => Err(ServerError::Busy),
@@ -342,10 +350,7 @@ pub(crate) fn run(
                                     "no version assignment satisfies the input predicate".into(),
                                 ))
                             }
-                            Err(e) => {
-                                ServerMetrics::add(&metrics.rejected);
-                                Err(reject(e))
-                            }
+                            Err(e) => Err(reject_counted(&metrics, e)),
                         });
                     let ok = result.is_ok();
                     emit_span(
@@ -362,7 +367,7 @@ pub(crate) fn run(
                     ok
                 }
                 Request::Read { txn, entity, reply } => {
-                    let result = exec_read(&mut pm, &metrics, txn, entity);
+                    let result = exec_read(&mut *cert, &metrics, txn, entity);
                     let ok = result.is_ok();
                     let _ = reply.send(result);
                     ok
@@ -373,7 +378,7 @@ pub(crate) fn run(
                     value,
                     reply,
                 } => {
-                    let result = exec_write(&mut pm, &metrics, &wal, &sink, txn, entity, value);
+                    let result = exec_write(&mut *cert, &metrics, &wal, &sink, txn, entity, value);
                     let ok = result.is_ok();
                     let _ = reply.send(result);
                     ok
@@ -384,10 +389,10 @@ pub(crate) fn run(
                         .iter()
                         .map(|op| match *op {
                             BatchOp::Read(entity) => {
-                                exec_read(&mut pm, &metrics, txn, entity).map(BatchReply::Value)
+                                exec_read(&mut *cert, &metrics, txn, entity).map(BatchReply::Value)
                             }
                             BatchOp::Write(entity, value) => {
-                                exec_write(&mut pm, &metrics, &wal, &sink, txn, entity, value)
+                                exec_write(&mut *cert, &metrics, &wal, &sink, txn, entity, value)
                                     .map(|()| BatchReply::Done)
                             }
                         })
@@ -410,7 +415,7 @@ pub(crate) fn run(
                             trace,
                         },
                     );
-                    let result = precheck(&pm, txn).and_then(|()| match pm.commit(txn) {
+                    let result = precheck(&*cert, txn).and_then(|()| match cert.commit(txn) {
                         Ok(CommitOutcome::Committed) => {
                             ServerMetrics::add(&metrics.committed);
                             Ok(())
@@ -420,7 +425,7 @@ pub(crate) fn run(
                         Ok(CommitOutcome::OutputViolated) => {
                             // The transaction cannot terminate successfully;
                             // abort it so its versions don't dangle.
-                            let cascaded = pm.abort(txn).unwrap_or_default();
+                            let cascaded = cert.abort(txn).unwrap_or_default();
                             if let Some(w) = &wal {
                                 let mut victims = vec![txn.0 as u64];
                                 victims.extend(cascaded.iter().map(|t| t.0 as u64));
@@ -430,8 +435,13 @@ pub(crate) fn run(
                             Err(ServerError::Rejected("output condition violated".into()))
                         }
                         Err(e) => {
-                            ServerMetrics::add(&metrics.rejected);
-                            Err(reject(e))
+                            // A certifier abort at commit (SSI FCW or a
+                            // dangerous structure) must reach the log too.
+                            let err = reject_counted(&metrics, e);
+                            if let (Some(w), ServerError::ReEvalAborted) = (&wal, &err) {
+                                w.log_aborts(&[txn.0 as u64], &sink);
+                            }
+                            Err(err)
                         }
                     });
                     let ok = result.is_ok();
@@ -468,9 +478,9 @@ pub(crate) fn run(
                 Request::Abort { txn, reply } => {
                     // Aborting an already-aborted transaction is a no-op ack,
                     // not an error: the session is acknowledging the doom.
-                    let result = match pm.state_of(txn) {
+                    let result = match cert.state_of(txn) {
                         Ok(TxnState::Aborted) => Ok(()),
-                        Ok(_) => match pm.abort(txn) {
+                        Ok(_) => match cert.abort(txn) {
                             Ok(cascaded) => {
                                 if let Some(w) = &wal {
                                     let mut victims = vec![txn.0 as u64];
@@ -488,7 +498,7 @@ pub(crate) fn run(
                     ok
                 }
                 Request::Stats { reply } => {
-                    let _ = reply.send(pm.stats());
+                    let _ = reply.send(cert.stats());
                     true
                 }
                 Request::Shutdown => {
@@ -525,5 +535,5 @@ pub(crate) fn run(
             );
         }
     }
-    pm
+    cert
 }

@@ -14,7 +14,7 @@ use ks_core::Specification;
 use ks_kernel::{Domain, EntityId, Schema, UniqueState};
 use ks_predicate::{Atom, Clause, CmpOp, Cnf, Strategy};
 use ks_server::{
-    verify_managers, Client, ServerConfig, ServerError, Session, TxnBuilder, TxnService,
+    verify_certifiers, Client, ServerConfig, ServerError, Session, TxnBuilder, TxnService,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -152,7 +152,7 @@ proptest! {
         prop_assert_eq!(committed, snap.committed);
         let stats = svc.protocol_stats().expect("stats before shutdown");
         let cascade_aborts: u64 = stats.iter().map(|s| s.cascade_aborts).sum();
-        let report = verify_managers(&svc.shutdown());
+        let report = verify_certifiers(&svc.shutdown());
         prop_assert!(report.is_correct(), "case {seed}: {:?}", report.violations);
         // A client-counted commit can later be undone: a commit "is only
         // relative to the parent", so when the author of a consumed

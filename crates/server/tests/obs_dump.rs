@@ -8,7 +8,7 @@ use ks_kernel::{Domain, EntityId, Schema, UniqueState};
 use ks_obs::{from_jsonl, ObsKind, Recorder};
 use ks_predicate::{parse_cnf, Cnf, Strategy};
 use ks_protocol::{CommitOutcome, ProtocolManager, ValidationOutcome};
-use ks_server::{verify_with_dump, Client, ServerConfig, TxnBuilder, TxnService};
+use ks_server::{verify_certifiers_with_dump, Client, ServerConfig, TxnBuilder, TxnService};
 
 fn one_entity_setup() -> (Schema, UniqueState) {
     let schema = Schema::uniform(["x"], Domain::Range { min: 0, max: 99 });
@@ -48,7 +48,8 @@ fn forced_misassignment_dump_names_txn_entity_and_decision() {
     pm.force_assign(victim, x, 1).unwrap();
     assert_eq!(pm.commit(victim).unwrap(), CommitOutcome::Committed);
 
-    let (report, dump) = verify_with_dump(&[pm], &recorder);
+    let certs: Vec<Box<dyn ks_protocol::Certifier>> = vec![Box::new(pm)];
+    let (report, dump) = verify_certifiers_with_dump(&certs, &recorder);
     assert!(!report.is_correct(), "the forced assignment must be caught");
     let victim_node = victim.0 as u32;
     assert!(
@@ -110,7 +111,8 @@ fn clean_runs_produce_no_dump() {
     pm.validate(t, Strategy::Backtracking).unwrap();
     pm.write(t, EntityId(0), 9).unwrap();
     pm.commit(t).unwrap();
-    let (report, dump) = verify_with_dump(&[pm], &recorder);
+    let certs: Vec<Box<dyn ks_protocol::Certifier>> = vec![Box::new(pm)];
+    let (report, dump) = verify_certifiers_with_dump(&certs, &recorder);
     assert!(report.is_correct(), "{report:?}");
     assert!(dump.is_none());
 }
@@ -166,7 +168,7 @@ fn service_with_recorder_captures_request_lifecycle() {
         .filter(|e| matches!(e.kind, ObsKind::Execute { .. }))
         .all(|e| e.shard == 0));
 
-    let (report, dump) = verify_with_dump(&managers, &recorder);
+    let (report, dump) = verify_certifiers_with_dump(&managers, &recorder);
     assert!(report.is_correct(), "{report:?}");
     assert!(dump.is_none());
 }

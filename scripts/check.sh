@@ -39,9 +39,15 @@ echo "== exp_obs teeth (full sampling vs an impossible budget must fail the gate
 cargo run --release -q -p ks-bench --bin exp_obs -- \
     --smoke --gate-sample 1.0 --max-overhead -1.0 --expect-fail
 
+echo "== exp_certifier --smoke (CPC vs SSI vs 2PL long-txn abort-rate shootout)"
+cargo run --release -q -p ks-bench --bin exp_certifier -- --smoke
+
+echo "== exp_certifier teeth (broken SSI detector must be caught by the offline checker)"
+cargo run --release -q -p ks-bench --bin exp_certifier -- --teeth
+
 echo "== validate_bench (BENCH_*.json schema + zero violations)"
 cargo run --release -q -p ks-bench --bin validate_bench -- \
-    BENCH_net.json BENCH_server.json BENCH_wal.json BENCH_obs.json
+    BENCH_net.json BENCH_server.json BENCH_wal.json BENCH_obs.json BENCH_certifier.json
 
 echo "== ks-dst (determinism + teeth + proto fuzz)"
 cargo test -q -p ks-dst
@@ -57,4 +63,4 @@ echo "== dst_smoke durability teeth (no commit-record flush ⇒ oracles must cat
 cargo run --release -q -p ks-bench --bin dst_smoke -- \
     --seeds 25 --disable commit-flush --expect-violation
 
-echo "OK: fmt, clippy, tests, obs wire round-trip, server smoke, net smoke, wal gate, obs gate, bench gate, dst gate all green"
+echo "OK: fmt, clippy, tests, obs wire round-trip, server smoke, net smoke, wal gate, obs gate, certifier gate, bench gate, dst gate all green"

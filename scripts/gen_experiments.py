@@ -28,6 +28,7 @@ BINARIES = [
     "exp_server_load",
     "exp_net_load",
     "exp_wal",
+    "exp_certifier",
 ]
 
 
@@ -260,8 +261,8 @@ run also emits `BENCH_server.json`, the machine-readable record that
 ## net-load — the same client API over loopback TCP
 
 *Beyond the paper:* `ks-net` puts the service behind a length-prefixed
-binary wire protocol (protocol v2: correlation ids, pipelining, `Batch`
-frames — see `docs/wire.md`). The experiment runs one deterministic
+binary wire protocol (protocol v3: correlation ids, pipelining, `Batch`
+frames, the certification-backend byte — see `docs/wire.md`). The experiment runs one deterministic
 closed-loop workload through the transport-generic driver: once with
 in-process `Session`s (the baseline), then over loopback-TCP
 `RemoteSession`s sweeping pipeline depth {{1, 4}} × op batching
@@ -303,6 +304,40 @@ Every run's extracted execution still passes the model checker.
 
 ```
 {exp_wal}
+```
+
+## certifier-shootout — CPC vs SSI vs 2PL on long-duration transactions
+
+*Paper (Sections 1–2):* serializability is ruinous for long-duration
+transactions — locking imposes waits as long as the transactions,
+certification-on-commit throws their work away — while the paper's
+predicate-based protocol admits exactly the correct non-serializable
+schedules those transactions need.
+*Measured:* the serving stack is generic over the
+`ks_protocol::Certifier` trait (`docs/certifiers.md`), so the *same*
+CAD-style workload — one transaction holding its reads open across
+rounds of hot-entity updates while short writers stream past — runs
+under the paper's CPC protocol, an SSI certifier (dangerous-structure
+detection + first-committer-wins), and strict 2PL (wait-or-die).
+The shape is exactly the paper's argument: **CPC commits the long
+transaction every round at a 0% long-txn abort rate** (later writers
+just create new versions; its reads stay pinned to assigned versions),
+**SSI aborts it every round (100%)** — the long writer always loses
+first-committer-wins against the short-writer stream — and **2PL
+commits it but stalls the short writers** on its read locks (their
+aborts below are wait-or-die deadlock victims plus retry-budget
+exhaustion, and short-txn throughput pays for the long reader's locks).
+Every run's history passes its backend's offline checker (CPC: the
+model check; SSI/2PL: conflict-graph acyclicity). `BENCH_certifier.json`
+records the curves; `validate_bench` enforces the directional gate
+(SSI's long-txn abort rate must exceed CPC's by ≥0.2), and
+`exp_certifier --teeth` proves the offline checker catches a broken
+SSI (detection off) admitting write skew. Abort *rates* are
+certification logic and deterministic in shape; throughput and
+percentiles vary by machine.
+
+```
+{exp_certifier}
 ```
 
 ## recovery-classes — RC / ACA / ST of committed traces
