@@ -24,7 +24,14 @@
 //!   (`cpc`, `ssi`, `2pl`) and a `gate` object whose mandatory `pass`
 //!   verdict asserts SSI's long-transaction abort rate exceeds CPC's by
 //!   the margin (abort rates are certification logic, not wall-clock,
-//!   so smoke runs carry the verdict too).
+//!   so smoke runs carry the verdict too);
+//! * `conn_scale` reports additionally: a positive `idle_connections`
+//!   count, a `gate` object with a positive `p99_ratio` (full-size runs
+//!   record a `pass` verdict against the idle-horde latency gate that
+//!   must then be `true`), and a `mem` object with the RSS-delta fields
+//!   and a mandatory `pass` verdict against the per-connection memory
+//!   budget (RSS accounting is not wall-clock noise, so smoke runs
+//!   carry it too).
 //!
 //! Usage: `validate_bench BENCH_net.json [BENCH_server.json ...]`
 
@@ -93,6 +100,61 @@ fn validate(name: &str, doc: &Json, errors: &mut Vec<String>) {
                 let gate = ratio.get("gate").and_then(Json::as_f64).unwrap_or(f64::NAN);
                 err(format!("throughput ratio {r:.2} is below the {gate} gate"));
             }
+        }
+    }
+    if bench == "conn_scale" {
+        match doc.get("idle_connections").and_then(Json::as_f64) {
+            Some(n) if n > 0.0 => {}
+            Some(n) => err(format!("idle_connections = {n} (must be > 0)")),
+            None => err("missing numeric \"idle_connections\"".to_string()),
+        }
+        let Some(gate) = doc.get("gate") else {
+            err("conn_scale report missing \"gate\" object".to_string());
+            return;
+        };
+        let ratio = gate.get("p99_ratio").and_then(Json::as_f64);
+        match ratio {
+            Some(r) if r > 0.0 => {}
+            Some(r) => err(format!("gate.p99_ratio = {r} (must be > 0)")),
+            None => err("gate missing numeric \"p99_ratio\"".to_string()),
+        }
+        // Full-size runs record the latency verdict; smoke runs omit it
+        // (CI timing proves nothing).
+        if let Some(pass) = gate.get("pass").and_then(Json::as_bool) {
+            if !pass {
+                let g = gate
+                    .get("p99_ratio_gate")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(f64::NAN);
+                err(format!(
+                    "idle-horde p99 ratio {:.2} exceeds the {g} gate",
+                    ratio.unwrap_or(f64::NAN)
+                ));
+            }
+        }
+        let Some(mem) = doc.get("mem") else {
+            err("conn_scale report missing \"mem\" object".to_string());
+            return;
+        };
+        for key in ["rss_delta_bytes", "per_conn_bytes", "budget_bytes"] {
+            if mem.get(key).and_then(Json::as_f64).is_none() {
+                err(format!("mem missing numeric \"{key}\""));
+            }
+        }
+        // Memory accounting is not wall-clock noise, so the verdict is
+        // mandatory — smoke runs included.
+        match mem.get("pass").and_then(Json::as_bool) {
+            Some(true) => {}
+            Some(false) => err(format!(
+                "idle-horde RSS delta {} exceeds the {} budget",
+                mem.get("rss_delta_bytes")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(f64::NAN),
+                mem.get("budget_bytes")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(f64::NAN)
+            )),
+            None => err("mem missing boolean \"pass\"".to_string()),
         }
     }
     if bench == "obs" {

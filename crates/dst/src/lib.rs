@@ -16,7 +16,7 @@
 //!   shifts the randomness of the steps it keeps.
 //! * [`link`] — the simulated [`World`](link::World) and the
 //!   [`SimLink`](link::SimLink) transport: drops, duplicates, trickled
-//!   frames, resets, forged server timeouts, and whole-server
+//!   frames, readiness starvation, resets, forged server timeouts, and whole-server
 //!   crash-restarts against WAL-backed simulated storage with torn
 //!   unsynced tails, all byte-exact against the production frame reader.
 //! * [`run`] — the single-threaded driver and the post-run oracles,

@@ -7,8 +7,9 @@
 //! [`ConnCore::handle`] — the exact code the TCP server runs. Clients are
 //! real [`RemoteSession`](ks_net::RemoteSession)s whose [`Transport`] is
 //! a [`SimLink`]: writing a frame hands it to the world, which applies
-//! the current fault directive (drop, duplicate, trickle, reset, forged
-//! server timeout) and pumps the server synchronously; reading serves the
+//! the current fault directive (drop, duplicate, trickle, readiness
+//! starvation, reset, forged server timeout) and pumps the server
+//! synchronously; reading serves the
 //! in-memory inbox or fails with `WouldBlock`, which the client maps to a
 //! deadline expiry exactly as it would on a socket.
 //!
@@ -497,6 +498,28 @@ impl World {
                     bytes.len()
                 ));
                 self.deliver(conn, &bytes, &cuts, true);
+            }
+            Some(Fault::Starve { ticks }) => {
+                // Readiness starvation: the whole frame arrives (the
+                // connection is readable) but the event loop does not
+                // schedule it — the bytes sit in the receive buffer with
+                // no pump while the clock runs, exactly a busy I/O
+                // thread servicing other connections. When the loop
+                // finally gets to it, the frame must decode intact and
+                // the request execute normally.
+                self.note(format!(
+                    "conn {conn}: request STARVED ({}B readable, unscheduled \
+                     for {ticks} ticks)",
+                    bytes.len()
+                ));
+                {
+                    let mut rx = self.conns[conn].rx.borrow_mut();
+                    rx.buf.extend(&bytes);
+                    rx.budget += bytes.len();
+                }
+                self.clock += u64::from(ticks);
+                self.note(format!("conn {conn}: starved bytes finally scheduled"));
+                self.pump(conn, true);
             }
             Some(Fault::ServerTimeoutApplied) => {
                 self.note(format!(

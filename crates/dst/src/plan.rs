@@ -72,6 +72,17 @@ pub enum Fault {
     /// is applied, the server reaps the connection (running its
     /// abort-on-disconnect sweep), the client poisons and reconnects.
     Reset,
+    /// Readiness starvation: the request's bytes arrive and the
+    /// connection is *readable*, but the event loop does not schedule it
+    /// for `ticks` logical ticks (a busy I/O thread servicing other
+    /// connections), after which it is finally serviced and the request
+    /// executes normally. Models the poll-loop hazard where a ready
+    /// connection sits unserviced behind its neighbours — the bytes must
+    /// survive the wait intact and the reply must still come.
+    Starve {
+        /// Ticks the readable connection goes unscheduled (≥ 1).
+        ticks: u8,
+    },
     /// A whole-server power cut *after* the step's op completes: the
     /// step's request (and its ack) go through cleanly, then the
     /// simulated storage loses a torn suffix of its unsynced bytes, every
@@ -93,7 +104,10 @@ impl Fault {
     /// whose op nevertheless ended in a transport timeout (that is how a
     /// frame-reassembly desync presents when no bytes were corrupted).
     pub fn is_benign(self) -> bool {
-        matches!(self, Fault::DupRequest | Fault::Trickle { .. })
+        matches!(
+            self,
+            Fault::DupRequest | Fault::Trickle { .. } | Fault::Starve { .. }
+        )
     }
 }
 
@@ -457,7 +471,7 @@ pub fn generate(seed: u64) -> RunPlan {
             // do: the directive arms on the burst's *first* frame, so a
             // Reset leaves the rest of the burst writing into a dead
             // connection and a Trickle straddles a frame mid-burst.
-            Some(match rng.below(6) {
+            Some(match rng.below(7) {
                 0 => Fault::DropRequest,
                 1 => Fault::DropResponse,
                 2 => Fault::Trickle {
@@ -466,10 +480,13 @@ pub fn generate(seed: u64) -> RunPlan {
                 },
                 3 => Fault::Reset,
                 4 => Fault::ServerTimeoutApplied,
+                5 => Fault::Starve {
+                    ticks: 1 + rng.index(8) as u8,
+                },
                 _ => Fault::ServerTimeoutLost,
             })
         } else if rng.below(100) < FAULT_PCT {
-            Some(match rng.below(7) {
+            Some(match rng.below(8) {
                 0 => Fault::DropRequest,
                 1 => Fault::DropResponse,
                 2 => Fault::DupRequest,
@@ -479,6 +496,9 @@ pub fn generate(seed: u64) -> RunPlan {
                 },
                 4 => Fault::ServerTimeoutApplied,
                 5 => Fault::ServerTimeoutLost,
+                6 => Fault::Starve {
+                    ticks: 1 + rng.index(8) as u8,
+                },
                 _ => Fault::Reset,
             })
         } else {
@@ -578,6 +598,23 @@ mod tests {
                 .count();
         }
         assert!(crashes > 0, "generator never emits crash-restart steps");
+    }
+
+    #[test]
+    fn plans_cover_starve_steps() {
+        let mut starves = 0usize;
+        for seed in 0..20u64 {
+            for step in generate(seed).steps {
+                if let Some(Fault::Starve { ticks }) = step.fault {
+                    assert!(ticks >= 1, "a starve must last at least one tick");
+                    starves += 1;
+                }
+            }
+        }
+        assert!(
+            starves > 0,
+            "generator never emits readiness-starvation steps"
+        );
     }
 
     #[test]

@@ -32,12 +32,20 @@
 //!   lifecycle, batch coalescing into per-transaction runs,
 //!   abort-on-disconnect sweep) shared by the TCP server and the
 //!   simulator, so both drive identical server-side logic.
-//! * [`server`] — [`NetServer`]: an accept loop embedding a
-//!   `TxnService`, one reader + handler thread pair per connection, a
-//!   bounded in-flight window per connection (the server answers
-//!   pipelined requests in arrival order, echoing each request's
-//!   correlation id, and coalesces reply flushes), and a graceful drain
-//!   shutdown that hands back the shard managers for model-checking.
+//! * [`poll`] — the readiness plumbing under the server: a small epoll
+//!   wrapper (level-triggered `Poller` + eventfd `Waker`), the bounded
+//!   frame-decode `BufferPool`, and the `/proc` probes the
+//!   connection-scale gates measure with.
+//! * [`server`] — [`NetServer`]: a readiness-based event loop embedding
+//!   a `TxnService` — a fixed pool of I/O threads multiplexing all
+//!   connections (nonblocking sockets, incremental pooled frame decode,
+//!   backpressured nonblocking writes) feeding a fixed executor pool
+//!   that runs the blocking request handling, with a bounded in-flight
+//!   window per connection (the server answers pipelined requests in
+//!   arrival order, echoing each request's correlation id, and coalesces
+//!   reply flushes) and a graceful drain shutdown that hands back the
+//!   shard certifiers for model-checking. Scales to 10k+ mostly-idle
+//!   connections per process.
 //! * [`client`] — [`RemoteSession`]: connect timeouts, per-request
 //!   deadlines, bounded jittered retry/backoff on transient errors,
 //!   fail-fast poisoning after transport faults, and correlation-id
@@ -57,6 +65,7 @@
 
 pub mod client;
 pub mod conn;
+pub mod poll;
 pub mod server;
 pub mod transport;
 pub mod wire;

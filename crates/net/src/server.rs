@@ -1,32 +1,58 @@
-//! The TCP front end: accept loop, per-connection handler threads,
-//! bounded in-flight windows, graceful drain.
+//! The TCP front end: a readiness-based event loop scaled to tens of
+//! thousands of connections.
 //!
-//! Each accepted connection gets two threads: a *reader* that decodes
-//! frames off the socket into a bounded channel (the in-flight window —
-//! a client that pipelines more than `window` requests blocks in TCP
-//! backpressure instead of ballooning server memory) and a *handler*
-//! that executes requests through the transport-agnostic
-//! [`ConnCore`](crate::conn::ConnCore) and writes replies in request
-//! order. Wire-visible transaction ids are connection-scoped `u64`s
-//! mapped to in-process handles inside the core, so server handles never
-//! cross the wire.
+//! Architecture (replacing the old two-threads-per-connection design,
+//! whose thread-spawn cost capped concurrency — ROADMAP item 2):
 //!
-//! Shutdown drains: stop accepting, let readers notice the stop flag at
-//! their next read-timeout tick, give in-flight requests up to the drain
-//! timeout to complete, force-close stragglers, join everything, then
-//! shut the embedded [`TxnService`] down and hand back its shard
-//! managers for verification.
+//! * A fixed pool of **I/O threads** ([`NetConfig::io_threads`]), each
+//!   owning one epoll [`Poller`](crate::poll::Poller) that multiplexes
+//!   its share of the connections (round-robin assignment at accept; the
+//!   listener itself is a registration on the first I/O thread, so there
+//!   is no dedicated acceptor). Sockets are nonblocking; frame decode
+//!   runs the incremental [`FrameState`](crate::wire::FrameState)
+//!   machine, so a frame that straddles readiness ticks is resumed, not
+//!   restarted, and payload buffers come from a shared bounded
+//!   [`BufferPool`](crate::poll::BufferPool) — an idle connection holds
+//!   *no* decode buffer, which is what keeps 10k+ mostly-idle
+//!   connections cheap.
+//! * A fixed pool of **executor threads** ([`NetConfig::executors`]) that
+//!   run the blocking part: decoded frames queue into a per-connection
+//!   FIFO inbox, a connection with pending work is scheduled onto the
+//!   executor pool (at most once at a time, so requests on one
+//!   connection stay in order), and the executor drives the unchanged
+//!   transport-agnostic [`ConnCore`](crate::conn::ConnCore) — blocking
+//!   session calls (commit barriers, WAL group-commit fsyncs) therefore
+//!   never stall an I/O thread.
+//! * **Nonblocking writes with per-connection backpressure.** Replies
+//!   append to a per-connection output buffer flushed opportunistically
+//!   by the executor and drained via `EPOLLOUT` when the socket pushes
+//!   back. The buffer is bounded by the in-flight window: a request
+//!   counts against the window until its reply bytes are buffered, and
+//!   the I/O thread stops *reading* a connection at the window — so at
+//!   most `window` replies (≤ `MAX_FRAME` each) can ever sit in one
+//!   connection's output queue, and a client that pipelines deeper
+//!   blocks in TCP backpressure instead of ballooning server memory.
+//!
+//! Wire-visible transaction ids are connection-scoped `u64`s mapped to
+//! in-process handles inside the core, so server handles never cross the
+//! wire. Shutdown drains: stop accepting, enqueue a close behind every
+//! connection's already-buffered requests, give in-flight work up to the
+//! drain timeout, force-close stragglers, join both pools, then shut the
+//! embedded [`TxnService`] down and hand back its shard certifiers for
+//! verification.
 
 use crate::conn::{handshake_reply, ConnAction, ConnCore, ConnHost};
-use crate::wire::{self, read_frame, write_frame, FrameProgress, FrameReader, Response};
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crate::poll::{BufferPool, Events, Interest, Poller, PoolStats, Waker};
+use crate::wire::{self, FrameProgress, FrameState, Response};
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use ks_obs::{ObsEvent, ObsKind, ObsSink, Recorder, NO_TXN};
 use ks_protocol::Certifier;
 use ks_server::{Backend, MetricsSnapshot, ServerError, TxnService};
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::io::{BufReader, BufWriter, Write as _};
+use std::io::Write as _;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -35,12 +61,14 @@ use std::time::{Duration, Instant};
 /// [`ServerConfig`](ks_server::ServerConfig)).
 #[derive(Clone)]
 pub struct NetConfig {
-    /// Per-connection in-flight request window: how many decoded,
-    /// not-yet-answered requests the server buffers before it stops
-    /// reading the socket.
+    /// Per-connection in-flight request window: how many decoded
+    /// requests may be awaiting execution or reply flush before the I/O
+    /// thread stops reading the socket. Also bounds the reply output
+    /// buffer (see the module docs).
     pub window: usize,
-    /// How long the reader sleeps in `read` before re-checking the stop
-    /// flag; bounds shutdown latency for idle connections.
+    /// The I/O threads' readiness-wait timeout: bounds how stale the
+    /// stop flag and the handshake-deadline scan can get on a fully idle
+    /// server. Traffic wakes the loop immediately regardless.
     pub poll_interval: Duration,
     /// How long [`NetServer::shutdown`] waits for in-flight connections
     /// to drain before force-closing them.
@@ -49,6 +77,26 @@ pub struct NetConfig {
     /// / [`ObsKind::ConnClosed`]); usually the same recorder the embedded
     /// service uses.
     pub recorder: Option<Recorder>,
+    /// I/O threads multiplexing the connections (min 1).
+    pub io_threads: usize,
+    /// Executor threads running blocking request handling (min 1).
+    /// Sizes the number of *concurrent* blocking calls — e.g. commits
+    /// rendezvousing in one WAL group-commit barrier.
+    pub executors: usize,
+    /// Free-list capacity of the shared frame-decode [`BufferPool`]:
+    /// bounds pooled buffers retained across requests. Live decode
+    /// memory is bounded by frames concurrently in flight, not by the
+    /// connection count.
+    pub pool_buffers: usize,
+    /// Teeth knob: when nonzero, every connection pins a private decode
+    /// scratch of this many (resident) bytes for its lifetime instead of
+    /// borrowing from the shared pool — the naive per-connection-buffer
+    /// sizing the pool replaces. Exists so the connection-scale bench
+    /// can prove its memory gate actually trips; leave 0 in production.
+    pub pinned_buffers: usize,
+    /// How long a fresh connection may sit without completing the Hello
+    /// handshake before the server closes it.
+    pub handshake_timeout: Duration,
 }
 
 impl Default for NetConfig {
@@ -58,6 +106,11 @@ impl Default for NetConfig {
             poll_interval: Duration::from_millis(50),
             drain_timeout: Duration::from_secs(5),
             recorder: None,
+            io_threads: 2,
+            executors: 8,
+            pool_buffers: 256,
+            pinned_buffers: 0,
+            handshake_timeout: Duration::from_secs(5),
         }
     }
 }
@@ -133,21 +186,139 @@ impl TraceBuf {
     }
 }
 
+/// One unit of per-connection work for the executor pool.
+enum Work {
+    /// A decoded frame payload (returned to the buffer pool afterwards).
+    Frame(Vec<u8>),
+    /// The connection is going away: run the abort-on-disconnect sweep
+    /// and release the session. Always the last item in a FIFO, so
+    /// already-buffered requests finish first (graceful drain).
+    Close,
+}
+
+/// The per-connection FIFO between the I/O thread and the executors.
+struct Inbox {
+    queue: VecDeque<Work>,
+    /// The connection is on (or running in) the executor pool. At most
+    /// one executor drains a connection at a time — this is what keeps
+    /// replies in request order.
+    scheduled: bool,
+    /// Requests decoded but not yet answered-and-buffered. The I/O
+    /// thread pauses reading at [`NetConfig::window`].
+    in_flight: usize,
+    /// No further frames will be queued (close pending or done).
+    closing: bool,
+}
+
+/// The reply output buffer, drained nonblockingly by whoever holds the
+/// lock (executor appends flush opportunistically; the I/O thread drains
+/// the rest on `EPOLLOUT`).
+struct OutBuf {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already written to the socket.
+    pos: usize,
+    /// The last flush hit `WouldBlock`: `EPOLLOUT` is (being) armed.
+    want_write: bool,
+    /// Finalize the connection once the buffer drains.
+    close_after_flush: bool,
+    /// The socket is broken; stop buffering, drop what is left.
+    error: bool,
+}
+
+impl OutBuf {
+    fn is_drained(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+}
+
+/// Executor phase of one connection.
+enum Phase {
+    /// Nothing allocated server-side until a well-formed Hello arrives.
+    Handshake,
+    /// Handshake done: a live session behind the unchanged request core.
+    Open(ConnCore),
+    /// Swept; the session is released.
+    Finished,
+}
+
+/// Connection state shared between its I/O thread and the executors.
+/// Split into three independently locked pieces so the I/O thread never
+/// waits on a lock held across a blocking session call: `exec` (the only
+/// lock held during request handling) is touched exclusively by
+/// executors, serialized by `Inbox::scheduled`.
+struct ConnShared {
+    id: u64,
+    /// Index of the owning I/O thread (for executor → I/O pokes).
+    io: usize,
+    stream: TcpStream,
+    inbox: Mutex<Inbox>,
+    exec: Mutex<Phase>,
+    out: Mutex<OutBuf>,
+    /// The executor ran the close sweep; the I/O thread may finalize.
+    swept: AtomicBool,
+    /// Handshake completed (read by the I/O thread's deadline scan).
+    hello_done: AtomicBool,
+}
+
+/// What rides the executor queue.
+enum ExecItem {
+    Conn(Arc<ConnShared>),
+    Exit,
+}
+
+/// Cross-thread mailbox of one I/O thread.
+struct IoShared {
+    inbox: Mutex<IoInbox>,
+    waker: Waker,
+}
+
+#[derive(Default)]
+struct IoInbox {
+    /// Freshly accepted connections to register.
+    adopt: Vec<Arc<ConnShared>>,
+    /// Connection ids whose readiness bookkeeping needs a second look
+    /// (resume reading, arm `EPOLLOUT`, finalize).
+    attention: Vec<u64>,
+}
+
 struct NetShared {
     service: Mutex<Option<TxnService>>,
     stop: AtomicBool,
+    /// Set after drain/force-close: I/O threads exit their loops.
+    halt: AtomicBool,
     active: AtomicUsize,
-    /// Write halves of live connections, for force-close at drain expiry.
-    conns: Mutex<HashMap<u64, TcpStream>>,
-    handlers: Mutex<Vec<JoinHandle<()>>>,
+    /// Every live connection, for force-close and the final sweep.
+    registry: Mutex<HashMap<u64, Arc<ConnShared>>>,
     config: NetConfig,
     obs: Option<ObsSink>,
     traces: Mutex<TraceBuf>,
+    pool: BufferPool,
+    io: Vec<Arc<IoShared>>,
+    exec_tx: Sender<ExecItem>,
+    next_conn: AtomicU64,
 }
 
 impl NetShared {
     fn with_service<T>(&self, f: impl FnOnce(&TxnService) -> T) -> Option<T> {
         self.service.lock().unwrap().as_ref().map(f)
+    }
+
+    /// Ask a connection's I/O thread to re-evaluate it.
+    fn poke(&self, conn: &ConnShared) {
+        let io = &self.io[conn.io];
+        let mut inbox = io.inbox.lock().unwrap();
+        let was_idle = inbox.attention.is_empty() && inbox.adopt.is_empty();
+        inbox.attention.push(conn.id);
+        drop(inbox);
+        if was_idle {
+            io.waker.wake();
+        }
+    }
+
+    fn emit_closed(&self, id: u64) {
+        if let Some(obs) = &self.obs {
+            obs.emit(NO_TXN, ObsKind::ConnClosed { conn: id as u32 });
+        }
     }
 }
 
@@ -182,8 +353,17 @@ impl ConnHost for NetHost<'_> {
 pub struct NetServer {
     shared: Arc<NetShared>,
     addr: SocketAddr,
-    accept: Option<JoinHandle<()>>,
+    io_handles: Vec<JoinHandle<()>>,
+    exec_handles: Vec<JoinHandle<()>>,
 }
+
+/// Poller token of an I/O thread's waker eventfd.
+const TOKEN_WAKER: u64 = 0;
+/// Poller token of the listener (first I/O thread only).
+const TOKEN_LISTEN: u64 = 1;
+/// Connection ids start here so their tokens never collide with the
+/// fixed tokens above (token == connection id).
+const FIRST_CONN_ID: u64 = 2;
 
 impl NetServer {
     /// Bind `addr` (use port 0 for an ephemeral port) and start serving
@@ -191,29 +371,63 @@ impl NetServer {
     pub fn start(service: TxnService, addr: &str, config: NetConfig) -> std::io::Result<NetServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        // Nonblocking accepts polled against the stop flag: shutdown must
-        // never depend on being able to dial our own bound address (which
-        // fails for e.g. a 0.0.0.0 bind behind a local firewall).
         listener.set_nonblocking(true)?;
         let obs = config.recorder.as_ref().map(|r| r.sink(u32::MAX));
+
+        let io_threads = config.io_threads.max(1);
+        let executors = config.executors.max(1);
+        let mut pollers = Vec::with_capacity(io_threads);
+        let mut io = Vec::with_capacity(io_threads);
+        for _ in 0..io_threads {
+            let poller = Poller::new()?;
+            let waker = Waker::new(&poller, TOKEN_WAKER)?;
+            pollers.push(poller);
+            io.push(Arc::new(IoShared {
+                inbox: Mutex::new(IoInbox::default()),
+                waker,
+            }));
+        }
+        pollers[0].register(listener.as_raw_fd(), TOKEN_LISTEN, Interest::READ)?;
+
+        let (exec_tx, exec_rx) = unbounded::<ExecItem>();
+        let pool = BufferPool::new(config.pool_buffers);
         let shared = Arc::new(NetShared {
             service: Mutex::new(Some(service)),
             stop: AtomicBool::new(false),
+            halt: AtomicBool::new(false),
             active: AtomicUsize::new(0),
-            conns: Mutex::new(HashMap::new()),
-            handlers: Mutex::new(Vec::new()),
+            registry: Mutex::new(HashMap::new()),
             config,
             obs,
             traces: Mutex::new(TraceBuf::new()),
+            pool,
+            io,
+            exec_tx,
+            next_conn: AtomicU64::new(FIRST_CONN_ID),
         });
-        let accept = {
-            let shared = Arc::clone(&shared);
-            std::thread::spawn(move || accept_loop(listener, shared))
-        };
+
+        let mut listener = Some(listener);
+        let io_handles = pollers
+            .into_iter()
+            .enumerate()
+            .map(|(idx, poller)| {
+                let shared = Arc::clone(&shared);
+                let listener = if idx == 0 { listener.take() } else { None };
+                std::thread::spawn(move || io_loop(idx, poller, listener, &shared))
+            })
+            .collect();
+        let exec_handles = (0..executors)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let rx = exec_rx.clone();
+                std::thread::spawn(move || exec_loop(&rx, &shared))
+            })
+            .collect();
         Ok(NetServer {
             shared,
             addr,
-            accept: Some(accept),
+            io_handles,
+            exec_handles,
         })
     }
 
@@ -227,33 +441,74 @@ impl NetServer {
         self.shared.active.load(Ordering::Relaxed)
     }
 
-    /// Graceful shutdown: stop accepting, drain in-flight connections up
-    /// to the drain timeout, force-close stragglers, stop the embedded
-    /// service, and return its shard certifiers for verification (see
+    /// Connections currently registered with the pollers — equals
+    /// [`NetServer::connections`] in steady state; the connection-churn
+    /// tests assert it returns to baseline (no leaked registrations).
+    pub fn registrations(&self) -> usize {
+        self.shared.registry.lock().unwrap().len()
+    }
+
+    /// Counters of the shared frame-decode buffer pool.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.shared.pool.stats()
+    }
+
+    /// Graceful shutdown: stop accepting, enqueue a close behind every
+    /// connection's buffered requests, drain up to the drain timeout,
+    /// force-close stragglers, stop the embedded service, and return its
+    /// shard certifiers for verification (see
     /// [`ks_server::verify_certifiers`]).
-    pub fn shutdown(mut self) -> Vec<Box<dyn Certifier>> {
-        self.shared.stop.store(true, Ordering::SeqCst);
-        // The accept loop polls nonblockingly, so it notices the flag on
-        // its next tick — no wake-up connection needed.
-        if let Some(h) = self.accept.take() {
-            let _ = h.join();
+    pub fn shutdown(self) -> Vec<Box<dyn Certifier>> {
+        let shared = &self.shared;
+        shared.stop.store(true, Ordering::SeqCst);
+        for io in &shared.io {
+            io.waker.wake();
         }
-        // Drain: readers notice `stop` within one poll interval, handlers
-        // finish what is already windowed, connections close.
-        let deadline = Instant::now() + self.shared.config.drain_timeout;
-        while self.shared.active.load(Ordering::Relaxed) > 0 && Instant::now() < deadline {
+        // Drain: I/O threads stop reading and queue closes behind
+        // whatever is already windowed; executors finish it.
+        let deadline = Instant::now() + shared.config.drain_timeout;
+        while shared.active.load(Ordering::Relaxed) > 0 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(5));
         }
-        // Force-close anything still open past the deadline.
-        for (_, stream) in self.shared.conns.lock().unwrap().drain() {
-            let _ = stream.shutdown(Shutdown::Both);
+        // Force-close anything still open past the deadline; pending
+        // writes fail over to the error path and unblock the pools.
+        for conn in shared.registry.lock().unwrap().values() {
+            let _ = conn.stream.shutdown(Shutdown::Both);
         }
-        let handlers = std::mem::take(&mut *self.shared.handlers.lock().unwrap());
-        for h in handlers {
+        for _ in &self.exec_handles {
+            let _ = shared.exec_tx.send(ExecItem::Exit);
+        }
+        for h in self.exec_handles {
             let _ = h.join();
         }
-        let service = self
-            .shared
+        shared.halt.store(true, Ordering::SeqCst);
+        for io in &shared.io {
+            io.waker.wake();
+        }
+        for h in self.io_handles {
+            let _ = h.join();
+        }
+        // Final sweep: anything the pools did not finalize (force-closed
+        // mid-request, or queued work dropped at executor exit) still
+        // must not leak locks or sessions.
+        let leftovers: Vec<Arc<ConnShared>> = shared
+            .registry
+            .lock()
+            .unwrap()
+            .drain()
+            .map(|(_, c)| c)
+            .collect();
+        for conn in leftovers {
+            let mut phase = conn.exec.lock().unwrap();
+            if let Phase::Open(core) = &mut *phase {
+                core.abort_open_txns();
+            }
+            *phase = Phase::Finished;
+            drop(phase);
+            shared.emit_closed(conn.id);
+            shared.active.fetch_sub(1, Ordering::SeqCst);
+        }
+        let service = shared
             .service
             .lock()
             .unwrap()
@@ -263,207 +518,615 @@ impl NetServer {
     }
 }
 
-/// How often the (nonblocking) accept loop re-checks the stop flag when
-/// no connection is pending. Short enough that connection setup adds no
-/// measurable latency (pending accepts drain back-to-back without
-/// sleeping); it also bounds the acceptor's shutdown latency.
-const ACCEPT_POLL: Duration = Duration::from_millis(1);
+// ---------------------------------------------------------------------
+// I/O threads
+// ---------------------------------------------------------------------
 
-fn accept_loop(listener: TcpListener, shared: Arc<NetShared>) {
-    let mut next_conn: u64 = 0;
-    while !shared.stop.load(Ordering::SeqCst) {
+/// Per-connection state owned by its I/O thread alone (never locked).
+struct IoConn {
+    shared: Arc<ConnShared>,
+    /// Incremental frame decode, surviving readiness ticks mid-frame.
+    state: FrameState,
+    /// Interest currently registered with the poller.
+    interest: Interest,
+    /// Reading paused: the in-flight window is full.
+    paused: bool,
+    /// No more reads ever (EOF, error, or close pending).
+    read_done: bool,
+    /// Teeth ballast: the private decode scratch a connection pins for
+    /// its lifetime when [`NetConfig::pinned_buffers`] is nonzero.
+    _pinned: Option<Vec<u8>>,
+}
+
+fn io_loop(idx: usize, poller: Poller, mut listener: Option<TcpListener>, shared: &Arc<NetShared>) {
+    let mut conns: HashMap<u64, IoConn> = HashMap::new();
+    let mut pending_hello: HashMap<u64, Instant> = HashMap::new();
+    let mut events = Events::with_capacity(256);
+    let mut draining = false;
+    loop {
+        if shared.halt.load(Ordering::SeqCst) {
+            break;
+        }
+        if shared.stop.load(Ordering::SeqCst) && !draining {
+            draining = true;
+            // Close the listener (deregisters on drop) and queue a close
+            // behind every connection's already-decoded requests.
+            listener = None;
+            let ids: Vec<u64> = conns.keys().copied().collect();
+            for id in ids {
+                if let Some(conn) = conns.get_mut(&id) {
+                    initiate_close(conn, shared, &poller);
+                    try_finalize(id, &mut conns, &mut pending_hello, shared, &poller);
+                }
+            }
+        }
+        let _ = poller.wait(&mut events, Some(shared.config.poll_interval));
+        let ready: Vec<_> = events.iter().collect();
+        for ev in ready {
+            match ev.token {
+                TOKEN_WAKER => shared.io[idx].waker.drain(),
+                TOKEN_LISTEN => {
+                    if let Some(l) = &listener {
+                        accept_burst(l, shared, &mut conns, &mut pending_hello, &poller);
+                    }
+                }
+                id => {
+                    let Some(conn) = conns.get_mut(&id) else {
+                        continue;
+                    };
+                    if ev.failed {
+                        let mut out = conn.shared.out.lock().unwrap();
+                        out.error = true;
+                        drop(out);
+                        initiate_close(conn, shared, &poller);
+                    } else {
+                        if ev.writable {
+                            flush_out(&conn.shared);
+                            update_interest(conn, &poller);
+                        }
+                        if ev.readable && !conn.read_done && !conn.paused {
+                            read_drain(conn, shared, &poller);
+                        }
+                    }
+                    try_finalize(id, &mut conns, &mut pending_hello, shared, &poller);
+                }
+            }
+        }
+        // Cross-thread mail: adopt fresh connections, re-evaluate poked
+        // ones (resume reading, arm EPOLLOUT, finalize).
+        let mail = {
+            let mut inbox = shared.io[idx].inbox.lock().unwrap();
+            std::mem::take(&mut *inbox)
+        };
+        for conn in mail.adopt {
+            adopt(conn, shared, &mut conns, &mut pending_hello, &poller);
+        }
+        for id in mail.attention {
+            if let Some(conn) = conns.get_mut(&id) {
+                let want_write = conn.shared.out.lock().unwrap().want_write;
+                if want_write {
+                    flush_out(&conn.shared);
+                }
+                if conn.paused && !conn.read_done {
+                    let inbox = conn.shared.inbox.lock().unwrap();
+                    if inbox.in_flight < shared.config.window.max(1) && !inbox.closing {
+                        conn.paused = false;
+                    }
+                }
+                update_interest(conn, &poller);
+                try_finalize(id, &mut conns, &mut pending_hello, shared, &poller);
+            }
+        }
+        // Handshake deadline scan: a connection that never says Hello
+        // must not hold a registration forever.
+        if !pending_hello.is_empty() {
+            let timeout = shared.config.handshake_timeout;
+            let expired: Vec<u64> = pending_hello
+                .iter()
+                .filter_map(|(&id, &since)| {
+                    let conn = conns.get(&id)?;
+                    if conn.shared.hello_done.load(Ordering::Acquire) {
+                        return None; // handled below: drop from the scan
+                    }
+                    (since.elapsed() > timeout).then_some(id)
+                })
+                .collect();
+            pending_hello.retain(|id, _| {
+                conns
+                    .get(id)
+                    .is_some_and(|c| !c.shared.hello_done.load(Ordering::Acquire))
+            });
+            for id in expired {
+                if let Some(conn) = conns.get_mut(&id) {
+                    let _ = conn.shared.stream.shutdown(Shutdown::Both);
+                    initiate_close(conn, shared, &poller);
+                    try_finalize(id, &mut conns, &mut pending_hello, shared, &poller);
+                }
+            }
+        }
+    }
+}
+
+fn accept_burst(
+    listener: &TcpListener,
+    shared: &Arc<NetShared>,
+    conns: &mut HashMap<u64, IoConn>,
+    pending_hello: &mut HashMap<u64, Instant>,
+    poller: &Poller,
+) {
+    loop {
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(ACCEPT_POLL);
-                continue;
-            }
-            Err(_) => {
-                // Transient accept failure (e.g. fd exhaustion): back off
-                // instead of spinning hot.
-                std::thread::sleep(ACCEPT_POLL);
-                continue;
-            }
-        };
-        let conn_id = next_conn;
-        next_conn += 1;
-        // The accepted socket must block: per-connection I/O relies on
-        // read timeouts, not nonblocking reads (inheritance of the
-        // listener's nonblocking flag is platform-specific).
-        let _ = stream.set_nonblocking(false);
-        let _ = stream.set_nodelay(true);
-        shared.active.fetch_add(1, Ordering::SeqCst);
-        if let Ok(clone) = stream.try_clone() {
-            shared.conns.lock().unwrap().insert(conn_id, clone);
-        }
-        if let Some(obs) = &shared.obs {
-            obs.emit(
-                NO_TXN,
-                ObsKind::ConnOpened {
-                    conn: conn_id as u32,
-                },
-            );
-        }
-        let handler = {
-            let shared = Arc::clone(&shared);
-            std::thread::spawn(move || {
-                serve_connection(stream, &shared);
-                shared.conns.lock().unwrap().remove(&conn_id);
-                shared.active.fetch_sub(1, Ordering::SeqCst);
-                if let Some(obs) = &shared.obs {
-                    obs.emit(
-                        NO_TXN,
-                        ObsKind::ConnClosed {
-                            conn: conn_id as u32,
-                        },
-                    );
-                }
-            })
-        };
-        let mut handlers = shared.handlers.lock().unwrap();
-        // Reap finished connections as new ones arrive, so a long-running
-        // server tracks only live handlers instead of leaking one join
-        // handle per connection ever accepted.
-        handlers.retain(|h| !h.is_finished());
-        handlers.push(handler);
-    }
-}
-
-/// Read frames into the in-flight window until EOF, error, or stop.
-/// Dropping the sender is the reader's only exit signal to the handler.
-fn reader_loop(stream: TcpStream, window: Sender<Vec<u8>>, shared: Arc<NetShared>) {
-    let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
-    // The incremental FrameReader retains partial length-prefix/payload
-    // progress across poll-interval timeouts, so a frame that straddles
-    // a tick (large Open frames across TCP segments, congestion) is
-    // resumed rather than desynchronizing the stream.
-    let mut frames = FrameReader::new(BufReader::new(stream));
-    loop {
-        match frames.poll_frame() {
-            Ok(FrameProgress::Frame(payload)) => {
-                if window.send(payload).is_err() {
-                    return; // handler gone
-                }
-            }
-            Ok(FrameProgress::Eof) => return, // clean EOF
-            Ok(FrameProgress::Pending) => {
-                if shared.stop.load(Ordering::SeqCst) {
-                    return;
-                }
-            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            // Transient accept failure (e.g. fd exhaustion): the
+            // listener stays registered, so we simply retry on the next
+            // readiness event instead of spinning.
             Err(_) => return,
+        };
+        if stream.set_nonblocking(true).is_err() {
+            continue;
+        }
+        let _ = stream.set_nodelay(true);
+        let id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+        let target = (id % shared.io.len() as u64) as usize;
+        let conn = Arc::new(ConnShared {
+            id,
+            io: target,
+            stream,
+            inbox: Mutex::new(Inbox {
+                queue: VecDeque::new(),
+                scheduled: false,
+                in_flight: 0,
+                closing: false,
+            }),
+            exec: Mutex::new(Phase::Handshake),
+            out: Mutex::new(OutBuf {
+                buf: Vec::new(),
+                pos: 0,
+                want_write: false,
+                close_after_flush: false,
+                error: false,
+            }),
+            swept: AtomicBool::new(false),
+            hello_done: AtomicBool::new(false),
+        });
+        shared
+            .registry
+            .lock()
+            .unwrap()
+            .insert(id, Arc::clone(&conn));
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        if let Some(obs) = &shared.obs {
+            obs.emit(NO_TXN, ObsKind::ConnOpened { conn: id as u32 });
+        }
+        if target == 0 {
+            adopt(conn, shared, conns, pending_hello, poller);
+        } else {
+            let io = &shared.io[target];
+            let mut inbox = io.inbox.lock().unwrap();
+            let was_idle = inbox.attention.is_empty() && inbox.adopt.is_empty();
+            inbox.adopt.push(conn);
+            drop(inbox);
+            if was_idle {
+                io.waker.wake();
+            }
         }
     }
 }
 
-fn serve_connection(stream: TcpStream, shared: &Arc<NetShared>) {
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut writer = BufWriter::new(stream);
-    // Reply frames are built in this reused buffer and written with a
-    // single `write_all` each — no per-frame allocation on the hot path.
-    let mut scratch: Vec<u8> = Vec::with_capacity(256);
-
-    // Handshake before any state is allocated: first frame must be a
-    // well-formed Hello with the right magic and version.
-    if let Err((corr, trace, resp)) = handshake(&mut writer, shared) {
-        let _ = write_frame(&mut writer, &wire::encode_response(corr, trace, &resp));
+fn adopt(
+    conn: Arc<ConnShared>,
+    shared: &Arc<NetShared>,
+    conns: &mut HashMap<u64, IoConn>,
+    pending_hello: &mut HashMap<u64, Instant>,
+    poller: &Poller,
+) {
+    let id = conn.id;
+    if poller
+        .register(conn.stream.as_raw_fd(), id, Interest::READ)
+        .is_err()
+    {
+        // Could not watch the socket (e.g. epoll limits): give up on the
+        // connection cleanly.
+        shared.registry.lock().unwrap().remove(&id);
+        shared.emit_closed(id);
+        shared.active.fetch_sub(1, Ordering::SeqCst);
         return;
     }
-
-    let Some(session) = shared.with_service(|svc| svc.session()) else {
-        return; // already shutting down
-    };
-    let session = match session {
-        Ok(s) => s,
-        Err(e) => {
-            // Unsolicited, so there is no request corr to echo; the
-            // client drops the frame and then sees the close.
-            let _ = write_frame(
-                &mut writer,
-                &wire::encode_response(u64::MAX, 0, &Response::error(&e)),
-            );
-            return;
+    let pinned = (shared.config.pinned_buffers > 0).then(|| {
+        // A zeroed Vec comes from alloc_zeroed, whose pages stay lazily
+        // mapped and invisible to RSS; write one byte per page so the
+        // ballast is actually resident — the whole point of the teeth
+        // mode is the RSS it wastes.
+        let mut ballast = vec![0u8; shared.config.pinned_buffers];
+        for slot in ballast.iter_mut().step_by(4096) {
+            *slot = 1;
         }
+        ballast
+    });
+    let mut io_conn = IoConn {
+        shared: conn,
+        state: FrameState::new(),
+        interest: Interest::READ,
+        paused: false,
+        read_done: false,
+        _pinned: pinned,
+    };
+    pending_hello.insert(id, Instant::now());
+    // Bytes may already be waiting (client sent Hello immediately):
+    // level-triggered epoll would report them on the next wait, but
+    // draining now saves the first request a tick.
+    read_drain(&mut io_conn, shared, poller);
+    conns.insert(id, io_conn);
+}
+
+/// Pull frames off a readable socket until it would block, the window
+/// fills, or the stream ends.
+fn read_drain(conn: &mut IoConn, shared: &Arc<NetShared>, poller: &Poller) {
+    let window = shared.config.window.max(1);
+    let pinned = shared.config.pinned_buffers > 0;
+    loop {
+        let progress = {
+            let pool = &shared.pool;
+            let mut alloc = |len: usize| {
+                if pinned {
+                    vec![0u8; len]
+                } else {
+                    pool.get(len)
+                }
+            };
+            conn.state.poll_with(&mut (&conn.shared.stream), &mut alloc)
+        };
+        match progress {
+            Ok(FrameProgress::Frame(payload)) => {
+                let mut inbox = conn.shared.inbox.lock().unwrap();
+                if inbox.closing {
+                    drop(inbox);
+                    if !pinned {
+                        shared.pool.put(payload);
+                    }
+                    conn.read_done = true;
+                    break;
+                }
+                inbox.queue.push_back(Work::Frame(payload));
+                inbox.in_flight += 1;
+                let full = inbox.in_flight >= window;
+                let schedule = !inbox.scheduled;
+                if schedule {
+                    inbox.scheduled = true;
+                }
+                drop(inbox);
+                if schedule {
+                    let _ = shared
+                        .exec_tx
+                        .send(ExecItem::Conn(Arc::clone(&conn.shared)));
+                }
+                if full {
+                    conn.paused = true;
+                    break;
+                }
+            }
+            Ok(FrameProgress::Pending) => break,
+            Ok(FrameProgress::Eof) | Err(_) => {
+                initiate_close(conn, shared, poller);
+                break;
+            }
+        }
+    }
+    update_interest(conn, poller);
+}
+
+/// Queue a [`Work::Close`] behind whatever is already buffered and stop
+/// reading. Idempotent.
+fn initiate_close(conn: &mut IoConn, shared: &Arc<NetShared>, poller: &Poller) {
+    conn.read_done = true;
+    // A frame cut off mid-decode is abandoned; its pooled buffer goes
+    // back to the free list.
+    if let Some(buf) = conn.state.reset() {
+        if shared.config.pinned_buffers == 0 {
+            shared.pool.put(buf);
+        }
+    }
+    let schedule = {
+        let mut inbox = conn.shared.inbox.lock().unwrap();
+        if inbox.closing {
+            false
+        } else {
+            inbox.closing = true;
+            inbox.queue.push_back(Work::Close);
+            let schedule = !inbox.scheduled;
+            inbox.scheduled = true;
+            schedule
+        }
+    };
+    if schedule {
+        let _ = shared
+            .exec_tx
+            .send(ExecItem::Conn(Arc::clone(&conn.shared)));
+    }
+    update_interest(conn, poller);
+}
+
+/// Re-register the connection's interest if it changed: reads while the
+/// window has room, writes while the output buffer has a backlog.
+fn update_interest(conn: &mut IoConn, poller: &Poller) {
+    let want = Interest {
+        readable: !conn.read_done && !conn.paused,
+        writable: conn.shared.out.lock().unwrap().want_write,
+    };
+    if want != conn.interest {
+        conn.interest = want;
+        let _ = poller.modify(conn.shared.stream.as_raw_fd(), conn.shared.id, want);
+    }
+}
+
+/// Drop the connection once the executor swept it and the reply buffer
+/// drained (or broke): deregister, close, emit `ConnClosed`.
+fn try_finalize(
+    id: u64,
+    conns: &mut HashMap<u64, IoConn>,
+    pending_hello: &mut HashMap<u64, Instant>,
+    shared: &Arc<NetShared>,
+    poller: &Poller,
+) {
+    let Some(conn) = conns.get(&id) else { return };
+    if !conn.shared.swept.load(Ordering::Acquire) {
+        return;
+    }
+    {
+        let out = conn.shared.out.lock().unwrap();
+        if !out.is_drained() && !out.error {
+            return; // EPOLLOUT will drain it, then poke us again
+        }
+    }
+    let conn = conns.remove(&id).expect("checked above");
+    pending_hello.remove(&id);
+    let _ = poller.deregister(conn.shared.stream.as_raw_fd());
+    shared.registry.lock().unwrap().remove(&id);
+    shared.emit_closed(id);
+    shared.active.fetch_sub(1, Ordering::SeqCst);
+    // The fd itself closes when the last Arc drops (usually right here).
+}
+
+/// Write as much of the output backlog as the socket accepts. Called
+/// with the lock taken inside, by executors (opportunistic flush) and
+/// I/O threads (`EPOLLOUT`) alike.
+fn flush_out(conn: &ConnShared) {
+    let mut out = conn.out.lock().unwrap();
+    if out.error {
+        return;
+    }
+    while out.pos < out.buf.len() {
+        match (&conn.stream).write(&out.buf[out.pos..]) {
+            Ok(0) => {
+                out.error = true;
+                break;
+            }
+            Ok(n) => out.pos += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                out.want_write = true;
+                return;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                out.error = true;
+                break;
+            }
+        }
+    }
+    out.buf.clear();
+    out.pos = 0;
+    out.want_write = false;
+}
+
+// ---------------------------------------------------------------------
+// Executor threads
+// ---------------------------------------------------------------------
+
+fn exec_loop(rx: &Receiver<ExecItem>, shared: &Arc<NetShared>) {
+    // Reply frames are built in this reused buffer — no per-reply
+    // allocation on the hot path.
+    let mut scratch: Vec<u8> = Vec::with_capacity(256);
+    while let Ok(item) = rx.recv() {
+        match item {
+            ExecItem::Exit => break,
+            ExecItem::Conn(conn) => run_conn(&conn, shared, &mut scratch),
+        }
+    }
+}
+
+/// Drain one connection's inbox: requests leave in order, replies are
+/// buffered in the same order (each echoing its request's correlation
+/// id), and the socket is flushed once when the inbox momentarily
+/// empties — so a pipelined burst coalesces into few writes.
+fn run_conn(conn: &Arc<ConnShared>, shared: &Arc<NetShared>, scratch: &mut Vec<u8>) {
+    let window = shared.config.window.max(1);
+    let mut poke = false;
+    loop {
+        let work = {
+            let mut inbox = conn.inbox.lock().unwrap();
+            match inbox.queue.pop_front() {
+                Some(w) => w,
+                None => {
+                    // Checked under the lock, so a frame the I/O thread
+                    // pushes concurrently either lands before this or
+                    // reschedules the connection — no lost wakeups.
+                    inbox.scheduled = false;
+                    break;
+                }
+            }
+        };
+        match work {
+            Work::Frame(payload) => {
+                let closed = handle_frame(conn, shared, &payload, scratch);
+                if shared.config.pinned_buffers == 0 {
+                    shared.pool.put(payload);
+                }
+                let mut inbox = conn.inbox.lock().unwrap();
+                let was = inbox.in_flight;
+                inbox.in_flight = was.saturating_sub(1);
+                drop(inbox);
+                if was >= window {
+                    poke = true; // the I/O thread paused reads: resume
+                }
+                if closed {
+                    poke = true;
+                }
+            }
+            Work::Close => {
+                sweep(conn);
+                poke = true;
+            }
+        }
+    }
+    flush_out(conn);
+    {
+        let out = conn.out.lock().unwrap();
+        if out.want_write || (out.close_after_flush && out.is_drained()) || out.error {
+            poke = true;
+        }
+    }
+    if poke {
+        shared.poke(conn);
+    }
+}
+
+/// Decode and execute one frame; buffer the reply. Returns `true` when
+/// the connection is closing as a result (Bye or failed handshake).
+fn handle_frame(
+    conn: &Arc<ConnShared>,
+    shared: &Arc<NetShared>,
+    payload: &[u8],
+    scratch: &mut Vec<u8>,
+) -> bool {
+    let mut phase = conn.exec.lock().unwrap();
+    match &mut *phase {
+        Phase::Handshake => {
+            let reply = handshake(conn, shared, payload, &mut phase);
+            let closing = reply.is_err();
+            let (corr, trace, resp) = match &reply {
+                Ok((corr, trace, resp)) | Err((corr, trace, resp)) => (*corr, *trace, resp),
+            };
+            drop(phase);
+            append_reply(conn, scratch, corr, trace, resp);
+            if closing {
+                close_from_exec(conn);
+            }
+            closing
+        }
+        Phase::Open(_) => {
+            let (corr, trace, action) = {
+                let Phase::Open(core) = &mut *phase else {
+                    unreachable!()
+                };
+                match wire::decode_request(payload) {
+                    Ok((corr, trace, req)) => {
+                        (corr, trace, core.handle(trace, req, &NetHost(shared)))
+                    }
+                    // A payload too mangled to decode still gets a
+                    // best-effort correlated error: the id lives in a
+                    // fixed header slot, so it usually survives even
+                    // when the body does not.
+                    Err(e) => (
+                        wire::peek_corr(payload).unwrap_or(u64::MAX),
+                        0,
+                        ConnAction::Reply(Response::error(&ServerError::from(e))),
+                    ),
+                }
+            };
+            drop(phase);
+            match action {
+                ConnAction::Reply(resp) => {
+                    append_reply(conn, scratch, corr, trace, &resp);
+                    false
+                }
+                ConnAction::Bye => {
+                    // Shutdown request: acknowledge, then close (dropping
+                    // anything the client pipelined after it).
+                    append_reply(conn, scratch, corr, trace, &Response::Bye);
+                    close_from_exec(conn);
+                    true
+                }
+            }
+        }
+        Phase::Finished => false, // frame raced a close; drop it
+    }
+}
+
+/// Validate the first frame as a Hello, open the session, and move to
+/// [`Phase::Open`]. `Err` carries the reply to send before closing.
+type HandshakeReply = (u64, u64, Response);
+fn handshake(
+    conn: &Arc<ConnShared>,
+    shared: &Arc<NetShared>,
+    payload: &[u8],
+    phase: &mut Phase,
+) -> Result<HandshakeReply, HandshakeReply> {
+    let (corr, trace, first) = match wire::decode_request(payload) {
+        Ok(parts) => parts,
+        Err(e) => {
+            let corr = wire::peek_corr(payload).unwrap_or(0);
+            return Err((corr, 0, Response::error(&ServerError::from(e))));
+        }
+    };
+    let (shards, backend) = shared
+        .with_service(|svc| (svc.shard_map().shards(), svc.backend()))
+        .unwrap_or((0, Backend::default()));
+    let ok = match handshake_reply(&first, shards, backend) {
+        Ok(ok) => ok,
+        Err(resp) => return Err((corr, trace, resp)),
+    };
+    let session = match shared.with_service(|svc| svc.session()) {
+        Some(Ok(s)) => s,
+        Some(Err(e)) => return Err((corr, trace, Response::error(&e))),
+        None => return Err((corr, trace, Response::error(&ServerError::Shutdown))),
     };
     let mut core = ConnCore::new(session);
     if let Some(obs) = &shared.obs {
         core.attach_obs(obs.clone());
     }
-    let host = NetHost(shared);
-
-    let (tx, rx): (Sender<Vec<u8>>, Receiver<Vec<u8>>) = bounded(shared.config.window.max(1));
-    let reader = {
-        let shared = Arc::clone(shared);
-        std::thread::spawn(move || reader_loop(read_half, tx, shared))
-    };
-
-    // Handler loop: requests leave the window in order; replies are
-    // written in the same order, each echoing its request's correlation
-    // id so a pipelining client can match them up. The BufWriter is only
-    // flushed when the window is momentarily empty, so a pipelined burst
-    // coalesces into as few TCP segments as the buffer allows.
-    while let Ok(payload) = rx.recv() {
-        let (corr, trace, resp) = match wire::decode_request(&payload) {
-            Ok((corr, trace, req)) => match core.handle(trace, req, &host) {
-                ConnAction::Reply(resp) => (corr, trace, resp),
-                ConnAction::Bye => {
-                    // Shutdown request: acknowledge and close.
-                    let _ = write_frame(
-                        &mut writer,
-                        &wire::encode_response(corr, trace, &Response::Bye),
-                    );
-                    break;
-                }
-            },
-            // A payload too mangled to decode still gets a best-effort
-            // correlated error: the id lives in a fixed header slot, so
-            // it usually survives even when the body does not.
-            Err(e) => (
-                wire::peek_corr(&payload).unwrap_or(u64::MAX),
-                0,
-                Response::error(&ServerError::from(e)),
-            ),
-        };
-        let written = wire::encode_response_frame(&mut scratch, corr, trace, &resp)
-            .and_then(|()| writer.write_all(&scratch));
-        if written.is_err() {
-            break;
-        }
-        if rx.is_empty() && writer.flush().is_err() {
-            break;
-        }
-    }
-    let _ = writer.flush();
-    // Closing (or crashing) a connection must not leave its transactions
-    // holding locks: abort everything still open.
-    core.abort_open_txns();
-    drop(rx); // unblock a reader stuck on a full window
-    let _ = writer.get_ref().shutdown(Shutdown::Both);
-    let _ = reader.join();
+    *phase = Phase::Open(core);
+    conn.hello_done.store(true, Ordering::Release);
+    Ok((corr, trace, ok))
 }
 
-fn handshake(
-    writer: &mut BufWriter<TcpStream>,
-    shared: &NetShared,
-) -> Result<(), (u64, u64, Response)> {
-    let wire_err = |msg: String| (0, 0, Response::error(&ServerError::Wire(msg)));
-    let stream = writer.get_ref();
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
-    let mut reader = BufReader::new(stream.try_clone().map_err(|e| wire_err(e.to_string()))?);
-    let payload = match read_frame(&mut reader) {
-        Ok(Some(p)) => p,
-        Ok(None) => return Err(wire_err("connection closed before Hello".into())),
-        Err(e) => return Err(wire_err(format!("reading Hello: {e}"))),
-    };
-    let (corr, trace, first) =
-        wire::decode_request(&payload).map_err(|e| wire_err(e.to_string()))?;
-    let (shards, backend) = shared
-        .with_service(|svc| (svc.shard_map().shards(), svc.backend()))
-        .unwrap_or((0, Backend::default()));
-    let ok = handshake_reply(&first, shards, backend).map_err(|resp| (corr, trace, resp))?;
-    write_frame(writer, &wire::encode_response(corr, trace, &ok))
-        .map_err(|e| wire_err(e.to_string()))?;
-    Ok(())
+/// Frame `resp` into the scratch buffer and append it to the output
+/// queue (bounded by the in-flight window — see the module docs).
+fn append_reply(conn: &ConnShared, scratch: &mut Vec<u8>, corr: u64, trace: u64, resp: &Response) {
+    if wire::encode_response_frame(scratch, corr, trace, resp).is_err() {
+        return; // over-MAX_FRAME reply: nothing sendable
+    }
+    let mut out = conn.out.lock().unwrap();
+    if !out.error {
+        out.buf.extend_from_slice(scratch);
+    }
+}
+
+/// Executor-initiated close (Bye or failed handshake): stop accepting
+/// frames, drop whatever was pipelined behind this one, sweep, and ask
+/// the I/O thread to finalize once the goodbye flushes.
+fn close_from_exec(conn: &Arc<ConnShared>) {
+    {
+        let mut inbox = conn.inbox.lock().unwrap();
+        inbox.closing = true;
+        inbox.queue.clear();
+        inbox.in_flight = 0;
+    }
+    conn.out.lock().unwrap().close_after_flush = true;
+    sweep(conn);
+}
+
+/// The abort-on-disconnect sweep: no closed (or crashed) connection may
+/// leave transactions holding locks. Releases the session *after* the
+/// sweep — a client that observes the session gone can rely on the
+/// locks being gone too.
+fn sweep(conn: &Arc<ConnShared>) {
+    let mut phase = conn.exec.lock().unwrap();
+    if let Phase::Open(core) = &mut *phase {
+        core.abort_open_txns();
+    }
+    *phase = Phase::Finished;
+    drop(phase);
+    conn.out.lock().unwrap().close_after_flush = true;
+    conn.swept.store(true, Ordering::Release);
 }

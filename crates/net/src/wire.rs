@@ -1046,19 +1046,20 @@ pub enum FrameProgress {
     Pending,
 }
 
-/// An incremental frame reader for sockets with a read timeout.
+/// The resumable decode state of one in-progress frame: position inside
+/// the 4-byte length prefix and the partially filled payload.
 ///
-/// [`read_frame`] uses `read_exact`, which consumes partially-read bytes
-/// before surfacing a timeout — re-calling it from scratch after a
-/// timeout desynchronizes the stream on any frame that straddles the
-/// timeout window (mid-payload bytes get reinterpreted as a frame
-/// header). `FrameReader` instead retains its position inside the length
-/// prefix and the payload across [`FrameProgress::Pending`] polls, so a
-/// frame may take arbitrarily many timeout ticks to arrive without
-/// losing a byte. The server's reader loop uses this: its poll interval
-/// doubles as the shutdown-flag check and must never cost stream sync.
-pub struct FrameReader<R> {
-    inner: R,
+/// This is the state machine under both frame readers in the system.
+/// [`FrameReader`] drives it against blocking sockets with read
+/// timeouts (the timeout surfaces as [`FrameProgress::Pending`]); the
+/// readiness-polled event loop in [`crate::server`] drives it directly
+/// against nonblocking sockets, where `WouldBlock` means "wait for the
+/// next readiness tick" and the payload buffer is borrowed from a
+/// shared pool via [`FrameState::poll_with`]. Either way the state
+/// survives arbitrarily many quiet ticks without losing a byte — a
+/// frame that straddles ticks resumes exactly where it left off.
+#[derive(Debug, Default)]
+pub struct FrameState {
     /// Length-prefix bytes accumulated so far (valid up to `len_read`).
     len_buf: [u8; 4],
     len_read: usize,
@@ -1067,27 +1068,47 @@ pub struct FrameReader<R> {
     payload_read: usize,
 }
 
-impl<R: Read> FrameReader<R> {
-    /// Wrap `inner`, which should have a read timeout set if `Pending`
-    /// polling is wanted.
-    pub fn new(inner: R) -> Self {
-        FrameReader {
-            inner,
-            len_buf: [0u8; 4],
-            len_read: 0,
-            payload: None,
-            payload_read: 0,
-        }
+impl FrameState {
+    /// A fresh state at a frame boundary.
+    pub fn new() -> Self {
+        FrameState::default()
     }
 
-    /// Read until a full frame, EOF, or a timeout tick. EOF inside a
-    /// frame is an `UnexpectedEof` error; EOF at a frame boundary is
-    /// [`FrameProgress::Eof`].
-    pub fn poll_frame(&mut self) -> std::io::Result<FrameProgress> {
+    /// A partial frame is in progress (prefix or payload bytes held).
+    pub fn mid_frame(&self) -> bool {
+        self.len_read > 0 || self.payload.is_some()
+    }
+
+    /// Abandon any partial frame, handing back the payload buffer (for
+    /// return to a pool) if one was mid-fill.
+    pub fn reset(&mut self) -> Option<Vec<u8>> {
+        self.len_read = 0;
+        self.payload_read = 0;
+        self.payload.take()
+    }
+
+    /// Advance against `r` with plain per-frame allocation.
+    pub fn poll(&mut self, r: &mut impl Read) -> std::io::Result<FrameProgress> {
+        self.poll_with(r, &mut |len| vec![0u8; len])
+    }
+
+    /// Read until a full frame, EOF, or a quiet tick
+    /// (`WouldBlock`/`TimedOut`). EOF inside a frame is an
+    /// `UnexpectedEof` error; EOF at a frame boundary is
+    /// [`FrameProgress::Eof`]. `alloc` supplies the payload buffer once
+    /// the length prefix completes — it receives the frame length and
+    /// must return a buffer of exactly that length (a pool resizes a
+    /// recycled allocation; contents need not be zeroed, every byte is
+    /// overwritten before the frame is yielded).
+    pub fn poll_with(
+        &mut self,
+        r: &mut impl Read,
+        alloc: &mut dyn FnMut(usize) -> Vec<u8>,
+    ) -> std::io::Result<FrameProgress> {
         use std::io::ErrorKind;
         // Phase 1: the 4-byte length prefix.
         while self.payload.is_none() {
-            match self.inner.read(&mut self.len_buf[self.len_read..]) {
+            match r.read(&mut self.len_buf[self.len_read..]) {
                 Ok(0) => {
                     if self.len_read == 0 {
                         return Ok(FrameProgress::Eof);
@@ -1107,7 +1128,9 @@ impl<R: Read> FrameReader<R> {
                                 format!("frame of {len} bytes exceeds MAX_FRAME ({MAX_FRAME})"),
                             ));
                         }
-                        self.payload = Some(vec![0u8; len]);
+                        let buf = alloc(len);
+                        debug_assert_eq!(buf.len(), len, "alloc must return exactly len bytes");
+                        self.payload = Some(buf);
                         self.payload_read = 0;
                     }
                 }
@@ -1126,7 +1149,7 @@ impl<R: Read> FrameReader<R> {
                 self.len_read = 0;
                 return Ok(FrameProgress::Frame(frame));
             }
-            match self.inner.read(&mut buf[self.payload_read..]) {
+            match r.read(&mut buf[self.payload_read..]) {
                 Ok(0) => {
                     return Err(std::io::Error::new(
                         ErrorKind::UnexpectedEof,
@@ -1141,6 +1164,41 @@ impl<R: Read> FrameReader<R> {
                 Err(e) => return Err(e),
             }
         }
+    }
+}
+
+/// An incremental frame reader for sockets with a read timeout.
+///
+/// [`read_frame`] uses `read_exact`, which consumes partially-read bytes
+/// before surfacing a timeout — re-calling it from scratch after a
+/// timeout desynchronizes the stream on any frame that straddles the
+/// timeout window (mid-payload bytes get reinterpreted as a frame
+/// header). `FrameReader` instead retains its position inside the length
+/// prefix and the payload across [`FrameProgress::Pending`] polls via
+/// [`FrameState`], so a frame may take arbitrarily many timeout ticks to
+/// arrive without losing a byte. The deterministic simulation harness
+/// drives this against its in-memory link; the production server drives
+/// the bare [`FrameState`] from its readiness event loop.
+pub struct FrameReader<R> {
+    inner: R,
+    state: FrameState,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wrap `inner`, which should have a read timeout set if `Pending`
+    /// polling is wanted.
+    pub fn new(inner: R) -> Self {
+        FrameReader {
+            inner,
+            state: FrameState::new(),
+        }
+    }
+
+    /// Read until a full frame, EOF, or a timeout tick. EOF inside a
+    /// frame is an `UnexpectedEof` error; EOF at a frame boundary is
+    /// [`FrameProgress::Eof`].
+    pub fn poll_frame(&mut self) -> std::io::Result<FrameProgress> {
+        self.state.poll(&mut self.inner)
     }
 }
 

@@ -45,9 +45,17 @@ cargo run --release -q -p ks-bench --bin exp_certifier -- --smoke
 echo "== exp_certifier teeth (broken SSI detector must be caught by the offline checker)"
 cargo run --release -q -p ks-bench --bin exp_certifier -- --teeth
 
+echo "== exp_conn_scale --smoke (idle-horde latency + per-connection memory gates)"
+cargo run --release -q -p ks-bench --bin exp_conn_scale -- --smoke
+
+echo "== exp_conn_scale teeth (naive per-connection buffers must blow the memory budget)"
+cargo run --release -q -p ks-bench --bin exp_conn_scale -- \
+    --smoke --pinned-buffers 262144 --expect-violation
+
 echo "== validate_bench (BENCH_*.json schema + zero violations)"
 cargo run --release -q -p ks-bench --bin validate_bench -- \
-    BENCH_net.json BENCH_server.json BENCH_wal.json BENCH_obs.json BENCH_certifier.json
+    BENCH_net.json BENCH_server.json BENCH_wal.json BENCH_obs.json BENCH_certifier.json \
+    BENCH_conn.json
 
 echo "== ks-dst (determinism + teeth + proto fuzz)"
 cargo test -q -p ks-dst
@@ -63,4 +71,4 @@ echo "== dst_smoke durability teeth (no commit-record flush ⇒ oracles must cat
 cargo run --release -q -p ks-bench --bin dst_smoke -- \
     --seeds 25 --disable commit-flush --expect-violation
 
-echo "OK: fmt, clippy, tests, obs wire round-trip, server smoke, net smoke, wal gate, obs gate, certifier gate, bench gate, dst gate all green"
+echo "OK: fmt, clippy, tests, obs wire round-trip, server smoke, net smoke, wal gate, obs gate, certifier gate, conn-scale gate, bench gate, dst gate all green"

@@ -27,6 +27,7 @@ BINARIES = [
     "exp_protocol_correct",
     "exp_server_load",
     "exp_net_load",
+    "exp_conn_scale",
     "exp_wal",
     "exp_certifier",
 ]
@@ -283,6 +284,37 @@ and the percentiles vary by machine.
 
 ```
 {exp_net_load}
+```
+
+## conn-scale — 10,000 idle connections next to the working set
+
+*Beyond the paper:* "millions of users" is mostly *idle* users — a
+server's connection count dwarfs its concurrent-request count. The old
+thread-per-connection front end paid two OS threads and their stacks
+per connection; the readiness-based event loop (`docs/wire.md` § server
+threading) claims a fixed thread pool and a pooled decode path whatever
+the connection count. This experiment holds that claim to numbers: an
+8-client working set drives real transactions (exact client-side
+latencies, best of 3 rounds), first on a fresh otherwise-empty server,
+then on a second fresh server with 10,000 live handshaken idle
+connections parked alongside — fresh per phase because certification
+history grows with every commit and a shared server would charge the
+second phase for the first's accumulated state. The horde's client ends
+live in a child process, so `RLIMIT_NOFILE` stretches twice as far and
+the parent's `VmRSS` isolates pure server-side cost.
+*Measured:* the horde handshakes in well under a second, costs a few
+hundred bytes of RSS per connection (gate: ≤ 32 KiB/conn + fixed
+slack — mandatory even in smoke runs), and the working set's p99 does
+not move outside round-to-round noise (gate: ≤ 2× the baseline,
+recorded for full-size runs only). `BENCH_conn.json` carries both
+verdicts and `validate_bench` enforces them. The teeth run in
+`scripts/check.sh` (`--pinned-buffers 262144 --expect-violation`)
+re-introduces naive per-connection buffers — every connection pinning
+256 KiB resident for its lifetime — and the memory gate must trip,
+proving the bound can see the regression class it exists to prevent.
+
+```
+{exp_conn_scale}
 ```
 
 ## wal-load — group commit amortizes the fsync cost
